@@ -1,0 +1,46 @@
+//! EnumTree throughput vs k — the Figure 9 measurement as a
+//! micro-benchmark.  The paper's claim is that wall-clock tracks the number
+//! of patterns generated almost linearly; Criterion's per-k throughput
+//! (patterns/second staying roughly flat as k grows) is exactly that claim.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sketchtree_core::{count_patterns, enumerate_patterns};
+use sketchtree_datagen::{Dataset, StreamSpec};
+use sketchtree_tree::{LabelTable, Tree};
+
+fn sample(dataset: Dataset, n: usize) -> Vec<Tree> {
+    let mut labels = LabelTable::new();
+    StreamSpec {
+        dataset,
+        n_trees: n,
+        seed: 11,
+    }
+    .generate(&mut labels)
+}
+
+fn bench_enumtree(c: &mut Criterion) {
+    for dataset in [Dataset::Treebank, Dataset::Dblp] {
+        let trees = sample(dataset, 60);
+        let mut g = c.benchmark_group(format!("enumtree_{}", dataset.name()));
+        for k in 2..=dataset.paper_k() {
+            let total: u64 = trees.iter().map(|t| count_patterns(t, k)).sum();
+            g.throughput(Throughput::Elements(total));
+            g.bench_with_input(BenchmarkId::from_parameter(k), &trees, |b, trees| {
+                b.iter(|| {
+                    let mut n = 0u64;
+                    for t in trees {
+                        enumerate_patterns(t, k, |root, edges| {
+                            n += 1;
+                            black_box((root, edges.len()));
+                        });
+                    }
+                    n
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_enumtree);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Query-time estimation cost across the full synopsis: point queries,
+//! set totals (Theorem 2) and products (Section 4), at the paper's
+//! configuration (p = 229 virtual streams, s2 = 7).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sketchtree_sketch::expr::Term;
+use sketchtree_sketch::{StreamSynopsis, SynopsisConfig};
+
+fn synopsis() -> StreamSynopsis {
+    let mut syn = StreamSynopsis::new(SynopsisConfig {
+        s1: 25,
+        s2: 7,
+        virtual_streams: 229,
+        topk: 50,
+        independence: 5,
+        topk_probability: u16::MAX,
+        seed: 2,
+    });
+    for v in 0..50_000u64 {
+        syn.insert(v % 3000);
+    }
+    syn
+}
+
+fn bench_point(c: &mut Criterion) {
+    let syn = synopsis();
+    c.bench_function("synopsis_point_estimate", |b| {
+        b.iter(|| black_box(syn.estimate_count(black_box(1234))))
+    });
+}
+
+fn bench_total(c: &mut Criterion) {
+    let syn = synopsis();
+    let mut g = c.benchmark_group("synopsis_total_estimate");
+    for n in [2usize, 4, 8, 24] {
+        let values: Vec<u64> = (0..n as u64).map(|i| i * 97 + 3).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, values| {
+            b.iter(|| black_box(syn.estimate_total(values)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_product(c: &mut Criterion) {
+    let syn = synopsis();
+    let term = Term {
+        coeff: 1,
+        queries: vec![101, 997],
+    };
+    c.bench_function("synopsis_product_estimate", |b| {
+        b.iter(|| black_box(syn.estimate_terms(std::slice::from_ref(&term)).expect("ok")))
+    });
+}
+
+criterion_group!(benches, bench_point, bench_total, bench_product);
+criterion_main!(benches);

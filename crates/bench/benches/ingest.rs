@@ -1,0 +1,57 @@
+//! Full ingest-path throughput (EnumTree + Prüfer + Rabin + sketch updates
+//! and top-k, per arriving document) at the paper's synopsis configuration:
+//! the per-document cost behind the §7.6/§7.7 processing-time ratios.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sketchtree_core::{SketchTree, SketchTreeConfig};
+use sketchtree_datagen::{Dataset, StreamSpec};
+use sketchtree_sketch::SynopsisConfig;
+
+fn bench_ingest(c: &mut Criterion) {
+    for dataset in [Dataset::Treebank, Dataset::Dblp] {
+        let mut g = c.benchmark_group(format!("ingest_{}", dataset.name()));
+        g.sample_size(10);
+        for s1 in [25usize, 50] {
+            let config = SketchTreeConfig {
+                max_pattern_edges: dataset.paper_k(),
+                synopsis: SynopsisConfig {
+                    s1,
+                    s2: 7,
+                    virtual_streams: 229,
+                    topk: 50,
+                    ..SynopsisConfig::default()
+                },
+                maintain_summary: false,
+                ..SketchTreeConfig::default()
+            };
+            // Pre-build trees against a synopsis-owned label table clone.
+            let mut proto = SketchTree::new(config.clone());
+            let trees = StreamSpec {
+                dataset,
+                n_trees: 100,
+                seed: 3,
+            }
+            .generate(proto.labels_mut());
+            g.throughput(Throughput::Elements(trees.len() as u64));
+            g.bench_with_input(BenchmarkId::from_parameter(s1), &trees, |b, trees| {
+                b.iter(|| {
+                    let mut st = SketchTree::new(config.clone());
+                    // Re-intern the generator's labels in id order so the
+                    // pre-built trees' label ids resolve identically.
+                    for idx in 0..proto.labels().len() {
+                        st.labels_mut()
+                            .intern(proto.labels().name(sketchtree_tree::Label(idx as u32)));
+                    }
+                    for t in trees {
+                        st.ingest(t);
+                    }
+                    black_box(st.patterns_processed())
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

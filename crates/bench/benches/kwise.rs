@@ -1,0 +1,37 @@
+//! ξ family evaluation cost — the innermost operation of every sketch
+//! update and estimate.  Compares the Mersenne-61 polynomial family at
+//! several independence degrees against the classic AMS BCH construction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sketchtree_hash::{Bch4Sign, KWiseSign, Sign};
+
+fn bench_kwise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xi_sign");
+    g.throughput(Throughput::Elements(1024));
+    for k in [4usize, 5, 8] {
+        let xi = KWiseSign::from_seed(42, k);
+        g.bench_with_input(BenchmarkId::new("m61_poly", k), &xi, |b, xi| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for v in 0..1024u64 {
+                    acc += xi.sign(black_box(v * 2654435761));
+                }
+                acc
+            })
+        });
+    }
+    let bch = Bch4Sign::from_seed(42);
+    g.bench_function("bch4", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for v in 0..1024u64 {
+                acc += bch.sign(black_box(v * 2654435761));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kwise);
+criterion_main!(benches);

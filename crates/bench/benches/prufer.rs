@@ -1,0 +1,62 @@
+//! Prüfer encode/decode throughput (the per-pattern canonicalisation cost
+//! on SketchTree's ingest path).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sketchtree_datagen::{Dataset, StreamSpec};
+use sketchtree_tree::{LabelTable, PruferSeq, Tree};
+
+fn sample_trees(dataset: Dataset, n: usize) -> Vec<Tree> {
+    let mut labels = LabelTable::new();
+    StreamSpec {
+        dataset,
+        n_trees: n,
+        seed: 7,
+    }
+    .generate(&mut labels)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prufer_encode");
+    for dataset in [Dataset::Treebank, Dataset::Dblp] {
+        let trees = sample_trees(dataset, 200);
+        let nodes: usize = trees.iter().map(Tree::len).sum();
+        g.throughput(Throughput::Elements(nodes as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(dataset.name()),
+            &trees,
+            |b, trees| {
+                b.iter(|| {
+                    for t in trees {
+                        black_box(PruferSeq::encode(t));
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prufer_decode");
+    for dataset in [Dataset::Treebank, Dataset::Dblp] {
+        let seqs: Vec<PruferSeq> = sample_trees(dataset, 200)
+            .iter()
+            .map(PruferSeq::encode)
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(dataset.name()),
+            &seqs,
+            |b, seqs| {
+                b.iter(|| {
+                    for s in seqs {
+                        black_box(s.decode().expect("valid"));
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Accuracy-vs-memory ablation: SketchTree's boosted AMS banks against the
+//! Count sketch comparator at matched memory, on the same skewed stream.
+//! Not a Criterion timing bench — it asserts the accuracy relation and
+//! prints a small table (run via `cargo bench --bench sketch_accuracy`).
+
+use sketchtree_sketch::countsketch::CountSketch;
+use sketchtree_sketch::{StreamSynopsis, SynopsisConfig};
+
+fn main() {
+    let mut syn = StreamSynopsis::new(SynopsisConfig {
+        s1: 25,
+        s2: 7,
+        virtual_streams: 229,
+        topk: 50,
+        independence: 4,
+        topk_probability: u16::MAX,
+        seed: 4,
+    });
+    // Count sketch of roughly equal memory: 229*175 counters ≈ 40k.
+    let mut cs = CountSketch::new(4, 7, 5700);
+    let mut truth = std::collections::HashMap::new();
+    for v in 1..=4000u64 {
+        let f = 40_000 / v;
+        for _ in 0..f {
+            syn.insert(v);
+            cs.update(v, 1);
+        }
+        truth.insert(v, f);
+    }
+    let mut err_syn = 0.0;
+    let mut err_cs = 0.0;
+    let queries: Vec<u64> = (50..150).collect();
+    for &q in &queries {
+        let t = truth[&q] as f64;
+        err_syn += (syn.estimate_count(q) - t).abs() / t;
+        err_cs += (cs.estimate(q) - t).abs() / t;
+    }
+    err_syn /= queries.len() as f64;
+    err_cs /= queries.len() as f64;
+    println!("avg relative error over {} mid-frequency queries:", queries.len());
+    println!("  sketchtree synopsis (topk=50): {:.3}", err_syn);
+    println!("  count sketch (matched memory): {:.3}", err_cs);
+    assert!(err_syn < 0.5, "synopsis error out of expected range: {err_syn}");
+}

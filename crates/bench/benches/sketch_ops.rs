@@ -1,0 +1,49 @@
+//! Sketch-bank update and point-estimate cost as s1 grows — the paper's
+//! §7.6 observation that processing cost scales (slightly super-)linearly
+//! in s1, as a micro-benchmark.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sketchtree_sketch::SketchBank;
+
+fn bench_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bank_update");
+    g.throughput(Throughput::Elements(256));
+    for s1 in [25usize, 50, 75] {
+        let mut bank = SketchBank::new(3, s1, 7, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(s1), &s1, |b, _| {
+            b.iter(|| {
+                for v in 0..256u64 {
+                    bank.update(black_box(v.wrapping_mul(0x9E3779B9)), 1);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bank_estimate_point");
+    for s1 in [25usize, 50, 75] {
+        let mut bank = SketchBank::new(3, s1, 7, 4);
+        for v in 0..10_000u64 {
+            bank.update(v % 500, 1);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(s1), &bank, |b, bank| {
+            b.iter(|| black_box(bank.estimate_point(black_box(123))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_self_join(c: &mut Criterion) {
+    let mut bank = SketchBank::new(9, 50, 7, 4);
+    for v in 0..10_000u64 {
+        bank.update(v % 500, 1);
+    }
+    c.bench_function("bank_estimate_self_join", |b| {
+        b.iter(|| black_box(bank.estimate_self_join()))
+    });
+}
+
+criterion_group!(benches, bench_update, bench_estimate, bench_self_join);
+criterion_main!(benches);

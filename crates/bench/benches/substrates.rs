@@ -1,0 +1,144 @@
+//! Micro-benchmarks for the extension substrates: snapshot write/read,
+//! Markov-table observation and estimation, windowed expiry, and the
+//! streaming document splitter.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sketchtree_core::snapshot::{read_snapshot, write_snapshot};
+use sketchtree_core::{MarkovPathTable, SketchTree, SketchTreeConfig};
+use sketchtree_core::window::WindowedSketchTree;
+use sketchtree_datagen::{Dataset, StreamSpec};
+use sketchtree_sketch::SynopsisConfig;
+use sketchtree_tree::{LabelTable, Tree};
+use sketchtree_xml::writer::write_forest;
+use sketchtree_xml::DocumentSplitter;
+
+fn small_config() -> SketchTreeConfig {
+    SketchTreeConfig {
+        max_pattern_edges: 3,
+        synopsis: SynopsisConfig {
+            s1: 25,
+            s2: 7,
+            virtual_streams: 229,
+            topk: 50,
+            ..SynopsisConfig::default()
+        },
+        ..SketchTreeConfig::default()
+    }
+}
+
+fn built_synopsis() -> SketchTree {
+    let mut st = SketchTree::new(small_config());
+    let spec = StreamSpec {
+        dataset: Dataset::Dblp,
+        n_trees: 300,
+        seed: 5,
+    };
+    let trees = spec.generate(st.labels_mut());
+    for t in &trees {
+        st.ingest(t);
+    }
+    st
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let st = built_synopsis();
+    let bytes = write_snapshot(&st);
+    let mut g = c.benchmark_group("snapshot");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("write", |b| b.iter(|| black_box(write_snapshot(&st)).len()));
+    g.bench_function("read", |b| {
+        b.iter(|| black_box(read_snapshot(&bytes).expect("valid")).trees_processed())
+    });
+    g.finish();
+}
+
+fn bench_markov(c: &mut Criterion) {
+    let mut labels = LabelTable::new();
+    let trees = StreamSpec {
+        dataset: Dataset::Treebank,
+        n_trees: 200,
+        seed: 9,
+    }
+    .generate(&mut labels);
+    let mut g = c.benchmark_group("markov");
+    let nodes: usize = trees.iter().map(Tree::len).sum();
+    g.throughput(Throughput::Elements(nodes as u64));
+    g.bench_function("observe", |b| {
+        b.iter(|| {
+            let mut m = MarkovPathTable::new();
+            for t in &trees {
+                m.observe(t);
+            }
+            black_box(m.entries())
+        })
+    });
+    let mut m = MarkovPathTable::new();
+    for t in &trees {
+        m.observe(t);
+    }
+    let path: Vec<_> = ["S", "NP", "NP", "PP"]
+        .iter()
+        .filter_map(|n| labels.lookup(n))
+        .collect();
+    g.bench_function("estimate_path", |b| {
+        b.iter(|| black_box(m.estimate_path(black_box(&path))))
+    });
+    g.finish();
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut labels_tmp = LabelTable::new();
+    let trees = StreamSpec {
+        dataset: Dataset::Dblp,
+        n_trees: 400,
+        seed: 2,
+    }
+    .generate(&mut labels_tmp);
+    let mut g = c.benchmark_group("window_ingest_with_expiry");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trees.len() as u64));
+    g.bench_function("w100", |b| {
+        b.iter(|| {
+            let mut w = WindowedSketchTree::new(small_config(), 100);
+            // Re-intern labels so ids line up with the generated trees.
+            for (_, name) in labels_tmp.iter() {
+                w.labels_mut().intern(name);
+            }
+            for t in &trees {
+                w.ingest(t);
+            }
+            black_box(w.window_len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_splitter(c: &mut Criterion) {
+    let mut labels = LabelTable::new();
+    let trees = StreamSpec {
+        dataset: Dataset::Dblp,
+        n_trees: 500,
+        seed: 8,
+    }
+    .generate(&mut labels);
+    let xml = write_forest(&trees, &labels, &|l| {
+        let n = labels.name(l);
+        n.contains(' ') || n.starts_with(|c: char| c.is_ascii_digit())
+    });
+    let mut g = c.benchmark_group("splitter");
+    g.throughput(Throughput::Bytes(xml.len() as u64));
+    g.bench_function("split_documents", |b| {
+        b.iter(|| {
+            let mut s = DocumentSplitter::new(std::io::Cursor::new(xml.as_bytes()));
+            let mut n = 0;
+            while let Some(d) = s.next_document().expect("valid") {
+                n += d.len();
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_snapshot, bench_markov, bench_window, bench_splitter);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Top-k tracking overhead — the paper's §7.6 claim that growing the top-k
+//! size adds only marginal processing cost (5–10%), plus an ablation
+//! against the deterministic Misra–Gries and Space-Saving baselines.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sketchtree_sketch::frequent::{MisraGries, SpaceSaving};
+use sketchtree_sketch::{SketchBank, TopKTracker};
+
+/// A fixed skewed value stream.
+fn stream() -> Vec<u64> {
+    let mut out = Vec::new();
+    for v in 1..=200u64 {
+        for _ in 0..(2000 / v) {
+            out.push(v * 7919);
+        }
+    }
+    // Deterministic interleave.
+    let mut rng = sketchtree_hash::SplitMix64::new(5);
+    for i in (1..out.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+fn bench_topk_insert(c: &mut Criterion) {
+    let values = stream();
+    let mut g = c.benchmark_group("ingest_with_topk");
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.sample_size(10);
+    for topk in [0usize, 50, 300] {
+        g.bench_with_input(BenchmarkId::from_parameter(topk), &topk, |b, &topk| {
+            b.iter(|| {
+                let mut bank = SketchBank::new(3, 25, 7, 4);
+                let mut tracker = TopKTracker::new(topk);
+                for &v in &values {
+                    bank.update(v, 1);
+                    tracker.process(v, &mut bank);
+                }
+                black_box(tracker.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_deterministic_baselines(c: &mut Criterion) {
+    let values = stream();
+    let mut g = c.benchmark_group("heavy_hitter_baselines");
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.bench_function("misra_gries_50", |b| {
+        b.iter(|| {
+            let mut mg = MisraGries::new(50);
+            for &v in &values {
+                mg.insert(v);
+            }
+            black_box(mg.heavy_hitters().len())
+        })
+    });
+    g.bench_function("space_saving_50", |b| {
+        b.iter(|| {
+            let mut ss = SpaceSaving::new(50);
+            for &v in &values {
+                ss.insert(v);
+            }
+            black_box(ss.heavy_hitters().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_topk_insert, bench_deterministic_baselines);
+criterion_main!(benches);

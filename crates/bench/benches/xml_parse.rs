@@ -1,0 +1,53 @@
+//! XML parse + tree-build throughput (the ingest front-end when streaming
+//! real documents rather than in-memory trees).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sketchtree_datagen::{Dataset, StreamSpec};
+use sketchtree_tree::LabelTable;
+use sketchtree_xml::writer::write_forest;
+use sketchtree_xml::{XmlPullParser, XmlTreeBuilder};
+
+fn forest_xml() -> String {
+    let mut labels = LabelTable::new();
+    let trees = StreamSpec {
+        dataset: Dataset::Dblp,
+        n_trees: 300,
+        seed: 13,
+    }
+    .generate(&mut labels);
+    // Value labels (author names, venues, years, page ranges) must be
+    // written as character data — they are not valid element names.
+    write_forest(&trees, &labels, &|l| {
+        let n = labels.name(l);
+        n.contains(' ') || n.starts_with(|c: char| c.is_ascii_digit())
+    })
+}
+
+fn bench_pull_parser(c: &mut Criterion) {
+    let xml = forest_xml();
+    let mut g = c.benchmark_group("xml");
+    g.throughput(Throughput::Bytes(xml.len() as u64));
+    g.bench_function("pull_events", |b| {
+        b.iter(|| {
+            let mut p = XmlPullParser::new(&xml);
+            let mut n = 0u64;
+            while let Some(ev) = p.next_event().expect("valid") {
+                n += 1;
+                black_box(&ev);
+            }
+            n
+        })
+    });
+    g.bench_function("build_trees", |b| {
+        b.iter(|| {
+            let mut labels = LabelTable::new();
+            let mut builder = XmlTreeBuilder::default();
+            let trees = builder.parse_forest(&xml, &mut labels).expect("valid");
+            black_box(trees.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pull_parser);
+criterion_main!(benches);

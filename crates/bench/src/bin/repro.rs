@@ -1,0 +1,185 @@
+//! `repro` — regenerate every table and figure of the SketchTree paper.
+//!
+//! ```text
+//! repro <experiment> [options]
+//!
+//! experiments:
+//!   table1      Table 1  — dataset summary
+//!   fig8        Figure 8 — query workload histograms (both datasets)
+//!   fig9        Figure 9 — EnumTree time / pattern counts vs k
+//!   fig10       Figure 10 — error vs top-k (use --dataset / --s1 to pick a panel)
+//!   fig11       Figure 11 — SUM / PRODUCT workload histograms
+//!   fig12       Figure 12 — SUM / PRODUCT errors (use --s1)
+//!   cost        §7.6/§7.7 — stream-processing cost ratios
+//!   wildcards   §6.2 — `*` and `//` queries via the structural summary
+//!   collisions  §6.1 ablation — fingerprint degree vs collision rate
+//!   memory      §1 motivation — synopsis vs exact-counter memory growth
+//!   paths       ablation — SketchTree vs Markov-table path estimator
+//!   all         everything above, in paper order
+//!
+//! options:
+//!   --dataset treebank|dblp   restrict fig8/fig10/cost to one dataset
+//!   --s1 N                    restrict fig10/fig12 to one s1 value
+//!   --trees N                 override the tree count for both datasets
+//!   --runs N                  sketch seeds averaged per grid cell
+//!   --quick                   small smoke-test scale
+//! ```
+
+use sketchtree_bench::experiments::{self, s1_values, Ctx, Scale};
+use sketchtree_bench::report::Table;
+use sketchtree_datagen::Dataset;
+use std::process::ExitCode;
+
+struct Options {
+    experiment: String,
+    dataset: Option<Dataset>,
+    s1: Option<usize>,
+    scale: Scale,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or_else(usage)?;
+    let mut opts = Options {
+        experiment,
+        dataset: None,
+        s1: None,
+        scale: Scale::default(),
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--dataset" => {
+                let v = args.next().ok_or("--dataset needs a value")?;
+                opts.dataset = Some(match v.as_str() {
+                    "treebank" => Dataset::Treebank,
+                    "dblp" => Dataset::Dblp,
+                    other => return Err(format!("unknown dataset {other:?}")),
+                });
+            }
+            "--s1" => {
+                let v = args.next().ok_or("--s1 needs a value")?;
+                opts.s1 = Some(v.parse().map_err(|_| format!("bad --s1 {v:?}"))?);
+            }
+            "--trees" => {
+                let v = args.next().ok_or("--trees needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --trees {v:?}"))?;
+                opts.scale.treebank_trees = n;
+                opts.scale.dblp_trees = n;
+            }
+            "--runs" => {
+                let v = args.next().ok_or("--runs needs a value")?;
+                opts.scale.runs = v.parse().map_err(|_| format!("bad --runs {v:?}"))?;
+            }
+            "--quick" => {
+                let trees_override =
+                    opts.scale.treebank_trees != Scale::default().treebank_trees;
+                let prev = opts.scale.clone();
+                opts.scale = Scale::quick();
+                if trees_override {
+                    opts.scale.treebank_trees = prev.treebank_trees;
+                    opts.scale.dblp_trees = prev.dblp_trees;
+                }
+            }
+            other => return Err(format!("unknown option {other:?}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() -> String {
+    "usage: repro <table1|fig8|fig9|fig10|fig11|fig12|cost|wildcards|collisions|memory|paths|all> \
+     [--dataset treebank|dblp] [--s1 N] [--trees N] [--runs N] [--quick]"
+        .to_string()
+}
+
+fn datasets(opts: &Options) -> Vec<Dataset> {
+    match opts.dataset {
+        Some(d) => vec![d],
+        None => vec![Dataset::Treebank, Dataset::Dblp],
+    }
+}
+
+fn s1s_for(opts: &Options, d: Dataset) -> Vec<usize> {
+    match opts.s1 {
+        Some(s1) => vec![s1],
+        None => s1_values(d),
+    }
+}
+
+fn emit(tables: Vec<Table>) {
+    for t in tables {
+        print!("{t}");
+    }
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let mut ctx = Ctx::new(opts.scale.clone());
+    let start = std::time::Instant::now();
+    match opts.experiment.as_str() {
+        "table1" => emit(experiments::table1(&mut ctx)),
+        "fig8" => {
+            for d in datasets(opts) {
+                emit(experiments::fig8(&mut ctx, d));
+            }
+        }
+        "fig9" => emit(experiments::fig9(&mut ctx)),
+        "fig10" => {
+            for d in datasets(opts) {
+                for s1 in s1s_for(opts, d) {
+                    emit(experiments::fig10(&mut ctx, d, s1));
+                }
+            }
+        }
+        "fig11" => emit(experiments::fig11(&mut ctx)),
+        "fig12" => {
+            for s1 in opts.s1.map(|s| vec![s]).unwrap_or_else(|| vec![25, 50]) {
+                emit(experiments::fig12(&mut ctx, s1));
+            }
+        }
+        "cost" => {
+            for d in datasets(opts) {
+                emit(experiments::cost(&mut ctx, d));
+            }
+        }
+        "wildcards" => emit(experiments::wildcards(&mut ctx)),
+        "collisions" => emit(experiments::collisions(&mut ctx)),
+        "memory" => emit(experiments::memory(&mut ctx)),
+        "paths" => emit(experiments::paths(&mut ctx)),
+        "all" => {
+            emit(experiments::table1(&mut ctx));
+            for d in [Dataset::Treebank, Dataset::Dblp] {
+                emit(experiments::fig8(&mut ctx, d));
+            }
+            emit(experiments::fig9(&mut ctx));
+            for d in [Dataset::Treebank, Dataset::Dblp] {
+                for s1 in s1s_for(opts, d) {
+                    emit(experiments::fig10(&mut ctx, d, s1));
+                }
+            }
+            emit(experiments::fig11(&mut ctx));
+            for s1 in opts.s1.map(|s| vec![s]).unwrap_or_else(|| vec![25, 50]) {
+                emit(experiments::fig12(&mut ctx, s1));
+            }
+            for d in [Dataset::Treebank, Dataset::Dblp] {
+                emit(experiments::cost(&mut ctx, d));
+            }
+            emit(experiments::wildcards(&mut ctx));
+            emit(experiments::collisions(&mut ctx));
+            emit(experiments::memory(&mut ctx));
+            emit(experiments::paths(&mut ctx));
+        }
+        other => return Err(format!("unknown experiment {other:?}\n{}", usage())),
+    }
+    eprintln!("\n[repro] completed in {:.1}s", start.elapsed().as_secs_f64());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args().and_then(|opts| run(&opts)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Experiment harness for the SketchTree reproduction.
+//!
+//! One module per concern:
+//!
+//! * [`report`] — plain-text table rendering for experiment output;
+//! * [`runner`] — materialising mapped pattern streams once per dataset,
+//!   feeding synopses, and measuring relative errors with the paper's
+//!   sanity bound (Section 7.5: a negative approximation is clamped to
+//!   `0.1 × actual`);
+//! * [`experiments`] — one entry point per table/figure of the paper
+//!   (Table 1, Figures 8–12, and the §7.6/§7.7 processing-cost ratios),
+//!   each returning both a rendered table and structured rows.
+//!
+//! The `repro` binary dispatches to these; `cargo bench` runs the Criterion
+//! micro-benchmarks in `benches/`.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;

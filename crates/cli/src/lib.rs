@@ -1,0 +1,408 @@
+//! The `sketchtree` command-line tool.
+//!
+//! ```text
+//! sketchtree ingest <file.xml>|- [options]     build a synopsis from XML
+//!     --snapshot PATH     write the synopsis to PATH (default: sketchtree.snapshot)
+//!     --k N               max pattern edges (default 4)
+//!     --s1 N --s2 N       sketch array size (default 25 x 7)
+//!     --streams N         virtual streams (default 229)
+//!     --topk N            heavy hitters tracked per stream (default 50)
+//!     --independence N    xi independence (default 5: products of 2 work)
+//!     --seed N            sketch seed
+//!
+//! sketchtree query <snapshot> <pattern>... [--unordered]
+//!     estimate COUNT_ord (or COUNT with --unordered) for each pattern
+//!
+//! sketchtree expr <snapshot> "<expression>"
+//!     evaluate a +,-,* expression, e.g. "COUNT_ord(A(B)) - COUNT(C)"
+//!
+//! sketchtree stats <snapshot>
+//!     print synopsis configuration and stream counters
+//!
+//! sketchtree heavy <snapshot> [--limit N]
+//!     print the tracked heavy-hitter patterns (mapped values)
+//! ```
+//!
+//! The library layer ([`run`]) is separated from the binary so integration
+//! tests can drive the exact command paths without spawning processes.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use sketchtree_core::snapshot::{read_snapshot, write_snapshot};
+use sketchtree_core::sketchtree::{SketchTree, SketchTreeConfig};
+use sketchtree_core::{exprparse, summary::ExpandLimits};
+use sketchtree_sketch::SynopsisConfig;
+use sketchtree_xml::{DocumentSplitter, XmlTreeBuilder};
+use std::io::{BufRead, BufReader, Write};
+
+/// Top-level error type for CLI runs.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Anything from the library layers, stringified for display.
+    Failed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(u) => write!(f, "{u}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Failed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  sketchtree ingest <file.xml>|- [--snapshot PATH] [--k N] [--s1 N] [--s2 N] \
+     [--streams N] [--topk N] [--independence N] [--seed N]\n  \
+     sketchtree query <snapshot> <pattern>... [--unordered]\n  \
+     sketchtree expr <snapshot> \"<expression>\"\n  \
+     sketchtree stats <snapshot>\n  \
+     sketchtree heavy <snapshot> [--limit N]"
+        .to_string()
+}
+
+/// Runs the CLI with pre-split arguments (excluding `argv[0]`), writing
+/// human-readable output to `out`.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let cmd = args.first().ok_or_else(|| CliError::Usage(usage()))?;
+    match cmd.as_str() {
+        "ingest" => ingest(&args[1..], out),
+        "query" => query(&args[1..], out),
+        "expr" => expr(&args[1..], out),
+        "stats" => stats(&args[1..], out),
+        "heavy" => heavy(&args[1..], out),
+        _ => Err(CliError::Usage(usage())),
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad value for {flag}"))),
+    }
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // Boolean flags take no value.
+            skip = a != "--unordered";
+            let _ = i;
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn ingest(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let inputs = positional(args);
+    if inputs.is_empty() {
+        return Err(CliError::Usage("ingest needs an input file (or -)".into()));
+    }
+    let config = SketchTreeConfig {
+        max_pattern_edges: parse_flag(args, "--k", 4usize)?,
+        synopsis: SynopsisConfig {
+            s1: parse_flag(args, "--s1", 25usize)?,
+            s2: parse_flag(args, "--s2", 7usize)?,
+            virtual_streams: parse_flag(args, "--streams", 229usize)?,
+            topk: parse_flag(args, "--topk", 50usize)?,
+            independence: parse_flag(args, "--independence", 5usize)?,
+            seed: parse_flag(args, "--seed", 0x5EED_u64)?,
+            ..SynopsisConfig::default()
+        },
+        maintain_summary: true,
+        track_exact: false,
+        expand_limits: ExpandLimits::default(),
+        ..SketchTreeConfig::default()
+    };
+    let mut st = SketchTree::new(config);
+    let mut builder = XmlTreeBuilder::default();
+    let start = std::time::Instant::now();
+    for input in &inputs {
+        let reader: Box<dyn BufRead> = if input.as_str() == "-" {
+            Box::new(BufReader::new(std::io::stdin()))
+        } else {
+            Box::new(BufReader::new(std::fs::File::open(input.as_str())?))
+        };
+        let mut splitter = DocumentSplitter::new(reader);
+        loop {
+            let doc = splitter
+                .next_document()
+                .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+            let Some(doc) = doc else { break };
+            let tree = builder
+                .parse_document(&doc, st.labels_mut())
+                .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+            st.ingest(&tree);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let snapshot_path: String = parse_flag(args, "--snapshot", "sketchtree.snapshot".to_string())?;
+    let bytes = write_snapshot(&st);
+    std::fs::write(&snapshot_path, &bytes)?;
+    writeln!(
+        out,
+        "ingested {} documents ({} pattern instances) in {:.2}s",
+        st.trees_processed(),
+        st.patterns_processed(),
+        secs
+    )?;
+    writeln!(
+        out,
+        "synopsis: {} KB in memory, snapshot {} KB -> {}",
+        st.memory_bytes() / 1024,
+        bytes.len() / 1024,
+        snapshot_path
+    )?;
+    Ok(())
+}
+
+fn load(path: &str) -> Result<SketchTree, CliError> {
+    let bytes = std::fs::read(path)?;
+    read_snapshot(&bytes).map_err(|e| CliError::Failed(format!("{path}: {e}")))
+}
+
+fn query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let (snapshot, patterns) = pos
+        .split_first()
+        .ok_or_else(|| CliError::Usage("query needs a snapshot and patterns".into()))?;
+    if patterns.is_empty() {
+        return Err(CliError::Usage("query needs at least one pattern".into()));
+    }
+    let unordered = args.iter().any(|a| a == "--unordered");
+    let st = load(snapshot)?;
+    for p in patterns {
+        let est = if unordered {
+            st.count_unordered(p)
+        } else {
+            st.count_ordered(p)
+        }
+        .map_err(|e| CliError::Failed(format!("{p}: {e}")))?;
+        writeln!(out, "{p}\t{est:.1}")?;
+    }
+    Ok(())
+}
+
+fn expr(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let [snapshot, expression] = pos.as_slice() else {
+        return Err(CliError::Usage("expr needs a snapshot and one expression".into()));
+    };
+    let st = load(snapshot)?;
+    let e = exprparse::parse_expr(expression)
+        .map_err(|e| CliError::Failed(format!("expression: {e}")))?;
+    let est = st
+        .estimate(&e)
+        .map_err(|e| CliError::Failed(format!("estimate: {e}")))?;
+    writeln!(out, "{est:.1}")?;
+    Ok(())
+}
+
+fn stats(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let [snapshot] = pos.as_slice() else {
+        return Err(CliError::Usage("stats needs a snapshot".into()));
+    };
+    let st = load(snapshot)?;
+    let c = st.config();
+    writeln!(out, "trees processed     : {}", st.trees_processed())?;
+    writeln!(out, "pattern instances   : {}", st.patterns_processed())?;
+    writeln!(out, "distinct labels     : {}", st.labels().len())?;
+    writeln!(out, "max pattern edges k : {}", c.max_pattern_edges)?;
+    writeln!(
+        out,
+        "sketches            : s1={} s2={} over {} virtual streams",
+        c.synopsis.s1, c.synopsis.s2, c.synopsis.virtual_streams
+    )?;
+    writeln!(out, "top-k per stream    : {}", c.synopsis.topk)?;
+    writeln!(out, "synopsis memory     : {} KB", st.memory_bytes() / 1024)?;
+    writeln!(
+        out,
+        "residual self-join  : {:.3e}",
+        st.residual_self_join()
+    )?;
+    Ok(())
+}
+
+fn heavy(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let [snapshot] = pos.as_slice() else {
+        return Err(CliError::Usage("heavy needs a snapshot".into()));
+    };
+    let limit = parse_flag(args, "--limit", 20usize)?;
+    let st = load(snapshot)?;
+    for (v, f) in st.tracked_heavy_hitters().into_iter().take(limit) {
+        writeln!(out, "{v}\t~{f}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sketchtree-cli-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).expect("command succeeds");
+        String::from_utf8(out).expect("utf8 output")
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        // Write a small corpus.
+        let xml_path = tmpfile("corpus.xml");
+        let snap_path = tmpfile("synopsis.bin");
+        let mut corpus = String::new();
+        for i in 0..200 {
+            let author = if i % 2 == 0 { "smith" } else { "jones" };
+            corpus.push_str(&format!(
+                "<article><author>{author}</author><year>2001</year></article>\n"
+            ));
+        }
+        std::fs::write(&xml_path, corpus).unwrap();
+
+        // ingest
+        let out = run_ok(&[
+            "ingest",
+            xml_path.to_str().unwrap(),
+            "--snapshot",
+            snap_path.to_str().unwrap(),
+            "--k",
+            "3",
+            "--s1",
+            "40",
+            "--streams",
+            "31",
+            "--topk",
+            "8",
+        ]);
+        assert!(out.contains("ingested 200 documents"), "{out}");
+
+        // query
+        let out = run_ok(&[
+            "query",
+            snap_path.to_str().unwrap(),
+            "author(smith)",
+            "article(author(jones))",
+        ]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let smith: f64 = lines[0].split('\t').nth(1).unwrap().parse().unwrap();
+        assert!((smith - 100.0).abs() < 25.0, "{out}");
+
+        // unordered query
+        let out = run_ok(&[
+            "query",
+            snap_path.to_str().unwrap(),
+            "article(year,author)",
+            "--unordered",
+        ]);
+        let v: f64 = out.trim().split('\t').nth(1).unwrap().parse().unwrap();
+        assert!((v - 200.0).abs() < 40.0, "{out}");
+
+        // expr
+        let out = run_ok(&[
+            "expr",
+            snap_path.to_str().unwrap(),
+            "COUNT_ord(author(smith)) - COUNT_ord(author(jones))",
+        ]);
+        let v: f64 = out.trim().parse().unwrap();
+        assert!(v.abs() < 30.0, "difference should be near 0: {out}");
+
+        // stats
+        let out = run_ok(&["stats", snap_path.to_str().unwrap()]);
+        assert!(out.contains("trees processed     : 200"), "{out}");
+        assert!(out.contains("virtual streams"), "{out}");
+
+        // heavy
+        let out = run_ok(&["heavy", snap_path.to_str().unwrap(), "--limit", "5"]);
+        assert!(out.lines().count() <= 5);
+
+        std::fs::remove_file(&xml_path).ok();
+        std::fs::remove_file(&snap_path).ok();
+    }
+
+    #[test]
+    fn usage_errors() {
+        let mut sink = Vec::new();
+        assert!(matches!(
+            run(&[], &mut sink),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bogus".into()], &mut sink),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["ingest".into()], &mut sink),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["query".into(), "nope.bin".into()], &mut sink),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn missing_snapshot_is_io_error() {
+        let mut sink = Vec::new();
+        let r = run(
+            &["stats".into(), "/definitely/not/here.bin".into()],
+            &mut sink,
+        );
+        assert!(matches!(r, Err(CliError::Io(_))));
+    }
+
+    #[test]
+    fn malformed_xml_reports_file() {
+        let xml_path = tmpfile("bad.xml");
+        std::fs::write(&xml_path, "<a><b></a>").unwrap();
+        let mut sink = Vec::new();
+        let r = run(
+            &["ingest".into(), xml_path.to_str().unwrap().into()],
+            &mut sink,
+        );
+        match r {
+            Err(CliError::Failed(m)) => assert!(m.contains("bad.xml"), "{m}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        std::fs::remove_file(&xml_path).ok();
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end tests of the compiled `sketchtree` binary.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sketchtree")
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sketchtree-bin-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn binary_ingest_query_roundtrip() {
+    let xml = tmp("c.xml");
+    let snap = tmp("s.bin");
+    let mut corpus = String::new();
+    for _ in 0..100 {
+        corpus.push_str("<r><a>x</a></r>");
+    }
+    std::fs::write(&xml, corpus).unwrap();
+
+    let out = Command::new(bin())
+        .args([
+            "ingest",
+            xml.to_str().unwrap(),
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--streams",
+            "13",
+            "--s1",
+            "30",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ingested 100 documents"));
+
+    let out = Command::new(bin())
+        .args(["query", snap.to_str().unwrap(), "r(a)"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let est: f64 = stdout.trim().split('\t').nth(1).unwrap().parse().unwrap();
+    assert!((est - 100.0).abs() < 25.0, "{stdout}");
+
+    std::fs::remove_file(&xml).ok();
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn binary_stdin_ingestion() {
+    use std::io::Write;
+    let snap = tmp("stdin.bin");
+    let mut child = Command::new(bin())
+        .args(["ingest", "-", "--snapshot", snap.to_str().unwrap(), "--streams", "7"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"<a><b/></a><a><b/></a>")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ingested 2 documents"));
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn binary_usage_exit_codes() {
+    let out = Command::new(bin()).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = Command::new(bin())
+        .args(["query", "/nonexistent.bin", "a"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,173 @@
+//! A-priori error bounds — Theorem 1 turned into a user-facing API.
+//!
+//! Theorem 1: with `s1 = 8·SJ(S)/(ε²·f_q²)` averaged sketches and
+//! `s2 = 2·lg(1/δ)` median groups, the estimate of `f_q` has relative
+//! error at most `ε` with probability at least `1 − δ`.  Solving for ε at
+//! a *given* configuration tells a user how much to trust an answer:
+//!
+//! ```text
+//! ε(q) = sqrt( 8 · SJ(S_q) / (s1 · f_q²) )        δ = 2^(−s2/2)
+//! ```
+//!
+//! where `SJ(S_q)` is the residual self-join size of the virtual stream
+//! the query routes to (top-k deletions already removed — the whole point
+//! of Section 5.2), and `f_q` is approximated by the estimate itself.
+//! The reported bound is therefore an *estimate of the bound*, good for
+//! triage ("this count is ±5%", "this count is noise") rather than a
+//! certified guarantee — the same way the paper's Section 7 interprets its
+//! configurations.
+
+use crate::sketchtree::{SketchTree, SketchTreeError};
+
+/// An estimate together with its Theorem 1 error profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundedEstimate {
+    /// The point estimate of the count.
+    pub estimate: f64,
+    /// Estimated relative error bound ε at confidence `1 − delta`
+    /// (infinite when the estimate is ≈ 0 — zero counts carry only
+    /// additive, not relative, guarantees).
+    pub epsilon: f64,
+    /// The failure probability δ determined by `s2`.
+    pub delta: f64,
+    /// Residual self-join size of the virtual stream the query hits.
+    pub residual_self_join: f64,
+}
+
+impl BoundedEstimate {
+    /// A human-readable one-line rendering, e.g. `1234.0 ±4.2% (95% conf)`.
+    pub fn display(&self) -> String {
+        if self.epsilon.is_finite() {
+            format!(
+                "{:.1} ±{:.1}% ({:.0}% conf)",
+                self.estimate,
+                self.epsilon * 100.0,
+                (1.0 - self.delta) * 100.0
+            )
+        } else {
+            format!("{:.1} (below noise floor)", self.estimate)
+        }
+    }
+}
+
+impl SketchTree {
+    /// Estimates `COUNT_ord` of a textual pattern together with its
+    /// Theorem 1 error profile.
+    pub fn count_ordered_bounded(
+        &self,
+        pattern: &str,
+    ) -> Result<BoundedEstimate, SketchTreeError> {
+        let estimate = self.count_ordered(pattern)?;
+        Ok(self.profile(estimate))
+    }
+
+    /// Wraps an existing estimate in its error profile.
+    pub fn profile(&self, estimate: f64) -> BoundedEstimate {
+        let s1 = self.config().synopsis.s1 as f64;
+        let s2 = self.config().synopsis.s2 as f64;
+        // Residual SJ across the synopsis; per-stream SJ is at most this
+        // (it is the sum over disjoint streams), so the bound is
+        // conservative.
+        let sj = self.residual_self_join().max(0.0);
+        let epsilon = if estimate.abs() < 1.0 {
+            f64::INFINITY
+        } else {
+            (8.0 * sj / (s1 * estimate * estimate)).sqrt()
+        };
+        BoundedEstimate {
+            estimate,
+            epsilon,
+            delta: 2f64.powf(-s2 / 2.0),
+            residual_self_join: sj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketchtree::SketchTreeConfig;
+    use sketchtree_sketch::SynopsisConfig;
+    use sketchtree_tree::Tree;
+
+    fn build(s1: usize) -> SketchTree {
+        let mut st = SketchTree::new(SketchTreeConfig {
+            max_pattern_edges: 2,
+            synopsis: SynopsisConfig {
+                s1,
+                s2: 7,
+                virtual_streams: 13,
+                // No top-k: with only a few distinct patterns a tracker
+                // would absorb the entire stream and the residual
+                // self-join (hence every ε) would be zero.
+                topk: 0,
+                ..SynopsisConfig::default()
+            },
+            track_exact: true,
+            ..SketchTreeConfig::default()
+        });
+        let (a, b, c) = {
+            let l = st.labels_mut();
+            (l.intern("A"), l.intern("B"), l.intern("C"))
+        };
+        for _ in 0..400 {
+            st.ingest(&Tree::node(a, vec![Tree::leaf(b)]));
+        }
+        for _ in 0..20 {
+            st.ingest(&Tree::node(a, vec![Tree::leaf(c)]));
+        }
+        st
+    }
+
+    #[test]
+    fn heavier_counts_have_tighter_bounds() {
+        let st = build(25);
+        let heavy = st.count_ordered_bounded("A(B)").unwrap();
+        let light = st.count_ordered_bounded("A(C)").unwrap();
+        assert!(heavy.epsilon < light.epsilon, "{heavy:?} vs {light:?}");
+    }
+
+    #[test]
+    fn more_sketches_tighten_bounds() {
+        let small = build(10).count_ordered_bounded("A(C)").unwrap();
+        let big = build(160).count_ordered_bounded("A(C)").unwrap();
+        assert!(big.epsilon < small.epsilon, "{small:?} vs {big:?}");
+    }
+
+    #[test]
+    fn delta_from_s2() {
+        let st = build(25);
+        let p = st.profile(100.0);
+        assert!((p.delta - 2f64.powf(-3.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_estimates_have_no_relative_bound() {
+        let st = build(25);
+        let p = st.profile(0.0);
+        assert!(p.epsilon.is_infinite());
+        assert!(p.display().contains("noise"));
+    }
+
+    #[test]
+    fn bound_is_honest_on_average() {
+        // The measured error of A(B) should be far below the reported ε
+        // (the bound is conservative by an 8x Chebyshev factor).
+        let st = build(50);
+        let b = st.count_ordered_bounded("A(B)").unwrap();
+        let exact = st.exact_count_ordered("A(B)").unwrap() as f64;
+        let actual_err = (b.estimate - exact).abs() / exact;
+        assert!(
+            actual_err <= b.epsilon.max(0.05),
+            "actual {actual_err} vs bound {}",
+            b.epsilon
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let st = build(25);
+        let s = st.count_ordered_bounded("A(B)").unwrap().display();
+        assert!(s.contains('%'), "{s}");
+    }
+}

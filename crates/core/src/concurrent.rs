@@ -1,0 +1,147 @@
+//! A thread-safe handle around [`SketchTree`].
+//!
+//! The paper's synopsis is single-writer by construction (one stream), but
+//! real deployments often want query threads reading while the ingest
+//! thread writes, or several parsers feeding one synopsis.  AMS updates
+//! commute — `X += ξ` in any interleaving yields the same counters — so a
+//! reader-writer lock over the whole synopsis gives linearizable counts
+//! with zero algorithmic change: ingests take the write lock (they mutate
+//! counters and top-k state), queries take the read lock and can proceed
+//! concurrently with each other.
+//!
+//! For multi-producer pipelines, parse/enumerate *outside* the lock and
+//! only hold it for the sketch updates: [`SharedSketchTree::ingest`] does
+//! exactly that ordering internally (enumeration needs no lock only if the
+//! tree is already built — building trees is the caller's, lock-free,
+//! side).
+
+use crate::sketchtree::{CountExpr, SketchTree, SketchTreeError};
+use parking_lot::RwLock;
+use sketchtree_tree::Tree;
+use std::sync::Arc;
+
+/// A cloneable, thread-safe [`SketchTree`] handle.
+#[derive(Clone)]
+pub struct SharedSketchTree {
+    inner: Arc<RwLock<SketchTree>>,
+}
+
+impl SharedSketchTree {
+    /// Wraps a synopsis for shared use.
+    pub fn new(st: SketchTree) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(st)),
+        }
+    }
+
+    /// Ingests one tree (exclusive lock for the sketch updates).
+    ///
+    /// The tree must have been built against this synopsis' label table —
+    /// use [`SharedSketchTree::with_labels`] to intern labels first.
+    pub fn ingest(&self, tree: &Tree) {
+        self.inner.write().ingest(tree);
+    }
+
+    /// Runs `f` with mutable access to the label table (for building input
+    /// trees or resolving query labels ahead of time).
+    pub fn with_labels<R>(&self, f: impl FnOnce(&mut sketchtree_tree::LabelTable) -> R) -> R {
+        f(self.inner.write().labels_mut())
+    }
+
+    /// `COUNT_ord` of a textual pattern (shared lock; concurrent with other
+    /// queries).
+    pub fn count_ordered(&self, pattern: &str) -> Result<f64, SketchTreeError> {
+        self.inner.read().count_ordered(pattern)
+    }
+
+    /// Unordered `COUNT` of a textual pattern.
+    pub fn count_unordered(&self, pattern: &str) -> Result<f64, SketchTreeError> {
+        self.inner.read().count_unordered(pattern)
+    }
+
+    /// Estimates a count expression.
+    pub fn estimate(&self, expr: &CountExpr) -> Result<f64, SketchTreeError> {
+        self.inner.read().estimate(expr)
+    }
+
+    /// Trees ingested so far.
+    pub fn trees_processed(&self) -> u64 {
+        self.inner.read().trees_processed()
+    }
+
+    /// Pattern instances sketched so far.
+    pub fn patterns_processed(&self) -> u64 {
+        self.inner.read().patterns_processed()
+    }
+
+    /// Runs `f` with shared read access to the full synopsis API.
+    pub fn read<R>(&self, f: impl FnOnce(&SketchTree) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketchtree::SketchTreeConfig;
+    use sketchtree_sketch::SynopsisConfig;
+    use sketchtree_tree::Tree;
+
+    fn shared() -> SharedSketchTree {
+        SharedSketchTree::new(SketchTree::new(SketchTreeConfig {
+            max_pattern_edges: 2,
+            synopsis: SynopsisConfig {
+                s1: 30,
+                s2: 5,
+                virtual_streams: 7,
+                topk: 4,
+                ..SynopsisConfig::default()
+            },
+            track_exact: true,
+            ..SketchTreeConfig::default()
+        }))
+    }
+
+    #[test]
+    fn concurrent_ingest_and_query() {
+        let st = shared();
+        let (a, b) = st.with_labels(|l| (l.intern("A"), l.intern("B")));
+        let tree = Tree::node(a, vec![Tree::leaf(b)]);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let st = st.clone();
+                let tree = tree.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        st.ingest(&tree);
+                        // Interleave reads; value is monotone noisy but must
+                        // never error.
+                        let _ = st.count_ordered("A(B)").expect("valid query");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no panics");
+        }
+        assert_eq!(st.trees_processed(), 400);
+        // All 400 instances of the single pattern are in the sketches
+        // (updates commute regardless of interleaving).
+        let est = st.count_ordered("A(B)").unwrap();
+        assert!((est - 400.0).abs() < 40.0, "est {est}");
+        assert_eq!(
+            st.read(|s| s.exact_count_ordered("A(B)").unwrap()),
+            400
+        );
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let st = shared();
+        let a = st.with_labels(|l| l.intern("A"));
+        let clone = st.clone();
+        clone.ingest(&Tree::node(a, vec![Tree::leaf(a)]));
+        assert_eq!(st.trees_processed(), 1);
+        assert_eq!(st.patterns_processed(), clone.patterns_processed());
+    }
+}

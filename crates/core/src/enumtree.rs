@@ -1,0 +1,458 @@
+//! EnumTree — enumerate all ordered tree patterns with at most k edges.
+//!
+//! Paper Section 5.1 / Algorithm 3.  `P(i, j)` is the set of patterns
+//! rooted at node `i` with exactly `j` edges; to build it, pick `t ≥ 1`
+//! child edges of `i` and distribute the remaining `j − t` edges over the
+//! chosen children in every possible way (weak compositions), taking the
+//! cartesian product of the children's own pattern sets.  `P(i, 0) = ⊥`
+//! contributes "nothing below this child" and is excluded from cartesian
+//! products; an empty `P(i, j)` (no pattern of that size exists) annihilates
+//! every composition using it.
+//!
+//! The paper memoizes `P(i, j)`; because children always have smaller
+//! postorder numbers than parents, we can make the memoization implicit by
+//! computing bottom-up in postorder — each `P(i, j)` is computed exactly
+//! once, and pruning skips compositions that would touch an empty set.
+//!
+//! The enumeration is *output-sensitive*: its cost is dominated by the
+//! number of pattern instances produced (Figure 9 of the paper shows the
+//! wall-clock tracking the pattern count almost perfectly, which the
+//! `enumtree` Criterion bench reproduces).
+
+use sketchtree_tree::{NodeId, Tree};
+
+/// An edge set representing one pattern (pairs of data-tree node ids).
+type EdgeSet = Vec<(NodeId, NodeId)>;
+/// `P(i, ·)`: pattern sets per size for one node, `p[j - 1] = P(i, j)`.
+type NodePatterns = Vec<Vec<EdgeSet>>;
+
+/// One enumerated pattern instance: a root node of the data tree plus the
+/// selected edge set (pairs of data-tree node ids, parent first).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PatternInstance {
+    /// The data-tree node the pattern is rooted at.
+    pub root: NodeId,
+    /// Selected `(parent, child)` edges; forms a tree rooted at `root`.
+    pub edges: Vec<(NodeId, NodeId)>,
+}
+
+/// Enumerates every ordered tree pattern of `tree` with 1..=k edges,
+/// invoking `f(root, edges)` once per pattern instance.
+///
+/// If `include_single_nodes` is true, the n single-node patterns (0 edges)
+/// are also reported, each with an empty edge slice.  The paper's EnumTree
+/// reports patterns "with one to k edges", so the default entry points pass
+/// `false`.
+pub fn enumerate_patterns_config(
+    tree: &Tree,
+    k: usize,
+    include_single_nodes: bool,
+    mut f: impl FnMut(NodeId, &[(NodeId, NodeId)]),
+) {
+    if include_single_nodes {
+        for id in tree.postorder() {
+            f(id, &[]);
+        }
+    }
+    if k == 0 {
+        return;
+    }
+    let n = tree.len();
+    // memo[node.index()][j - 1] = P(node, j) for j in 1..=k.
+    let mut memo: Vec<NodePatterns> = vec![Vec::new(); n];
+    // Subtree edge counts bound how many edges a child can absorb.
+    let mut sub_edges = vec![0usize; n];
+    for id in tree.postorder() {
+        let children = tree.children(id);
+        sub_edges[id.index()] = children
+            .iter()
+            .map(|c| sub_edges[c.index()] + 1)
+            .sum();
+        let mut p_i: NodePatterns = vec![Vec::new(); k];
+        if !children.is_empty() {
+            let fanout = children.len();
+            let max_t = fanout.min(k);
+            let mut combo: Vec<usize> = Vec::new();
+            for t in 1..=max_t {
+                // Enumerate all t-combinations of child indices in
+                // lexicographic order (preserves sibling order).
+                combo.clear();
+                combo.extend(0..t);
+                loop {
+                    distribute(
+                        tree,
+                        id,
+                        children,
+                        &combo,
+                        k,
+                        &memo,
+                        &sub_edges,
+                        &mut p_i,
+                    );
+                    if !next_combination(&mut combo, fanout) {
+                        break;
+                    }
+                }
+            }
+        }
+        // Emit all patterns rooted here.
+        for js in &p_i {
+            for edges in js {
+                f(id, edges);
+            }
+        }
+        memo[id.index()] = p_i;
+    }
+}
+
+/// For a fixed set of chosen children, distribute remaining edges over them
+/// in all ways and extend `p_i` with the resulting patterns.
+#[allow(clippy::too_many_arguments)]
+fn distribute(
+    _tree: &Tree,
+    id: NodeId,
+    children: &[NodeId],
+    combo: &[usize],
+    k: usize,
+    memo: &[NodePatterns],
+    sub_edges: &[usize],
+    p_i: &mut [Vec<EdgeSet>],
+) {
+    let t = combo.len();
+    let chosen: Vec<NodeId> = combo.iter().map(|&ci| children[ci]).collect();
+    // Per chosen child, the budgets l for which P(child, l) is non-empty
+    // (l = 0 is always allowed: "just the child edge").
+    let budgets: Vec<Vec<usize>> = chosen
+        .iter()
+        .map(|c| {
+            let mut b = vec![0usize];
+            let limit = sub_edges[c.index()].min(k - 1);
+            for l in 1..=limit {
+                if !memo[c.index()][l - 1].is_empty() {
+                    b.push(l);
+                }
+            }
+            b
+        })
+        .collect();
+    let base_edges: EdgeSet = chosen.iter().map(|&c| (id, c)).collect();
+    // Recursive composition enumeration with budget pruning.
+    let max_extra = k - t;
+    let mut current: Vec<usize> = Vec::with_capacity(t);
+    compose(&budgets, 0, max_extra, &mut current, &mut |ls: &[usize]| {
+        // Total size of this pattern.
+        let total = t + ls.iter().sum::<usize>();
+        debug_assert!((t..=k).contains(&total));
+        // Cartesian product of the chosen children's pattern sets.
+        let mut partial: Vec<EdgeSet> = vec![base_edges.clone()];
+        for (slot, (&c, &l)) in chosen.iter().zip(ls).enumerate() {
+            if l == 0 {
+                continue;
+            }
+            let subs = &memo[c.index()][l - 1];
+            let mut next = Vec::with_capacity(partial.len() * subs.len());
+            for prefix in &partial {
+                for sub in subs {
+                    let mut e = prefix.clone();
+                    e.extend_from_slice(sub);
+                    next.push(e);
+                }
+            }
+            partial = next;
+            let _ = slot;
+        }
+        p_i[total - 1].extend(partial);
+    });
+}
+
+/// Advances `combo` to the next t-combination of `0..n` in lexicographic
+/// order; returns false when exhausted.
+fn next_combination(combo: &mut [usize], n: usize) -> bool {
+    let t = combo.len();
+    let mut i = t;
+    while i > 0 {
+        i -= 1;
+        if combo[i] < n - t + i {
+            combo[i] += 1;
+            for q in i + 1..t {
+                combo[q] = combo[q - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Enumerates all weak compositions `ls` with `ls[i] ∈ budgets[i]` and
+/// `Σ ls ≤ max_extra`, pruned by budget membership.
+fn compose(
+    budgets: &[Vec<usize>],
+    idx: usize,
+    remaining: usize,
+    current: &mut Vec<usize>,
+    f: &mut impl FnMut(&[usize]),
+) {
+    if idx == budgets.len() {
+        f(current);
+        return;
+    }
+    for &l in &budgets[idx] {
+        if l > remaining {
+            break; // budgets are sorted ascending
+        }
+        current.push(l);
+        compose(budgets, idx + 1, remaining - l, current, f);
+        current.pop();
+    }
+}
+
+/// Enumerates patterns with 1..=k edges (the paper's default).
+///
+/// ```
+/// use sketchtree_core::count_patterns;
+/// use sketchtree_tree::{LabelTable, Tree};
+/// let mut labels = LabelTable::new();
+/// let a = labels.intern("a");
+/// // A root with two leaves: {left edge, right edge, both} = 3 patterns.
+/// let t = Tree::node(a, vec![Tree::leaf(a), Tree::leaf(a)]);
+/// assert_eq!(count_patterns(&t, 2), 3);
+/// ```
+pub fn enumerate_patterns(tree: &Tree, k: usize, mut f: impl FnMut(NodeId, &[(NodeId, NodeId)])) {
+    enumerate_patterns_config(tree, k, false, &mut f);
+}
+
+/// Counts the pattern instances that [`enumerate_patterns`] would produce.
+pub fn count_patterns(tree: &Tree, k: usize) -> u64 {
+    let mut n = 0u64;
+    enumerate_patterns(tree, k, |_, _| n += 1);
+    n
+}
+
+/// Materialises all pattern instances (convenient for tests and small
+/// trees; streams should use [`enumerate_patterns`]).
+pub fn collect_patterns(tree: &Tree, k: usize) -> Vec<PatternInstance> {
+    let mut out = Vec::new();
+    enumerate_patterns(tree, k, |root, edges| {
+        out.push(PatternInstance {
+            root,
+            edges: edges.to_vec(),
+        });
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchtree_tree::{Label, LabelTable};
+    use std::collections::HashSet;
+
+    fn lbl() -> (LabelTable, Label) {
+        let mut t = LabelTable::new();
+        let a = t.intern("a");
+        (t, a)
+    }
+
+    /// Brute force: every subset of the tree's edges that forms a tree
+    /// containing its root node, with 1..=k edges.
+    fn brute_force(tree: &Tree, k: usize) -> HashSet<(NodeId, Vec<(NodeId, NodeId)>)> {
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for id in tree.preorder() {
+            for &c in tree.children(id) {
+                edges.push((id, c));
+            }
+        }
+        let mut out = HashSet::new();
+        let m = edges.len();
+        assert!(m <= 20, "brute force only for tiny trees");
+        for mask in 1u32..(1 << m) {
+            let subset: Vec<(NodeId, NodeId)> = (0..m)
+                .filter(|&e| mask >> e & 1 == 1)
+                .map(|e| edges[e])
+                .collect();
+            if subset.len() > k {
+                continue;
+            }
+            // Find the root: a node that is a parent but never a child.
+            let children: HashSet<NodeId> = subset.iter().map(|&(_, c)| c).collect();
+            let parents: HashSet<NodeId> = subset.iter().map(|&(p, _)| p).collect();
+            let roots: Vec<NodeId> = parents.difference(&children).copied().collect();
+            if roots.len() != 1 {
+                continue;
+            }
+            let root = roots[0];
+            // Connectivity: every edge's parent is the root or some child.
+            let nodes: HashSet<NodeId> = children.iter().copied().chain([root]).collect();
+            if subset.iter().all(|&(p, _)| nodes.contains(&p))
+                && nodes.len() == subset.len() + 1
+            {
+                // Also check each child has exactly one incoming edge.
+                let mut sorted = subset.clone();
+                sorted.sort();
+                out.insert((root, sorted));
+            }
+        }
+        out
+    }
+
+    fn enum_set(tree: &Tree, k: usize) -> HashSet<(NodeId, Vec<(NodeId, NodeId)>)> {
+        let mut out = HashSet::new();
+        enumerate_patterns(tree, k, |root, edges| {
+            let mut e = edges.to_vec();
+            e.sort();
+            assert!(
+                out.insert((root, e)),
+                "duplicate pattern emitted at root {root:?}"
+            );
+        });
+        out
+    }
+
+    #[test]
+    fn single_edge_tree() {
+        let (_, a) = lbl();
+        let t = Tree::node(a, vec![Tree::leaf(a)]);
+        assert_eq!(count_patterns(&t, 1), 1);
+        assert_eq!(count_patterns(&t, 5), 1);
+        assert_eq!(count_patterns(&t, 0), 0);
+    }
+
+    #[test]
+    fn leaf_tree_has_no_edge_patterns() {
+        let (_, a) = lbl();
+        assert_eq!(count_patterns(&Tree::leaf(a), 3), 0);
+    }
+
+    #[test]
+    fn two_children_counts() {
+        let (_, a) = lbl();
+        // a(a,a): patterns with 1 edge: (r,c1), (r,c2); 2 edges: both. = 3.
+        let t = Tree::node(a, vec![Tree::leaf(a), Tree::leaf(a)]);
+        assert_eq!(count_patterns(&t, 1), 2);
+        assert_eq!(count_patterns(&t, 2), 3);
+    }
+
+    #[test]
+    fn chain_counts() {
+        let (_, a) = lbl();
+        // a-a-a chain: patterns: (r,m), (m,l), (r,m,l) = 3 with k=2.
+        let t = Tree::node(a, vec![Tree::node(a, vec![Tree::leaf(a)])]);
+        assert_eq!(count_patterns(&t, 1), 2);
+        assert_eq!(count_patterns(&t, 2), 3);
+    }
+
+    #[test]
+    fn matches_brute_force_on_paper_figure6_tree() {
+        let (_, a) = lbl();
+        // Figure 6(a): 7 nodes, root with children (5, 6); 5 has (3, 4);
+        // 3 has (1, 2).
+        let n3 = Tree::node(a, vec![Tree::leaf(a), Tree::leaf(a)]);
+        let n5 = Tree::node(a, vec![n3, Tree::leaf(a)]);
+        let t = Tree::node(a, vec![n5, Tree::leaf(a)]);
+        for k in 1..=6 {
+            let brute = brute_force(&t, k);
+            let fast = enum_set(&t, k);
+            assert_eq!(fast, brute, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_bushy_tree() {
+        let (_, a) = lbl();
+        let t = Tree::node(
+            a,
+            vec![
+                Tree::node(a, vec![Tree::leaf(a), Tree::leaf(a), Tree::leaf(a)]),
+                Tree::leaf(a),
+                Tree::node(a, vec![Tree::node(a, vec![Tree::leaf(a)])]),
+            ],
+        );
+        for k in 1..=4 {
+            assert_eq!(enum_set(&t, k), brute_force(&t, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_deep_chain() {
+        let (_, a) = lbl();
+        let mut t = Tree::leaf(a);
+        for _ in 0..7 {
+            t = Tree::node(a, vec![t]);
+        }
+        for k in 1..=5 {
+            assert_eq!(enum_set(&t, k), brute_force(&t, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn star_fanout_counts_are_binomial_sums() {
+        let (_, a) = lbl();
+        // Star with f leaves: patterns with j edges = C(f, j).
+        let f = 6;
+        let t = Tree::node(a, (0..f).map(|_| Tree::leaf(a)).collect());
+        for k in 1..=f {
+            let expect: u64 = (1..=k as u64).map(|j| binom(f as u64, j)).sum();
+            assert_eq!(count_patterns(&t, k), expect, "k = {k}");
+        }
+    }
+
+    fn binom(n: u64, k: u64) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1u64;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn include_single_nodes_adds_n() {
+        let (_, a) = lbl();
+        let t = Tree::node(a, vec![Tree::leaf(a), Tree::leaf(a)]);
+        let mut count = 0u64;
+        enumerate_patterns_config(&t, 2, true, |_, _| count += 1);
+        assert_eq!(count, 3 + 3); // 3 single nodes + 3 edge patterns
+    }
+
+    #[test]
+    fn emitted_edge_sets_are_trees() {
+        let (_, a) = lbl();
+        let t = Tree::node(
+            a,
+            vec![
+                Tree::node(a, vec![Tree::leaf(a), Tree::leaf(a)]),
+                Tree::node(a, vec![Tree::leaf(a)]),
+            ],
+        );
+        enumerate_patterns(&t, 4, |root, edges| {
+            // project() panics if the edges don't form a tree at root.
+            let p = t.project(root, edges);
+            assert_eq!(p.edge_count(), edges.len());
+        });
+    }
+
+    #[test]
+    fn sibling_order_is_preserved_in_combinations() {
+        let mut lt = LabelTable::new();
+        let (a, b, c) = (lt.intern("a"), lt.intern("b"), lt.intern("c"));
+        let t = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(c)]);
+        let mut sexprs = Vec::new();
+        enumerate_patterns(&t, 2, |root, edges| {
+            sexprs.push(t.project(root, edges).to_sexpr_named(&lt));
+        });
+        sexprs.sort();
+        assert_eq!(sexprs, vec!["a(b)", "a(b,c)", "a(c)"]);
+    }
+
+    #[test]
+    fn collect_patterns_materialises() {
+        let (_, a) = lbl();
+        let t = Tree::node(a, vec![Tree::leaf(a)]);
+        let v = collect_patterns(&t, 3);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].root, t.root());
+        assert_eq!(v[0].edges.len(), 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! Text syntax for count expressions.
+//!
+//! Paper Section 4's grammar `E → E + E | E − E | E × E | COUNT_ord(Q)`
+//! gets a concrete syntax so expressions can live in config files, CLIs and
+//! tests without hand-assembling [`CountExpr`] trees:
+//!
+//! ```text
+//! expr    := term (("+" | "-") term)*
+//! term    := factor ("*" factor)*
+//! factor  := count | "(" expr ")"
+//! count   := "COUNT_ord(" pattern ")"      ordered count
+//!          | "COUNT(" pattern ")"          unordered count
+//! ```
+//!
+//! with the usual precedence (`*` binds tighter than `+`/`-`) and patterns
+//! in the [`crate::query`] syntax.  Pattern text extends to the
+//! parenthesis that closes its `COUNT(…)` — nested parentheses inside the
+//! pattern are balanced by the scanner, so `COUNT(A(B,C))` works
+//! unambiguously.
+//!
+//! ```
+//! use sketchtree_core::exprparse::parse_expr;
+//! let e = parse_expr("COUNT_ord(A(B)) * COUNT_ord(C) - COUNT(D(E,F))").unwrap();
+//! assert!(format!("{e:?}").contains("Sub"));
+//! ```
+
+use crate::sketchtree::CountExpr;
+use std::fmt;
+
+/// Errors from [`parse_expr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprParseError {
+    /// Unexpected character.
+    UnexpectedChar {
+        /// Byte offset.
+        at: usize,
+    },
+    /// Input ended mid-expression.
+    UnexpectedEnd,
+    /// Input continued after a complete expression.
+    TrailingInput {
+        /// Byte offset where the trailing input starts.
+        at: usize,
+    },
+    /// A `COUNT(`'s parentheses never balanced.
+    UnbalancedCount {
+        /// Byte offset of the `COUNT`.
+        at: usize,
+    },
+}
+
+impl fmt::Display for ExprParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprParseError::UnexpectedChar { at } => {
+                write!(f, "unexpected character at byte {at}")
+            }
+            ExprParseError::UnexpectedEnd => write!(f, "unexpected end of expression"),
+            ExprParseError::TrailingInput { at } => write!(f, "trailing input at byte {at}"),
+            ExprParseError::UnbalancedCount { at } => {
+                write!(f, "unbalanced parentheses in COUNT at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExprParseError {}
+
+/// Parses a count expression.
+pub fn parse_expr(input: &str) -> Result<CountExpr, ExprParseError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let e = p.parse_sum()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return Err(ExprParseError::TrailingInput { at: p.pos });
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.input.as_bytes().get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_sum(&mut self) -> Result<CountExpr, ExprParseError> {
+        let mut acc = self.parse_product()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    acc = acc.add(self.parse_product()?);
+                }
+                Some(b'-') => {
+                    self.pos += 1;
+                    acc = acc.sub(self.parse_product()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_product(&mut self) -> Result<CountExpr, ExprParseError> {
+        let mut acc = self.parse_factor()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    acc = acc.mul(self.parse_factor()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_factor(&mut self) -> Result<CountExpr, ExprParseError> {
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let e = self.parse_sum()?;
+            self.skip_ws();
+            if self.peek() != Some(b')') {
+                return Err(match self.peek() {
+                    None => ExprParseError::UnexpectedEnd,
+                    Some(_) => ExprParseError::UnexpectedChar { at: self.pos },
+                });
+            }
+            self.pos += 1;
+            return Ok(e);
+        }
+        // COUNT_ord( … ) or COUNT( … ).
+        let rest = &self.input[self.pos..];
+        let (ordered, keyword_len) = if rest.starts_with("COUNT_ord(") {
+            (true, "COUNT_ord(".len())
+        } else if rest.starts_with("COUNT(") {
+            (false, "COUNT(".len())
+        } else if rest.is_empty() {
+            return Err(ExprParseError::UnexpectedEnd);
+        } else {
+            return Err(ExprParseError::UnexpectedChar { at: self.pos });
+        };
+        let count_at = self.pos;
+        self.pos += keyword_len;
+        // Scan the balanced pattern text up to the matching ')'. Quoted
+        // labels may contain parentheses; honour the query syntax's quotes.
+        let bytes = self.input.as_bytes();
+        let start = self.pos;
+        let mut depth = 1i32;
+        let mut in_quote = false;
+        while self.pos < bytes.len() {
+            let b = bytes[self.pos];
+            if in_quote {
+                match b {
+                    b'\\' => self.pos += 1, // skip the escaped byte
+                    b'"' => in_quote = false,
+                    _ => {}
+                }
+            } else {
+                match b {
+                    b'"' => in_quote = true,
+                    b'(' => depth += 1,
+                    b')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            let pattern = self.input[start..self.pos].trim().to_owned();
+                            self.pos += 1;
+                            return Ok(if ordered {
+                                CountExpr::Ordered(pattern)
+                            } else {
+                                CountExpr::Unordered(pattern)
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+        Err(ExprParseError::UnbalancedCount { at: count_at })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ord(p: &str) -> CountExpr {
+        CountExpr::Ordered(p.into())
+    }
+
+    #[test]
+    fn single_counts() {
+        assert_eq!(parse_expr("COUNT_ord(A)").unwrap(), ord("A"));
+        assert_eq!(
+            parse_expr("COUNT(A(B,C))").unwrap(),
+            CountExpr::Unordered("A(B,C)".into())
+        );
+    }
+
+    #[test]
+    fn nested_pattern_parens_balanced() {
+        assert_eq!(
+            parse_expr("COUNT_ord(A(B(C),D))").unwrap(),
+            ord("A(B(C),D)")
+        );
+    }
+
+    #[test]
+    fn precedence_product_over_sum() {
+        // a + b*c parses as a + (b*c)
+        let e = parse_expr("COUNT_ord(A) + COUNT_ord(B) * COUNT_ord(C)").unwrap();
+        assert_eq!(e, ord("A").add(ord("B").mul(ord("C"))));
+    }
+
+    #[test]
+    fn left_associativity() {
+        // a - b + c = (a - b) + c
+        let e = parse_expr("COUNT_ord(A) - COUNT_ord(B) + COUNT_ord(C)").unwrap();
+        assert_eq!(e, ord("A").sub(ord("B")).add(ord("C")));
+    }
+
+    #[test]
+    fn grouping_parens() {
+        // (a + b) * c
+        let e = parse_expr("(COUNT_ord(A) + COUNT_ord(B)) * COUNT_ord(C)").unwrap();
+        assert_eq!(e, ord("A").add(ord("B")).mul(ord("C")));
+    }
+
+    #[test]
+    fn paper_example3_shape() {
+        let e = parse_expr(
+            "COUNT_ord(Q1)*COUNT_ord(Q2) + COUNT_ord(Q3)*COUNT_ord(Q4) - COUNT_ord(Q5)*COUNT_ord(Q6)",
+        )
+        .unwrap();
+        let expect = ord("Q1")
+            .mul(ord("Q2"))
+            .add(ord("Q3").mul(ord("Q4")))
+            .sub(ord("Q5").mul(ord("Q6")));
+        assert_eq!(e, expect);
+    }
+
+    #[test]
+    fn quoted_patterns_with_parens() {
+        let e = parse_expr(r#"COUNT_ord(author("K. (Don) Knuth"))"#).unwrap();
+        assert_eq!(e, ord(r#"author("K. (Don) Knuth")"#));
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let a = parse_expr("  COUNT_ord( A ( B ) )  +  COUNT( C )  ").unwrap();
+        let b = parse_expr("COUNT_ord(A ( B ))+COUNT(C)").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(parse_expr(""), Err(ExprParseError::UnexpectedEnd));
+        assert!(matches!(
+            parse_expr("COUNT_ord(A) +"),
+            Err(ExprParseError::UnexpectedEnd)
+        ));
+        assert!(matches!(
+            parse_expr("BOGUS(A)"),
+            Err(ExprParseError::UnexpectedChar { .. })
+        ));
+        assert!(matches!(
+            parse_expr("COUNT_ord(A(B)"),
+            Err(ExprParseError::UnbalancedCount { .. })
+        ));
+        assert!(matches!(
+            parse_expr("COUNT_ord(A)) "),
+            Err(ExprParseError::TrailingInput { .. })
+        ));
+        assert!(matches!(
+            parse_expr("(COUNT_ord(A)"),
+            Err(ExprParseError::UnexpectedEnd)
+        ));
+    }
+
+    #[test]
+    fn end_to_end_with_synopsis() {
+        use crate::sketchtree::{SketchTree, SketchTreeConfig};
+        use sketchtree_sketch::SynopsisConfig;
+        use sketchtree_tree::Tree;
+        let mut st = SketchTree::new(SketchTreeConfig {
+            max_pattern_edges: 2,
+            synopsis: SynopsisConfig {
+                s1: 60,
+                s2: 5,
+                virtual_streams: 7,
+                topk: 0,
+                independence: 5,
+                ..SynopsisConfig::default()
+            },
+            track_exact: true,
+            ..SketchTreeConfig::default()
+        });
+        let (a, b, c) = {
+            let l = st.labels_mut();
+            (l.intern("A"), l.intern("B"), l.intern("C"))
+        };
+        for _ in 0..40 {
+            st.ingest(&Tree::node(a, vec![Tree::leaf(b)]));
+        }
+        for _ in 0..10 {
+            st.ingest(&Tree::node(a, vec![Tree::leaf(c)]));
+        }
+        let e = parse_expr("COUNT_ord(A(B)) - COUNT_ord(A(C))").unwrap();
+        assert_eq!(st.exact_value(&e).unwrap(), 30.0);
+        let est = st.estimate(&e).unwrap();
+        assert!((est - 30.0).abs() < 15.0, "est {est}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Markov-table path selectivity estimation — a classic baseline.
+//!
+//! The paper positions SketchTree against the selectivity-estimation
+//! literature (StatiX, XSKETCHES, Bloom histograms — Section 8) and names
+//! comparison with such summaries as future work.  The simplest member of
+//! that family is the *Markov table* (Aboulnaga, Alameldeen & Naughton,
+//! VLDB 2001): store exact counts of all label paths of length ≤ 2 and
+//! estimate a longer path `a₁/a₂/…/aₙ` by the first-order chain rule
+//!
+//! ```text
+//! count(a₁/…/aₙ) ≈ f(a₁,a₂) · Π_{i=2..n-1} f(aᵢ,aᵢ₊₁) / f(aᵢ)
+//! ```
+//!
+//! It is cheap and deterministic, but it only answers *linear paths* —
+//! no branching patterns, no arbitrary expressions — and its accuracy
+//! rests on the (routinely false) Markov independence assumption.  The
+//! `repro paths` ablation pits it against SketchTree on chain queries:
+//! SketchTree answers a strictly larger query class from comparable
+//! memory, while the Markov table wins on short paths it stores exactly.
+
+use sketchtree_tree::{Label, Tree};
+use std::collections::HashMap;
+
+/// A first-order Markov table over label paths.
+///
+/// ```
+/// use sketchtree_core::MarkovPathTable;
+/// use sketchtree_tree::{LabelTable, Tree};
+/// let mut labels = LabelTable::new();
+/// let (a, b) = (labels.intern("A"), labels.intern("B"));
+/// let mut m = MarkovPathTable::new();
+/// m.observe(&Tree::node(a, vec![Tree::leaf(b)]));
+/// assert_eq!(m.estimate_path(&[a, b]), 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MarkovPathTable {
+    /// `f(a)`: occurrences of label `a` as a node.
+    unigrams: HashMap<Label, u64>,
+    /// `f(a, b)`: occurrences of edge `a → b`.
+    bigrams: HashMap<(Label, Label), u64>,
+}
+
+impl MarkovPathTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one tree into the table.
+    pub fn observe(&mut self, tree: &Tree) {
+        for id in tree.preorder() {
+            *self.unigrams.entry(tree.label(id)).or_insert(0) += 1;
+            if let Some(p) = tree.parent(id) {
+                *self
+                    .bigrams
+                    .entry((tree.label(p), tree.label(id)))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Exact count of a single label.
+    pub fn unigram(&self, a: Label) -> u64 {
+        self.unigrams.get(&a).copied().unwrap_or(0)
+    }
+
+    /// Exact count of a parent-child label pair.
+    pub fn bigram(&self, a: Label, b: Label) -> u64 {
+        self.bigrams.get(&(a, b)).copied().unwrap_or(0)
+    }
+
+    /// Estimates the number of occurrences of the label path
+    /// `path[0]/path[1]/…` using the first-order chain rule.  Paths of
+    /// length ≤ 2 are answered exactly.
+    ///
+    /// # Panics
+    /// Panics on an empty path.
+    pub fn estimate_path(&self, path: &[Label]) -> f64 {
+        assert!(!path.is_empty(), "empty path");
+        match path {
+            [a] => self.unigram(*a) as f64,
+            [a, b] => self.bigram(*a, *b) as f64,
+            longer => {
+                let mut est = self.bigram(longer[0], longer[1]) as f64;
+                for w in longer[1..].windows(2) {
+                    let denom = self.unigram(w[0]) as f64;
+                    if denom == 0.0 {
+                        return 0.0;
+                    }
+                    est *= self.bigram(w[0], w[1]) as f64 / denom;
+                }
+                est
+            }
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn entries(&self) -> usize {
+        self.unigrams.len() + self.bigrams.len()
+    }
+
+    /// Memory footprint in bytes (keys + counters, map overhead excluded).
+    pub fn memory_bytes(&self) -> usize {
+        self.unigrams.len() * 12 + self.bigrams.len() * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchtree_tree::LabelTable;
+
+    fn labels() -> (LabelTable, Label, Label, Label, Label) {
+        let mut t = LabelTable::new();
+        let a = t.intern("A");
+        let b = t.intern("B");
+        let c = t.intern("C");
+        let d = t.intern("D");
+        (t, a, b, c, d)
+    }
+
+    #[test]
+    fn unigrams_and_bigrams_exact() {
+        let (_, a, b, c, _) = labels();
+        let mut m = MarkovPathTable::new();
+        // A(B(C), B)
+        m.observe(&Tree::node(
+            a,
+            vec![Tree::node(b, vec![Tree::leaf(c)]), Tree::leaf(b)],
+        ));
+        assert_eq!(m.unigram(a), 1);
+        assert_eq!(m.unigram(b), 2);
+        assert_eq!(m.bigram(a, b), 2);
+        assert_eq!(m.bigram(b, c), 1);
+        assert_eq!(m.bigram(a, c), 0);
+        assert_eq!(m.estimate_path(&[a]), 1.0);
+        assert_eq!(m.estimate_path(&[a, b]), 2.0);
+    }
+
+    #[test]
+    fn chain_rule_exact_when_markov_holds() {
+        // In a pure chain corpus A→B→C repeated n times, the independence
+        // assumption holds and the 3-path estimate is exact.
+        let (_, a, b, c, _) = labels();
+        let mut m = MarkovPathTable::new();
+        let t = Tree::node(a, vec![Tree::node(b, vec![Tree::leaf(c)])]);
+        for _ in 0..25 {
+            m.observe(&t);
+        }
+        // f(A,B)·f(B,C)/f(B) = 25·25/25 = 25.
+        assert_eq!(m.estimate_path(&[a, b, c]), 25.0);
+    }
+
+    #[test]
+    fn chain_rule_errs_when_correlated() {
+        // Corpus: 10 × A(B(C)) and 10 × D(B) — B under A always has a C,
+        // B under D never does. Markov smears: f(A,B)=10, f(B,C)=10,
+        // f(B)=20 → estimate 5, truth 10.
+        let (_, a, b, c, d) = labels();
+        let mut m = MarkovPathTable::new();
+        for _ in 0..10 {
+            m.observe(&Tree::node(a, vec![Tree::node(b, vec![Tree::leaf(c)])]));
+            m.observe(&Tree::node(d, vec![Tree::leaf(b)]));
+        }
+        assert_eq!(m.estimate_path(&[a, b, c]), 5.0);
+    }
+
+    #[test]
+    fn zero_propagates() {
+        let (_, a, b, c, d) = labels();
+        let mut m = MarkovPathTable::new();
+        m.observe(&Tree::node(a, vec![Tree::leaf(b)]));
+        assert_eq!(m.estimate_path(&[a, b, c]), 0.0);
+        assert_eq!(m.estimate_path(&[c, d]), 0.0);
+        assert_eq!(m.estimate_path(&[a, b, c, d]), 0.0);
+    }
+
+    #[test]
+    fn memory_and_entries() {
+        let (_, a, b, ..) = labels();
+        let mut m = MarkovPathTable::new();
+        m.observe(&Tree::node(a, vec![Tree::leaf(b)]));
+        assert_eq!(m.entries(), 3); // A, B, (A,B)
+        assert!(m.memory_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_path_panics() {
+        MarkovPathTable::new().estimate_path(&[]);
+    }
+}

@@ -1,0 +1,957 @@
+//! The SketchTree synopsis — Algorithms 1 and 2 behind one API.
+//!
+//! [`SketchTree`] is the object the paper's streaming model (Figure 2)
+//! describes: trees go in one at a time ([`SketchTree::ingest`], Algorithm
+//! 1 — EnumTree, Prüfer encoding, one-dimensional mapping, sketch update,
+//! top-k processing), and at *any* moment *any* tree-pattern count query can
+//! be answered approximately (Algorithm 2 plus the Section 4 expression
+//! estimators):
+//!
+//! * [`SketchTree::count_ordered`] — `COUNT_ord(Q)` (Theorem 1), with `*`
+//!   and `//` queries rewritten through the structural summary
+//!   (Section 6.2);
+//! * [`SketchTree::count_unordered`] — `COUNT(Q)` over all distinct ordered
+//!   arrangements (Section 3.3, Theorem 2);
+//! * [`SketchTree::estimate`] — arbitrary `+ − ×` expressions over ordered
+//!   and unordered counts ([`CountExpr`], Section 4);
+//! * diagnostics: residual self-join size, tracked heavy hitters, memory.
+//!
+//! With [`SketchTreeConfig::track_exact`] the synopsis additionally keeps
+//! the deterministic one-counter-per-pattern baseline in parallel, which is
+//! how the experiment harness measures relative errors — at the memory cost
+//! the paper's introduction warns about.
+
+use crate::enumtree::enumerate_patterns_config;
+use crate::exact::ExactCounter;
+use crate::mapping::Mapper;
+use crate::query::{parse_pattern, QueryError, QueryPattern};
+use crate::summary::{ExpandError, ExpandLimits, StructuralSummary};
+use crate::unordered::{arrangements, ArrangementError};
+use sketchtree_sketch::expr::Term;
+use sketchtree_sketch::virtual_streams::SynopsisError;
+use sketchtree_sketch::{StreamSynopsis, SynopsisConfig};
+use sketchtree_tree::{LabelTable, PruferSeq, Tree};
+use std::fmt;
+
+/// Configuration of a [`SketchTree`].
+#[derive(Debug, Clone)]
+pub struct SketchTreeConfig {
+    /// Maximum pattern size `k` in edges for EnumTree (paper: 6 for
+    /// TREEBANK, 4 for DBLP).
+    pub max_pattern_edges: usize,
+    /// Also count single-node patterns (label frequencies). The paper's
+    /// EnumTree emits patterns with ≥ 1 edge; default false.
+    pub include_single_nodes: bool,
+    /// Rabin fingerprint degree for the one-dimensional mapping
+    /// (paper: 31).
+    pub fingerprint_degree: u32,
+    /// Seed for the mapping polynomial (independent of the sketch seeds).
+    pub mapping_seed: u64,
+    /// Sketch array / virtual stream / top-k configuration.
+    pub synopsis: SynopsisConfig,
+    /// Maintain the structural summary enabling `*` and `//` queries.
+    pub maintain_summary: bool,
+    /// Track exact counts alongside the sketches (ground truth for
+    /// experiments; memory grows with distinct patterns).
+    pub track_exact: bool,
+    /// Cap on distinct ordered arrangements for unordered queries.
+    pub max_arrangements: usize,
+    /// Limits for `*` / `//` expansion.
+    pub expand_limits: ExpandLimits,
+}
+
+impl Default for SketchTreeConfig {
+    fn default() -> Self {
+        Self {
+            max_pattern_edges: 4,
+            include_single_nodes: false,
+            fingerprint_degree: 31,
+            mapping_seed: 0xF16E_12AB,
+            synopsis: SynopsisConfig::default(),
+            maintain_summary: true,
+            track_exact: false,
+            max_arrangements: 1024,
+            expand_limits: ExpandLimits::default(),
+        }
+    }
+}
+
+/// Errors surfaced by [`SketchTree`] queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchTreeError {
+    /// Pattern text failed to parse.
+    Query(QueryError),
+    /// Estimation failed (bad expression or insufficient ξ independence).
+    Synopsis(SynopsisError),
+    /// Unordered expansion exceeded its cap.
+    Arrangement(ArrangementError),
+    /// `*` / `//` expansion exceeded its cap.
+    Expand(ExpandError),
+    /// A `*` or `//` query was asked but the summary is disabled.
+    SummaryRequired,
+    /// The query pattern has more edges than EnumTree enumerates — the
+    /// synopsis has never seen such patterns, so any estimate would be
+    /// meaningless noise (the paper defers counting patterns larger than k
+    /// to future work; we surface it as an explicit error).
+    PatternTooLarge {
+        /// Edges in the query.
+        edges: usize,
+        /// The synopsis' `max_pattern_edges`.
+        max: usize,
+    },
+    /// Exact counts were requested but `track_exact` is off.
+    ExactTrackingDisabled,
+}
+
+impl fmt::Display for SketchTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchTreeError::Query(e) => write!(f, "query parse error: {e}"),
+            SketchTreeError::Synopsis(e) => write!(f, "estimation error: {e}"),
+            SketchTreeError::Arrangement(e) => write!(f, "{e}"),
+            SketchTreeError::Expand(e) => write!(f, "{e}"),
+            SketchTreeError::SummaryRequired => write!(
+                f,
+                "query uses `*` or `//` but the structural summary is disabled \
+                 (set SketchTreeConfig::maintain_summary)"
+            ),
+            SketchTreeError::ExactTrackingDisabled => {
+                write!(f, "exact counts unavailable: SketchTreeConfig::track_exact is off")
+            }
+            SketchTreeError::PatternTooLarge { edges, max } => write!(
+                f,
+                "query pattern has {edges} edges but the synopsis only counts patterns \
+                 with up to {max} (SketchTreeConfig::max_pattern_edges)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SketchTreeError {}
+
+impl From<QueryError> for SketchTreeError {
+    fn from(e: QueryError) -> Self {
+        SketchTreeError::Query(e)
+    }
+}
+impl From<SynopsisError> for SketchTreeError {
+    fn from(e: SynopsisError) -> Self {
+        SketchTreeError::Synopsis(e)
+    }
+}
+impl From<ArrangementError> for SketchTreeError {
+    fn from(e: ArrangementError) -> Self {
+        SketchTreeError::Arrangement(e)
+    }
+}
+impl From<ExpandError> for SketchTreeError {
+    fn from(e: ExpandError) -> Self {
+        SketchTreeError::Expand(e)
+    }
+}
+
+/// Exported structural-summary parts: sorted labels and transitions
+/// (see `crate::snapshot`).
+pub type SummaryParts = (
+    Vec<sketchtree_tree::Label>,
+    Vec<(sketchtree_tree::Label, sketchtree_tree::Label)>,
+);
+
+/// A count expression over textual patterns — the user-facing form of the
+/// Section 4 grammar, with both ordered and unordered leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CountExpr {
+    /// `COUNT_ord(pattern)`.
+    Ordered(String),
+    /// `COUNT(pattern)` — unordered.
+    Unordered(String),
+    /// Sum.
+    Add(Box<CountExpr>, Box<CountExpr>),
+    /// Difference.
+    Sub(Box<CountExpr>, Box<CountExpr>),
+    /// Product.
+    Mul(Box<CountExpr>, Box<CountExpr>),
+}
+
+#[allow(clippy::should_implement_trait)] // builder-style add/sub/mul by design
+impl CountExpr {
+    /// `COUNT_ord(pattern)`.
+    pub fn ordered(pattern: impl Into<String>) -> Self {
+        CountExpr::Ordered(pattern.into())
+    }
+
+    /// `COUNT(pattern)` (unordered).
+    pub fn unordered(pattern: impl Into<String>) -> Self {
+        CountExpr::Unordered(pattern.into())
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: CountExpr) -> Self {
+        CountExpr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self − rhs`.
+    pub fn sub(self, rhs: CountExpr) -> Self {
+        CountExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self × rhs`.
+    pub fn mul(self, rhs: CountExpr) -> Self {
+        CountExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl fmt::Display for CountExpr {
+    /// Renders in the syntax [`crate::exprparse::parse_expr`] accepts, so
+    /// `parse_expr(&e.to_string())` round-trips.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountExpr::Ordered(p) => write!(f, "COUNT_ord({p})"),
+            CountExpr::Unordered(p) => write!(f, "COUNT({p})"),
+            CountExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            CountExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            CountExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+        }
+    }
+}
+
+/// The SketchTree streaming synopsis.
+pub struct SketchTree {
+    config: SketchTreeConfig,
+    labels: LabelTable,
+    mapper: Mapper,
+    synopsis: StreamSynopsis,
+    summary: Option<StructuralSummary>,
+    exact: Option<ExactCounter>,
+    trees_processed: u64,
+    patterns_processed: u64,
+}
+
+impl fmt::Debug for SketchTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SketchTree")
+            .field("trees_processed", &self.trees_processed)
+            .field("patterns_processed", &self.patterns_processed)
+            .field("labels", &self.labels.len())
+            .field("memory_bytes", &self.memory_bytes())
+            .finish()
+    }
+}
+
+impl SketchTree {
+    /// Creates an empty synopsis.
+    pub fn new(config: SketchTreeConfig) -> Self {
+        let mapper = Mapper::new(config.fingerprint_degree, config.mapping_seed);
+        let synopsis = StreamSynopsis::new(config.synopsis.clone());
+        let summary = config.maintain_summary.then(StructuralSummary::new);
+        let exact = config.track_exact.then(ExactCounter::new);
+        Self {
+            config,
+            labels: LabelTable::new(),
+            mapper,
+            synopsis,
+            summary,
+            exact,
+            trees_processed: 0,
+            patterns_processed: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SketchTreeConfig {
+        &self.config
+    }
+
+    /// The label table (trees ingested must intern their labels here).
+    pub fn labels(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Mutable label table access for building input trees.
+    pub fn labels_mut(&mut self) -> &mut LabelTable {
+        &mut self.labels
+    }
+
+    /// Number of trees ingested.
+    pub fn trees_processed(&self) -> u64 {
+        self.trees_processed
+    }
+
+    /// Number of pattern instances processed (the mapped-stream length).
+    pub fn patterns_processed(&self) -> u64 {
+        self.patterns_processed
+    }
+
+    /// The exact baseline, when `track_exact` is enabled.
+    pub fn exact(&self) -> Option<&ExactCounter> {
+        self.exact.as_ref()
+    }
+
+    /// The structural summary, when maintained.
+    pub fn summary(&self) -> Option<&StructuralSummary> {
+        self.summary.as_ref()
+    }
+
+    /// Maps a pattern tree to its one-dimensional value (`PF(LPS.NPS)` with
+    /// the Rabin fingerprint as `PF`).
+    pub fn map_pattern(&self, pattern: &Tree) -> u64 {
+        self.mapper.map_tree(pattern)
+    }
+
+    /// Ingests one data tree — Algorithm 1.
+    pub fn ingest(&mut self, tree: &Tree) {
+        self.ingest_with(tree, |_, _| {});
+    }
+
+    /// Ingests one data tree, invoking `observer(value, seq)` for every
+    /// pattern instance (hook for experiment harnesses that need the raw
+    /// mapped stream).
+    pub fn ingest_with(&mut self, tree: &Tree, mut observer: impl FnMut(u64, &PruferSeq)) {
+        if let Some(s) = &mut self.summary {
+            s.observe(tree);
+        }
+        let k = self.config.max_pattern_edges;
+        let include_single = self.config.include_single_nodes;
+        // Split borrows for the closure.
+        let mapper = &self.mapper;
+        let synopsis = &mut self.synopsis;
+        let exact = &mut self.exact;
+        let mut patterns = 0u64;
+        enumerate_patterns_config(tree, k, include_single, |root, edges| {
+            let pattern = tree.project(root, edges);
+            let seq = PruferSeq::encode(&pattern);
+            let value = mapper.map_seq(&seq);
+            synopsis.insert(value);
+            if let Some(e) = exact {
+                e.record(value);
+            }
+            observer(value, &seq);
+            patterns += 1;
+        });
+        self.patterns_processed += patterns;
+        self.trees_processed += 1;
+    }
+
+    /// Resolves a textual pattern into the distinct concrete pattern trees
+    /// it denotes: itself if simple, its summary expansion otherwise.
+    fn resolve(&self, text: &str) -> Result<Vec<Tree>, SketchTreeError> {
+        let q = parse_pattern(text)?;
+        self.resolve_parsed(&q)
+    }
+
+    fn resolve_parsed(&self, q: &QueryPattern) -> Result<Vec<Tree>, SketchTreeError> {
+        // A pattern larger than k was never enumerated: estimates would be
+        // pure noise. (For `//` queries the *expanded* patterns are checked
+        // instead, since a `//` edge can lengthen the pattern.)
+        if q.edge_count() > self.config.max_pattern_edges && q.is_simple() {
+            return Err(SketchTreeError::PatternTooLarge {
+                edges: q.edge_count(),
+                max: self.config.max_pattern_edges,
+            });
+        }
+        if q.is_simple() {
+            return Ok(q.to_tree(&self.labels).into_iter().collect());
+        }
+        let summary = self
+            .summary
+            .as_ref()
+            .ok_or(SketchTreeError::SummaryRequired)?;
+        let expanded = summary.expand(q, &self.labels, self.config.expand_limits)?;
+        if let Some(too_big) = expanded
+            .iter()
+            .map(Tree::edge_count)
+            .find(|&e| e > self.config.max_pattern_edges)
+        {
+            return Err(SketchTreeError::PatternTooLarge {
+                edges: too_big,
+                max: self.config.max_pattern_edges,
+            });
+        }
+        Ok(expanded)
+    }
+
+    /// `COUNT_ord(Q)` for a concrete pattern tree (Theorem 1).
+    pub fn count_ordered_tree(&self, pattern: &Tree) -> f64 {
+        self.synopsis.estimate_count(self.map_pattern(pattern))
+    }
+
+    /// `COUNT_ord(Q)` for a textual pattern.  `*` and `//` queries are
+    /// rewritten into a set of concrete patterns via the structural summary
+    /// and answered as a total frequency (Theorem 2).  Patterns with labels
+    /// never seen in the stream return exactly 0.
+    pub fn count_ordered(&self, pattern: &str) -> Result<f64, SketchTreeError> {
+        let atoms = self.atoms_ordered(pattern)?;
+        Ok(self.estimate_atoms(&atoms))
+    }
+
+    /// `COUNT(Q)` — unordered — for a concrete pattern tree (Section 3.3).
+    pub fn count_unordered_tree(&self, pattern: &Tree) -> Result<f64, SketchTreeError> {
+        let arr = arrangements(pattern, self.config.max_arrangements)?;
+        let values: Vec<u64> = arr.iter().map(|t| self.map_pattern(t)).collect();
+        Ok(self.synopsis.estimate_total(&values))
+    }
+
+    /// `COUNT(Q)` — unordered — for a textual pattern.
+    pub fn count_unordered(&self, pattern: &str) -> Result<f64, SketchTreeError> {
+        let atoms = self.atoms_unordered(pattern)?;
+        Ok(self.estimate_atoms(&atoms))
+    }
+
+    /// Total frequency of a set of distinct concrete patterns (Theorem 2).
+    pub fn count_set(&self, patterns: &[Tree]) -> f64 {
+        let mut values: Vec<u64> = patterns.iter().map(|t| self.map_pattern(t)).collect();
+        values.sort_unstable();
+        values.dedup();
+        self.estimate_atoms(&values)
+    }
+
+    fn estimate_atoms(&self, atoms: &[u64]) -> f64 {
+        match atoms {
+            [] => 0.0,
+            [one] => self.synopsis.estimate_count(*one),
+            many => self.synopsis.estimate_total(many),
+        }
+    }
+
+    /// The distinct mapped values a textual ordered pattern denotes.
+    fn atoms_ordered(&self, pattern: &str) -> Result<Vec<u64>, SketchTreeError> {
+        let trees = self.resolve(pattern)?;
+        let mut atoms: Vec<u64> = trees.iter().map(|t| self.map_pattern(t)).collect();
+        atoms.sort_unstable();
+        atoms.dedup();
+        Ok(atoms)
+    }
+
+    /// The distinct mapped values of all arrangements of all resolutions of
+    /// a textual unordered pattern.
+    fn atoms_unordered(&self, pattern: &str) -> Result<Vec<u64>, SketchTreeError> {
+        let trees = self.resolve(pattern)?;
+        let mut atoms = Vec::new();
+        for t in &trees {
+            for a in arrangements(t, self.config.max_arrangements)? {
+                atoms.push(self.map_pattern(&a));
+            }
+        }
+        atoms.sort_unstable();
+        atoms.dedup();
+        Ok(atoms)
+    }
+
+    /// Estimates a `+ − ×` expression over ordered/unordered pattern counts
+    /// (Section 4).  Each leaf expands to a sum of distinct atoms; products
+    /// distribute; the synopsis evaluates the expanded `Xᵏ/k!·Πξ` terms.
+    pub fn estimate(&self, expr: &CountExpr) -> Result<f64, SketchTreeError> {
+        let terms = self.lower(expr)?;
+        if terms.is_empty() {
+            return Ok(0.0);
+        }
+        Ok(self.synopsis.estimate_terms(&terms)?)
+    }
+
+    /// Lowers a [`CountExpr`] to estimator terms, constant-folding leaves
+    /// with unseen labels to zero.
+    fn lower(&self, expr: &CountExpr) -> Result<Vec<Term>, SketchTreeError> {
+        let mut terms = self.lower_rec(expr)?;
+        // Merge like terms and drop zeros.
+        terms.sort_by(|a, b| a.queries.cmp(&b.queries));
+        let mut merged: Vec<Term> = Vec::new();
+        for t in terms {
+            match merged.last_mut() {
+                Some(last) if last.queries == t.queries => last.coeff += t.coeff,
+                _ => merged.push(t),
+            }
+        }
+        merged.retain(|t| t.coeff != 0);
+        Ok(merged)
+    }
+
+    fn lower_rec(&self, expr: &CountExpr) -> Result<Vec<Term>, SketchTreeError> {
+        match expr {
+            CountExpr::Ordered(p) => Ok(self
+                .atoms_ordered(p)?
+                .into_iter()
+                .map(|a| Term {
+                    coeff: 1,
+                    queries: vec![a],
+                })
+                .collect()),
+            CountExpr::Unordered(p) => Ok(self
+                .atoms_unordered(p)?
+                .into_iter()
+                .map(|a| Term {
+                    coeff: 1,
+                    queries: vec![a],
+                })
+                .collect()),
+            CountExpr::Add(a, b) => {
+                let mut t = self.lower_rec(a)?;
+                t.extend(self.lower_rec(b)?);
+                Ok(t)
+            }
+            CountExpr::Sub(a, b) => {
+                let mut t = self.lower_rec(a)?;
+                t.extend(self.lower_rec(b)?.into_iter().map(|mut x| {
+                    x.coeff = -x.coeff;
+                    x
+                }));
+                Ok(t)
+            }
+            CountExpr::Mul(a, b) => {
+                let ta = self.lower_rec(a)?;
+                let tb = self.lower_rec(b)?;
+                let mut out = Vec::with_capacity(ta.len() * tb.len());
+                for x in &ta {
+                    for y in &tb {
+                        let mut queries = x.queries.clone();
+                        queries.extend_from_slice(&y.queries);
+                        queries.sort_unstable();
+                        out.push(Term {
+                            coeff: x.coeff * y.coeff,
+                            queries,
+                        });
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Exact value of an expression from the tracked baseline (requires
+    /// `track_exact`); the denominators of every relative error the
+    /// experiment harness reports.
+    pub fn exact_value(&self, expr: &CountExpr) -> Result<f64, SketchTreeError> {
+        let exact = self
+            .exact
+            .as_ref()
+            .ok_or(SketchTreeError::ExactTrackingDisabled)?;
+        let terms = self.lower(expr)?;
+        Ok(terms
+            .iter()
+            .map(|t| {
+                t.coeff as f64
+                    * t.queries
+                        .iter()
+                        .map(|&q| exact.count(q) as f64)
+                        .product::<f64>()
+            })
+            .sum())
+    }
+
+    /// Exact `COUNT_ord` of a textual pattern (requires `track_exact`).
+    pub fn exact_count_ordered(&self, pattern: &str) -> Result<u64, SketchTreeError> {
+        let exact = self
+            .exact
+            .as_ref()
+            .ok_or(SketchTreeError::ExactTrackingDisabled)?;
+        Ok(self
+            .atoms_ordered(pattern)?
+            .iter()
+            .map(|&a| exact.count(a))
+            .sum())
+    }
+
+    /// Exact unordered `COUNT` of a textual pattern (requires
+    /// `track_exact`).
+    pub fn exact_count_unordered(&self, pattern: &str) -> Result<u64, SketchTreeError> {
+        let exact = self
+            .exact
+            .as_ref()
+            .ok_or(SketchTreeError::ExactTrackingDisabled)?;
+        Ok(self
+            .atoms_unordered(pattern)?
+            .iter()
+            .map(|&a| exact.count(a))
+            .sum())
+    }
+
+    /// Point estimate by pre-mapped value (Theorem 1).  The experiment
+    /// harness queries by value because its workloads are drawn from the
+    /// observed pattern population (Section 7.3).
+    pub fn estimate_value(&self, value: u64) -> f64 {
+        self.synopsis.estimate_count(value)
+    }
+
+    /// Total-frequency estimate for distinct pre-mapped values (Theorem 2).
+    pub fn estimate_values_total(&self, values: &[u64]) -> f64 {
+        match values {
+            [] => 0.0,
+            [one] => self.synopsis.estimate_count(*one),
+            many => self.synopsis.estimate_total(many),
+        }
+    }
+
+    /// Product-of-counts estimate for distinct pre-mapped values
+    /// (Section 4; needs `2k+1`-wise ξ independence for `k` values).
+    pub fn estimate_values_product(&self, values: &[u64]) -> Result<f64, SketchTreeError> {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let term = Term {
+            coeff: 1,
+            queries: sorted,
+        };
+        Ok(self.synopsis.estimate_terms(&[term])?)
+    }
+
+    /// Exports the synopsis' mutable sketch state (for
+    /// [`crate::snapshot`]).
+    pub fn export_synopsis_state(&self) -> sketchtree_sketch::SynopsisState {
+        self.synopsis.export_state()
+    }
+
+    /// Reassembles a synopsis from snapshot parts. Internal to
+    /// [`crate::snapshot`]; validates cross-part consistency.
+    #[doc(hidden)]
+    pub fn from_snapshot_parts(
+        config: SketchTreeConfig,
+        label_names: Vec<String>,
+        state: sketchtree_sketch::SynopsisState,
+        summary: Option<SummaryParts>,
+        trees_processed: u64,
+        patterns_processed: u64,
+    ) -> Result<Self, &'static str> {
+        if state.bank_counters.len() != config.synopsis.virtual_streams {
+            return Err("bank count mismatch");
+        }
+        if config.maintain_summary != summary.is_some() {
+            return Err("summary presence disagrees with config");
+        }
+        let mut labels = LabelTable::new();
+        for name in &label_names {
+            labels.intern(name);
+        }
+        if labels.len() != label_names.len() {
+            return Err("duplicate label names");
+        }
+        let mapper = Mapper::new(config.fingerprint_degree, config.mapping_seed);
+        let synopsis = StreamSynopsis::from_state(config.synopsis.clone(), state);
+        let summary = summary.map(|(ls, ts)| {
+            for &l in &ls {
+                if labels.len() <= l.0 as usize {
+                    // tolerated: label referenced beyond table is corrupt,
+                    // but checked below via max id
+                }
+            }
+            StructuralSummary::from_parts(ls, ts)
+        });
+        Ok(Self {
+            config,
+            labels,
+            mapper,
+            synopsis,
+            summary,
+            exact: None,
+            trees_processed,
+            patterns_processed,
+        })
+    }
+
+    /// Residual self-join size of the sketched stream (diagnostic).
+    pub fn residual_self_join(&self) -> f64 {
+        self.synopsis.estimate_residual_self_join()
+    }
+
+    /// Heavy hitters currently tracked by the top-k strategy.
+    pub fn tracked_heavy_hitters(&self) -> Vec<(u64, i64)> {
+        self.synopsis.tracked_heavy_hitters()
+    }
+
+    /// Synopsis memory (sketch counters + seeds + top-k slots + summary);
+    /// excludes the optional exact baseline, which is measurement
+    /// scaffolding, not part of the synopsis.
+    pub fn memory_bytes(&self) -> usize {
+        self.synopsis.memory_bytes()
+            + self.summary.as_ref().map_or(0, StructuralSummary::memory_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic stream: many copies of a few shapes.
+    fn build() -> SketchTree {
+        let config = SketchTreeConfig {
+            max_pattern_edges: 3,
+            synopsis: SynopsisConfig {
+                s1: 60,
+                s2: 7,
+                virtual_streams: 13,
+                topk: 8,
+                independence: 5,
+                topk_probability: u16::MAX,
+                seed: 7,
+            },
+            track_exact: true,
+            ..SketchTreeConfig::default()
+        };
+        let mut st = SketchTree::new(config);
+        let (a, b, c, d) = {
+            let l = st.labels_mut();
+            (l.intern("A"), l.intern("B"), l.intern("C"), l.intern("D"))
+        };
+        // 30 × A(B,C); 10 × A(C,B); 5 × A(B(D),C).
+        let t1 = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(c)]);
+        let t2 = Tree::node(a, vec![Tree::leaf(c), Tree::leaf(b)]);
+        let t3 = Tree::node(
+            a,
+            vec![Tree::node(b, vec![Tree::leaf(d)]), Tree::leaf(c)],
+        );
+        for _ in 0..30 {
+            st.ingest(&t1);
+        }
+        for _ in 0..10 {
+            st.ingest(&t2);
+        }
+        for _ in 0..5 {
+            st.ingest(&t3);
+        }
+        st
+    }
+
+    #[test]
+    fn counters_track_stream() {
+        let st = build();
+        assert_eq!(st.trees_processed(), 45);
+        assert!(st.patterns_processed() > 45);
+        assert_eq!(
+            st.patterns_processed(),
+            st.exact().unwrap().total()
+        );
+    }
+
+    #[test]
+    fn ordered_counts_match_exact_within_tolerance() {
+        let st = build();
+        for q in ["A(B,C)", "A(C,B)", "A(B)", "B(D)", "A(B(D),C)"] {
+            let exact = st.exact_count_ordered(q).unwrap() as f64;
+            let est = st.count_ordered(q).unwrap();
+            assert!(
+                (est - exact).abs() <= (exact * 0.35).max(8.0),
+                "{q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_ordered_counts_are_correct() {
+        let st = build();
+        // A(B,C) appears in t1 (30×) and in t3 (5×: B and C children of A,
+        // order B then C — pattern A(B,C) via edges (A,B),(A,C)).
+        assert_eq!(st.exact_count_ordered("A(B,C)").unwrap(), 35);
+        assert_eq!(st.exact_count_ordered("A(C,B)").unwrap(), 10);
+        assert_eq!(st.exact_count_ordered("B(D)").unwrap(), 5);
+        assert_eq!(st.exact_count_ordered("A(B(D))").unwrap(), 5);
+        assert_eq!(st.exact_count_ordered("ZZZ").unwrap(), 0);
+    }
+
+    #[test]
+    fn unordered_is_sum_of_arrangements() {
+        let st = build();
+        assert_eq!(st.exact_count_unordered("A(B,C)").unwrap(), 45);
+        let est = st.count_unordered("A(B,C)").unwrap();
+        assert!((est - 45.0).abs() <= 14.0, "est {est}");
+    }
+
+    #[test]
+    fn unknown_label_is_exactly_zero() {
+        let st = build();
+        assert_eq!(st.count_ordered("NOPE(NADA)").unwrap(), 0.0);
+        assert_eq!(st.count_unordered("NOPE").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn wildcard_queries_via_summary() {
+        let st = build();
+        // A(*) → A(B) + A(C): exact 45 + 45 = 90... A(B) appears in all 45
+        // trees once (t1: edge (A,B); t2: (A,B); t3: (A,B)); same for A(C).
+        let exact_ab = st.exact_count_ordered("A(B)").unwrap();
+        let exact_ac = st.exact_count_ordered("A(C)").unwrap();
+        let est = st.count_ordered("A(*)").unwrap();
+        let truth = (exact_ab + exact_ac) as f64;
+        assert!(
+            (est - truth).abs() <= (truth * 0.3).max(10.0),
+            "est {est} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn descendant_queries_via_summary() {
+        let st = build();
+        // A(//D): only path A→B→D exists (in t3), exact 5.
+        let est = st.count_ordered("A(//D)").unwrap();
+        assert!((est - 5.0).abs() <= 8.0, "est {est}");
+    }
+
+    #[test]
+    fn summary_disabled_errors() {
+        let mut st = SketchTree::new(SketchTreeConfig {
+            maintain_summary: false,
+            ..SketchTreeConfig::default()
+        });
+        let a = st.labels_mut().intern("A");
+        st.ingest(&Tree::node(a, vec![Tree::leaf(a)]));
+        assert_eq!(
+            st.count_ordered("A(*)"),
+            Err(SketchTreeError::SummaryRequired)
+        );
+    }
+
+    #[test]
+    fn expression_estimation() {
+        let st = build();
+        // COUNT_ord(A(B,C)) − COUNT_ord(A(C,B)) = 35 − 10 = 25.
+        let e = CountExpr::ordered("A(B,C)").sub(CountExpr::ordered("A(C,B)"));
+        let exact = st.exact_value(&e).unwrap();
+        assert_eq!(exact, 25.0);
+        let est = st.estimate(&e).unwrap();
+        assert!((est - 25.0).abs() <= 15.0, "est {est}");
+    }
+
+    #[test]
+    fn product_expression() {
+        let st = build();
+        let e = CountExpr::ordered("A(B,C)").mul(CountExpr::ordered("B(D)"));
+        let exact = st.exact_value(&e).unwrap();
+        assert_eq!(exact, 35.0 * 5.0);
+        let est = st.estimate(&e).unwrap();
+        assert!(
+            (est - exact).abs() <= exact * 0.8 + 50.0,
+            "est {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn expression_with_unseen_pattern_folds_to_zero() {
+        let st = build();
+        let e = CountExpr::ordered("A(B,C)").mul(CountExpr::ordered("GHOST"));
+        assert_eq!(st.estimate(&e).unwrap(), 0.0);
+        assert_eq!(st.exact_value(&e).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_pattern_in_product_rejected() {
+        let st = build();
+        let e = CountExpr::ordered("A(B,C)").mul(CountExpr::ordered("A(B,C)"));
+        assert!(matches!(
+            st.estimate(&e),
+            Err(SketchTreeError::Synopsis(SynopsisError::Expr(_)))
+        ));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let st = build();
+        assert!(matches!(
+            st.count_ordered("A(("),
+            Err(SketchTreeError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn exact_disabled_errors() {
+        let mut st = SketchTree::new(SketchTreeConfig::default());
+        let a = st.labels_mut().intern("A");
+        st.ingest(&Tree::node(a, vec![Tree::leaf(a)]));
+        assert_eq!(
+            st.exact_count_ordered("A"),
+            Err(SketchTreeError::ExactTrackingDisabled)
+        );
+    }
+
+    #[test]
+    fn count_set_totals_distinct_patterns() {
+        let st = build();
+        let labels = st.labels();
+        let (a, b, c) = (
+            labels.lookup("A").unwrap(),
+            labels.lookup("B").unwrap(),
+            labels.lookup("C").unwrap(),
+        );
+        let p1 = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(c)]);
+        let p2 = Tree::node(a, vec![Tree::leaf(c), Tree::leaf(b)]);
+        // Duplicates in the input are deduplicated before Theorem 2.
+        let est = st.count_set(&[p1.clone(), p2.clone(), p1.clone()]);
+        assert!((est - 45.0).abs() < 15.0, "est {est}");
+        assert_eq!(st.count_set(&[]), 0.0);
+    }
+
+    #[test]
+    fn estimate_values_apis() {
+        let st = build();
+        let labels = st.labels();
+        let (a, b, c) = (
+            labels.lookup("A").unwrap(),
+            labels.lookup("B").unwrap(),
+            labels.lookup("C").unwrap(),
+        );
+        let v1 = st.map_pattern(&Tree::node(a, vec![Tree::leaf(b), Tree::leaf(c)]));
+        let v2 = st.map_pattern(&Tree::node(a, vec![Tree::leaf(c), Tree::leaf(b)]));
+        let p = st.estimate_value(v1);
+        assert!((p - 35.0).abs() < 12.0, "point {p}");
+        let t = st.estimate_values_total(&[v1, v2]);
+        assert!((t - 45.0).abs() < 15.0, "total {t}");
+        assert_eq!(st.estimate_values_total(&[]), 0.0);
+        let prod = st.estimate_values_product(&[v1, v2]).unwrap();
+        assert!((prod - 350.0).abs() < 350.0, "product {prod}");
+        // Duplicate values in a product are rejected.
+        assert!(st.estimate_values_product(&[v1, v1]).is_err());
+    }
+
+    #[test]
+    fn count_expr_display_roundtrips_through_parser() {
+        let e = CountExpr::ordered("A(B,C)")
+            .mul(CountExpr::unordered("D"))
+            .sub(CountExpr::ordered("E(F)").add(CountExpr::ordered("G")));
+        let text = e.to_string();
+        let parsed = crate::exprparse::parse_expr(&text).expect("display is parseable");
+        assert_eq!(parsed, e, "text was {text}");
+    }
+
+    #[test]
+    fn unordered_wildcard_combination() {
+        // COUNT of a wildcard pattern: expand via the summary, then take
+        // all arrangements of each expansion.
+        let st = build();
+        // A(*,C) unordered: '*' resolves to B (A's other child label);
+        // arrangements of A(B,C) cover both orders: exact 45.
+        let exact = st.exact_count_unordered("A(*,C)").unwrap();
+        assert_eq!(exact, 45);
+        let est = st.count_unordered("A(*,C)").unwrap();
+        assert!((est - 45.0).abs() < 15.0, "est {est}");
+    }
+
+    #[test]
+    fn oversized_patterns_rejected() {
+        let st = build(); // k = 3
+        // 4-edge simple pattern: never enumerated, so refuse to estimate.
+        match st.count_ordered("A(B(D(A(B))))") {
+            Err(SketchTreeError::PatternTooLarge { edges: 4, max: 3 }) => {}
+            other => panic!("expected PatternTooLarge, got {other:?}"),
+        }
+        // Same guard through expressions and unordered counts.
+        assert!(matches!(
+            st.count_unordered("A(B(D(A(B))))"),
+            Err(SketchTreeError::PatternTooLarge { .. })
+        ));
+        let e = CountExpr::ordered("A(B(D(A(B))))");
+        assert!(matches!(
+            st.estimate(&e),
+            Err(SketchTreeError::PatternTooLarge { .. })
+        ));
+        // Exactly k edges is fine.
+        assert!(st.count_ordered("A(B(D),C)").is_ok());
+    }
+
+    #[test]
+    fn memory_reporting_nonzero() {
+        let st = build();
+        assert!(st.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn debug_format_is_informative() {
+        let st = build();
+        let s = format!("{st:?}");
+        assert!(s.contains("trees_processed"));
+    }
+}

@@ -1,0 +1,472 @@
+//! Synopsis snapshots: persist a [`SketchTree`] and restore it later.
+//!
+//! A streaming synopsis earns its keep over long horizons — which means
+//! surviving restarts.  A snapshot captures everything that cannot be
+//! recomputed: the configuration (so ξ families and the fingerprint
+//! polynomial re-derive from their seeds), the label table, the raw sketch
+//! counters, the tracked heavy hitters, the structural summary, and the
+//! stream counters.  The optional exact baseline is *not* persisted — it
+//! is measurement scaffolding and can be arbitrarily large.
+//!
+//! The format is a small hand-rolled, versioned, length-prefixed binary
+//! encoding (magic `SKTR`, version 1, little-endian integers,
+//! varint-free for simplicity).  No serialization dependencies enter the
+//! library crates.
+//!
+//! ```
+//! use sketchtree_core::{SketchTree, SketchTreeConfig};
+//! use sketchtree_core::snapshot::{read_snapshot, write_snapshot};
+//!
+//! let mut st = SketchTree::new(SketchTreeConfig::default());
+//! let a = st.labels_mut().intern("a");
+//! st.ingest(&sketchtree_tree::Tree::node(a, vec![sketchtree_tree::Tree::leaf(a)]));
+//! let bytes = write_snapshot(&st);
+//! let restored = read_snapshot(&bytes).unwrap();
+//! assert_eq!(restored.trees_processed(), 1);
+//! ```
+
+use crate::sketchtree::{SketchTree, SketchTreeConfig};
+use crate::summary::ExpandLimits;
+use sketchtree_sketch::{SynopsisConfig, SynopsisState};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"SKTR";
+const VERSION: u32 = 1;
+
+/// Errors from [`read_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Snapshot version not understood by this build.
+    UnsupportedVersion(u32),
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// A length or count field is implausible (corruption guard).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a SketchTree snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serialises a synopsis to bytes.
+pub fn write_snapshot(st: &SketchTree) -> Vec<u8> {
+    let mut w = Writer(Vec::new());
+    w.bytes(MAGIC);
+    w.u32(VERSION);
+    // --- config ---
+    let c = st.config();
+    w.u64(c.max_pattern_edges as u64);
+    w.u8(c.include_single_nodes as u8);
+    w.u32(c.fingerprint_degree);
+    w.u64(c.mapping_seed);
+    w.u64(c.synopsis.s1 as u64);
+    w.u64(c.synopsis.s2 as u64);
+    w.u64(c.synopsis.virtual_streams as u64);
+    w.u64(c.synopsis.topk as u64);
+    w.u64(c.synopsis.independence as u64);
+    w.u16(c.synopsis.topk_probability);
+    w.u64(c.synopsis.seed);
+    w.u8(c.maintain_summary as u8);
+    w.u64(c.max_arrangements as u64);
+    w.u64(c.expand_limits.max_patterns as u64);
+    w.u64(c.expand_limits.max_descendant_depth as u64);
+    // --- labels ---
+    let labels = st.labels();
+    w.u64(labels.len() as u64);
+    for (_, name) in labels.iter() {
+        w.str(name);
+    }
+    // --- synopsis state ---
+    let state = st.export_synopsis_state();
+    w.u64(state.bank_counters.len() as u64);
+    for bank in &state.bank_counters {
+        w.u64(bank.len() as u64);
+        for &x in bank {
+            w.i64(x);
+        }
+    }
+    for tracked in &state.tracked {
+        w.u64(tracked.len() as u64);
+        for &(v, f) in tracked {
+            w.u64(v);
+            w.i64(f);
+        }
+    }
+    w.u64(state.values_processed);
+    // --- summary ---
+    match st.summary() {
+        None => w.u8(0),
+        Some(s) => {
+            w.u8(1);
+            let (labels, transitions) = s.export();
+            w.u64(labels.len() as u64);
+            for l in labels {
+                w.u32(l.0);
+            }
+            w.u64(transitions.len() as u64);
+            for (p, ch) in transitions {
+                w.u32(p.0);
+                w.u32(ch.0);
+            }
+        }
+    }
+    // --- counters ---
+    w.u64(st.trees_processed());
+    w.u64(st.patterns_processed());
+    w.0
+}
+
+/// Restores a synopsis from bytes produced by [`write_snapshot`].
+pub fn read_snapshot(bytes: &[u8]) -> Result<SketchTree, SnapshotError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    // --- config ---
+    let config = SketchTreeConfig {
+        max_pattern_edges: r.usize_checked("max_pattern_edges", 1 << 16)?,
+        include_single_nodes: r.u8()? != 0,
+        fingerprint_degree: r.u32()?,
+        mapping_seed: r.u64()?,
+        synopsis: SynopsisConfig {
+            s1: r.usize_checked("s1", 1 << 24)?,
+            s2: r.usize_checked("s2", 1 << 24)?,
+            virtual_streams: r.usize_checked("virtual_streams", 1 << 24)?,
+            topk: r.usize_checked("topk", 1 << 32)?,
+            independence: r.usize_checked("independence", 1 << 8)?,
+            topk_probability: r.u16()?,
+            seed: r.u64()?,
+        },
+        maintain_summary: r.u8()? != 0,
+        track_exact: false, // the baseline is never persisted
+        max_arrangements: r.usize_checked("max_arrangements", 1 << 32)?,
+        expand_limits: ExpandLimits {
+            max_patterns: r.usize_checked("max_patterns", 1 << 32)?,
+            max_descendant_depth: r.usize_checked("max_descendant_depth", 1 << 16)?,
+        },
+    };
+    // --- labels ---
+    let n_labels = r.usize_checked("label count", 1 << 32)?;
+    let mut label_names = Vec::with_capacity(n_labels.min(1 << 20));
+    for _ in 0..n_labels {
+        label_names.push(r.str()?);
+    }
+    // --- synopsis state ---
+    let n_banks = r.usize_checked("bank count", 1 << 24)?;
+    if n_banks != config.synopsis.virtual_streams {
+        return Err(SnapshotError::Corrupt("bank count != virtual_streams"));
+    }
+    let per_bank = config.synopsis.s1 * config.synopsis.s2;
+    let mut bank_counters = Vec::with_capacity(n_banks);
+    for _ in 0..n_banks {
+        let len = r.usize_checked("bank counters", 1 << 28)?;
+        if len != per_bank {
+            return Err(SnapshotError::Corrupt("bank geometry mismatch"));
+        }
+        let mut counters = Vec::with_capacity(len);
+        for _ in 0..len {
+            counters.push(r.i64()?);
+        }
+        bank_counters.push(counters);
+    }
+    let mut tracked = Vec::with_capacity(n_banks);
+    for _ in 0..n_banks {
+        let len = r.usize_checked("tracked count", 1 << 28)?;
+        if len > config.synopsis.topk {
+            return Err(SnapshotError::Corrupt("tracked exceeds topk capacity"));
+        }
+        let mut entries = Vec::with_capacity(len);
+        for _ in 0..len {
+            entries.push((r.u64()?, r.i64()?));
+        }
+        tracked.push(entries);
+    }
+    let values_processed = r.u64()?;
+    // Structural validations that downstream constructors would otherwise
+    // assert on (a corrupted snapshot must error, not panic).
+    if config.synopsis.s1 == 0 || config.synopsis.s2 == 0 || config.synopsis.virtual_streams == 0 {
+        return Err(SnapshotError::Corrupt("zero sketch geometry"));
+    }
+    if !(2..=63).contains(&config.fingerprint_degree) {
+        return Err(SnapshotError::Corrupt("fingerprint degree out of range"));
+    }
+    if config.synopsis.independence < 2 || config.synopsis.independence > 64 {
+        return Err(SnapshotError::Corrupt("independence out of range"));
+    }
+    for entries in &tracked {
+        let mut vals: Vec<u64> = entries.iter().map(|&(v, _)| v).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        if vals.len() != entries.len() {
+            return Err(SnapshotError::Corrupt("duplicate tracked values"));
+        }
+    }
+    // --- summary ---
+    let summary = match r.u8()? {
+        0 => None,
+        1 => {
+            let n = r.usize_checked("summary labels", 1 << 32)?;
+            let mut labels = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                labels.push(sketchtree_tree::Label(r.u32()?));
+            }
+            let m = r.usize_checked("summary transitions", 1 << 32)?;
+            let mut transitions = Vec::with_capacity(m.min(1 << 20));
+            for _ in 0..m {
+                transitions.push((
+                    sketchtree_tree::Label(r.u32()?),
+                    sketchtree_tree::Label(r.u32()?),
+                ));
+            }
+            Some((labels, transitions))
+        }
+        _ => return Err(SnapshotError::Corrupt("summary flag")),
+    };
+    let trees_processed = r.u64()?;
+    let patterns_processed = r.u64()?;
+    if r.pos != bytes.len() {
+        return Err(SnapshotError::Corrupt("trailing bytes"));
+    }
+    // --- reassemble ---
+    let state = SynopsisState {
+        bank_counters,
+        tracked,
+        values_processed,
+    };
+    SketchTree::from_snapshot_parts(
+        config,
+        label_names,
+        state,
+        summary,
+        trees_processed,
+        patterns_processed,
+    )
+    .map_err(SnapshotError::Corrupt)
+}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn bytes(&mut self, b: &[u8]) {
+        self.0.extend_from_slice(b);
+    }
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+    fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+    fn usize_checked(&mut self, what: &'static str, max: u64) -> Result<usize, SnapshotError> {
+        let v = self.u64()?;
+        if v > max {
+            return Err(SnapshotError::Corrupt(what));
+        }
+        Ok(v as usize)
+    }
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.usize_checked("string length", 1 << 24)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Corrupt("invalid utf-8 label"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchtree_sketch::SynopsisConfig;
+    use sketchtree_tree::Tree;
+
+    fn build() -> SketchTree {
+        let mut st = SketchTree::new(SketchTreeConfig {
+            max_pattern_edges: 3,
+            synopsis: SynopsisConfig {
+                s1: 20,
+                s2: 5,
+                virtual_streams: 11,
+                topk: 4,
+                ..SynopsisConfig::default()
+            },
+            ..SketchTreeConfig::default()
+        });
+        let (a, b, c) = {
+            let l = st.labels_mut();
+            (l.intern("A"), l.intern("B"), l.intern("C"))
+        };
+        let t1 = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(c)]);
+        let t2 = Tree::node(a, vec![Tree::node(b, vec![Tree::leaf(c)])]);
+        for _ in 0..50 {
+            st.ingest(&t1);
+        }
+        for _ in 0..7 {
+            st.ingest(&t2);
+        }
+        st
+    }
+
+    #[test]
+    fn roundtrip_preserves_estimates() {
+        let st = build();
+        let bytes = write_snapshot(&st);
+        let restored = read_snapshot(&bytes).expect("valid snapshot");
+        assert_eq!(restored.trees_processed(), st.trees_processed());
+        assert_eq!(restored.patterns_processed(), st.patterns_processed());
+        for q in ["A(B,C)", "A(B(C))", "B(C)", "A(B)"] {
+            assert_eq!(
+                restored.count_ordered(q).unwrap(),
+                st.count_ordered(q).unwrap(),
+                "query {q}"
+            );
+        }
+        assert_eq!(
+            restored.tracked_heavy_hitters(),
+            st.tracked_heavy_hitters()
+        );
+        // The summary survives: wildcard queries still work.
+        assert_eq!(
+            restored.count_ordered("A(*)").unwrap(),
+            st.count_ordered("A(*)").unwrap()
+        );
+    }
+
+    #[test]
+    fn restored_synopsis_keeps_streaming() {
+        let st = build();
+        let bytes = write_snapshot(&st);
+        let mut restored = read_snapshot(&bytes).expect("valid");
+        // Continue the stream after restore; counts keep moving.
+        let a = restored.labels().lookup("A").unwrap();
+        let b = restored.labels().lookup("B").unwrap();
+        let before = restored.count_ordered("A(B)").unwrap();
+        for _ in 0..50 {
+            restored.ingest(&Tree::node(a, vec![Tree::leaf(b)]));
+        }
+        let after = restored.count_ordered("A(B)").unwrap();
+        assert!(after > before + 25.0, "{before} -> {after}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(
+            read_snapshot(b"not a snapshot").err(),
+            Some(SnapshotError::BadMagic)
+        );
+        assert_eq!(read_snapshot(b"").err(), Some(SnapshotError::Truncated));
+        let mut bad_version = write_snapshot(&build());
+        bad_version[4] = 99;
+        assert_eq!(
+            read_snapshot(&bad_version).err(),
+            Some(SnapshotError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = write_snapshot(&build());
+        // Any prefix must fail cleanly, never panic.
+        for cut in (0..bytes.len()).step_by(97) {
+            let r = read_snapshot(&bytes[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = write_snapshot(&build());
+        bytes.push(0);
+        assert_eq!(
+            read_snapshot(&bytes).err(),
+            Some(SnapshotError::Corrupt("trailing bytes"))
+        );
+    }
+
+    /// Arbitrary single-byte corruption must never panic — either the
+    /// snapshot still parses (the byte was a counter value) or a clean
+    /// error comes back.
+    #[test]
+    fn corruption_never_panics() {
+        let bytes = write_snapshot(&build());
+        for pos in (0..bytes.len()).step_by(31) {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut mutated = bytes.clone();
+                mutated[pos] ^= flip;
+                // Must return, not panic.
+                let _ = read_snapshot(&mutated);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_baseline_not_persisted() {
+        let mut st = SketchTree::new(SketchTreeConfig {
+            track_exact: true,
+            ..SketchTreeConfig::default()
+        });
+        let a = st.labels_mut().intern("a");
+        st.ingest(&Tree::node(a, vec![Tree::leaf(a)]));
+        let restored = read_snapshot(&write_snapshot(&st)).unwrap();
+        assert!(restored.exact().is_none());
+    }
+}

@@ -1,0 +1,262 @@
+//! Unordered tree pattern counts — paper Section 3.3.
+//!
+//! `COUNT(Q)` (unordered) is the sum of `COUNT_ord(Q_i)` over all *distinct
+//! ordered arrangements* `Q_i` of `Q` — Figure 4 of the paper shows a
+//! pattern with four arrangements.  This module enumerates those
+//! arrangements: at every node, each child subtree is independently
+//! arranged, and the (arranged) children are permuted in every order, with
+//! structural deduplication so identical sibling subtrees don't multiply
+//! spuriously.  The estimator for the sum then comes from Theorem 2 via
+//! `StreamSynopsis::estimate_total`.
+//!
+//! The number of arrangements is exponential in the worst case (`n!` for a
+//! star with distinct children), so enumeration takes a hard cap and
+//! reports [`ArrangementError::TooMany`] rather than silently blowing up.
+
+use sketchtree_tree::Tree;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Error from [`arrangements`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrangementError {
+    /// More distinct arrangements than the configured cap.
+    TooMany {
+        /// The cap that was exceeded.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for ArrangementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrangementError::TooMany { cap } => {
+                write!(f, "pattern has more than {cap} distinct ordered arrangements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrangementError {}
+
+/// Enumerates all distinct ordered arrangements of `pattern`, including the
+/// pattern itself.  Fails if more than `cap` arrangements exist.
+///
+/// ```
+/// use sketchtree_core::unordered::arrangements;
+/// use sketchtree_tree::{LabelTable, Tree};
+/// let mut labels = LabelTable::new();
+/// let (a, b, c) = (labels.intern("A"), labels.intern("B"), labels.intern("C"));
+/// let q = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(c)]);
+/// assert_eq!(arrangements(&q, 10).unwrap().len(), 2); // A(B,C) and A(C,B)
+/// ```
+pub fn arrangements(pattern: &Tree, cap: usize) -> Result<Vec<Tree>, ArrangementError> {
+    let out = arrange_node(pattern, pattern.root(), cap)?;
+    Ok(out)
+}
+
+fn arrange_node(
+    tree: &Tree,
+    node: sketchtree_tree::NodeId,
+    cap: usize,
+) -> Result<Vec<Tree>, ArrangementError> {
+    let label = tree.label(node);
+    let children = tree.children(node);
+    if children.is_empty() {
+        return Ok(vec![Tree::leaf(label)]);
+    }
+    // Arrangements of each child subtree.
+    let child_options: Vec<Vec<Tree>> = children
+        .iter()
+        .map(|&c| arrange_node(tree, c, cap))
+        .collect::<Result<_, _>>()?;
+    // Cartesian choice of one arrangement per child, then all distinct
+    // permutations of the chosen multiset.
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut out: Vec<Tree> = Vec::new();
+    let mut choice_idx = vec![0usize; child_options.len()];
+    loop {
+        let chosen: Vec<&Tree> = child_options
+            .iter()
+            .zip(&choice_idx)
+            .map(|(opts, &i)| &opts[i])
+            .collect();
+        permute_distinct(&chosen, &mut |perm| {
+            let t = Tree::node(label, perm.iter().map(|x| (*x).clone()).collect());
+            let key = t.to_sexpr();
+            if seen.insert(key) {
+                out.push(t);
+            }
+            Ok(())
+        })?;
+        if out.len() > cap {
+            return Err(ArrangementError::TooMany { cap });
+        }
+        // Advance the mixed-radix choice counter.
+        let mut pos = 0;
+        loop {
+            if pos == choice_idx.len() {
+                return Ok(out);
+            }
+            choice_idx[pos] += 1;
+            if choice_idx[pos] < child_options[pos].len() {
+                break;
+            }
+            choice_idx[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// Calls `f` on every distinct permutation of `items` (distinctness by
+/// structural tree equality, detected via sorted duplicate skipping).
+fn permute_distinct<'a>(
+    items: &[&'a Tree],
+    f: &mut impl FnMut(&[&'a Tree]) -> Result<(), ArrangementError>,
+) -> Result<(), ArrangementError> {
+    // Sort indices by a canonical key so equal subtrees are adjacent.
+    let keys: Vec<String> = items.iter().map(|t| t.to_sexpr()).collect();
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+    let sorted: Vec<&Tree> = order.iter().map(|&i| items[i]).collect();
+    let sorted_keys: Vec<&String> = order.iter().map(|&i| &keys[i]).collect();
+    let mut used = vec![false; items.len()];
+    let mut current: Vec<&Tree> = Vec::with_capacity(items.len());
+    fn rec<'a>(
+        sorted: &[&'a Tree],
+        keys: &[&String],
+        used: &mut [bool],
+        current: &mut Vec<&'a Tree>,
+        f: &mut impl FnMut(&[&'a Tree]) -> Result<(), ArrangementError>,
+    ) -> Result<(), ArrangementError> {
+        if current.len() == sorted.len() {
+            return f(current);
+        }
+        for i in 0..sorted.len() {
+            if used[i] {
+                continue;
+            }
+            // Skip duplicates: only use the first unused among equal runs.
+            if i > 0 && keys[i] == keys[i - 1] && !used[i - 1] {
+                continue;
+            }
+            used[i] = true;
+            current.push(sorted[i]);
+            rec(sorted, keys, used, current, f)?;
+            current.pop();
+            used[i] = false;
+        }
+        Ok(())
+    }
+    rec(&sorted, &sorted_keys, &mut used, &mut current, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchtree_tree::{Label, LabelTable};
+
+    fn labels() -> (LabelTable, Label, Label, Label, Label) {
+        let mut t = LabelTable::new();
+        let a = t.intern("A");
+        let b = t.intern("B");
+        let c = t.intern("C");
+        let d = t.intern("D");
+        (t, a, b, c, d)
+    }
+
+    #[test]
+    fn leaf_has_one_arrangement() {
+        let (_, a, ..) = labels();
+        let arr = arrangements(&Tree::leaf(a), 10).unwrap();
+        assert_eq!(arr, vec![Tree::leaf(a)]);
+    }
+
+    #[test]
+    fn two_distinct_children_swap() {
+        let (_, a, b, c, _) = labels();
+        let q = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(c)]);
+        let arr = arrangements(&q, 10).unwrap();
+        assert_eq!(arr.len(), 2);
+        assert!(arr.contains(&q));
+        assert!(arr.contains(&Tree::node(a, vec![Tree::leaf(c), Tree::leaf(b)])));
+    }
+
+    #[test]
+    fn identical_children_do_not_multiply() {
+        let (_, a, b, ..) = labels();
+        let q = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(b)]);
+        let arr = arrangements(&q, 10).unwrap();
+        assert_eq!(arr.len(), 1);
+    }
+
+    #[test]
+    fn paper_figure4_four_arrangements() {
+        // A pattern with exactly four distinct ordered arrangements:
+        // root with a 2-arrangement child and one other child:
+        // A(B(C,D), B') → 2 (inner) × 2 (outer order) = 4.
+        let (_, a, b, c, d) = labels();
+        let inner = Tree::node(b, vec![Tree::leaf(c), Tree::leaf(d)]);
+        let q = Tree::node(a, vec![inner, Tree::leaf(c)]);
+        let arr = arrangements(&q, 10).unwrap();
+        assert_eq!(arr.len(), 4);
+        // All arrangements are pairwise distinct.
+        let set: HashSet<String> = arr.iter().map(|t| t.to_sexpr()).collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn three_distinct_children_six_orders() {
+        let (_, a, b, c, d) = labels();
+        let q = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(c), Tree::leaf(d)]);
+        assert_eq!(arrangements(&q, 10).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn multiset_children_count() {
+        // Children {B, B, C}: 3!/2! = 3 arrangements.
+        let (_, a, b, c, _) = labels();
+        let q = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(b), Tree::leaf(c)]);
+        assert_eq!(arrangements(&q, 10).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn nested_identical_subtrees_dedup_across_choices() {
+        // Both children are X(Y,Z)-shaped with 2 arrangements each; choices
+        // overlap structurally and must be deduplicated globally.
+        let (_, a, b, c, d) = labels();
+        let sub = || Tree::node(b, vec![Tree::leaf(c), Tree::leaf(d)]);
+        let q = Tree::node(a, vec![sub(), sub()]);
+        let arr = arrangements(&q, 100).unwrap();
+        // Multiset of {2 arrangements} chosen twice: distinct ordered pairs
+        // (x, y) with x,y ∈ {CD, DC} → 4 distinct ordered trees.
+        assert_eq!(arr.len(), 4);
+    }
+
+    #[test]
+    fn cap_enforced() {
+        let (_, a, b, c, d) = labels();
+        let mut lt = LabelTable::new();
+        let e = lt.intern("E");
+        let q = Tree::node(
+            a,
+            vec![Tree::leaf(b), Tree::leaf(c), Tree::leaf(d), Tree::leaf(e)],
+        );
+        // 4! = 24 > 10.
+        assert_eq!(
+            arrangements(&q, 10),
+            Err(ArrangementError::TooMany { cap: 10 })
+        );
+    }
+
+    #[test]
+    fn original_pattern_always_included() {
+        let (_, a, b, c, d) = labels();
+        let q = Tree::node(
+            a,
+            vec![Tree::node(b, vec![Tree::leaf(d)]), Tree::leaf(c)],
+        );
+        let arr = arrangements(&q, 100).unwrap();
+        assert!(arr.contains(&q));
+    }
+}

@@ -1,0 +1,235 @@
+//! Property-based tests for EnumTree, arrangements and the query parser.
+
+use proptest::prelude::*;
+use sketchtree_core::enumtree::{count_patterns, enumerate_patterns};
+use sketchtree_core::query::parse_pattern;
+use sketchtree_core::unordered::arrangements;
+use sketchtree_core::Mapper;
+use sketchtree_tree::{Label, NodeId, PruferSeq, Tree};
+use std::collections::HashSet;
+
+fn arb_tree(max_children: usize, depth: u32) -> impl Strategy<Value = Tree> {
+    let leaf = (0u32..4).prop_map(|l| Tree::leaf(Label(l)));
+    leaf.prop_recursive(depth, 12, max_children as u32, move |inner| {
+        (0u32..4, prop::collection::vec(inner, 1..=max_children))
+            .prop_map(|(l, children)| Tree::node(Label(l), children))
+    })
+}
+
+/// Brute force: all edge subsets forming a rooted tree (tiny trees only).
+fn brute_force(tree: &Tree, k: usize) -> HashSet<(NodeId, Vec<(NodeId, NodeId)>)> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for id in tree.preorder() {
+        for &c in tree.children(id) {
+            edges.push((id, c));
+        }
+    }
+    let m = edges.len();
+    let mut out = HashSet::new();
+    for mask in 1u32..(1u32 << m) {
+        let subset: Vec<(NodeId, NodeId)> = (0..m)
+            .filter(|&e| mask >> e & 1 == 1)
+            .map(|e| edges[e])
+            .collect();
+        if subset.len() > k {
+            continue;
+        }
+        let children: HashSet<NodeId> = subset.iter().map(|&(_, c)| c).collect();
+        let parents: HashSet<NodeId> = subset.iter().map(|&(p, _)| p).collect();
+        let roots: Vec<NodeId> = parents.difference(&children).copied().collect();
+        if roots.len() != 1 {
+            continue;
+        }
+        let nodes: HashSet<NodeId> = children.iter().copied().chain([roots[0]]).collect();
+        if nodes.len() == subset.len() + 1 && subset.iter().all(|&(p, _)| nodes.contains(&p)) {
+            let mut sorted = subset;
+            sorted.sort();
+            out.insert((roots[0], sorted));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// EnumTree emits exactly the connected rooted edge subsets, no
+    /// duplicates, no omissions — against brute force on random trees.
+    #[test]
+    fn enumtree_matches_brute_force(t in arb_tree(3, 3), k in 1usize..5) {
+        prop_assume!(t.edge_count() <= 10);
+        let mut fast = HashSet::new();
+        enumerate_patterns(&t, k, |root, edges| {
+            let mut e = edges.to_vec();
+            e.sort();
+            assert!(fast.insert((root, e)), "duplicate pattern");
+        });
+        prop_assert_eq!(fast, brute_force(&t, k));
+    }
+
+    /// Pattern counts are monotone in k and bounded by 2^edges per root
+    /// choice.
+    #[test]
+    fn counts_monotone_in_k(t in arb_tree(3, 3)) {
+        let mut prev = 0;
+        for k in 1..=6 {
+            let n = count_patterns(&t, k);
+            prop_assert!(n >= prev);
+            prev = n;
+        }
+    }
+
+    /// Every enumerated pattern projects to a tree whose Prüfer sequence
+    /// decodes back to it (the full canonicalisation chain is lossless).
+    #[test]
+    fn patterns_canonicalise_losslessly(t in arb_tree(3, 3)) {
+        enumerate_patterns(&t, 3, |root, edges| {
+            let p = t.project(root, edges);
+            let seq = PruferSeq::encode(&p);
+            assert_eq!(seq.decode().expect("valid"), p);
+        });
+    }
+
+    /// Distinct patterns of one tree map to distinct values (fingerprint
+    /// collisions at degree 61 are ~2^-61 per pair — treat one as a bug).
+    #[test]
+    fn pattern_mapping_injective_within_tree(t in arb_tree(3, 3)) {
+        let mapper = Mapper::new(61, 99);
+        let mut by_value: std::collections::HashMap<u64, Tree> = Default::default();
+        enumerate_patterns(&t, 4, |root, edges| {
+            let p = t.project(root, edges);
+            let v = mapper.map_tree(&p);
+            if let Some(existing) = by_value.get(&v) {
+                assert_eq!(existing, &p, "fingerprint collision");
+            } else {
+                by_value.insert(v, p);
+            }
+        });
+    }
+
+    /// Arrangements: all results are distinct, include the original, have
+    /// the same node multiset, and agree with the multinomial count for
+    /// depth-1 patterns.
+    #[test]
+    fn arrangements_invariants(t in arb_tree(3, 2)) {
+        prop_assume!(t.len() <= 8);
+        let arr = match arrangements(&t, 5000) {
+            Ok(a) => a,
+            Err(_) => return Ok(()),
+        };
+        prop_assert!(arr.contains(&t));
+        let mut seen = HashSet::new();
+        for a in &arr {
+            prop_assert!(seen.insert(a.to_sexpr()), "duplicate arrangement");
+            prop_assert_eq!(a.len(), t.len());
+            // Same multiset of labels.
+            let mut la: Vec<u32> = a.preorder().iter().map(|&i| a.label(i).0).collect();
+            let mut lt: Vec<u32> = t.preorder().iter().map(|&i| t.label(i).0).collect();
+            la.sort_unstable();
+            lt.sort_unstable();
+            prop_assert_eq!(la, lt);
+        }
+    }
+
+    /// Depth-1 star: arrangement count is the multinomial
+    /// n! / (m1! m2! ...) over label multiplicities.
+    #[test]
+    fn star_arrangement_count(labels in prop::collection::vec(0u32..3, 1..6)) {
+        let t = Tree::node(
+            Label(9),
+            labels.iter().map(|&l| Tree::leaf(Label(l))).collect(),
+        );
+        let arr = arrangements(&t, 10_000).expect("within cap");
+        let mut counts = [0u64; 3];
+        for &l in &labels {
+            counts[l as usize] += 1;
+        }
+        let fact = |n: u64| (1..=n).product::<u64>().max(1);
+        let expect = fact(labels.len() as u64)
+            / counts.iter().map(|&c| fact(c)).product::<u64>();
+        prop_assert_eq!(arr.len() as u64, expect);
+    }
+
+    /// Snapshot round-trips preserve every estimate, for random streams
+    /// and random (small) configurations.
+    #[test]
+    fn snapshot_roundtrip_property(
+        trees in prop::collection::vec(arb_tree(3, 3), 1..12),
+        s1 in 2usize..12,
+        vs in 1usize..9,
+        topk in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        use sketchtree_core::snapshot::{read_snapshot, write_snapshot};
+        use sketchtree_core::{SketchTree, SketchTreeConfig};
+        use sketchtree_sketch::SynopsisConfig;
+        let mut st = SketchTree::new(SketchTreeConfig {
+            max_pattern_edges: 3,
+            synopsis: SynopsisConfig {
+                s1,
+                s2: 3,
+                virtual_streams: vs,
+                topk,
+                seed,
+                ..SynopsisConfig::default()
+            },
+            ..SketchTreeConfig::default()
+        });
+        // Intern the strategy's labels by their ids so queries can resolve.
+        for i in 0..6u32 {
+            st.labels_mut().intern(&format!("L{i}"));
+        }
+        // Rebuild the strategy trees against the synopsis label table — the
+        // strategy used raw Label(ids) 0..6 which now exist.
+        for t in &trees {
+            st.ingest(t);
+        }
+        let restored = read_snapshot(&write_snapshot(&st)).expect("roundtrip");
+        prop_assert_eq!(restored.trees_processed(), st.trees_processed());
+        prop_assert_eq!(restored.patterns_processed(), st.patterns_processed());
+        // Estimates agree for every pattern of the first tree.
+        enumerate_patterns(&trees[0], 3, |root, edges| {
+            let p = trees[0].project(root, edges);
+            let a = st.count_ordered_tree(&p);
+            let b = restored.count_ordered_tree(&p);
+            assert_eq!(a, b, "estimate changed across snapshot");
+        });
+        prop_assert_eq!(
+            restored.tracked_heavy_hitters(),
+            st.tracked_heavy_hitters()
+        );
+    }
+
+    /// Large-pattern decomposition conserves edges, respects k in every
+    /// part, and keeps piece roots labeled like their cut nodes — for
+    /// random trees and every feasible k.
+    #[test]
+    fn decompose_invariants(t in arb_tree(3, 4), k in 1usize..5) {
+        use sketchtree_core::large::decompose;
+        prop_assume!(t.edge_count() >= 1);
+        let d = decompose(&t, k);
+        prop_assert!(d.remainder.edge_count() <= k);
+        let mut total = d.remainder.edge_count();
+        for piece in &d.pieces {
+            prop_assert!((1..=k).contains(&piece.edge_count()));
+            total += piece.edge_count();
+        }
+        prop_assert_eq!(total, t.edge_count(), "edges not conserved");
+        // The remainder's root label matches the original root.
+        prop_assert_eq!(d.remainder.label(d.remainder.root()), t.label(t.root()));
+        // Patterns within k decompose trivially.
+        if t.edge_count() <= k {
+            prop_assert!(d.pieces.is_empty());
+            prop_assert_eq!(&d.remainder, &t);
+        }
+    }
+
+    /// The query pattern Display form re-parses to the same pattern.
+    #[test]
+    fn query_display_roundtrip(s in "[A-Z]{1,3}(\\([A-Z]{1,3}(,[A-Z]{1,3}){0,2}\\))?") {
+        if let Ok(p) = parse_pattern(&s) {
+            let again = parse_pattern(&p.to_string()).expect("display is parseable");
+            prop_assert_eq!(p, again);
+        }
+    }
+}

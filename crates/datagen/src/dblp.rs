@@ -1,0 +1,259 @@
+//! DBLP-like stream generator: shallow, bushy bibliographic records.
+//!
+//! The paper's DBLP dataset has 98,061 trees that are "shallow and bushy",
+//! carry CDATA values, and exhibit a *higher* pattern-frequency skew than
+//! TREEBANK — the property Section 7.7 credits for the dramatic accuracy
+//! jump at tiny top-k sizes.  This generator emits seeded records
+//! (`article`, `inproceedings`, …) whose field sets are fixed per record
+//! type (producing a few extremely frequent structural patterns) and whose
+//! values — author names, venues, years — are Zipf-drawn from finite pools
+//! (producing a long tail of rarer value-carrying patterns).  Values are
+//! modeled as leaf children labeled by the value string, matching the
+//! XML-to-tree modeling of `sketchtree-xml` ("queries had element names as
+//! well as values").
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sketchtree_tree::{Label, LabelTable, Tree};
+
+/// Record-type weights (ranks for a Zipf choice): article is most common.
+const RECORD_TYPES: &[&str] = &[
+    "article",
+    "inproceedings",
+    "proceedings",
+    "incollection",
+    "phdthesis",
+    "mastersthesis",
+    "www",
+];
+
+/// Seeded generator of DBLP-like records.
+#[derive(Debug)]
+pub struct DblpGen {
+    rng: StdRng,
+    record_labels: Vec<Label>,
+    field: Fields,
+    type_dist: Zipf,
+    author_dist: Zipf,
+    venue_dist: Zipf,
+    title_word_dist: Zipf,
+    authors: Vec<Label>,
+    venues: Vec<Label>,
+    title_words: Vec<Label>,
+    years: Vec<Label>,
+    pages: Vec<Label>,
+}
+
+#[derive(Debug)]
+struct Fields {
+    author: Label,
+    title: Label,
+    year: Label,
+    journal: Label,
+    booktitle: Label,
+    pages: Label,
+    ee: Label,
+    url: Label,
+    school: Label,
+}
+
+impl DblpGen {
+    /// Creates a generator; labels are interned into `labels`.
+    ///
+    /// `author_pool` controls the value-vocabulary size (the paper's DBLP
+    /// slice has tens of thousands of distinct authors; scale to taste).
+    pub fn new(seed: u64, labels: &mut LabelTable, author_pool: usize) -> Self {
+        let record_labels = RECORD_TYPES.iter().map(|n| labels.intern(n)).collect();
+        let field = Fields {
+            author: labels.intern("author"),
+            title: labels.intern("title"),
+            year: labels.intern("year"),
+            journal: labels.intern("journal"),
+            booktitle: labels.intern("booktitle"),
+            pages: labels.intern("pages"),
+            ee: labels.intern("ee"),
+            url: labels.intern("url"),
+            school: labels.intern("school"),
+        };
+        let authors = (0..author_pool.max(8))
+            .map(|i| labels.intern(&format!("Author {i:05}")))
+            .collect::<Vec<_>>();
+        let venues = (0..64)
+            .map(|i| labels.intern(&format!("Venue {i:03}")))
+            .collect::<Vec<_>>();
+        let title_words = (0..256)
+            .map(|i| labels.intern(&format!("word{i:03}")))
+            .collect::<Vec<_>>();
+        let years = (1970..=2004)
+            .map(|y| labels.intern(&y.to_string()))
+            .collect::<Vec<_>>();
+        let pages = (0..32)
+            .map(|i| labels.intern(&format!("{}-{}", i * 10 + 1, i * 10 + 9)))
+            .collect::<Vec<_>>();
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            record_labels,
+            field,
+            type_dist: Zipf::new(RECORD_TYPES.len(), 1.4),
+            author_dist: Zipf::new(authors.len(), 1.0),
+            venue_dist: Zipf::new(venues.len(), 1.1),
+            title_word_dist: Zipf::new(title_words.len(), 1.0),
+            authors,
+            venues,
+            title_words,
+            years,
+            pages,
+        }
+    }
+
+    fn value_leaf(&self, label: Label) -> Tree {
+        Tree::leaf(label)
+    }
+
+    fn field_with_value(&self, field: Label, value: Label) -> Tree {
+        Tree::node(field, vec![self.value_leaf(value)])
+    }
+
+    /// Generates the next record.
+    pub fn next_tree(&mut self) -> Tree {
+        let ty = self.type_dist.sample(&mut self.rng);
+        let mut children: Vec<Tree> = Vec::new();
+        // Authors: 1..=5, skewed toward fewer.
+        let n_authors = 1 + self.rng.gen_range(0..5).min(self.rng.gen_range(0..5));
+        for _ in 0..n_authors {
+            let a = self.authors[self.author_dist.sample(&mut self.rng)];
+            children.push(self.field_with_value(self.field.author, a));
+        }
+        // Title: field with 1 value leaf (a Zipf word — stands in for the
+        // full title CDATA the paper's queries matched on).
+        let w = self.title_words[self.title_word_dist.sample(&mut self.rng)];
+        children.push(self.field_with_value(self.field.title, w));
+        // Year.
+        let y = self.years[self.rng.gen_range(0..self.years.len())];
+        children.push(self.field_with_value(self.field.year, y));
+        // Venue-ish field depends on record type.
+        match RECORD_TYPES[ty] {
+            "article" => {
+                let v = self.venues[self.venue_dist.sample(&mut self.rng)];
+                children.push(self.field_with_value(self.field.journal, v));
+                let p = self.pages[self.rng.gen_range(0..self.pages.len())];
+                children.push(self.field_with_value(self.field.pages, p));
+            }
+            "inproceedings" | "proceedings" | "incollection" => {
+                let v = self.venues[self.venue_dist.sample(&mut self.rng)];
+                children.push(self.field_with_value(self.field.booktitle, v));
+            }
+            "phdthesis" | "mastersthesis" => {
+                let v = self.venues[self.venue_dist.sample(&mut self.rng)];
+                children.push(self.field_with_value(self.field.school, v));
+            }
+            _ => {}
+        }
+        // Optional links.
+        if self.rng.gen::<f64>() < 0.6 {
+            children.push(Tree::leaf(self.field.ee));
+        }
+        if self.rng.gen::<f64>() < 0.3 {
+            children.push(Tree::leaf(self.field.url));
+        }
+        Tree::node(self.record_labels[ty], children)
+    }
+}
+
+impl Iterator for DblpGen {
+    type Item = Tree;
+    fn next(&mut self) -> Option<Tree> {
+        Some(self.next_tree())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut l1 = LabelTable::new();
+        let mut l2 = LabelTable::new();
+        let mut a = DblpGen::new(5, &mut l1, 100);
+        let mut b = DblpGen::new(5, &mut l2, 100);
+        for _ in 0..20 {
+            assert_eq!(a.next_tree().to_sexpr(), b.next_tree().to_sexpr());
+        }
+    }
+
+    #[test]
+    fn trees_are_shallow_and_bushy() {
+        let mut labels = LabelTable::new();
+        let mut g = DblpGen::new(42, &mut labels, 200);
+        let trees: Vec<Tree> = (0..500).map(|_| g.next_tree()).collect();
+        for t in &trees {
+            assert!(t.depth() <= 3, "DBLP records are depth <= 3: {}", t.depth());
+        }
+        let avg_fanout: f64 = trees
+            .iter()
+            .map(|t| t.fanout(t.root()) as f64)
+            .sum::<f64>()
+            / trees.len() as f64;
+        assert!(avg_fanout >= 3.0, "records too thin: {avg_fanout}");
+    }
+
+    #[test]
+    fn article_is_most_common_type() {
+        let mut labels = LabelTable::new();
+        let mut g = DblpGen::new(9, &mut labels, 100);
+        let article = labels.lookup("article").unwrap();
+        let hits = (0..500)
+            .filter(|_| {
+                let t = g.next_tree();
+                t.label(t.root()) == article
+            })
+            .count();
+        assert!(hits > 200, "article rate too low: {hits}");
+    }
+
+    #[test]
+    fn values_are_leaf_children_of_fields() {
+        let mut labels = LabelTable::new();
+        let mut g = DblpGen::new(3, &mut labels, 50);
+        let author = labels.lookup("author").unwrap();
+        let t = g.next_tree();
+        let mut saw_author_value = false;
+        for id in t.preorder() {
+            if t.label(id) == author {
+                assert_eq!(t.fanout(id), 1);
+                let v = t.children(id)[0];
+                assert!(t.is_leaf(v));
+                assert!(labels.name(t.label(v)).starts_with("Author"));
+                saw_author_value = true;
+            }
+        }
+        assert!(saw_author_value);
+    }
+
+    #[test]
+    fn author_values_are_skewed() {
+        let mut labels = LabelTable::new();
+        let mut g = DblpGen::new(17, &mut labels, 500);
+        let author = labels.lookup("author").unwrap();
+        let mut counts: std::collections::HashMap<Label, u32> = Default::default();
+        for _ in 0..2000 {
+            let t = g.next_tree();
+            for id in t.preorder() {
+                if t.label(id) == author {
+                    *counts.entry(t.label(t.children(id)[0])).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Zipf: the most frequent author should dominate the median author.
+        assert!(
+            freqs[0] > 20 * freqs[freqs.len() / 2].max(1),
+            "not skewed: top {} vs median {}",
+            freqs[0],
+            freqs[freqs.len() / 2]
+        );
+    }
+}

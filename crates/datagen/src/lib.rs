@@ -1,0 +1,35 @@
+//! Synthetic dataset and workload generators for the SketchTree experiments.
+//!
+//! The paper evaluates on two real XML datasets with opposite shapes
+//! (Section 7.2): **TREEBANK** (28,699 trees; narrow, deep, recursive
+//! element names; values encrypted away) and **DBLP** (98,061 trees;
+//! shallow, bushy, with CDATA values; more skewed pattern distribution).
+//! Neither corpus ships with this repository, so [`treebank`] and [`dblp`]
+//! generate seeded streams with the same *shape statistics* — depth, fanout,
+//! label recursion, value skew — which are the properties every measured
+//! result in Section 7 actually depends on.  See DESIGN.md §3 for the full
+//! substitution argument.
+//!
+//! [`workload`] draws the query workloads of Sections 7.3, 7.8 and 7.9:
+//! single patterns bucketed by selectivity (Figure 8), random triples for
+//! the SUM workload (Figure 11a) and random pairs for PRODUCT (Figure 11b).
+//!
+//! Everything is deterministic given a seed, so experiments are exactly
+//! reproducible.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dblp;
+pub mod stats;
+pub mod stream;
+pub mod treebank;
+pub mod workload;
+pub mod zipf;
+
+pub use dblp::DblpGen;
+pub use stats::StreamStats;
+pub use stream::{Dataset, StreamSpec};
+pub use treebank::TreebankGen;
+pub use workload::{product_workload, single_pattern_workload, sum_workload, WorkloadQuery};
+pub use zipf::Zipf;

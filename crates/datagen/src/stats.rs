@@ -1,0 +1,112 @@
+//! Dataset shape statistics (the inputs to Table 1 and the substitution
+//! argument of DESIGN.md §3).
+
+use sketchtree_tree::Tree;
+
+/// Aggregate shape statistics of a tree stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Number of trees.
+    pub trees: usize,
+    /// Total nodes.
+    pub total_nodes: u64,
+    /// Mean nodes per tree.
+    pub avg_nodes: f64,
+    /// Mean tree height.
+    pub avg_depth: f64,
+    /// Maximum tree height.
+    pub max_depth: usize,
+    /// Mean fanout over internal nodes.
+    pub avg_fanout: f64,
+    /// Maximum fanout.
+    pub max_fanout: usize,
+}
+
+impl StreamStats {
+    /// Computes statistics over a stream.
+    pub fn of<'a>(trees: impl IntoIterator<Item = &'a Tree>) -> StreamStats {
+        let mut n = 0usize;
+        let mut total_nodes = 0u64;
+        let mut depth_sum = 0u64;
+        let mut max_depth = 0usize;
+        let mut internal_nodes = 0u64;
+        let mut child_edges = 0u64;
+        let mut max_fanout = 0usize;
+        for t in trees {
+            n += 1;
+            total_nodes += t.len() as u64;
+            let d = t.depth();
+            depth_sum += d as u64;
+            max_depth = max_depth.max(d);
+            max_fanout = max_fanout.max(t.max_fanout());
+            internal_nodes += (t.len() - t.leaf_count()) as u64;
+            child_edges += t.edge_count() as u64;
+        }
+        assert!(n > 0, "empty stream");
+        StreamStats {
+            trees: n,
+            total_nodes,
+            avg_nodes: total_nodes as f64 / n as f64,
+            avg_depth: depth_sum as f64 / n as f64,
+            max_depth,
+            avg_fanout: if internal_nodes == 0 {
+                0.0
+            } else {
+                child_edges as f64 / internal_nodes as f64
+            },
+            max_fanout,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{Dataset, StreamSpec};
+    use sketchtree_tree::LabelTable;
+
+    #[test]
+    fn stats_of_known_trees() {
+        let mut labels = LabelTable::new();
+        let a = labels.intern("a");
+        let t1 = Tree::node(a, vec![Tree::leaf(a), Tree::leaf(a)]); // depth 2, fanout 2
+        let t2 = Tree::leaf(a); // depth 1
+        let s = StreamStats::of([&t1, &t2]);
+        assert_eq!(s.trees, 2);
+        assert_eq!(s.total_nodes, 4);
+        assert_eq!(s.avg_nodes, 2.0);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.max_fanout, 2);
+        assert!((s.avg_depth - 1.5).abs() < 1e-12);
+        assert_eq!(s.avg_fanout, 2.0);
+    }
+
+    /// The substitution claim of DESIGN.md §3: treebank-like streams are
+    /// deeper and narrower than DBLP-like streams.
+    #[test]
+    fn treebank_deeper_dblp_bushier() {
+        let mut labels = LabelTable::new();
+        let tb = StreamSpec {
+            dataset: Dataset::Treebank,
+            n_trees: 300,
+            seed: 1,
+        }
+        .generate(&mut labels);
+        let db = StreamSpec {
+            dataset: Dataset::Dblp,
+            n_trees: 300,
+            seed: 1,
+        }
+        .generate(&mut labels);
+        let ts = StreamStats::of(tb.iter());
+        let ds = StreamStats::of(db.iter());
+        assert!(ts.avg_depth > ds.avg_depth, "{ts:?} vs {ds:?}");
+        assert!(ds.max_fanout > ts.max_fanout, "{ts:?} vs {ds:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_stream_rejected() {
+        StreamStats::of(std::iter::empty::<&Tree>());
+    }
+}

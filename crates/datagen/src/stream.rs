@@ -1,0 +1,119 @@
+//! Stream specification: which dataset, how many trees, which seed.
+
+use crate::dblp::DblpGen;
+use crate::treebank::TreebankGen;
+use sketchtree_tree::{LabelTable, Tree};
+
+/// Which synthetic dataset to stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Deep, narrow, recursive — the paper's TREEBANK analogue (k = 6).
+    Treebank,
+    /// Shallow, bushy, value-rich, highly skewed — the DBLP analogue
+    /// (k = 4).
+    Dblp,
+}
+
+impl Dataset {
+    /// The paper's maximum EnumTree pattern size for this dataset
+    /// (Table 1).
+    pub fn paper_k(self) -> usize {
+        match self {
+            Dataset::Treebank => 6,
+            Dataset::Dblp => 4,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Treebank => "TREEBANK",
+            Dataset::Dblp => "DBLP",
+        }
+    }
+}
+
+/// A reproducible stream of trees.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// The dataset shape.
+    pub dataset: Dataset,
+    /// Number of trees to stream.
+    pub n_trees: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// Materialises the stream, interning labels into `labels`.
+    pub fn generate(&self, labels: &mut LabelTable) -> Vec<Tree> {
+        match self.dataset {
+            Dataset::Treebank => {
+                let gen = TreebankGen::new(self.seed, labels);
+                gen.take(self.n_trees).collect()
+            }
+            Dataset::Dblp => {
+                let gen = DblpGen::new(self.seed, labels, 2000);
+                gen.take(self.n_trees).collect()
+            }
+        }
+    }
+
+    /// Streams trees through a callback without materialising the vector.
+    pub fn for_each(&self, labels: &mut LabelTable, mut f: impl FnMut(Tree)) {
+        match self.dataset {
+            Dataset::Treebank => {
+                let mut gen = TreebankGen::new(self.seed, labels);
+                for _ in 0..self.n_trees {
+                    f(gen.next_tree());
+                }
+            }
+            Dataset::Dblp => {
+                let mut gen = DblpGen::new(self.seed, labels, 2000);
+                for _ in 0..self.n_trees {
+                    f(gen.next_tree());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_matches_for_each() {
+        let spec = StreamSpec {
+            dataset: Dataset::Treebank,
+            n_trees: 25,
+            seed: 4,
+        };
+        let mut l1 = LabelTable::new();
+        let mut l2 = LabelTable::new();
+        let a = spec.generate(&mut l1);
+        let mut b = Vec::new();
+        spec.for_each(&mut l2, |t| b.push(t));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_sexpr(), y.to_sexpr());
+        }
+    }
+
+    #[test]
+    fn paper_ks() {
+        assert_eq!(Dataset::Treebank.paper_k(), 6);
+        assert_eq!(Dataset::Dblp.paper_k(), 4);
+    }
+
+    #[test]
+    fn dblp_spec_generates() {
+        let spec = StreamSpec {
+            dataset: Dataset::Dblp,
+            n_trees: 10,
+            seed: 1,
+        };
+        let mut labels = LabelTable::new();
+        assert_eq!(spec.generate(&mut labels).len(), 10);
+    }
+}

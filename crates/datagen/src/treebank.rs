@@ -1,0 +1,282 @@
+//! TREEBANK-like stream generator: deep, narrow, recursive parse trees.
+//!
+//! The paper's TREEBANK dataset is the Penn Treebank rendered as XML:
+//! 28,699 trees that are "narrow and deep with recursive element names" and
+//! encrypted values (so queries use element names only, Section 7.3).  This
+//! generator produces seeded phrase-structure trees over the real Penn
+//! Treebank tag set using a small probabilistic grammar: sentences expand
+//! into clauses and phrases, phrases recurse (`NP → NP PP`, `SBAR → IN S`),
+//! and recursion is depth-damped so trees stay in the 5–30 node range with
+//! occasional deep chains — the same shape regime as the original.
+//!
+//! Rule choice is Zipf-weighted per nonterminal, giving the pattern
+//! distribution the moderate skew Section 7.6 observes for TREEBANK
+//! (contrast with [`crate::dblp`]'s much stronger skew).
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sketchtree_tree::{Label, LabelTable, Tree};
+
+/// Nonterminal tags (expand into children).
+const NONTERMINALS: &[&str] = &[
+    "S", "NP", "VP", "PP", "SBAR", "SBARQ", "SQ", "ADJP", "ADVP", "WHNP", "PRN",
+];
+
+/// Part-of-speech (terminal) tags.
+const TERMINALS: &[&str] = &[
+    "NN", "NNS", "NNP", "DT", "JJ", "IN", "PRP", "VBD", "VBZ", "VBP", "VB", "RB", "CC", "CD",
+    "TO", "MD", "WP", "WRB", "EX", "POS",
+];
+
+/// One grammar rule: left-hand nonterminal index → right-hand tag names.
+struct Rule {
+    lhs: usize,
+    rhs: &'static [&'static str],
+}
+
+/// The grammar: per paper Example 7, each rule is itself a tree pattern.
+/// Probabilities are rank-based (earlier rules for a nonterminal are more
+/// likely, Zipf-weighted), which yields skewed pattern counts.
+const RULES: &[Rule] = &[
+    // S
+    Rule { lhs: 0, rhs: &["NP", "VP"] },
+    Rule { lhs: 0, rhs: &["NP", "VP", "PP"] },
+    Rule { lhs: 0, rhs: &["SBAR", "NP", "VP"] },
+    Rule { lhs: 0, rhs: &["VP"] },
+    Rule { lhs: 0, rhs: &["NP", "ADVP", "VP"] },
+    // NP
+    Rule { lhs: 1, rhs: &["DT", "NN"] },
+    Rule { lhs: 1, rhs: &["NP", "PP"] },
+    Rule { lhs: 1, rhs: &["DT", "JJ", "NN"] },
+    Rule { lhs: 1, rhs: &["PRP"] },
+    Rule { lhs: 1, rhs: &["NNP"] },
+    Rule { lhs: 1, rhs: &["NP", "SBAR"] },
+    Rule { lhs: 1, rhs: &["NN", "NNS"] },
+    Rule { lhs: 1, rhs: &["CD", "NNS"] },
+    // VP
+    Rule { lhs: 2, rhs: &["VBD", "NP"] },
+    Rule { lhs: 2, rhs: &["VBZ", "NP"] },
+    Rule { lhs: 2, rhs: &["VBP", "NP", "PP"] },
+    Rule { lhs: 2, rhs: &["MD", "VP"] },
+    Rule { lhs: 2, rhs: &["VB", "NP"] },
+    Rule { lhs: 2, rhs: &["VBD", "SBAR"] },
+    Rule { lhs: 2, rhs: &["TO", "VP"] },
+    Rule { lhs: 2, rhs: &["VBD"] },
+    // PP
+    Rule { lhs: 3, rhs: &["IN", "NP"] },
+    Rule { lhs: 3, rhs: &["TO", "NP"] },
+    // SBAR
+    Rule { lhs: 4, rhs: &["IN", "S"] },
+    Rule { lhs: 4, rhs: &["WHNP", "S"] },
+    // SBARQ
+    Rule { lhs: 5, rhs: &["WHNP", "SQ"] },
+    Rule { lhs: 5, rhs: &["WRB", "SQ"] },
+    // SQ
+    Rule { lhs: 6, rhs: &["VBZ", "NP", "NP"] },
+    Rule { lhs: 6, rhs: &["VBD", "NP", "VP"] },
+    Rule { lhs: 6, rhs: &["MD", "NP", "VP"] },
+    // ADJP
+    Rule { lhs: 7, rhs: &["RB", "JJ"] },
+    Rule { lhs: 7, rhs: &["JJ", "PP"] },
+    // ADVP
+    Rule { lhs: 8, rhs: &["RB"] },
+    Rule { lhs: 8, rhs: &["RB", "RB"] },
+    // WHNP
+    Rule { lhs: 9, rhs: &["WP"] },
+    Rule { lhs: 9, rhs: &["WP", "NN"] },
+    // PRN
+    Rule { lhs: 10, rhs: &["NP", "VP"] },
+];
+
+/// Seeded generator of treebank-like parse trees.
+#[derive(Debug)]
+pub struct TreebankGen {
+    rng: StdRng,
+    nonterminal_labels: Vec<Label>,
+    terminal_labels: Vec<Label>,
+    /// Per nonterminal: indices into RULES.
+    rules_of: Vec<Vec<usize>>,
+    /// Maximum expansion depth before forcing terminals.
+    max_depth: usize,
+    /// "Encrypted" word tokens under each POS leaf.  The real TREEBANK's
+    /// values were encrypted but still present as distinct node labels —
+    /// they are what pushed its distinct-pattern count into the millions
+    /// (Table 1) despite only 28,699 trees.
+    vocab: Vec<Label>,
+    vocab_dist: Zipf,
+}
+
+impl TreebankGen {
+    /// Creates a generator; labels are interned into `labels`.
+    pub fn new(seed: u64, labels: &mut LabelTable) -> Self {
+        let nonterminal_labels = NONTERMINALS.iter().map(|n| labels.intern(n)).collect();
+        let terminal_labels = TERMINALS.iter().map(|n| labels.intern(n)).collect();
+        let mut rules_of = vec![Vec::new(); NONTERMINALS.len()];
+        for (idx, r) in RULES.iter().enumerate() {
+            rules_of[r.lhs].push(idx);
+        }
+        let vocab = (0..4000)
+            .map(|i| labels.intern(&format!("w{i:04}")))
+            .collect::<Vec<_>>();
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            nonterminal_labels,
+            terminal_labels,
+            rules_of,
+            max_depth: 12,
+            vocab_dist: Zipf::new(vocab.len(), 1.0),
+            vocab,
+        }
+    }
+
+    fn tag_index(name: &str) -> Option<usize> {
+        NONTERMINALS.iter().position(|&n| n == name)
+    }
+
+    fn terminal_index(name: &str) -> usize {
+        TERMINALS
+            .iter()
+            .position(|&n| n == name)
+            .expect("grammar RHS tags are nonterminals or terminals")
+    }
+
+    fn expand(&mut self, nt: usize, depth: usize) -> Tree {
+        let rules = &self.rules_of[nt];
+        debug_assert!(!rules.is_empty(), "every nonterminal has rules");
+        // Zipf-ish rank weighting: rule i with weight 1/(i+1); when deep,
+        // bias strongly toward the shortest RHS to terminate.
+        let pick = if depth >= self.max_depth {
+            // Pick the rule with the fewest nonterminals on the RHS.
+            *rules
+                .iter()
+                .min_by_key(|&&ri| {
+                    RULES[ri]
+                        .rhs
+                        .iter()
+                        .filter(|t| Self::tag_index(t).is_some())
+                        .count()
+                })
+                .expect("non-empty")
+        } else {
+            let weights: Vec<f64> = (0..rules.len()).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+            let total: f64 = weights.iter().sum();
+            let mut u: f64 = self.rng.gen::<f64>() * total;
+            let mut chosen = rules[rules.len() - 1];
+            for (i, w) in weights.iter().enumerate() {
+                if u < *w {
+                    chosen = rules[i];
+                    break;
+                }
+                u -= w;
+            }
+            chosen
+        };
+        let rhs = RULES[pick].rhs;
+        let children: Vec<Tree> = rhs
+            .iter()
+            .map(|tag| match Self::tag_index(tag) {
+                Some(nti) => self.expand(nti, depth + 1),
+                None => {
+                    // POS leaf carrying an "encrypted" word token.
+                    let word = self.vocab[self.vocab_dist.sample(&mut self.rng)];
+                    Tree::node(
+                        self.terminal_labels[Self::terminal_index(tag)],
+                        vec![Tree::leaf(word)],
+                    )
+                }
+            })
+            .collect();
+        Tree::node(self.nonterminal_labels[nt], children)
+    }
+
+    /// Generates the next parse tree (rooted at `S`, or at `SBARQ` for a
+    /// question ~10% of the time, mirroring the question-treebank use case
+    /// of paper Example 5).
+    pub fn next_tree(&mut self) -> Tree {
+        let root = if self.rng.gen::<f64>() < 0.10 { 5 } else { 0 };
+        self.expand(root, 0)
+    }
+}
+
+impl Iterator for TreebankGen {
+    type Item = Tree;
+    fn next(&mut self) -> Option<Tree> {
+        Some(self.next_tree())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut l1 = LabelTable::new();
+        let mut l2 = LabelTable::new();
+        let mut a = TreebankGen::new(5, &mut l1);
+        let mut b = TreebankGen::new(5, &mut l2);
+        for _ in 0..20 {
+            assert_eq!(a.next_tree().to_sexpr(), b.next_tree().to_sexpr());
+        }
+    }
+
+    #[test]
+    fn trees_are_deep_and_narrow() {
+        let mut labels = LabelTable::new();
+        let mut g = TreebankGen::new(42, &mut labels);
+        let trees: Vec<Tree> = (0..500).map(|_| g.next_tree()).collect();
+        let avg_depth: f64 =
+            trees.iter().map(|t| t.depth() as f64).sum::<f64>() / trees.len() as f64;
+        let max_fanout = trees.iter().map(Tree::max_fanout).max().unwrap();
+        let avg_size: f64 = trees.iter().map(|t| t.len() as f64).sum::<f64>() / trees.len() as f64;
+        assert!(avg_depth >= 4.0, "too shallow: {avg_depth}");
+        assert!(max_fanout <= 4, "treebank trees must be narrow: {max_fanout}");
+        assert!((5.0..=60.0).contains(&avg_size), "avg size {avg_size}");
+    }
+
+    #[test]
+    fn labels_are_recursive() {
+        // The same nonterminal should appear at several depths (NP → NP PP).
+        let mut labels = LabelTable::new();
+        let mut g = TreebankGen::new(7, &mut labels);
+        let np = labels.lookup("NP").unwrap();
+        let mut np_depths = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let t = g.next_tree();
+            let mut depth = vec![0usize; t.len()];
+            for id in t.preorder() {
+                depth[id.index()] = t.parent(id).map_or(1, |p| depth[p.index()] + 1);
+                if t.label(id) == np {
+                    np_depths.insert(depth[id.index()]);
+                }
+            }
+        }
+        assert!(np_depths.len() >= 3, "NP only at depths {np_depths:?}");
+    }
+
+    #[test]
+    fn questions_appear() {
+        let mut labels = LabelTable::new();
+        let mut g = TreebankGen::new(11, &mut labels);
+        let sbarq = labels.lookup("SBARQ").unwrap();
+        let hits = (0..300)
+            .filter(|_| {
+                let t = g.next_tree();
+                t.label(t.root()) == sbarq
+            })
+            .count();
+        // ~10% of 300 = 30 ± noise.
+        assert!(hits > 5 && hits < 80, "SBARQ rate off: {hits}");
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let mut labels = LabelTable::new();
+        let mut g = TreebankGen::new(3, &mut labels);
+        for _ in 0..300 {
+            let t = g.next_tree();
+            assert!(t.depth() <= 40, "runaway recursion: depth {}", t.depth());
+        }
+    }
+}

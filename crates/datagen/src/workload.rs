@@ -1,0 +1,263 @@
+//! Query workload generation — paper Sections 7.3, 7.8 and 7.9.
+//!
+//! The paper draws query workloads *from the observed pattern population*
+//! by selectivity: single patterns within a selectivity band (Figure 8),
+//! 10,000 random triples for the SUM workload (Figure 11a), and 6,811
+//! random pairs for PRODUCT (Figure 11b).  Selectivity of a query is its
+//! exact count (sum or product for composite workloads) divided by the
+//! total number of pattern instances processed.
+//!
+//! Workload queries are *mapped values plus exact answers* — exactly what
+//! the error measurement needs — so workload generation runs off the
+//! [`sketchtree_core::ExactCounter`] populated during ingestion.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sketchtree_core::ExactCounter;
+
+/// One workload query: a set of pattern values with its exact answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadQuery {
+    /// The distinct mapped pattern values involved.
+    pub values: Vec<u64>,
+    /// The exact answer (sum of counts for single/SUM, product for
+    /// PRODUCT).
+    pub exact: f64,
+    /// `exact / total_instances` — the paper's selectivity measure.
+    pub selectivity: f64,
+}
+
+/// Draws up to `max_queries` single-pattern queries with selectivity in
+/// `[sel_lo, sel_hi)`, uniformly at random from the qualifying patterns.
+pub fn single_pattern_workload(
+    exact: &ExactCounter,
+    sel_lo: f64,
+    sel_hi: f64,
+    max_queries: usize,
+    seed: u64,
+) -> Vec<WorkloadQuery> {
+    let total = exact.total() as f64;
+    let mut qualifying: Vec<(u64, u64)> = exact
+        .iter()
+        .filter(|&(_, c)| {
+            let sel = c as f64 / total;
+            sel >= sel_lo && sel < sel_hi
+        })
+        .collect();
+    // Deterministic order before shuffling (HashMap iteration is not).
+    qualifying.sort_unstable();
+    let mut rng = StdRng::seed_from_u64(seed);
+    shuffle(&mut qualifying, &mut rng);
+    qualifying
+        .into_iter()
+        .take(max_queries)
+        .map(|(v, c)| WorkloadQuery {
+            values: vec![v],
+            exact: c as f64,
+            selectivity: c as f64 / total,
+        })
+        .collect()
+}
+
+/// Builds the SUM workload: `n` queries, each the sum of `arity` distinct
+/// patterns drawn from `base` (Section 7.8: arity 3 from the Figure 8(a)
+/// workload).
+pub fn sum_workload(
+    base: &[WorkloadQuery],
+    n: usize,
+    arity: usize,
+    total_instances: u64,
+    seed: u64,
+) -> Vec<WorkloadQuery> {
+    composite_workload(base, n, arity, total_instances, seed, |counts| {
+        counts.iter().sum::<f64>()
+    })
+}
+
+/// Builds the PRODUCT workload: `n` queries, each the product of `arity`
+/// distinct patterns (Section 7.9: arity 2).
+pub fn product_workload(
+    base: &[WorkloadQuery],
+    n: usize,
+    arity: usize,
+    total_instances: u64,
+    seed: u64,
+) -> Vec<WorkloadQuery> {
+    composite_workload(base, n, arity, total_instances, seed, |counts| {
+        counts.iter().product::<f64>()
+    })
+}
+
+fn composite_workload(
+    base: &[WorkloadQuery],
+    n: usize,
+    arity: usize,
+    total_instances: u64,
+    seed: u64,
+    combine: impl Fn(&[f64]) -> f64,
+) -> Vec<WorkloadQuery> {
+    assert!(
+        base.len() >= arity,
+        "base workload too small: {} < {arity}",
+        base.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = total_instances as f64;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Pick `arity` distinct base queries.
+        let mut picked: Vec<usize> = Vec::with_capacity(arity);
+        while picked.len() < arity {
+            let i = rng.gen_range(0..base.len());
+            if !picked.contains(&i) {
+                picked.push(i);
+            }
+        }
+        let mut values: Vec<u64> = picked
+            .iter()
+            .flat_map(|&i| base[i].values.iter().copied())
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        if values.len() != arity {
+            continue; // distinct base queries sharing a value: redraw
+        }
+        let counts: Vec<f64> = picked.iter().map(|&i| base[i].exact).collect();
+        let exact = combine(&counts);
+        out.push(WorkloadQuery {
+            values,
+            exact,
+            selectivity: exact / total,
+        });
+    }
+    out
+}
+
+/// Buckets queries by selectivity; returns `(lo, hi, count)` per bucket —
+/// the histograms of Figures 8 and 11.
+pub fn selectivity_histogram(
+    queries: &[WorkloadQuery],
+    edges: &[f64],
+) -> Vec<(f64, f64, usize)> {
+    let mut out = Vec::with_capacity(edges.len().saturating_sub(1));
+    for w in edges.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let count = queries
+            .iter()
+            .filter(|q| q.selectivity >= lo && q.selectivity < hi)
+            .count();
+        out.push((lo, hi, count));
+    }
+    out
+}
+
+/// Fisher–Yates with the caller's RNG.
+fn shuffle<T>(xs: &mut [T], rng: &mut impl Rng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> ExactCounter {
+        let mut c = ExactCounter::new();
+        // Values 1..=100 with count = value (total = 5050).
+        for v in 1..=100u64 {
+            for _ in 0..v {
+                c.record(v);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn single_workload_respects_selectivity_band() {
+        let c = counter();
+        // Selectivity of value v is v/5050. Band [0.01, 0.02) → v in 50..101 → 51..=100.
+        let w = single_pattern_workload(&c, 0.01, 0.02, 1000, 7);
+        assert!(!w.is_empty());
+        for q in &w {
+            assert!(q.selectivity >= 0.01 && q.selectivity < 0.02);
+            assert_eq!(q.values.len(), 1);
+            assert!((51..=100).contains(&q.values[0]), "value {}", q.values[0]);
+            assert_eq!(q.exact, q.values[0] as f64);
+        }
+    }
+
+    #[test]
+    fn single_workload_caps_count() {
+        let c = counter();
+        let w = single_pattern_workload(&c, 0.0, 1.0, 10, 7);
+        assert_eq!(w.len(), 10);
+    }
+
+    #[test]
+    fn single_workload_deterministic() {
+        let c = counter();
+        let a = single_pattern_workload(&c, 0.0, 1.0, 20, 3);
+        let b = single_pattern_workload(&c, 0.0, 1.0, 20, 3);
+        assert_eq!(a, b);
+        let d = single_pattern_workload(&c, 0.0, 1.0, 20, 4);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn sum_workload_sums() {
+        let c = counter();
+        let base = single_pattern_workload(&c, 0.0, 1.0, 50, 1);
+        let w = sum_workload(&base, 30, 3, c.total(), 2);
+        assert_eq!(w.len(), 30);
+        for q in &w {
+            assert_eq!(q.values.len(), 3);
+            let expect: f64 = q.values.iter().map(|&v| v as f64).sum();
+            assert_eq!(q.exact, expect);
+            assert!((q.selectivity - expect / 5050.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn product_workload_multiplies() {
+        let c = counter();
+        let base = single_pattern_workload(&c, 0.0, 1.0, 50, 1);
+        let w = product_workload(&base, 30, 2, c.total(), 2);
+        for q in &w {
+            assert_eq!(q.values.len(), 2);
+            let expect: f64 = q.values.iter().map(|&v| v as f64).product();
+            assert_eq!(q.exact, expect);
+        }
+    }
+
+    #[test]
+    fn composite_values_are_distinct() {
+        let c = counter();
+        let base = single_pattern_workload(&c, 0.0, 1.0, 10, 1);
+        let w = sum_workload(&base, 100, 3, c.total(), 9);
+        for q in &w {
+            let mut v = q.values.clone();
+            v.dedup();
+            assert_eq!(v.len(), 3);
+        }
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let c = counter();
+        let w = single_pattern_workload(&c, 0.0, 1.0, 1000, 7);
+        let h = selectivity_histogram(&w, &[0.0, 0.005, 0.01, 0.02]);
+        assert_eq!(h.len(), 3);
+        let total: usize = h.iter().map(|&(_, _, n)| n).sum();
+        assert_eq!(total, w.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn composite_needs_enough_base() {
+        let c = counter();
+        let base = single_pattern_workload(&c, 0.0, 1.0, 2, 1);
+        sum_workload(&base, 5, 3, c.total(), 1);
+    }
+}

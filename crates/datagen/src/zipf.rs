@@ -1,0 +1,148 @@
+//! A seeded Zipf sampler.
+//!
+//! Pattern frequencies in real tree corpora are heavily skewed — the whole
+//! premise of the paper's top-k strategy (Section 5.2) — and the generators
+//! reproduce that skew with Zipf-distributed choices: rank `r` is drawn with
+//! probability proportional to `1 / r^s`.  The sampler precomputes the CDF
+//! once (`O(n)`), then draws by binary search (`O(log n)`), which is the
+//! right trade-off for the vocabulary sizes the generators use (≤ 10⁶).
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n`.
+///
+/// ```
+/// use sketchtree_datagen::Zipf;
+/// let z = Zipf::new(100, 1.0);
+/// assert!(z.pmf(0) > z.pmf(50)); // rank 0 is the most likely
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`
+    /// (`s = 0` is uniform; `s ≈ 1` is classic Zipf; larger is more
+    /// skewed).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..n` (rank 0 is the most likely).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point: first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-9, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn skew_orders_ranks() {
+        let z = Zipf::new(50, 1.0);
+        for r in 1..50 {
+            assert!(z.pmf(r) < z.pmf(r - 1), "rank {r} not less likely");
+        }
+    }
+
+    #[test]
+    fn samples_match_pmf_roughly() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut counts = [0u32; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &cnt) in counts.iter().enumerate() {
+            let expect = z.pmf(r) * n as f64;
+            let got = cnt as f64;
+            assert!(
+                (got - expect).abs() < 5.0 * expect.sqrt() + 10.0,
+                "rank {r}: got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let z = Zipf::new(100, 1.2);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_rank_support() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_support_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the data and workload generators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sketchtree_core::ExactCounter;
+use sketchtree_datagen::workload::{product_workload, single_pattern_workload, sum_workload};
+use sketchtree_datagen::{Dataset, StreamSpec, Zipf};
+use sketchtree_tree::LabelTable;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Zipf samples always fall in range and the CDF is monotone.
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..500, s in 0.0f64..2.5, seed in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+        let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    /// Streams are deterministic per (dataset, seed, n) and change with the
+    /// seed.
+    #[test]
+    fn stream_determinism(seed in any::<u64>(), n in 1usize..30) {
+        for dataset in [Dataset::Treebank, Dataset::Dblp] {
+            let spec = StreamSpec { dataset, n_trees: n, seed };
+            let mut l1 = LabelTable::new();
+            let mut l2 = LabelTable::new();
+            let a: Vec<String> = spec.generate(&mut l1).iter().map(|t| t.to_sexpr()).collect();
+            let b: Vec<String> = spec.generate(&mut l2).iter().map(|t| t.to_sexpr()).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Generated trees respect each dataset's shape contract.
+    #[test]
+    fn shape_contracts(seed in any::<u64>()) {
+        let mut labels = LabelTable::new();
+        let tb = StreamSpec { dataset: Dataset::Treebank, n_trees: 20, seed }
+            .generate(&mut labels);
+        for t in &tb {
+            prop_assert!(t.max_fanout() <= 4, "treebank fanout {}", t.max_fanout());
+            prop_assert!(t.depth() <= 40, "treebank depth {}", t.depth());
+        }
+        let db = StreamSpec { dataset: Dataset::Dblp, n_trees: 20, seed }
+            .generate(&mut labels);
+        for t in &db {
+            prop_assert!(t.depth() <= 3, "dblp depth {}", t.depth());
+        }
+    }
+
+    /// Workload invariants: selectivities in band, exact counts correct,
+    /// composite values distinct, determinism per seed.
+    #[test]
+    fn workload_invariants(seed in any::<u64>()) {
+        let mut exact = ExactCounter::new();
+        for v in 1..=300u64 {
+            for _ in 0..v {
+                exact.record(v);
+            }
+        }
+        let total = exact.total();
+        let base = single_pattern_workload(&exact, 1e-4, 1e-2, 60, seed);
+        prop_assert!(!base.is_empty());
+        for q in &base {
+            prop_assert!(q.selectivity >= 1e-4 && q.selectivity < 1e-2);
+            prop_assert_eq!(q.exact, exact.count(q.values[0]) as f64);
+        }
+        if base.len() >= 3 {
+            let sums = sum_workload(&base, 10, 3, total, seed);
+            for q in &sums {
+                prop_assert_eq!(q.values.len(), 3);
+                let expect: f64 = q.values.iter().map(|&v| exact.count(v) as f64).sum();
+                prop_assert_eq!(q.exact, expect);
+            }
+            let prods = product_workload(&base, 10, 2, total, seed);
+            for q in &prods {
+                prop_assert_eq!(q.values.len(), 2);
+                let expect: f64 = q.values.iter().map(|&v| exact.count(v) as f64).product();
+                prop_assert_eq!(q.exact, expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Arbitrary-precision natural numbers.
+//!
+//! The exact pairing functions of paper Section 2.2 map k-tuples of labels
+//! and postorder numbers to single integers.  The paper itself observes that
+//! "the range of PF(·) grows rapidly" beyond machine words — which is why we
+//! need arbitrary precision to implement the *reference* mapping faithfully
+//! (the production mapping is the Rabin fingerprint of Section 6.1).
+//!
+//! Only the operations the pairing functions need are implemented: addition,
+//! subtraction, multiplication, halving, integer square root, comparison and
+//! decimal formatting.  Limbs are little-endian `u32`s stored in a `u64`
+//! accumulator during arithmetic, keeping carries trivial and the code easy
+//! to audit.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision natural number (unsigned).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigNat {
+    /// Little-endian base-2^32 limbs; normalized (no trailing zeros), so
+    /// zero is the empty vector.
+    limbs: Vec<u32>,
+}
+
+impl BigNat {
+    /// Zero.
+    #[inline]
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// One.
+    #[inline]
+    pub fn one() -> Self {
+        Self { limbs: vec![1] }
+    }
+
+    /// Builds from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut n = Self {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        n.normalize();
+        n
+    }
+
+    /// Converts to `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u64::from(self.limbs[0])),
+            2 => Some(u64::from(self.limbs[0]) | (u64::from(self.limbs[1]) << 32)),
+            _ => None,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// True if zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &l) in long.iter().enumerate() {
+            let s = u64::from(l) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        let mut n = Self { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Subtraction. Saturates conceptually forbidden: panics on underflow.
+    ///
+    /// # Panics
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(
+            self.cmp_nat(other) != Ordering::Less,
+            "BigNat subtraction underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let d = i64::from(self.limbs[i])
+                - i64::from(other.limbs.get(i).copied().unwrap_or(0))
+                - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = Self { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Multiplication (schoolbook).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = u64::from(out[i + j]) + u64::from(a) * u64::from(b) + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = u64::from(out[k]) + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        let mut n = Self { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Division by 2 (floor).
+    pub fn half(&self) -> Self {
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut carry = 0u32;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (u64::from(carry) << 32) | u64::from(self.limbs[i]);
+            out[i] = (cur >> 1) as u32;
+            carry = (cur & 1) as u32;
+        }
+        let mut n = Self { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// True if even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Comparison.
+    pub fn cmp_nat(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Left shift by `k` bits (multiply by 2^k).
+    pub fn shl(&self, k: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let limb_shift = k / 32;
+        let bit_shift = k % 32;
+        let mut out = vec![0u32; limb_shift + self.limbs.len() + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            let v = u64::from(l) << bit_shift;
+            out[limb_shift + i] |= v as u32;
+            out[limb_shift + i + 1] |= (v >> 32) as u32;
+        }
+        let mut n = Self { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Integer square root (floor), by Newton's method on bit-length-based
+    /// initial guess; always terminates because the iteration is strictly
+    /// decreasing once above the root.
+    pub fn isqrt(&self) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        if let Some(v) = self.to_u64() {
+            // Fast path with exact integer sqrt on u64.
+            let mut r = (v as f64).sqrt() as u64;
+            // Correct float slop in both directions.
+            while r.checked_mul(r).is_none_or(|rr| rr > v) {
+                r -= 1;
+            }
+            while (r + 1).checked_mul(r + 1).is_some_and(|rr| rr <= v) {
+                r += 1;
+            }
+            return Self::from_u64(r);
+        }
+        // Initial guess: 2^(ceil(bits/2)) >= sqrt(self).
+        let mut x = Self::one().shl(self.bits().div_ceil(2));
+        loop {
+            // x' = (x + self/x) / 2; division self/x done via multiply-free
+            // long division.
+            let q = self.div_floor(&x);
+            let next = x.add(&q).half();
+            if next.cmp_nat(&x) != Ordering::Less {
+                // Converged: x is the floor sqrt (standard Newton argument).
+                return x;
+            }
+            x = next;
+        }
+    }
+
+    /// Floor division by binary long division.
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    pub fn div_floor(&self, divisor: &Self) -> Self {
+        assert!(!divisor.is_zero(), "BigNat division by zero");
+        if self.cmp_nat(divisor) == Ordering::Less {
+            return Self::zero();
+        }
+        let shift = self.bits() - divisor.bits();
+        let mut quotient = Self::zero();
+        let mut rem = self.clone();
+        for s in (0..=shift).rev() {
+            let d = divisor.shl(s);
+            if rem.cmp_nat(&d) != Ordering::Less {
+                rem = rem.sub(&d);
+                quotient = quotient.add(&Self::one().shl(s));
+            }
+        }
+        quotient
+    }
+
+    /// Remainder of floor division.
+    pub fn rem_floor(&self, divisor: &Self) -> Self {
+        self.sub(&self.div_floor(divisor).mul(divisor))
+    }
+
+    /// Divides by a small `u32`, returning (quotient, remainder).
+    fn divmod_small(&self, d: u32) -> (Self, u32) {
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut rem = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 32) | u64::from(self.limbs[i]);
+            out[i] = (cur / u64::from(d)) as u32;
+            rem = cur % u64::from(d);
+        }
+        let mut q = Self { limbs: out };
+        q.normalize();
+        (q, rem as u32)
+    }
+}
+
+impl PartialOrd for BigNat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigNat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_nat(other)
+    }
+}
+
+impl fmt::Display for BigNat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divmod_small(1_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        write!(f, "{}", chunks.last().unwrap())?;
+        for c in chunks.iter().rev().skip(1) {
+            write!(f, "{c:09}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        for v in [0u64, 1, 0xFFFF_FFFF, 0x1_0000_0000, u64::MAX] {
+            assert_eq!(BigNat::from_u64(v).to_u64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn add_with_carries() {
+        let a = BigNat::from_u64(u64::MAX);
+        let b = BigNat::from_u64(1);
+        let s = a.add(&b);
+        assert_eq!(s.to_u64(), None);
+        assert_eq!(s.to_string(), "18446744073709551616");
+    }
+
+    #[test]
+    fn sub_inverse_of_add() {
+        let a = BigNat::from_u64(123_456_789_012_345);
+        let b = BigNat::from_u64(987_654_321);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.sub(&a), BigNat::zero());
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_underflow_panics() {
+        BigNat::from_u64(1).sub(&BigNat::from_u64(2));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let pairs = [
+            (0u64, 5u64),
+            (1, u64::MAX),
+            (0xFFFF_FFFF, 0xFFFF_FFFF),
+            (u64::MAX, u64::MAX),
+            (123_456_789, 987_654_321),
+        ];
+        for (a, b) in pairs {
+            let prod = BigNat::from_u64(a).mul(&BigNat::from_u64(b));
+            let expect = u128::from(a) * u128::from(b);
+            assert_eq!(prod.to_string(), expect.to_string());
+        }
+    }
+
+    #[test]
+    fn half_and_parity() {
+        assert_eq!(BigNat::from_u64(10).half(), BigNat::from_u64(5));
+        assert_eq!(BigNat::from_u64(11).half(), BigNat::from_u64(5));
+        assert!(BigNat::from_u64(10).is_even());
+        assert!(!BigNat::from_u64(11).is_even());
+        assert!(BigNat::zero().is_even());
+        // Carry across limb boundary.
+        let big = BigNat::from_u64(3 << 32);
+        assert_eq!(big.half().to_u64(), Some(3 << 31));
+    }
+
+    #[test]
+    fn ordering_total_and_consistent() {
+        let vals = [0u64, 1, 2, 0xFFFF_FFFF, 1 << 40, u64::MAX];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    BigNat::from_u64(a).cmp(&BigNat::from_u64(b)),
+                    a.cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+        let huge = BigNat::from_u64(u64::MAX).mul(&BigNat::from_u64(u64::MAX));
+        assert!(huge > BigNat::from_u64(u64::MAX));
+    }
+
+    #[test]
+    fn shl_matches_multiplication() {
+        let a = BigNat::from_u64(0b1011);
+        assert_eq!(a.shl(3).to_u64(), Some(0b1011000));
+        assert_eq!(a.shl(0), a);
+        assert_eq!(a.shl(64).to_string(), (0b1011u128 << 64).to_string());
+        assert_eq!(BigNat::zero().shl(100), BigNat::zero());
+    }
+
+    #[test]
+    fn isqrt_exact_and_floor() {
+        for v in [0u64, 1, 2, 3, 4, 15, 16, 17, 99, 100, 101, u32::MAX as u64] {
+            let r = BigNat::from_u64(v).isqrt().to_u64().unwrap();
+            assert!(r * r <= v, "v={v} r={r}");
+            assert!((r + 1) * (r + 1) > v, "v={v} r={r}");
+        }
+    }
+
+    #[test]
+    fn isqrt_big() {
+        // (2^80 + 3)^2 has a known floor sqrt.
+        let base = BigNat::one().shl(80).add(&BigNat::from_u64(3));
+        let sq = base.mul(&base);
+        assert_eq!(sq.isqrt(), base);
+        let sq_minus = sq.sub(&BigNat::one());
+        assert_eq!(sq_minus.isqrt(), base.sub(&BigNat::one()));
+    }
+
+    #[test]
+    fn div_floor_and_rem() {
+        let a = BigNat::from_u64(1_000_000_007);
+        let b = BigNat::from_u64(97);
+        let q = a.div_floor(&b);
+        let r = a.rem_floor(&b);
+        assert_eq!(q.to_u64(), Some(1_000_000_007 / 97));
+        assert_eq!(r.to_u64(), Some(1_000_000_007 % 97));
+        assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn div_by_zero_panics() {
+        BigNat::one().div_floor(&BigNat::zero());
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(BigNat::zero().to_string(), "0");
+        assert_eq!(BigNat::from_u64(42).to_string(), "42");
+        assert_eq!(
+            BigNat::from_u64(1_000_000_000).to_string(),
+            "1000000000"
+        );
+        assert_eq!(
+            BigNat::from_u64(u64::MAX).to_string(),
+            u64::MAX.to_string()
+        );
+        // Zero-padding of inner chunks: 2^64 = 18446744073709551616.
+        assert_eq!(
+            BigNat::from_u64(u64::MAX).add(&BigNat::one()).to_string(),
+            "18446744073709551616"
+        );
+    }
+
+    #[test]
+    fn bits_counts() {
+        assert_eq!(BigNat::zero().bits(), 0);
+        assert_eq!(BigNat::one().bits(), 1);
+        assert_eq!(BigNat::from_u64(255).bits(), 8);
+        assert_eq!(BigNat::from_u64(256).bits(), 9);
+        assert_eq!(BigNat::one().shl(100).bits(), 101);
+    }
+}

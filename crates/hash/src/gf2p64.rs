@@ -1,0 +1,204 @@
+//! Arithmetic in the finite field GF(2^64).
+//!
+//! Elements are 64-bit words interpreted as polynomials over GF(2) modulo the
+//! irreducible polynomial `x^64 + x^4 + x^3 + x + 1` (the lexicographically
+//! least irreducible trinomial-free choice commonly used for CLMUL-based
+//! hashing; its low word is `0x1B`).
+//!
+//! Why a field and not plain integer arithmetic?  A uniformly random
+//! polynomial of degree `< k` over a *field* evaluated at distinct points
+//! yields exactly k-wise independent uniform values — the property the AMS
+//! sketch analysis (paper Section 3) requires of its ξ variables.  Working
+//! over GF(2^64) keeps evaluation branch-free (XOR/shift only) and gives an
+//! exactly uniform output space, unlike "mod prime then take a bit", which is
+//! only approximately unbiased.
+
+/// The reduction polynomial's low bits: `x^4 + x^3 + x + 1`.
+const POLY_LOW: u64 = 0x1B;
+
+/// Adds two field elements (addition in GF(2^64) is XOR).
+#[inline]
+pub fn add(a: u64, b: u64) -> u64 {
+    a ^ b
+}
+
+/// Carry-less (polynomial) multiplication of two 64-bit words, producing the
+/// full 128-bit product.
+///
+/// This is a portable shift-and-XOR implementation.  On the data sizes
+/// SketchTree touches (one evaluation of a degree ≤ 10 polynomial per pattern
+/// per sketch row) it is far from the bottleneck; the pattern enumeration is.
+#[inline]
+pub fn clmul(a: u64, b: u64) -> u128 {
+    let mut acc: u128 = 0;
+    let a = u128::from(a);
+    let mut b = b;
+    let mut shift = 0u32;
+    while b != 0 {
+        let tz = b.trailing_zeros();
+        shift += tz;
+        acc ^= a << shift;
+        b >>= tz;
+        b &= !1; // clear the bit we just consumed
+    }
+    acc
+}
+
+/// Reduces a 128-bit carry-less product modulo `x^64 + x^4 + x^3 + x + 1`.
+#[inline]
+pub fn reduce(v: u128) -> u64 {
+    // Fold the high 64 bits down twice: x^64 ≡ x^4 + x^3 + x + 1.
+    let lo = v as u64;
+    let hi = (v >> 64) as u64;
+    // hi * (x^4+x^3+x+1) has degree ≤ 63+4 = 67, so one more small fold.
+    let folded = clmul(hi, POLY_LOW);
+    let lo2 = folded as u64;
+    let hi2 = (folded >> 64) as u64; // at most 4 bits
+    let folded2 = clmul(hi2, POLY_LOW) as u64; // degree ≤ 3+4 < 64, no carry
+    lo ^ lo2 ^ folded2
+}
+
+/// Multiplies two elements of GF(2^64).
+#[inline]
+pub fn mul(a: u64, b: u64) -> u64 {
+    reduce(clmul(a, b))
+}
+
+/// Squares an element (same cost as `mul` in this portable implementation).
+#[inline]
+pub fn square(a: u64) -> u64 {
+    mul(a, a)
+}
+
+/// Raises `a` to the power `e` by square-and-multiply.
+pub fn pow(mut a: u64, mut e: u64) -> u64 {
+    let mut acc = 1u64;
+    while e != 0 {
+        if e & 1 == 1 {
+            acc = mul(acc, a);
+        }
+        a = square(a);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse of a non-zero element, via `a^(2^64 - 2)`.
+///
+/// # Panics
+/// Panics if `a == 0`, which has no inverse.
+pub fn inverse(a: u64) -> u64 {
+    assert_ne!(a, 0, "zero has no multiplicative inverse in GF(2^64)");
+    // Fermat: a^(2^64 - 2) = a^{-1} in the multiplicative group of order
+    // 2^64 - 1.
+    pow(a, u64::MAX - 1)
+}
+
+/// Evaluates the polynomial `coeffs[0] + coeffs[1]·x + … + coeffs[d]·x^d`
+/// at point `x`, using Horner's rule in GF(2^64).
+#[inline]
+pub fn eval_poly(coeffs: &[u64], x: u64) -> u64 {
+    let mut acc = 0u64;
+    for &c in coeffs.iter().rev() {
+        acc = add(mul(acc, x), c);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clmul_matches_definition_small() {
+        // (x+1)(x+1) = x^2+1 over GF(2)
+        assert_eq!(clmul(0b11, 0b11), 0b101);
+        // x * x^63 = x^64
+        assert_eq!(clmul(1 << 63, 2), 1u128 << 64);
+        assert_eq!(clmul(0, 0xFFFF), 0);
+        assert_eq!(clmul(1, 0xDEAD_BEEF), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn reduction_identity_below_64() {
+        for v in [0u64, 1, 2, 0xFFFF_FFFF_FFFF_FFFF] {
+            assert_eq!(reduce(u128::from(v)), v);
+        }
+    }
+
+    #[test]
+    fn x64_reduces_to_poly_low() {
+        assert_eq!(reduce(1u128 << 64), POLY_LOW);
+    }
+
+    #[test]
+    fn mul_commutative_associative_distributive() {
+        let xs = [1u64, 2, 3, 0x8000_0000_0000_0001, 0xDEAD_BEEF_CAFE_F00D];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(mul(a, b), mul(b, a));
+                for &c in &xs {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_is_identity_zero_annihilates() {
+        for a in [3u64, 0xABCD, u64::MAX] {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for a in [1u64, 2, 3, 0xFFFF, 0x8000_0000_0000_0000, u64::MAX] {
+            assert_eq!(mul(a, inverse(a)), 1, "a={a:#x}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverse_of_zero_panics() {
+        inverse(0);
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        let a = 0x1234_5678_9ABC_DEF0u64;
+        assert_eq!(pow(a, 0), 1);
+        assert_eq!(pow(a, 1), a);
+        assert_eq!(pow(a, 2), mul(a, a));
+        assert_eq!(pow(a, 3), mul(mul(a, a), a));
+    }
+
+    #[test]
+    fn fermat_order_divides_group_order() {
+        // a^(2^64-1) = 1 for all non-zero a.
+        for a in [1u64, 5, 0xCAFE, u64::MAX] {
+            assert_eq!(pow(a, u64::MAX), 1);
+        }
+    }
+
+    #[test]
+    fn eval_poly_horner_matches_naive() {
+        let coeffs = [7u64, 3, 0xFF, 0x1234];
+        let x = 0xABCDu64;
+        let mut naive = 0u64;
+        let mut xp = 1u64;
+        for &c in &coeffs {
+            naive = add(naive, mul(c, xp));
+            xp = mul(xp, x);
+        }
+        assert_eq!(eval_poly(&coeffs, x), naive);
+    }
+
+    #[test]
+    fn eval_poly_empty_and_constant() {
+        assert_eq!(eval_poly(&[], 42), 0);
+        assert_eq!(eval_poly(&[9], 42), 9);
+    }
+}

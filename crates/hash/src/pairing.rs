@@ -1,0 +1,237 @@
+//! Exact Cantor pairing functions — the paper's reference mapping.
+//!
+//! Paper Section 2.2 maps tuples to single natural numbers with
+//!
+//! ```text
+//! PF_2(x, y) = ½(x² + 2xy + y² + 3x + y)
+//! PF_3(x, y, z) = PF_2(PF_2(x, y), z)
+//! ```
+//!
+//! (the Cantor pairing polynomial, with `x` playing the "+x" role), extended
+//! inductively to k-tuples.  The mapping is a bijection `ℕ² → ℕ`, so the
+//! composition for tuples of a *fixed* length is injective; for tuples of
+//! varying lengths the paper pads every tuple to the maximum length before
+//! pairing (Section 2.3).  We implement both the forward map, the padding
+//! convention, and the inverse (for property tests).
+//!
+//! All arithmetic is exact over [`BigNat`] — the values explode doubly
+//! exponentially in tuple length, which is precisely why the production path
+//! uses Rabin fingerprints instead ([`crate::rabin`]).
+
+use crate::bignat::BigNat;
+
+/// The paper's `PF_2`: `½(x² + 2xy + y² + 3x + y)` = `T(x+y) + x` where
+/// `T(n) = n(n+1)/2` is the n-th triangular number.
+pub fn pair2(x: &BigNat, y: &BigNat) -> BigNat {
+    let s = x.add(y);
+    let tri = s.mul(&s.add(&BigNat::one())).half();
+    tri.add(x)
+}
+
+/// Inverse of [`pair2`]: recovers `(x, y)` from `z`.
+///
+/// Uses `w = ⌊(√(8z+1) − 1)/2⌋`, `t = w(w+1)/2`, `x = z − t`, `y = w − x`.
+pub fn unpair2(z: &BigNat) -> (BigNat, BigNat) {
+    let eight_z_plus_1 = z.shl(3).add(&BigNat::one());
+    let w = eight_z_plus_1.isqrt().sub(&BigNat::one()).half();
+    let t = w.mul(&w.add(&BigNat::one())).half();
+    let x = z.sub(&t);
+    let y = w.sub(&x);
+    (x, y)
+}
+
+/// Pairs a k-tuple by left-folding `PF_2`:
+/// `PF_k(x₁,…,x_k) = PF_2(PF_2(…PF_2(x₁,x₂)…), x_k)`.
+///
+/// Returns `x₁` unchanged for 1-tuples and zero for the empty tuple (the
+/// empty tuple never occurs in SketchTree: patterns have at least one edge,
+/// hence sequences of length ≥ 2).
+pub fn pair_tuple(tuple: &[BigNat]) -> BigNat {
+    let mut iter = tuple.iter();
+    let first = match iter.next() {
+        None => return BigNat::zero(),
+        Some(f) => f.clone(),
+    };
+    iter.fold(first, |acc, x| pair2(&acc, x))
+}
+
+/// Convenience: pairs a tuple of `u64`s.
+pub fn pair_tuple_u64(tuple: &[u64]) -> BigNat {
+    let nats: Vec<BigNat> = tuple.iter().map(|&v| BigNat::from_u64(v)).collect();
+    pair_tuple(&nats)
+}
+
+/// Pads `tuple` to `target_len` with `pad` and pairs it — the Section 2.3
+/// convention that restores injectivity across tuple lengths.
+///
+/// The pad symbol must be chosen outside the value domain of real tuple
+/// elements (SketchTree reserves symbol 0 for padding and shifts labels and
+/// postorder numbers to start at 1).
+///
+/// # Panics
+/// Panics if `tuple.len() > target_len`.
+pub fn pair_padded_u64(tuple: &[u64], target_len: usize, pad: u64) -> BigNat {
+    assert!(
+        tuple.len() <= target_len,
+        "tuple of length {} exceeds padding target {}",
+        tuple.len(),
+        target_len
+    );
+    let mut nats: Vec<BigNat> = tuple.iter().map(|&v| BigNat::from_u64(v)).collect();
+    nats.resize(target_len, BigNat::from_u64(pad));
+    pair_tuple(&nats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigNat {
+        BigNat::from_u64(v)
+    }
+
+    #[test]
+    fn pair2_matches_paper_formula() {
+        // Direct evaluation of ½(x²+2xy+y²+3x+y) for small values.
+        for x in 0..20u64 {
+            for y in 0..20u64 {
+                let direct = (x * x + 2 * x * y + y * y + 3 * x + y) / 2;
+                assert_eq!(
+                    pair2(&n(x), &n(y)).to_u64(),
+                    Some(direct),
+                    "x={x} y={y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair2_known_values() {
+        assert_eq!(pair2(&n(0), &n(0)).to_u64(), Some(0));
+        assert_eq!(pair2(&n(1), &n(0)).to_u64(), Some(2));
+        assert_eq!(pair2(&n(0), &n(1)).to_u64(), Some(1));
+        assert_eq!(pair2(&n(1), &n(1)).to_u64(), Some(4));
+    }
+
+    #[test]
+    fn pair2_is_injective_on_grid() {
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..40u64 {
+            for y in 0..40u64 {
+                assert!(
+                    seen.insert(pair2(&n(x), &n(y)).to_string()),
+                    "collision at ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair2_is_surjective_prefix() {
+        // The first 40*40 pair codes cover 0..=some dense prefix; check the
+        // first 500 naturals are all hit (Cantor pairing is a bijection).
+        let mut seen = vec![false; 500];
+        for x in 0..60u64 {
+            for y in 0..60u64 {
+                if let Some(v) = pair2(&n(x), &n(y)).to_u64() {
+                    if (v as usize) < seen.len() {
+                        seen[v as usize] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "pairing is not dense from 0");
+    }
+
+    #[test]
+    fn unpair2_inverts_pair2() {
+        for x in 0..30u64 {
+            for y in 0..30u64 {
+                let z = pair2(&n(x), &n(y));
+                let (rx, ry) = unpair2(&z);
+                assert_eq!((rx.to_u64(), ry.to_u64()), (Some(x), Some(y)));
+            }
+        }
+    }
+
+    #[test]
+    fn unpair2_inverts_pair2_big() {
+        let x = BigNat::one().shl(70);
+        let y = BigNat::one().shl(65).add(&n(12345));
+        let z = pair2(&x, &y);
+        let (rx, ry) = unpair2(&z);
+        assert_eq!(rx, x);
+        assert_eq!(ry, y);
+    }
+
+    #[test]
+    fn tuple_matches_inductive_definition() {
+        // PF_3(x,y,z) = PF_2(PF_2(x,y),z)
+        let (x, y, z) = (n(3), n(5), n(7));
+        assert_eq!(
+            pair_tuple(&[x.clone(), y.clone(), z.clone()]),
+            pair2(&pair2(&x, &y), &z)
+        );
+    }
+
+    #[test]
+    fn tuple_edge_cases() {
+        assert_eq!(pair_tuple(&[]), BigNat::zero());
+        assert_eq!(pair_tuple(&[n(9)]), n(9));
+    }
+
+    #[test]
+    fn tuple_u64_convenience() {
+        assert_eq!(
+            pair_tuple_u64(&[3, 5, 7]),
+            pair_tuple(&[n(3), n(5), n(7)])
+        );
+    }
+
+    #[test]
+    fn tuple_injective_same_length() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                for c in 0..8u64 {
+                    assert!(seen.insert(pair_tuple_u64(&[a, b, c]).to_string()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_restores_cross_length_injectivity() {
+        // Without padding, [PF2(1,2)] (a 1-tuple) and [1,2] collide; with
+        // padding to a common length and a reserved pad symbol they differ.
+        let one_tuple = pair_tuple_u64(&[pair_tuple_u64(&[1, 2]).to_u64().unwrap()]);
+        let two_tuple = pair_tuple_u64(&[1, 2]);
+        assert_eq!(one_tuple, two_tuple); // the collision the paper warns about
+
+        let padded_short = pair_padded_u64(&[one_tuple.to_u64().unwrap()], 2, 0);
+        let padded_long = pair_padded_u64(&[1, 2], 2, 0);
+        assert_ne!(padded_short, padded_long);
+    }
+
+    #[test]
+    fn padding_identity_when_full_length() {
+        assert_eq!(pair_padded_u64(&[4, 5], 2, 0), pair_tuple_u64(&[4, 5]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn padding_target_too_small_panics() {
+        pair_padded_u64(&[1, 2, 3], 2, 0);
+    }
+
+    #[test]
+    fn growth_is_handled_without_overflow() {
+        // An 8-element tuple of values around 2^20 — the paired value far
+        // exceeds u64 but must format cleanly.
+        let tuple: Vec<u64> = (0..8).map(|i| (1 << 20) + i).collect();
+        let v = pair_tuple_u64(&tuple);
+        assert!(v.to_u64().is_none());
+        assert!(v.bits() > 64);
+        assert!(!v.to_string().is_empty());
+    }
+}

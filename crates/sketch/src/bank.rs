@@ -1,0 +1,427 @@
+//! The boosted `s1 × s2` sketch array — Theorems 1 and 2 made executable.
+//!
+//! A [`SketchBank`] holds `s1 × s2` independent [`AmsSketch`] instances.
+//! Estimation follows the paper's Algorithm 2: within each of the `s2`
+//! groups, average the `s1` per-sketch estimates (`Y_i`); return the median
+//! of the `s2` averages.  Averaging controls accuracy (`s1 = 8·SJ(S)/ε²f²`
+//! for relative error ε), the median controls confidence
+//! (`s2 = 2·lg(1/δ)`).
+//!
+//! The bank evaluates three estimator families:
+//!
+//! * point counts `ξ_q·X` (Theorem 1),
+//! * set counts `X·Σξ` (Theorem 2), and
+//! * general expression terms `coeff·Xᵏ/k!·Πξ` (Section 4),
+//!
+//! all with optional *restore lists* — `(value, frequency)` pairs that are
+//! virtually added back to `X` at query time, which is how the top-k
+//! strategy's deleted heavy hitters are compensated (Section 5.2: replace
+//! `X` by `X + Σ ξ_q f_q`).
+
+use crate::ams::AmsSketch;
+use crate::expr::Term;
+use sketchtree_hash::SplitMix64;
+
+/// A boosted array of AMS sketches.
+///
+/// ```
+/// use sketchtree_sketch::SketchBank;
+/// let mut bank = SketchBank::new(1, 60, 7, 4);
+/// for _ in 0..500 { bank.update(3, 1); }
+/// bank.update(9, 40);
+/// let est = bank.estimate_point(3);
+/// assert!((est - 500.0).abs() < 50.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SketchBank {
+    s1: usize,
+    s2: usize,
+    /// Row-major: sketch (i, j) at `i * s1 + j`, `i < s2`, `j < s1`.
+    sketches: Vec<AmsSketch>,
+}
+
+impl SketchBank {
+    /// Creates a bank of `s1 × s2` sketches with ξ families of the given
+    /// independence degree, deterministically derived from `seed`.
+    ///
+    /// Two banks constructed from the same `(seed, s1, s2, independence)`
+    /// share identical ξ families — the property virtual streams rely on so
+    /// their sketches can be added (Section 5.3).
+    ///
+    /// # Panics
+    /// Panics if `s1 == 0` or `s2 == 0`.
+    pub fn new(seed: u64, s1: usize, s2: usize, independence: usize) -> Self {
+        assert!(s1 > 0 && s2 > 0, "s1 and s2 must be positive");
+        let independence = independence.max(4);
+        let sketches = (0..s1 * s2)
+            .map(|idx| AmsSketch::new(SplitMix64::derive(seed, idx as u64), independence))
+            .collect();
+        Self { s1, s2, sketches }
+    }
+
+    /// Accuracy knob: number of averaged sketches per group.
+    #[inline]
+    pub fn s1(&self) -> usize {
+        self.s1
+    }
+
+    /// Confidence knob: number of median groups.
+    #[inline]
+    pub fn s2(&self) -> usize {
+        self.s2
+    }
+
+    /// Applies `count` occurrences of `value` to every sketch.
+    pub fn update(&mut self, value: u64, count: i64) {
+        for s in &mut self.sketches {
+            s.update(value, count);
+        }
+    }
+
+    /// Memory footprint of the counters in bytes (the paper's "total memory
+    /// allocated for the synopses" accounting: one 64-bit counter plus one
+    /// seed word per sketch — the ξ families are recomputed from seeds, not
+    /// stored, exactly as Section 3.1 notes).
+    pub fn memory_bytes(&self) -> usize {
+        self.sketches.len() * (8 + 8)
+    }
+
+    #[inline]
+    fn sketch(&self, i: usize, j: usize) -> &AmsSketch {
+        &self.sketches[i * self.s1 + j]
+    }
+
+    /// Point estimate of the frequency of `value` (Theorem 1 / Algorithm 2
+    /// with a single-query list).
+    pub fn estimate_point(&self, value: u64) -> f64 {
+        self.estimate_point_restored(value, &[])
+    }
+
+    /// Point estimate with a restore list (top-k compensation).
+    pub fn estimate_point_restored(&self, value: u64, restore: &[(u64, i64)]) -> f64 {
+        self.estimate_set_restored(&[value], restore)
+    }
+
+    /// Estimate of `Σ_q f_q` for a set of *distinct* values (Theorem 2):
+    /// per sketch, `Z = (Σ ξ_q) · X_eff`.
+    pub fn estimate_set_restored(&self, values: &[u64], restore: &[(u64, i64)]) -> f64 {
+        self.median_of_means(|s| {
+            let x_eff = effective_x(s, restore);
+            let xi_sum: i64 = values.iter().map(|&v| s.sign(v)).sum();
+            xi_sum as f64 * x_eff as f64
+        })
+    }
+
+    /// Estimate of expanded expression terms (Section 4): per sketch,
+    /// `Σ_terms coeff · X_effᵏ/k! · Πξ`.
+    pub fn estimate_terms_restored(&self, terms: &[Term], restore: &[(u64, i64)]) -> f64 {
+        self.median_of_means(|s| {
+            let x_eff = effective_x(s, restore) as f64;
+            terms
+                .iter()
+                .map(|t| term_value(s, t, x_eff))
+                .sum::<f64>()
+        })
+    }
+
+    /// Estimate of the self-join size `SJ(S) = Σ f_i²` via the AMS
+    /// second-moment estimator (median of means of `X²`).
+    pub fn estimate_self_join(&self) -> f64 {
+        self.median_of_means(|s| s.second_moment() as f64)
+    }
+
+    /// Median over the `s2` groups of the mean over `s1` sketches of
+    /// `per_sketch` — the boosting of Theorem 1.
+    pub fn median_of_means(&self, per_sketch: impl Fn(&AmsSketch) -> f64) -> f64 {
+        let mut ys: Vec<f64> = (0..self.s2)
+            .map(|i| {
+                (0..self.s1)
+                    .map(|j| per_sketch(self.sketch(i, j)))
+                    .sum::<f64>()
+                    / self.s1 as f64
+            })
+            .collect();
+        median_in_place(&mut ys)
+    }
+
+    /// Total number of sketches (`s1 × s2`).
+    #[inline]
+    pub fn num_sketches(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Direct access to sketch `idx` in `0..num_sketches()` (flat order,
+    /// group-major).  Used by the multi-bank synopsis, which must combine
+    /// per-sketch values *across* banks before boosting — sums of medians
+    /// are not medians of sums.
+    #[inline]
+    pub fn sketch_at(&self, idx: usize) -> &AmsSketch {
+        &self.sketches[idx]
+    }
+
+    /// Adds `per_sketch(sketch_idx)` into `acc[idx]` for every sketch.
+    pub fn accumulate(&self, acc: &mut [f64], per_sketch: impl Fn(&AmsSketch) -> f64) {
+        debug_assert_eq!(acc.len(), self.sketches.len());
+        for (a, s) in acc.iter_mut().zip(&self.sketches) {
+            *a += per_sketch(s);
+        }
+    }
+
+    /// Boosts a flat vector of per-sketch values laid out like this bank's
+    /// sketches: mean over each group of `s1`, median over the `s2` groups.
+    pub fn boost(&self, acc: &[f64]) -> f64 {
+        debug_assert_eq!(acc.len(), self.sketches.len());
+        let mut ys: Vec<f64> = acc
+            .chunks(self.s1)
+            .map(|chunk| chunk.iter().sum::<f64>() / self.s1 as f64)
+            .collect();
+        median_in_place(&mut ys)
+    }
+
+    /// Applies `per_sketch` to each sketch mutably (used by the top-k
+    /// tracker to delete/restore heavy hitters across the whole bank).
+    pub fn for_each_sketch_mut(&mut self, mut per_sketch: impl FnMut(&mut AmsSketch)) {
+        for s in &mut self.sketches {
+            per_sketch(s);
+        }
+    }
+
+    /// The raw counter values in flat sketch order (for snapshots).
+    pub fn counter_values(&self) -> Vec<i64> {
+        self.sketches.iter().map(AmsSketch::raw).collect()
+    }
+
+    /// Restores raw counter values previously taken with
+    /// [`SketchBank::counter_values`] on a bank with the same geometry and
+    /// seed.
+    ///
+    /// # Panics
+    /// Panics if the length does not match.
+    pub fn set_counter_values(&mut self, values: &[i64]) {
+        assert_eq!(values.len(), self.sketches.len(), "snapshot geometry mismatch");
+        for (s, &v) in self.sketches.iter_mut().zip(values) {
+            s.set_raw(v);
+        }
+    }
+
+    /// Fills `buf` with the per-sketch ξ signs of `value` (±1 as `i8`).
+    ///
+    /// The ingest hot path evaluates each sketch's ξ polynomial for the
+    /// same value several times (update, then the top-k frequency
+    /// estimate, then possibly a deletion); computing the signs once and
+    /// passing the buffer around roughly halves per-pattern cost.
+    pub fn signs_into(&self, value: u64, buf: &mut Vec<i8>) {
+        buf.clear();
+        buf.extend(self.sketches.iter().map(|s| s.sign(value) as i8));
+    }
+
+    /// Applies `count` occurrences of the value whose signs are in `signs`.
+    pub fn update_with_signs(&mut self, signs: &[i8], count: i64) {
+        debug_assert_eq!(signs.len(), self.sketches.len());
+        for (s, &sg) in self.sketches.iter_mut().zip(signs) {
+            s.add_raw(i64::from(sg) * count);
+        }
+    }
+
+    /// Point estimate using precomputed signs (no restore list — the
+    /// ingest path calls this right after restoring, so `X` is complete).
+    pub fn estimate_point_with_signs(&self, signs: &[i8]) -> f64 {
+        debug_assert_eq!(signs.len(), self.sketches.len());
+        let mut ys: Vec<f64> = self
+            .sketches
+            .chunks(self.s1)
+            .zip(signs.chunks(self.s1))
+            .map(|(sk, sg)| {
+                sk.iter()
+                    .zip(sg)
+                    .map(|(s, &g)| (i64::from(g) * s.raw()) as f64)
+                    .sum::<f64>()
+                    / self.s1 as f64
+            })
+            .collect();
+        median_in_place(&mut ys)
+    }
+}
+
+/// `X + Σ ξ_v · f_v` over the restore list.
+#[inline]
+pub(crate) fn effective_x(s: &AmsSketch, restore: &[(u64, i64)]) -> i64 {
+    let mut x = s.raw();
+    for &(v, f) in restore {
+        x += s.sign(v) * f;
+    }
+    x
+}
+
+/// `coeff · X^k/k! · Πξ` for one term.
+#[inline]
+pub(crate) fn term_value(s: &AmsSketch, t: &Term, x_eff: f64) -> f64 {
+    let k = t.queries.len() as u32;
+    let xi_prod: i64 = t.queries.iter().map(|&q| s.sign(q)).product();
+    let mut factorial = 1.0f64;
+    for i in 2..=k {
+        factorial *= f64::from(i);
+    }
+    t.coeff as f64 * x_eff.powi(k as i32) / factorial * xi_prod as f64
+}
+
+/// Median of a mutable slice (average of middle two when even).
+pub(crate) fn median_in_place(xs: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    /// A small synthetic stream with known frequencies.
+    fn fill(bank: &mut SketchBank, freqs: &[(u64, i64)]) {
+        for &(v, f) in freqs {
+            bank.update(v, f);
+        }
+    }
+
+    #[test]
+    fn point_estimate_accuracy() {
+        let freqs: Vec<(u64, i64)> = (0..200u64).map(|i| (i, 1 + (i as i64 % 10))).collect();
+        let mut bank = SketchBank::new(99, 120, 7, 4);
+        fill(&mut bank, &freqs);
+        // f_100 = 1 + 100 % 10 = 1; heavy value check instead: f_9 = 10.
+        let est = bank.estimate_point(9);
+        assert!((est - 10.0).abs() < 15.0, "est {est}");
+        // Large frequency: est should be relatively accurate.
+        let mut bank2 = SketchBank::new(7, 120, 7, 4);
+        let mut freqs2 = freqs.clone();
+        freqs2.push((777, 500));
+        fill(&mut bank2, &freqs2);
+        let est2 = bank2.estimate_point(777);
+        assert!(
+            (est2 - 500.0).abs() / 500.0 < 0.15,
+            "relative error too high: {est2}"
+        );
+    }
+
+    #[test]
+    fn set_estimate_matches_sum() {
+        let freqs: Vec<(u64, i64)> = vec![(1, 300), (2, 200), (3, 100), (4, 50), (5, 10)];
+        let mut bank = SketchBank::new(5, 150, 7, 4);
+        fill(&mut bank, &freqs);
+        let est = bank.estimate_set_restored(&[1, 2, 3], &[]);
+        let truth = 600.0;
+        assert!((est - truth).abs() / truth < 0.15, "est {est}");
+    }
+
+    #[test]
+    fn restore_list_compensates_deletions() {
+        let mut bank = SketchBank::new(21, 80, 7, 4);
+        fill(&mut bank, &[(10, 400), (11, 30), (12, 5)]);
+        // Delete the heavy hitter from the sketches, as top-k would.
+        bank.update(10, -400);
+        // Without compensation the estimate of 10 is ~0.
+        let raw = bank.estimate_point(10);
+        assert!(raw.abs() < 50.0, "deleted value still visible: {raw}");
+        // With the restore list the estimate is exact-ish again.
+        let est = bank.estimate_point_restored(10, &[(10, 400)]);
+        assert!((est - 400.0).abs() / 400.0 < 0.1, "est {est}");
+    }
+
+    #[test]
+    fn product_expression_estimate() {
+        // Product of two counts: needs 5-wise ξ.
+        let mut bank = SketchBank::new(31, 300, 9, 5);
+        fill(&mut bank, &[(1, 120), (2, 80), (3, 40), (4, 10)]);
+        let (terms, indep) = Expr::product_of_counts(&[1, 2]).expand().unwrap();
+        assert_eq!(indep, 5);
+        let est = bank.estimate_terms_restored(&terms, &[]);
+        let truth = 120.0 * 80.0;
+        assert!(
+            (est - truth).abs() / truth < 0.4,
+            "est {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn mixed_expression_estimate() {
+        // C1 - C2: truth 120 - 80 = 40.
+        let mut bank = SketchBank::new(41, 250, 9, 4);
+        fill(&mut bank, &[(1, 120), (2, 80), (3, 40)]);
+        let e = Expr::Sub(Box::new(Expr::Count(1)), Box::new(Expr::Count(2)));
+        let (terms, _) = e.expand().unwrap();
+        let est = bank.estimate_terms_restored(&terms, &[]);
+        assert!((est - 40.0).abs() < 25.0, "est {est}");
+    }
+
+    #[test]
+    fn self_join_estimate() {
+        let freqs: Vec<(u64, i64)> = vec![(1, 100), (2, 50), (3, 20)];
+        let truth = (100 * 100 + 50 * 50 + 20 * 20) as f64;
+        let mut bank = SketchBank::new(51, 200, 9, 4);
+        fill(&mut bank, &freqs);
+        let est = bank.estimate_self_join();
+        assert!((est - truth).abs() / truth < 0.2, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn shared_seed_banks_have_identical_signs() {
+        let a = SketchBank::new(8, 3, 2, 4);
+        let b = SketchBank::new(8, 3, 2, 4);
+        for i in 0..2 {
+            for j in 0..3 {
+                for v in [0u64, 5, 999] {
+                    assert_eq!(a.sketch(i, j).sign(v), b.sketch(i, j).sign(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sketches_within_bank_are_distinct() {
+        let bank = SketchBank::new(8, 4, 2, 4);
+        // Any two sketches should disagree on some key sign.
+        let mut distinct = 0;
+        for a in 0..8usize {
+            for b in (a + 1)..8usize {
+                let sa = &bank.sketches[a];
+                let sb = &bank.sketches[b];
+                if (0..64u64).any(|v| sa.sign(v) != sb.sign(v)) {
+                    distinct += 1;
+                }
+            }
+        }
+        assert_eq!(distinct, 8 * 7 / 2);
+    }
+
+    #[test]
+    fn median_in_place_basics() {
+        assert_eq!(median_in_place(&mut [3.0]), 3.0);
+        assert_eq!(median_in_place(&mut [1.0, 9.0]), 5.0);
+        assert_eq!(median_in_place(&mut [9.0, 1.0, 5.0]), 5.0);
+        assert_eq!(median_in_place(&mut [4.0, 1.0, 9.0, 5.0]), 4.5);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let bank = SketchBank::new(0, 25, 7, 4);
+        assert_eq!(bank.memory_bytes(), 25 * 7 * 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_s1_rejected() {
+        SketchBank::new(0, 0, 7, 4);
+    }
+
+    #[test]
+    fn independence_floor_is_four() {
+        let bank = SketchBank::new(0, 1, 1, 2);
+        assert_eq!(bank.sketches[0].independence(), 4);
+    }
+}

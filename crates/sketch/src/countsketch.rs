@@ -1,0 +1,156 @@
+//! Count sketch (Charikar, Chen & Farach-Colton, ICALP 2002).
+//!
+//! The paper cites COUNT sketches as an alternative point-estimate structure
+//! (Section 2.2) and models its virtual streams after Count sketch buckets
+//! (Section 5.3).  We implement it as a comparator: `d` rows of `w`
+//! counters; each value hashes to one bucket per row with a ±1 sign; the
+//! estimate is the median over rows of `sign · bucket`.  Hashing into
+//! buckets plays the same variance-splitting role as SketchTree's virtual
+//! streams, which is why the ablation benchmarks compare the two.
+
+use sketchtree_hash::{gf2p64, KWiseSign, Sign, SplitMix64};
+
+/// A Count sketch.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    width: usize,
+    rows: Vec<Row>,
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    /// Pairwise-independent bucket hash: degree-1 polynomial over GF(2^64).
+    bucket_coeffs: [u64; 2],
+    sign: KWiseSign,
+    counters: Vec<i64>,
+}
+
+impl Row {
+    #[inline]
+    fn bucket(&self, value: u64, width: usize) -> usize {
+        let h = gf2p64::eval_poly(&self.bucket_coeffs, value);
+        // Multiply-shift range reduction avoids the modulo bias that
+        // `h % width` would introduce for non-power-of-two widths.
+        ((u128::from(h) * width as u128) >> 64) as usize
+    }
+}
+
+impl CountSketch {
+    /// Creates a sketch with `depth` rows of `width` buckets.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0` or `width == 0`.
+    pub fn new(seed: u64, depth: usize, width: usize) -> Self {
+        assert!(depth > 0 && width > 0, "depth and width must be positive");
+        let rows = (0..depth)
+            .map(|r| {
+                let mut rng = SplitMix64::new(SplitMix64::derive(seed, r as u64));
+                Row {
+                    bucket_coeffs: [rng.next_u64(), rng.next_nonzero_u64()],
+                    sign: KWiseSign::from_seed(rng.next_u64(), 4),
+                    counters: vec![0; width],
+                }
+            })
+            .collect();
+        Self { width, rows }
+    }
+
+    /// Applies `count` occurrences of `value` (negative to delete).
+    pub fn update(&mut self, value: u64, count: i64) {
+        let width = self.width;
+        for row in &mut self.rows {
+            let b = row.bucket(value, width);
+            row.counters[b] += row.sign.sign(value) * count;
+        }
+    }
+
+    /// Median-over-rows point estimate of the frequency of `value`.
+    pub fn estimate(&self, value: u64) -> f64 {
+        let mut ests: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let b = row.bucket(value, self.width);
+                (row.sign.sign(value) * row.counters[b]) as f64
+            })
+            .collect();
+        crate::bank::median_in_place(&mut ests)
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * (self.width * 8 + 3 * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_isolated_value() {
+        let mut cs = CountSketch::new(3, 5, 256);
+        cs.update(42, 17);
+        let est = cs.estimate(42);
+        assert_eq!(est, 17.0);
+    }
+
+    #[test]
+    fn insert_delete_symmetry() {
+        let mut cs = CountSketch::new(9, 5, 64);
+        cs.update(1, 10);
+        cs.update(2, 20);
+        cs.update(1, -10);
+        cs.update(2, -20);
+        assert_eq!(cs.estimate(1), 0.0);
+        assert_eq!(cs.estimate(2), 0.0);
+    }
+
+    #[test]
+    fn skewed_stream_accuracy() {
+        let mut cs = CountSketch::new(5, 7, 512);
+        let freqs: Vec<(u64, i64)> = (1..=300u64).map(|v| (v, (3000 / v) as i64)).collect();
+        for &(v, f) in &freqs {
+            cs.update(v, f);
+        }
+        for &(v, f) in freqs.iter().take(20) {
+            let est = cs.estimate(v);
+            assert!(
+                (est - f as f64).abs() / f as f64 <= 0.35,
+                "value {v}: est {est} vs {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn absent_value_small() {
+        let mut cs = CountSketch::new(11, 7, 512);
+        for v in 0..100u64 {
+            cs.update(v, 5);
+        }
+        assert!(cs.estimate(999_999).abs() <= 10.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = CountSketch::new(4, 3, 32);
+        let mut b = CountSketch::new(4, 3, 32);
+        for v in 0..50 {
+            a.update(v, 2);
+            b.update(v, 2);
+        }
+        assert_eq!(a.estimate(25), b.estimate(25));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_rejected() {
+        CountSketch::new(0, 3, 0);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let cs = CountSketch::new(0, 5, 100);
+        assert_eq!(cs.memory_bytes(), 5 * (100 * 8 + 24));
+    }
+}

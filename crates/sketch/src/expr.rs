@@ -1,0 +1,284 @@
+//! Query expressions over tree-pattern counts — paper Section 4.
+//!
+//! The grammar
+//!
+//! ```text
+//! E → E + E | E − E | E × E | COUNT_ord(Q)
+//! ```
+//!
+//! is represented by [`Expr`].  To estimate an expression, each
+//! `COUNT_ord(Q_i)` is replaced by `ξ_i X`, the result is expanded into a
+//! polynomial in `X`, and each term is divided by the factorial of its `X`
+//! power — Appendix C proves the result `E''` is an unbiased estimator.
+//! [`Expr::expand`] performs exactly that symbolic expansion, yielding a
+//! list of [`Term`]s `coeff · Xᵏ/k! · ξ_{q₁}⋯ξ_{q_k}` that
+//! [`crate::bank::SketchBank`] evaluates numerically.
+//!
+//! The paper assumes "each terminal symbol in the query expression is
+//! distinct"; [`Expr::expand`] enforces this (a repeated query inside one
+//! product would make `ξ_q² = 1` silently bias the estimator) and also
+//! reports the ξ independence the expression needs: a product of `k`
+//! distinct counts requires `(2k+1)`-wise independent ξ variables
+//! (Appendix B uses 5-wise for pairs).
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// A query expression over one-dimensional query mappings.
+///
+/// ```
+/// use sketchtree_sketch::Expr;
+/// // COUNT(q1)·COUNT(q2) expands to one term needing 5-wise ξ.
+/// let (terms, indep) = Expr::product_of_counts(&[1, 2]).expand().unwrap();
+/// assert_eq!(terms.len(), 1);
+/// assert_eq!(indep, 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `COUNT_ord(Q)` for the pattern whose one-dimensional mapping is the
+    /// given value.
+    Count(u64),
+    /// Sum of two sub-expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two sub-expressions.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product of two sub-expressions.
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+/// One expanded estimator term `coeff · X^(queries.len())/k! · Πξ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Term {
+    /// Integer coefficient (signs from subtraction; merging of like terms).
+    pub coeff: i64,
+    /// The distinct query mappings multiplied in this term, sorted.
+    pub queries: Vec<u64>,
+}
+
+/// Errors from [`Expr::expand`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// The same query mapping occurs more than once in the expression.
+    DuplicateQuery(u64),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::DuplicateQuery(q) => {
+                write!(f, "query mapping {q} occurs more than once in the expression")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+impl Expr {
+    /// Convenience constructor for a sum of counts (Theorem 2 queries).
+    pub fn sum_of_counts(queries: &[u64]) -> Expr {
+        let mut it = queries.iter();
+        let first = Expr::Count(*it.next().expect("at least one query"));
+        it.fold(first, |acc, &q| Expr::Add(Box::new(acc), Box::new(Expr::Count(q))))
+    }
+
+    /// Convenience constructor for a product of counts.
+    pub fn product_of_counts(queries: &[u64]) -> Expr {
+        let mut it = queries.iter();
+        let first = Expr::Count(*it.next().expect("at least one query"));
+        it.fold(first, |acc, &q| Expr::Mul(Box::new(acc), Box::new(Expr::Count(q))))
+    }
+
+    /// All query mappings appearing in the expression.
+    pub fn queries(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<u64>) {
+        match self {
+            Expr::Count(q) => out.push(*q),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.collect(out);
+                b.collect(out);
+            }
+        }
+    }
+
+    /// Expands into estimator terms, merging like terms, and returns
+    /// `(terms, required_independence)`.
+    pub fn expand(&self) -> Result<(Vec<Term>, usize), ExprError> {
+        // Distinctness across the whole expression, per the paper.
+        let all = self.queries();
+        let mut seen = HashSet::new();
+        for q in &all {
+            if !seen.insert(*q) {
+                return Err(ExprError::DuplicateQuery(*q));
+            }
+        }
+        let mut terms = self.expand_rec();
+        // Merge like terms (same query multiset — here: same sorted vec).
+        terms.sort_by(|a, b| a.queries.cmp(&b.queries));
+        let mut merged: Vec<Term> = Vec::new();
+        for t in terms {
+            match merged.last_mut() {
+                Some(last) if last.queries == t.queries => last.coeff += t.coeff,
+                _ => merged.push(t),
+            }
+        }
+        merged.retain(|t| t.coeff != 0);
+        let max_k = merged.iter().map(|t| t.queries.len()).max().unwrap_or(0);
+        Ok((merged, 2 * max_k + 1))
+    }
+
+    fn expand_rec(&self) -> Vec<Term> {
+        match self {
+            Expr::Count(q) => vec![Term {
+                coeff: 1,
+                queries: vec![*q],
+            }],
+            Expr::Add(a, b) => {
+                let mut t = a.expand_rec();
+                t.extend(b.expand_rec());
+                t
+            }
+            Expr::Sub(a, b) => {
+                let mut t = a.expand_rec();
+                t.extend(b.expand_rec().into_iter().map(|mut x| {
+                    x.coeff = -x.coeff;
+                    x
+                }));
+                t
+            }
+            Expr::Mul(a, b) => {
+                let ta = a.expand_rec();
+                let tb = b.expand_rec();
+                let mut out = Vec::with_capacity(ta.len() * tb.len());
+                for x in &ta {
+                    for y in &tb {
+                        let mut queries = x.queries.clone();
+                        queries.extend_from_slice(&y.queries);
+                        queries.sort_unstable();
+                        out.push(Term {
+                            coeff: x.coeff * y.coeff,
+                            queries,
+                        });
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Count(q) => write!(f, "COUNT({q})"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(q: u64) -> Expr {
+        Expr::Count(q)
+    }
+
+    #[test]
+    fn single_count() {
+        let (terms, indep) = c(5).expand().unwrap();
+        assert_eq!(
+            terms,
+            vec![Term {
+                coeff: 1,
+                queries: vec![5]
+            }]
+        );
+        assert_eq!(indep, 3); // 2*1+1; banks use >= 4 anyway for variance
+    }
+
+    #[test]
+    fn sum_of_counts_expansion() {
+        let (terms, _) = Expr::sum_of_counts(&[1, 2, 3]).expand().unwrap();
+        assert_eq!(terms.len(), 3);
+        assert!(terms.iter().all(|t| t.coeff == 1 && t.queries.len() == 1));
+    }
+
+    #[test]
+    fn subtraction_flips_sign() {
+        let e = Expr::Sub(Box::new(c(1)), Box::new(c(2)));
+        let (terms, _) = e.expand().unwrap();
+        assert_eq!(terms[0], Term { coeff: 1, queries: vec![1] });
+        assert_eq!(terms[1], Term { coeff: -1, queries: vec![2] });
+    }
+
+    #[test]
+    fn paper_example3_expression() {
+        // COUNT(Q1)×COUNT(Q2) + COUNT(Q3)×COUNT(Q4) − COUNT(Q5)×COUNT(Q6)
+        let e = Expr::Sub(
+            Box::new(Expr::Add(
+                Box::new(Expr::Mul(Box::new(c(1)), Box::new(c(2)))),
+                Box::new(Expr::Mul(Box::new(c(3)), Box::new(c(4)))),
+            )),
+            Box::new(Expr::Mul(Box::new(c(5)), Box::new(c(6)))),
+        );
+        let (terms, indep) = e.expand().unwrap();
+        assert_eq!(terms.len(), 3);
+        assert!(terms.contains(&Term { coeff: 1, queries: vec![1, 2] }));
+        assert!(terms.contains(&Term { coeff: 1, queries: vec![3, 4] }));
+        assert!(terms.contains(&Term { coeff: -1, queries: vec![5, 6] }));
+        assert_eq!(indep, 5); // matches Appendix B's 5-wise requirement
+    }
+
+    #[test]
+    fn distribution_over_sums() {
+        // (C1 + C2) × C3 = C1·C3 + C2·C3
+        let e = Expr::Mul(
+            Box::new(Expr::Add(Box::new(c(1)), Box::new(c(2)))),
+            Box::new(c(3)),
+        );
+        let (terms, _) = e.expand().unwrap();
+        assert_eq!(terms.len(), 2);
+        assert!(terms.contains(&Term { coeff: 1, queries: vec![1, 3] }));
+        assert!(terms.contains(&Term { coeff: 1, queries: vec![2, 3] }));
+    }
+
+    #[test]
+    fn triple_product_independence() {
+        let (terms, indep) = Expr::product_of_counts(&[1, 2, 3]).expand().unwrap();
+        assert_eq!(terms, vec![Term { coeff: 1, queries: vec![1, 2, 3] }]);
+        assert_eq!(indep, 7);
+    }
+
+    #[test]
+    fn duplicate_query_rejected() {
+        let e = Expr::Mul(Box::new(c(9)), Box::new(c(9)));
+        assert_eq!(e.expand(), Err(ExprError::DuplicateQuery(9)));
+        let e2 = Expr::Add(Box::new(c(9)), Box::new(c(9)));
+        assert_eq!(e2.expand(), Err(ExprError::DuplicateQuery(9)));
+    }
+
+    #[test]
+    fn queries_lists_all() {
+        let e = Expr::Sub(
+            Box::new(Expr::sum_of_counts(&[1, 2])),
+            Box::new(Expr::product_of_counts(&[3, 4])),
+        );
+        let mut q = e.queries();
+        q.sort_unstable();
+        assert_eq!(q, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::Mul(Box::new(c(1)), Box::new(c(2)));
+        assert_eq!(e.to_string(), "(COUNT(1) * COUNT(2))");
+    }
+}

@@ -1,0 +1,259 @@
+//! Deterministic heavy-hitter baselines: Misra–Gries and Space-Saving.
+//!
+//! The paper's related work (Manku & Motwani; Cormode & Muthukrishnan) is
+//! the deterministic school of frequent-element tracking.  SketchTree's
+//! top-k strategy (Section 5.2) instead *estimates* frequencies from the
+//! sketches themselves, which lets it also *delete* the heavy hitters from
+//! the synopsis.  These two classic counters give the ablation benchmarks a
+//! baseline: how well would a deterministic tracker identify the same heavy
+//! patterns, at what memory?
+//!
+//! Guarantees (for a stream of length `N`):
+//!
+//! * **Misra–Gries** with `k` counters: every value with true frequency
+//!   `> N/(k+1)` is present, and each reported count under-estimates by at
+//!   most `N/(k+1)`.
+//! * **Space-Saving** with `k` counters: each reported count over-estimates
+//!   by at most the minimum counter, and any value with true frequency
+//!   above that minimum is present.
+
+use std::collections::HashMap;
+
+/// The Misra–Gries frequent-elements summary.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    k: usize,
+    counters: HashMap<u64, u64>,
+    processed: u64,
+}
+
+impl MisraGries {
+    /// Creates a summary with `k` counters.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one counter");
+        Self {
+            k,
+            counters: HashMap::with_capacity(k + 1),
+            processed: 0,
+        }
+    }
+
+    /// Processes one occurrence of `value`.
+    pub fn insert(&mut self, value: u64) {
+        self.processed += 1;
+        if let Some(c) = self.counters.get_mut(&value) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(value, 1);
+            return;
+        }
+        // Decrement-all step; drop zeros.
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// Lower-bound estimate of the count of `value` (0 if untracked).
+    pub fn estimate(&self, value: u64) -> u64 {
+        self.counters.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Stream length processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Tracked `(value, lower-bound count)` pairs, heaviest first.
+    pub fn heavy_hitters(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.counters.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        v
+    }
+}
+
+/// The Space-Saving summary (Metwally, Agrawal & El Abbadi).
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    k: usize,
+    /// value → (count, overestimation error at admission).
+    counters: HashMap<u64, (u64, u64)>,
+    processed: u64,
+}
+
+impl SpaceSaving {
+    /// Creates a summary with `k` counters.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one counter");
+        Self {
+            k,
+            counters: HashMap::with_capacity(k + 1),
+            processed: 0,
+        }
+    }
+
+    /// Processes one occurrence of `value`.
+    pub fn insert(&mut self, value: u64) {
+        self.processed += 1;
+        if let Some((c, _)) = self.counters.get_mut(&value) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(value, (1, 0));
+            return;
+        }
+        // Replace the minimum counter; inherit its count as error bound.
+        let (&victim, &(min_count, _)) = self
+            .counters
+            .iter()
+            .min_by_key(|(_, &(c, _))| c)
+            .expect("non-empty");
+        self.counters.remove(&victim);
+        self.counters.insert(value, (min_count + 1, min_count));
+    }
+
+    /// Upper-bound estimate of the count of `value` (0 if untracked).
+    pub fn estimate(&self, value: u64) -> u64 {
+        self.counters.get(&value).map_or(0, |&(c, _)| c)
+    }
+
+    /// Guaranteed lower bound on the count of `value`.
+    pub fn lower_bound(&self, value: u64) -> u64 {
+        self.counters.get(&value).map_or(0, |&(c, e)| c - e)
+    }
+
+    /// Stream length processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Tracked `(value, upper-bound count)` pairs, heaviest first.
+    pub fn heavy_hitters(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.counters.iter().map(|(&k, &(c, _))| (k, c)).collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchtree_hash::SplitMix64;
+
+    /// Zipf-ish stream: value v appears ~N/v times, shuffled.
+    fn zipf_stream(n_values: u64, scale: u64, seed: u64) -> (Vec<u64>, HashMap<u64, u64>) {
+        let mut stream = Vec::new();
+        let mut truth = HashMap::new();
+        for v in 1..=n_values {
+            let f = scale / v;
+            for _ in 0..f {
+                stream.push(v);
+            }
+            if f > 0 {
+                truth.insert(v, f);
+            }
+        }
+        // Deterministic shuffle.
+        let mut rng = SplitMix64::new(seed);
+        for i in (1..stream.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            stream.swap(i, j);
+        }
+        (stream, truth)
+    }
+
+    #[test]
+    fn misra_gries_finds_heavy_hitters() {
+        let (stream, truth) = zipf_stream(200, 2000, 1);
+        let n = stream.len() as u64;
+        let k = 20;
+        let mut mg = MisraGries::new(k);
+        for &v in &stream {
+            mg.insert(v);
+        }
+        assert_eq!(mg.processed(), n);
+        let threshold = n / (k as u64 + 1);
+        for (&v, &f) in &truth {
+            if f > threshold {
+                assert!(mg.estimate(v) > 0, "missed heavy hitter {v} (f={f})");
+            }
+            // Under-estimation bound.
+            assert!(mg.estimate(v) <= f, "over-estimated {v}");
+            assert!(
+                f - mg.estimate(v) <= threshold,
+                "error bound violated for {v}: est {} true {f}",
+                mg.estimate(v)
+            );
+        }
+    }
+
+    #[test]
+    fn space_saving_bounds() {
+        let (stream, truth) = zipf_stream(200, 2000, 2);
+        let mut ss = SpaceSaving::new(30);
+        for &v in &stream {
+            ss.insert(v);
+        }
+        for (&v, &f) in &truth {
+            let est = ss.estimate(v);
+            if est > 0 {
+                assert!(est >= f, "space-saving must over-estimate: {v} est {est} true {f}");
+                assert!(ss.lower_bound(v) <= f, "lower bound violated for {v}");
+            }
+        }
+        // Top values must be present.
+        let hh: Vec<u64> = ss.heavy_hitters().iter().map(|&(v, _)| v).collect();
+        for v in 1..=3u64 {
+            assert!(hh.contains(&v), "missing top value {v}");
+        }
+    }
+
+    #[test]
+    fn misra_gries_exact_when_few_values() {
+        let mut mg = MisraGries::new(10);
+        for _ in 0..7 {
+            mg.insert(1);
+        }
+        for _ in 0..3 {
+            mg.insert(2);
+        }
+        assert_eq!(mg.estimate(1), 7);
+        assert_eq!(mg.estimate(2), 3);
+        assert_eq!(mg.estimate(99), 0);
+        assert_eq!(mg.heavy_hitters()[0], (1, 7));
+    }
+
+    #[test]
+    fn space_saving_exact_when_few_values() {
+        let mut ss = SpaceSaving::new(10);
+        for _ in 0..7 {
+            ss.insert(1);
+        }
+        for _ in 0..3 {
+            ss.insert(2);
+        }
+        assert_eq!(ss.estimate(1), 7);
+        assert_eq!(ss.lower_bound(1), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_counters_rejected_mg() {
+        MisraGries::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_counters_rejected_ss() {
+        SpaceSaving::new(0);
+    }
+}

@@ -1,0 +1,269 @@
+//! An indexed binary min-heap.
+//!
+//! Algorithm 4 of the paper maintains a min-heap `H` of estimated
+//! frequencies alongside a list `L` of the tracked values, and needs three
+//! operations a plain `BinaryHeap` cannot provide: peek/pop the minimum,
+//! *remove an arbitrary tracked value* (when a tracked pattern reappears in
+//! the stream it is pulled out, restored, and re-estimated), and membership
+//! lookup with the stored frequency.  This indexed heap keys entries by a
+//! `u64` value and keeps a position map for O(log n) removal by key.
+
+use std::collections::HashMap;
+
+/// A min-heap of `(value, priority)` entries indexed by value.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedMinHeap {
+    /// Heap array of (value, priority).
+    heap: Vec<(u64, i64)>,
+    /// value → index in `heap`.
+    pos: HashMap<u64, usize>,
+}
+
+impl IndexedMinHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The minimum priority, if any (the paper's `Root(H)`).
+    pub fn min_priority(&self) -> Option<i64> {
+        self.heap.first().map(|&(_, p)| p)
+    }
+
+    /// The entry with minimum priority.
+    pub fn peek_min(&self) -> Option<(u64, i64)> {
+        self.heap.first().copied()
+    }
+
+    /// The priority stored for `value`, if tracked.
+    pub fn get(&self, value: u64) -> Option<i64> {
+        self.pos.get(&value).map(|&i| self.heap[i].1)
+    }
+
+    /// True if `value` is tracked.
+    pub fn contains(&self, value: u64) -> bool {
+        self.pos.contains_key(&value)
+    }
+
+    /// Inserts a new entry.
+    ///
+    /// # Panics
+    /// Panics if `value` is already tracked (callers must remove first —
+    /// Algorithm 4's delete-then-reinsert discipline makes this a logic
+    /// error, not a situation to paper over).
+    pub fn insert(&mut self, value: u64, priority: i64) {
+        assert!(
+            !self.pos.contains_key(&value),
+            "value {value} already tracked"
+        );
+        self.heap.push((value, priority));
+        let i = self.heap.len() - 1;
+        self.pos.insert(value, i);
+        self.sift_up(i);
+    }
+
+    /// Removes and returns the minimum entry.
+    pub fn pop_min(&mut self) -> Option<(u64, i64)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        Some(self.remove_at(0))
+    }
+
+    /// Removes an arbitrary tracked value, returning its priority.
+    pub fn remove(&mut self, value: u64) -> Option<i64> {
+        let i = *self.pos.get(&value)?;
+        Some(self.remove_at(i).1)
+    }
+
+    /// Iterates `(value, priority)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
+        self.heap.iter().copied()
+    }
+
+    fn remove_at(&mut self, i: usize) -> (u64, i64) {
+        let last = self.heap.len() - 1;
+        self.swap(i, last);
+        let removed = self.heap.pop().expect("non-empty");
+        self.pos.remove(&removed.0);
+        if i < self.heap.len() {
+            // The element moved into position i may need to go either way.
+            self.sift_down(i);
+            self.sift_up(i);
+        }
+        removed
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        self.heap.swap(a, b);
+        self.pos.insert(self.heap[a].0, a);
+        self.pos.insert(self.heap[b].0, b);
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].1 < self.heap[parent].1 {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.heap.len() && self.heap[l].1 < self.heap[smallest].1 {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.heap[r].1 < self.heap[smallest].1 {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    /// Debug invariant check: heap order and position-map consistency.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for i in 1..self.heap.len() {
+            assert!(self.heap[(i - 1) / 2].1 <= self.heap[i].1, "heap order");
+        }
+        assert_eq!(self.pos.len(), self.heap.len());
+        for (i, &(v, _)) in self.heap.iter().enumerate() {
+            assert_eq!(self.pos[&v], i, "position map");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_min() {
+        let mut h = IndexedMinHeap::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min_priority(), None);
+        h.insert(10, 5);
+        h.insert(20, 3);
+        h.insert(30, 8);
+        h.check_invariants();
+        assert_eq!(h.peek_min(), Some((20, 3)));
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn pop_in_priority_order() {
+        let mut h = IndexedMinHeap::new();
+        for (v, p) in [(1, 50), (2, 10), (3, 30), (4, 20), (5, 40)] {
+            h.insert(v, p);
+            h.check_invariants();
+        }
+        let mut priorities = Vec::new();
+        while let Some((_, p)) = h.pop_min() {
+            h.check_invariants();
+            priorities.push(p);
+        }
+        assert_eq!(priorities, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn remove_arbitrary() {
+        let mut h = IndexedMinHeap::new();
+        for (v, p) in [(1, 50), (2, 10), (3, 30), (4, 20), (5, 40)] {
+            h.insert(v, p);
+        }
+        assert_eq!(h.remove(3), Some(30));
+        h.check_invariants();
+        assert_eq!(h.remove(3), None);
+        assert!(!h.contains(3));
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.get(5), Some(40));
+        // Heap order preserved after removal.
+        assert_eq!(h.pop_min(), Some((2, 10)));
+        assert_eq!(h.pop_min(), Some((4, 20)));
+    }
+
+    #[test]
+    fn remove_min_via_remove() {
+        let mut h = IndexedMinHeap::new();
+        h.insert(1, 1);
+        h.insert(2, 2);
+        assert_eq!(h.remove(1), Some(1));
+        assert_eq!(h.peek_min(), Some((2, 2)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_insert_panics() {
+        let mut h = IndexedMinHeap::new();
+        h.insert(7, 1);
+        h.insert(7, 2);
+    }
+
+    #[test]
+    fn stress_against_reference() {
+        use sketchtree_hash::SplitMix64;
+        let mut h = IndexedMinHeap::new();
+        let mut reference: std::collections::HashMap<u64, i64> = Default::default();
+        let mut rng = SplitMix64::new(2024);
+        for step in 0..2000 {
+            match rng.next_below(3) {
+                0 => {
+                    let v = rng.next_below(64);
+                    reference.entry(v).or_insert_with(|| {
+                        let p = rng.next_below(1000) as i64;
+                        h.insert(v, p);
+                        p
+                    });
+                }
+                1 => {
+                    let v = rng.next_below(64);
+                    assert_eq!(h.remove(v), reference.remove(&v), "step {step}");
+                }
+                _ => {
+                    let expect = reference.values().min().copied();
+                    assert_eq!(h.min_priority(), expect, "step {step}");
+                    if let Some((v, p)) = h.pop_min() {
+                        assert_eq!(reference.remove(&v), Some(p));
+                        assert_eq!(Some(p), expect);
+                    }
+                }
+            }
+            h.check_invariants();
+            assert_eq!(h.len(), reference.len());
+        }
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut h = IndexedMinHeap::new();
+        for v in 0..10 {
+            h.insert(v, (10 - v) as i64);
+        }
+        let mut vals: Vec<u64> = h.iter().map(|(v, _)| v).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,44 @@
+//! Sketch machinery for SketchTree.
+//!
+//! Everything between "a stream of one-dimensional values" and "an
+//! approximate count with provable error bounds" lives here, implemented
+//! from scratch on top of `sketchtree-hash`:
+//!
+//! * [`ams`] — the single tug-of-war counter `X = Σ f_i ξ_i` of Alon,
+//!   Matias & Szegedy (paper Section 3), with insert/delete symmetry;
+//! * [`bank`] — [`bank::SketchBank`], the boosted `s1 × s2` array with
+//!   mean-of-s1 / median-of-s2 estimation (Theorem 1), set queries
+//!   (Theorem 2), self-join-size (F₂) estimation, and general
+//!   query-expression estimation with the `Xᵏ/k!·Πξ` construction of
+//!   Section 4 / Appendix C;
+//! * [`expr`] — the `+ − ×` query-expression AST and its expansion into
+//!   estimator terms;
+//! * [`heap`] — an indexed min-heap supporting decrease/removal by key
+//!   (the `H` of Algorithm 4);
+//! * [`topk`] — [`topk::TopKTracker`], the top-k frequent-value strategy of
+//!   Section 5.2 (Algorithm 4) that deletes heavy hitters from the sketches
+//!   to shrink the residual self-join size;
+//! * [`virtual_streams`] — [`virtual_streams::StreamSynopsis`], the complete
+//!   synopsis combining virtual streams (Section 5.3), per-stream top-k
+//!   tracking and shared-seed sketch banks behind one insert/estimate API;
+//! * [`countsketch`] — the Count sketch of Charikar et al. as a comparator;
+//! * [`frequent`] — deterministic Misra–Gries and Space-Saving heavy-hitter
+//!   baselines for the ablation benchmarks.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ams;
+pub mod bank;
+pub mod countsketch;
+pub mod expr;
+pub mod frequent;
+pub mod heap;
+pub mod topk;
+pub mod virtual_streams;
+
+pub use ams::AmsSketch;
+pub use bank::SketchBank;
+pub use expr::{Expr, ExprError};
+pub use topk::TopKTracker;
+pub use virtual_streams::{StreamSynopsis, SynopsisConfig, SynopsisState};

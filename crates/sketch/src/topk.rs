@@ -1,0 +1,336 @@
+//! Top-k frequent-value tracking — paper Section 5.2, Algorithm 4.
+//!
+//! Theorems 1 and 2 tie the memory needed for a target accuracy to the
+//! *self-join size* `SJ(S) = Σ f_i²` of the mapped stream.  Since tree
+//! pattern frequencies are heavily skewed, deleting the few heaviest values
+//! from the sketches (AMS deletion is just subtraction) collapses `SJ` and
+//! buys accuracy for free.  The tracker maintains up to `k` values with
+//! their estimated frequencies (`H` + `L` of the paper, unified in one
+//! indexed heap) and preserves the paper's **delete condition**: *if value
+//! `v` is tracked with frequency `f_v`, then exactly `f_v` instances of `v`
+//! have been deleted from the sketched stream.*
+//!
+//! At query time the deleted instances of tracked values that occur in the
+//! query are virtually added back (the restore lists consumed by
+//! [`crate::bank::SketchBank`]).
+
+use crate::bank::SketchBank;
+use crate::heap::IndexedMinHeap;
+
+/// Tracks the top-k most frequent values of a sketched stream.
+#[derive(Debug, Clone)]
+pub struct TopKTracker {
+    capacity: usize,
+    /// `H` and `L` of Algorithm 4 in one structure: tracked value →
+    /// estimated frequency, min-heap ordered by frequency.
+    tracked: IndexedMinHeap,
+}
+
+impl TopKTracker {
+    /// Creates a tracker for up to `capacity` values (0 disables tracking).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tracked: IndexedMinHeap::new(),
+        }
+    }
+
+    /// The capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of values currently tracked.
+    pub fn len(&self) -> usize {
+        self.tracked.len()
+    }
+
+    /// True if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.tracked.is_empty()
+    }
+
+    /// Algorithm 4: processes one stream value *after* the bank has been
+    /// updated with its occurrence.
+    pub fn process(&mut self, t: u64, bank: &mut SketchBank) {
+        if self.capacity == 0 {
+            return;
+        }
+        // Lines 1–7: if t is tracked, add its deleted instances back and
+        // untrack it, so the subsequent estimate sees the full stream.
+        if let Some(f_t) = self.tracked.remove(t) {
+            bank.update(t, f_t);
+        }
+        // Line 8: estimate t's frequency from the (restored) sketches.
+        let est = bank.estimate_point(t).round() as i64;
+        // Lines 9–18: track t if it is positive and beats the current
+        // minimum (or there is room).
+        let admit = est > 0
+            && match self.tracked.min_priority() {
+                _ if self.tracked.len() < self.capacity => true,
+                Some(root) => est > root,
+                None => false, // capacity == 0 handled above; unreachable
+            };
+        if admit {
+            if self.tracked.len() == self.capacity {
+                // Evict the least frequent tracked value: add its instances
+                // back to the sketches (lines 10–13).
+                let (r, f_r) = self.tracked.pop_min().expect("full heap");
+                bank.update(r, f_r);
+            }
+            // Track t and delete estFreq instances from the stream
+            // (lines 14–18) — the delete condition holds again.
+            self.tracked.insert(t, est);
+            bank.update(t, -est);
+        }
+    }
+
+    /// Algorithm 4 with precomputed per-sketch signs for `t` (the ingest
+    /// fast path — identical semantics to [`TopKTracker::process`], which
+    /// tests assert).
+    pub fn process_with_signs(&mut self, t: u64, bank: &mut SketchBank, signs: &[i8]) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(f_t) = self.tracked.remove(t) {
+            bank.update_with_signs(signs, f_t);
+        }
+        let est = bank.estimate_point_with_signs(signs).round() as i64;
+        let admit = est > 0
+            && match self.tracked.min_priority() {
+                _ if self.tracked.len() < self.capacity => true,
+                Some(root) => est > root,
+                None => false,
+            };
+        if admit {
+            if self.tracked.len() == self.capacity {
+                let (r, f_r) = self.tracked.pop_min().expect("full heap");
+                bank.update(r, f_r);
+            }
+            self.tracked.insert(t, est);
+            bank.update_with_signs(signs, -est);
+        }
+    }
+
+    /// The tracked frequency of `value`, if tracked.
+    pub fn tracked_frequency(&self, value: u64) -> Option<i64> {
+        self.tracked.get(value)
+    }
+
+    /// Restore list for a query over `values`: the tracked `(value, freq)`
+    /// pairs among them (Section 5.2's query-time compensation
+    /// `d = Σ ξ_q f_q`).
+    pub fn restore_list(&self, values: &[u64]) -> Vec<(u64, i64)> {
+        values
+            .iter()
+            .filter_map(|&v| self.tracked.get(v).map(|f| (v, f)))
+            .collect()
+    }
+
+    /// All tracked `(value, frequency)` pairs, most frequent first
+    /// (ties broken by value, so the output is deterministic regardless of
+    /// internal heap layout — snapshots rely on this).
+    pub fn tracked_values(&self) -> Vec<(u64, i64)> {
+        let mut v: Vec<(u64, i64)> = self.tracked.iter().collect();
+        v.sort_by_key(|&(val, f)| (std::cmp::Reverse(f), val));
+        v
+    }
+
+    /// Memory footprint in bytes (value + frequency + heap index per slot).
+    pub fn memory_bytes(&self) -> usize {
+        self.capacity * (8 + 8 + 8)
+    }
+
+    /// Rebuilds the tracked set from a snapshot taken with
+    /// [`TopKTracker::tracked_values`].  The sketches the entries were
+    /// deleted from must be restored alongside, or the delete condition
+    /// breaks.
+    ///
+    /// # Panics
+    /// Panics if more entries than capacity, or on duplicate values.
+    pub fn restore_tracked(&mut self, entries: &[(u64, i64)]) {
+        assert!(
+            entries.len() <= self.capacity,
+            "snapshot has more tracked values than capacity"
+        );
+        self.tracked = IndexedMinHeap::new();
+        for &(v, f) in entries {
+            self.tracked.insert(v, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feeds `freqs` one occurrence at a time, round-robin weighted, with
+    /// top-k processing after every insertion — the Algorithm 1 + 4 loop.
+    fn run_stream(bank: &mut SketchBank, topk: &mut TopKTracker, freqs: &[(u64, i64)]) {
+        // Interleave to mimic a stream rather than batch insertion.
+        let max_f = freqs.iter().map(|&(_, f)| f).max().unwrap();
+        for round in 0..max_f {
+            for &(v, f) in freqs {
+                if round < f {
+                    bank.update(v, 1);
+                    topk.process(v, bank);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_get_tracked() {
+        let freqs: Vec<(u64, i64)> = vec![(1, 500), (2, 400), (3, 10), (4, 5), (5, 2)];
+        let mut bank = SketchBank::new(3, 60, 7, 4);
+        let mut topk = TopKTracker::new(2);
+        run_stream(&mut bank, &mut topk, &freqs);
+        let tracked = topk.tracked_values();
+        assert_eq!(tracked.len(), 2);
+        let vals: Vec<u64> = tracked.iter().map(|&(v, _)| v).collect();
+        assert!(vals.contains(&1), "tracked {tracked:?}");
+        assert!(vals.contains(&2), "tracked {tracked:?}");
+        // Tracked frequencies are near the truth.
+        for (v, f) in tracked {
+            let truth = if v == 1 { 500.0 } else { 400.0 };
+            assert!(
+                (f as f64 - truth).abs() / truth < 0.2,
+                "value {v}: tracked {f} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_condition_holds() {
+        // After the run, estimating a tracked value *without* restore
+        // should be near zero — its instances were deleted.
+        let freqs: Vec<(u64, i64)> = vec![(1, 600), (2, 20), (3, 10)];
+        let mut bank = SketchBank::new(13, 60, 7, 4);
+        let mut topk = TopKTracker::new(1);
+        run_stream(&mut bank, &mut topk, &freqs);
+        assert_eq!(topk.len(), 1);
+        let (v, f) = topk.tracked_values()[0];
+        assert_eq!(v, 1);
+        let raw = bank.estimate_point(v);
+        assert!(raw.abs() < 60.0, "deleted value still visible: {raw}");
+        // Compensated estimate recovers the truth.
+        let est = bank.estimate_point_restored(v, &[(v, f)]);
+        assert!((est - 600.0).abs() / 600.0 < 0.15, "est {est}");
+    }
+
+    #[test]
+    fn tracking_reduces_self_join_size() {
+        let freqs: Vec<(u64, i64)> = vec![(1, 500), (2, 300), (3, 8), (4, 6), (5, 4)];
+        // Without top-k.
+        let mut plain = SketchBank::new(77, 80, 7, 4);
+        for &(v, f) in &freqs {
+            plain.update(v, f);
+        }
+        // With top-k.
+        let mut tracked_bank = SketchBank::new(77, 80, 7, 4);
+        let mut topk = TopKTracker::new(2);
+        run_stream(&mut tracked_bank, &mut topk, &freqs);
+        let sj_plain = plain.estimate_self_join();
+        let sj_tracked = tracked_bank.estimate_self_join();
+        assert!(
+            sj_tracked < sj_plain / 10.0,
+            "SJ not reduced: plain {sj_plain}, tracked {sj_tracked}"
+        );
+    }
+
+    #[test]
+    fn restore_list_filters_to_query() {
+        let freqs: Vec<(u64, i64)> = vec![(1, 300), (2, 200), (3, 5)];
+        let mut bank = SketchBank::new(5, 60, 7, 4);
+        let mut topk = TopKTracker::new(2);
+        run_stream(&mut bank, &mut topk, &freqs);
+        let r = topk.restore_list(&[1, 3, 99]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, 1);
+        assert!(topk.restore_list(&[42]).is_empty());
+    }
+
+    #[test]
+    fn capacity_zero_disables_tracking() {
+        let mut bank = SketchBank::new(1, 20, 3, 4);
+        let mut topk = TopKTracker::new(0);
+        for _ in 0..100 {
+            bank.update(9, 1);
+            topk.process(9, &mut bank);
+        }
+        assert!(topk.is_empty());
+        // Stream untouched: estimate sees all 100.
+        let est = bank.estimate_point(9);
+        assert!((est - 100.0).abs() < 30.0, "est {est}");
+    }
+
+    #[test]
+    fn eviction_prefers_keeping_heavier() {
+        // Capacity 1; a heavy value then a light value: the light one must
+        // not displace the heavy one.
+        let mut bank = SketchBank::new(23, 60, 7, 4);
+        let mut topk = TopKTracker::new(1);
+        for _ in 0..400 {
+            bank.update(1, 1);
+            topk.process(1, &mut bank);
+        }
+        for _ in 0..5 {
+            bank.update(2, 1);
+            topk.process(2, &mut bank);
+        }
+        let tracked = topk.tracked_values();
+        assert_eq!(tracked.len(), 1);
+        assert_eq!(tracked[0].0, 1, "light value displaced heavy one");
+    }
+
+    #[test]
+    fn reappearing_tracked_value_updates_frequency() {
+        let mut bank = SketchBank::new(29, 60, 7, 4);
+        let mut topk = TopKTracker::new(1);
+        for _ in 0..100 {
+            bank.update(7, 1);
+            topk.process(7, &mut bank);
+        }
+        let f1 = topk.tracked_frequency(7).unwrap();
+        for _ in 0..100 {
+            bank.update(7, 1);
+            topk.process(7, &mut bank);
+        }
+        let f2 = topk.tracked_frequency(7).unwrap();
+        assert!(f2 > f1, "frequency did not grow: {f1} -> {f2}");
+        assert!((f2 - 200).abs() < 40, "f2 = {f2}");
+    }
+
+    #[test]
+    fn memory_accounting() {
+        assert_eq!(TopKTracker::new(50).memory_bytes(), 50 * 24);
+    }
+
+    /// The precomputed-signs fast path must be bit-for-bit equivalent to
+    /// the plain Algorithm 4 implementation.
+    #[test]
+    fn process_with_signs_equivalent_to_process() {
+        let freqs: Vec<(u64, i64)> = vec![(1, 120), (2, 60), (3, 30), (4, 7), (5, 2)];
+        let mut bank_a = SketchBank::new(31, 20, 5, 4);
+        let mut topk_a = TopKTracker::new(2);
+        let mut bank_b = SketchBank::new(31, 20, 5, 4);
+        let mut topk_b = TopKTracker::new(2);
+        let mut buf = Vec::new();
+        let max_f = freqs.iter().map(|&(_, f)| f).max().unwrap();
+        for round in 0..max_f {
+            for &(v, f) in &freqs {
+                if round < f {
+                    bank_a.update(v, 1);
+                    topk_a.process(v, &mut bank_a);
+                    bank_b.signs_into(v, &mut buf);
+                    bank_b.update_with_signs(&buf, 1);
+                    topk_b.process_with_signs(v, &mut bank_b, &buf);
+                }
+            }
+        }
+        assert_eq!(topk_a.tracked_values(), topk_b.tracked_values());
+        for v in [1u64, 2, 3, 4, 5, 999] {
+            assert_eq!(bank_a.estimate_point(v), bank_b.estimate_point(v), "value {v}");
+        }
+    }
+}

@@ -1,0 +1,676 @@
+//! The complete stream synopsis: virtual streams × top-k × sketch banks.
+//!
+//! Section 5.3 of the paper splits the one-dimensional stream into `p`
+//! disjoint *virtual streams* by `t mod p`, sketching each separately; each
+//! virtual stream has a smaller self-join size than the whole, so every
+//! estimate gets cheaper for free.  All banks share the same random seed, so
+//! their ξ families are identical and sketches of different virtual streams
+//! can simply be *added* when a query spans several of them.  The paper's
+//! experiments fix `p = 229` and combine virtual streams with one top-k
+//! tracker per stream (Section 5.2).
+//!
+//! [`StreamSynopsis`] packages the whole construction behind two calls:
+//! [`StreamSynopsis::insert`] during stream processing, and the
+//! `estimate_*` family at query time.  Cross-bank estimation combines
+//! per-sketch values *before* boosting (means/medians are nonlinear), using
+//! the flat sketch access of [`SketchBank`].
+
+use crate::bank::{self, SketchBank};
+use crate::expr::{Expr, ExprError};
+use crate::topk::TopKTracker;
+use std::fmt;
+
+/// Configuration of a [`StreamSynopsis`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynopsisConfig {
+    /// Accuracy knob: sketches averaged per group (paper: 25–75).
+    pub s1: usize,
+    /// Confidence knob: number of median groups (paper: 7, from
+    /// `s2 = 2·lg(1/δ)` at δ = 0.1).
+    pub s2: usize,
+    /// Number of virtual streams `p` (paper: 229). 1 disables partitioning.
+    pub virtual_streams: usize,
+    /// Top-k tracker capacity per virtual stream (0 disables tracking).
+    pub topk: usize,
+    /// ξ independence degree; 4 suffices for point/sum queries, product
+    /// terms of size `k` need `2k+1` (see [`crate::expr`]).
+    pub independence: usize,
+    /// Probability of invoking top-k processing per inserted value, in
+    /// per-2^16 units (65536 = always, the default).  Section 5.2: "top-k
+    /// processing could be invoked with a probability p for each tree
+    /// pattern" when per-pattern processing is too expensive.  Sketch
+    /// updates always happen; only Algorithm 4 is sampled.
+    pub topk_probability: u16,
+    /// Master random seed.
+    pub seed: u64,
+}
+
+impl Default for SynopsisConfig {
+    fn default() -> Self {
+        Self {
+            s1: 25,
+            s2: 7,
+            virtual_streams: 229,
+            topk: 50,
+            independence: 4,
+            topk_probability: u16::MAX,
+            seed: 0x5EED_0F5E_ED00,
+        }
+    }
+}
+
+/// Errors from synopsis estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynopsisError {
+    /// Invalid query expression.
+    Expr(ExprError),
+    /// The expression needs more ξ independence than the synopsis was
+    /// configured with.
+    InsufficientIndependence {
+        /// Independence the expression requires (`2k+1` for max term `k`).
+        required: usize,
+        /// Independence the synopsis has.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SynopsisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynopsisError::Expr(e) => write!(f, "{e}"),
+            SynopsisError::InsufficientIndependence { required, actual } => write!(
+                f,
+                "expression requires {required}-wise independent ξ but synopsis has {actual}-wise; \
+                 raise SynopsisConfig::independence"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SynopsisError {}
+
+impl From<ExprError> for SynopsisError {
+    fn from(e: ExprError) -> Self {
+        SynopsisError::Expr(e)
+    }
+}
+
+/// The mutable state of a [`StreamSynopsis`], exported for snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynopsisState {
+    /// Per-bank flat counter vectors.
+    pub bank_counters: Vec<Vec<i64>>,
+    /// Per-bank tracked `(value, frequency)` pairs.
+    pub tracked: Vec<Vec<(u64, i64)>>,
+    /// Stream length at snapshot time.
+    pub values_processed: u64,
+}
+
+/// The full SketchTree stream synopsis over one-dimensional values.
+///
+/// ```
+/// use sketchtree_sketch::{StreamSynopsis, SynopsisConfig};
+/// let mut syn = StreamSynopsis::new(SynopsisConfig {
+///     s1: 40, s2: 5, virtual_streams: 7, topk: 2,
+///     ..SynopsisConfig::default()
+/// });
+/// for _ in 0..300 { syn.insert(12345); }
+/// let est = syn.estimate_count(12345);
+/// assert!((est - 300.0).abs() < 60.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamSynopsis {
+    config: SynopsisConfig,
+    banks: Vec<SketchBank>,
+    topks: Vec<TopKTracker>,
+    values_processed: u64,
+    /// Reusable per-insert ξ sign buffer (hot-path allocation avoidance).
+    sign_buf: Vec<i8>,
+    /// PRNG for probabilistic top-k invocation.
+    topk_rng: sketchtree_hash::SplitMix64,
+}
+
+impl StreamSynopsis {
+    /// Builds an empty synopsis.
+    ///
+    /// # Panics
+    /// Panics if `s1`, `s2` or `virtual_streams` is zero.
+    pub fn new(config: SynopsisConfig) -> Self {
+        assert!(config.virtual_streams > 0, "need at least one virtual stream");
+        let effective_independence = config.independence.max(4);
+        let banks = (0..config.virtual_streams)
+            .map(|_| {
+                // All banks share the master seed → identical ξ families
+                // (Section 5.3: "the sketches can share the same random
+                // seed", making cross-stream sketch addition meaningful).
+                SketchBank::new(config.seed, config.s1, config.s2, effective_independence)
+            })
+            .collect();
+        let topks = (0..config.virtual_streams)
+            .map(|_| TopKTracker::new(config.topk))
+            .collect();
+        let topk_rng = sketchtree_hash::SplitMix64::new(config.seed ^ 0x70B0_70B0);
+        Self {
+            config,
+            banks,
+            topks,
+            values_processed: 0,
+            sign_buf: Vec::new(),
+            topk_rng,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SynopsisConfig {
+        &self.config
+    }
+
+    /// Total values inserted so far (the stream length `|S|`, used for
+    /// selectivity computations).
+    pub fn values_processed(&self) -> u64 {
+        self.values_processed
+    }
+
+    #[inline]
+    fn route(&self, value: u64) -> usize {
+        (value % self.banks.len() as u64) as usize
+    }
+
+    /// Inserts one occurrence of `value` (Algorithm 1 inner loop followed by
+    /// Algorithm 4 top-k processing).
+    pub fn insert(&mut self, value: u64) {
+        let r = self.route(value);
+        // Evaluate the value's ξ signs once; the update, the top-k
+        // frequency estimate, and any deletion all reuse them.
+        self.banks[r].signs_into(value, &mut self.sign_buf);
+        self.banks[r].update_with_signs(&self.sign_buf, 1);
+        let invoke_topk = self.config.topk_probability == u16::MAX
+            || (self.topk_rng.next_u64() & 0xFFFF) < u64::from(self.config.topk_probability);
+        if invoke_topk {
+            self.topks[r].process_with_signs(value, &mut self.banks[r], &self.sign_buf);
+        }
+        self.values_processed += 1;
+    }
+
+    /// Deletes one previously-inserted occurrence of `value` (AMS deletion:
+    /// `X −= ξ_v`).  Used by windowed synopses to expire old stream
+    /// elements.
+    ///
+    /// Only sound when top-k tracking is disabled: a tracker may itself
+    /// have deleted instances of `value`, and expiry would double-delete.
+    ///
+    /// # Panics
+    /// Debug-panics if a top-k tracker is active.
+    pub fn delete(&mut self, value: u64) {
+        debug_assert_eq!(
+            self.config.topk, 0,
+            "delete() requires top-k tracking to be disabled"
+        );
+        let r = self.route(value);
+        self.banks[r].update(value, -1);
+        self.values_processed = self.values_processed.saturating_sub(1);
+    }
+
+    /// The restore list for a set of query values within one bank.
+    fn bank_restores(&self, bank: usize, queries: &[u64]) -> Vec<(u64, i64)> {
+        let in_bank: Vec<u64> = queries
+            .iter()
+            .copied()
+            .filter(|&q| self.route(q) == bank)
+            .collect();
+        self.topks[bank].restore_list(&in_bank)
+    }
+
+    /// Estimates `COUNT` of a single value (Theorem 1).
+    pub fn estimate_count(&self, value: u64) -> f64 {
+        let r = self.route(value);
+        let restore = self.bank_restores(r, &[value]);
+        self.banks[r].estimate_point_restored(value, &restore)
+    }
+
+    /// Estimates the total frequency of a set of *distinct* values
+    /// (Theorem 2).  Values may span several virtual streams; per-sketch
+    /// contributions are combined across banks before boosting.
+    pub fn estimate_total(&self, values: &[u64]) -> f64 {
+        let n = self.banks[0].num_sketches();
+        let mut acc = vec![0.0f64; n];
+        for (b, bank) in self.banks.iter().enumerate() {
+            let in_bank: Vec<u64> = values
+                .iter()
+                .copied()
+                .filter(|&v| self.route(v) == b)
+                .collect();
+            if in_bank.is_empty() {
+                continue;
+            }
+            let restore = self.topks[b].restore_list(&in_bank);
+            bank.accumulate(&mut acc, |s| {
+                let x_eff = bank::effective_x(s, &restore);
+                let xi_sum: i64 = in_bank.iter().map(|&v| s.sign(v)).sum();
+                xi_sum as f64 * x_eff as f64
+            });
+        }
+        self.banks[0].boost(&acc)
+    }
+
+    /// Estimates a general query expression (Section 4).
+    ///
+    /// Per sketch index, each term's `X` is the sum of the effective
+    /// counters of the virtual streams containing that term's queries
+    /// (Section 5.3's sketch addition), then `coeff·Xᵏ/k!·Πξ` is evaluated
+    /// and boosted.
+    pub fn estimate_expr(&self, expr: &Expr) -> Result<f64, SynopsisError> {
+        let (terms, _) = expr.expand()?;
+        self.estimate_terms(&terms)
+    }
+
+    /// Estimates pre-expanded estimator terms (`coeff·Xᵏ/k!·Πξ`).  Exposed
+    /// for callers that build terms directly — e.g. expressions over
+    /// *unordered* patterns, whose leaves are already sums of atoms.
+    ///
+    /// Every term's queries must be distinct within the term and the
+    /// synopsis must have `2k+1`-wise ξ independence for the largest term.
+    pub fn estimate_terms(&self, terms: &[crate::expr::Term]) -> Result<f64, SynopsisError> {
+        let max_k = terms.iter().map(|t| t.queries.len()).max().unwrap_or(0);
+        let required = 2 * max_k + 1;
+        let actual = self.config.independence.max(4);
+        if max_k > 1 && required > actual {
+            return Err(SynopsisError::InsufficientIndependence { required, actual });
+        }
+        // Within one term, a repeated query would make ξ_q² = 1 and bias
+        // the estimator — the distinctness the paper assumes.
+        for t in terms {
+            for w in t.queries.windows(2) {
+                // Term queries are kept sorted by construction.
+                if w[0] == w[1] {
+                    return Err(SynopsisError::Expr(ExprError::DuplicateQuery(w[0])));
+                }
+            }
+        }
+        let mut queries: Vec<u64> = terms.iter().flat_map(|t| t.queries.iter().copied()).collect();
+        queries.sort_unstable();
+        queries.dedup();
+        // Effective X per (bank, sketch idx), with per-bank restores for all
+        // queries of the expression.
+        let n = self.banks[0].num_sketches();
+        let mut x_eff: Vec<Vec<i64>> = Vec::with_capacity(self.banks.len());
+        for (b, bank) in self.banks.iter().enumerate() {
+            let restore = self.bank_restores(b, &queries);
+            let mut xs = Vec::with_capacity(n);
+            for idx in 0..n {
+                xs.push(bank::effective_x(bank.sketch_at(idx), &restore));
+            }
+            x_eff.push(xs);
+        }
+        // Which banks each term touches.
+        let term_banks: Vec<Vec<usize>> = terms
+            .iter()
+            .map(|t| {
+                let mut b: Vec<usize> = t.queries.iter().map(|&q| self.route(q)).collect();
+                b.sort_unstable();
+                b.dedup();
+                b
+            })
+            .collect();
+        let mut acc = vec![0.0f64; n];
+        for idx in 0..n {
+            let sketch = self.banks[0].sketch_at(idx);
+            let mut v = 0.0;
+            for (t, banks) in terms.iter().zip(&term_banks) {
+                let x: i64 = banks.iter().map(|&b| x_eff[b][idx]).sum();
+                // ξ families are shared across banks, so any bank's sketch
+                // at this index gives the right signs.
+                v += bank::term_value(sketch, t, x as f64);
+            }
+            acc[idx] = v;
+        }
+        Ok(self.banks[0].boost(&acc))
+    }
+
+    /// Estimates the *residual* self-join size — `Σ f_i²` of what is still
+    /// in the sketches after top-k deletions, summed over virtual streams.
+    /// This is the quantity that controls estimation variance (Theorems
+    /// 1–2) and the one the top-k strategy drives down.
+    pub fn estimate_residual_self_join(&self) -> f64 {
+        let n = self.banks[0].num_sketches();
+        let mut acc = vec![0.0f64; n];
+        for bank in &self.banks {
+            // Streams are disjoint, so SJ(S) = Σ_b SJ(S_b); accumulate each
+            // bank's X² per sketch and boost once.
+            bank.accumulate(&mut acc, |s| s.second_moment() as f64);
+        }
+        self.banks[0].boost(&acc)
+    }
+
+    /// All tracked heavy hitters across virtual streams, most frequent
+    /// first.
+    pub fn tracked_heavy_hitters(&self) -> Vec<(u64, i64)> {
+        let mut out: Vec<(u64, i64)> = self
+            .topks
+            .iter()
+            .flat_map(|t| t.tracked_values())
+            .collect();
+        out.sort_by_key(|&(_, f)| std::cmp::Reverse(f));
+        out
+    }
+
+    /// Captures the mutable state of the synopsis for a snapshot: per-bank
+    /// counters, per-bank tracked heavy hitters, and the stream length.
+    /// The immutable parts (ξ families) reconstruct from the config.
+    pub fn export_state(&self) -> SynopsisState {
+        SynopsisState {
+            bank_counters: self.banks.iter().map(SketchBank::counter_values).collect(),
+            tracked: self.topks.iter().map(TopKTracker::tracked_values).collect(),
+            values_processed: self.values_processed,
+        }
+    }
+
+    /// Rebuilds a synopsis from a config and exported state.
+    ///
+    /// # Panics
+    /// Panics if the state geometry does not match the config.
+    pub fn from_state(config: SynopsisConfig, state: SynopsisState) -> Self {
+        let mut syn = Self::new(config);
+        assert_eq!(
+            state.bank_counters.len(),
+            syn.banks.len(),
+            "snapshot virtual-stream count mismatch"
+        );
+        assert_eq!(state.tracked.len(), syn.topks.len());
+        for (bank, counters) in syn.banks.iter_mut().zip(&state.bank_counters) {
+            bank.set_counter_values(counters);
+        }
+        for (topk, entries) in syn.topks.iter_mut().zip(&state.tracked) {
+            topk.restore_tracked(entries);
+        }
+        syn.values_processed = state.values_processed;
+        syn
+    }
+
+    /// Total synopsis memory in bytes: counters, seeds, and top-k slots
+    /// (the paper's accounting in Section 7.5).
+    pub fn memory_bytes(&self) -> usize {
+        let banks: usize = self.banks.iter().map(SketchBank::memory_bytes).sum();
+        let topk: usize = self.topks.iter().map(TopKTracker::memory_bytes).sum();
+        banks + topk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(topk: usize) -> SynopsisConfig {
+        SynopsisConfig {
+            s1: 60,
+            s2: 7,
+            virtual_streams: 13,
+            topk,
+            independence: 5,
+            topk_probability: u16::MAX,
+            seed: 17,
+        }
+    }
+
+    fn skewed_stream() -> Vec<(u64, i64)> {
+        // Zipf-ish frequencies over 60 values.
+        (1..=60u64).map(|v| (v * 101, (600 / v) as i64)).collect()
+    }
+
+    fn fill(s: &mut StreamSynopsis, freqs: &[(u64, i64)]) {
+        let max_f = freqs.iter().map(|&(_, f)| f).max().unwrap();
+        for round in 0..max_f {
+            for &(v, f) in freqs {
+                if round < f {
+                    s.insert(v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_estimates_with_topk() {
+        let mut syn = StreamSynopsis::new(small_config(5));
+        let freqs = skewed_stream();
+        fill(&mut syn, &freqs);
+        assert_eq!(
+            syn.values_processed(),
+            freqs.iter().map(|&(_, f)| f as u64).sum::<u64>()
+        );
+        // Heavy and medium values should estimate well.
+        for &(v, f) in freqs.iter().take(12) {
+            let est = syn.estimate_count(v);
+            assert!(
+                (est - f as f64).abs() / (f as f64) < 0.35,
+                "value {v}: est {est} vs {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn set_estimate_across_banks() {
+        let mut syn = StreamSynopsis::new(small_config(5));
+        let freqs = skewed_stream();
+        fill(&mut syn, &freqs);
+        // Three values guaranteed to hit different banks (101, 202, 303 mod 13 differ).
+        let q = [101u64, 202, 303];
+        let truth: i64 = freqs
+            .iter()
+            .filter(|(v, _)| q.contains(v))
+            .map(|&(_, f)| f)
+            .sum();
+        let est = syn.estimate_total(&q);
+        assert!(
+            (est - truth as f64).abs() / (truth as f64) < 0.25,
+            "est {est} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn expr_sum_matches_estimate_total_semantics() {
+        let mut syn = StreamSynopsis::new(small_config(0));
+        fill(&mut syn, &[(5, 200), (18, 100), (33, 50)]);
+        let e = Expr::sum_of_counts(&[5, 18]);
+        let est = syn.estimate_expr(&e).unwrap();
+        assert!((est - 300.0).abs() / 300.0 < 0.25, "est {est}");
+    }
+
+    #[test]
+    fn expr_product_across_banks() {
+        let mut syn = StreamSynopsis::new(small_config(0));
+        fill(&mut syn, &[(5, 150), (18, 100), (33, 40)]);
+        let e = Expr::product_of_counts(&[5, 18]);
+        let est = syn.estimate_expr(&e).unwrap();
+        let truth = 150.0 * 100.0;
+        assert!(
+            (est - truth).abs() / truth < 0.5,
+            "est {est} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn expr_independence_guard() {
+        let syn = StreamSynopsis::new(SynopsisConfig {
+            independence: 4,
+            ..small_config(0)
+        });
+        // Triple product needs 7-wise.
+        let e = Expr::product_of_counts(&[1, 2, 3]);
+        match syn.estimate_expr(&e) {
+            Err(SynopsisError::InsufficientIndependence { required: 7, actual: 4 }) => {}
+            other => panic!("expected independence error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expr_duplicate_guard() {
+        let syn = StreamSynopsis::new(small_config(0));
+        let e = Expr::Mul(Box::new(Expr::Count(9)), Box::new(Expr::Count(9)));
+        assert!(matches!(
+            syn.estimate_expr(&e),
+            Err(SynopsisError::Expr(ExprError::DuplicateQuery(9)))
+        ));
+    }
+
+    #[test]
+    fn topk_reduces_residual_self_join() {
+        let freqs = skewed_stream();
+        let mut no_topk = StreamSynopsis::new(small_config(0));
+        fill(&mut no_topk, &freqs);
+        let mut with_topk = StreamSynopsis::new(small_config(8));
+        fill(&mut with_topk, &freqs);
+        let sj0 = no_topk.estimate_residual_self_join();
+        let sj1 = with_topk.estimate_residual_self_join();
+        assert!(
+            sj1 < sj0 * 0.5,
+            "top-k did not reduce SJ: {sj0} -> {sj1}"
+        );
+        assert!(!with_topk.tracked_heavy_hitters().is_empty());
+        // The heaviest value should be among the tracked ones.
+        let hh: Vec<u64> = with_topk
+            .tracked_heavy_hitters()
+            .iter()
+            .map(|&(v, _)| v)
+            .collect();
+        assert!(hh.contains(&101), "heavy hitters: {hh:?}");
+    }
+
+    #[test]
+    fn topk_improves_light_value_accuracy() {
+        // With heavy values deleted, light values estimate better.
+        let freqs = skewed_stream();
+        let light: Vec<(u64, i64)> = freqs.iter().copied().filter(|&(_, f)| f <= 30).collect();
+        let err = |syn: &StreamSynopsis| -> f64 {
+            light
+                .iter()
+                .map(|&(v, f)| (syn.estimate_count(v) - f as f64).abs() / f as f64)
+                .sum::<f64>()
+                / light.len() as f64
+        };
+        let mut no_topk = StreamSynopsis::new(small_config(0));
+        fill(&mut no_topk, &freqs);
+        let mut with_topk = StreamSynopsis::new(small_config(10));
+        fill(&mut with_topk, &freqs);
+        let (e0, e1) = (err(&no_topk), err(&with_topk));
+        assert!(
+            e1 < e0,
+            "top-k did not improve light-value error: {e0:.3} -> {e1:.3}"
+        );
+    }
+
+    #[test]
+    fn memory_accounting_scales() {
+        let a = StreamSynopsis::new(SynopsisConfig {
+            s1: 25,
+            ..small_config(10)
+        });
+        let b = StreamSynopsis::new(SynopsisConfig {
+            s1: 50,
+            ..small_config(10)
+        });
+        assert!(b.memory_bytes() > a.memory_bytes());
+        let expected = 13 * (50 * 7 * 16) + 13 * (10 * 24);
+        assert_eq!(b.memory_bytes(), expected);
+    }
+
+    #[test]
+    fn single_virtual_stream_works() {
+        let mut syn = StreamSynopsis::new(SynopsisConfig {
+            virtual_streams: 1,
+            ..small_config(0)
+        });
+        fill(&mut syn, &[(7, 100)]);
+        let est = syn.estimate_count(7);
+        assert!((est - 100.0).abs() < 30.0, "est {est}");
+    }
+
+    #[test]
+    fn export_import_state_roundtrip() {
+        let mut syn = StreamSynopsis::new(small_config(3));
+        fill(&mut syn, &[(5, 80), (18, 40), (33, 7)]);
+        let state = syn.export_state();
+        let restored = StreamSynopsis::from_state(small_config(3), state.clone());
+        for v in [5u64, 18, 33, 999] {
+            assert_eq!(syn.estimate_count(v), restored.estimate_count(v), "value {v}");
+        }
+        assert_eq!(syn.values_processed(), restored.values_processed());
+        assert_eq!(syn.tracked_heavy_hitters(), restored.tracked_heavy_hitters());
+        // State equality is structural.
+        assert_eq!(restored.export_state(), state);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_state_geometry_mismatch_panics() {
+        let syn = StreamSynopsis::new(small_config(0));
+        let state = syn.export_state();
+        let other = SynopsisConfig {
+            virtual_streams: 5,
+            ..small_config(0)
+        };
+        StreamSynopsis::from_state(other, state);
+    }
+
+    #[test]
+    fn delete_expires_values_exactly() {
+        let mut syn = StreamSynopsis::new(SynopsisConfig {
+            topk: 0,
+            ..small_config(0)
+        });
+        for _ in 0..50 {
+            syn.insert(7);
+        }
+        for _ in 0..20 {
+            syn.insert(11);
+        }
+        for _ in 0..50 {
+            syn.delete(7);
+        }
+        assert_eq!(syn.estimate_count(7), 0.0);
+        let est11 = syn.estimate_count(11);
+        assert!((est11 - 20.0).abs() < 6.0, "est {est11}");
+        assert_eq!(syn.values_processed(), 20);
+    }
+
+    #[test]
+    fn probabilistic_topk_tracks_fewer_but_still_heavy() {
+        // With topk invoked on ~1/4 of inserts, heavy hitters still get
+        // found (they recur), at a fraction of the processing cost.
+        let freqs = skewed_stream();
+        let mut sampled = StreamSynopsis::new(SynopsisConfig {
+            topk_probability: u16::MAX / 4,
+            ..small_config(8)
+        });
+        fill(&mut sampled, &freqs);
+        let hh: Vec<u64> = sampled
+            .tracked_heavy_hitters()
+            .iter()
+            .map(|&(v, _)| v)
+            .collect();
+        assert!(!hh.is_empty(), "sampling must not disable tracking");
+        assert!(hh.contains(&101), "heaviest value missed: {hh:?}");
+        // Counts remain consistent: the heavy value estimates well.
+        let est = sampled.estimate_count(101);
+        assert!((est - 600.0).abs() / 600.0 < 0.3, "est {est}");
+    }
+
+    #[test]
+    fn topk_probability_zero_equivalent_to_disabled() {
+        let freqs = skewed_stream();
+        let mut never = StreamSynopsis::new(SynopsisConfig {
+            topk_probability: 0,
+            ..small_config(8)
+        });
+        fill(&mut never, &freqs);
+        assert!(never.tracked_heavy_hitters().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_virtual_streams_rejected() {
+        StreamSynopsis::new(SynopsisConfig {
+            virtual_streams: 0,
+            ..SynopsisConfig::default()
+        });
+    }
+}

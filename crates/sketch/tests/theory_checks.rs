@@ -1,0 +1,170 @@
+//! Empirical checks of the paper's estimator theory: the expectation and
+//! variance formulas of Sections 3–4 hold for the implemented ξ families.
+//!
+//! Each test Monte-Carlos over independent sketch seeds on a *fixed* small
+//! stream where the exact moments are computable by hand, and asserts the
+//! sample moments land within a few standard errors of the theory.  These
+//! are the tests that would catch a subtly-broken ξ family (e.g. only
+//! 2-wise independence) that every algebraic test would miss.
+
+use sketchtree_hash::{Bch4Sign, KWiseSign, Sign};
+use sketchtree_sketch::AmsSketch;
+
+/// The fixed stream: values with frequencies. SJ = Σf² = 14² + 9² + 4² + 1² = 374.
+const FREQS: &[(u64, i64)] = &[(11, 14), (22, 9), (33, 4), (44, 1)];
+
+fn self_join() -> f64 {
+    FREQS.iter().map(|&(_, f)| (f * f) as f64).sum()
+}
+
+fn build(seed: u64, independence: usize) -> AmsSketch {
+    let mut s = AmsSketch::new(seed, independence);
+    for &(v, f) in FREQS {
+        s.update(v, f);
+    }
+    s
+}
+
+/// Equation 1: E[ξ_q·X] = f_q.
+#[test]
+fn eq1_point_estimator_unbiased() {
+    let n = 20_000u64;
+    for &(q, fq) in FREQS {
+        let mean: f64 = (0..n)
+            .map(|seed| build(seed, 4).estimate(q) as f64)
+            .sum::<f64>()
+            / n as f64;
+        // Var = SJ − f_q² ≤ 374; std of the mean ≈ sqrt(374/20000) ≈ 0.14.
+        assert!(
+            (mean - fq as f64).abs() < 0.8,
+            "value {q}: mean {mean} vs f {fq}"
+        );
+    }
+}
+
+/// Equation 2: Var[ξ_q·X] = Σ_{i≠q} f_i² exactly (not just ≤ SJ), which
+/// 4-wise independence implies.
+#[test]
+fn eq2_point_estimator_variance() {
+    let n = 20_000u64;
+    for &(q, fq) in FREQS.iter().take(2) {
+        let expect_var = self_join() - (fq * fq) as f64;
+        let samples: Vec<f64> = (0..n).map(|seed| build(seed, 4).estimate(q) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        // Fourth-moment-driven std of sample variance; 15% tolerance is
+        // ~4 standard errors here.
+        assert!(
+            (var - expect_var).abs() / expect_var < 0.15,
+            "value {q}: sample var {var} vs theory {expect_var}"
+        );
+    }
+}
+
+/// Equation 6: E[X·(ξ_a + ξ_b)] = f_a + f_b (set estimator unbiased).
+#[test]
+fn eq6_set_estimator_unbiased() {
+    let n = 20_000u64;
+    let (a, fa) = FREQS[0];
+    let (b, fb) = FREQS[1];
+    let mean: f64 = (0..n)
+        .map(|seed| {
+            let s = build(seed, 4);
+            ((s.sign(a) + s.sign(b)) * s.raw()) as f64
+        })
+        .sum::<f64>()
+        / n as f64;
+    assert!(
+        (mean - (fa + fb) as f64).abs() < 1.0,
+        "mean {mean} vs {}",
+        fa + fb
+    );
+}
+
+/// Equation 7: Var[X·Σξ] ≤ 2(t−1)·SJ for t=2 distinct queries.
+#[test]
+fn eq7_set_estimator_variance_bound() {
+    let n = 20_000u64;
+    let (a, _) = FREQS[0];
+    let (b, _) = FREQS[1];
+    let samples: Vec<f64> = (0..n)
+        .map(|seed| {
+            let s = build(seed, 4);
+            ((s.sign(a) + s.sign(b)) * s.raw()) as f64
+        })
+        .collect();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    let bound = 2.0 * self_join();
+    assert!(var <= bound * 1.1, "var {var} exceeds 2(t-1)SJ = {bound}");
+}
+
+/// Example 3 / Appendix C: E[X²·ξ_a ξ_b / 2!] = f_a·f_b, requiring 5-wise ξ.
+#[test]
+fn product_estimator_unbiased() {
+    let n = 40_000u64;
+    let (a, fa) = FREQS[0];
+    let (b, fb) = FREQS[1];
+    let mean: f64 = (0..n)
+        .map(|seed| {
+            let s = build(seed, 5);
+            let x = s.raw() as f64;
+            (s.sign(a) * s.sign(b)) as f64 * x * x / 2.0
+        })
+        .sum::<f64>()
+        / n as f64;
+    let truth = (fa * fb) as f64;
+    // Appendix B: Var ≤ (1+2n)/4·SJ² — large; n=40k gives std-of-mean ≈ 2.8.
+    assert!(
+        (mean - truth).abs() < 15.0,
+        "mean {mean} vs f_a·f_b = {truth}"
+    );
+}
+
+/// The BCH-code family (the paper's literal construction) matches the
+/// Mersenne-polynomial family on the moments Equation 2 needs: both give
+/// an unbiased point estimator with variance ≈ Σ_{i≠q} f_i².
+#[test]
+fn bch_family_has_same_moments() {
+    let n = 20_000u64;
+    let (q, fq) = FREQS[0];
+    let expect_var = self_join() - (fq * fq) as f64;
+    let samples: Vec<f64> = (0..n)
+        .map(|seed| {
+            let xi = Bch4Sign::from_seed(seed);
+            let x: i64 = FREQS.iter().map(|&(v, f)| xi.sign(v) * f).sum();
+            (xi.sign(q) * x) as f64
+        })
+        .collect();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    assert!((mean - fq as f64).abs() < 0.8, "BCH mean {mean}");
+    assert!(
+        (var - expect_var).abs() / expect_var < 0.15,
+        "BCH var {var} vs {expect_var}"
+    );
+}
+
+/// Cross-construction agreement on higher joint moments:
+/// E[ξ_a ξ_b ξ_c ξ_d] ≈ 0 for both families over distinct keys.
+#[test]
+fn fourwise_joint_moment_zero_both_families() {
+    let n = 20_000i64;
+    let keys = [3u64, 17, 1 << 40, u64::MAX / 3];
+    let m61_sum: i64 = (0..n)
+        .map(|seed| {
+            let xi = KWiseSign::from_seed(seed as u64, 4);
+            keys.iter().map(|&k| xi.sign(k)).product::<i64>()
+        })
+        .sum();
+    let bch_sum: i64 = (0..n)
+        .map(|seed| {
+            let xi = Bch4Sign::from_seed(seed as u64);
+            keys.iter().map(|&k| xi.sign(k)).product::<i64>()
+        })
+        .sum();
+    // Each product is ±1; under 4-wise independence the sum is a random
+    // walk with std sqrt(n) ≈ 141.
+    assert!(m61_sum.abs() < 600, "m61 joint moment biased: {m61_sum}");
+    assert!(bch_sum.abs() < 600, "bch joint moment biased: {bch_sum}");
+}

@@ -1,0 +1,163 @@
+//! Interned node labels.
+//!
+//! Paper Section 2.2 assumes a function `hash(X)` that "returns a unique
+//! number for any given node label X".  We realise it with interning: a
+//! [`LabelTable`] assigns each distinct label string a dense [`Label`] id in
+//! arrival order.  Interning (rather than hashing label bytes directly)
+//! keeps the sequence symbols small, makes equality O(1) during enumeration,
+//! and gives query processing a natural "label never seen → count is surely
+//! zero" fast path.  (Section 6.1's alternative — Rabin-fingerprinting the
+//! label bytes online — is available through
+//! `sketchtree_hash::RabinFingerprinter` if a table-free deployment is
+//! needed; the core crate's mapping fingerprints whole sequences anyway, so
+//! either label coding yields the same collision story.)
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense interned label identifier.
+///
+/// Ids start at 0; the *symbol code* used inside Prüfer-sequence
+/// fingerprints is `id + 1`, reserving 0 as the padding symbol required by
+/// the pairing function of paper Section 2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The symbol code used in one-dimensional mappings (`id + 1`; 0 is the
+    /// reserved pad symbol).
+    #[inline]
+    pub fn code(self) -> u64 {
+        u64::from(self.0) + 1
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An append-only intern table mapping label strings to [`Label`] ids.
+#[derive(Debug, Default, Clone)]
+pub struct LabelTable {
+    by_name: HashMap<String, Label>,
+    names: Vec<String>,
+}
+
+impl LabelTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a label, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.by_name.get(name) {
+            return l;
+        }
+        let id = Label(u32::try_from(self.names.len()).expect("label table overflow"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a label without interning. `None` means the label has never
+    /// appeared in the stream — any pattern containing it has exact count 0.
+    pub fn lookup(&self, name: &str) -> Option<Label> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this table.
+    pub fn name(&self, label: Label) -> &str {
+        &self.names[label.0 as usize]
+    }
+
+    /// Number of distinct labels interned so far (the paper's `|Σ|`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no labels are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(Label, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = LabelTable::new();
+        let a = t.intern("A");
+        let a2 = t.intern("A");
+        assert_eq!(a, a2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_in_arrival_order() {
+        let mut t = LabelTable::new();
+        assert_eq!(t.intern("X"), Label(0));
+        assert_eq!(t.intern("Y"), Label(1));
+        assert_eq!(t.intern("X"), Label(0));
+        assert_eq!(t.intern("Z"), Label(2));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut t = LabelTable::new();
+        assert_eq!(t.lookup("nope"), None);
+        assert!(t.is_empty());
+        let a = t.intern("A");
+        assert_eq!(t.lookup("A"), Some(a));
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        let mut t = LabelTable::new();
+        let a = t.intern("article");
+        let b = t.intern("author");
+        assert_eq!(t.name(a), "article");
+        assert_eq!(t.name(b), "author");
+    }
+
+    #[test]
+    fn codes_avoid_pad_symbol() {
+        let mut t = LabelTable::new();
+        let first = t.intern("first");
+        assert_eq!(first.code(), 1);
+        assert!(first.code() != 0);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut t = LabelTable::new();
+        t.intern("a");
+        t.intern("b");
+        let v: Vec<_> = t.iter().map(|(l, n)| (l.0, n.to_owned())).collect();
+        assert_eq!(v, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
+    }
+
+    #[test]
+    fn empty_strings_and_unicode_are_labels_too() {
+        let mut t = LabelTable::new();
+        let e = t.intern("");
+        let u = t.intern("日本語");
+        assert_ne!(e, u);
+        assert_eq!(t.name(u), "日本語");
+    }
+}

@@ -1,0 +1,27 @@
+//! Ordered labeled trees for SketchTree.
+//!
+//! The stream elements of the SketchTree algorithm (Rao & Moon, ICDE 2006)
+//! are *ordered labeled trees* — XML documents, parse trees, phylogenies.
+//! This crate provides:
+//!
+//! * [`label`] — interned labels ([`label::Label`], [`label::LabelTable`]);
+//! * [`tree`] — an arena-allocated ordered tree ([`tree::Tree`]) with a
+//!   stack-based [`tree::TreeBuilder`] (natural for SAX parsing), structural
+//!   constructors, traversals, projections and statistics;
+//! * [`postorder`] — 1-based postorder numbering (the node identity scheme
+//!   both the paper and PRIX use);
+//! * [`prufer`] — *extended Prüfer sequences*: the (LPS, NPS) pair of paper
+//!   Section 2.3 that uniquely identifies an ordered labeled tree, with both
+//!   the linear-time encoder and the decoder (so the bijection is testable).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod label;
+pub mod postorder;
+pub mod prufer;
+pub mod tree;
+
+pub use label::{Label, LabelTable};
+pub use prufer::PruferSeq;
+pub use tree::{NodeId, Tree, TreeBuilder};

@@ -1,0 +1,157 @@
+//! Postorder numbering.
+//!
+//! SketchTree (following PRIX) identifies the nodes of a tree by their
+//! 1-based postorder numbers: children are numbered left to right before
+//! their parent, so the root always gets the largest number `n`.  Postorder
+//! numbers are the "unique labels" under which the Prüfer node-removal
+//! procedure operates (paper Section 2.3), and they are what the NPS — the
+//! Numbered Prüfer Sequence — contains.
+
+use crate::tree::{NodeId, Tree};
+
+/// A postorder numbering of a tree: node id → 1-based postorder number.
+///
+/// ```
+/// use sketchtree_tree::{postorder::Postorder, LabelTable, Tree};
+/// let mut labels = LabelTable::new();
+/// let a = labels.intern("a");
+/// let t = Tree::node(a, vec![Tree::leaf(a), Tree::leaf(a)]);
+/// let p = Postorder::of(&t);
+/// assert_eq!(p.number(t.root()), 3); // the root gets the largest number
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Postorder {
+    /// `numbers[node.index()]` is the 1-based postorder number.
+    numbers: Vec<u32>,
+    /// `by_number[k - 1]` is the node with postorder number `k`.
+    by_number: Vec<NodeId>,
+}
+
+impl Postorder {
+    /// Computes the numbering of a tree in linear time.
+    pub fn of(tree: &Tree) -> Self {
+        let order = tree.postorder();
+        let mut numbers = vec![0u32; tree.len()];
+        for (i, &id) in order.iter().enumerate() {
+            numbers[id.index()] = (i + 1) as u32;
+        }
+        Self {
+            numbers,
+            by_number: order,
+        }
+    }
+
+    /// The 1-based postorder number of a node.
+    #[inline]
+    pub fn number(&self, id: NodeId) -> u32 {
+        self.numbers[id.index()]
+    }
+
+    /// The node with the given 1-based postorder number.
+    ///
+    /// # Panics
+    /// Panics if `number` is 0 or larger than the tree size.
+    #[inline]
+    pub fn node(&self, number: u32) -> NodeId {
+        self.by_number[(number - 1) as usize]
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.by_number.len()
+    }
+
+    /// Never empty: every tree has at least one node.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelTable;
+    use crate::tree::Tree;
+
+    #[test]
+    fn single_node() {
+        let mut lt = LabelTable::new();
+        let t = Tree::leaf(lt.intern("A"));
+        let p = Postorder::of(&t);
+        assert_eq!(p.number(t.root()), 1);
+        assert_eq!(p.node(1), t.root());
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn paper_figure6_numbering() {
+        // The data tree of paper Figure 6(a): node 7 is the root with
+        // children 5 and 6; node 5 has children 3 and 4; node 3 has
+        // children 1 and 2.  Reconstruct a tree of that shape and verify
+        // postorder numbers follow that exact pattern.
+        let mut lt = LabelTable::new();
+        let l = lt.intern("x");
+        let n3 = Tree::node(l, vec![Tree::leaf(l), Tree::leaf(l)]);
+        let n5 = Tree::node(l, vec![n3, Tree::leaf(l)]);
+        let t = Tree::node(l, vec![n5, Tree::leaf(l)]);
+        let p = Postorder::of(&t);
+        // Root must be 7 (= n).
+        assert_eq!(p.number(t.root()), 7);
+        // Root's children: 5 then 6.
+        let kids = t.children(t.root());
+        assert_eq!(p.number(kids[0]), 5);
+        assert_eq!(p.number(kids[1]), 6);
+        // Node 5's children are 3 and 4.
+        let k5 = t.children(kids[0]);
+        assert_eq!(p.number(k5[0]), 3);
+        assert_eq!(p.number(k5[1]), 4);
+        // Node 3's children are 1 and 2.
+        let k3 = t.children(k5[0]);
+        assert_eq!(p.number(k3[0]), 1);
+        assert_eq!(p.number(k3[1]), 2);
+    }
+
+    #[test]
+    fn numbers_are_a_permutation() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a");
+        let t = Tree::node(
+            a,
+            vec![
+                Tree::node(a, vec![Tree::leaf(a)]),
+                Tree::leaf(a),
+                Tree::node(a, vec![Tree::leaf(a), Tree::leaf(a)]),
+            ],
+        );
+        let p = Postorder::of(&t);
+        let mut nums: Vec<u32> = (0..t.len()).map(|i| p.number(NodeId(i as u32))).collect();
+        nums.sort_unstable();
+        assert_eq!(nums, (1..=t.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn descendants_numbered_before_ancestors() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a");
+        let t = Tree::node(a, vec![Tree::node(a, vec![Tree::leaf(a)]), Tree::leaf(a)]);
+        let p = Postorder::of(&t);
+        for id in t.preorder() {
+            if let Some(parent) = t.parent(id) {
+                assert!(p.number(id) < p.number(parent));
+            }
+        }
+    }
+
+    #[test]
+    fn node_number_roundtrip() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a");
+        let t = Tree::node(a, vec![Tree::leaf(a), Tree::node(a, vec![Tree::leaf(a)])]);
+        let p = Postorder::of(&t);
+        for k in 1..=t.len() as u32 {
+            assert_eq!(p.number(p.node(k)), k);
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! Extended Prüfer sequences (LPS/NPS) — paper Section 2.3.
+//!
+//! A Prüfer sequence is built by repeatedly deleting the leaf with the
+//! smallest label and noting its parent, until one node remains.  Following
+//! PRIX and the SketchTree paper, the "labels" driving deletion are 1-based
+//! postorder numbers, and the tree is first *extended* by giving every
+//! original leaf a dummy child so that the sequence retains the leaf labels
+//! of the original tree.  The resulting pair of sequences —
+//!
+//! * **NPS** (Numbered Prüfer Sequence): postorder numbers of the noted
+//!   parents, and
+//! * **LPS** (Labeled Prüfer Sequence): their labels —
+//!
+//! together identify the original ordered labeled tree *uniquely*, which is
+//! what lets SketchTree reduce tree-pattern counting to counting
+//! one-dimensional values.
+//!
+//! ### Linear-time construction
+//!
+//! With postorder numbers as labels, "repeatedly delete the smallest leaf"
+//! deletes nodes exactly in postorder: every descendant of a node has a
+//! smaller number, so by the time the procedure reaches number `v`, node `v`
+//! is a leaf; and every smaller number is deleted first.  Hence entry `i` of
+//! the sequence is simply the parent of the node with postorder number `i`,
+//! and the whole sequence falls out of one traversal.  [`PruferSeq::encode`]
+//! implements this; [`PruferSeq::encode_reference`] implements the literal
+//! delete-smallest-leaf procedure so tests can confirm the equivalence.
+
+use crate::label::Label;
+use crate::postorder::Postorder;
+use crate::tree::{NodeId, Tree};
+use std::fmt;
+
+/// The (LPS, NPS) pair of an extended tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PruferSeq {
+    /// Labeled Prüfer sequence.
+    pub lps: Vec<Label>,
+    /// Numbered Prüfer sequence (1-based extended-postorder numbers).
+    pub nps: Vec<u32>,
+}
+
+/// Errors recognised by [`PruferSeq::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// LPS and NPS lengths differ.
+    LengthMismatch,
+    /// The sequences are empty (no tree, not even a single node, encodes to
+    /// an empty sequence: a single node extends to two nodes and one entry).
+    Empty,
+    /// An NPS entry does not exceed its position (parents must have larger
+    /// postorder numbers than their children).
+    ParentNotGreater {
+        /// 1-based position of the offending entry.
+        position: u32,
+    },
+    /// An NPS entry exceeds the total (extended) node count.
+    ParentOutOfRange {
+        /// 1-based position of the offending entry.
+        position: u32,
+    },
+    /// The same node number occurs with two different labels.
+    InconsistentLabels {
+        /// The node number whose labels conflict.
+        node: u32,
+    },
+    /// The dummy-extension structure is violated: an original leaf without
+    /// exactly one dummy child, or a dummy attached to an internal node.
+    MalformedExtension {
+        /// The node number at fault.
+        node: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::LengthMismatch => write!(f, "LPS and NPS lengths differ"),
+            DecodeError::Empty => write!(f, "empty Prüfer sequence"),
+            DecodeError::ParentNotGreater { position } => {
+                write!(f, "NPS[{position}] must exceed its position")
+            }
+            DecodeError::ParentOutOfRange { position } => {
+                write!(f, "NPS[{position}] exceeds the node count")
+            }
+            DecodeError::InconsistentLabels { node } => {
+                write!(f, "node {node} appears with conflicting labels")
+            }
+            DecodeError::MalformedExtension { node } => {
+                write!(f, "node {node} violates the dummy-extension structure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl PruferSeq {
+    /// Encodes a tree into its extended Prüfer sequence pair in O(n).
+    pub fn encode(tree: &Tree) -> PruferSeq {
+        // Extended postorder numbers: walking the original postorder and
+        // inserting each leaf's dummy immediately before the leaf reproduces
+        // the extended tree's postorder (the dummy is an only child).
+        let order = tree.postorder();
+        let n = tree.len();
+        let mut extnum = vec![0u32; n];
+        let mut dummy_num = vec![0u32; n]; // 0 = no dummy (internal node)
+        let mut counter = 0u32;
+        for &id in &order {
+            if tree.is_leaf(id) {
+                counter += 1;
+                dummy_num[id.index()] = counter;
+            }
+            counter += 1;
+            extnum[id.index()] = counter;
+        }
+        let m = counter as usize; // n + #leaves
+        let mut lps: Vec<Label> = Vec::with_capacity(m - 1);
+        let mut nps: Vec<u32> = Vec::with_capacity(m - 1);
+        lps.resize(m - 1, Label(0));
+        nps.resize(m - 1, 0);
+        for &id in &order {
+            // Entry for the dummy child of a leaf: parent is the leaf itself.
+            let d = dummy_num[id.index()];
+            if d != 0 {
+                lps[(d - 1) as usize] = tree.label(id);
+                nps[(d - 1) as usize] = extnum[id.index()];
+            }
+            // Entry for the node itself (unless root).
+            if let Some(p) = tree.parent(id) {
+                let e = extnum[id.index()];
+                lps[(e - 1) as usize] = tree.label(p);
+                nps[(e - 1) as usize] = extnum[p.index()];
+            }
+        }
+        PruferSeq { lps, nps }
+    }
+
+    /// Reference encoder: literally extend the tree with dummies, number it
+    /// in postorder, and repeatedly delete the smallest-numbered leaf.
+    /// O(n²); used to validate [`PruferSeq::encode`] in tests.
+    pub fn encode_reference(tree: &Tree) -> PruferSeq {
+        // Build the extended tree explicitly. Dummies get a sentinel label
+        // that can never be recorded (dummies are never parents).
+        let post = Postorder::of(tree);
+        let n = tree.len();
+        // Extended numbering as in `encode`.
+        let order = tree.postorder();
+        let mut extnum = vec![0u32; n];
+        let mut counter = 0u32;
+        let mut ext_parent: Vec<u32> = Vec::new(); // 1-based parent per extnode, 0 = root
+        let mut ext_label: Vec<Option<Label>> = Vec::new();
+        let _ = post;
+        // First pass: assign numbers.
+        let mut dummy_of = vec![0u32; n];
+        for &id in &order {
+            if tree.is_leaf(id) {
+                counter += 1;
+                dummy_of[id.index()] = counter;
+            }
+            counter += 1;
+            extnum[id.index()] = counter;
+        }
+        let m = counter as usize;
+        ext_parent.resize(m + 1, 0);
+        ext_label.resize(m + 1, None);
+        for &id in &order {
+            ext_label[extnum[id.index()] as usize] = Some(tree.label(id));
+            if dummy_of[id.index()] != 0 {
+                ext_parent[dummy_of[id.index()] as usize] = extnum[id.index()];
+            }
+            if let Some(p) = tree.parent(id) {
+                ext_parent[extnum[id.index()] as usize] = extnum[p.index()];
+            }
+        }
+        // Child counts for leaf detection during deletion.
+        let mut child_count = vec![0u32; m + 1];
+        for &p in ext_parent.iter().skip(1) {
+            if p != 0 {
+                child_count[p as usize] += 1;
+            }
+        }
+        let mut alive = vec![true; m + 1];
+        let mut lps = Vec::with_capacity(m - 1);
+        let mut nps = Vec::with_capacity(m - 1);
+        for _ in 0..m - 1 {
+            // Find the smallest-numbered alive leaf.
+            let v = (1..=m)
+                .find(|&v| alive[v] && child_count[v] == 0)
+                .expect("a leaf always exists");
+            let p = ext_parent[v] as usize;
+            nps.push(p as u32);
+            lps.push(ext_label[p].expect("parents are original nodes"));
+            alive[v] = false;
+            child_count[p] -= 1;
+        }
+        PruferSeq { lps, nps }
+    }
+
+    /// Length of the sequences (extended node count minus one).
+    pub fn len(&self) -> usize {
+        self.nps.len()
+    }
+
+    /// True if the sequence pair is empty (never produced by `encode`).
+    pub fn is_empty(&self) -> bool {
+        self.nps.is_empty()
+    }
+
+    /// The flat symbol tuple `LPS . NPS` fed to the one-dimensional mapping
+    /// (paper Example 2): label codes first, then postorder numbers.
+    pub fn symbols(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.lps.len() + self.nps.len());
+        out.extend(self.lps.iter().map(|l| l.code()));
+        out.extend(self.nps.iter().map(|&n| u64::from(n)));
+        out
+    }
+
+    /// Decodes the sequence pair back into the original (unextended) tree.
+    pub fn decode(&self) -> Result<Tree, DecodeError> {
+        if self.lps.len() != self.nps.len() {
+            return Err(DecodeError::LengthMismatch);
+        }
+        if self.nps.is_empty() {
+            return Err(DecodeError::Empty);
+        }
+        let m = self.nps.len() as u32 + 1;
+        // Validate parent numbers and collect labels.
+        let mut label: Vec<Option<Label>> = vec![None; (m + 1) as usize];
+        for (i, (&p, &l)) in self.nps.iter().zip(&self.lps).enumerate() {
+            let pos = i as u32 + 1;
+            if p > m {
+                return Err(DecodeError::ParentOutOfRange { position: pos });
+            }
+            if p <= pos {
+                return Err(DecodeError::ParentNotGreater { position: pos });
+            }
+            match &label[p as usize] {
+                None => label[p as usize] = Some(l),
+                Some(existing) if *existing != l => {
+                    return Err(DecodeError::InconsistentLabels { node: p })
+                }
+                _ => {}
+            }
+        }
+        // Original nodes are exactly those appearing in NPS; everything else
+        // in 1..m is a dummy. The root is m and must be original.
+        let is_original: Vec<bool> = (0..=m)
+            .map(|v| label[v as usize].is_some())
+            .collect();
+        if !is_original[m as usize] {
+            // Root never appears as a parent only when m == 1, excluded above.
+            return Err(DecodeError::MalformedExtension { node: m });
+        }
+        // Children lists (ascending numbers = original sibling order).
+        let mut original_children: Vec<Vec<u32>> = vec![Vec::new(); (m + 1) as usize];
+        let mut dummy_children: Vec<u32> = vec![0; (m + 1) as usize];
+        for (i, &p) in self.nps.iter().enumerate() {
+            let child = i as u32 + 1;
+            if is_original[child as usize] {
+                original_children[p as usize].push(child);
+            } else {
+                dummy_children[p as usize] += 1;
+            }
+        }
+        // Extension invariant: original leaves have exactly one dummy child
+        // and no original children; internal nodes have no dummy children.
+        for v in 1..=m {
+            if !is_original[v as usize] {
+                continue;
+            }
+            let orig = original_children[v as usize].len();
+            let dums = dummy_children[v as usize];
+            let ok = (orig == 0 && dums == 1) || (orig > 0 && dums == 0);
+            if !ok {
+                return Err(DecodeError::MalformedExtension { node: v });
+            }
+        }
+        // Build the tree from the root down.
+        let mut tree = Tree::leaf(label[m as usize].expect("root labeled"));
+        let mut stack: Vec<(u32, NodeId)> = vec![(m, tree.root())];
+        while let Some((num, dst)) = stack.pop() {
+            for &c in &original_children[num as usize] {
+                let child_dst = tree.graft_leaf(dst, label[c as usize].expect("labeled"));
+                stack.push((c, child_dst));
+            }
+        }
+        Ok(tree)
+    }
+}
+
+impl fmt::Display for PruferSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LPS=[")?;
+        for (i, l) in self.lps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "] NPS=[")?;
+        for (i, n) in self.nps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelTable;
+
+    fn xyz() -> (LabelTable, Label, Label, Label) {
+        let mut t = LabelTable::new();
+        let x = t.intern("X");
+        let y = t.intern("Y");
+        let z = t.intern("Z");
+        (t, x, y, z)
+    }
+
+    /// Paper Example 1, T1: the chain X → Y → Z.
+    /// LPS(T1) = Z Y X, NPS(T1) = 2 3 4.
+    #[test]
+    fn paper_example1_t1() {
+        let (_, x, y, z) = xyz();
+        let t1 = Tree::node(x, vec![Tree::node(y, vec![Tree::leaf(z)])]);
+        let seq = PruferSeq::encode(&t1);
+        assert_eq!(seq.lps, vec![z, y, x]);
+        assert_eq!(seq.nps, vec![2, 3, 4]);
+    }
+
+    /// Paper Example 1, T2: X with ordered children Y, Z.
+    /// LPS(T2) = Y X Z X, NPS(T2) = 2 5 4 5.
+    #[test]
+    fn paper_example1_t2() {
+        let (_, x, y, z) = xyz();
+        let t2 = Tree::node(x, vec![Tree::leaf(y), Tree::leaf(z)]);
+        let seq = PruferSeq::encode(&t2);
+        assert_eq!(seq.lps, vec![y, x, z, x]);
+        assert_eq!(seq.nps, vec![2, 5, 4, 5]);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let (_, x, _, _) = xyz();
+        let t = Tree::leaf(x);
+        let seq = PruferSeq::encode(&t);
+        // Extended: X plus one dummy; one entry: dummy's parent X (number 2).
+        assert_eq!(seq.lps, vec![x]);
+        assert_eq!(seq.nps, vec![2]);
+        assert_eq!(seq.decode().unwrap(), t);
+    }
+
+    #[test]
+    fn fast_encoder_matches_reference() {
+        let (_, x, y, z) = xyz();
+        let trees = vec![
+            Tree::leaf(x),
+            Tree::node(x, vec![Tree::leaf(y)]),
+            Tree::node(x, vec![Tree::leaf(y), Tree::leaf(z)]),
+            Tree::node(
+                x,
+                vec![
+                    Tree::node(y, vec![Tree::leaf(z), Tree::leaf(x)]),
+                    Tree::leaf(z),
+                    Tree::node(z, vec![Tree::node(x, vec![Tree::leaf(y)])]),
+                ],
+            ),
+        ];
+        for t in trees {
+            assert_eq!(
+                PruferSeq::encode(&t),
+                PruferSeq::encode_reference(&t),
+                "tree {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_various_shapes() {
+        let (_, x, y, z) = xyz();
+        let trees = vec![
+            Tree::leaf(z),
+            Tree::node(x, vec![Tree::leaf(x)]),
+            Tree::node(x, vec![Tree::leaf(y), Tree::leaf(y), Tree::leaf(y)]),
+            Tree::node(
+                y,
+                vec![
+                    Tree::node(x, vec![Tree::node(z, vec![Tree::leaf(y)])]),
+                    Tree::node(x, vec![Tree::leaf(z)]),
+                ],
+            ),
+        ];
+        for t in trees {
+            let seq = PruferSeq::encode(&t);
+            assert_eq!(seq.decode().unwrap(), t, "roundtrip failed for {t}");
+        }
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        let (_, x, y, z) = xyz();
+        let ab = Tree::node(x, vec![Tree::leaf(y), Tree::leaf(z)]);
+        let ba = Tree::node(x, vec![Tree::leaf(z), Tree::leaf(y)]);
+        assert_ne!(PruferSeq::encode(&ab), PruferSeq::encode(&ba));
+    }
+
+    #[test]
+    fn distinct_trees_distinct_sequences() {
+        let (_, x, y, z) = xyz();
+        // A small zoo of distinct 3-node trees.
+        let trees = vec![
+            Tree::node(x, vec![Tree::leaf(y), Tree::leaf(z)]),
+            Tree::node(x, vec![Tree::node(y, vec![Tree::leaf(z)])]),
+            Tree::node(y, vec![Tree::leaf(x), Tree::leaf(z)]),
+            Tree::node(x, vec![Tree::leaf(z), Tree::leaf(y)]),
+            Tree::node(z, vec![Tree::node(x, vec![Tree::leaf(y)])]),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for t in &trees {
+            assert!(seen.insert(PruferSeq::encode(t)), "collision for {t}");
+        }
+    }
+
+    #[test]
+    fn symbols_concatenate_lps_then_nps() {
+        let (_, x, y, _) = xyz();
+        let t = Tree::node(x, vec![Tree::leaf(y)]);
+        let seq = PruferSeq::encode(&t);
+        let syms = seq.symbols();
+        assert_eq!(syms.len(), seq.lps.len() + seq.nps.len());
+        assert_eq!(&syms[..seq.lps.len()], &[y.code(), x.code()][..]);
+        assert_eq!(
+            &syms[seq.lps.len()..],
+            &seq.nps.iter().map(|&n| u64::from(n)).collect::<Vec<_>>()[..]
+        );
+    }
+
+    #[test]
+    fn decode_rejects_length_mismatch() {
+        let (_, x, _, _) = xyz();
+        let bad = PruferSeq {
+            lps: vec![x],
+            nps: vec![2, 3],
+        };
+        assert_eq!(bad.decode(), Err(DecodeError::LengthMismatch));
+    }
+
+    #[test]
+    fn decode_rejects_empty() {
+        let bad = PruferSeq {
+            lps: vec![],
+            nps: vec![],
+        };
+        assert_eq!(bad.decode(), Err(DecodeError::Empty));
+    }
+
+    #[test]
+    fn decode_rejects_non_increasing_parent() {
+        let (_, x, _, _) = xyz();
+        let bad = PruferSeq {
+            lps: vec![x, x],
+            nps: vec![1, 3], // NPS[1] = 1 not > position 1
+        };
+        assert_eq!(
+            bad.decode(),
+            Err(DecodeError::ParentNotGreater { position: 1 })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_parent() {
+        let (_, x, _, _) = xyz();
+        let bad = PruferSeq {
+            lps: vec![x],
+            nps: vec![5],
+        };
+        assert_eq!(
+            bad.decode(),
+            Err(DecodeError::ParentOutOfRange { position: 1 })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_labels() {
+        let (_, x, y, z) = xyz();
+        // Node 5 claimed with both X and Z.
+        let bad = PruferSeq {
+            lps: vec![y, x, z, z],
+            nps: vec![2, 5, 4, 5],
+        };
+        assert_eq!(bad.decode(), Err(DecodeError::InconsistentLabels { node: 5 }));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_extension() {
+        let (_, x, y, _) = xyz();
+        // Node 3 (original: appears in NPS) has an original child (2) AND a
+        // dummy child (1): 1 does not appear in NPS so it's a dummy, while 2
+        // appears (as parent of nothing? let's construct): m = 4.
+        // NPS = [3, 3, 4]: children of 3 are 1 and 2; child of 4 is 3.
+        // Node 2 appears? No — values {3, 4}. So both 1 and 2 are dummies
+        // and node 3 has two dummy children: malformed.
+        let bad = PruferSeq {
+            lps: vec![x, x, y],
+            nps: vec![3, 3, 4],
+        };
+        assert_eq!(bad.decode(), Err(DecodeError::MalformedExtension { node: 3 }));
+    }
+
+    #[test]
+    fn deep_chain_roundtrip() {
+        let (_, x, y, _) = xyz();
+        let mut t = Tree::leaf(y);
+        for _ in 0..50 {
+            t = Tree::node(x, vec![t]);
+        }
+        let seq = PruferSeq::encode(&t);
+        assert_eq!(seq.decode().unwrap(), t);
+        assert_eq!(PruferSeq::encode_reference(&t), seq);
+    }
+
+    #[test]
+    fn wide_bush_roundtrip() {
+        let (_, x, y, _) = xyz();
+        let t = Tree::node(x, (0..40).map(|_| Tree::leaf(y)).collect());
+        let seq = PruferSeq::encode(&t);
+        assert_eq!(seq.decode().unwrap(), t);
+        assert_eq!(PruferSeq::encode_reference(&t), seq);
+    }
+
+    #[test]
+    fn display_formats() {
+        let (_, x, y, _) = xyz();
+        let t = Tree::node(x, vec![Tree::leaf(y)]);
+        let s = PruferSeq::encode(&t).to_string();
+        assert!(s.contains("LPS=") && s.contains("NPS="), "{s}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the Prüfer bijection — the correctness keystone
+//! of the whole system: if encode were not injective, distinct patterns
+//! would silently share counters.
+
+use proptest::prelude::*;
+use sketchtree_tree::{Label, PruferSeq, Tree};
+
+/// Strategy: random ordered labeled trees with up to `max_nodes` nodes and
+/// labels from a small alphabet (small alphabets maximise the chance of
+/// exposing label-confusion bugs).
+fn arb_tree(max_children: usize, depth: u32) -> impl Strategy<Value = Tree> {
+    let leaf = (0u32..6).prop_map(|l| Tree::leaf(Label(l)));
+    leaf.prop_recursive(depth, 64, max_children as u32, move |inner| {
+        (0u32..6, prop::collection::vec(inner, 1..=max_children))
+            .prop_map(|(l, children)| Tree::node(Label(l), children))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode(encode(t)) == t for arbitrary trees.
+    #[test]
+    fn roundtrip(t in arb_tree(4, 5)) {
+        let seq = PruferSeq::encode(&t);
+        prop_assert_eq!(seq.decode().expect("valid encoding"), t);
+    }
+
+    /// The linear-time encoder agrees with the literal delete-smallest-leaf
+    /// procedure.
+    #[test]
+    fn fast_encoder_matches_reference(t in arb_tree(4, 4)) {
+        prop_assert_eq!(PruferSeq::encode(&t), PruferSeq::encode_reference(&t));
+    }
+
+    /// Extended sequences have length n + leaves − 1 and NPS entries are
+    /// strictly greater than their positions.
+    #[test]
+    fn structural_invariants(t in arb_tree(4, 5)) {
+        let seq = PruferSeq::encode(&t);
+        prop_assert_eq!(seq.len(), t.len() + t.leaf_count() - 1);
+        for (i, &p) in seq.nps.iter().enumerate() {
+            prop_assert!(p > i as u32 + 1, "NPS[{}] = {} not > position", i, p);
+            prop_assert!(p <= seq.len() as u32 + 1);
+        }
+    }
+
+    /// Distinct trees produce distinct sequence pairs (injectivity, checked
+    /// pairwise within a random batch).
+    #[test]
+    fn injective_on_batches(trees in prop::collection::vec(arb_tree(3, 4), 2..10)) {
+        for i in 0..trees.len() {
+            for j in (i + 1)..trees.len() {
+                let same_tree = trees[i] == trees[j];
+                let same_seq = PruferSeq::encode(&trees[i]) == PruferSeq::encode(&trees[j]);
+                prop_assert_eq!(same_tree, same_seq,
+                    "trees {} and {}: tree-eq {} but seq-eq {}",
+                    trees[i], trees[j], same_tree, same_seq);
+            }
+        }
+    }
+
+    /// The symbol tuple determines the sequence pair (no information lost
+    /// in flattening LPS.NPS, given the self-delimiting symbol encoding).
+    #[test]
+    fn symbols_faithful(a in arb_tree(3, 4), b in arb_tree(3, 4)) {
+        let sa = PruferSeq::encode(&a);
+        let sb = PruferSeq::encode(&b);
+        if sa.symbols() == sb.symbols() {
+            prop_assert_eq!(sa, sb);
+        }
+    }
+
+    /// Postorder traversal and the tree agree on parenthood (tree sanity
+    /// underlying everything above).
+    #[test]
+    fn postorder_parents_after_children(t in arb_tree(4, 5)) {
+        let order = t.postorder();
+        let mut seen = std::collections::HashSet::new();
+        for id in order {
+            for &c in t.children(id) {
+                prop_assert!(seen.contains(&c), "child visited after parent");
+            }
+            seen.insert(id);
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Folding XML events into labeled trees.
+//!
+//! Modeling choices (matching the paper's datasets, Section 7.2/7.3):
+//!
+//! * element name → node label;
+//! * non-whitespace character data (text or CDATA) → a **leaf child node
+//!   labeled with the trimmed text itself** — this is how DBLP queries can
+//!   contain "element names as well as values (CDATA)";
+//! * attributes are skipped by default, or modeled as `@name` child nodes
+//!   carrying a value leaf when [`BuilderConfig::include_attributes`] is set;
+//! * comments, PIs and doctypes are ignored.
+//!
+//! [`XmlTreeBuilder::parse_forest`] parses a whole input and returns each
+//! top-level element as its own tree — exactly the paper's "forest of trees
+//! created by removing the root tag" streaming setup.
+
+use crate::event::XmlEvent;
+use crate::reader::{XmlError, XmlErrorKind, XmlPullParser};
+use sketchtree_tree::{Label, LabelTable, Tree, TreeBuilder};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Configuration for [`XmlTreeBuilder`].
+#[derive(Debug, Clone)]
+pub struct BuilderConfig {
+    /// Model attributes as `@name(value)` child nodes. Default: false.
+    pub include_attributes: bool,
+    /// Model non-whitespace text/CDATA as value leaf nodes. Default: true.
+    pub include_text: bool,
+    /// Maximum accepted document depth (guards against pathological inputs).
+    /// Default: 4096.
+    pub max_depth: usize,
+}
+
+impl Default for BuilderConfig {
+    fn default() -> Self {
+        Self {
+            include_attributes: false,
+            include_text: true,
+            max_depth: 4096,
+        }
+    }
+}
+
+/// Errors from tree building: lexical errors plus nesting violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildXmlError {
+    /// Underlying lexical error.
+    Xml(XmlError),
+    /// `</b>` closed while `<a>` was open.
+    MismatchedTag {
+        /// The open element.
+        expected: String,
+        /// The closing tag found.
+        found: String,
+    },
+    /// End tag with nothing open.
+    UnbalancedEnd(String),
+    /// Input ended with open elements.
+    UnclosedElements(usize),
+    /// Document deeper than [`BuilderConfig::max_depth`].
+    TooDeep,
+    /// Non-whitespace text at the top level, outside any element.
+    TopLevelText,
+}
+
+impl fmt::Display for BuildXmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildXmlError::Xml(e) => write!(f, "{e}"),
+            BuildXmlError::MismatchedTag { expected, found } => {
+                write!(f, "mismatched end tag: expected </{expected}>, found </{found}>")
+            }
+            BuildXmlError::UnbalancedEnd(name) => write!(f, "unbalanced end tag </{name}>"),
+            BuildXmlError::UnclosedElements(n) => write!(f, "{n} unclosed element(s) at EOF"),
+            BuildXmlError::TooDeep => write!(f, "document exceeds maximum depth"),
+            BuildXmlError::TopLevelText => write!(f, "text outside any element"),
+        }
+    }
+}
+
+impl std::error::Error for BuildXmlError {}
+
+impl From<XmlError> for BuildXmlError {
+    fn from(e: XmlError) -> Self {
+        BuildXmlError::Xml(e)
+    }
+}
+
+/// Builds [`Tree`]s from XML, interning labels into a shared [`LabelTable`].
+#[derive(Debug)]
+pub struct XmlTreeBuilder {
+    config: BuilderConfig,
+    /// Labels created from text content (values), as opposed to element
+    /// names — remembered so [`crate::writer::write_tree`] can serialise
+    /// them back as text and round-trips are exact.
+    text_labels: HashSet<Label>,
+}
+
+impl Default for XmlTreeBuilder {
+    fn default() -> Self {
+        Self::new(BuilderConfig::default())
+    }
+}
+
+impl XmlTreeBuilder {
+    /// Creates a builder with the given configuration.
+    pub fn new(config: BuilderConfig) -> Self {
+        Self {
+            config,
+            text_labels: HashSet::new(),
+        }
+    }
+
+    /// Labels known to be text values rather than element names.
+    pub fn text_labels(&self) -> &HashSet<Label> {
+        &self.text_labels
+    }
+
+    /// Parses one complete document (exactly one top-level element).
+    pub fn parse_document(
+        &mut self,
+        input: &str,
+        labels: &mut LabelTable,
+    ) -> Result<Tree, BuildXmlError> {
+        let mut forest = self.parse_forest(input, labels)?;
+        if forest.len() != 1 {
+            return Err(BuildXmlError::Xml(XmlError {
+                kind: XmlErrorKind::UnexpectedByte(b'<'),
+                at: 0,
+            }));
+        }
+        Ok(forest.pop().expect("checked length"))
+    }
+
+    /// Parses an input containing any number of top-level elements,
+    /// returning one tree per element — the paper's forest streaming model.
+    pub fn parse_forest(
+        &mut self,
+        input: &str,
+        labels: &mut LabelTable,
+    ) -> Result<Vec<Tree>, BuildXmlError> {
+        let mut parser = XmlPullParser::new(input);
+        let mut trees = Vec::new();
+        let mut builder = TreeBuilder::new();
+        let mut open: Vec<String> = Vec::new();
+        while let Some(event) = parser.next_event()? {
+            match event {
+                XmlEvent::StartElement {
+                    name, attributes, ..
+                } => {
+                    if open.len() >= self.config.max_depth {
+                        return Err(BuildXmlError::TooDeep);
+                    }
+                    if open.is_empty() {
+                        builder = TreeBuilder::new();
+                    }
+                    let label = labels.intern(&name);
+                    builder.open(label).expect("builder state tracked by open stack");
+                    if self.config.include_attributes {
+                        for (aname, avalue) in &attributes {
+                            let alabel = labels.intern(&format!("@{aname}"));
+                            builder.open(alabel).expect("attribute node");
+                            if !avalue.is_empty() {
+                                let vlabel = labels.intern(avalue);
+                                self.text_labels.insert(vlabel);
+                                builder.open(vlabel).expect("attribute value node");
+                                builder.close().expect("attribute value node");
+                            }
+                            builder.close().expect("attribute node");
+                        }
+                    }
+                    open.push(name);
+                }
+                XmlEvent::EndElement { name } => match open.pop() {
+                    None => return Err(BuildXmlError::UnbalancedEnd(name)),
+                    Some(expected) if expected != name => {
+                        return Err(BuildXmlError::MismatchedTag {
+                            expected,
+                            found: name,
+                        })
+                    }
+                    Some(_) => {
+                        builder.close().expect("balanced by open stack");
+                        if open.is_empty() {
+                            let done = std::mem::take(&mut builder);
+                            trees.push(done.finish().expect("complete document"));
+                        }
+                    }
+                },
+                XmlEvent::Text(t) | XmlEvent::CData(t) => {
+                    let trimmed = t.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    if open.is_empty() {
+                        return Err(BuildXmlError::TopLevelText);
+                    }
+                    if self.config.include_text {
+                        let vlabel = labels.intern(trimmed);
+                        self.text_labels.insert(vlabel);
+                        builder.open(vlabel).expect("text node");
+                        builder.close().expect("text node");
+                    }
+                }
+                _ => {} // comments, PIs, doctype
+            }
+        }
+        if !open.is_empty() {
+            return Err(BuildXmlError::UnclosedElements(open.len()));
+        }
+        Ok(trees)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse1(input: &str) -> (Tree, LabelTable) {
+        let mut labels = LabelTable::new();
+        let mut b = XmlTreeBuilder::default();
+        let t = b.parse_document(input, &mut labels).unwrap();
+        (t, labels)
+    }
+
+    #[test]
+    fn element_structure() {
+        let (t, labels) = parse1("<a><b/><c><d/></c></a>");
+        assert_eq!(t.to_sexpr_named(&labels), "a(b,c(d))");
+    }
+
+    #[test]
+    fn text_becomes_value_leaf() {
+        let (t, labels) = parse1("<author>Don Knuth</author>");
+        assert_eq!(t.to_sexpr_named(&labels), "author(Don Knuth)");
+    }
+
+    #[test]
+    fn whitespace_text_dropped() {
+        let (t, labels) = parse1("<a>\n  <b/>\n</a>");
+        assert_eq!(t.to_sexpr_named(&labels), "a(b)");
+    }
+
+    #[test]
+    fn cdata_becomes_value_leaf() {
+        let (t, labels) = parse1("<title><![CDATA[X < Y]]></title>");
+        assert_eq!(t.to_sexpr_named(&labels), "title(X < Y)");
+    }
+
+    #[test]
+    fn attributes_skipped_by_default() {
+        let (t, labels) = parse1(r#"<a key="v"><b/></a>"#);
+        assert_eq!(t.to_sexpr_named(&labels), "a(b)");
+    }
+
+    #[test]
+    fn attributes_included_when_configured() {
+        let mut labels = LabelTable::new();
+        let mut b = XmlTreeBuilder::new(BuilderConfig {
+            include_attributes: true,
+            ..BuilderConfig::default()
+        });
+        let t = b
+            .parse_document(r#"<a key="v"/>"#, &mut labels)
+            .unwrap();
+        assert_eq!(t.to_sexpr_named(&labels), "a(@key(v))");
+    }
+
+    #[test]
+    fn text_disabled_when_configured() {
+        let mut labels = LabelTable::new();
+        let mut b = XmlTreeBuilder::new(BuilderConfig {
+            include_text: false,
+            ..BuilderConfig::default()
+        });
+        let t = b.parse_document("<a>ignored</a>", &mut labels).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn forest_yields_one_tree_per_top_element() {
+        let mut labels = LabelTable::new();
+        let mut b = XmlTreeBuilder::default();
+        let trees = b
+            .parse_forest("<a><b/></a><c/><d>t</d>", &mut labels)
+            .unwrap();
+        assert_eq!(trees.len(), 3);
+        assert_eq!(trees[0].to_sexpr_named(&labels), "a(b)");
+        assert_eq!(trees[1].to_sexpr_named(&labels), "c");
+        assert_eq!(trees[2].to_sexpr_named(&labels), "d(t)");
+    }
+
+    #[test]
+    fn text_labels_tracked() {
+        let mut labels = LabelTable::new();
+        let mut b = XmlTreeBuilder::default();
+        b.parse_document("<a>value</a>", &mut labels).unwrap();
+        let v = labels.lookup("value").unwrap();
+        let a = labels.lookup("a").unwrap();
+        assert!(b.text_labels().contains(&v));
+        assert!(!b.text_labels().contains(&a));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let mut labels = LabelTable::new();
+        let mut b = XmlTreeBuilder::default();
+        let e = b.parse_forest("<a></b>", &mut labels).unwrap_err();
+        assert!(matches!(e, BuildXmlError::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unbalanced_end_rejected() {
+        let mut labels = LabelTable::new();
+        let mut b = XmlTreeBuilder::default();
+        let e = b.parse_forest("</a>", &mut labels).unwrap_err();
+        assert_eq!(e, BuildXmlError::UnbalancedEnd("a".into()));
+    }
+
+    #[test]
+    fn unclosed_rejected() {
+        let mut labels = LabelTable::new();
+        let mut b = XmlTreeBuilder::default();
+        let e = b.parse_forest("<a><b></b>", &mut labels).unwrap_err();
+        assert_eq!(e, BuildXmlError::UnclosedElements(1));
+    }
+
+    #[test]
+    fn top_level_text_rejected() {
+        let mut labels = LabelTable::new();
+        let mut b = XmlTreeBuilder::default();
+        let e = b.parse_forest("stray<a/>", &mut labels).unwrap_err();
+        assert_eq!(e, BuildXmlError::TopLevelText);
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let mut labels = LabelTable::new();
+        let mut b = XmlTreeBuilder::new(BuilderConfig {
+            max_depth: 3,
+            ..BuilderConfig::default()
+        });
+        let e = b
+            .parse_forest("<a><a><a><a/></a></a></a>", &mut labels)
+            .unwrap_err();
+        assert_eq!(e, BuildXmlError::TooDeep);
+    }
+
+    #[test]
+    fn multiple_docs_via_parse_document_rejected() {
+        let mut labels = LabelTable::new();
+        let mut b = XmlTreeBuilder::default();
+        assert!(b.parse_document("<a/><b/>", &mut labels).is_err());
+    }
+
+    #[test]
+    fn mixed_content_order_preserved() {
+        let (t, labels) = parse1("<p>one<b/>two</p>");
+        assert_eq!(t.to_sexpr_named(&labels), "p(one,b,two)");
+    }
+}

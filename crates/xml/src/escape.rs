@@ -1,0 +1,163 @@
+//! XML entity escaping and unescaping.
+//!
+//! Handles the five predefined entities (`&amp;` `&lt;` `&gt;` `&quot;`
+//! `&apos;`) plus decimal (`&#65;`) and hexadecimal (`&#x41;`) character
+//! references.  Unknown entities are reported as errors rather than passed
+//! through, since silently corrupted labels would silently corrupt counts.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// Error from [`unescape`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EscapeError {
+    /// `&` not followed by a terminated, recognised entity.
+    BadEntity {
+        /// Byte offset of the `&` within the input.
+        at: usize,
+    },
+    /// A numeric character reference that is not a valid Unicode scalar.
+    BadCharRef {
+        /// Byte offset of the `&` within the input.
+        at: usize,
+    },
+}
+
+impl fmt::Display for EscapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EscapeError::BadEntity { at } => write!(f, "malformed entity at byte {at}"),
+            EscapeError::BadCharRef { at } => {
+                write!(f, "invalid character reference at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EscapeError {}
+
+/// Escapes text content for element bodies and attribute values.
+///
+/// Returns a borrowed slice when no escaping is needed (the common case for
+/// label names), avoiding allocation on the hot parse-echo path.
+pub fn escape(text: &str) -> Cow<'_, str> {
+    if !text.bytes().any(|b| matches!(b, b'&' | b'<' | b'>' | b'"' | b'\'')) {
+        return Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len() + 8);
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Unescapes entities and character references.
+pub fn unescape(text: &str) -> Result<Cow<'_, str>, EscapeError> {
+    if !text.contains('&') {
+        return Ok(Cow::Borrowed(text));
+    }
+    let bytes = text.as_bytes();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Advance over a full UTF-8 character.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&text[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        let start = i;
+        let semi = text[i..]
+            .find(';')
+            .map(|o| i + o)
+            .ok_or(EscapeError::BadEntity { at: start })?;
+        let entity = &text[i + 1..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| EscapeError::BadCharRef { at: start })?;
+                out.push(char::from_u32(code).ok_or(EscapeError::BadCharRef { at: start })?);
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..]
+                    .parse()
+                    .map_err(|_| EscapeError::BadCharRef { at: start })?;
+                out.push(char::from_u32(code).ok_or(EscapeError::BadCharRef { at: start })?);
+            }
+            _ => return Err(EscapeError::BadEntity { at: start }),
+        }
+        i = semi + 1;
+    }
+    Ok(Cow::Owned(out))
+}
+
+#[inline]
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b < 0xE0 => 2,
+        b if b < 0xF0 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_passthrough_borrows() {
+        let s = "plain text";
+        assert!(matches!(escape(s), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_all_five() {
+        assert_eq!(escape(r#"<a & 'b' > "c""#), r#"&lt;a &amp; &apos;b&apos; &gt; &quot;c&quot;"#);
+    }
+
+    #[test]
+    fn unescape_passthrough_borrows() {
+        assert!(matches!(unescape("plain").unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn roundtrip() {
+        for s in ["a<b>c&d\"e'f", "no entities", "&&&&", "日本語 & more"] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn numeric_refs() {
+        assert_eq!(unescape("&#65;&#x42;&#X43;").unwrap(), "ABC");
+        assert_eq!(unescape("&#x65e5;").unwrap(), "日");
+    }
+
+    #[test]
+    fn bad_entities_rejected() {
+        assert_eq!(unescape("&bogus;"), Err(EscapeError::BadEntity { at: 0 }));
+        assert_eq!(unescape("ab&unterminated"), Err(EscapeError::BadEntity { at: 2 }));
+        assert_eq!(unescape("&#xZZ;"), Err(EscapeError::BadCharRef { at: 0 }));
+        assert_eq!(unescape("&#1114112;"), Err(EscapeError::BadCharRef { at: 0 })); // > max scalar
+        assert_eq!(unescape("&#xD800;"), Err(EscapeError::BadCharRef { at: 0 })); // surrogate
+    }
+
+    #[test]
+    fn multibyte_text_survives() {
+        assert_eq!(unescape("日&amp;本").unwrap(), "日&本");
+    }
+}

@@ -1,0 +1,72 @@
+//! SAX-style XML events.
+
+/// One parsing event, in document order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="value" …>` or the opening half of `<name …/>`.
+    StartElement {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<(String, String)>,
+        /// True if the tag was self-closing (`<name/>`); the parser still
+        /// emits a matching [`XmlEvent::EndElement`] immediately after, so
+        /// consumers can ignore this flag.
+        self_closing: bool,
+    },
+    /// `</name>` (also synthesised after a self-closing start tag).
+    EndElement {
+        /// Element name.
+        name: String,
+    },
+    /// Character data between tags, entity-decoded. Whitespace-only runs are
+    /// still reported; consumers decide whether to drop them.
+    Text(String),
+    /// `<![CDATA[ … ]]>` content, verbatim.
+    CData(String),
+    /// `<!-- … -->` content.
+    Comment(String),
+    /// `<?target data?>` (including the XML declaration).
+    ProcessingInstruction {
+        /// PI target (e.g. `xml`).
+        target: String,
+        /// Raw data after the target.
+        data: String,
+    },
+    /// `<!DOCTYPE …>` raw content (not interpreted).
+    DocType(String),
+}
+
+impl XmlEvent {
+    /// True for events that carry no tree structure (comments, PIs,
+    /// doctypes).
+    pub fn is_ignorable(&self) -> bool {
+        matches!(
+            self,
+            XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction { .. } | XmlEvent::DocType(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ignorable_classification() {
+        assert!(XmlEvent::Comment("c".into()).is_ignorable());
+        assert!(XmlEvent::DocType("d".into()).is_ignorable());
+        assert!(XmlEvent::ProcessingInstruction {
+            target: "xml".into(),
+            data: String::new()
+        }
+        .is_ignorable());
+        assert!(!XmlEvent::Text("t".into()).is_ignorable());
+        assert!(!XmlEvent::StartElement {
+            name: "e".into(),
+            attributes: vec![],
+            self_closing: false
+        }
+        .is_ignorable());
+    }
+}

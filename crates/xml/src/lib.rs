@@ -1,0 +1,37 @@
+//! Streaming XML for SketchTree.
+//!
+//! The paper's evaluation streams XML datasets (TREEBANK and DBLP) through
+//! the synopsis, one document tree at a time.  This crate supplies the XML
+//! substrate, built from scratch:
+//!
+//! * [`escape`] — entity escaping/unescaping (`&amp;`, numeric references);
+//! * [`event`] — the SAX-style event vocabulary;
+//! * [`reader`] — [`reader::XmlPullParser`], a non-validating pull parser
+//!   producing events in document order with byte positions on errors;
+//! * [`builder`] — [`builder::XmlTreeBuilder`], which folds events into
+//!   [`sketchtree_tree::Tree`] values.  Element names become node labels;
+//!   non-whitespace character data becomes a leaf child labeled with the
+//!   text itself (the paper's DBLP queries match "element names as well as
+//!   values (CDATA)", which is exactly this modeling); attributes can
+//!   optionally be modeled as `@name` child nodes;
+//! * [`splitter`] — [`splitter::DocumentSplitter`], incremental top-level
+//!   document extraction from unbounded byte streams (memory bounded by
+//!   one document, not the stream);
+//! * [`writer`] — serialises trees back to XML (used by the data generators
+//!   so that the full parse path is exercised end to end).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod builder;
+pub mod escape;
+pub mod event;
+pub mod reader;
+pub mod splitter;
+pub mod writer;
+
+pub use builder::{BuilderConfig, XmlTreeBuilder};
+pub use event::XmlEvent;
+pub use reader::{XmlError, XmlPullParser};
+pub use splitter::DocumentSplitter;
+pub use writer::write_tree;

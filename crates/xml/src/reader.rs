@@ -1,0 +1,472 @@
+//! A non-validating pull parser for XML.
+//!
+//! The parser walks a `&str` once, emitting [`XmlEvent`]s.  It accepts the
+//! XML subset that real-world datasets like DBLP and the Penn Treebank
+//! exports use: elements, attributes, character data, entities, CDATA,
+//! comments, processing instructions and a (skipped) DOCTYPE.  It does not
+//! validate well-formedness of element *nesting* — that's the tree builder's
+//! job, which has the stack anyway — but it does reject lexically malformed
+//! input with byte positions.
+//!
+//! Self-closing tags produce a `StartElement` (flagged) immediately followed
+//! by a synthetic `EndElement`, so downstream builders handle exactly one
+//! shape of event stream.
+
+use crate::escape::unescape;
+use crate::event::XmlEvent;
+use std::fmt;
+
+/// Lexical error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub kind: XmlErrorKind,
+    /// Byte offset into the input.
+    pub at: usize,
+}
+
+/// The kinds of lexical errors the parser reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended inside a construct.
+    UnexpectedEof,
+    /// `<` followed by an invalid name start.
+    BadTagName,
+    /// Malformed attribute syntax.
+    BadAttribute,
+    /// A tag was not terminated with `>`.
+    UnterminatedTag,
+    /// Bad entity or character reference in text or attribute value.
+    BadEntity,
+    /// A comment was not terminated with `-->`.
+    UnterminatedComment,
+    /// A CDATA section was not terminated with `]]>`.
+    UnterminatedCData,
+    /// A processing instruction was not terminated with `?>`.
+    UnterminatedPi,
+    /// Stray `>` or other unexpected byte at the top level.
+    UnexpectedByte(u8),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {:?}", self.at, self.kind)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// A pull parser over a complete input string.
+///
+/// ```
+/// use sketchtree_xml::{XmlPullParser, XmlEvent};
+/// let mut p = XmlPullParser::new("<a x='1'><b/>hi</a>");
+/// let mut names = Vec::new();
+/// while let Some(ev) = p.next_event().unwrap() {
+///     if let XmlEvent::StartElement { name, .. } = ev {
+///         names.push(name);
+///     }
+/// }
+/// assert_eq!(names, vec!["a", "b"]);
+/// ```
+#[derive(Debug)]
+pub struct XmlPullParser<'a> {
+    input: &'a str,
+    pos: usize,
+    /// Pending synthetic end-element from a self-closing tag.
+    pending_end: Option<String>,
+}
+
+impl<'a> XmlPullParser<'a> {
+    /// Creates a parser over the input.
+    pub fn new(input: &'a str) -> Self {
+        Self {
+            input,
+            pos: 0,
+            pending_end: None,
+        }
+    }
+
+    /// Current byte position (for diagnostics and forest splitting).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn bytes(&self) -> &[u8] {
+        self.input.as_bytes()
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError { kind, at: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if is_name_start(b) => self.pos += 1,
+            _ => return Err(self.err(XmlErrorKind::BadTagName)),
+        }
+        while let Some(b) = self.peek() {
+            if is_name_char(b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    /// Returns the next event, `None` at clean end of input.
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent>, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            return Ok(Some(XmlEvent::EndElement { name }));
+        }
+        if self.pos >= self.input.len() {
+            return Ok(None);
+        }
+        if self.peek() == Some(b'<') {
+            self.parse_markup().map(Some)
+        } else {
+            self.parse_text().map(Some)
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<XmlEvent, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'<' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let raw = &self.input[start..self.pos];
+        let decoded = unescape(raw).map_err(|_| XmlError {
+            kind: XmlErrorKind::BadEntity,
+            at: start,
+        })?;
+        Ok(XmlEvent::Text(decoded.into_owned()))
+    }
+
+    fn parse_markup(&mut self) -> Result<XmlEvent, XmlError> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        if self.starts_with("<!--") {
+            return self.parse_comment();
+        }
+        if self.starts_with("<![CDATA[") {
+            return self.parse_cdata();
+        }
+        if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+            return self.parse_doctype();
+        }
+        if self.starts_with("<?") {
+            return self.parse_pi();
+        }
+        if self.starts_with("</") {
+            self.pos += 2;
+            let name = self.read_name()?;
+            self.skip_ws();
+            if self.peek() != Some(b'>') {
+                return Err(self.err(XmlErrorKind::UnterminatedTag));
+            }
+            self.pos += 1;
+            return Ok(XmlEvent::EndElement { name });
+        }
+        // Start tag.
+        self.pos += 1;
+        let name = self.read_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(XmlEvent::StartElement {
+                        name,
+                        attributes,
+                        self_closing: false,
+                    });
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err(XmlErrorKind::UnterminatedTag));
+                    }
+                    self.pos += 1;
+                    self.pending_end = Some(name.clone());
+                    return Ok(XmlEvent::StartElement {
+                        name,
+                        attributes,
+                        self_closing: true,
+                    });
+                }
+                Some(_) => {
+                    let attr_name = self
+                        .read_name()
+                        .map_err(|e| XmlError {
+                            kind: XmlErrorKind::BadAttribute,
+                            at: e.at,
+                        })?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err(XmlErrorKind::BadAttribute));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err(XmlErrorKind::BadAttribute)),
+                    };
+                    self.pos += 1;
+                    let vstart = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err(XmlErrorKind::UnexpectedEof));
+                    }
+                    let raw = &self.input[vstart..self.pos];
+                    self.pos += 1;
+                    let value = unescape(raw)
+                        .map_err(|_| XmlError {
+                            kind: XmlErrorKind::BadEntity,
+                            at: vstart,
+                        })?
+                        .into_owned();
+                    attributes.push((attr_name, value));
+                }
+            }
+        }
+    }
+
+    fn parse_comment(&mut self) -> Result<XmlEvent, XmlError> {
+        let start = self.pos;
+        self.pos += 4; // "<!--"
+        match self.input[self.pos..].find("-->") {
+            Some(end) => {
+                let content = self.input[self.pos..self.pos + end].to_owned();
+                self.pos += end + 3;
+                Ok(XmlEvent::Comment(content))
+            }
+            None => Err(XmlError {
+                kind: XmlErrorKind::UnterminatedComment,
+                at: start,
+            }),
+        }
+    }
+
+    fn parse_cdata(&mut self) -> Result<XmlEvent, XmlError> {
+        let start = self.pos;
+        self.pos += 9; // "<![CDATA["
+        match self.input[self.pos..].find("]]>") {
+            Some(end) => {
+                let content = self.input[self.pos..self.pos + end].to_owned();
+                self.pos += end + 3;
+                Ok(XmlEvent::CData(content))
+            }
+            None => Err(XmlError {
+                kind: XmlErrorKind::UnterminatedCData,
+                at: start,
+            }),
+        }
+    }
+
+    fn parse_doctype(&mut self) -> Result<XmlEvent, XmlError> {
+        let start = self.pos;
+        self.pos += 9; // "<!DOCTYPE"
+        // Skip to the matching '>' accounting for an optional internal
+        // subset in brackets.
+        let mut depth = 0i32;
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            match b {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                b'>' if depth <= 0 => {
+                    let content = self.input[start + 9..self.pos - 1].trim().to_owned();
+                    return Ok(XmlEvent::DocType(content));
+                }
+                _ => {}
+            }
+        }
+        Err(XmlError {
+            kind: XmlErrorKind::UnterminatedTag,
+            at: start,
+        })
+    }
+
+    fn parse_pi(&mut self) -> Result<XmlEvent, XmlError> {
+        let start = self.pos;
+        self.pos += 2; // "<?"
+        let target = self.read_name()?;
+        match self.input[self.pos..].find("?>") {
+            Some(end) => {
+                let data = self.input[self.pos..self.pos + end].trim().to_owned();
+                self.pos += end + 2;
+                Ok(XmlEvent::ProcessingInstruction { target, data })
+            }
+            None => Err(XmlError {
+                kind: XmlErrorKind::UnterminatedPi,
+                at: start,
+            }),
+        }
+    }
+}
+
+#[inline]
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+#[inline]
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(input: &str) -> Result<Vec<XmlEvent>, XmlError> {
+        let mut p = XmlPullParser::new(input);
+        let mut out = Vec::new();
+        while let Some(ev) = p.next_event()? {
+            out.push(ev);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn simple_document() {
+        let evs = collect("<a><b>text</b></a>").unwrap();
+        assert_eq!(evs.len(), 5);
+        assert!(matches!(&evs[0], XmlEvent::StartElement { name, .. } if name == "a"));
+        assert!(matches!(&evs[1], XmlEvent::StartElement { name, .. } if name == "b"));
+        assert!(matches!(&evs[2], XmlEvent::Text(t) if t == "text"));
+        assert!(matches!(&evs[3], XmlEvent::EndElement { name } if name == "b"));
+        assert!(matches!(&evs[4], XmlEvent::EndElement { name } if name == "a"));
+    }
+
+    #[test]
+    fn self_closing_synthesises_end() {
+        let evs = collect("<a/>").unwrap();
+        assert_eq!(evs.len(), 2);
+        assert!(
+            matches!(&evs[0], XmlEvent::StartElement { self_closing: true, .. })
+        );
+        assert!(matches!(&evs[1], XmlEvent::EndElement { name } if name == "a"));
+    }
+
+    #[test]
+    fn attributes_both_quote_styles() {
+        let evs = collect(r#"<a x="1" y='two &amp; three'/>"#).unwrap();
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(
+                    attributes,
+                    &vec![
+                        ("x".to_owned(), "1".to_owned()),
+                        ("y".to_owned(), "two & three".to_owned())
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entities_in_text() {
+        let evs = collect("<a>&lt;b&gt; &amp; &#65;</a>").unwrap();
+        assert!(matches!(&evs[1], XmlEvent::Text(t) if t == "<b> & A"));
+    }
+
+    #[test]
+    fn cdata_verbatim() {
+        let evs = collect("<a><![CDATA[<not & parsed>]]></a>").unwrap();
+        assert!(matches!(&evs[1], XmlEvent::CData(t) if t == "<not & parsed>"));
+    }
+
+    #[test]
+    fn comments_and_pis_and_doctype() {
+        let evs = collect("<?xml version=\"1.0\"?><!DOCTYPE dblp SYSTEM \"dblp.dtd\"><!-- c --><a/>").unwrap();
+        assert!(matches!(&evs[0], XmlEvent::ProcessingInstruction { target, .. } if target == "xml"));
+        assert!(matches!(&evs[1], XmlEvent::DocType(d) if d.contains("dblp")));
+        assert!(matches!(&evs[2], XmlEvent::Comment(c) if c == " c "));
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let evs = collect("<!DOCTYPE r [<!ELEMENT r (#PCDATA)>]><r/>").unwrap();
+        assert!(matches!(&evs[0], XmlEvent::DocType(_)));
+        assert!(matches!(&evs[1], XmlEvent::StartElement { .. }));
+    }
+
+    #[test]
+    fn whitespace_text_reported() {
+        let evs = collect("<a> <b/> </a>").unwrap();
+        assert!(matches!(&evs[1], XmlEvent::Text(t) if t == " "));
+    }
+
+    #[test]
+    fn unicode_names_and_content() {
+        let evs = collect("<日本>こんにちは</日本>").unwrap();
+        assert!(matches!(&evs[0], XmlEvent::StartElement { name, .. } if name == "日本"));
+        assert!(matches!(&evs[1], XmlEvent::Text(t) if t == "こんにちは"));
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = collect("<a><b").unwrap_err();
+        assert_eq!(e.kind, XmlErrorKind::UnexpectedEof);
+        let e = collect("<a x=1>").unwrap_err();
+        assert_eq!(e.kind, XmlErrorKind::BadAttribute);
+        let e = collect("<!-- never closed").unwrap_err();
+        assert_eq!(e.kind, XmlErrorKind::UnterminatedComment);
+        let e = collect("<a>&bogus;</a>").unwrap_err();
+        assert_eq!(e.kind, XmlErrorKind::BadEntity);
+        let e = collect("<1tag/>").unwrap_err();
+        assert_eq!(e.kind, XmlErrorKind::BadTagName);
+    }
+
+    #[test]
+    fn forest_of_documents_parses_sequentially() {
+        // The paper removes the root tag of one big document to get a forest;
+        // the parser must happily produce multiple top-level elements.
+        let evs = collect("<a/><b/><c>x</c>").unwrap();
+        let starts = evs
+            .iter()
+            .filter(|e| matches!(e, XmlEvent::StartElement { .. }))
+            .count();
+        assert_eq!(starts, 3);
+    }
+
+    #[test]
+    fn empty_input_is_clean_eof() {
+        assert_eq!(collect("").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn position_advances() {
+        let mut p = XmlPullParser::new("<a/><b/>");
+        p.next_event().unwrap();
+        p.next_event().unwrap(); // synthetic end
+        assert_eq!(p.position(), 4);
+    }
+}

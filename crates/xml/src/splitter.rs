@@ -1,0 +1,416 @@
+//! Incremental document splitting for unbounded XML streams.
+//!
+//! The pull parser works on a complete `&str`; real feeds arrive as bytes
+//! from sockets or huge files that should never be materialised whole.
+//! [`DocumentSplitter`] scans an `io::BufRead` incrementally and yields the
+//! text of one complete *top-level element* at a time — exactly the
+//! paper's "forest of trees processed in a single pass" model — tracking
+//! element depth through quotes, comments, CDATA sections, processing
+//! instructions and DOCTYPE so that `<`/`>` inside them never confuse the
+//! nesting count.  Memory is bounded by the largest single document, not
+//! the stream.
+
+use std::io::{self, BufRead};
+
+/// Splits a byte stream into complete top-level XML documents.
+///
+/// ```
+/// use sketchtree_xml::DocumentSplitter;
+/// let mut s = DocumentSplitter::new(std::io::Cursor::new(b"<a><b/></a><c/>".to_vec()));
+/// assert_eq!(s.next_document().unwrap().as_deref(), Some("<a><b/></a>"));
+/// assert_eq!(s.next_document().unwrap().as_deref(), Some("<c/>"));
+/// assert!(s.next_document().unwrap().is_none());
+/// ```
+pub struct DocumentSplitter<R> {
+    reader: R,
+    /// Carry-over bytes: a partial document from the previous read.
+    buf: Vec<u8>,
+    /// Scan state persisted across reads.
+    state: ScanState,
+    /// Byte position within `buf` up to which we have scanned.
+    scanned: usize,
+    /// Element nesting depth at `scanned`.
+    depth: i64,
+    /// Offset in `buf` where the current document started.
+    doc_start: Option<usize>,
+    eof: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScanState {
+    /// Between markup (text or before a document).
+    Text,
+    /// Inside a tag: `kind` distinguishes open/close/self-closing parsing.
+    Tag {
+        /// Whether a `/` immediately followed `<`.
+        closing: bool,
+        /// Whether the last byte seen inside the tag was `/`.
+        slash_pending: bool,
+        /// Inside a quoted attribute value, the quote byte.
+        quote: Option<u8>,
+    },
+    /// Inside `<!-- … -->`; tracks trailing `-` count.
+    Comment(u8),
+    /// Inside `<![CDATA[ … ]]>`; tracks trailing `]` count.
+    CData(u8),
+    /// Inside `<? … ?>`; tracks whether last byte was `?`.
+    Pi(bool),
+    /// Inside `<!DOCTYPE … >` (bracket depth for the internal subset).
+    DocType(i32),
+    /// Just saw `<`; deciding which construct begins (bytes seen so far).
+    MarkupStart(u8),
+}
+
+/// Errors from [`DocumentSplitter::next_document`].
+#[derive(Debug)]
+pub enum SplitError {
+    /// Underlying reader failed.
+    Io(io::Error),
+    /// Stream ended mid-document.
+    TruncatedDocument,
+    /// A close tag appeared with no open element.
+    UnbalancedClose,
+    /// Document is not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl std::fmt::Display for SplitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplitError::Io(e) => write!(f, "I/O error: {e}"),
+            SplitError::TruncatedDocument => write!(f, "stream ended mid-document"),
+            SplitError::UnbalancedClose => write!(f, "unbalanced close tag at top level"),
+            SplitError::InvalidUtf8 => write!(f, "document is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
+
+impl From<io::Error> for SplitError {
+    fn from(e: io::Error) -> Self {
+        SplitError::Io(e)
+    }
+}
+
+impl<R: BufRead> DocumentSplitter<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            buf: Vec::new(),
+            state: ScanState::Text,
+            scanned: 0,
+            depth: 0,
+            doc_start: None,
+            eof: false,
+        }
+    }
+
+    /// Returns the next complete top-level document's text, or `None` at a
+    /// clean end of stream.
+    pub fn next_document(&mut self) -> Result<Option<String>, SplitError> {
+        loop {
+            // Scan what we have.
+            if let Some(end) = self.scan()? {
+                let start = self.doc_start.take().expect("document was started");
+                let doc: Vec<u8> = self.buf[start..end].to_vec();
+                // Drop consumed bytes; keep the tail.
+                self.buf.drain(..end);
+                self.scanned -= end;
+                let text = String::from_utf8(doc).map_err(|_| SplitError::InvalidUtf8)?;
+                return Ok(Some(text));
+            }
+            if self.eof {
+                if self.doc_start.is_some() || self.depth > 0 {
+                    return Err(SplitError::TruncatedDocument);
+                }
+                return Ok(None);
+            }
+            // Need more bytes.
+            let chunk = self.reader.fill_buf()?;
+            if chunk.is_empty() {
+                self.eof = true;
+                continue;
+            }
+            let n = chunk.len();
+            self.buf.extend_from_slice(chunk);
+            self.reader.consume(n);
+        }
+    }
+
+    /// Advances the scanner; returns the end offset (exclusive) of a
+    /// completed top-level document if one finished.
+    fn scan(&mut self) -> Result<Option<usize>, SplitError> {
+        while self.scanned < self.buf.len() {
+            let b = self.buf[self.scanned];
+            self.scanned += 1;
+            match self.state {
+                ScanState::Text => {
+                    if b == b'<' {
+                        self.state = ScanState::MarkupStart(0);
+                        if self.depth == 0 && self.doc_start.is_none() {
+                            self.doc_start = Some(self.scanned - 1);
+                        }
+                    }
+                }
+                ScanState::MarkupStart(seen) => {
+                    // Decide the construct from the first byte(s) after '<'.
+                    match (seen, b) {
+                        (0, b'/') => {
+                            self.state = ScanState::Tag {
+                                closing: true,
+                                slash_pending: false,
+                                quote: None,
+                            }
+                        }
+                        (0, b'?') => self.state = ScanState::Pi(false),
+                        (0, b'!') => self.state = ScanState::MarkupStart(1),
+                        (0, _) => {
+                            self.state = ScanState::Tag {
+                                closing: false,
+                                slash_pending: false,
+                                quote: None,
+                            }
+                        }
+                        (1, b'-') => self.state = ScanState::MarkupStart(2),
+                        (1, b'[') => self.state = ScanState::CData(0),
+                        (1, _) => self.state = ScanState::DocType(0), // <!DOCTYPE or similar
+                        (2, b'-') => self.state = ScanState::Comment(0),
+                        (2, _) => self.state = ScanState::DocType(0),
+                        _ => unreachable!("MarkupStart seen > 2"),
+                    }
+                    // A comment/PI/doctype before any element should not
+                    // start a document; undo the tentative start.
+                    if self.depth == 0
+                        && matches!(
+                            self.state,
+                            ScanState::Pi(_) | ScanState::Comment(_) | ScanState::DocType(_)
+                        )
+                    {
+                        self.doc_start = None;
+                    }
+                }
+                ScanState::Tag {
+                    closing,
+                    slash_pending,
+                    quote,
+                } => match quote {
+                    Some(q) => {
+                        if b == q {
+                            self.state = ScanState::Tag {
+                                closing,
+                                slash_pending: false,
+                                quote: None,
+                            };
+                        }
+                    }
+                    None => match b {
+                        b'"' | b'\'' => {
+                            self.state = ScanState::Tag {
+                                closing,
+                                slash_pending: false,
+                                quote: Some(b),
+                            }
+                        }
+                        b'/' => {
+                            self.state = ScanState::Tag {
+                                closing,
+                                slash_pending: true,
+                                quote: None,
+                            }
+                        }
+                        b'>' => {
+                            self.state = ScanState::Text;
+                            if closing {
+                                self.depth -= 1;
+                                if self.depth < 0 {
+                                    return Err(SplitError::UnbalancedClose);
+                                }
+                            } else if !slash_pending {
+                                self.depth += 1;
+                            }
+                            // Self-closing at top level is a whole document.
+                            if self.depth == 0 && self.doc_start.is_some() {
+                                return Ok(Some(self.scanned));
+                            }
+                        }
+                        _ => {
+                            if slash_pending {
+                                self.state = ScanState::Tag {
+                                    closing,
+                                    slash_pending: false,
+                                    quote: None,
+                                };
+                            }
+                        }
+                    },
+                },
+                ScanState::Comment(dashes) => {
+                    self.state = match (dashes, b) {
+                        (_, b'-') => ScanState::Comment((dashes + 1).min(2)),
+                        (2, b'>') => ScanState::Text,
+                        _ => ScanState::Comment(0),
+                    };
+                }
+                ScanState::CData(brackets) => {
+                    self.state = match (brackets, b) {
+                        (_, b']') => ScanState::CData((brackets + 1).min(2)),
+                        (2, b'>') => ScanState::Text,
+                        _ => ScanState::CData(0),
+                    };
+                }
+                ScanState::Pi(question) => {
+                    self.state = match (question, b) {
+                        (_, b'?') => ScanState::Pi(true),
+                        (true, b'>') => ScanState::Text,
+                        _ => ScanState::Pi(false),
+                    };
+                }
+                ScanState::DocType(brackets) => {
+                    self.state = match b {
+                        b'[' => ScanState::DocType(brackets + 1),
+                        b']' => ScanState::DocType(brackets - 1),
+                        b'>' if brackets <= 0 => ScanState::Text,
+                        _ => ScanState::DocType(brackets),
+                    };
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn split_all(input: &str) -> Result<Vec<String>, SplitError> {
+        let mut s = DocumentSplitter::new(Cursor::new(input.as_bytes().to_vec()));
+        let mut out = Vec::new();
+        while let Some(doc) = s.next_document()? {
+            out.push(doc);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn splits_simple_forest() {
+        let docs = split_all("<a><b/></a><c/><d>t</d>").unwrap();
+        assert_eq!(docs, vec!["<a><b/></a>", "<c/>", "<d>t</d>"]);
+    }
+
+    #[test]
+    fn whitespace_between_documents_dropped() {
+        let docs = split_all("<a/>\n  <b/>\n").unwrap();
+        assert_eq!(docs, vec!["<a/>", "<b/>"]);
+    }
+
+    #[test]
+    fn nested_same_name_elements() {
+        let docs = split_all("<a><a><a/></a></a><a/>").unwrap();
+        assert_eq!(docs, vec!["<a><a><a/></a></a>", "<a/>"]);
+    }
+
+    #[test]
+    fn angle_brackets_in_attributes_ignored() {
+        let docs = split_all(r#"<a attr="<not><a><tag>"><b/></a>"#).unwrap();
+        assert_eq!(docs.len(), 1);
+        assert!(docs[0].starts_with("<a attr="));
+    }
+
+    #[test]
+    fn comments_and_cdata_opaque() {
+        let input = "<a><!-- </a> --><![CDATA[</a><b>]]></a><c/>";
+        let docs = split_all(input).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[1], "<c/>");
+    }
+
+    #[test]
+    fn prolog_skipped() {
+        let input = "<?xml version=\"1.0\"?><!DOCTYPE dblp [<!ELEMENT x (y)>]><a/><b/>";
+        let docs = split_all(input).unwrap();
+        assert_eq!(docs, vec!["<a/>", "<b/>"]);
+    }
+
+    #[test]
+    fn truncated_document_errors() {
+        assert!(matches!(
+            split_all("<a><b>"),
+            Err(SplitError::TruncatedDocument)
+        ));
+    }
+
+    #[test]
+    fn unbalanced_close_errors() {
+        assert!(matches!(split_all("</a>"), Err(SplitError::UnbalancedClose)));
+        assert!(matches!(
+            split_all("<a/></b>"),
+            Err(SplitError::UnbalancedClose)
+        ));
+    }
+
+    #[test]
+    fn tiny_read_chunks() {
+        // A 1-byte-at-a-time reader exercises every carry-over path.
+        struct OneByte<'a>(&'a [u8]);
+        impl io::Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let input = r#"<a x="1"><!-- c --><b><![CDATA[raw </b>]]></b></a><c/>"#;
+        let reader = io::BufReader::with_capacity(1, OneByte(input.as_bytes()));
+        let mut s = DocumentSplitter::new(reader);
+        let mut out = Vec::new();
+        while let Some(d) = s.next_document().unwrap() {
+            out.push(d);
+        }
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1], "<c/>");
+    }
+
+    #[test]
+    fn split_documents_parse_cleanly() {
+        use crate::builder::XmlTreeBuilder;
+        use sketchtree_tree::LabelTable;
+        let input = "<r><x>1</x></r><r><y/></r><z a='v'/>";
+        let docs = split_all(input).unwrap();
+        let mut labels = LabelTable::new();
+        let mut b = XmlTreeBuilder::default();
+        for d in &docs {
+            b.parse_document(d, &mut labels).expect("splits are documents");
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert!(split_all("").unwrap().is_empty());
+        assert!(split_all("   \n  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn memory_bounded_by_document() {
+        // Stream many documents through a splitter; internal buffer stays
+        // around the size of one document.
+        let one = "<doc><field>value</field></doc>";
+        let many = one.repeat(1000);
+        // A small BufReader capacity forces incremental reads (a bare
+        // Cursor would hand over the whole stream in one fill_buf call).
+        let reader = io::BufReader::with_capacity(256, Cursor::new(many.into_bytes()));
+        let mut s = DocumentSplitter::new(reader);
+        let mut count = 0;
+        while let Some(_d) = s.next_document().unwrap() {
+            count += 1;
+            assert!(s.buf.len() <= 1024, "buffer ballooned: {}", s.buf.len());
+        }
+        assert_eq!(count, 1000);
+    }
+}

@@ -1,0 +1,117 @@
+//! Serialising labeled trees back to XML.
+//!
+//! The inverse of [`crate::builder`]: nodes whose labels are *text values*
+//! (per the set the builder tracks, or any predicate) are written as
+//! character data; all other nodes become elements.  The writer exists so
+//! the data generators can emit genuine XML and the whole
+//! generate → serialise → parse → enumerate pipeline is exercised, not just
+//! in-memory trees.
+
+use crate::escape::escape;
+use sketchtree_tree::{Label, LabelTable, NodeId, Tree};
+
+/// Writes a tree as XML, using `is_text` to decide which leaves are
+/// character data.
+pub fn write_tree(
+    tree: &Tree,
+    labels: &LabelTable,
+    is_text: &dyn Fn(Label) -> bool,
+) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), labels, is_text, &mut out);
+    out
+}
+
+/// Writes a whole forest, one element after another (the paper's stream
+/// serialisation: a root-stripped document).
+pub fn write_forest(
+    trees: &[Tree],
+    labels: &LabelTable,
+    is_text: &dyn Fn(Label) -> bool,
+) -> String {
+    let mut out = String::new();
+    for t in trees {
+        write_node(t, t.root(), labels, is_text, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn write_node(
+    tree: &Tree,
+    id: NodeId,
+    labels: &LabelTable,
+    is_text: &dyn Fn(Label) -> bool,
+    out: &mut String,
+) {
+    let label = tree.label(id);
+    let name = labels.name(label);
+    if tree.is_leaf(id) && is_text(label) {
+        out.push_str(&escape(name));
+        return;
+    }
+    out.push('<');
+    out.push_str(name);
+    if tree.is_leaf(id) {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for &c in tree.children(id) {
+        write_node(tree, c, labels, is_text, out);
+    }
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::XmlTreeBuilder;
+
+    #[test]
+    fn writes_elements_and_text() {
+        let mut labels = LabelTable::new();
+        let a = labels.intern("a");
+        let b = labels.intern("b");
+        let v = labels.intern("hello & <world>");
+        let t = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(v)]);
+        let xml = write_tree(&t, &labels, &|l| l == v);
+        assert_eq!(xml, "<a><b/>hello &amp; &lt;world&gt;</a>");
+    }
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let mut labels = LabelTable::new();
+        let mut builder = XmlTreeBuilder::default();
+        let orig = "<article><author>Knuth</author><title>TAOCP</title><year>1968</year></article>";
+        let t = builder.parse_document(orig, &mut labels).unwrap();
+        let text = builder.text_labels().clone();
+        let xml = write_tree(&t, &labels, &|l| text.contains(&l));
+        assert_eq!(xml, orig);
+        // And parse the serialisation again: identical tree.
+        let t2 = builder.parse_document(&xml, &mut labels).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn forest_roundtrip() {
+        let mut labels = LabelTable::new();
+        let mut builder = XmlTreeBuilder::default();
+        let orig = "<a><b/></a><c>v</c>";
+        let trees = builder.parse_forest(orig, &mut labels).unwrap();
+        let text = builder.text_labels().clone();
+        let xml = write_forest(&trees, &labels, &|l| text.contains(&l));
+        let trees2 = builder.parse_forest(&xml, &mut labels).unwrap();
+        assert_eq!(trees, trees2);
+    }
+
+    #[test]
+    fn single_leaf_element() {
+        let mut labels = LabelTable::new();
+        let a = labels.intern("a");
+        let xml = write_tree(&Tree::leaf(a), &labels, &|_| false);
+        assert_eq!(xml, "<a/>");
+    }
+}

@@ -1,0 +1,82 @@
+//! Streaming analytics over a bibliographic feed: the "no standing
+//! queries" scenario from the paper's introduction.
+//!
+//! Documents arrive continuously; nobody registered any query up front.
+//! At arbitrary points an analyst asks ad-hoc questions — how many papers
+//! by this author? how many VLDB-venue records this year? — and SketchTree
+//! answers from its fixed-size synopsis, including for patterns that were
+//! streaming past long before anyone thought to ask.
+//!
+//! ```sh
+//! cargo run --release --example dblp_monitoring
+//! ```
+
+use sketchtree::datagen::DblpGen;
+use sketchtree::{SketchTree, SketchTreeConfig, SynopsisConfig};
+
+fn main() {
+    let config = SketchTreeConfig {
+        max_pattern_edges: 3,
+        synopsis: SynopsisConfig {
+            s1: 50,
+            s2: 7,
+            virtual_streams: 229,
+            topk: 50,
+            ..SynopsisConfig::default()
+        },
+        track_exact: true, // only to display errors in this demo
+        ..SketchTreeConfig::default()
+    };
+    let mut st = SketchTree::new(config);
+    let mut gen = DblpGen::new(2024, st.labels_mut(), 800);
+
+    // Phase 1: 3,000 records arrive before anyone asks anything.
+    let batch1: Vec<_> = (0..3000).map(|_| gen.next_tree()).collect();
+    for t in &batch1 {
+        st.ingest(t);
+    }
+    println!(
+        "t1: {} records streamed, synopsis {} KB",
+        st.trees_processed(),
+        st.memory_bytes() / 1024
+    );
+
+    // An analyst shows up with ad-hoc queries about the *past* stream.
+    let queries = [
+        r#"author("Author 00000")"#,
+        r#"article(author("Author 00000"))"#,
+        r#"article(journal("Venue 000"))"#,
+        "inproceedings(author,title)",
+        "article(year(1995))",
+    ];
+    println!("\nad-hoc queries at t1:");
+    for q in queries {
+        let approx = st.count_ordered(q).expect("valid");
+        let exact = st.exact_count_ordered(q).expect("tracking on");
+        println!("  {q:<44} ≈ {approx:>9.1}  (exact {exact})");
+    }
+
+    // Phase 2: the stream keeps flowing; counts move, the synopsis follows.
+    let batch2: Vec<_> = (0..3000).map(|_| gen.next_tree()).collect();
+    for t in &batch2 {
+        st.ingest(t);
+    }
+    println!("\nt2: {} records total", st.trees_processed());
+    println!("same queries at t2:");
+    for q in queries {
+        let approx = st.count_ordered(q).expect("valid");
+        let exact = st.exact_count_ordered(q).expect("tracking on");
+        println!("  {q:<44} ≈ {approx:>9.1}  (exact {exact})");
+    }
+
+    // The top-k trackers have been identifying the heaviest patterns the
+    // whole time — a free heavy-hitter report.
+    println!("\nheaviest tracked patterns (mapped value, est. frequency):");
+    for (v, f) in st.tracked_heavy_hitters().into_iter().take(8) {
+        println!("  {v:>12}  ~{f}");
+    }
+    println!(
+        "\nresidual self-join size after heavy-hitter deletion: {:.2e}",
+        st.residual_self_join()
+    );
+}

@@ -1,0 +1,98 @@
+//! Quickstart: stream XML documents through a SketchTree synopsis and ask
+//! for approximate pattern counts.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sketchtree::{SketchTreeConfig, SynopsisConfig, XmlSketchTree};
+
+fn main() {
+    // A synopsis that tracks exact counts alongside the sketches so this
+    // example can show the approximation error. Production deployments
+    // leave `track_exact` off — the whole point is not to pay for exact
+    // counters.
+    let config = SketchTreeConfig {
+        max_pattern_edges: 3,
+        synopsis: SynopsisConfig {
+            s1: 50,
+            s2: 7,
+            virtual_streams: 229,
+            topk: 20,
+            independence: 5, // allows product expressions of two counts
+            ..SynopsisConfig::default()
+        },
+        track_exact: true,
+        ..SketchTreeConfig::default()
+    };
+    let mut st = XmlSketchTree::new(config);
+
+    // Simulate a stream of bibliography-ish documents arriving one by one.
+    let mut stream = String::new();
+    for i in 0..3000 {
+        let author = match i % 10 {
+            0..=4 => "smith",   // a heavy hitter
+            5..=7 => "jones",
+            8 => "garcia",
+            _ => "ito",
+        };
+        let year = 1990 + (i % 8);
+        stream.push_str(&format!(
+            "<article><author>{author}</author><year>{year}</year></article>"
+        ));
+    }
+    let trees = st.ingest_xml(&stream).expect("well-formed stream");
+    println!("ingested {trees} documents");
+    println!(
+        "  pattern instances sketched : {}",
+        st.patterns_processed()
+    );
+    println!(
+        "  synopsis memory            : {} KB",
+        st.memory_bytes() / 1024
+    );
+    println!(
+        "  exact-counter memory       : {} B   (deterministic counters grow with distinct patterns)",
+        st.exact().expect("tracking on").memory_bytes()
+    );
+
+    // Ordered pattern counts: COUNT_ord(Q), paper Theorem 1.
+    println!("\nordered pattern counts:");
+    for q in [
+        "author(smith)",
+        "article(author(smith))",
+        "article(author,year)",
+        "year(1995)",
+    ] {
+        let exact = st.exact_count_ordered(q).expect("tracking on");
+        let approx = st.count_ordered(q).expect("valid pattern");
+        println!("  COUNT_ord({q:<28}) = {approx:>9.1}   (exact {exact})");
+    }
+
+    // A label the stream has never seen is exactly zero — no estimation
+    // noise, the label table proves absence.
+    let ghost = st.count_ordered("article(author(knuth))").expect("valid");
+    println!("  COUNT_ord(article(author(knuth))) = {ghost:>9.1}   (label never seen)");
+
+    // Unordered counts (Section 3.3) sum over all ordered arrangements.
+    let unordered = st.count_unordered("article(year,author)").expect("valid");
+    let exact_u = st.exact_count_unordered("article(year,author)").expect("ok");
+    println!("\nunordered count:");
+    println!("  COUNT(article{{year,author}})      = {unordered:>9.1}   (exact {exact_u})");
+
+    // Expressions (Section 4): how many more smith-articles than
+    // jones-articles are there?
+    use sketchtree::CountExpr;
+    let diff = CountExpr::ordered("author(smith)").sub(CountExpr::ordered("author(jones)"));
+    println!("\nexpression:");
+    println!(
+        "  COUNT(smith) - COUNT(jones)       = {:>9.1}   (exact {})",
+        st.estimate(&diff).expect("valid"),
+        st.exact_value(&diff).expect("ok"),
+    );
+
+    // Wildcards via the structural summary (Section 6.2).
+    let wild = st.count_ordered("article(*(smith))").expect("valid");
+    println!("\nwildcard via structural summary:");
+    println!("  COUNT_ord(article(*(smith)))      = {wild:>9.1}");
+}

@@ -1,0 +1,94 @@
+//! Selectivity estimation for a query optimizer — the use case the paper's
+//! conclusion calls out ("SketchTree can be useful for tasks such as
+//! selectivity estimation over stored data, especially when the data is
+//! very large and multiple passes are impractically expensive").
+//!
+//! The scenario: one pass over a document collection builds the synopsis;
+//! the synopsis is persisted; later (e.g. inside an optimizer process) it
+//! is restored and consulted for pattern selectivities, side by side with
+//! the classic Markov-table path estimator — which only handles linear
+//! paths and leans on an independence assumption, while SketchTree prices
+//! arbitrary branching patterns.
+//!
+//! ```sh
+//! cargo run --release --example selectivity_estimation
+//! ```
+
+use sketchtree::core::snapshot::{read_snapshot, write_snapshot};
+use sketchtree::core::MarkovPathTable;
+use sketchtree::datagen::TreebankGen;
+use sketchtree::{SketchTree, SketchTreeConfig, SynopsisConfig};
+
+fn main() {
+    // --- Pass 1: one scan over the collection. ---
+    let mut st = SketchTree::new(SketchTreeConfig {
+        max_pattern_edges: 4,
+        synopsis: SynopsisConfig {
+            s1: 50,
+            s2: 7,
+            virtual_streams: 229,
+            topk: 50,
+            ..SynopsisConfig::default()
+        },
+        track_exact: true, // only so this demo can print true selectivities
+        ..SketchTreeConfig::default()
+    });
+    let mut markov = MarkovPathTable::new();
+    let mut gen = TreebankGen::new(99, st.labels_mut());
+    let trees: Vec<_> = (0..3000).map(|_| gen.next_tree()).collect();
+    for t in &trees {
+        st.ingest(t);
+        markov.observe(t);
+    }
+    let total = st.patterns_processed() as f64;
+    println!(
+        "scanned {} documents once ({} pattern instances)",
+        trees.len(),
+        st.patterns_processed()
+    );
+
+    // --- Persist the synopsis, as an optimizer statistics file. ---
+    let snapshot = write_snapshot(&st);
+    println!(
+        "persisted synopsis: {} KB (markov table: {} KB)",
+        snapshot.len() / 1024,
+        markov.memory_bytes() / 1024
+    );
+
+    // --- Later: restore and price candidate query patterns. ---
+    let restored = read_snapshot(&snapshot).expect("snapshot readable");
+    println!("\nselectivity estimates from the restored synopsis:");
+    println!(
+        "  {:<22} {:>12} {:>12} {:>12}",
+        "pattern", "sketchtree", "markov", "true"
+    );
+    let patterns = [
+        // Linear paths: both estimators apply.
+        ("S(NP(DT))", true),
+        ("NP(NP(PP))", true),
+        ("S(NP(NP(PP)))", true),
+        // Branching patterns: only SketchTree can price these.
+        ("S(NP,VP)", false),
+        ("NP(DT,JJ,NN)", false),
+        ("S(NP(DT,NN),VP)", false),
+    ];
+    for (q, is_path) in patterns {
+        let sk = restored.count_ordered(q).expect("valid") / total;
+        let truth = st.exact_count_ordered(q).expect("tracking on") as f64 / total;
+        let mk = if is_path {
+            let path: Vec<_> = q
+                .replace(['(', ')'], " ")
+                .split_whitespace()
+                .filter_map(|n| restored.labels().lookup(n))
+                .collect();
+            format!("{:.2e}", markov.estimate_path(&path) / total)
+        } else {
+            "n/a".to_string()
+        };
+        println!("  {q:<22} {sk:>12.2e} {mk:>12} {truth:>12.2e}");
+    }
+    println!(
+        "\n(the Markov table cannot price the branching patterns at all; \
+         SketchTree prices every pattern from the same one-pass synopsis)"
+    );
+}

@@ -1,0 +1,112 @@
+//! The paper's linguistics use cases (Examples 4–7) on a treebank stream.
+//!
+//! * **Example 4** — free word order: count subject-verb-object style
+//!   arrangements with an *unordered* pattern versus each ordered variant.
+//! * **Example 5** — question counting: how many `who`-style questions does
+//!   the treebank contain (sum of distinct patterns, Theorem 2).
+//! * **Example 6** — negated context: occurrences of a clause *not* under a
+//!   question root (difference of counts).
+//! * **Example 7** — PCFG rule probabilities: products and ratios of rule
+//!   (pattern) counts.
+//!
+//! ```sh
+//! cargo run --release --example treebank_linguistics
+//! ```
+
+use sketchtree::datagen::TreebankGen;
+use sketchtree::{CountExpr, SketchTree, SketchTreeConfig, SynopsisConfig};
+
+fn main() {
+    let config = SketchTreeConfig {
+        max_pattern_edges: 4,
+        synopsis: SynopsisConfig {
+            s1: 50,
+            s2: 7,
+            virtual_streams: 229,
+            topk: 50,
+            independence: 5,
+            ..SynopsisConfig::default()
+        },
+        track_exact: true,
+        ..SketchTreeConfig::default()
+    };
+    let mut st = SketchTree::new(config);
+
+    // Stream 4,000 parse trees.
+    let mut gen = TreebankGen::new(77, st.labels_mut());
+    let trees: Vec<_> = (0..4000).map(|_| gen.next_tree()).collect();
+    for t in &trees {
+        st.ingest(t);
+    }
+    println!(
+        "streamed {} parse trees ({} pattern instances, synopsis {} KB)",
+        st.trees_processed(),
+        st.patterns_processed(),
+        st.memory_bytes() / 1024
+    );
+
+    let show = |st: &SketchTree, label: &str, q: &str| {
+        let approx = st.count_ordered(q).expect("valid");
+        let exact = st.exact_count_ordered(q).expect("tracking on");
+        println!("  {label:<34} {approx:>10.1}  (exact {exact})");
+    };
+
+    // Example 4: free word order. An S with NP before VP versus an S
+    // containing both in either order.
+    println!("\nExample 4 — word order:");
+    show(&st, "COUNT_ord(S(NP,VP))", "S(NP,VP)");
+    let unordered = st.count_unordered("S(NP,VP)").expect("valid");
+    let exact_u = st.exact_count_unordered("S(NP,VP)").expect("ok");
+    println!("  COUNT(S{{NP,VP}}) unordered          {unordered:>10.1}  (exact {exact_u})");
+    println!("  (a free-word-order language would show the unordered count well above the ordered one)");
+
+    // Example 5: counting questions. WH-questions are SBARQ(WHNP|WRB, SQ);
+    // count the union of the distinct forms — a Theorem 2 sum.
+    println!("\nExample 5 — counting questions:");
+    let who = CountExpr::ordered("SBARQ(WHNP,SQ)").add(CountExpr::ordered("SBARQ(WRB,SQ)"));
+    println!(
+        "  #questions (WHNP|WRB under SBARQ)  {:>10.1}  (exact {})",
+        st.estimate(&who).expect("valid"),
+        st.exact_value(&who).expect("ok"),
+    );
+
+    // Example 6: occurrences of SQ(VBZ,NP,NP) whose parent is NOT SBARQ:
+    // COUNT(SQ(VBZ,NP,NP)) − COUNT(SBARQ(SQ(VBZ,NP,NP))).
+    println!("\nExample 6 — negated context:");
+    let bare = CountExpr::ordered("SQ(VBZ,NP,NP)");
+    let under_q = CountExpr::ordered("SBARQ(SQ(VBZ,NP,NP))");
+    let not_under = bare.sub(under_q);
+    println!(
+        "  COUNT(SQ...) - COUNT(SBARQ(SQ...)) {:>10.1}  (exact {})",
+        st.estimate(&not_under).expect("valid"),
+        st.exact_value(&not_under).expect("ok"),
+    );
+
+    // Example 7: PCFG probabilities. P(S → NP VP) is the ratio of the
+    // rule-pattern count to all S-rules; the product of two rule counts is
+    // the paper's example of a product expression.
+    println!("\nExample 7 — PCFG rules:");
+    show(&st, "COUNT(S -> NP VP)", "S(NP,VP)");
+    show(&st, "COUNT(VP -> VBD NP)", "VP(VBD,NP)");
+    let product = CountExpr::ordered("S(NP,VP)").mul(CountExpr::ordered("VP(VBD,NP)"));
+    println!(
+        "  product of the two rule counts     {:>10.0}  (exact {})",
+        st.estimate(&product).expect("valid"),
+        st.exact_value(&product).expect("ok"),
+    );
+    // Rule probability estimate: count(S→NP VP) / count(any S expansion we
+    // model), both numerator and denominator estimated from the sketches.
+    let any_s = CountExpr::ordered("S(NP,VP)")
+        .add(CountExpr::ordered("S(NP,VP,PP)"))
+        .add(CountExpr::ordered("S(SBAR,NP,VP)"))
+        .add(CountExpr::ordered("S(NP,ADVP,VP)"));
+    let num = st.estimate(&CountExpr::ordered("S(NP,VP)")).expect("ok");
+    let den = st.estimate(&any_s).expect("ok");
+    let exact_num = st.exact_count_ordered("S(NP,VP)").expect("ok") as f64;
+    let exact_den = st.exact_value(&any_s).expect("ok");
+    println!(
+        "  P(S -> NP VP)                      {:>10.3}  (exact {:.3})",
+        num / den,
+        exact_num / exact_den
+    );
+}

@@ -1,0 +1,78 @@
+//! Sliding-window monitoring: track pattern rates over the *recent* stream
+//! and detect a shift in the data distribution — the extension module
+//! `core::window` in action.
+//!
+//! A feed of bibliographic records changes character halfway through
+//! (conference papers take over from journal articles).  A whole-history
+//! synopsis dilutes the change; a windowed synopsis over the last 500
+//! documents tracks it almost immediately.
+//!
+//! ```sh
+//! cargo run --release --example windowed_monitoring
+//! ```
+
+use sketchtree::datagen::DblpGen;
+use sketchtree::{SketchTree, SketchTreeConfig, SynopsisConfig, Tree, WindowedSketchTree};
+
+fn main() {
+    let config = SketchTreeConfig {
+        max_pattern_edges: 2,
+        synopsis: SynopsisConfig {
+            s1: 50,
+            s2: 7,
+            virtual_streams: 31,
+            topk: 0,
+            ..SynopsisConfig::default()
+        },
+        track_exact: false,
+        maintain_summary: false,
+        ..SketchTreeConfig::default()
+    };
+    let mut whole = SketchTree::new(config.clone());
+    let mut window = WindowedSketchTree::new(config, 500);
+
+    // Build two phases of the stream: mostly articles, then mostly
+    // inproceedings. (Sort a generated batch by root label to fake the
+    // regime change while keeping realistic record contents.)
+    let trees: Vec<Tree> = {
+        let labels = window.labels_mut();
+        let mut gen = DblpGen::new(4, labels, 300);
+        let article = labels.lookup("article").expect("generator interned");
+        let mut batch: Vec<Tree> = (0..4000).map(|_| gen.next_tree()).collect();
+        batch.sort_by_key(|t| t.label(t.root()) != article); // articles first
+        batch
+    };
+    // Mirror the label table into the whole-history synopsis by re-interning
+    // in the same order (ids match because both tables started empty).
+    for (_, name) in window.labels().iter().collect::<Vec<_>>() {
+        whole.labels_mut().intern(name);
+    }
+
+    println!("phase 1: article-dominated; phase 2: inproceedings-dominated\n");
+    println!(
+        "{:>6} {:>22} {:>22}",
+        "docs", "articles (window)", "articles (whole)"
+    );
+    for (i, t) in trees.iter().enumerate() {
+        window.ingest(t);
+        whole.ingest(t);
+        let n = i + 1;
+        if n % 500 == 0 {
+            let w = window.count_ordered("article(title)").unwrap();
+            let h = whole.count_ordered("article(title)").unwrap();
+            // Rates: per window for the windowed, per whole stream for the
+            // global synopsis.
+            println!(
+                "{n:>6} {:>20.1}% {:>20.1}%",
+                100.0 * w / window.window_len() as f64,
+                100.0 * h / n as f64,
+            );
+        }
+    }
+    println!(
+        "\nthe windowed rate collapses once the regime changes; the whole-history \
+         rate only drifts (window memory: {} KB incl. {} buffered values)",
+        window.memory_bytes() / 1024,
+        window.buffered_values()
+    );
+}

@@ -1,0 +1,233 @@
+//! End-to-end integration: XML text in, approximate counts out, across all
+//! substrate crates, with the theoretical knobs behaving as Theorems 1–2
+//! predict.
+
+use sketchtree::datagen::{Dataset, DblpGen, StreamSpec};
+use sketchtree::tree::LabelTable;
+use sketchtree::xml::writer::write_forest;
+use sketchtree::{SketchTree, SketchTreeConfig, SynopsisConfig, XmlSketchTree};
+
+fn synopsis(s1: usize, topk: usize, seed: u64) -> SynopsisConfig {
+    SynopsisConfig {
+        s1,
+        s2: 7,
+        virtual_streams: 31,
+        topk,
+        independence: 5,
+        topk_probability: u16::MAX,
+        seed,
+    }
+}
+
+/// Full pipeline: generate records → serialise to XML → parse → sketch →
+/// query, asserting estimates track exact counts.
+#[test]
+fn xml_pipeline_accuracy() {
+    // Generate and serialise.
+    let mut gen_labels = LabelTable::new();
+    let mut gen = DblpGen::new(5, &mut gen_labels, 200);
+    let trees: Vec<_> = (0..800).map(|_| gen.next_tree()).collect();
+    let is_text = |l: sketchtree::tree::Label| {
+        let n = gen_labels.name(l);
+        n.contains(' ') || n.chars().all(|c| c.is_ascii_digit()) || n.contains('-')
+    };
+    let xml = write_forest(&trees, &gen_labels, &is_text);
+
+    // Parse + sketch.
+    let mut st = XmlSketchTree::new(SketchTreeConfig {
+        max_pattern_edges: 3,
+        synopsis: synopsis(60, 20, 3),
+        track_exact: true,
+        ..SketchTreeConfig::default()
+    });
+    let n = st.ingest_xml(&xml).expect("well-formed");
+    assert_eq!(n, 800);
+
+    // Moderately frequent queries estimate within a loose band.
+    for q in [
+        "article(author,title)",
+        "inproceedings(author)",
+        "article(journal)",
+    ] {
+        let exact = st.exact_count_ordered(q).unwrap() as f64;
+        assert!(exact > 0.0, "query {q} should occur");
+        let est = st.count_ordered(q).unwrap();
+        assert!(
+            (est - exact).abs() <= (0.35 * exact).max(15.0),
+            "{q}: est {est} vs exact {exact}"
+        );
+    }
+}
+
+/// Theorem 1's knob: larger s1 (more averaged sketches) reduces the mean
+/// relative error over a query set. Checked with common random queries and
+/// many runs to keep the comparison statistically meaningful.
+#[test]
+fn error_decreases_with_s1() {
+    let spec = StreamSpec {
+        dataset: Dataset::Dblp,
+        n_trees: 300,
+        seed: 7,
+    };
+    let err = |s1: usize| -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for seed in 0..3u64 {
+            let mut st = SketchTree::new(SketchTreeConfig {
+                max_pattern_edges: 2,
+                synopsis: synopsis(s1, 0, 100 + seed),
+                track_exact: true,
+                ..SketchTreeConfig::default()
+            });
+            let trees = spec.generate(st.labels_mut());
+            for t in &trees {
+                st.ingest(t);
+            }
+            let exact = st.exact().unwrap();
+            // Queries: mid-frequency values from the exact counter.
+            let queries: Vec<(u64, u64)> = {
+                let mut v: Vec<(u64, u64)> = exact
+                    .iter()
+                    .filter(|&(_, c)| (20..200).contains(&c))
+                    .collect();
+                v.sort_unstable();
+                v.truncate(40);
+                v
+            };
+            assert!(queries.len() >= 10, "not enough mid-frequency patterns");
+            for (value, c) in queries {
+                let est = st.estimate_value(value).max(0.1 * c as f64);
+                total += (est - c as f64).abs() / c as f64;
+                count += 1;
+            }
+        }
+        total / count as f64
+    };
+    let (e_small, e_big) = (err(6), err(96));
+    assert!(
+        e_big < e_small * 0.7,
+        "16x more sketches should cut error well below 0.7x: {e_small:.3} -> {e_big:.3}"
+    );
+}
+
+/// Top-k tracking reduces residual self-join size and improves estimates
+/// for non-tracked patterns — the Section 5.2 claim end to end.
+#[test]
+fn topk_improves_accuracy_end_to_end() {
+    let spec = StreamSpec {
+        dataset: Dataset::Dblp,
+        n_trees: 400,
+        seed: 9,
+    };
+    let build = |topk: usize| {
+        let mut st = SketchTree::new(SketchTreeConfig {
+            max_pattern_edges: 3,
+            synopsis: synopsis(25, topk, 11),
+            track_exact: true,
+            ..SketchTreeConfig::default()
+        });
+        let trees = spec.generate(st.labels_mut());
+        for t in &trees {
+            st.ingest(t);
+        }
+        st
+    };
+    let plain = build(0);
+    let tracked = build(30);
+    assert!(
+        tracked.residual_self_join() < plain.residual_self_join() * 0.5,
+        "self-join not reduced: {} vs {}",
+        plain.residual_self_join(),
+        tracked.residual_self_join()
+    );
+    // Error over light patterns improves.
+    let light: Vec<(u64, u64)> = {
+        let mut v: Vec<(u64, u64)> = plain
+            .exact()
+            .unwrap()
+            .iter()
+            .filter(|&(_, c)| (10..60).contains(&c))
+            .collect();
+        v.sort_unstable();
+        v.truncate(50);
+        v
+    };
+    assert!(light.len() >= 10);
+    let err = |st: &SketchTree| -> f64 {
+        light
+            .iter()
+            .map(|&(v, c)| {
+                let est = st.estimate_value(v).max(0.1 * c as f64);
+                (est - c as f64).abs() / c as f64
+            })
+            .sum::<f64>()
+            / light.len() as f64
+    };
+    let (e_plain, e_tracked) = (err(&plain), err(&tracked));
+    assert!(
+        e_tracked < e_plain,
+        "top-k did not improve light-pattern error: {e_plain:.3} vs {e_tracked:.3}"
+    );
+}
+
+/// Determinism: the same stream, configuration and seed produce identical
+/// estimates — the property every experiment in EXPERIMENTS.md relies on.
+#[test]
+fn deterministic_given_seed() {
+    let build = || {
+        let mut st = SketchTree::new(SketchTreeConfig {
+            max_pattern_edges: 3,
+            synopsis: synopsis(20, 10, 42),
+            ..SketchTreeConfig::default()
+        });
+        let spec = StreamSpec {
+            dataset: Dataset::Treebank,
+            n_trees: 100,
+            seed: 5,
+        };
+        let trees = spec.generate(st.labels_mut());
+        for t in &trees {
+            st.ingest(t);
+        }
+        st
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.patterns_processed(), b.patterns_processed());
+    for q in ["S(NP,VP)", "NP(DT,NN)", "VP(VBD)"] {
+        assert_eq!(a.count_ordered(q).unwrap(), b.count_ordered(q).unwrap(), "{q}");
+    }
+    assert_eq!(a.residual_self_join(), b.residual_self_join());
+}
+
+/// Memory stays fixed as the stream grows (the defining synopsis
+/// property), while the exact baseline grows.
+#[test]
+fn synopsis_memory_is_stream_independent() {
+    let mut st = SketchTree::new(SketchTreeConfig {
+        max_pattern_edges: 3,
+        synopsis: synopsis(25, 10, 1),
+        maintain_summary: false,
+        track_exact: true,
+        ..SketchTreeConfig::default()
+    });
+    let spec = StreamSpec {
+        dataset: Dataset::Dblp,
+        n_trees: 600,
+        seed: 2,
+    };
+    let trees = spec.generate(st.labels_mut());
+    for t in trees.iter().take(100) {
+        st.ingest(t);
+    }
+    let mem_early = st.memory_bytes();
+    let exact_early = st.exact().unwrap().memory_bytes();
+    for t in trees.iter().skip(100) {
+        st.ingest(t);
+    }
+    assert_eq!(st.memory_bytes(), mem_early, "synopsis memory grew");
+    assert!(
+        st.exact().unwrap().memory_bytes() > exact_early * 2,
+        "exact baseline should keep growing"
+    );
+}

@@ -1,0 +1,202 @@
+//! Integration tests pinning the paper's own worked examples to the public
+//! API: the Figure 1 counting semantics, Example 1's Prüfer sequences,
+//! Example 3's expression estimator, and Figure 7's query rewriting.
+
+use sketchtree::core::query::parse_pattern;
+use sketchtree::tree::{LabelTable, PruferSeq, Tree};
+use sketchtree::{CountExpr, SketchTree, SketchTreeConfig, SynopsisConfig};
+
+fn test_config() -> SketchTreeConfig {
+    SketchTreeConfig {
+        max_pattern_edges: 2,
+        synopsis: SynopsisConfig {
+            s1: 80,
+            s2: 7,
+            virtual_streams: 31,
+            topk: 0,
+            independence: 5,
+            topk_probability: u16::MAX,
+            seed: 99,
+        },
+        track_exact: true,
+        ..SketchTreeConfig::default()
+    }
+}
+
+/// Figure 1: a stream of three trees and the query Q = A(B, C).
+/// `COUNT_ord(Q) = 3` (two matches in T1, one in T3) and `COUNT(Q) = 5`
+/// (plus two unordered matches in T2).
+#[test]
+fn figure1_counting_semantics() {
+    let mut st = SketchTree::new(test_config());
+    let (a, b, c) = {
+        let l = st.labels_mut();
+        (l.intern("A"), l.intern("B"), l.intern("C"))
+    };
+    // T1: A(B, A(B,C), C) — the outer A matches with its B and C children
+    // (B precedes C), and the inner A(B,C) matches: 2 ordered matches.
+    let t1 = Tree::node(
+        a,
+        vec![
+            Tree::leaf(b),
+            Tree::node(a, vec![Tree::leaf(b), Tree::leaf(c)]),
+            Tree::leaf(c),
+        ],
+    );
+    // T2: A(C, B, A(C,B)) — two matches with C preceding B: unordered only.
+    let t2 = Tree::node(
+        a,
+        vec![
+            Tree::leaf(c),
+            Tree::leaf(b),
+            Tree::node(a, vec![Tree::leaf(c), Tree::leaf(b)]),
+        ],
+    );
+    // T3: A(B, C) — one ordered match.
+    let t3 = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(c)]);
+    for t in [&t1, &t2, &t3] {
+        st.ingest(t);
+    }
+    assert_eq!(st.exact_count_ordered("A(B,C)").unwrap(), 3);
+    assert_eq!(st.exact_count_unordered("A(B,C)").unwrap(), 5);
+    // The estimates agree closely on this tiny stream.
+    let ord = st.count_ordered("A(B,C)").unwrap();
+    let unord = st.count_unordered("A(B,C)").unwrap();
+    assert!((ord - 3.0).abs() < 2.0, "ordered estimate {ord}");
+    assert!((unord - 5.0).abs() < 3.0, "unordered estimate {unord}");
+}
+
+/// Example 1: the extended Prüfer sequences of the two pattern trees.
+#[test]
+fn example1_prufer_sequences() {
+    let mut labels = LabelTable::new();
+    let (x, y, z) = (labels.intern("X"), labels.intern("Y"), labels.intern("Z"));
+    // T1 = X → Y → Z (a chain).
+    let t1 = Tree::node(x, vec![Tree::node(y, vec![Tree::leaf(z)])]);
+    let s1 = PruferSeq::encode(&t1);
+    assert_eq!(s1.lps, vec![z, y, x]);
+    assert_eq!(s1.nps, vec![2, 3, 4]);
+    // T2 = X with ordered children Y, Z.
+    let t2 = Tree::node(x, vec![Tree::leaf(y), Tree::leaf(z)]);
+    let s2 = PruferSeq::encode(&t2);
+    assert_eq!(s2.lps, vec![y, x, z, x]);
+    assert_eq!(s2.nps, vec![2, 5, 4, 5]);
+    // Both decode back to the original trees (the bijection the
+    // one-dimensional mapping depends on).
+    assert_eq!(s1.decode().unwrap(), t1);
+    assert_eq!(s2.decode().unwrap(), t2);
+}
+
+/// Example 3's expression shape: products, sums and differences of six
+/// distinct counts, estimated unbiasedly.
+#[test]
+fn example3_expression_estimation() {
+    let mut st = SketchTree::new(SketchTreeConfig {
+        synopsis: SynopsisConfig {
+            s1: 200,
+            s2: 9,
+            virtual_streams: 31,
+            topk: 0,
+            independence: 5,
+            topk_probability: u16::MAX,
+            seed: 3,
+        },
+        ..test_config()
+    });
+    let labels: Vec<_> = {
+        let lt = st.labels_mut();
+        (0..6).map(|i| lt.intern(&format!("L{i}"))).collect()
+    };
+    let parent = st.labels_mut().intern("P");
+    // Six distinct single-edge patterns with known counts 60, 50, ..., 10.
+    for (i, &l) in labels.iter().enumerate() {
+        let t = Tree::node(parent, vec![Tree::leaf(l)]);
+        for _ in 0..(60 - i * 10) {
+            st.ingest(&t);
+        }
+    }
+    // C(P(L0))·C(P(L1)) + C(P(L2))·C(P(L3)) − C(P(L4))·C(P(L5))
+    let e = CountExpr::ordered("P(L0)")
+        .mul(CountExpr::ordered("P(L1)"))
+        .add(CountExpr::ordered("P(L2)").mul(CountExpr::ordered("P(L3)")))
+        .sub(CountExpr::ordered("P(L4)").mul(CountExpr::ordered("P(L5)")));
+    let exact = st.exact_value(&e).unwrap();
+    assert_eq!(exact, 60.0 * 50.0 + 40.0 * 30.0 - 20.0 * 10.0);
+    let est = st.estimate(&e).unwrap();
+    assert!(
+        (est - exact).abs() / exact < 0.30,
+        "estimate {est} vs exact {exact}"
+    );
+}
+
+/// Figure 7: `*` and `//` queries rewritten through the structural summary
+/// into sets of parent-child patterns whose total equals the original.
+#[test]
+fn figure7_rewrites() {
+    let mut st = SketchTree::new(test_config());
+    let (a, b, c, d) = {
+        let l = st.labels_mut();
+        (l.intern("A"), l.intern("B"), l.intern("C"), l.intern("D"))
+    };
+    // Stream where A's children are B or C, each with a D below.
+    let via_b = Tree::node(a, vec![Tree::node(b, vec![Tree::leaf(d)])]);
+    let via_c = Tree::node(a, vec![Tree::node(c, vec![Tree::leaf(d)])]);
+    for _ in 0..30 {
+        st.ingest(&via_b);
+    }
+    for _ in 0..20 {
+        st.ingest(&via_c);
+    }
+    // Q1 = A(*(D)): resolves to {A(B(D)), A(C(D))}, total 50.
+    assert_eq!(st.exact_count_ordered("A(*(D))").unwrap(), 50);
+    let q1 = st.count_ordered("A(*(D))").unwrap();
+    assert!((q1 - 50.0).abs() < 10.0, "Q1 estimate {q1}");
+    // Q2 = A(//D): same two concrete patterns here.
+    assert_eq!(st.exact_count_ordered("A(//D)").unwrap(), 50);
+    let q2 = st.count_ordered("A(//D)").unwrap();
+    assert!((q2 - 50.0).abs() < 10.0, "Q2 estimate {q2}");
+}
+
+/// The paper's introduction: XPath counts targets, SketchTree counts
+/// pattern occurrences. For the Figure 1 stream, XPath //A[B]/C would give
+/// 4; SketchTree's COUNT gives 5.
+#[test]
+fn query_semantics_differ_from_xpath() {
+    // Already implied by figure1_counting_semantics: the unordered count is
+    // 5 because the outer A of T1 contributes one occurrence per (B, C)
+    // child pair, not one per C target. Assert the distinction on a
+    // focused case: A with two Bs and one C has 2 occurrences of A(B,C)
+    // (unordered), while XPath //A[B]/C has 1 target.
+    let mut st = SketchTree::new(test_config());
+    let (a, b, c) = {
+        let l = st.labels_mut();
+        (l.intern("A"), l.intern("B"), l.intern("C"))
+    };
+    let t = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(b), Tree::leaf(c)]);
+    st.ingest(&t);
+    assert_eq!(st.exact_count_unordered("A(B,C)").unwrap(), 2);
+}
+
+/// Queries are ad hoc — anything can be asked at any time, including
+/// patterns that never occurred (exact zero via the label table) and
+/// patterns that stopped occurring.
+#[test]
+fn ad_hoc_queries_any_time() {
+    let mut st = SketchTree::new(test_config());
+    let (a, b) = {
+        let l = st.labels_mut();
+        (l.intern("A"), l.intern("B"))
+    };
+    let t = Tree::node(a, vec![Tree::leaf(b)]);
+    // Query before any data: 0.
+    assert_eq!(st.count_ordered("A(B)").unwrap(), 0.0);
+    st.ingest(&t);
+    let one = st.count_ordered("A(B)").unwrap();
+    assert!((one - 1.0).abs() < 1.0, "estimate {one}");
+    // A pattern over known labels that never occurred in that shape.
+    let zero = st.count_ordered("B(A)").unwrap();
+    assert!(zero.abs() < 1.0, "estimate {zero}");
+    // Unknown labels are exactly zero.
+    assert_eq!(st.count_ordered("Z").unwrap(), 0.0);
+    assert_eq!(parse_pattern("Z").unwrap().edge_count(), 0);
+}
