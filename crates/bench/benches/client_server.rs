@@ -1,0 +1,91 @@
+//! Network-path overhead: ingest throughput and query latency through the
+//! `SKTP` wire protocol against a loopback server, for comparison with the
+//! in-process numbers from the `ingest` and `estimate` benches.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sketchtree_core::SketchTreeConfig;
+use sketchtree_server::{Client, Server, ServerConfig};
+use sketchtree_sketch::SynopsisConfig;
+
+fn paper_config() -> SketchTreeConfig {
+    SketchTreeConfig {
+        max_pattern_edges: 2,
+        synopsis: SynopsisConfig {
+            s1: 25,
+            s2: 7,
+            virtual_streams: 229,
+            topk: 50,
+            ..SynopsisConfig::default()
+        },
+        maintain_summary: false,
+        ..SketchTreeConfig::default()
+    }
+}
+
+fn corpus(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            format!(
+                "<article><author>a{}</author><title>t</title><year>{}</year></article>",
+                i % 20,
+                1990 + i % 30
+            )
+        })
+        .collect()
+}
+
+fn bench_remote_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("remote_ingest");
+    g.sample_size(10);
+    for batch in [1usize, 16, 128] {
+        let docs = corpus(256);
+        g.throughput(Throughput::Elements(docs.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &docs, |b, docs| {
+            b.iter_with_setup(
+                || {
+                    let server = Server::start(
+                        "127.0.0.1:0",
+                        ServerConfig { sketch: paper_config(), ..ServerConfig::default() },
+                    )
+                    .expect("server");
+                    let client = Client::connect(server.addr()).expect("client");
+                    (server, client)
+                },
+                |(server, mut client)| {
+                    let mut total = 0u64;
+                    for chunk in docs.chunks(batch) {
+                        total += client.ingest_xml(chunk).expect("ingest").trees;
+                    }
+                    black_box(total);
+                    server.shutdown().expect("shutdown");
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_remote_query(c: &mut Criterion) {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig { sketch: paper_config(), ..ServerConfig::default() },
+    )
+    .expect("server");
+    let mut client = Client::connect(server.addr()).expect("client");
+    client.ingest_xml(&corpus(512)).expect("seed ingest");
+
+    let mut g = c.benchmark_group("remote_query");
+    g.bench_function("count_ordered", |b| {
+        b.iter(|| black_box(client.count_ordered("article(author)").expect("query")))
+    });
+    g.bench_function("count_unordered", |b| {
+        b.iter(|| black_box(client.count_unordered("article(author,title)").expect("query")))
+    });
+    g.bench_function("stats", |b| b.iter(|| black_box(client.stats().expect("stats"))));
+    g.bench_function("ping", |b| b.iter(|| client.ping().expect("ping")));
+    g.finish();
+    server.shutdown().expect("shutdown");
+}
+
+criterion_group!(benches, bench_remote_ingest, bench_remote_query);
+criterion_main!(benches);

@@ -21,6 +21,19 @@
 //!
 //! sketchtree heavy <snapshot> [--limit N]
 //!     print the tracked heavy-hitter patterns (mapped values)
+//!
+//! sketchtree serve <addr> [options]
+//!     run the SKTP daemon: streaming remote ingest + online queries
+//!     --snapshot PATH         checkpoint file (restore on start, write on stop)
+//!     --checkpoint-secs N     also checkpoint every N seconds
+//!     --workers N             worker threads (default 4)
+//!     plus the ingest sketch flags (--k, --s1, ... ) for a fresh synopsis
+//!
+//! sketchtree remote-ingest <addr> <file.xml>|- [--batch N]
+//!     stream XML documents to a running server in batches (default 64)
+//!
+//! sketchtree remote-query <addr> <pattern>... [--unordered | --expr]
+//!     estimate counts (or full expressions with --expr) against a server
 //! ```
 //!
 //! The library layer ([`run`]) is separated from the binary so integration
@@ -32,6 +45,7 @@
 use sketchtree_core::snapshot::{read_snapshot, write_snapshot};
 use sketchtree_core::sketchtree::{SketchTree, SketchTreeConfig};
 use sketchtree_core::{exprparse, summary::ExpandLimits};
+use sketchtree_server::{Client, Server, ServerConfig};
 use sketchtree_sketch::SynopsisConfig;
 use sketchtree_xml::{DocumentSplitter, XmlTreeBuilder};
 use std::io::{BufRead, BufReader, Write};
@@ -71,7 +85,11 @@ fn usage() -> String {
      sketchtree query <snapshot> <pattern>... [--unordered]\n  \
      sketchtree expr <snapshot> \"<expression>\"\n  \
      sketchtree stats <snapshot>\n  \
-     sketchtree heavy <snapshot> [--limit N]"
+     sketchtree heavy <snapshot> [--limit N]\n  \
+     sketchtree serve <addr> [--snapshot PATH] [--checkpoint-secs N] [--workers N] \
+     [sketch flags as for ingest]\n  \
+     sketchtree remote-ingest <addr> <file.xml>|- [--batch N]\n  \
+     sketchtree remote-query <addr> <pattern>... [--unordered | --expr]"
         .to_string()
 }
 
@@ -85,7 +103,13 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "expr" => expr(&args[1..], out),
         "stats" => stats(&args[1..], out),
         "heavy" => heavy(&args[1..], out),
-        _ => Err(CliError::Usage(usage())),
+        "serve" => serve(&args[1..], out),
+        "remote-ingest" => remote_ingest(&args[1..], out),
+        "remote-query" => remote_query(&args[1..], out),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -114,7 +138,7 @@ fn positional(args: &[String]) -> Vec<&String> {
         }
         if a.starts_with("--") {
             // Boolean flags take no value.
-            skip = a != "--unordered";
+            skip = a != "--unordered" && a != "--expr";
             let _ = i;
             continue;
         }
@@ -123,12 +147,11 @@ fn positional(args: &[String]) -> Vec<&String> {
     out
 }
 
-fn ingest(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let inputs = positional(args);
-    if inputs.is_empty() {
-        return Err(CliError::Usage("ingest needs an input file (or -)".into()));
-    }
-    let config = SketchTreeConfig {
+/// Builds the synopsis configuration from the shared sketch flags
+/// (`--k`, `--s1`, `--s2`, `--streams`, `--topk`, `--independence`,
+/// `--seed`), used by both `ingest` and `serve`.
+fn sketch_config(args: &[String]) -> Result<SketchTreeConfig, CliError> {
+    Ok(SketchTreeConfig {
         max_pattern_edges: parse_flag(args, "--k", 4usize)?,
         synopsis: SynopsisConfig {
             s1: parse_flag(args, "--s1", 25usize)?,
@@ -143,8 +166,15 @@ fn ingest(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         track_exact: false,
         expand_limits: ExpandLimits::default(),
         ..SketchTreeConfig::default()
-    };
-    let mut st = SketchTree::new(config);
+    })
+}
+
+fn ingest(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let inputs = positional(args);
+    if inputs.is_empty() {
+        return Err(CliError::Usage("ingest needs an input file (or -)".into()));
+    }
+    let mut st = SketchTree::new(sketch_config(args)?);
     let mut builder = XmlTreeBuilder::default();
     let start = std::time::Instant::now();
     for input in &inputs {
@@ -263,6 +293,137 @@ fn heavy(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let st = load(snapshot)?;
     for (v, f) in st.tracked_heavy_hitters().into_iter().take(limit) {
         writeln!(out, "{v}\t~{f}")?;
+    }
+    Ok(())
+}
+
+fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let [addr] = pos.as_slice() else {
+        return Err(CliError::Usage("serve needs a listen address (host:port)".into()));
+    };
+    let checkpoint_path: String = parse_flag(args, "--snapshot", String::new())?;
+    let checkpoint_secs: u64 = parse_flag(args, "--checkpoint-secs", 0u64)?;
+    let config = ServerConfig {
+        workers: parse_flag(args, "--workers", 4usize)?,
+        checkpoint_path: (!checkpoint_path.is_empty()).then(|| checkpoint_path.clone().into()),
+        checkpoint_interval: (checkpoint_secs > 0)
+            .then(|| std::time::Duration::from_secs(checkpoint_secs)),
+        sketch: sketch_config(args)?,
+        ..ServerConfig::default()
+    };
+    if checkpoint_path.is_empty() && checkpoint_secs > 0 {
+        return Err(CliError::Usage(
+            "--checkpoint-secs needs --snapshot PATH".into(),
+        ));
+    }
+    let server = Server::start(addr.as_str(), config)?;
+    // The bound address goes out *before* blocking so callers using an
+    // ephemeral port (":0") can discover it.
+    writeln!(out, "listening on {}", server.addr())?;
+    out.flush()?;
+    server.wait();
+    let restored = server.shared().trees_processed();
+    server
+        .shutdown()
+        .map_err(|e| CliError::Failed(format!("shutdown: {e}")))?;
+    writeln!(out, "server stopped after {restored} trees")?;
+    Ok(())
+}
+
+fn remote_ingest(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let (addr, inputs) = pos
+        .split_first()
+        .ok_or_else(|| CliError::Usage("remote-ingest needs an address and input files".into()))?;
+    if inputs.is_empty() {
+        return Err(CliError::Usage(
+            "remote-ingest needs an input file (or -)".into(),
+        ));
+    }
+    let batch_size: usize = parse_flag(args, "--batch", 64usize)?;
+    let batch_size = batch_size.max(1);
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| CliError::Failed(format!("{addr}: {e}")))?;
+    let start = std::time::Instant::now();
+    let (mut trees, mut patterns) = (0u64, 0u64);
+    let mut last = None;
+    let mut batch: Vec<String> = Vec::with_capacity(batch_size);
+    let mut flush_batch = |batch: &mut Vec<String>,
+                           trees: &mut u64,
+                           patterns: &mut u64,
+                           last: &mut Option<sketchtree_server::client::IngestSummary>|
+     -> Result<(), CliError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let summary = client
+            .ingest_xml(batch)
+            .map_err(|e| CliError::Failed(format!("ingest: {e}")))?;
+        *trees += summary.trees;
+        *patterns += summary.patterns;
+        *last = Some(summary);
+        batch.clear();
+        Ok(())
+    };
+    for input in inputs {
+        let reader: Box<dyn BufRead> = if input.as_str() == "-" {
+            Box::new(BufReader::new(std::io::stdin()))
+        } else {
+            Box::new(BufReader::new(std::fs::File::open(input.as_str())?))
+        };
+        let mut splitter = DocumentSplitter::new(reader);
+        loop {
+            let doc = splitter
+                .next_document()
+                .map_err(|e| CliError::Failed(format!("{input}: {e}")))?;
+            let Some(doc) = doc else { break };
+            batch.push(doc);
+            if batch.len() >= batch_size {
+                flush_batch(&mut batch, &mut trees, &mut patterns, &mut last)?;
+            }
+        }
+    }
+    flush_batch(&mut batch, &mut trees, &mut patterns, &mut last)?;
+    let secs = start.elapsed().as_secs_f64();
+    writeln!(
+        out,
+        "ingested {trees} documents ({patterns} pattern instances) in {secs:.2}s"
+    )?;
+    if let Some(summary) = last {
+        writeln!(
+            out,
+            "server totals: {} trees, {} pattern instances",
+            summary.total_trees, summary.total_patterns
+        )?;
+    }
+    Ok(())
+}
+
+fn remote_query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let (addr, queries) = pos
+        .split_first()
+        .ok_or_else(|| CliError::Usage("remote-query needs an address and patterns".into()))?;
+    if queries.is_empty() {
+        return Err(CliError::Usage(
+            "remote-query needs at least one pattern".into(),
+        ));
+    }
+    let unordered = args.iter().any(|a| a == "--unordered");
+    let as_expr = args.iter().any(|a| a == "--expr");
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| CliError::Failed(format!("{addr}: {e}")))?;
+    for q in queries {
+        let est = if as_expr {
+            client.expr(q)
+        } else if unordered {
+            client.count_unordered(q)
+        } else {
+            client.count_ordered(q)
+        }
+        .map_err(|e| CliError::Failed(format!("{q}: {e}")))?;
+        writeln!(out, "{q}\t{est:.1}")?;
     }
     Ok(())
 }

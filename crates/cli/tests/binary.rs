@@ -85,3 +85,112 @@ fn binary_usage_exit_codes() {
         .expect("binary runs");
     assert!(!out.status.success());
 }
+
+#[test]
+fn binary_unknown_subcommand_prints_usage_to_stderr() {
+    let out = Command::new(bin())
+        .args(["frobnicate", "x"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "unknown subcommand must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command 'frobnicate'"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+    assert!(stderr.contains("remote-query"), "usage lists all commands: {stderr}");
+    assert!(out.stdout.is_empty(), "errors go to stderr, not stdout");
+}
+
+#[test]
+fn binary_bad_flag_value_fails_with_message() {
+    let out = Command::new(bin())
+        .args(["ingest", "-", "--s1", "not-a-number"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--s1"), "{stderr}");
+}
+
+/// Full networked path through the binary: `serve` on an ephemeral port,
+/// `remote-ingest` a corpus, `remote-query` it, then shut the server
+/// down over the wire and verify the checkpoint restarts.
+#[test]
+fn binary_serve_remote_roundtrip() {
+    use std::io::{BufRead, BufReader};
+    let xml = tmp("serve.xml");
+    let snap = tmp("serve.snapshot");
+    std::fs::remove_file(&snap).ok();
+    let mut corpus = String::new();
+    for _ in 0..120 {
+        corpus.push_str("<r><a>x</a></r>\n");
+    }
+    std::fs::write(&xml, corpus).unwrap();
+
+    let mut server = Command::new(bin())
+        .args([
+            "serve",
+            "127.0.0.1:0",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--streams",
+            "13",
+            "--s1",
+            "30",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut first_line = String::new();
+    BufReader::new(server.stdout.as_mut().unwrap())
+        .read_line(&mut first_line)
+        .unwrap();
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("address line")
+        .to_string();
+
+    let out = Command::new(bin())
+        .args(["remote-ingest", &addr, xml.to_str().unwrap(), "--batch", "32"])
+        .output()
+        .expect("remote-ingest runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ingested 120 documents"), "{stdout}");
+
+    let out = Command::new(bin())
+        .args(["remote-query", &addr, "r(a)"])
+        .output()
+        .expect("remote-query runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let est: f64 = stdout.trim().split('\t').nth(1).unwrap().parse().unwrap();
+    assert!((est - 120.0).abs() < 30.0, "{stdout}");
+
+    // Shut the server down over the wire; the process exits cleanly and
+    // leaves a checkpoint behind.
+    let mut client = sketchtree_server::Client::connect(addr.as_str()).unwrap();
+    client.shutdown().unwrap();
+    let status = server.wait().expect("server exits");
+    assert!(status.success());
+    assert!(snap.exists(), "shutdown writes the checkpoint");
+
+    // A restarted server resumes from the checkpoint.
+    let mut server = Command::new(bin())
+        .args(["serve", "127.0.0.1:0", "--snapshot", snap.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server restarts");
+    let mut first_line = String::new();
+    BufReader::new(server.stdout.as_mut().unwrap())
+        .read_line(&mut first_line)
+        .unwrap();
+    let addr = first_line.trim().strip_prefix("listening on ").unwrap().to_string();
+    let mut client = sketchtree_server::Client::connect(addr.as_str()).unwrap();
+    assert_eq!(client.stats().unwrap().trees_processed, 120);
+    client.shutdown().unwrap();
+    assert!(server.wait().unwrap().success());
+
+    std::fs::remove_file(&xml).ok();
+    std::fs::remove_file(&snap).ok();
+}

@@ -42,6 +42,30 @@ impl SharedSketchTree {
         self.inner.write().ingest(tree);
     }
 
+    /// Ingests a batch of trees, taking the exclusive lock once for the
+    /// whole batch instead of once per tree.
+    ///
+    /// The expensive half of Algorithm 1 — pattern enumeration, Prüfer
+    /// encoding and fingerprint mapping — runs under the *shared* lock
+    /// (concurrent with queries and with other producers' enumeration);
+    /// only the sketch-counter insertions hold the exclusive lock.  The
+    /// resulting synopsis state is identical to calling
+    /// [`SharedSketchTree::ingest`] on each tree in order.
+    ///
+    /// Returns `(trees, pattern instances)` added by this batch.
+    pub fn ingest_batch(&self, trees: &[Tree]) -> (u64, u64) {
+        let values: Vec<Vec<u64>> = {
+            let guard = self.inner.read();
+            trees.iter().map(|t| guard.enumerate_values(t)).collect()
+        };
+        let patterns: u64 = values.iter().map(|v| v.len() as u64).sum();
+        let mut guard = self.inner.write();
+        for (tree, vals) in trees.iter().zip(&values) {
+            guard.ingest_precomputed(tree, vals);
+        }
+        (trees.len() as u64, patterns)
+    }
+
     /// Runs `f` with mutable access to the label table (for building input
     /// trees or resolving query labels ahead of time).
     pub fn with_labels<R>(&self, f: impl FnOnce(&mut sketchtree_tree::LabelTable) -> R) -> R {
@@ -133,6 +157,68 @@ mod tests {
             st.read(|s| s.exact_count_ordered("A(B)").unwrap()),
             400
         );
+    }
+
+    #[test]
+    fn ingest_batch_matches_sequential_ingest() {
+        let batched = shared();
+        let sequential = shared();
+        let (a, b, c) = batched.with_labels(|l| (l.intern("A"), l.intern("B"), l.intern("C")));
+        sequential.with_labels(|l| {
+            l.intern("A");
+            l.intern("B");
+            l.intern("C");
+        });
+        let trees: Vec<Tree> = (0..20)
+            .map(|i| match i % 3 {
+                0 => Tree::node(a, vec![Tree::leaf(b), Tree::leaf(c)]),
+                1 => Tree::node(a, vec![Tree::node(b, vec![Tree::leaf(c)])]),
+                _ => Tree::node(b, vec![Tree::leaf(c)]),
+            })
+            .collect();
+        batched.ingest_batch(&trees);
+        for t in &trees {
+            sequential.ingest(t);
+        }
+        assert_eq!(batched.trees_processed(), 20);
+        assert_eq!(
+            batched.patterns_processed(),
+            sequential.patterns_processed()
+        );
+        for q in ["A(B,C)", "A(B(C))", "B(C)"] {
+            assert_eq!(
+                batched.count_ordered(q).unwrap(),
+                sequential.count_ordered(q).unwrap(),
+                "query {q}"
+            );
+        }
+        assert_eq!(
+            batched.read(|s| s.tracked_heavy_hitters()),
+            sequential.read(|s| s.tracked_heavy_hitters())
+        );
+    }
+
+    #[test]
+    fn batch_ingest_from_many_threads() {
+        let st = shared();
+        let (a, b) = st.with_labels(|l| (l.intern("A"), l.intern("B")));
+        let tree = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(b)]);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let st = st.clone();
+                let batch: Vec<Tree> = (0..25).map(|_| tree.clone()).collect();
+                std::thread::spawn(move || {
+                    for _ in 0..4 {
+                        st.ingest_batch(&batch);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no panics");
+        }
+        assert_eq!(st.trees_processed(), 400);
+        assert_eq!(st.read(|s| s.exact_count_ordered("A(B)").unwrap()), 800);
     }
 
     #[test]

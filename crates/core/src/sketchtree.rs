@@ -332,6 +332,49 @@ impl SketchTree {
         self.trees_processed += 1;
     }
 
+    /// Enumerates `tree`'s pattern instances and maps each to its stream
+    /// value, without touching any synopsis state.
+    ///
+    /// This is the read-only half of Algorithm 1: enumeration, projection,
+    /// Prüfer encoding and fingerprint mapping only need `&self`, so
+    /// callers holding shared access (e.g. several producer threads behind
+    /// one lock) can do the expensive work concurrently and later apply
+    /// the values with [`SketchTree::ingest_precomputed`].  The value
+    /// order matches [`SketchTree::ingest`] exactly.
+    pub fn enumerate_values(&self, tree: &Tree) -> Vec<u64> {
+        let mut values = Vec::new();
+        enumerate_patterns_config(
+            tree,
+            self.config.max_pattern_edges,
+            self.config.include_single_nodes,
+            |root, edges| {
+                let pattern = tree.project(root, edges);
+                values.push(self.mapper.map_seq(&PruferSeq::encode(&pattern)));
+            },
+        );
+        values
+    }
+
+    /// Ingests one tree whose pattern values were precomputed by
+    /// [`SketchTree::enumerate_values`] on this same synopsis.
+    ///
+    /// Equivalent to [`SketchTree::ingest`] — same sketch updates in the
+    /// same order, same counters, same summary observation — but the
+    /// exclusive borrow only covers the cheap insertions.
+    pub fn ingest_precomputed(&mut self, tree: &Tree, values: &[u64]) {
+        if let Some(s) = &mut self.summary {
+            s.observe(tree);
+        }
+        for &value in values {
+            self.synopsis.insert(value);
+            if let Some(e) = &mut self.exact {
+                e.record(value);
+            }
+        }
+        self.patterns_processed += values.len() as u64;
+        self.trees_processed += 1;
+    }
+
     /// Resolves a textual pattern into the distinct concrete pattern trees
     /// it denotes: itself if simple, its summary expansion otherwise.
     fn resolve(&self, text: &str) -> Result<Vec<Tree>, SketchTreeError> {

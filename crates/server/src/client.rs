@@ -1,0 +1,291 @@
+//! Blocking client for the `SKTP` protocol.
+//!
+//! One [`Client`] wraps one connection and lazily (re)establishes it:
+//! connect failures and broken sockets trigger reconnection with capped
+//! exponential backoff.  Idempotent requests (queries, stats, pings) are
+//! retried transparently after a reconnect; ingest batches are **not**
+//! retried once their frame may have reached the server, because the
+//! synopsis has no deduplication — a retry would double-count.  Callers
+//! that prefer at-least-once delivery can loop on the error themselves.
+
+use crate::wire::{read_frame, Frame, Request, Response, Stats, WireError, DEFAULT_MAX_FRAME};
+use sketchtree_tree::Tree;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Errors surfaced by [`Client`] calls.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection could not be (re)established or broke mid-request.
+    Io(io::Error),
+    /// The server's reply violated the protocol.
+    Wire(WireError),
+    /// The server answered with an error frame.
+    Server(String),
+    /// The server answered with a frame of the wrong type.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol: {e}"),
+            ClientError::Server(m) => write!(f, "server: {m}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected reply (wanted {what})"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => ClientError::Io(io),
+            other => ClientError::Wire(other),
+        }
+    }
+}
+
+/// Summary returned by ingest calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestSummary {
+    /// Trees added by this batch.
+    pub trees: u64,
+    /// Pattern instances added by this batch.
+    pub patterns: u64,
+    /// Server-wide tree total after the batch.
+    pub total_trees: u64,
+    /// Server-wide pattern total after the batch.
+    pub total_patterns: u64,
+}
+
+/// A blocking `SKTP` client.
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    max_frame: u32,
+    read_timeout: Duration,
+    response_timeout: Duration,
+    max_reconnects: u32,
+}
+
+impl Client {
+    /// Connects to `addr` (first resolved address wins).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::AddrNotAvailable, "no address"))?;
+        let mut client = Self {
+            addr,
+            stream: None,
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout: Duration::from_millis(250),
+            response_timeout: Duration::from_secs(30),
+            max_reconnects: 5,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Caps how long one request may wait for its reply (default 30s).
+    pub fn set_response_timeout(&mut self, timeout: Duration) {
+        self.response_timeout = timeout;
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping, true)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", other)),
+        }
+    }
+
+    /// Ingests a batch of XML documents (not retried after send — see the
+    /// module docs on at-most-once ingest).
+    pub fn ingest_xml(&mut self, docs: &[String]) -> Result<IngestSummary, ClientError> {
+        self.ingest(&Request::IngestXml(docs.to_vec()))
+    }
+
+    /// Ingests pre-built trees whose labels index into `labels`.
+    pub fn ingest_trees(
+        &mut self,
+        labels: Vec<String>,
+        trees: Vec<Tree>,
+    ) -> Result<IngestSummary, ClientError> {
+        self.ingest(&Request::IngestTrees { labels, trees })
+    }
+
+    fn ingest(&mut self, req: &Request) -> Result<IngestSummary, ClientError> {
+        match self.request(req, false)? {
+            Response::Ingested { trees, patterns, total_trees, total_patterns } => {
+                Ok(IngestSummary { trees, patterns, total_trees, total_patterns })
+            }
+            other => Err(unexpected("ingest summary", other)),
+        }
+    }
+
+    /// `COUNT_ord` of a textual pattern.
+    pub fn count_ordered(&mut self, pattern: &str) -> Result<f64, ClientError> {
+        self.count(pattern, false)
+    }
+
+    /// Unordered `COUNT` of a textual pattern.
+    pub fn count_unordered(&mut self, pattern: &str) -> Result<f64, ClientError> {
+        self.count(pattern, true)
+    }
+
+    fn count(&mut self, pattern: &str, unordered: bool) -> Result<f64, ClientError> {
+        let req = Request::Count { unordered, pattern: pattern.to_string() };
+        match self.request(&req, true)? {
+            Response::Estimate(v) => Ok(v),
+            other => Err(unexpected("estimate", other)),
+        }
+    }
+
+    /// Evaluates a `+,-,*` expression over counts.
+    pub fn expr(&mut self, expression: &str) -> Result<f64, ClientError> {
+        match self.request(&Request::Expr(expression.to_string()), true)? {
+            Response::Estimate(v) => Ok(v),
+            other => Err(unexpected("estimate", other)),
+        }
+    }
+
+    /// Fetches synopsis statistics.
+    pub fn stats(&mut self) -> Result<Stats, ClientError> {
+        match self.request(&Request::Stats, true)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("stats", other)),
+        }
+    }
+
+    /// Fetches up to `limit` tracked heavy hitters.
+    pub fn heavy_hitters(&mut self, limit: u32) -> Result<Vec<(u64, i64)>, ClientError> {
+        match self.request(&Request::HeavyHitters { limit }, true)? {
+            Response::HeavyHitters(entries) => Ok(entries),
+            other => Err(unexpected("heavy hitters", other)),
+        }
+    }
+
+    /// Forces a server-side checkpoint; returns its size in bytes.
+    pub fn snapshot(&mut self) -> Result<u64, ClientError> {
+        match self.request(&Request::Snapshot, true)? {
+            Response::SnapshotDone { bytes } => Ok(bytes),
+            other => Err(unexpected("snapshot ack", other)),
+        }
+    }
+
+    /// Asks the server to checkpoint and stop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown, false)? {
+            Response::ShuttingDown => {
+                self.stream = None;
+                Ok(())
+            }
+            other => Err(unexpected("shutdown ack", other)),
+        }
+    }
+
+    /// Sends `req` and reads its reply.  When `retry` is set, transport
+    /// failures reconnect (capped exponential backoff) and resend; when
+    /// clear, the request is sent at most once.
+    fn request(&mut self, req: &Request, retry: bool) -> Result<Response, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = self.try_once(req);
+            match result {
+                Ok(resp) => {
+                    return match resp {
+                        Response::Error(m) => Err(ClientError::Server(m)),
+                        other => Ok(other),
+                    }
+                }
+                Err(ClientError::Io(e)) if retry && attempt < self.max_reconnects => {
+                    self.stream = None;
+                    attempt += 1;
+                    // 10ms, 20ms, 40ms ... capped at 1s.
+                    let backoff =
+                        Duration::from_millis(10u64.saturating_mul(1 << attempt.min(7))).min(
+                            Duration::from_secs(1),
+                        );
+                    std::thread::sleep(backoff);
+                    let _ = e;
+                }
+                Err(e) => {
+                    self.stream = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn try_once(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.ensure_connected()?;
+        let stream = self.stream.as_mut().expect("just connected");
+        req.write_to(stream)?;
+        let deadline = std::time::Instant::now() + self.response_timeout;
+        loop {
+            match read_frame(stream, self.max_frame)? {
+                Frame::Msg { kind, payload } => return Ok(Response::decode(kind, &payload)?),
+                Frame::Eof => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Frame::Idle => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(ClientError::Io(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "no reply within the response timeout",
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let mut attempt = 0u32;
+        loop {
+            match TcpStream::connect(self.addr) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.read_timeout))?;
+                    stream.set_nodelay(true)?;
+                    self.stream = Some(stream);
+                    return Ok(());
+                }
+                Err(e) if attempt < self.max_reconnects => {
+                    attempt += 1;
+                    let backoff =
+                        Duration::from_millis(10u64.saturating_mul(1 << attempt.min(7))).min(
+                            Duration::from_secs(1),
+                        );
+                    std::thread::sleep(backoff);
+                    let _ = e;
+                }
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+}
+
+fn unexpected(wanted: &'static str, got: Response) -> ClientError {
+    match got {
+        Response::Error(m) => ClientError::Server(m),
+        _ => ClientError::Unexpected(wanted),
+    }
+}

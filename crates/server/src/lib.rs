@@ -1,0 +1,32 @@
+//! Network service for SketchTree: streaming ingest and online queries.
+//!
+//! The paper's synopsis is an in-process data structure; this crate turns
+//! it into a long-running daemon so producers can stream labeled trees
+//! from other processes and analysts can query counts while the stream is
+//! still flowing.  Three layers:
+//!
+//! - [`wire`] — the `SKTP` framed binary protocol (versioned,
+//!   length-prefixed, little-endian; same hand-rolled style as the
+//!   snapshot format — no serialization dependencies).
+//! - [`server`] — a threaded TCP daemon over `std::net`: an accept loop
+//!   feeding a bounded worker pool, ingest that parses and enumerates
+//!   outside the synopsis lock, periodic checkpointing through the
+//!   snapshot layer, and snapshot-on-shutdown / restore-on-start.
+//! - [`client`] — a blocking client with reconnect-on-error and capped
+//!   exponential backoff.
+//!
+//! No async runtime: connection counts here are small (a few producers, a
+//! few analysts), so a thread per in-flight connection beats dragging in
+//! an executor.  Concurrency control stays where the library put it —
+//! [`sketchtree_core::concurrent::SharedSketchTree`] — so queries run
+//! under the shared lock and never block each other.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,402 @@
+//! The threaded TCP daemon hosting a shared synopsis.
+//!
+//! Architecture — plain `std::net`, no async runtime:
+//!
+//! - An **accept thread** hands connections to a bounded channel.
+//! - A fixed pool of **worker threads** each serve one connection at a
+//!   time, frame by frame.  Read timeouts double as the idle tick, so a
+//!   quiet connection re-checks the shutdown flag a few times a second.
+//! - Ingest follows the concurrency contract of
+//!   [`SharedSketchTree`](sketchtree_core::concurrent::SharedSketchTree):
+//!   XML parsing happens against a connection-local label table with *no*
+//!   lock held, label interning takes one short exclusive lock, and the
+//!   sketch updates go through `ingest_batch` (enumeration under the
+//!   shared lock, insertion under one exclusive lock per batch).  Queries
+//!   only ever take the shared lock, so queries never block queries.
+//! - An optional **checkpoint thread** persists the synopsis through the
+//!   snapshot layer at a fixed interval; checkpoints are atomic (temp
+//!   file + rename).  The server also checkpoints on shutdown and
+//!   restores from the checkpoint on start, so a restart resumes the
+//!   stream where it left off.
+
+use crate::wire::{read_frame, Frame, Request, Response, Stats, WireError, DEFAULT_MAX_FRAME};
+use sketchtree_core::concurrent::SharedSketchTree;
+use sketchtree_core::exprparse;
+use sketchtree_core::sketchtree::{SketchTree, SketchTreeConfig};
+use sketchtree_core::snapshot::{read_snapshot, write_snapshot};
+use sketchtree_tree::{Label, LabelTable, NodeId, Tree, TreeBuilder};
+use sketchtree_xml::XmlTreeBuilder;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (= concurrently served connections).
+    pub workers: usize,
+    /// Largest accepted frame payload, bytes.
+    pub max_frame: u32,
+    /// Per-read socket timeout; also the idle/shutdown poll tick.
+    pub read_timeout: Duration,
+    /// Where to persist checkpoints; `None` disables persistence.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Periodic checkpoint interval; `None` checkpoints only on shutdown
+    /// or explicit `Snapshot` requests.
+    pub checkpoint_interval: Option<Duration>,
+    /// Synopsis configuration for a fresh start.  Ignored when a
+    /// checkpoint exists at `checkpoint_path` — the restored synopsis
+    /// keeps the configuration it was built with, since sketch state is
+    /// meaningless under a different geometry or seed.
+    pub sketch: SketchTreeConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout: Duration::from_millis(200),
+            checkpoint_path: None,
+            checkpoint_interval: None,
+            sketch: SketchTreeConfig::default(),
+        }
+    }
+}
+
+/// A running server; dropping it (or calling [`Server::shutdown`]) stops
+/// all threads.
+pub struct Server {
+    addr: SocketAddr,
+    shared: SharedSketchTree,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    checkpoint_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks an ephemeral port) and starts serving.
+    ///
+    /// If `config.checkpoint_path` names an existing snapshot the synopsis
+    /// is restored from it; otherwise a fresh synopsis is built from
+    /// `config.sketch`.
+    pub fn start(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let st = match &config.checkpoint_path {
+            Some(path) if path.exists() => {
+                let bytes = std::fs::read(path)?;
+                read_snapshot(&bytes).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("checkpoint {}: {e}", path.display()),
+                    )
+                })?
+            }
+            _ => SketchTree::new(config.sketch.clone()),
+        };
+        let shared = SharedSketchTree::new(st);
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        let workers = config.workers.max(1);
+        let (tx, rx) = sync_channel::<TcpStream>(workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let ctx = Arc::new(Ctx {
+            shared: shared.clone(),
+            shutdown: shutdown.clone(),
+            addr,
+            max_frame: config.max_frame,
+            checkpoint_path: config.checkpoint_path.clone(),
+        });
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let ctx = ctx.clone();
+            threads.push(std::thread::spawn(move || worker_loop(&rx, &ctx)));
+        }
+
+        let read_timeout = config.read_timeout;
+        {
+            let shutdown = shutdown.clone();
+            threads.push(std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let _ = stream.set_read_timeout(Some(read_timeout));
+                    let _ = stream.set_nodelay(true);
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // tx drops here; idle workers see a closed channel and exit.
+            }));
+        }
+
+        if let (Some(interval), Some(_)) = (config.checkpoint_interval, &config.checkpoint_path) {
+            let ctx = ctx.clone();
+            threads.push(std::thread::spawn(move || {
+                let tick = Duration::from_millis(50);
+                let mut last = Instant::now();
+                while !ctx.shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    if last.elapsed() >= interval {
+                        let _ = checkpoint_now(&ctx.shared, &ctx.checkpoint_path);
+                        last = Instant::now();
+                    }
+                }
+            }));
+        }
+
+        Ok(Server {
+            addr,
+            shared,
+            shutdown,
+            threads,
+            checkpoint_path: config.checkpoint_path,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared synopsis this server fronts (same handle the workers
+    /// use — in-process callers may ingest or query directly).
+    pub fn shared(&self) -> &SharedSketchTree {
+        &self.shared
+    }
+
+    /// Writes a checkpoint now; returns the snapshot size in bytes.
+    pub fn checkpoint(&self) -> io::Result<u64> {
+        checkpoint_now(&self.shared, &self.checkpoint_path)
+    }
+
+    /// Blocks until a shutdown is requested (via [`Server::shutdown`],
+    /// drop, or a `Shutdown` frame from any client).
+    pub fn wait(&self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Stops accepting, drains workers, writes a final checkpoint.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.stop();
+        if self.checkpoint_path.is_some() {
+            checkpoint_now(&self.shared, &self.checkpoint_path)?;
+        }
+        Ok(())
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); a self-connection wakes it
+        // so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.stop();
+            let _ = checkpoint_now(&self.shared, &self.checkpoint_path);
+        }
+    }
+}
+
+/// State shared by all worker threads.
+struct Ctx {
+    shared: SharedSketchTree,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+    max_frame: u32,
+    checkpoint_path: Option<PathBuf>,
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the whole
+        // connection.
+        let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+        match conn {
+            Ok(stream) => serve_connection(stream, ctx),
+            Err(_) => break, // accept loop gone
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_frame(&mut stream, ctx.max_frame) {
+            Ok(Frame::Eof) => return,
+            Ok(Frame::Idle) => continue,
+            Ok(Frame::Msg { kind, payload }) => {
+                // Frame boundaries are intact even when the payload is
+                // malformed, so payload errors answer and keep the
+                // connection; only header-level failures desynchronize.
+                let resp = match Request::decode(kind, &payload) {
+                    Ok(req) => handle_request(req, ctx),
+                    Err(e) => Response::Error(format!("bad request: {e}")),
+                };
+                let done = matches!(resp, Response::ShuttingDown);
+                if resp.write_to(&mut stream).is_err() || done {
+                    return;
+                }
+            }
+            Err(e) => {
+                let msg = match &e {
+                    WireError::Io(_) => None, // peer is gone; nothing to tell it
+                    other => Some(format!("protocol error: {other}")),
+                };
+                if let Some(msg) = msg {
+                    let _ = Response::Error(msg).write_to(&mut stream);
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn handle_request(req: Request, ctx: &Ctx) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::IngestXml(docs) => match parse_documents(&docs) {
+            Ok((local, trees)) => ingest_parsed(ctx, &local, trees),
+            Err(e) => Response::Error(e),
+        },
+        Request::IngestTrees { labels, trees } => {
+            let mut local = LabelTable::new();
+            for name in &labels {
+                local.intern(name);
+            }
+            ingest_parsed(ctx, &local, trees)
+        }
+        Request::Count { unordered, pattern } => {
+            let r = if unordered {
+                ctx.shared.count_unordered(&pattern)
+            } else {
+                ctx.shared.count_ordered(&pattern)
+            };
+            match r {
+                Ok(v) => Response::Estimate(v),
+                Err(e) => Response::Error(format!("{pattern}: {e}")),
+            }
+        }
+        Request::Expr(text) => match exprparse::parse_expr(&text) {
+            Ok(expr) => match ctx.shared.estimate(&expr) {
+                Ok(v) => Response::Estimate(v),
+                Err(e) => Response::Error(format!("estimate: {e}")),
+            },
+            Err(e) => Response::Error(format!("expression: {e}")),
+        },
+        Request::Stats => ctx.shared.read(|s| {
+            let c = s.config();
+            Response::Stats(Stats {
+                trees_processed: s.trees_processed(),
+                patterns_processed: s.patterns_processed(),
+                labels: s.labels().len() as u64,
+                memory_bytes: s.memory_bytes() as u64,
+                max_pattern_edges: c.max_pattern_edges as u64,
+                s1: c.synopsis.s1 as u64,
+                s2: c.synopsis.s2 as u64,
+                virtual_streams: c.synopsis.virtual_streams as u64,
+                topk: c.synopsis.topk as u64,
+            })
+        }),
+        Request::HeavyHitters { limit } => Response::HeavyHitters(
+            ctx.shared
+                .read(|s| s.tracked_heavy_hitters())
+                .into_iter()
+                .take(limit as usize)
+                .collect(),
+        ),
+        Request::Snapshot => match checkpoint_now(&ctx.shared, &ctx.checkpoint_path) {
+            Ok(bytes) => Response::SnapshotDone { bytes },
+            Err(e) => Response::Error(format!("checkpoint: {e}")),
+        },
+        Request::Shutdown => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(ctx.addr);
+            Response::ShuttingDown
+        }
+    }
+}
+
+/// Parses a document batch against a *local* label table — no lock held.
+fn parse_documents(docs: &[String]) -> Result<(LabelTable, Vec<Tree>), String> {
+    let mut local = LabelTable::new();
+    let mut builder = XmlTreeBuilder::default();
+    let mut trees = Vec::with_capacity(docs.len());
+    for (i, doc) in docs.iter().enumerate() {
+        let tree = builder
+            .parse_document(doc, &mut local)
+            .map_err(|e| format!("document {i}: {e}"))?;
+        trees.push(tree);
+    }
+    Ok((local, trees))
+}
+
+/// Interns the batch's labels into the shared table (one short exclusive
+/// lock), remaps the trees lock-free, then ingests the whole batch.
+fn ingest_parsed(ctx: &Ctx, local: &LabelTable, trees: Vec<Tree>) -> Response {
+    let map: Vec<Label> = ctx.shared.with_labels(|global| {
+        (0..local.len() as u32)
+            .map(|i| global.intern(local.name(Label(i))))
+            .collect()
+    });
+    let remapped: Vec<Tree> = trees.iter().map(|t| remap_tree(t, &map)).collect();
+    let (batch_trees, batch_patterns) = ctx.shared.ingest_batch(&remapped);
+    Response::Ingested {
+        trees: batch_trees,
+        patterns: batch_patterns,
+        total_trees: ctx.shared.trees_processed(),
+        total_patterns: ctx.shared.patterns_processed(),
+    }
+}
+
+/// Rebuilds `tree` with every label translated through `map`.
+fn remap_tree(tree: &Tree, map: &[Label]) -> Tree {
+    fn go(tree: &Tree, id: NodeId, map: &[Label], b: &mut TreeBuilder) {
+        b.open(map[tree.label(id).0 as usize])
+            .expect("preorder rebuild cannot misnest");
+        for &child in tree.children(id) {
+            go(tree, child, map, b);
+        }
+        b.close().expect("preorder rebuild cannot misnest");
+    }
+    let mut b = TreeBuilder::new();
+    go(tree, tree.root(), map, &mut b);
+    b.finish().expect("rebuilt tree is complete")
+}
+
+/// Atomic checkpoint: snapshot under the shared lock, write to a temp
+/// file beside the target, rename into place.
+fn checkpoint_now(shared: &SharedSketchTree, path: &Option<PathBuf>) -> io::Result<u64> {
+    let Some(path) = path else {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "no checkpoint path configured",
+        ));
+    };
+    let bytes = shared.read(write_snapshot);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(bytes.len() as u64)
+}

@@ -1,0 +1,775 @@
+//! The `SKTP` wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every message on the socket is one frame:
+//!
+//! ```text
+//! +--------+---------+------+-------------+------------------+
+//! | "SKTP" | version | kind | payload_len | payload          |
+//! | 4 B    | u32 LE  | u8   | u32 LE      | payload_len B    |
+//! +--------+---------+------+-------------+------------------+
+//! ```
+//!
+//! Request kinds occupy `0x01..=0x7F`, response kinds `0x80..=0xFF`, so a
+//! captured stream is self-describing.  Payloads use the same hand-rolled
+//! little-endian encoding style as the snapshot format (`SKTR`): `u32`
+//! counts, `u32`-length-prefixed UTF-8 strings, no varints, no
+//! serialization dependencies.  Integers inside payloads are bounded on
+//! decode so a hostile frame cannot force a huge allocation; the frame
+//! itself is bounded by the reader's `max_frame`.
+//!
+//! Trees travel with a *batch-local* label table: each `IngestTrees`
+//! frame carries its label names once, and node labels are indices into
+//! that table.  The server interns the names into the synopsis' global
+//! table on receipt, so producers never need to agree on label ids.
+
+use sketchtree_tree::{Label, Tree, TreeBuilder};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame magic, first four bytes of every message.
+pub const MAGIC: &[u8; 4] = b"SKTP";
+/// Protocol version understood by this build.
+pub const VERSION: u32 = 1;
+/// Frame header length: magic + version + kind + payload length.
+pub const HEADER_LEN: usize = 4 + 4 + 1 + 4;
+/// Default cap on a single frame's payload (32 MiB).
+pub const DEFAULT_MAX_FRAME: u32 = 32 << 20;
+
+// Request kinds.
+const K_PING: u8 = 0x01;
+const K_INGEST_XML: u8 = 0x02;
+const K_INGEST_TREES: u8 = 0x03;
+const K_COUNT: u8 = 0x04;
+const K_EXPR: u8 = 0x05;
+const K_STATS: u8 = 0x06;
+const K_HEAVY: u8 = 0x07;
+const K_SNAPSHOT: u8 = 0x08;
+const K_SHUTDOWN: u8 = 0x09;
+
+// Response kinds.
+const K_PONG: u8 = 0x81;
+const K_INGESTED: u8 = 0x82;
+const K_ESTIMATE: u8 = 0x83;
+const K_STATS_REPLY: u8 = 0x84;
+const K_HEAVY_REPLY: u8 = 0x85;
+const K_SNAPSHOT_DONE: u8 = 0x86;
+const K_SHUTTING_DOWN: u8 = 0x87;
+const K_ERROR: u8 = 0xFF;
+
+// Decode-time allocation guards (counts, not bytes; byte totals are
+// already bounded by max_frame).
+const MAX_DOCS: u32 = 1 << 20;
+const MAX_LABELS: u32 = 1 << 20;
+const MAX_TREES: u32 = 1 << 20;
+const MAX_NODES: u32 = 1 << 24;
+const MAX_ENTRIES: u32 = 1 << 24;
+
+/// Errors from frame reading or payload decoding.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// First four bytes were not `SKTP` — the stream is desynchronized.
+    BadMagic,
+    /// Peer speaks a protocol version this build does not.
+    UnsupportedVersion(u32),
+    /// Frame kind byte not assigned in this version.
+    UnknownKind(u8),
+    /// Declared payload length exceeds the reader's limit.
+    Oversize {
+        /// Declared payload length.
+        len: u32,
+        /// The reader's configured cap.
+        max: u32,
+    },
+    /// Payload ended before its structure was complete (or a frame was
+    /// cut off mid-read).
+    Truncated,
+    /// A count, index or flag inside the payload is implausible.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::BadMagic => write!(f, "bad frame magic (not SKTP)"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
+            WireError::Oversize { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds limit {max}")
+            }
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Corrupt(what) => write!(f, "frame corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Outcome of one [`read_frame`] call.
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete frame: kind byte plus raw payload.
+    Msg {
+        /// Frame kind.
+        kind: u8,
+        /// Raw payload bytes (decode with [`Request::decode`] or
+        /// [`Response::decode`]).
+        payload: Vec<u8>,
+    },
+    /// Peer closed the connection cleanly between frames.
+    Eof,
+    /// A read timeout fired with no bytes pending — the connection is
+    /// idle, not broken.  Only possible before the first header byte; a
+    /// timeout *inside* a frame is reported as [`WireError::Truncated`].
+    Idle,
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(MAGIC);
+    header[4..8].copy_from_slice(&VERSION.to_le_bytes());
+    header[8] = kind;
+    header[9..13].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, distinguishing clean EOF and idle timeouts from real
+/// protocol failures.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, WireError> {
+    // First byte separately: zero bytes + EOF is a clean close, zero
+    // bytes + timeout is an idle tick.  Once a byte has arrived we are
+    // mid-frame and any shortfall is an error.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(Frame::Eof),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(Frame::Idle)
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let mut rest = [0u8; HEADER_LEN - 1];
+    read_exact_framed(r, &mut rest)?;
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first[0];
+    header[1..].copy_from_slice(&rest);
+    if &header[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("len 4"));
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = header[8];
+    let len = u32::from_le_bytes(header[9..13].try_into().expect("len 4"));
+    if len > max_frame {
+        return Err(WireError::Oversize { len, max: max_frame });
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_framed(r, &mut payload)?;
+    Ok(Frame::Msg { kind, payload })
+}
+
+/// `read_exact` that reports timeouts and EOF mid-frame as truncation.
+fn read_exact_framed(r: &mut impl Read, buf: &mut [u8]) -> Result<(), WireError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(WireError::Truncated)
+        }
+        Err(e) => Err(WireError::Io(e)),
+    }
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Ingest a batch of XML documents (one tree each).
+    IngestXml(Vec<String>),
+    /// Ingest pre-built trees with a batch-local label table; node labels
+    /// are indices into `labels`.
+    IngestTrees {
+        /// Batch-local label names.
+        labels: Vec<String>,
+        /// Trees whose [`Label`]s index into `labels`.
+        trees: Vec<Tree>,
+    },
+    /// Estimate `COUNT_ord` (or unordered `COUNT`) of a textual pattern.
+    Count {
+        /// `true` for unordered `COUNT`, `false` for `COUNT_ord`.
+        unordered: bool,
+        /// The pattern, e.g. `"A(B,C)"`.
+        pattern: String,
+    },
+    /// Evaluate a `+,-,*` expression over counts.
+    Expr(String),
+    /// Fetch synopsis statistics.
+    Stats,
+    /// Fetch the tracked heavy hitters, at most `limit` entries.
+    HeavyHitters {
+        /// Maximum entries to return.
+        limit: u32,
+    },
+    /// Force a checkpoint to the server's snapshot path.
+    Snapshot,
+    /// Ask the server to checkpoint and stop accepting connections.
+    Shutdown,
+}
+
+/// Synopsis statistics as reported over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stats {
+    /// Trees ingested so far.
+    pub trees_processed: u64,
+    /// Pattern instances sketched so far.
+    pub patterns_processed: u64,
+    /// Distinct labels interned.
+    pub labels: u64,
+    /// Synopsis resident size in bytes.
+    pub memory_bytes: u64,
+    /// Configured max pattern edges `k`.
+    pub max_pattern_edges: u64,
+    /// Sketch width `s1`.
+    pub s1: u64,
+    /// Sketch depth `s2`.
+    pub s2: u64,
+    /// Virtual stream count.
+    pub virtual_streams: u64,
+    /// Heavy hitters tracked per stream.
+    pub topk: u64,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness reply.
+    Pong,
+    /// A batch was ingested.
+    Ingested {
+        /// Trees added by this batch.
+        trees: u64,
+        /// Pattern instances added by this batch.
+        patterns: u64,
+        /// Server-wide tree total after the batch.
+        total_trees: u64,
+        /// Server-wide pattern total after the batch.
+        total_patterns: u64,
+    },
+    /// A count or expression estimate.
+    Estimate(f64),
+    /// Statistics reply.
+    Stats(Stats),
+    /// Heavy-hitter reply: `(mapped value, frequency estimate)` pairs.
+    HeavyHitters(Vec<(u64, i64)>),
+    /// A checkpoint was written (`bytes` on disk).
+    SnapshotDone {
+        /// Snapshot size in bytes.
+        bytes: u64,
+    },
+    /// The server acknowledged shutdown; the connection closes next.
+    ShuttingDown,
+    /// The request failed; human-readable reason.
+    Error(String),
+}
+
+impl Request {
+    /// The frame kind byte for this request.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Request::Ping => K_PING,
+            Request::IngestXml(_) => K_INGEST_XML,
+            Request::IngestTrees { .. } => K_INGEST_TREES,
+            Request::Count { .. } => K_COUNT,
+            Request::Expr(_) => K_EXPR,
+            Request::Stats => K_STATS,
+            Request::HeavyHitters { .. } => K_HEAVY,
+            Request::Snapshot => K_SNAPSHOT,
+            Request::Shutdown => K_SHUTDOWN,
+        }
+    }
+
+    /// Encodes the payload (header excluded).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::new());
+        match self {
+            Request::Ping | Request::Stats | Request::Snapshot | Request::Shutdown => {}
+            Request::IngestXml(docs) => {
+                w.u32(docs.len() as u32);
+                for d in docs {
+                    w.str(d);
+                }
+            }
+            Request::IngestTrees { labels, trees } => {
+                w.u32(labels.len() as u32);
+                for l in labels {
+                    w.str(l);
+                }
+                w.u32(trees.len() as u32);
+                for t in trees {
+                    encode_tree(&mut w, t);
+                }
+            }
+            Request::Count { unordered, pattern } => {
+                w.u8(*unordered as u8);
+                w.str(pattern);
+            }
+            Request::Expr(e) => w.str(e),
+            Request::HeavyHitters { limit } => w.u32(*limit),
+        }
+        w.0
+    }
+
+    /// Decodes a payload for `kind`; rejects unknown kinds and trailing
+    /// bytes.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader { bytes: payload, pos: 0 };
+        let req = match kind {
+            K_PING => Request::Ping,
+            K_STATS => Request::Stats,
+            K_SNAPSHOT => Request::Snapshot,
+            K_SHUTDOWN => Request::Shutdown,
+            K_INGEST_XML => {
+                let n = r.count("document count", MAX_DOCS)?;
+                let mut docs = Vec::with_capacity(n.min(1 << 12) as usize);
+                for _ in 0..n {
+                    docs.push(r.str()?);
+                }
+                Request::IngestXml(docs)
+            }
+            K_INGEST_TREES => {
+                let n = r.count("label count", MAX_LABELS)?;
+                let mut labels = Vec::with_capacity(n.min(1 << 12) as usize);
+                for _ in 0..n {
+                    labels.push(r.str()?);
+                }
+                let t = r.count("tree count", MAX_TREES)?;
+                let mut trees = Vec::with_capacity(t.min(1 << 12) as usize);
+                for _ in 0..t {
+                    trees.push(decode_tree(&mut r, labels.len() as u32)?);
+                }
+                Request::IngestTrees { labels, trees }
+            }
+            K_COUNT => {
+                let unordered = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Corrupt("unordered flag")),
+                };
+                Request::Count { unordered, pattern: r.str()? }
+            }
+            K_EXPR => Request::Expr(r.str()?),
+            K_HEAVY => Request::HeavyHitters { limit: r.u32()? },
+            other => return Err(WireError::UnknownKind(other)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+
+    /// Writes this request as one frame.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write_frame(w, self.kind(), &self.encode())
+    }
+}
+
+impl Response {
+    /// The frame kind byte for this response.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Response::Pong => K_PONG,
+            Response::Ingested { .. } => K_INGESTED,
+            Response::Estimate(_) => K_ESTIMATE,
+            Response::Stats(_) => K_STATS_REPLY,
+            Response::HeavyHitters(_) => K_HEAVY_REPLY,
+            Response::SnapshotDone { .. } => K_SNAPSHOT_DONE,
+            Response::ShuttingDown => K_SHUTTING_DOWN,
+            Response::Error(_) => K_ERROR,
+        }
+    }
+
+    /// Encodes the payload (header excluded).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::new());
+        match self {
+            Response::Pong | Response::ShuttingDown => {}
+            Response::Ingested { trees, patterns, total_trees, total_patterns } => {
+                w.u64(*trees);
+                w.u64(*patterns);
+                w.u64(*total_trees);
+                w.u64(*total_patterns);
+            }
+            Response::Estimate(v) => w.u64(v.to_bits()),
+            Response::Stats(s) => {
+                w.u64(s.trees_processed);
+                w.u64(s.patterns_processed);
+                w.u64(s.labels);
+                w.u64(s.memory_bytes);
+                w.u64(s.max_pattern_edges);
+                w.u64(s.s1);
+                w.u64(s.s2);
+                w.u64(s.virtual_streams);
+                w.u64(s.topk);
+            }
+            Response::HeavyHitters(entries) => {
+                w.u32(entries.len() as u32);
+                for &(v, f) in entries {
+                    w.u64(v);
+                    w.i64(f);
+                }
+            }
+            Response::SnapshotDone { bytes } => w.u64(*bytes),
+            Response::Error(msg) => w.str(msg),
+        }
+        w.0
+    }
+
+    /// Decodes a payload for `kind`; rejects unknown kinds and trailing
+    /// bytes.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader { bytes: payload, pos: 0 };
+        let resp = match kind {
+            K_PONG => Response::Pong,
+            K_SHUTTING_DOWN => Response::ShuttingDown,
+            K_INGESTED => Response::Ingested {
+                trees: r.u64()?,
+                patterns: r.u64()?,
+                total_trees: r.u64()?,
+                total_patterns: r.u64()?,
+            },
+            K_ESTIMATE => Response::Estimate(f64::from_bits(r.u64()?)),
+            K_STATS_REPLY => Response::Stats(Stats {
+                trees_processed: r.u64()?,
+                patterns_processed: r.u64()?,
+                labels: r.u64()?,
+                memory_bytes: r.u64()?,
+                max_pattern_edges: r.u64()?,
+                s1: r.u64()?,
+                s2: r.u64()?,
+                virtual_streams: r.u64()?,
+                topk: r.u64()?,
+            }),
+            K_HEAVY_REPLY => {
+                let n = r.count("heavy-hitter count", MAX_ENTRIES)?;
+                let mut entries = Vec::with_capacity(n.min(1 << 12) as usize);
+                for _ in 0..n {
+                    entries.push((r.u64()?, r.i64()?));
+                }
+                Response::HeavyHitters(entries)
+            }
+            K_SNAPSHOT_DONE => Response::SnapshotDone { bytes: r.u64()? },
+            K_ERROR => Response::Error(r.str()?),
+            other => return Err(WireError::UnknownKind(other)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+
+    /// Writes this response as one frame.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write_frame(w, self.kind(), &self.encode())
+    }
+}
+
+/// Preorder node list with explicit fanout: `node_count`, then per node
+/// `label_index` + `child_count`.
+fn encode_tree(w: &mut Writer, tree: &Tree) {
+    w.u32(tree.len() as u32);
+    for id in tree.preorder() {
+        w.u32(tree.label(id).0);
+        w.u32(tree.children(id).len() as u32);
+    }
+}
+
+fn decode_tree(r: &mut Reader<'_>, label_count: u32) -> Result<Tree, WireError> {
+    let n = r.count("node count", MAX_NODES)?;
+    if n == 0 {
+        return Err(WireError::Corrupt("empty tree"));
+    }
+    let mut builder = TreeBuilder::new();
+    // Stack of open nodes' remaining child slots.
+    let mut remaining: Vec<u32> = Vec::new();
+    for i in 0..n {
+        if i > 0 {
+            // Pop completed subtrees until an open slot is on top.
+            while remaining.last() == Some(&0) {
+                builder.close().map_err(|_| WireError::Corrupt("tree shape"))?;
+                remaining.pop();
+            }
+            match remaining.last_mut() {
+                Some(slots) => *slots -= 1,
+                // More nodes declared than child slots: a second root.
+                None => return Err(WireError::Corrupt("tree has extra root")),
+            }
+        }
+        let label = r.u32()?;
+        if label >= label_count {
+            return Err(WireError::Corrupt("label index out of range"));
+        }
+        let fanout = r.u32()?;
+        builder
+            .open(Label(label))
+            .map_err(|_| WireError::Corrupt("tree shape"))?;
+        remaining.push(fanout);
+    }
+    while let Some(slots) = remaining.pop() {
+        if slots != 0 {
+            return Err(WireError::Corrupt("tree fanout exceeds node count"));
+        }
+        builder.close().map_err(|_| WireError::Corrupt("tree shape"))?;
+    }
+    builder.finish().map_err(|_| WireError::Corrupt("tree shape"))
+}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+    fn count(&mut self, what: &'static str, max: u32) -> Result<u32, WireError> {
+        let v = self.u32()?;
+        if v > max {
+            return Err(WireError::Corrupt(what));
+        }
+        Ok(v)
+    }
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Corrupt("invalid utf-8 string"))
+    }
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos != self.bytes.len() {
+            return Err(WireError::Corrupt("trailing payload bytes"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip_req(req: Request) {
+        let mut buf = Vec::new();
+        req.write_to(&mut buf).unwrap();
+        let frame = read_frame(&mut Cursor::new(&buf), DEFAULT_MAX_FRAME).unwrap();
+        let Frame::Msg { kind, payload } = frame else {
+            panic!("expected a frame")
+        };
+        assert_eq!(Request::decode(kind, &payload).unwrap(), req);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::IngestXml(vec!["<a/>".into(), "<b><c/></b>".into()]));
+        let tree = Tree::node(Label(0), vec![Tree::leaf(Label(1)), Tree::leaf(Label(0))]);
+        roundtrip_req(Request::IngestTrees {
+            labels: vec!["article".into(), "author".into()],
+            trees: vec![tree, Tree::leaf(Label(1))],
+        });
+        roundtrip_req(Request::Count { unordered: true, pattern: "A(B,C)".into() });
+        roundtrip_req(Request::Expr("COUNT_ord(A(B)) - COUNT(C)".into()));
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::HeavyHitters { limit: 17 });
+        roundtrip_req(Request::Snapshot);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for resp in [
+            Response::Pong,
+            Response::Ingested { trees: 3, patterns: 40, total_trees: 100, total_patterns: 900 },
+            Response::Estimate(123.456),
+            Response::Estimate(f64::NEG_INFINITY),
+            Response::Stats(Stats {
+                trees_processed: 1,
+                patterns_processed: 2,
+                labels: 3,
+                memory_bytes: 4,
+                max_pattern_edges: 5,
+                s1: 6,
+                s2: 7,
+                virtual_streams: 8,
+                topk: 9,
+            }),
+            Response::HeavyHitters(vec![(10, -5), (u64::MAX, i64::MIN)]),
+            Response::SnapshotDone { bytes: 4096 },
+            Response::ShuttingDown,
+            Response::Error("nope".into()),
+        ] {
+            let mut buf = Vec::new();
+            resp.write_to(&mut buf).unwrap();
+            let Frame::Msg { kind, payload } =
+                read_frame(&mut Cursor::new(&buf), DEFAULT_MAX_FRAME).unwrap()
+            else {
+                panic!("expected a frame")
+            };
+            assert_eq!(Response::decode(kind, &payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn eof_and_bad_magic() {
+        assert!(matches!(
+            read_frame(&mut Cursor::new(b""), 1024),
+            Ok(Frame::Eof)
+        ));
+        assert!(matches!(
+            read_frame(&mut Cursor::new(b"NOPE_________"), 1024),
+            Err(WireError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn version_and_size_guards() {
+        let mut buf = Vec::new();
+        Request::Ping.write_to(&mut buf).unwrap();
+        let mut wrong_version = buf.clone();
+        wrong_version[4] = 9;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&wrong_version), 1024),
+            Err(WireError::UnsupportedVersion(9))
+        ));
+        let mut huge = buf.clone();
+        huge[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&huge), 1024),
+            Err(WireError::Oversize { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_are_truncated() {
+        let mut buf = Vec::new();
+        Request::Expr("COUNT_ord(A(B))".into()).write_to(&mut buf).unwrap();
+        for cut in 1..buf.len() {
+            match read_frame(&mut Cursor::new(&buf[..cut]), 1024) {
+                Err(WireError::Truncated) => {}
+                other => panic!("cut {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_trees_rejected() {
+        // Extra root: two nodes, first declares no children.
+        let mut w = Writer(Vec::new());
+        w.u32(1); // one label
+        w.str("a");
+        w.u32(1); // one tree
+        w.u32(2); // two nodes
+        w.u32(0);
+        w.u32(0); // root, fanout 0
+        w.u32(0);
+        w.u32(0); // orphan
+        assert!(matches!(
+            Request::decode(K_INGEST_TREES, &w.0),
+            Err(WireError::Corrupt("tree has extra root"))
+        ));
+        // Fanout overruns node count.
+        let mut w = Writer(Vec::new());
+        w.u32(1);
+        w.str("a");
+        w.u32(1);
+        w.u32(1); // one node
+        w.u32(0);
+        w.u32(3); // claims 3 children
+        assert!(matches!(
+            Request::decode(K_INGEST_TREES, &w.0),
+            Err(WireError::Corrupt("tree fanout exceeds node count"))
+        ));
+        // Label out of range.
+        let mut w = Writer(Vec::new());
+        w.u32(1);
+        w.str("a");
+        w.u32(1);
+        w.u32(1);
+        w.u32(7); // only label 0 exists
+        w.u32(0);
+        assert!(matches!(
+            Request::decode(K_INGEST_TREES, &w.0),
+            Err(WireError::Corrupt("label index out of range"))
+        ));
+    }
+
+    #[test]
+    fn trailing_payload_rejected() {
+        let mut payload = Request::HeavyHitters { limit: 3 }.encode();
+        payload.push(0);
+        assert!(matches!(
+            Request::decode(K_HEAVY, &payload),
+            Err(WireError::Corrupt("trailing payload bytes"))
+        ));
+    }
+}

@@ -1,0 +1,126 @@
+//! Soak test: one server, four concurrent ingest clients and four
+//! concurrent query clients hammering it for ~5 seconds.  Ignored by
+//! default — run with `cargo test -p sketchtree-server -- --ignored`.
+
+use sketchtree_core::sketchtree::SketchTreeConfig;
+use sketchtree_server::{Client, Server, ServerConfig};
+use sketchtree_sketch::SynopsisConfig;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+#[ignore = "~5s soak; run explicitly with -- --ignored"]
+fn concurrent_ingest_and_query_soak() {
+    let config = ServerConfig {
+        workers: 8,
+        sketch: SketchTreeConfig {
+            max_pattern_edges: 2,
+            synopsis: SynopsisConfig {
+                s1: 40,
+                s2: 5,
+                virtual_streams: 31,
+                topk: 8,
+                ..SynopsisConfig::default()
+            },
+            ..SketchTreeConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("server starts");
+    let addr = server.addr();
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let stop = Arc::new(AtomicBool::new(false));
+    let docs_sent = Arc::new(AtomicU64::new(0));
+
+    // Four ingest clients, each streaming distinct small documents in
+    // batches until the deadline.
+    let ingesters: Vec<_> = (0..4)
+        .map(|worker: u64| {
+            let stop = Arc::clone(&stop);
+            let docs_sent = Arc::clone(&docs_sent);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("ingest client connects");
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let batch: Vec<String> = (0..16)
+                        .map(|i| {
+                            format!(
+                                "<root><w{}>item</w{}><n{}/></root>",
+                                worker,
+                                worker,
+                                (round + i) % 3
+                            )
+                        })
+                        .collect();
+                    let summary = client.ingest_xml(&batch).expect("ingest succeeds");
+                    assert_eq!(summary.trees, 16);
+                    docs_sent.fetch_add(16, Ordering::Relaxed);
+                    round += 16;
+                }
+            })
+        })
+        .collect();
+
+    // Four query clients mixing counts, stats, and heavy hitters.  The
+    // answers drift as ingest proceeds; the invariant under load is that
+    // every reply is well-formed and monotone where it should be.
+    let queriers: Vec<_> = (0..4)
+        .map(|q: u64| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("query client connects");
+                let mut last_trees = 0u64;
+                let mut queries = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    match q % 4 {
+                        0 => {
+                            let est = client.count_ordered("root(w0)").expect("count");
+                            assert!(est.is_finite());
+                        }
+                        1 => {
+                            let est = client.count_unordered("root(n0)").expect("count");
+                            assert!(est.is_finite());
+                        }
+                        2 => {
+                            let hh = client.heavy_hitters(8).expect("heavy hitters");
+                            assert!(hh.len() <= 8);
+                        }
+                        _ => {}
+                    }
+                    let stats = client.stats().expect("stats");
+                    assert!(
+                        stats.trees_processed >= last_trees,
+                        "trees_processed went backwards: {} -> {}",
+                        last_trees,
+                        stats.trees_processed
+                    );
+                    last_trees = stats.trees_processed;
+                    queries += 1;
+                }
+                queries
+            })
+        })
+        .collect();
+
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for t in ingesters {
+        t.join().expect("ingester clean exit");
+    }
+    let total_queries: u64 = queriers.into_iter().map(|t| t.join().expect("querier")).sum();
+
+    // Exactness: every document an ingest client was told about must be
+    // in the server's count — no drops, no double counting.
+    let sent = docs_sent.load(Ordering::Relaxed);
+    let mut client = Client::connect(addr).expect("final client");
+    let stats = client.stats().expect("final stats");
+    assert_eq!(stats.trees_processed, sent, "server lost or duplicated trees");
+    assert!(sent > 0, "soak sent no documents");
+    assert!(total_queries > 0, "soak ran no queries");
+
+    server.shutdown().expect("clean shutdown");
+}

@@ -244,11 +244,15 @@ impl SketchBank {
 }
 
 /// `X + Σ ξ_v · f_v` over the restore list.
+///
+/// Saturating: frequencies near `i64::MIN/MAX` only occur in corrupted
+/// or hostile snapshots, and an estimate clamped at the integer edge is
+/// preferable to an overflow panic in the query path.
 #[inline]
 pub(crate) fn effective_x(s: &AmsSketch, restore: &[(u64, i64)]) -> i64 {
     let mut x = s.raw();
     for &(v, f) in restore {
-        x += s.sign(v) * f;
+        x = x.saturating_add(s.sign(v).saturating_mul(f));
     }
     x
 }

@@ -1,0 +1,202 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! the property-testing surface its tests actually use: the [`proptest!`]
+//! macro, [`Strategy`] with `prop_map` / `prop_recursive` / `boxed`,
+//! integer and float range strategies, regex-subset string strategies,
+//! tuple strategies, `prop::collection::{vec, btree_map, btree_set}`,
+//! [`prop_oneof!`], `any::<T>()`, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Differences from upstream, deliberate for size:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` rendering; re-running reproduces it because the RNG is
+//!   seeded from the test name (override with `PROPTEST_SEED`).
+//! * **Regex strategies** support the subset used here: literals,
+//!   escapes, `\PC` (printable), classes with ranges, groups,
+//!   alternation, and `* + ? {n} {n,m} {n,}` quantifiers.
+//! * Sizes/probabilities are tuned for small structured inputs, not
+//!   configurable per-strategy.
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{TestCaseError, TestCaseResult, TestRng};
+
+/// Runtime knobs for [`proptest!`] blocks.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Self { cases }
+    }
+}
+
+/// `prop::collection` and friends, mirroring upstream's `prop` facade.
+pub mod prop {
+    /// Strategies for collections.
+    pub mod collection {
+        pub use crate::strategy::collection::{btree_map, btree_set, vec};
+    }
+}
+
+/// The glob import every test file uses.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, v in prop::collection::vec(any::<u64>(), 1..9)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                $cfg,
+                |__rng| ( $( $crate::Strategy::new_value(&($strat), __rng), )* ),
+                |__vals| {
+                    let ( $($arg,)* ) = __vals;
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts within a property body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __l = &$a;
+        let __r = &$b;
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($a), stringify!($b), __l, __r
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __l = &$a;
+        let __r = &$b;
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+), __l, __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __l = &$a;
+        let __r = &$b;
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($a), stringify!($b), __l
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (does not count toward `cases`) if `cond`
+/// is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![ $( $crate::Strategy::boxed($s) ),+ ])
+    };
+}

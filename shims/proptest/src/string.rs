@@ -1,0 +1,369 @@
+//! Generation of strings matching a regex subset.
+//!
+//! Supports the constructs the workspace's tests use: literal chars,
+//! escapes (`\\`, `\[`, …), `\PC` (any printable character), character
+//! classes with ranges (`[a-zA-Z0-9 .,]`), groups, alternation (`|`) and
+//! the quantifiers `*`, `+`, `?`, `{n}`, `{n,}`, `{n,m}`. Unsupported
+//! constructs panic with the offending pattern so a new test fails
+//! loudly instead of silently testing nothing.
+
+use crate::test_runner::TestRng;
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let ast = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        pattern,
+    }
+    .parse();
+    let mut out = String::new();
+    emit(&ast, rng, &mut out);
+    out
+}
+
+/// Unbounded quantifiers cap their repetition here.
+const UNBOUNDED_CAP: u32 = 12;
+
+#[derive(Debug)]
+enum Ast {
+    /// Alternatives, one chosen uniformly.
+    Alt(Vec<Ast>),
+    /// Items in sequence, each with a repetition count range.
+    Seq(Vec<(Ast, u32, u32)>),
+    Lit(char),
+    /// Inclusive char ranges; singletons are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any printable character.
+    Printable,
+}
+
+fn emit(ast: &Ast, rng: &mut TestRng, out: &mut String) {
+    match ast {
+        Ast::Alt(options) => {
+            let i = rng.below(options.len() as u64) as usize;
+            emit(&options[i], rng, out);
+        }
+        Ast::Seq(items) => {
+            for (item, lo, hi) in items {
+                let n = lo + rng.below(u64::from(hi - lo) + 1) as u32;
+                for _ in 0..n {
+                    emit(item, rng, out);
+                }
+            }
+        }
+        Ast::Lit(c) => out.push(*c),
+        Ast::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(a, b)| u64::from(b) - u64::from(a) + 1)
+                .sum();
+            let mut i = rng.below(total);
+            for &(a, b) in ranges {
+                let span = u64::from(b) - u64::from(a) + 1;
+                if i < span {
+                    // Skip the surrogate gap if a range crosses it.
+                    let code = u32::try_from(u64::from(a) + i).expect("range in char space");
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    return;
+                }
+                i -= span;
+            }
+            unreachable!("class selection within total");
+        }
+        Ast::Printable => {
+            // Mostly printable ASCII, occasionally multi-byte chars so
+            // UTF-8 handling gets exercised.
+            if rng.chance(1, 10) {
+                const EXOTIC: [char; 8] = ['é', 'ß', 'λ', 'Ω', '中', '日', '\u{00A0}', '🦀'];
+                out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+            } else {
+                out.push(char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).expect("ascii"));
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl Parser<'_> {
+    fn parse(mut self) -> Ast {
+        let ast = self.parse_alt();
+        assert!(
+            self.pos == self.chars.len(),
+            "unsupported regex construct at byte {} of {:?}",
+            self.pos,
+            self.pattern
+        );
+        ast
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        c
+    }
+
+    fn unsupported(&self, what: &str) -> ! {
+        panic!(
+            "regex shim: unsupported {what} at position {} in {:?}",
+            self.pos, self.pattern
+        );
+    }
+
+    fn parse_alt(&mut self) -> Ast {
+        let mut options = vec![self.parse_seq()];
+        while self.peek() == Some('|') {
+            self.bump();
+            options.push(self.parse_seq());
+        }
+        if options.len() == 1 {
+            options.pop().expect("one option")
+        } else {
+            Ast::Alt(options)
+        }
+    }
+
+    fn parse_seq(&mut self) -> Ast {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            let atom = self.parse_atom();
+            let (lo, hi) = self.parse_quantifier();
+            items.push((atom, lo, hi));
+        }
+        Ast::Seq(items)
+    }
+
+    fn parse_atom(&mut self) -> Ast {
+        match self.bump() {
+            '\\' => self.parse_escape(),
+            '[' => self.parse_class(),
+            '(' => {
+                let inner = self.parse_alt();
+                if self.peek() != Some(')') {
+                    self.unsupported("unclosed group");
+                }
+                self.bump();
+                inner
+            }
+            '.' => Ast::Printable,
+            c @ ('*' | '+' | '?' | '{') => {
+                self.unsupported(&format!("dangling quantifier '{c}'"))
+            }
+            c => Ast::Lit(c),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Ast {
+        match self.peek() {
+            None => self.unsupported("trailing backslash"),
+            Some('P') => {
+                // Only the \PC (printable) category is used here.
+                self.bump();
+                if self.peek() == Some('C') {
+                    self.bump();
+                    Ast::Printable
+                } else {
+                    self.unsupported("unicode category other than \\PC")
+                }
+            }
+            Some('d') => {
+                self.bump();
+                Ast::Class(vec![('0', '9')])
+            }
+            Some('w') => {
+                self.bump();
+                Ast::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')])
+            }
+            Some('s') => {
+                self.bump();
+                Ast::Class(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')])
+            }
+            Some('n') => {
+                self.bump();
+                Ast::Lit('\n')
+            }
+            Some('t') => {
+                self.bump();
+                Ast::Lit('\t')
+            }
+            Some(_) => Ast::Lit(self.bump()),
+        }
+    }
+
+    fn parse_class(&mut self) -> Ast {
+        if self.peek() == Some('^') {
+            self.unsupported("negated character class");
+        }
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        loop {
+            let c = match self.peek() {
+                None => self.unsupported("unclosed character class"),
+                Some(']') => {
+                    self.bump();
+                    break;
+                }
+                Some('\\') => {
+                    self.bump();
+                    if self.peek().is_none() {
+                        self.unsupported("trailing backslash in class");
+                    }
+                    self.bump()
+                }
+                Some(_) => self.bump(),
+            };
+            // Range if a '-' follows and is not the closing position.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump(); // '-'
+                let hi = match self.peek() {
+                    None => self.unsupported("unclosed range in class"),
+                    Some('\\') => {
+                        self.bump();
+                        self.bump()
+                    }
+                    Some(_) => self.bump(),
+                };
+                assert!(c <= hi, "inverted class range {c}-{hi}");
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        assert!(!ranges.is_empty(), "empty character class");
+        Ast::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self) -> (u32, u32) {
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.bump();
+                (1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                self.bump();
+                (0, 1)
+            }
+            Some('{') => {
+                self.bump();
+                let lo = self.parse_number();
+                match self.peek() {
+                    Some('}') => {
+                        self.bump();
+                        (lo, lo)
+                    }
+                    Some(',') => {
+                        self.bump();
+                        let hi = if self.peek() == Some('}') {
+                            lo + UNBOUNDED_CAP
+                        } else {
+                            self.parse_number()
+                        };
+                        if self.peek() != Some('}') {
+                            self.unsupported("unclosed {} quantifier");
+                        }
+                        self.bump();
+                        assert!(lo <= hi, "inverted quantifier {{{lo},{hi}}}");
+                        (lo, hi)
+                    }
+                    _ => self.unsupported("malformed {} quantifier"),
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            self.unsupported("expected number in quantifier");
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .expect("digits parse")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pattern: &str, verify: impl Fn(&str) -> bool) {
+        let mut rng = TestRng::from_seed(1234);
+        for _ in 0..500 {
+            let s = generate_matching(pattern, &mut rng);
+            assert!(verify(&s), "pattern {pattern:?} generated {s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_star() {
+        check("\\PC*", |s| s.chars().all(|c| !c.is_control()));
+    }
+
+    #[test]
+    fn soup_class() {
+        check("[<>/a-z \"'!?\\[\\]=-]{0,120}", |s| {
+            s.len() <= 480
+                && s.chars().all(|c| {
+                    "<>/\"'!?[]=- ".contains(c) || c.is_ascii_lowercase()
+                })
+        });
+    }
+
+    #[test]
+    fn query_pattern_shape() {
+        check("[A-Z]{1,3}(\\([A-Z]{1,3}(,[A-Z]{1,3}){0,2}\\))?", |s| {
+            let head_len = s.chars().take_while(|c| c.is_ascii_uppercase()).count();
+            (1..=3).contains(&head_len)
+                && (s.chars().count() == head_len
+                    || (s[s.char_indices().nth(head_len).unwrap().0..].starts_with('(')
+                        && s.ends_with(')')))
+        });
+    }
+
+    #[test]
+    fn text_class() {
+        check("[a-zA-Z0-9 .,&<>']{1,12}", |s| {
+            let n = s.chars().count();
+            (1..=12).contains(&n)
+        });
+    }
+
+    #[test]
+    fn alternation_and_plus() {
+        check("(ab|cd)+x?", |s| {
+            let stripped = s.strip_suffix('x').unwrap_or(s);
+            !stripped.is_empty()
+                && stripped.len() % 2 == 0
+                && stripped
+                    .as_bytes()
+                    .chunks(2)
+                    .all(|p| p == b"ab" || p == b"cd")
+        });
+    }
+
+    #[test]
+    fn exact_repetition() {
+        check("a{4}", |s| s == "aaaa");
+    }
+}

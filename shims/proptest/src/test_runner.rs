@@ -1,0 +1,148 @@
+//! Case driver and RNG for the proptest shim.
+
+use crate::ProptestConfig;
+use std::fmt;
+
+/// Why a single property case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed; the runner panics with this message.
+    Fail(String),
+    /// The inputs were rejected (`prop_assume!`); the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (discard) with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// Outcome of one property case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The shim's generation RNG: xoshiro256++ seeded via SplitMix64.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Expands a 64-bit seed to full state.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// `true` with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn seed_for(name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse() {
+            return v;
+        }
+    }
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property: generates inputs, runs the body, panics on the
+/// first failure with a reproducible description of the inputs.
+pub fn run_cases<V: fmt::Debug>(
+    name: &str,
+    config: ProptestConfig,
+    mut generate: impl FnMut(&mut TestRng) -> V,
+    mut run: impl FnMut(V) -> TestCaseResult,
+) {
+    let mut rng = TestRng::from_seed(seed_for(name));
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    while accepted < config.cases {
+        let value = generate(&mut rng);
+        let desc = format!("{value:?}");
+        match run(value) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > u64::from(config.cases) * 32 + 1024 {
+                    panic!("property '{name}': too many rejected cases ({rejected})");
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property '{name}' failed after {accepted} passing case(s): {msg}\n  \
+                     input: {desc}\n  \
+                     (set PROPTEST_SEED={} to pin this sequence)",
+                    seed_for(name)
+                );
+            }
+        }
+    }
+}

@@ -29,8 +29,10 @@
 //! extended Prüfer sequences), [`hash`] (k-wise independent signs, Rabin
 //! fingerprints, pairing functions), [`xml`] (streaming parser/writer),
 //! [`sketch`] (AMS sketch banks, virtual streams, top-k, expressions),
-//! [`core`] (EnumTree and the synopsis itself) and [`datagen`] (seeded
-//! TREEBANK/DBLP-like stream generators).
+//! [`core`] (EnumTree and the synopsis itself), [`datagen`] (seeded
+//! TREEBANK/DBLP-like stream generators) and [`server`] (a threaded TCP
+//! daemon speaking the `SKTP` wire protocol for remote ingest and online
+//! queries).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -38,6 +40,7 @@
 pub use sketchtree_core as core;
 pub use sketchtree_datagen as datagen;
 pub use sketchtree_hash as hash;
+pub use sketchtree_server as server;
 pub use sketchtree_sketch as sketch;
 pub use sketchtree_tree as tree;
 pub use sketchtree_xml as xml;

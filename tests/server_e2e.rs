@@ -1,0 +1,197 @@
+//! End-to-end test of the network subsystem against the in-process
+//! synopsis: a server fed over TCP must give *bit-identical* answers to a
+//! `SketchTree` with the same configuration and seed fed the same
+//! documents in the same order — the wire is transport, not math.
+
+use sketchtree::server::{Client, Server, ServerConfig};
+use sketchtree::{SketchTreeConfig, SynopsisConfig, XmlSketchTree};
+use std::time::Duration;
+
+fn config(seed: u64) -> SketchTreeConfig {
+    SketchTreeConfig {
+        max_pattern_edges: 3,
+        synopsis: SynopsisConfig {
+            s1: 40,
+            s2: 7,
+            virtual_streams: 31,
+            topk: 10,
+            seed,
+            ..SynopsisConfig::default()
+        },
+        ..SketchTreeConfig::default()
+    }
+}
+
+fn corpus() -> Vec<String> {
+    let mut docs = Vec::new();
+    for i in 0..300 {
+        docs.push(match i % 4 {
+            0 => "<article><author>a</author><title>t</title></article>".to_string(),
+            1 => "<article><author>a</author><author>b</author></article>".to_string(),
+            2 => "<book><title>t</title><year>2006</year></book>".to_string(),
+            _ => format!("<misc><k{}/></misc>", i % 7),
+        });
+    }
+    docs
+}
+
+const QUERIES: &[&str] = &["article(author)", "article(author,title)", "book(year)", "misc(k0)"];
+
+#[test]
+fn remote_estimates_match_in_process_bit_for_bit() {
+    let seed = 42;
+    let docs = corpus();
+
+    // Reference: plain in-process ingest, same config, same order.
+    let mut reference = XmlSketchTree::new(config(seed));
+    let mid = docs.len() / 2;
+    for doc in &docs[..mid] {
+        reference.ingest_xml(doc).unwrap();
+    }
+    let mid_answers: Vec<f64> =
+        QUERIES.iter().map(|q| reference.count_ordered(q).unwrap()).collect();
+    for doc in &docs[mid..] {
+        reference.ingest_xml(doc).unwrap();
+    }
+    let final_answers: Vec<f64> =
+        QUERIES.iter().map(|q| reference.count_ordered(q).unwrap()).collect();
+    let final_unordered: Vec<f64> =
+        QUERIES.iter().map(|q| reference.count_unordered(q).unwrap()).collect();
+
+    // Networked: same documents through the TCP server.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig { sketch: config(seed), ..ServerConfig::default() },
+    )
+    .expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+
+    let summary = client.ingest_xml(&docs[..mid]).expect("first half ingests");
+    assert_eq!(summary.total_trees, mid as u64);
+
+    // Query mid-stream: estimates must be exactly the reference's
+    // mid-stream estimates (same sketch state ⇒ same bits).
+    for (q, want) in QUERIES.iter().zip(&mid_answers) {
+        let got = client.count_ordered(q).expect("mid-stream query");
+        assert_eq!(got.to_bits(), want.to_bits(), "mid-stream {q}: {got} != {want}");
+    }
+
+    let summary = client.ingest_xml(&docs[mid..]).expect("second half ingests");
+    assert_eq!(summary.total_trees, docs.len() as u64);
+
+    for (q, want) in QUERIES.iter().zip(&final_answers) {
+        let got = client.count_ordered(q).expect("final query");
+        assert_eq!(got.to_bits(), want.to_bits(), "final {q}: {got} != {want}");
+    }
+    for (q, want) in QUERIES.iter().zip(&final_unordered) {
+        let got = client.count_unordered(q).expect("final unordered query");
+        assert_eq!(got.to_bits(), want.to_bits(), "unordered {q}: {got} != {want}");
+    }
+
+    // Stats agree with the reference synopsis.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.trees_processed, reference.inner().trees_processed());
+    assert_eq!(stats.patterns_processed, reference.inner().patterns_processed());
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn checkpoint_survives_server_restart() {
+    let seed = 7;
+    let docs = corpus();
+    let snap = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sketchtree-e2e-ckpt-{}.bin", std::process::id()));
+        p
+    };
+    std::fs::remove_file(&snap).ok();
+
+    // Reference for the final answers.
+    let mut reference = XmlSketchTree::new(config(seed));
+    for doc in &docs {
+        reference.ingest_xml(doc).unwrap();
+    }
+
+    // First server life: ingest everything, shut down (which checkpoints).
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            sketch: config(seed),
+            checkpoint_path: Some(snap.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    client.ingest_xml(&docs).expect("ingest");
+    server.shutdown().expect("shutdown checkpoints");
+    assert!(snap.exists(), "shutdown must leave a checkpoint");
+
+    // Second life: restore from the checkpoint; counts and answers are
+    // exactly what the first life would have given.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            sketch: config(seed),
+            checkpoint_path: Some(snap.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server restarts");
+    let mut client = Client::connect(server.addr()).expect("client reconnects");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.trees_processed, docs.len() as u64);
+    for q in QUERIES {
+        let got = client.count_ordered(q).expect("restored query");
+        let want = reference.count_ordered(q).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits(), "restored {q}: {got} != {want}");
+    }
+
+    // The restored server keeps ingesting from where it left off.
+    client.ingest_xml(&docs[..10]).expect("post-restore ingest");
+    reference.ingest_xml(&docs[..10].concat()).unwrap();
+    let got = client.count_ordered(QUERIES[0]).expect("post-restore query");
+    let want = reference.count_ordered(QUERIES[0]).unwrap();
+    assert_eq!(got.to_bits(), want.to_bits());
+
+    server.shutdown().expect("clean shutdown");
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn queries_do_not_block_queries() {
+    // While one client holds a long-running expression query, other
+    // clients' queries must still complete promptly: readers share the
+    // lock.  We bound "promptly" loosely (1s) to stay robust on slow CI.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig { sketch: config(3), ..ServerConfig::default() },
+    )
+    .expect("server starts");
+    let mut seed_client = Client::connect(server.addr()).expect("connect");
+    let docs = corpus();
+    seed_client.ingest_xml(&docs).expect("ingest");
+
+    let addr = server.addr();
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let start = std::time::Instant::now();
+                for _ in 0..50 {
+                    c.count_ordered("article(author)").expect("query");
+                }
+                start.elapsed()
+            })
+        })
+        .collect();
+    for h in handles {
+        let elapsed = h.join().expect("query thread");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "50 queries took {elapsed:?} under concurrent read load"
+        );
+    }
+    server.shutdown().expect("clean shutdown");
+}
