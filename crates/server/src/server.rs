@@ -5,7 +5,9 @@
 //! - An **accept thread** hands connections to a bounded channel.
 //! - A fixed pool of **worker threads** each serve one connection at a
 //!   time, frame by frame.  Read timeouts double as the idle tick, so a
-//!   quiet connection re-checks the shutdown flag a few times a second.
+//!   quiet connection re-checks the shutdown flag a few times a second,
+//!   and a connection idle past `idle_timeout` is closed so it cannot pin
+//!   a worker forever (the client reconnects on its next request).
 //! - Ingest follows the concurrency contract of
 //!   [`SharedSketchTree`](sketchtree_core::concurrent::SharedSketchTree):
 //!   XML parsing happens against a connection-local label table with *no*
@@ -44,6 +46,11 @@ pub struct ServerConfig {
     pub max_frame: u32,
     /// Per-read socket timeout; also the idle/shutdown poll tick.
     pub read_timeout: Duration,
+    /// Close a connection that has sent no complete frame for this long.
+    /// Workers serve one connection at a time, so without this bound
+    /// `workers` quiet-but-open clients would starve everyone else; a
+    /// well-behaved client reconnects transparently on its next request.
+    pub idle_timeout: Duration,
     /// Where to persist checkpoints; `None` disables persistence.
     pub checkpoint_path: Option<PathBuf>,
     /// Periodic checkpoint interval; `None` checkpoints only on shutdown
@@ -62,6 +69,7 @@ impl Default for ServerConfig {
             workers: 4,
             max_frame: DEFAULT_MAX_FRAME,
             read_timeout: Duration::from_millis(200),
+            idle_timeout: Duration::from_secs(60),
             checkpoint_path: None,
             checkpoint_interval: None,
             sketch: SketchTreeConfig::default(),
@@ -76,7 +84,17 @@ pub struct Server {
     shared: SharedSketchTree,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
-    checkpoint_path: Option<PathBuf>,
+    checkpoint: Arc<Checkpoint>,
+}
+
+/// Checkpoint target shared by the workers, the periodic thread and the
+/// server handle.  The mutex serializes entire checkpoints (state read,
+/// temp-file write, rename) — concurrent callers share one temp path, and
+/// unserialized interleaving could publish a partially-written or stale
+/// snapshot.
+struct Checkpoint {
+    path: Option<PathBuf>,
+    lock: Mutex<()>,
 }
 
 impl Server {
@@ -107,12 +125,17 @@ impl Server {
         let workers = config.workers.max(1);
         let (tx, rx) = sync_channel::<TcpStream>(workers * 2);
         let rx = Arc::new(Mutex::new(rx));
+        let checkpoint = Arc::new(Checkpoint {
+            path: config.checkpoint_path.clone(),
+            lock: Mutex::new(()),
+        });
         let ctx = Arc::new(Ctx {
             shared: shared.clone(),
             shutdown: shutdown.clone(),
             addr,
             max_frame: config.max_frame,
-            checkpoint_path: config.checkpoint_path.clone(),
+            idle_timeout: config.idle_timeout,
+            checkpoint: checkpoint.clone(),
         });
         for _ in 0..workers {
             let rx = rx.clone();
@@ -147,7 +170,7 @@ impl Server {
                 while !ctx.shutdown.load(Ordering::SeqCst) {
                     std::thread::sleep(tick);
                     if last.elapsed() >= interval {
-                        let _ = checkpoint_now(&ctx.shared, &ctx.checkpoint_path);
+                        let _ = checkpoint_now(&ctx.shared, &ctx.checkpoint);
                         last = Instant::now();
                     }
                 }
@@ -159,7 +182,7 @@ impl Server {
             shared,
             shutdown,
             threads,
-            checkpoint_path: config.checkpoint_path,
+            checkpoint,
         })
     }
 
@@ -176,7 +199,7 @@ impl Server {
 
     /// Writes a checkpoint now; returns the snapshot size in bytes.
     pub fn checkpoint(&self) -> io::Result<u64> {
-        checkpoint_now(&self.shared, &self.checkpoint_path)
+        checkpoint_now(&self.shared, &self.checkpoint)
     }
 
     /// Blocks until a shutdown is requested (via [`Server::shutdown`],
@@ -190,8 +213,8 @@ impl Server {
     /// Stops accepting, drains workers, writes a final checkpoint.
     pub fn shutdown(mut self) -> io::Result<()> {
         self.stop();
-        if self.checkpoint_path.is_some() {
-            checkpoint_now(&self.shared, &self.checkpoint_path)?;
+        if self.checkpoint.path.is_some() {
+            checkpoint_now(&self.shared, &self.checkpoint)?;
         }
         Ok(())
     }
@@ -211,7 +234,7 @@ impl Drop for Server {
     fn drop(&mut self) {
         if !self.threads.is_empty() {
             self.stop();
-            let _ = checkpoint_now(&self.shared, &self.checkpoint_path);
+            let _ = checkpoint_now(&self.shared, &self.checkpoint);
         }
     }
 }
@@ -222,7 +245,8 @@ struct Ctx {
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
     max_frame: u32,
-    checkpoint_path: Option<PathBuf>,
+    idle_timeout: Duration,
+    checkpoint: Arc<Checkpoint>,
 }
 
 fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx) {
@@ -238,14 +262,21 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx) {
 }
 
 fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
+    let mut last_activity = Instant::now();
     loop {
         if ctx.shutdown.load(Ordering::SeqCst) {
             return;
         }
         match read_frame(&mut stream, ctx.max_frame) {
             Ok(Frame::Eof) => return,
-            Ok(Frame::Idle) => continue,
+            Ok(Frame::Idle) => {
+                if last_activity.elapsed() >= ctx.idle_timeout {
+                    return; // free the worker for a queued connection
+                }
+                continue;
+            }
             Ok(Frame::Msg { kind, payload }) => {
+                last_activity = Instant::now();
                 // Frame boundaries are intact even when the payload is
                 // malformed, so payload errors answer and keep the
                 // connection; only header-level failures desynchronize.
@@ -280,11 +311,14 @@ fn handle_request(req: Request, ctx: &Ctx) -> Response {
             Err(e) => Response::Error(e),
         },
         Request::IngestTrees { labels, trees } => {
-            let mut local = LabelTable::new();
-            for name in &labels {
-                local.intern(name);
-            }
-            ingest_parsed(ctx, &local, trees)
+            // Node labels index the batch's `labels` *positionally*, and
+            // duplicate names are legal on the wire — so the map must be
+            // built per index, not through a deduping LabelTable (which
+            // would shift every index after a duplicate).
+            let map: Vec<Label> = ctx
+                .shared
+                .with_labels(|global| labels.iter().map(|name| global.intern(name)).collect());
+            ingest_remapped(ctx, &map, &trees)
         }
         Request::Count { unordered, pattern } => {
             let r = if unordered {
@@ -325,7 +359,7 @@ fn handle_request(req: Request, ctx: &Ctx) -> Response {
                 .take(limit as usize)
                 .collect(),
         ),
-        Request::Snapshot => match checkpoint_now(&ctx.shared, &ctx.checkpoint_path) {
+        Request::Snapshot => match checkpoint_now(&ctx.shared, &ctx.checkpoint) {
             Ok(bytes) => Response::SnapshotDone { bytes },
             Err(e) => Response::Error(format!("checkpoint: {e}")),
         },
@@ -360,7 +394,13 @@ fn ingest_parsed(ctx: &Ctx, local: &LabelTable, trees: Vec<Tree>) -> Response {
             .map(|i| global.intern(local.name(Label(i))))
             .collect()
     });
-    let remapped: Vec<Tree> = trees.iter().map(|t| remap_tree(t, &map)).collect();
+    ingest_remapped(ctx, &map, &trees)
+}
+
+/// Remaps every tree's labels through `map` (batch index → global label),
+/// then ingests the whole batch.
+fn ingest_remapped(ctx: &Ctx, map: &[Label], trees: &[Tree]) -> Response {
+    let remapped: Vec<Tree> = trees.iter().map(|t| remap_tree(t, map)).collect();
     let (batch_trees, batch_patterns) = ctx.shared.ingest_batch(&remapped);
     Response::Ingested {
         trees: batch_trees,
@@ -386,14 +426,17 @@ fn remap_tree(tree: &Tree, map: &[Label]) -> Tree {
 }
 
 /// Atomic checkpoint: snapshot under the shared lock, write to a temp
-/// file beside the target, rename into place.
-fn checkpoint_now(shared: &SharedSketchTree, path: &Option<PathBuf>) -> io::Result<u64> {
-    let Some(path) = path else {
+/// file beside the target, rename into place.  Serialized end to end by
+/// `ck.lock` so a periodic checkpoint and a client `Snapshot` request can
+/// never interleave on the temp file or publish out of order.
+fn checkpoint_now(shared: &SharedSketchTree, ck: &Checkpoint) -> io::Result<u64> {
+    let Some(path) = &ck.path else {
         return Err(io::Error::new(
             io::ErrorKind::Unsupported,
             "no checkpoint path configured",
         ));
     };
+    let _guard = ck.lock.lock().unwrap_or_else(|e| e.into_inner());
     let bytes = shared.read(write_snapshot);
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, &bytes)?;

@@ -133,12 +133,19 @@ pub enum Frame {
 }
 
 /// Writes one frame.
+///
+/// Fails with `InvalidInput` when the payload cannot be represented in
+/// the u32 length prefix — a silently truncated length would
+/// desynchronize the stream for every later frame.
 pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32::MAX bytes")
+    })?;
     let mut header = [0u8; HEADER_LEN];
     header[..4].copy_from_slice(MAGIC);
     header[4..8].copy_from_slice(&VERSION.to_le_bytes());
     header[8] = kind;
-    header[9..13].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[9..13].copy_from_slice(&len.to_le_bytes());
     w.write_all(&header)?;
     w.write_all(payload)?;
     w.flush()
@@ -320,17 +327,17 @@ impl Request {
         match self {
             Request::Ping | Request::Stats | Request::Snapshot | Request::Shutdown => {}
             Request::IngestXml(docs) => {
-                w.u32(docs.len() as u32);
+                w.len(docs.len());
                 for d in docs {
                     w.str(d);
                 }
             }
             Request::IngestTrees { labels, trees } => {
-                w.u32(labels.len() as u32);
+                w.len(labels.len());
                 for l in labels {
                     w.str(l);
                 }
-                w.u32(trees.len() as u32);
+                w.len(trees.len());
                 for t in trees {
                     encode_tree(&mut w, t);
                 }
@@ -436,7 +443,7 @@ impl Response {
                 w.u64(s.topk);
             }
             Response::HeavyHitters(entries) => {
-                w.u32(entries.len() as u32);
+                w.len(entries.len());
                 for &(v, f) in entries {
                     w.u64(v);
                     w.i64(f);
@@ -498,10 +505,10 @@ impl Response {
 /// Preorder node list with explicit fanout: `node_count`, then per node
 /// `label_index` + `child_count`.
 fn encode_tree(w: &mut Writer, tree: &Tree) {
-    w.u32(tree.len() as u32);
+    w.len(tree.len());
     for id in tree.preorder() {
         w.u32(tree.label(id).0);
-        w.u32(tree.children(id).len() as u32);
+        w.len(tree.children(id).len());
     }
 }
 
@@ -560,8 +567,15 @@ impl Writer {
     fn i64(&mut self, v: i64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
+    /// Encodes a length or count.  The protocol caps these at `u32::MAX`;
+    /// a bigger value cannot be encoded, and truncating it with `as`
+    /// would emit a wrong prefix and desynchronize the stream, so fail
+    /// loudly at the encode site instead.
+    fn len(&mut self, n: usize) {
+        self.u32(u32::try_from(n).expect("length exceeds u32::MAX, not encodable in SKTP"));
+    }
     fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
+        self.len(s.len());
         self.0.extend_from_slice(s.as_bytes());
     }
 }

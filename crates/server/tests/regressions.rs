@@ -1,0 +1,188 @@
+//! Regression tests for server hardening: hostile-but-legal wire input
+//! (duplicate batch labels), checkpoint serialization under concurrent
+//! snapshot requests, and the idle-connection timeout.
+
+use sketchtree_core::sketchtree::SketchTreeConfig;
+use sketchtree_server::{Client, Server, ServerConfig};
+use sketchtree_sketch::SynopsisConfig;
+use sketchtree_tree::{Label, Tree};
+use std::io::Read;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn config(seed: u64) -> SketchTreeConfig {
+    SketchTreeConfig {
+        max_pattern_edges: 2,
+        synopsis: SynopsisConfig {
+            s1: 40,
+            s2: 5,
+            virtual_streams: 31,
+            topk: 8,
+            seed,
+            ..SynopsisConfig::default()
+        },
+        ..SketchTreeConfig::default()
+    }
+}
+
+/// Duplicate names in an `IngestTrees` batch label table are legal on the
+/// wire (node labels are positional indices).  They must neither panic a
+/// worker nor shift later indices onto the wrong name.
+#[test]
+fn duplicate_batch_labels_ingest_correctly() {
+    // Batch with duplicates: indices 0 and 1 are both "a", index 2 is
+    // "b".  Referencing index 1 used to panic (out-of-bounds remap) and
+    // referencing index 2 used to silently resolve to the wrong label.
+    let dup_labels = vec!["a".to_string(), "a".to_string(), "b".to_string()];
+    let dup_trees = vec![
+        Tree::node(Label(0), vec![Tree::leaf(Label(2))]),
+        Tree::node(Label(1), vec![Tree::leaf(Label(2))]),
+    ];
+    // The same stream spelled with a deduplicated table.
+    let dedup_labels = vec!["a".to_string(), "b".to_string()];
+    let dedup_trees = vec![
+        Tree::node(Label(0), vec![Tree::leaf(Label(1))]),
+        Tree::node(Label(0), vec![Tree::leaf(Label(1))]),
+    ];
+
+    let seed = 11;
+    let dup_server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig { sketch: config(seed), ..ServerConfig::default() },
+    )
+    .expect("server starts");
+    let dedup_server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig { sketch: config(seed), ..ServerConfig::default() },
+    )
+    .expect("server starts");
+
+    let mut dup_client = Client::connect(dup_server.addr()).expect("connect");
+    let summary = dup_client
+        .ingest_trees(dup_labels, dup_trees)
+        .expect("duplicate labels must ingest, not panic the worker");
+    assert_eq!(summary.trees, 2);
+    // The worker that served the batch must still be alive.
+    dup_client.ping().expect("worker survived the batch");
+
+    let mut dedup_client = Client::connect(dedup_server.addr()).expect("connect");
+    dedup_client.ingest_trees(dedup_labels, dedup_trees).expect("ingest");
+
+    // Same stream ⇒ same sketch state ⇒ bit-identical estimates.
+    for q in ["a(b)", "a", "b"] {
+        let dup = dup_client.count_ordered(q).expect("query");
+        let dedup = dedup_client.count_ordered(q).expect("query");
+        assert_eq!(dup.to_bits(), dedup.to_bits(), "{q}: {dup} != {dedup}");
+    }
+
+    dup_server.shutdown().expect("clean shutdown");
+    dedup_server.shutdown().expect("clean shutdown");
+}
+
+/// Concurrent `Snapshot` requests racing the periodic checkpoint thread
+/// must never publish a torn snapshot: a restart from the checkpoint has
+/// to succeed with the full stream intact.
+#[test]
+fn concurrent_snapshots_leave_a_loadable_checkpoint() {
+    let snap = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sketchtree-regr-ckpt-{}.bin", std::process::id()));
+        p
+    };
+    std::fs::remove_file(&snap).ok();
+
+    let seed = 23;
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            sketch: config(seed),
+            checkpoint_path: Some(snap.clone()),
+            checkpoint_interval: Some(Duration::from_millis(10)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    let docs: Vec<String> =
+        (0..64).map(|i| format!("<root><k{}>x</k{}></root>", i % 5, i % 5)).collect();
+    let mut ingest_client = Client::connect(addr).expect("connect");
+    ingest_client.ingest_xml(&docs).expect("ingest");
+
+    // Hammer explicit snapshots from several threads while the periodic
+    // thread keeps checkpointing on its own clock.
+    let snappers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                for _ in 0..20 {
+                    let bytes = c.snapshot().expect("snapshot");
+                    assert!(bytes > 0);
+                }
+            })
+        })
+        .collect();
+    for t in snappers {
+        t.join().expect("snapshot thread");
+    }
+    server.shutdown().expect("clean shutdown");
+
+    // Whatever the race published, the file on disk must be a complete
+    // snapshot of the full stream.
+    let restarted = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            sketch: config(seed),
+            checkpoint_path: Some(snap.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("restart from checkpoint must not see a torn file");
+    let mut client = Client::connect(restarted.addr()).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.trees_processed, docs.len() as u64);
+
+    restarted.shutdown().expect("clean shutdown");
+    std::fs::remove_file(&snap).ok();
+}
+
+/// A connection that never sends a frame must be dropped after
+/// `idle_timeout`, freeing its worker for queued connections.
+#[test]
+fn idle_connection_is_closed_and_frees_its_worker() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            read_timeout: Duration::from_millis(50),
+            idle_timeout: Duration::from_millis(200),
+            sketch: config(5),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    // Occupy the only worker with a silent connection.
+    let mut idle = TcpStream::connect(server.addr()).expect("idle connect");
+    idle.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // A real client behind it must still get served once the idle
+    // connection times out.
+    let start = Instant::now();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.ping().expect("queued client is served after the idle drop");
+    assert!(
+        start.elapsed() < Duration::from_secs(8),
+        "queued client waited {:?} behind an idle connection",
+        start.elapsed()
+    );
+
+    // And the idle connection itself was closed by the server.
+    let mut buf = [0u8; 1];
+    match idle.read(&mut buf) {
+        Ok(0) => {}
+        other => panic!("idle connection should see EOF, got {other:?}"),
+    }
+
+    server.shutdown().expect("clean shutdown");
+}
