@@ -14,6 +14,7 @@
 //! The `repro` binary dispatches to these; `cargo bench` runs the Criterion
 //! micro-benchmarks in `benches/`.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

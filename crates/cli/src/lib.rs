@@ -39,6 +39,7 @@
 //! The library layer ([`run`]) is separated from the binary so integration
 //! tests can drive the exact command paths without spawning processes.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -59,6 +59,7 @@ impl SharedSketchTree {
             trees.iter().map(|t| guard.enumerate_values(t)).collect()
         };
         let patterns: u64 = values.iter().map(|v| v.len() as u64).sum();
+        // lint:allow(L4, reason = "the read guard above is scoped to its own block and dropped before this write; the lexical pass cannot see the block boundary")
         let mut guard = self.inner.write();
         for (tree, vals) in trees.iter().zip(&values) {
             guard.ingest_precomputed(tree, vals);

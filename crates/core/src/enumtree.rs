@@ -64,10 +64,8 @@ pub fn enumerate_patterns_config(
     let mut sub_edges = vec![0usize; n];
     for id in tree.postorder() {
         let children = tree.children(id);
-        sub_edges[id.index()] = children
-            .iter()
-            .map(|c| sub_edges[c.index()] + 1)
-            .sum();
+        // lint:allow(L1, reason = "postorder NodeIds index vectors sized to tree.len()")
+        sub_edges[id.index()] = children.iter().map(|c| sub_edges[c.index()] + 1).sum();
         let mut p_i: NodePatterns = vec![Vec::new(); k];
         if !children.is_empty() {
             let fanout = children.len();
@@ -101,6 +99,7 @@ pub fn enumerate_patterns_config(
                 f(id, edges);
             }
         }
+        // lint:allow(L1, reason = "postorder NodeIds index vectors sized to tree.len()")
         memo[id.index()] = p_i;
     }
 }
@@ -119,6 +118,7 @@ fn distribute(
     p_i: &mut [Vec<EdgeSet>],
 ) {
     let t = combo.len();
+    // lint:allow(L1, reason = "combo holds t-combinations of 0..children.len()")
     let chosen: Vec<NodeId> = combo.iter().map(|&ci| children[ci]).collect();
     // Per chosen child, the budgets l for which P(child, l) is non-empty
     // (l = 0 is always allowed: "just the child edge").
@@ -126,8 +126,10 @@ fn distribute(
         .iter()
         .map(|c| {
             let mut b = vec![0usize];
+            // lint:allow(L1, reason = "NodeIds index vectors sized to tree.len()")
             let limit = sub_edges[c.index()].min(k - 1);
             for l in 1..=limit {
+                // lint:allow(L1, reason = "children precede parents in postorder, so memo[c] is filled with k rows; l <= limit <= k - 1")
                 if !memo[c.index()][l - 1].is_empty() {
                     b.push(l);
                 }
@@ -149,6 +151,7 @@ fn distribute(
             if l == 0 {
                 continue;
             }
+            // lint:allow(L1, reason = "l came from budgets, built from non-empty memo[c] rows; l >= 1 guarded above")
             let subs = &memo[c.index()][l - 1];
             let mut next = Vec::with_capacity(partial.len() * subs.len());
             for prefix in &partial {
@@ -161,6 +164,7 @@ fn distribute(
             partial = next;
             let _ = slot;
         }
+        // lint:allow(L1, reason = "t >= 1 and total <= k == p_i.len(), asserted above")
         p_i[total - 1].extend(partial);
     });
 }
@@ -172,9 +176,12 @@ fn next_combination(combo: &mut [usize], n: usize) -> bool {
     let mut i = t;
     while i > 0 {
         i -= 1;
+        // lint:allow(L1, reason = "i < t == combo.len() by the loop bound")
         if combo[i] < n - t + i {
+            // lint:allow(L1, reason = "i < t == combo.len() by the loop bound")
             combo[i] += 1;
             for q in i + 1..t {
+                // lint:allow(L1, reason = "q and q - 1 are both < t == combo.len()")
                 combo[q] = combo[q - 1] + 1;
             }
             return true;
@@ -196,6 +203,7 @@ fn compose(
         f(current);
         return;
     }
+    // lint:allow(L1, reason = "idx == budgets.len() returned just above, so idx < budgets.len()")
     for &l in &budgets[idx] {
         if l > remaining {
             break; // budgets are sorted ascending

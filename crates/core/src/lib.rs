@@ -35,6 +35,7 @@
 //! * [`window`] — [`window::WindowedSketchTree`], exact sliding-window
 //!   counting over the last W trees (an extension enabled by AMS deletion).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

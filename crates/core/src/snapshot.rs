@@ -68,38 +68,38 @@ pub fn write_snapshot(st: &SketchTree) -> Vec<u8> {
     w.u32(VERSION);
     // --- config ---
     let c = st.config();
-    w.u64(c.max_pattern_edges as u64);
-    w.u8(c.include_single_nodes as u8);
+    w.usize(c.max_pattern_edges);
+    w.u8(u8::from(c.include_single_nodes));
     w.u32(c.fingerprint_degree);
     w.u64(c.mapping_seed);
-    w.u64(c.synopsis.s1 as u64);
-    w.u64(c.synopsis.s2 as u64);
-    w.u64(c.synopsis.virtual_streams as u64);
-    w.u64(c.synopsis.topk as u64);
-    w.u64(c.synopsis.independence as u64);
+    w.usize(c.synopsis.s1);
+    w.usize(c.synopsis.s2);
+    w.usize(c.synopsis.virtual_streams);
+    w.usize(c.synopsis.topk);
+    w.usize(c.synopsis.independence);
     w.u16(c.synopsis.topk_probability);
     w.u64(c.synopsis.seed);
-    w.u8(c.maintain_summary as u8);
-    w.u64(c.max_arrangements as u64);
-    w.u64(c.expand_limits.max_patterns as u64);
-    w.u64(c.expand_limits.max_descendant_depth as u64);
+    w.u8(u8::from(c.maintain_summary));
+    w.usize(c.max_arrangements);
+    w.usize(c.expand_limits.max_patterns);
+    w.usize(c.expand_limits.max_descendant_depth);
     // --- labels ---
     let labels = st.labels();
-    w.u64(labels.len() as u64);
+    w.usize(labels.len());
     for (_, name) in labels.iter() {
         w.str(name);
     }
     // --- synopsis state ---
     let state = st.export_synopsis_state();
-    w.u64(state.bank_counters.len() as u64);
+    w.usize(state.bank_counters.len());
     for bank in &state.bank_counters {
-        w.u64(bank.len() as u64);
+        w.usize(bank.len());
         for &x in bank {
             w.i64(x);
         }
     }
     for tracked in &state.tracked {
-        w.u64(tracked.len() as u64);
+        w.usize(tracked.len());
         for &(v, f) in tracked {
             w.u64(v);
             w.i64(f);
@@ -112,11 +112,11 @@ pub fn write_snapshot(st: &SketchTree) -> Vec<u8> {
         Some(s) => {
             w.u8(1);
             let (labels, transitions) = s.export();
-            w.u64(labels.len() as u64);
+            w.usize(labels.len());
             for l in labels {
                 w.u32(l.0);
             }
-            w.u64(transitions.len() as u64);
+            w.usize(transitions.len());
             for (p, ch) in transitions {
                 w.u32(p.0);
                 w.u32(ch.0);
@@ -282,8 +282,13 @@ impl Writer {
     fn i64(&mut self, v: i64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
+    /// Encodes a usize length or config field as u64.
+    fn usize(&mut self, v: usize) {
+        // lint:allow(L2, reason = "usize -> u64 is widening on all supported targets")
+        self.u64(v as u64);
+    }
     fn str(&mut self, s: &str) {
-        self.u64(s.len() as u64);
+        self.usize(s.len());
         self.bytes(s.as_bytes());
     }
 }
@@ -323,7 +328,7 @@ impl<'a> Reader<'a> {
         if v > max {
             return Err(SnapshotError::Corrupt(what));
         }
-        Ok(v as usize)
+        usize::try_from(v).map_err(|_| SnapshotError::Corrupt(what))
     }
     fn str(&mut self) -> Result<String, SnapshotError> {
         let len = self.usize_checked("string length", 1 << 24)?;

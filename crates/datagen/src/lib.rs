@@ -17,6 +17,7 @@
 //! Everything is deterministic given a seed, so experiments are exactly
 //! reproducible.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

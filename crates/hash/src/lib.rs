@@ -22,6 +22,7 @@
 //! * [`pairing`] — the pairing functions `PF_2`/`PF_k` of paper Section 2.2,
 //!   with the padding semantics of Section 2.3 and full inverses for testing.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

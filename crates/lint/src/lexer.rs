@@ -1,0 +1,478 @@
+//! A small, loss-tolerant Rust lexer.
+//!
+//! The passes in this crate reason about token *streams*, never about
+//! grammar, so the lexer's one job is to never misclassify text: code
+//! inside string literals, raw strings, char literals and comments must
+//! not leak tokens, and `lint:allow` markers must only be recognised
+//! inside comments.  It handles:
+//!
+//! * string literals with escapes, byte strings, C-string literals;
+//! * raw (byte) strings `r"…"`, `r#"…"#`, … with any hash count;
+//! * char and byte literals, including escaped quotes, vs. lifetimes;
+//! * nested block comments (`/* /* */ */` is one comment);
+//! * raw identifiers (`r#match`);
+//! * maximal-munch multi-character operators (`<<=`, `..=`, `->`, …).
+//!
+//! The lexer never panics and never rejects input: unknown bytes become
+//! single-character [`TokenKind::Punct`] tokens, and an unterminated
+//! literal or comment extends to end of input.  Tokens carry byte spans
+//! into the original source, so `src[tok.start..tok.end] == tok.text`
+//! always holds (the round-trip property the proptests pin down).
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers).
+    Ident,
+    /// A lifetime such as `'a` (including `'static`).
+    Lifetime,
+    /// String-ish literal: `"…"`, `b"…"`, `c"…"`, `r"…"`, `br#"…"#`, …
+    Str,
+    /// Char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// `// …` or `//! …` or `/// …` comment (text excludes the newline).
+    LineComment,
+    /// `/* … */` comment, nesting respected.
+    BlockComment,
+    /// Operator or other punctuation, possibly multi-character.
+    Punct,
+}
+
+/// One lexed token with its exact source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+}
+
+/// Multi-character operators, longest first (maximal munch).
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Lexes `src` into a complete token stream.  Total: every non-whitespace
+/// byte of the input is covered by exactly one token span.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                b'b' | b'r' | b'c' if self.literal_prefix() => {}
+                _ if is_ident_start(b) => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, start_line: u32) {
+        self.out.push(Token {
+            kind,
+            text: self.src[start..self.pos].to_string(),
+            line: start_line,
+            start,
+            end: self.pos,
+        });
+    }
+
+    /// Advances over `n` bytes, counting newlines.
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.bytes.get(self.pos) == Some(&b'\n') {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, start, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.advance(2); // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.advance(2);
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.advance(2);
+            } else {
+                self.advance(1);
+            }
+        }
+        self.push(TokenKind::BlockComment, start, line);
+    }
+
+    /// A non-raw string body starting at the opening quote.
+    fn string(&mut self, start: usize) {
+        let line = self.line;
+        self.advance(1); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.advance(2.min(self.bytes.len() - self.pos)),
+                b'"' => {
+                    self.advance(1);
+                    break;
+                }
+                _ => self.advance(1),
+            }
+        }
+        self.consume_suffix();
+        self.push(TokenKind::Str, start, line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'`, `c"…"`,
+    /// `r#ident`.  Returns true when it consumed a literal; false means
+    /// the caller should lex a plain identifier.
+    fn literal_prefix(&mut self) -> bool {
+        let start = self.pos;
+        let line = self.line;
+        let b0 = self.bytes[self.pos];
+        // Raw identifier r#foo (but r#"…"# is a raw string).
+        if b0 == b'r' && self.peek(1) == Some(b'#') {
+            if let Some(b2) = self.peek(2) {
+                if is_ident_start(b2) {
+                    self.advance(2);
+                    while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                        self.pos += 1;
+                    }
+                    self.push(TokenKind::Ident, start, line);
+                    return true;
+                }
+            }
+        }
+        // Work out the full literal prefix: r, b, br, c, cr with optional
+        // hashes, followed by a quote.
+        let mut i = 1;
+        if (b0 == b'b' || b0 == b'c') && self.peek(1) == Some(b'r') {
+            i = 2;
+        }
+        match self.peek(i) {
+            Some(b'"') if b0 == b'b' && i == 1 => {
+                self.advance(i);
+                self.string(start);
+                return true;
+            }
+            Some(b'"') if b0 == b'c' && i == 1 => {
+                self.advance(i);
+                self.string(start);
+                return true;
+            }
+            Some(b'\'') if b0 == b'b' && i == 1 => {
+                self.advance(i);
+                self.char_literal(start, line);
+                return true;
+            }
+            _ => {}
+        }
+        // Raw-string forms: the prefix ends in `r`, then hashes, then `"`.
+        let raw = (b0 == b'r' && i == 1) || i == 2;
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(i + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if self.peek(i + hashes) == Some(b'"') {
+                self.advance(i + hashes + 1);
+                // Scan for `"` followed by `hashes` hashes.
+                'scan: while self.pos < self.bytes.len() {
+                    if self.bytes[self.pos] == b'"' {
+                        for h in 0..hashes {
+                            if self.peek(1 + h) != Some(b'#') {
+                                self.advance(1);
+                                continue 'scan;
+                            }
+                        }
+                        self.advance(1 + hashes);
+                        self.consume_suffix();
+                        self.push(TokenKind::Str, start, line);
+                        return true;
+                    }
+                    self.advance(1);
+                }
+                self.push(TokenKind::Str, start, line); // unterminated: to EOF
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn char_or_lifetime(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        // `'\…'` is always a char literal.
+        if self.peek(1) == Some(b'\\') {
+            self.char_literal(start, line);
+            return;
+        }
+        // `'X` where X begins an identifier: lifetime, unless the
+        // character after the identifier-run is `'` (then it is a char
+        // literal like 'a').
+        if let Some(b1) = self.peek(1) {
+            if is_ident_start(b1) {
+                let mut j = 2;
+                while self.peek(j).is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                if self.peek(j) == Some(b'\'') {
+                    self.char_literal(start, line);
+                } else {
+                    self.advance(j);
+                    self.push(TokenKind::Lifetime, start, line);
+                }
+                return;
+            }
+        }
+        self.char_literal(start, line);
+    }
+
+    /// A char/byte literal starting at its opening `'` (which may be at
+    /// `start` or later if a `b` prefix was consumed).
+    fn char_literal(&mut self, start: usize, line: u32) {
+        self.advance(1); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.advance(2.min(self.bytes.len() - self.pos)),
+                b'\'' => {
+                    self.advance(1);
+                    break;
+                }
+                b'\n' => break, // stray quote, not a literal: stop cleanly
+                _ => self.advance(1),
+            }
+        }
+        self.push(TokenKind::Char, start, line);
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // `1e+9` / `1E-9`: the sign belongs to the exponent.
+                let is_exp = (b == b'e' || b == b'E')
+                    && !self.src[start..self.pos].starts_with("0x")
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit());
+                self.pos += 1;
+                if is_exp {
+                    self.pos += 1; // the sign
+                }
+            } else if b == b'.'
+                && self.peek(1) != Some(b'.')
+                && self.peek(1).map_or(true, |n| !is_ident_start(n))
+            {
+                // Float point: `1.5`, `1.` — but not ranges `1..` or method
+                // calls `1.max(2)`.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, start, line);
+    }
+
+    fn ident(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    fn punct(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        let rest = &self.src[self.pos..];
+        for op in MULTI_PUNCT {
+            if rest.starts_with(op) {
+                self.advance(op.len());
+                self.push(TokenKind::Punct, start, line);
+                return;
+            }
+        }
+        // Single char (multi-byte UTF-8 safe).
+        let n = rest.chars().next().map_or(1, char::len_utf8);
+        self.advance(n);
+        self.push(TokenKind::Punct, start, line);
+    }
+
+    /// Literal type suffix such as `u8` in `1u8` or `"x"suffix` (rare but
+    /// legal after string literals in macros).
+    fn consume_suffix(&mut self) {
+        if self.pos < self.bytes.len() && is_ident_start(self.bytes[self.pos]) {
+            while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                self.pos += 1;
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let toks = kinds("fn f(x: u32) -> u32 { x + 1 }");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".into()));
+        assert!(toks.contains(&(TokenKind::Punct, "->".into())));
+        assert!(toks.contains(&(TokenKind::Num, "1".into())));
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let toks = kinds(r#"let s = "x.unwrap() /* not a comment */";"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(!toks.iter().any(|t| t.1 == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; let t = r"plain";"###);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Str)
+            .map(|t| t.1.clone())
+            .collect();
+        assert_eq!(strs, vec![r###"r#"quote " inside"#"###, r#"r"plain""#]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(
+            toks.iter().filter(|t| t.0 == TokenKind::BlockComment).count(),
+            1
+        );
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Ident).count(), 2);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("let c: char = 'a'; fn f<'x>(v: &'x str) { let q = '\\''; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.0 == TokenKind::Char).count(),
+            2,
+            "{toks:?}"
+        );
+        assert_eq!(
+            toks.iter().filter(|t| t.0 == TokenKind::Lifetime).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r##"let a = b"bytes"; let b = br#"raw "q" bytes"#; let c = b'\n';"##);
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.0 == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#match".into())));
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let toks = kinds("a <<= b; c << d; e..=f; g..h");
+        let ops: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Punct && t.1 != ";")
+            .map(|t| t.1.clone())
+            .collect();
+        assert_eq!(ops, vec!["<<=", "<<", "..=", ".."]);
+    }
+
+    #[test]
+    fn spans_reconstruct_source() {
+        let src = "fn main() { let s = \"a\\\"b\"; /* c */ }\n";
+        for t in lex(src) {
+            assert_eq!(&src[t.start..t.end], t.text, "span mismatch");
+        }
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = kinds("1u8 + 0x_FF - 1.5e-3 .. 2");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Num)
+            .map(|t| t.1.clone())
+            .collect();
+        assert_eq!(nums, vec!["1u8", "0x_FF", "1.5e-3", "2"]);
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for src in ["\"unterminated", "r#\"open", "/* open", "'", "b'", "\u{1F980} é"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! sketchtree-lint: a std-only static analyzer for the SketchTree
+//! workspace.
+//!
+//! The analyzer lexes every workspace `.rs` file with its own Rust
+//! lexer ([`lexer`]), annotates each file with test regions, function
+//! bodies and `lint:allow` markers ([`source`]), and runs five
+//! token-stream passes ([`passes`]):
+//!
+//! | rule | pass | polices |
+//! |------|------|---------|
+//! | `L1` | panic-freedom | `unwrap`/`expect`/`panic!`/indexing in server, sketch, core hot paths |
+//! | `L2` | cast-safety | integer `as` casts in wire.rs, snapshot.rs, prufer.rs, sketch |
+//! | `L3` | arithmetic discipline | bare/compound arithmetic on sketch counters |
+//! | `L4` | lock discipline | nested acquisition, guard-held re-acquisition, I/O under lock |
+//! | `L5` | wire exhaustiveness | every opcode has an encode and a decode arm |
+//!
+//! A finding is excused — recorded, but not gate-failing — by a
+//! same-line or preceding-line comment marker:
+//!
+//! ```text
+//! // lint:allow(L1, reason = "index < s1*s2 by construction")
+//! ```
+//!
+//! A marker without a reason suppresses nothing and is itself reported
+//! under rule `A0`.  [`analyze_workspace`] is the whole API; the
+//! `sketchtree-lint` binary and the tier-1 `lint_clean` test are thin
+//! wrappers over it.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod passes;
+pub mod report;
+pub mod source;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use report::{Finding, Report};
+use source::SourceFile;
+
+/// Directory names never descended into: build output, VCS metadata,
+/// vendored shims (not ours to police), and test/bench/example trees
+/// (the passes police library code).
+const SKIP_DIRS: &[&str] = &[
+    "target", ".git", "shims", "tests", "benches", "examples", "fixtures",
+];
+
+/// Walks up from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Every `.rs` file under `root`, skipping [`SKIP_DIRS`], sorted for
+/// deterministic reports.
+pub fn workspace_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(root, &mut out);
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let skip = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .map_or(true, |n| SKIP_DIRS.contains(&n));
+            if !skip {
+                walk(&path, out);
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Runs the default pass roster over every workspace source file and
+/// resolves `lint:allow` markers into the final [`Report`].
+pub fn analyze_workspace(root: &Path) -> Report {
+    let mut report = Report::default();
+    let passes = passes::default_passes();
+    for path in workspace_rs_files(root) {
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        report.files_scanned.push(rel.clone());
+        let file = SourceFile::parse(&rel, &text);
+        analyze_file(&file, &passes, &mut report);
+    }
+    report.sort();
+    report
+}
+
+/// Runs `passes` over one parsed file, matching findings against the
+/// file's allow markers.  Public so the seeded-bug self-tests can drive
+/// the analyzer over fixture trees.
+pub fn analyze_file(file: &SourceFile, passes: &[Box<dyn passes::Pass>], report: &mut Report) {
+    let mut raw = Vec::new();
+    for pass in passes {
+        if pass.applies(&file.rel) {
+            pass.run(file, &mut raw);
+        }
+    }
+    for f in raw {
+        // A marker excuses a finding of its rule on the marker's own
+        // line or the line directly below — but only when it carries a
+        // reason.
+        let allowed = file
+            .allows
+            .iter()
+            .filter(|m| m.rules.iter().any(|r| r == f.rule))
+            .filter(|m| m.line == f.line || m.line + 1 == f.line)
+            .find_map(|m| m.reason.clone());
+        report.findings.push(Finding {
+            rule: f.rule,
+            file: file.rel.clone(),
+            line: f.line,
+            message: f.message,
+            allowed,
+        });
+    }
+    // Reasonless markers are findings in their own right.
+    for m in &file.allows {
+        if m.reason.is_none() {
+            report.findings.push(Finding {
+                rule: "A0",
+                file: file.rel.clone(),
+                line: m.line,
+                message: format!(
+                    "lint:allow({}) without a reason; every allow must say why",
+                    m.rules.join(", ")
+                ),
+                allowed: None,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze_src(rel: &str, src: &str) -> Report {
+        let mut report = Report::default();
+        let file = SourceFile::parse(rel, src);
+        analyze_file(&file, &passes::default_passes(), &mut report);
+        report.sort();
+        report
+    }
+
+    #[test]
+    fn allow_with_reason_excuses_same_or_next_line() {
+        let report = analyze_src(
+            "crates/server/src/server.rs",
+            "fn f(v: &[u8]) -> u8 {\n    // lint:allow(L1, reason = \"v is non-empty: checked by caller\")\n    v[0]\n}\n",
+        );
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert!(report.is_clean());
+        assert_eq!(
+            report.findings[0].allowed.as_deref(),
+            Some("v is non-empty: checked by caller")
+        );
+    }
+
+    #[test]
+    fn reasonless_allow_suppresses_nothing_and_reports_a0() {
+        let report = analyze_src(
+            "crates/server/src/server.rs",
+            "fn f(v: &[u8]) -> u8 {\n    // lint:allow(L1)\n    v[0]\n}\n",
+        );
+        assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+        assert!(!report.is_clean());
+        assert!(report.findings.iter().any(|f| f.rule == "A0"));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "L1" && f.allowed.is_none()));
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_excuse() {
+        let report = analyze_src(
+            "crates/server/src/server.rs",
+            "fn f(v: &[u8]) -> u8 {\n    // lint:allow(L2, reason = \"not the right rule\")\n    v[0]\n}\n",
+        );
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn out_of_scope_file_is_silent() {
+        let report = analyze_src(
+            "crates/xml/src/reader.rs",
+            "fn f(v: &[u8]) -> u8 { v[0] }",
+        );
+        assert!(report.findings.is_empty());
+    }
+}

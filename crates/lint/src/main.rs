@@ -1,0 +1,76 @@
+//! The `sketchtree-lint` binary: run the workspace analyzer and print a
+//! report.
+//!
+//! ```text
+//! sketchtree-lint [--root PATH] [--format text|json] [--show-allowed]
+//! ```
+//!
+//! Exit status: 0 when the gate passes (zero undocumented findings),
+//! 1 when it fails, 2 on usage errors.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut show_allowed = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => return usage("--format needs `text` or `json`"),
+            },
+            "--show-allowed" => show_allowed = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match sketchtree_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => return usage("no workspace root found; pass --root"),
+            }
+        }
+    };
+
+    let report = sketchtree_lint::analyze_workspace(&root);
+    match format {
+        Format::Text => print!("{}", report.to_text(show_allowed)),
+        Format::Json => print!("{}", report.to_json()),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+enum Format {
+    Text,
+    Json,
+}
+
+const USAGE: &str = "usage: sketchtree-lint [--root PATH] [--format text|json] [--show-allowed]";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("sketchtree-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

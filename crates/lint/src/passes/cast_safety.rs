@@ -1,0 +1,116 @@
+//! L2 — cast-safety in serialization/deserialization code.
+//!
+//! PR 1 shipped a silent `as u32` length truncation in `wire.rs`: a
+//! payload over 4 GiB would have encoded a wrong length prefix and
+//! desynchronized the stream for every later frame.  `as` casts between
+//! integer types silently wrap, and in codec code a wrapped length or
+//! count is a protocol corruption, not a math quirk.  This pass flags
+//! **every** integer-target `as` cast in the codec files (`wire.rs`,
+//! `snapshot.rs`, `prufer.rs`) and in `crates/sketch` (whose state
+//! export/import feeds the snapshot format).  The fix is `try_from`
+//! with an in-band decode error, `From` where the conversion is
+//! provably widening, or an L2 allow marker stating why the cast
+//! cannot lose a bit.
+//!
+//! Float-target casts are out of scope: estimates are floats by nature
+//! and `f64` conversion is saturating, not wrapping.
+
+use super::{Pass, RawFinding};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// File basenames that are codec code wherever they live.
+const CODEC_FILES: &[&str] = &["wire.rs", "snapshot.rs", "prufer.rs"];
+
+/// The L2 pass.
+pub struct CastSafety;
+
+impl Pass for CastSafety {
+    fn rule(&self) -> &'static str {
+        "L2"
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        let base = rel.rsplit('/').next().unwrap_or(rel);
+        CODEC_FILES.contains(&base) || rel.starts_with("crates/sketch/src/")
+    }
+
+    fn run(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        for i in 0..file.tokens.len() {
+            if file.in_test[i] || file.code_token(i).is_none() {
+                continue;
+            }
+            let tok = &file.tokens[i];
+            if tok.kind != TokenKind::Ident || tok.text != "as" {
+                continue;
+            }
+            // `use x as y` imports share the keyword; only flag when the
+            // next token names an integer type.
+            let Some(n) = file.next_code(i) else { continue };
+            let ty = &file.tokens[n];
+            if ty.kind == TokenKind::Ident && INT_TYPES.contains(&ty.text.as_str()) {
+                out.push(RawFinding {
+                    rule: "L2",
+                    line: tok.line,
+                    message: format!(
+                        "`as {}` cast in codec code silently truncates/wraps; use try_from/From",
+                        ty.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(rel: &str, src: &str) -> Vec<RawFinding> {
+        let f = SourceFile::parse(rel, src);
+        let mut out = Vec::new();
+        CastSafety.run(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_integer_casts_only() {
+        let out = run_on(
+            "crates/server/src/wire.rs",
+            "fn f(n: usize) { let a = n as u32; let b = n as f64; let c = x as MyType; }",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("as u32"));
+    }
+
+    #[test]
+    fn use_renames_not_flagged() {
+        let out = run_on(
+            "crates/core/src/snapshot.rs",
+            "use std::io::Read as IoRead;\nfn g() {}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn tests_excluded() {
+        let out = run_on(
+            "crates/tree/src/prufer.rs",
+            "#[cfg(test)]\nmod tests { fn t() { let x = 1usize as u32; } }",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scope() {
+        assert!(CastSafety.applies("crates/server/src/wire.rs"));
+        assert!(CastSafety.applies("crates/core/src/snapshot.rs"));
+        assert!(CastSafety.applies("crates/tree/src/prufer.rs"));
+        assert!(CastSafety.applies("crates/sketch/src/bank.rs"));
+        assert!(!CastSafety.applies("crates/xml/src/reader.rs"));
+    }
+}

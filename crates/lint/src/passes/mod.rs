@@ -1,0 +1,66 @@
+//! The pass framework and the five shipped passes.
+//!
+//! A pass is a pure function over one annotated [`SourceFile`]: it may
+//! not do I/O and may not see other files (L5, which cross-checks
+//! opcode tables, still only needs `wire.rs` itself).  Each pass
+//! declares which workspace-relative paths it polices; scoping is part
+//! of the rule, not of the driver.
+
+use crate::source::SourceFile;
+
+pub mod arith;
+pub mod cast_safety;
+pub mod locks;
+pub mod panic_free;
+pub mod wire_exhaustive;
+
+/// A finding before allow-marker matching: rule, line, message.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// Rule id (`"L1"` … `"L5"`).
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// One static-analysis pass.
+pub trait Pass {
+    /// The rule id this pass reports under.
+    fn rule(&self) -> &'static str;
+    /// Whether `rel` (workspace-relative, `/`-separated) is in scope.
+    fn applies(&self, rel: &str) -> bool;
+    /// Analyses one in-scope file.
+    fn run(&self, file: &SourceFile, out: &mut Vec<RawFinding>);
+}
+
+/// The default pass roster, L1–L5.
+pub fn default_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(panic_free::PanicFree),
+        Box::new(cast_safety::CastSafety),
+        Box::new(arith::ArithDiscipline),
+        Box::new(locks::LockDiscipline),
+        Box::new(wire_exhaustive::WireExhaustive),
+    ]
+}
+
+/// Rust keywords that can directly precede `[` without it being an index
+/// expression (array literals, slice patterns, loop bodies…).
+pub(crate) const NON_POSTFIX_KEYWORDS: &[&str] = &[
+    "let", "mut", "in", "if", "else", "match", "return", "break", "continue", "move", "ref",
+    "as", "static", "const", "where", "use", "pub", "fn", "impl", "for", "while", "loop", "dyn",
+    "crate", "box", "unsafe", "async", "await", "yield", "type", "trait", "struct", "enum",
+];
+
+/// The innermost function (by body token range) containing token `i`.
+pub(crate) fn enclosing_fn<'a>(
+    file: &'a SourceFile,
+    i: usize,
+) -> Option<&'a crate::source::Func> {
+    file.functions
+        .iter()
+        .filter(|f| f.body.contains(&i))
+        .min_by_key(|f| f.body.len())
+}

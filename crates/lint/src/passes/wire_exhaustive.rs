@@ -1,0 +1,144 @@
+//! L5 — wire-opcode exhaustiveness.
+//!
+//! The SKTP framing in `wire.rs` declares every opcode as a
+//! `const K_*: u8`.  Encoding maps a message to its opcode in `kind()`;
+//! decoding matches the opcode back in `decode()`.  A constant that
+//! appears on only one side is a protocol hole: either the server can
+//! emit a frame no reader accepts, or it advertises a kind it can never
+//! produce.  PR 1 grew the opcode table three times; this pass makes the
+//! fourth time mechanical.
+//!
+//! The check is lexical: every `const K_<NAME>: u8` must be mentioned in
+//! at least one function named `kind` or `encode` (the encode side) and
+//! at least one function named `decode` (the decode side).  Both
+//! findings anchor to the constant's declaration line.
+
+use super::{Pass, RawFinding};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// The L5 pass.
+pub struct WireExhaustive;
+
+impl Pass for WireExhaustive {
+    fn rule(&self) -> &'static str {
+        "L5"
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        rel.rsplit('/').next().unwrap_or(rel) == "wire.rs"
+    }
+
+    fn run(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        // Collect `const K_X: u8` declarations (name, line).
+        let mut opcodes: Vec<(String, u32)> = Vec::new();
+        for i in 0..file.tokens.len() {
+            if file.in_test[i] || !file.is_ident(i, "const") {
+                continue;
+            }
+            let Some(name_i) = file.next_code(i) else { continue };
+            let name = &file.tokens[name_i];
+            if name.kind != TokenKind::Ident || !name.text.starts_with("K_") {
+                continue;
+            }
+            let colon = file.next_code(name_i);
+            let ty = colon.and_then(|c| {
+                if file.is_punct(c, ":") {
+                    file.next_code(c)
+                } else {
+                    None
+                }
+            });
+            if ty.map_or(false, |t| file.is_ident(t, "u8")) {
+                opcodes.push((name.text.clone(), name.line));
+            }
+        }
+
+        // Collect the token texts used inside encode-side and decode-side
+        // function bodies.
+        let mut encode_side: Vec<&str> = Vec::new();
+        let mut decode_side: Vec<&str> = Vec::new();
+        for func in &file.functions {
+            let side: &mut Vec<&str> = match func.name.as_str() {
+                "kind" | "encode" => &mut encode_side,
+                "decode" => &mut decode_side,
+                _ => continue,
+            };
+            for j in func.body.clone() {
+                if let Some(t) = file.code_token(j) {
+                    if t.kind == TokenKind::Ident {
+                        side.push(t.text.as_str());
+                    }
+                }
+            }
+        }
+
+        for (name, line) in &opcodes {
+            if !encode_side.iter().any(|t| t == name) {
+                out.push(RawFinding {
+                    rule: "L5",
+                    line: *line,
+                    message: format!("opcode `{name}` has no encode arm (not used in any kind()/encode())"),
+                });
+            }
+            if !decode_side.iter().any(|t| t == name) {
+                out.push(RawFinding {
+                    rule: "L5",
+                    line: *line,
+                    message: format!("opcode `{name}` has no decode arm (not used in any decode())"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BALANCED: &str = r#"
+const K_PING: u8 = 0x01;
+const K_PONG: u8 = 0x81;
+impl Req {
+    fn kind(&self) -> u8 { match self { Req::Ping => K_PING, Req::Pong => K_PONG } }
+    fn decode(k: u8) -> Option<Req> {
+        match k { K_PING => Some(Req::Ping), K_PONG => Some(Req::Pong), _ => None }
+    }
+}
+"#;
+
+    fn run_on(src: &str) -> Vec<RawFinding> {
+        let f = SourceFile::parse("crates/server/src/wire.rs", src);
+        let mut out = Vec::new();
+        WireExhaustive.run(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn balanced_table_is_clean() {
+        assert!(run_on(BALANCED).is_empty());
+    }
+
+    #[test]
+    fn missing_decode_arm_flagged() {
+        let src = BALANCED.replace("K_PONG => Some(Req::Pong), ", "");
+        let out = run_on(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("K_PONG"));
+        assert!(out[0].message.contains("decode"));
+    }
+
+    #[test]
+    fn missing_encode_arm_flagged() {
+        let src = BALANCED.replace("Req::Pong => K_PONG", "Req::Pong => 0x81");
+        let out = run_on(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("encode"));
+    }
+
+    #[test]
+    fn only_wire_rs_in_scope() {
+        assert!(WireExhaustive.applies("crates/server/src/wire.rs"));
+        assert!(!WireExhaustive.applies("crates/server/src/server.rs"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Findings and machine-readable report rendering.
+
+use std::fmt::Write as _;
+
+/// One finding from one pass at one source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id, e.g. `"L1"`.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What was found.
+    pub message: String,
+    /// `Some(reason)` when a `lint:allow` marker documents the site; such
+    /// findings are recorded but do not fail the gate.
+    pub allowed: Option<String>,
+}
+
+/// The outcome of analysing a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, allowed and not, ordered by file then line.
+    pub findings: Vec<Finding>,
+    /// Files that were scanned.
+    pub files_scanned: Vec<String>,
+}
+
+impl Report {
+    /// Findings not excused by a `lint:allow` marker — the ones that fail
+    /// the gate.
+    pub fn undocumented(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_none())
+    }
+
+    /// Findings that were excused, with their reasons.
+    pub fn allowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_some())
+    }
+
+    /// True when the gate passes: zero undocumented findings.
+    pub fn is_clean(&self) -> bool {
+        self.undocumented().next().is_none()
+    }
+
+    /// Stable ordering for deterministic output.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// Human-readable text rendering.
+    pub fn to_text(&self, show_allowed: bool) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            match &f.allowed {
+                None => {
+                    let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+                }
+                Some(reason) if show_allowed => {
+                    let _ = writeln!(
+                        out,
+                        "{}:{}: [{}] allowed ({reason}): {}",
+                        f.file, f.line, f.rule, f.message
+                    );
+                }
+                Some(_) => {}
+            }
+        }
+        let bad = self.undocumented().count();
+        let ok = self.allowed().count();
+        let _ = writeln!(
+            out,
+            "{} file(s) scanned, {bad} undocumented finding(s), {ok} allowed",
+            self.files_scanned.len()
+        );
+        out
+    }
+
+    /// Machine-readable JSON rendering (no dependencies: hand-escaped).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"allowed\": {}}}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                match &f.allowed {
+                    Some(r) => json_str(r),
+                    None => "null".to_string(),
+                }
+            );
+            out.push_str(if i + 1 < self.findings.len() { ",\n" } else { "\n" });
+        }
+        let _ = write!(
+            out,
+            "  ],\n  \"files_scanned\": {},\n  \"undocumented\": {},\n  \"allowed\": {},\n  \"clean\": {}\n}}\n",
+            self.files_scanned.len(),
+            self.undocumented().count(),
+            self.allowed().count(),
+            self.is_clean()
+        );
+        out
+    }
+}
+
+/// JSON string escaping per RFC 8259.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, allowed: Option<&str>) -> Finding {
+        Finding {
+            rule,
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            message: "msg with \"quotes\"".into(),
+            allowed: allowed.map(String::from),
+        }
+    }
+
+    #[test]
+    fn clean_logic() {
+        let mut r = Report::default();
+        assert!(r.is_clean());
+        r.findings.push(finding("L1", Some("fine")));
+        assert!(r.is_clean());
+        r.findings.push(finding("L2", None));
+        assert!(!r.is_clean());
+        assert_eq!(r.undocumented().count(), 1);
+        assert_eq!(r.allowed().count(), 1);
+    }
+
+    #[test]
+    fn json_escapes() {
+        let mut r = Report::default();
+        r.findings.push(finding("L1", None));
+        let j = r.to_json();
+        assert!(j.contains("\\\"quotes\\\""), "{j}");
+        assert!(j.contains("\"clean\": false"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the analyzer's Rust lexer.
+//!
+//! The passes are only as sound as the token stream: a string literal
+//! that leaks punctuation, a comment that swallows code, or a span that
+//! drifts off the source would silently corrupt every rule.  These
+//! properties pin the load-bearing invariants on arbitrary input.
+
+use proptest::prelude::*;
+use sketchtree_lint::lexer::{lex, TokenKind};
+
+/// Source-ish text: printable characters including quotes, braces and
+/// comment starters, so the tricky lexer states all get exercised.
+fn arb_source() -> impl Strategy<Value = String> {
+    "[ -~\n\t]{0,200}"
+}
+
+/// String-literal / comment innards with no `"`, `\`, `*` or `/` — their
+/// lexed form is fully predictable (no escapes, no comment delimiters).
+fn arb_plain_inner() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 +(){}\\[\\].!#&|;:<>=-]{0,40}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer never panics, whatever bytes come in.
+    #[test]
+    fn lex_never_panics(src in arb_source()) {
+        let _ = lex(&src);
+    }
+
+    /// Every token's span points at exactly its own text, tokens are
+    /// ordered, non-overlapping, and line numbers never decrease — the
+    /// invariants the pass framework and allow-matching rely on.
+    #[test]
+    fn spans_are_exact_ordered_and_in_bounds(src in arb_source()) {
+        let tokens = lex(&src);
+        let mut prev_end = 0usize;
+        let mut prev_line = 1u32;
+        for t in &tokens {
+            prop_assert!(t.start >= prev_end, "overlapping tokens");
+            prop_assert!(t.end <= src.len(), "span out of bounds");
+            prop_assert_eq!(src.get(t.start..t.end), Some(t.text.as_str()));
+            prop_assert!(t.line >= prev_line, "line numbers went backwards");
+            prev_end = t.end;
+            prev_line = t.line;
+        }
+    }
+
+    /// A string literal lexes as ONE `Str` token: none of its contents
+    /// leak out as idents or punctuation.
+    #[test]
+    fn string_contents_do_not_leak(inner in arb_plain_inner()) {
+        let src = format!("fn f() {{ let s = \"{inner}\"; }}");
+        let tokens = lex(&src);
+        let strs: Vec<_> = tokens.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        prop_assert_eq!(strs.len(), 1, "src: {}", src);
+        prop_assert_eq!(&strs[0].text, &format!("\"{inner}\""));
+        // Exactly the surrounding structure remains as code tokens.
+        let idents: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["fn", "f", "let", "s"]);
+    }
+
+    /// Comment markers inside string literals stay inside the string:
+    /// the lexer must not start a comment there, or allow markers could
+    /// be smuggled in via string data.
+    #[test]
+    fn comment_starters_inside_strings_are_data(inner in arb_plain_inner()) {
+        let src = format!("let a = \"// {inner}\"; let b = \"/* {inner} */\";");
+        let tokens = lex(&src);
+        prop_assert!(tokens.iter().all(|t| t.kind != TokenKind::LineComment
+            && t.kind != TokenKind::BlockComment), "src: {}", src);
+        prop_assert_eq!(tokens.iter().filter(|t| t.kind == TokenKind::Str).count(), 2);
+    }
+
+    /// Block comments nest: `/* /* … */ */` is one comment token at any
+    /// depth, and the code around it survives.
+    #[test]
+    fn block_comments_nest(depth in 1usize..6, inner in arb_plain_inner()) {
+        let mut body = inner.clone();
+        for _ in 0..depth {
+            body = format!("/* {body} */");
+        }
+        let src = format!("let x = 1; {body} let y = 2;");
+        let tokens = lex(&src);
+        let comments: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::BlockComment)
+            .collect();
+        prop_assert_eq!(comments.len(), 1, "src: {}", src);
+        prop_assert_eq!(&comments[0].text, &body);
+        let idents: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["let", "x", "let", "y"]);
+    }
+
+    /// Concatenating token texts with the inter-token gaps reconstructs
+    /// the source byte for byte — nothing is dropped or duplicated.
+    #[test]
+    fn tokens_plus_gaps_reconstruct_source(src in arb_source()) {
+        let tokens = lex(&src);
+        let mut rebuilt = String::new();
+        let mut pos = 0usize;
+        for t in &tokens {
+            rebuilt.push_str(src.get(pos..t.start).unwrap_or(""));
+            rebuilt.push_str(&t.text);
+            pos = t.end;
+        }
+        rebuilt.push_str(src.get(pos..).unwrap_or(""));
+        prop_assert_eq!(rebuilt, src);
+    }
+}

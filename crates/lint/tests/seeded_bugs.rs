@@ -1,0 +1,160 @@
+//! Seeded-bug self-tests: every rule must FIRE on a planted violation.
+//!
+//! A static analyzer that silently stops matching is worse than none at
+//! all — the gate would keep passing while the codebase regresses.  Each
+//! test here plants a known violation in a synthetic file placed inside
+//! the relevant pass's scope and asserts the expected rule reports it;
+//! the negative tests pin the escape hatches (test code, documented
+//! allow markers) so they cannot silently widen.
+
+use sketchtree_lint::passes::default_passes;
+use sketchtree_lint::report::Report;
+use sketchtree_lint::source::SourceFile;
+use sketchtree_lint::analyze_file;
+
+/// Runs the default passes over one synthetic file.
+fn analyze(rel: &str, src: &str) -> Report {
+    let file = SourceFile::parse(rel, src);
+    let mut report = Report::default();
+    analyze_file(&file, &default_passes(), &mut report);
+    report
+}
+
+fn undocumented_rules(report: &Report) -> Vec<&'static str> {
+    report.undocumented().map(|f| f.rule).collect()
+}
+
+#[test]
+fn l1_fires_on_unwrap_expect_and_indexing() {
+    let report = analyze(
+        "crates/sketch/src/seeded.rs",
+        "fn f(v: &[u64]) -> u64 { let a = v.first().unwrap(); let b = v.iter().next().expect(\"x\"); a + b + v[0] }",
+    );
+    let rules = undocumented_rules(&report);
+    assert_eq!(rules.iter().filter(|r| **r == "L1").count(), 3, "{report:?}");
+}
+
+#[test]
+fn l1_fires_on_panic_macros() {
+    let report = analyze(
+        "crates/server/src/seeded.rs",
+        "fn f(x: u32) { if x > 3 { panic!(\"no\"); } else { unreachable!() } }",
+    );
+    let rules = undocumented_rules(&report);
+    assert_eq!(rules.iter().filter(|r| **r == "L1").count(), 2, "{report:?}");
+}
+
+#[test]
+fn l2_fires_on_narrowing_cast_in_codec() {
+    let report = analyze(
+        "crates/server/src/wire.rs",
+        "fn f(n: u64) -> u32 { n as u32 }",
+    );
+    assert_eq!(undocumented_rules(&report), vec!["L2"], "{report:?}");
+}
+
+#[test]
+fn l3_fires_on_compound_and_bare_update_arithmetic() {
+    let report = analyze(
+        "crates/sketch/src/seeded.rs",
+        "impl S { fn bump(&mut self) { self.n += 1; } fn update(&mut self, d: i64) { self.x = self.x + d; } }",
+    );
+    let rules = undocumented_rules(&report);
+    assert_eq!(rules.iter().filter(|r| **r == "L3").count(), 2, "{report:?}");
+}
+
+#[test]
+fn l4_fires_on_guard_held_reacquisition() {
+    let report = analyze(
+        "crates/server/src/seeded.rs",
+        "fn f(&self) { let g = self.inner.read(); let h = self.inner.write(); }",
+    );
+    assert!(
+        undocumented_rules(&report).contains(&"L4"),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn l4_fires_on_io_under_lock_in_server() {
+    let report = analyze(
+        "crates/server/src/server.rs",
+        "fn f(&self) { let g = self.ck.lock(); fs::write(p, b).ok(); }",
+    );
+    assert!(
+        report
+            .undocumented()
+            .any(|f| f.rule == "L4" && f.message.contains("fs::write")),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn l5_fires_on_opcode_missing_from_decode() {
+    let report = analyze(
+        "crates/server/src/wire.rs",
+        "pub const K_PING: u8 = 1;\npub const K_PONG: u8 = 2;\n\
+         fn kind() -> u8 { K_PING ^ K_PONG }\n\
+         fn decode(k: u8) -> bool { k == K_PONG }",
+    );
+    assert!(
+        report
+            .undocumented()
+            .any(|f| f.rule == "L5" && f.message.contains("K_PING")),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn test_code_is_exempt() {
+    let report = analyze(
+        "crates/sketch/src/seeded.rs",
+        "#[cfg(test)]\nmod tests {\n    fn f(v: &[u64]) -> u64 { v[0] + v.first().unwrap() }\n}",
+    );
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.findings.len(), 0, "test code must produce nothing");
+}
+
+#[test]
+fn reasoned_allow_suppresses_but_is_recorded() {
+    let marker = "lint:allow(L1, reason = \"seeded self-test\")";
+    let src = format!("fn f(v: &[u64]) -> u64 {{\n    // {marker}\n    v[0]\n}}");
+    let report = analyze("crates/sketch/src/seeded.rs", &src);
+    assert!(report.is_clean(), "{report:?}");
+    let allowed: Vec<_> = report.allowed().collect();
+    assert_eq!(allowed.len(), 1, "{report:?}");
+    assert_eq!(allowed[0].rule, "L1");
+    assert_eq!(allowed[0].allowed.as_deref(), Some("seeded self-test"));
+}
+
+#[test]
+fn reasonless_allow_suppresses_nothing_and_is_itself_flagged() {
+    let marker = "lint:allow(L1)";
+    let src = format!("fn f(v: &[u64]) -> u64 {{\n    // {marker}\n    v[0]\n}}");
+    let report = analyze("crates/sketch/src/seeded.rs", &src);
+    let rules = undocumented_rules(&report);
+    assert!(rules.contains(&"A0"), "reasonless marker not flagged: {report:?}");
+    assert!(rules.contains(&"L1"), "reasonless marker suppressed a finding: {report:?}");
+}
+
+#[test]
+fn allow_for_wrong_rule_does_not_suppress() {
+    let marker = "lint:allow(L2, reason = \"wrong rule on purpose\")";
+    let src = format!("fn f(v: &[u64]) -> u64 {{\n    // {marker}\n    v[0]\n}}");
+    let report = analyze("crates/sketch/src/seeded.rs", &src);
+    assert!(
+        undocumented_rules(&report).contains(&"L1"),
+        "an L2 marker must not excuse an L1 finding: {report:?}"
+    );
+}
+
+#[test]
+fn out_of_scope_files_are_untouched() {
+    // The datagen crate is outside every pass's scope: the same seeded
+    // violations produce nothing there.
+    let report = analyze(
+        "crates/datagen/src/seeded.rs",
+        "fn f(v: &[u64], n: u64) -> u32 { v[0].unwrap(); n as u32 }",
+    );
+    assert!(report.is_clean(), "{report:?}");
+}

@@ -231,7 +231,12 @@ impl Client {
 
     fn try_once(&mut self, req: &Request) -> Result<Response, ClientError> {
         self.ensure_connected()?;
-        let stream = self.stream.as_mut().expect("just connected");
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "connection lost before the request could be written",
+            )));
+        };
         req.write_to(stream)?;
         let deadline = std::time::Instant::now() + self.response_timeout;
         loop {

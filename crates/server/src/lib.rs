@@ -21,6 +21,7 @@
 //! [`sketchtree_core::concurrent::SharedSketchTree`] — so queries run
 //! under the shared lock and never block each other.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -413,15 +413,19 @@ fn ingest_remapped(ctx: &Ctx, map: &[Label], trees: &[Tree]) -> Response {
 /// Rebuilds `tree` with every label translated through `map`.
 fn remap_tree(tree: &Tree, map: &[Label]) -> Tree {
     fn go(tree: &Tree, id: NodeId, map: &[Label], b: &mut TreeBuilder) {
+        // lint:allow(L1, reason = "map has one entry per local label and tree was parsed against that same local table")
         b.open(map[tree.label(id).0 as usize])
+            // lint:allow(L1, reason = "a preorder walk opens before it closes, so nesting is always valid")
             .expect("preorder rebuild cannot misnest");
         for &child in tree.children(id) {
             go(tree, child, map, b);
         }
+        // lint:allow(L1, reason = "close() pairs with the open() above in the same call")
         b.close().expect("preorder rebuild cannot misnest");
     }
     let mut b = TreeBuilder::new();
     go(tree, tree.root(), map, &mut b);
+    // lint:allow(L1, reason = "the recursion closes every node it opens, so the builder is complete")
     b.finish().expect("rebuilt tree is complete")
 }
 
@@ -439,7 +443,9 @@ fn checkpoint_now(shared: &SharedSketchTree, ck: &Checkpoint) -> io::Result<u64>
     let _guard = ck.lock.lock().unwrap_or_else(|e| e.into_inner());
     let bytes = shared.read(write_snapshot);
     let tmp = path.with_extension("tmp");
+    // lint:allow(L4, reason = "the checkpoint mutex exists precisely to serialize this I/O; it is never taken on a query or ingest path")
     std::fs::write(&tmp, &bytes)?;
+    // lint:allow(L4, reason = "the checkpoint mutex exists precisely to serialize this I/O; it is never taken on a query or ingest path")
     std::fs::rename(&tmp, path)?;
     Ok(bytes.len() as u64)
 }

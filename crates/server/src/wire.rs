@@ -32,6 +32,13 @@ pub const MAGIC: &[u8; 4] = b"SKTP";
 pub const VERSION: u32 = 1;
 /// Frame header length: magic + version + kind + payload length.
 pub const HEADER_LEN: usize = 4 + 4 + 1 + 4;
+
+/// Widening conversion for wire lengths and counts: `usize` is at least
+/// 32 bits on every target this workspace supports.
+fn widen(n: u32) -> usize {
+    // lint:allow(L2, reason = "u32 -> usize is widening on all supported targets")
+    n as usize
+}
 /// Default cap on a single frame's payload (32 MiB).
 pub const DEFAULT_MAX_FRAME: u32 = 32 << 20;
 
@@ -142,10 +149,11 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<(
         io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32::MAX bytes")
     })?;
     let mut header = [0u8; HEADER_LEN];
-    header[..4].copy_from_slice(MAGIC);
-    header[4..8].copy_from_slice(&VERSION.to_le_bytes());
-    header[8] = kind;
-    header[9..13].copy_from_slice(&len.to_le_bytes());
+    let mut cur = header.as_mut_slice();
+    cur.write_all(MAGIC)?;
+    cur.write_all(&VERSION.to_le_bytes())?;
+    cur.write_all(&[kind])?;
+    cur.write_all(&len.to_le_bytes())?;
     w.write_all(&header)?;
     w.write_all(payload)?;
     w.flush()
@@ -172,24 +180,27 @@ pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, WireError>
             Err(e) => return Err(WireError::Io(e)),
         }
     }
+    let [first_byte] = first;
     let mut rest = [0u8; HEADER_LEN - 1];
     read_exact_framed(r, &mut rest)?;
-    let mut header = [0u8; HEADER_LEN];
-    header[0] = first[0];
-    header[1..].copy_from_slice(&rest);
-    if &header[..4] != MAGIC {
+    // Parse the header through the payload Reader: first byte + 12 rest
+    // bytes are magic(4), version(4), kind(1), len(4), little-endian.
+    let mut hdr = Reader { bytes: &rest, pos: 0 };
+    let [m0, m1, m2, m3] = *MAGIC;
+    if first_byte != m0 || hdr.take(3)? != [m1, m2, m3] {
         return Err(WireError::BadMagic);
     }
-    let version = u32::from_le_bytes(header[4..8].try_into().expect("len 4"));
+    let version = hdr.u32()?;
     if version != VERSION {
         return Err(WireError::UnsupportedVersion(version));
     }
-    let kind = header[8];
-    let len = u32::from_le_bytes(header[9..13].try_into().expect("len 4"));
+    let kind = hdr.u8()?;
+    let len = hdr.u32()?;
+    hdr.finish()?;
     if len > max_frame {
         return Err(WireError::Oversize { len, max: max_frame });
     }
-    let mut payload = vec![0u8; len as usize];
+    let mut payload = vec![0u8; widen(len)];
     read_exact_framed(r, &mut payload)?;
     Ok(Frame::Msg { kind, payload })
 }
@@ -343,7 +354,7 @@ impl Request {
                 }
             }
             Request::Count { unordered, pattern } => {
-                w.u8(*unordered as u8);
+                w.u8(u8::from(*unordered));
                 w.str(pattern);
             }
             Request::Expr(e) => w.str(e),
@@ -363,7 +374,7 @@ impl Request {
             K_SHUTDOWN => Request::Shutdown,
             K_INGEST_XML => {
                 let n = r.count("document count", MAX_DOCS)?;
-                let mut docs = Vec::with_capacity(n.min(1 << 12) as usize);
+                let mut docs = Vec::with_capacity(widen(n.min(1 << 12)));
                 for _ in 0..n {
                     docs.push(r.str()?);
                 }
@@ -371,14 +382,14 @@ impl Request {
             }
             K_INGEST_TREES => {
                 let n = r.count("label count", MAX_LABELS)?;
-                let mut labels = Vec::with_capacity(n.min(1 << 12) as usize);
+                let mut labels = Vec::with_capacity(widen(n.min(1 << 12)));
                 for _ in 0..n {
                     labels.push(r.str()?);
                 }
                 let t = r.count("tree count", MAX_TREES)?;
-                let mut trees = Vec::with_capacity(t.min(1 << 12) as usize);
+                let mut trees = Vec::with_capacity(widen(t.min(1 << 12)));
                 for _ in 0..t {
-                    trees.push(decode_tree(&mut r, labels.len() as u32)?);
+                    trees.push(decode_tree(&mut r, n)?);
                 }
                 Request::IngestTrees { labels, trees }
             }
@@ -482,7 +493,7 @@ impl Response {
             }),
             K_HEAVY_REPLY => {
                 let n = r.count("heavy-hitter count", MAX_ENTRIES)?;
-                let mut entries = Vec::with_capacity(n.min(1 << 12) as usize);
+                let mut entries = Vec::with_capacity(widen(n.min(1 << 12)));
                 for _ in 0..n {
                     entries.push((r.u64()?, r.i64()?));
                 }
@@ -572,6 +583,7 @@ impl Writer {
     /// would emit a wrong prefix and desynchronize the stream, so fail
     /// loudly at the encode site instead.
     fn len(&mut self, n: usize) {
+        // lint:allow(L1, reason = "deliberate encode-side policy: failing loudly beats emitting a wrong length prefix and desynchronizing the stream")
         self.u32(u32::try_from(n).expect("length exceeds u32::MAX, not encodable in SKTP"));
     }
     fn str(&mut self, s: &str) {
@@ -588,24 +600,24 @@ struct Reader<'a> {
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
-        if end > self.bytes.len() {
-            return Err(WireError::Truncated);
-        }
-        let out = &self.bytes[self.pos..end];
+        let out = self.bytes.get(self.pos..end).ok_or(WireError::Truncated)?;
         self.pos = end;
         Ok(out)
     }
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(WireError::Truncated)
     }
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        let arr = <[u8; 4]>::try_from(self.take(4)?).map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_le_bytes(arr))
     }
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        let arr = <[u8; 8]>::try_from(self.take(8)?).map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_le_bytes(arr))
     }
     fn i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        let arr = <[u8; 8]>::try_from(self.take(8)?).map_err(|_| WireError::Truncated)?;
+        Ok(i64::from_le_bytes(arr))
     }
     fn count(&mut self, what: &'static str, max: u32) -> Result<u32, WireError> {
         let v = self.u32()?;
@@ -615,7 +627,7 @@ impl<'a> Reader<'a> {
         Ok(v)
     }
     fn str(&mut self) -> Result<String, WireError> {
-        let len = self.u32()? as usize;
+        let len = widen(self.u32()?);
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Corrupt("invalid utf-8 string"))
     }

@@ -46,9 +46,14 @@ impl AmsSketch {
     }
 
     /// Applies `count` occurrences of `value` (negative to delete).
+    ///
+    /// The counter wraps on overflow: wrapping arithmetic is a group
+    /// operation, so insert/delete symmetry (`X -= m·ξ_t` undoes
+    /// `X += m·ξ_t`) holds mod 2⁶⁴ even across a wrap, whereas a panic
+    /// or saturation would break it.
     #[inline]
     pub fn update(&mut self, value: u64, count: i64) {
-        self.x += self.sign(value) * count;
+        self.x = self.x.wrapping_add(self.sign(value).wrapping_mul(count));
     }
 
     /// The raw counter `X`.
@@ -58,10 +63,11 @@ impl AmsSketch {
     }
 
     /// Adds a precomputed `sign × count` contribution directly to `X`
-    /// (fast path for callers that already hold the ξ value).
+    /// (fast path for callers that already hold the ξ value).  Wraps on
+    /// overflow for the same symmetry reason as [`AmsSketch::update`].
     #[inline]
     pub fn add_raw(&mut self, delta: i64) {
-        self.x += delta;
+        self.x = self.x.wrapping_add(delta);
     }
 
     /// Overwrites the raw counter (snapshot restore).

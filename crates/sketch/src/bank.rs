@@ -54,6 +54,7 @@ impl SketchBank {
         assert!(s1 > 0 && s2 > 0, "s1 and s2 must be positive");
         let independence = independence.max(4);
         let sketches = (0..s1 * s2)
+            // lint:allow(L2, reason = "usize -> u64 is widening on all supported targets")
             .map(|idx| AmsSketch::new(SplitMix64::derive(seed, idx as u64), independence))
             .collect();
         Self { s1, s2, sketches }
@@ -88,6 +89,7 @@ impl SketchBank {
 
     #[inline]
     fn sketch(&self, i: usize, j: usize) -> &AmsSketch {
+        // lint:allow(L1, reason = "every caller iterates i < s2 and j < s1; len is s1 * s2")
         &self.sketches[i * self.s1 + j]
     }
 
@@ -156,6 +158,7 @@ impl SketchBank {
     /// are not medians of sums.
     #[inline]
     pub fn sketch_at(&self, idx: usize) -> &AmsSketch {
+        // lint:allow(L1, reason = "documented caller contract: idx in 0..num_sketches()")
         &self.sketches[idx]
     }
 
@@ -163,6 +166,7 @@ impl SketchBank {
     pub fn accumulate(&self, acc: &mut [f64], per_sketch: impl Fn(&AmsSketch) -> f64) {
         debug_assert_eq!(acc.len(), self.sketches.len());
         for (a, s) in acc.iter_mut().zip(&self.sketches) {
+            // lint:allow(L3, reason = "f64 accumulation cannot wrap; it saturates to infinity")
             *a += per_sketch(s);
         }
     }
@@ -212,6 +216,7 @@ impl SketchBank {
     /// passing the buffer around roughly halves per-pattern cost.
     pub fn signs_into(&self, value: u64, buf: &mut Vec<i8>) {
         buf.clear();
+        // lint:allow(L2, reason = "sign() returns ±1, which always fits i8")
         buf.extend(self.sketches.iter().map(|s| s.sign(value) as i8));
     }
 
@@ -219,7 +224,7 @@ impl SketchBank {
     pub fn update_with_signs(&mut self, signs: &[i8], count: i64) {
         debug_assert_eq!(signs.len(), self.sketches.len());
         for (s, &sg) in self.sketches.iter_mut().zip(signs) {
-            s.add_raw(i64::from(sg) * count);
+            s.add_raw(i64::from(sg).wrapping_mul(count));
         }
     }
 
@@ -260,23 +265,25 @@ pub(crate) fn effective_x(s: &AmsSketch, restore: &[(u64, i64)]) -> i64 {
 /// `coeff · X^k/k! · Πξ` for one term.
 #[inline]
 pub(crate) fn term_value(s: &AmsSketch, t: &Term, x_eff: f64) -> f64 {
-    let k = t.queries.len() as u32;
+    let k = t.queries.len();
     let xi_prod: i64 = t.queries.iter().map(|&q| s.sign(q)).product();
-    let mut factorial = 1.0f64;
-    for i in 2..=k {
-        factorial *= f64::from(i);
-    }
-    t.coeff as f64 * x_eff.powi(k as i32) / factorial * xi_prod as f64
+    let factorial: f64 = (2..=k).map(|i| i as f64).product();
+    // A term with an absurd product size degrades to ±inf rather than
+    // silently truncating the exponent.
+    let exp = i32::try_from(k).unwrap_or(i32::MAX);
+    t.coeff as f64 * x_eff.powi(exp) / factorial * xi_prod as f64
 }
 
 /// Median of a mutable slice (average of middle two when even).
 pub(crate) fn median_in_place(xs: &mut [f64]) -> f64 {
     assert!(!xs.is_empty());
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+    xs.sort_by(f64::total_cmp);
     let n = xs.len();
     if n % 2 == 1 {
+        // lint:allow(L1, reason = "n >= 1 asserted above, so n / 2 < n")
         xs[n / 2]
     } else {
+        // lint:allow(L1, reason = "even n is >= 2 here, so n / 2 - 1 and n / 2 are in bounds")
         (xs[n / 2 - 1] + xs[n / 2]) / 2.0
     }
 }

@@ -31,6 +31,7 @@ impl Row {
         let h = gf2p64::eval_poly(&self.bucket_coeffs, value);
         // Multiply-shift range reduction avoids the modulo bias that
         // `h % width` would introduce for non-power-of-two widths.
+        // lint:allow(L2, reason = "usize -> u128 is widening, and the shifted product is < width so it fits back in usize")
         ((u128::from(h) * width as u128) >> 64) as usize
     }
 }
@@ -44,6 +45,7 @@ impl CountSketch {
         assert!(depth > 0 && width > 0, "depth and width must be positive");
         let rows = (0..depth)
             .map(|r| {
+                // lint:allow(L2, reason = "usize -> u64 is widening on all supported targets")
                 let mut rng = SplitMix64::new(SplitMix64::derive(seed, r as u64));
                 Row {
                     bucket_coeffs: [rng.next_u64(), rng.next_nonzero_u64()],
@@ -56,11 +58,16 @@ impl CountSketch {
     }
 
     /// Applies `count` occurrences of `value` (negative to delete).
+    ///
+    /// Buckets wrap on overflow, preserving insert/delete symmetry mod 2⁶⁴
+    /// (same reasoning as [`crate::AmsSketch::update`]).
     pub fn update(&mut self, value: u64, count: i64) {
         let width = self.width;
         for row in &mut self.rows {
             let b = row.bucket(value, width);
-            row.counters[b] += row.sign.sign(value) * count;
+            if let Some(c) = row.counters.get_mut(b) {
+                *c = c.wrapping_add(row.sign.sign(value).wrapping_mul(count));
+            }
         }
     }
 
@@ -71,7 +78,8 @@ impl CountSketch {
             .iter()
             .map(|row| {
                 let b = row.bucket(value, self.width);
-                (row.sign.sign(value) * row.counters[b]) as f64
+                let c = row.counters.get(b).copied().unwrap_or(0);
+                (row.sign.sign(value) * c) as f64
             })
             .collect();
         crate::bank::median_in_place(&mut ests)

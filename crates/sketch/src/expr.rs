@@ -76,15 +76,23 @@ impl std::error::Error for ExprError {}
 
 impl Expr {
     /// Convenience constructor for a sum of counts (Theorem 2 queries).
+    ///
+    /// # Panics
+    /// Panics if `queries` is empty — an empty sum has no `Expr` encoding.
     pub fn sum_of_counts(queries: &[u64]) -> Expr {
         let mut it = queries.iter();
+        // lint:allow(L1, reason = "documented precondition: an empty sum has no Expr encoding")
         let first = Expr::Count(*it.next().expect("at least one query"));
         it.fold(first, |acc, &q| Expr::Add(Box::new(acc), Box::new(Expr::Count(q))))
     }
 
     /// Convenience constructor for a product of counts.
+    ///
+    /// # Panics
+    /// Panics if `queries` is empty — an empty product has no `Expr` encoding.
     pub fn product_of_counts(queries: &[u64]) -> Expr {
         let mut it = queries.iter();
+        // lint:allow(L1, reason = "documented precondition: an empty product has no Expr encoding")
         let first = Expr::Count(*it.next().expect("at least one query"));
         it.fold(first, |acc, &q| Expr::Mul(Box::new(acc), Box::new(Expr::Count(q))))
     }
@@ -123,7 +131,9 @@ impl Expr {
         let mut merged: Vec<Term> = Vec::new();
         for t in terms {
             match merged.last_mut() {
-                Some(last) if last.queries == t.queries => last.coeff += t.coeff,
+                Some(last) if last.queries == t.queries => {
+                    last.coeff = last.coeff.saturating_add(t.coeff);
+                }
                 _ => merged.push(t),
             }
         }

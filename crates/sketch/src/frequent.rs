@@ -43,9 +43,9 @@ impl MisraGries {
 
     /// Processes one occurrence of `value`.
     pub fn insert(&mut self, value: u64) {
-        self.processed += 1;
+        self.processed = self.processed.saturating_add(1);
         if let Some(c) = self.counters.get_mut(&value) {
-            *c += 1;
+            *c = c.saturating_add(1);
             return;
         }
         if self.counters.len() < self.k {
@@ -54,7 +54,7 @@ impl MisraGries {
         }
         // Decrement-all step; drop zeros.
         self.counters.retain(|_, c| {
-            *c -= 1;
+            *c = c.saturating_sub(1);
             *c > 0
         });
     }
@@ -102,9 +102,9 @@ impl SpaceSaving {
 
     /// Processes one occurrence of `value`.
     pub fn insert(&mut self, value: u64) {
-        self.processed += 1;
+        self.processed = self.processed.saturating_add(1);
         if let Some((c, _)) = self.counters.get_mut(&value) {
-            *c += 1;
+            *c = c.saturating_add(1);
             return;
         }
         if self.counters.len() < self.k {
@@ -112,13 +112,14 @@ impl SpaceSaving {
             return;
         }
         // Replace the minimum counter; inherit its count as error bound.
-        let (&victim, &(min_count, _)) = self
-            .counters
-            .iter()
-            .min_by_key(|(_, &(c, _))| c)
-            .expect("non-empty");
+        let Some((&victim, &(min_count, _))) = self.counters.iter().min_by_key(|(_, &(c, _))| c)
+        else {
+            // len() >= k >= 1 makes this unreachable; admit the value anyway.
+            self.counters.insert(value, (1, 0));
+            return;
+        };
         self.counters.remove(&victim);
-        self.counters.insert(value, (min_count + 1, min_count));
+        self.counters.insert(value, (min_count.saturating_add(1), min_count));
     }
 
     /// Upper-bound estimate of the count of `value` (0 if untracked).

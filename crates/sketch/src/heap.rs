@@ -47,7 +47,8 @@ impl IndexedMinHeap {
 
     /// The priority stored for `value`, if tracked.
     pub fn get(&self, value: u64) -> Option<i64> {
-        self.pos.get(&value).map(|&i| self.heap[i].1)
+        let &i = self.pos.get(&value)?;
+        self.heap.get(i).map(|&(_, p)| p)
     }
 
     /// True if `value` is tracked.
@@ -66,8 +67,8 @@ impl IndexedMinHeap {
             !self.pos.contains_key(&value),
             "value {value} already tracked"
         );
+        let i = self.heap.len();
         self.heap.push((value, priority));
-        let i = self.heap.len() - 1;
         self.pos.insert(value, i);
         self.sift_up(i);
     }
@@ -94,6 +95,7 @@ impl IndexedMinHeap {
     fn remove_at(&mut self, i: usize) -> (u64, i64) {
         let last = self.heap.len() - 1;
         self.swap(i, last);
+        // lint:allow(L1, reason = "both callers pass i < len, so the heap is non-empty")
         let removed = self.heap.pop().expect("non-empty");
         self.pos.remove(&removed.0);
         if i < self.heap.len() {
@@ -109,13 +111,16 @@ impl IndexedMinHeap {
             return;
         }
         self.heap.swap(a, b);
+        // lint:allow(L1, reason = "Vec::swap on the line above already bounds-checked a and b")
         self.pos.insert(self.heap[a].0, a);
+        // lint:allow(L1, reason = "Vec::swap above already bounds-checked a and b")
         self.pos.insert(self.heap[b].0, b);
     }
 
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
+            // lint:allow(L1, reason = "i < len at every call site and parent < i")
             if self.heap[i].1 < self.heap[parent].1 {
                 self.swap(i, parent);
                 i = parent;
@@ -129,9 +134,11 @@ impl IndexedMinHeap {
         loop {
             let (l, r) = (2 * i + 1, 2 * i + 2);
             let mut smallest = i;
+            // lint:allow(L1, reason = "guarded by the l < len test on the same line; smallest <= i < len")
             if l < self.heap.len() && self.heap[l].1 < self.heap[smallest].1 {
                 smallest = l;
             }
+            // lint:allow(L1, reason = "guarded by the r < len test on the same line; smallest < len")
             if r < self.heap.len() && self.heap[r].1 < self.heap[smallest].1 {
                 smallest = r;
             }

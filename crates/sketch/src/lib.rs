@@ -25,6 +25,7 @@
 //! * [`frequent`] — deterministic Misra–Gries and Space-Saving heavy-hitter
 //!   baselines for the ablation benchmarks.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -62,6 +62,7 @@ impl TopKTracker {
             bank.update(t, f_t);
         }
         // Line 8: estimate t's frequency from the (restored) sketches.
+        // lint:allow(L2, reason = "float -> int `as` saturates at the i64 edges, which is the clamp we want")
         let est = bank.estimate_point(t).round() as i64;
         // Lines 9–18: track t if it is positive and beats the current
         // minimum (or there is room).
@@ -75,8 +76,9 @@ impl TopKTracker {
             if self.tracked.len() == self.capacity {
                 // Evict the least frequent tracked value: add its instances
                 // back to the sketches (lines 10–13).
-                let (r, f_r) = self.tracked.pop_min().expect("full heap");
-                bank.update(r, f_r);
+                if let Some((r, f_r)) = self.tracked.pop_min() {
+                    bank.update(r, f_r);
+                }
             }
             // Track t and delete estFreq instances from the stream
             // (lines 14–18) — the delete condition holds again.
@@ -95,6 +97,7 @@ impl TopKTracker {
         if let Some(f_t) = self.tracked.remove(t) {
             bank.update_with_signs(signs, f_t);
         }
+        // lint:allow(L2, reason = "float -> int `as` saturates at the i64 edges, which is the clamp we want")
         let est = bank.estimate_point_with_signs(signs).round() as i64;
         let admit = est > 0
             && match self.tracked.min_priority() {
@@ -104,8 +107,9 @@ impl TopKTracker {
             };
         if admit {
             if self.tracked.len() == self.capacity {
-                let (r, f_r) = self.tracked.pop_min().expect("full heap");
-                bank.update(r, f_r);
+                if let Some((r, f_r)) = self.tracked.pop_min() {
+                    bank.update(r, f_r);
+                }
             }
             self.tracked.insert(t, est);
             bank.update_with_signs(signs, -est);

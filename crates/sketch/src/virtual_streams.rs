@@ -173,7 +173,15 @@ impl StreamSynopsis {
 
     #[inline]
     fn route(&self, value: u64) -> usize {
+        // lint:allow(L2, reason = "usize -> u64 is widening, and the remainder is < banks.len() so the way back always fits")
         (value % self.banks.len() as u64) as usize
+    }
+
+    /// The first bank, used wherever any bank's shared ξ family or
+    /// geometry works.
+    fn first_bank(&self) -> &SketchBank {
+        // lint:allow(L1, reason = "new() asserts virtual_streams > 0, so banks is never empty")
+        &self.banks[0]
     }
 
     /// Inserts one occurrence of `value` (Algorithm 1 inner loop followed by
@@ -182,14 +190,16 @@ impl StreamSynopsis {
         let r = self.route(value);
         // Evaluate the value's ξ signs once; the update, the top-k
         // frequency estimate, and any deletion all reuse them.
-        self.banks[r].signs_into(value, &mut self.sign_buf);
-        self.banks[r].update_with_signs(&self.sign_buf, 1);
+        let Some(bank) = self.banks.get_mut(r) else { return };
+        bank.signs_into(value, &mut self.sign_buf);
+        bank.update_with_signs(&self.sign_buf, 1);
         let invoke_topk = self.config.topk_probability == u16::MAX
             || (self.topk_rng.next_u64() & 0xFFFF) < u64::from(self.config.topk_probability);
         if invoke_topk {
+            // lint:allow(L1, reason = "r < topks.len() == banks.len(): route() reduces mod the shared stream count")
             self.topks[r].process_with_signs(value, &mut self.banks[r], &self.sign_buf);
         }
-        self.values_processed += 1;
+        self.values_processed = self.values_processed.saturating_add(1);
     }
 
     /// Deletes one previously-inserted occurrence of `value` (AMS deletion:
@@ -207,7 +217,9 @@ impl StreamSynopsis {
             "delete() requires top-k tracking to be disabled"
         );
         let r = self.route(value);
-        self.banks[r].update(value, -1);
+        if let Some(bank) = self.banks.get_mut(r) {
+            bank.update(value, -1);
+        }
         self.values_processed = self.values_processed.saturating_sub(1);
     }
 
@@ -218,23 +230,28 @@ impl StreamSynopsis {
             .copied()
             .filter(|&q| self.route(q) == bank)
             .collect();
-        self.topks[bank].restore_list(&in_bank)
+        self.topks
+            .get(bank)
+            .map(|t| t.restore_list(&in_bank))
+            .unwrap_or_default()
     }
 
     /// Estimates `COUNT` of a single value (Theorem 1).
     pub fn estimate_count(&self, value: u64) -> f64 {
         let r = self.route(value);
         let restore = self.bank_restores(r, &[value]);
-        self.banks[r].estimate_point_restored(value, &restore)
+        self.banks
+            .get(r)
+            .map_or(0.0, |b| b.estimate_point_restored(value, &restore))
     }
 
     /// Estimates the total frequency of a set of *distinct* values
     /// (Theorem 2).  Values may span several virtual streams; per-sketch
     /// contributions are combined across banks before boosting.
     pub fn estimate_total(&self, values: &[u64]) -> f64 {
-        let n = self.banks[0].num_sketches();
+        let n = self.first_bank().num_sketches();
         let mut acc = vec![0.0f64; n];
-        for (b, bank) in self.banks.iter().enumerate() {
+        for (b, (bank, topk)) in self.banks.iter().zip(&self.topks).enumerate() {
             let in_bank: Vec<u64> = values
                 .iter()
                 .copied()
@@ -243,14 +260,14 @@ impl StreamSynopsis {
             if in_bank.is_empty() {
                 continue;
             }
-            let restore = self.topks[b].restore_list(&in_bank);
+            let restore = topk.restore_list(&in_bank);
             bank.accumulate(&mut acc, |s| {
                 let x_eff = bank::effective_x(s, &restore);
                 let xi_sum: i64 = in_bank.iter().map(|&v| s.sign(v)).sum();
                 xi_sum as f64 * x_eff as f64
             });
         }
-        self.banks[0].boost(&acc)
+        self.first_bank().boost(&acc)
     }
 
     /// Estimates a general query expression (Section 4).
@@ -282,8 +299,10 @@ impl StreamSynopsis {
         for t in terms {
             for w in t.queries.windows(2) {
                 // Term queries are kept sorted by construction.
-                if w[0] == w[1] {
-                    return Err(SynopsisError::Expr(ExprError::DuplicateQuery(w[0])));
+                if let [a, b] = w {
+                    if a == b {
+                        return Err(SynopsisError::Expr(ExprError::DuplicateQuery(*a)));
+                    }
                 }
             }
         }
@@ -292,7 +311,7 @@ impl StreamSynopsis {
         queries.dedup();
         // Effective X per (bank, sketch idx), with per-bank restores for all
         // queries of the expression.
-        let n = self.banks[0].num_sketches();
+        let n = self.first_bank().num_sketches();
         let mut x_eff: Vec<Vec<i64>> = Vec::with_capacity(self.banks.len());
         for (b, bank) in self.banks.iter().enumerate() {
             let restore = self.bank_restores(b, &queries);
@@ -312,19 +331,27 @@ impl StreamSynopsis {
                 b
             })
             .collect();
-        let mut acc = vec![0.0f64; n];
-        for idx in 0..n {
-            let sketch = self.banks[0].sketch_at(idx);
-            let mut v = 0.0;
-            for (t, banks) in terms.iter().zip(&term_banks) {
-                let x: i64 = banks.iter().map(|&b| x_eff[b][idx]).sum();
-                // ξ families are shared across banks, so any bank's sketch
-                // at this index gives the right signs.
-                v += bank::term_value(sketch, t, x as f64);
-            }
-            acc[idx] = v;
-        }
-        Ok(self.banks[0].boost(&acc))
+        let acc: Vec<f64> = (0..n)
+            .map(|idx| {
+                let sketch = self.first_bank().sketch_at(idx);
+                terms
+                    .iter()
+                    .zip(&term_banks)
+                    .map(|(t, banks)| {
+                        let x: i64 = banks
+                            .iter()
+                            .map(|&b| {
+                                x_eff.get(b).and_then(|xs| xs.get(idx)).copied().unwrap_or(0)
+                            })
+                            .sum();
+                        // ξ families are shared across banks, so any bank's
+                        // sketch at this index gives the right signs.
+                        bank::term_value(sketch, t, x as f64)
+                    })
+                    .sum()
+            })
+            .collect();
+        Ok(self.first_bank().boost(&acc))
     }
 
     /// Estimates the *residual* self-join size — `Σ f_i²` of what is still
@@ -332,14 +359,14 @@ impl StreamSynopsis {
     /// This is the quantity that controls estimation variance (Theorems
     /// 1–2) and the one the top-k strategy drives down.
     pub fn estimate_residual_self_join(&self) -> f64 {
-        let n = self.banks[0].num_sketches();
+        let n = self.first_bank().num_sketches();
         let mut acc = vec![0.0f64; n];
         for bank in &self.banks {
             // Streams are disjoint, so SJ(S) = Σ_b SJ(S_b); accumulate each
             // bank's X² per sketch and boost once.
             bank.accumulate(&mut acc, |s| s.second_moment() as f64);
         }
-        self.banks[0].boost(&acc)
+        self.first_bank().boost(&acc)
     }
 
     /// All tracked heavy hitters across virtual streams, most frequent

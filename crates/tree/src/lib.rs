@@ -14,6 +14,7 @@
 //!   Section 2.3 that uniquely identifies an ordered labeled tree, with both
 //!   the linear-time encoder and the decoder (so the bijection is testable).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -70,6 +70,9 @@ pub enum DecodeError {
         /// The node number at fault.
         node: u32,
     },
+    /// The sequences are longer than the u32 numbering space allows
+    /// (extended node counts are 1-based u32 postorder numbers).
+    TooLong,
 }
 
 impl fmt::Display for DecodeError {
@@ -89,8 +92,18 @@ impl fmt::Display for DecodeError {
             DecodeError::MalformedExtension { node } => {
                 write!(f, "node {node} violates the dummy-extension structure")
             }
+            DecodeError::TooLong => {
+                write!(f, "sequence length exceeds the u32 numbering space")
+            }
         }
     }
+}
+
+/// Widening index conversion: `usize` is at least 32 bits on every target
+/// this workspace supports, so a u32 postorder number always fits.
+fn ix(n: u32) -> usize {
+    // lint:allow(L2, reason = "u32 -> usize is widening on all supported targets")
+    n as usize
 }
 
 impl std::error::Error for DecodeError {}
@@ -114,7 +127,7 @@ impl PruferSeq {
             counter += 1;
             extnum[id.index()] = counter;
         }
-        let m = counter as usize; // n + #leaves
+        let m = ix(counter); // n + #leaves
         let mut lps: Vec<Label> = Vec::with_capacity(m - 1);
         let mut nps: Vec<u32> = Vec::with_capacity(m - 1);
         lps.resize(m - 1, Label(0));
@@ -123,14 +136,14 @@ impl PruferSeq {
             // Entry for the dummy child of a leaf: parent is the leaf itself.
             let d = dummy_num[id.index()];
             if d != 0 {
-                lps[(d - 1) as usize] = tree.label(id);
-                nps[(d - 1) as usize] = extnum[id.index()];
+                lps[ix(d - 1)] = tree.label(id);
+                nps[ix(d - 1)] = extnum[id.index()];
             }
             // Entry for the node itself (unless root).
             if let Some(p) = tree.parent(id) {
                 let e = extnum[id.index()];
-                lps[(e - 1) as usize] = tree.label(p);
-                nps[(e - 1) as usize] = extnum[p.index()];
+                lps[ix(e - 1)] = tree.label(p);
+                nps[ix(e - 1)] = extnum[p.index()];
             }
         }
         PruferSeq { lps, nps }
@@ -161,23 +174,23 @@ impl PruferSeq {
             counter += 1;
             extnum[id.index()] = counter;
         }
-        let m = counter as usize;
+        let m = ix(counter);
         ext_parent.resize(m + 1, 0);
         ext_label.resize(m + 1, None);
         for &id in &order {
-            ext_label[extnum[id.index()] as usize] = Some(tree.label(id));
+            ext_label[ix(extnum[id.index()])] = Some(tree.label(id));
             if dummy_of[id.index()] != 0 {
-                ext_parent[dummy_of[id.index()] as usize] = extnum[id.index()];
+                ext_parent[ix(dummy_of[id.index()])] = extnum[id.index()];
             }
             if let Some(p) = tree.parent(id) {
-                ext_parent[extnum[id.index()] as usize] = extnum[p.index()];
+                ext_parent[ix(extnum[id.index()])] = extnum[p.index()];
             }
         }
         // Child counts for leaf detection during deletion.
         let mut child_count = vec![0u32; m + 1];
         for &p in ext_parent.iter().skip(1) {
             if p != 0 {
-                child_count[p as usize] += 1;
+                child_count[ix(p)] += 1;
             }
         }
         let mut alive = vec![true; m + 1];
@@ -188,11 +201,11 @@ impl PruferSeq {
             let v = (1..=m)
                 .find(|&v| alive[v] && child_count[v] == 0)
                 .expect("a leaf always exists");
-            let p = ext_parent[v] as usize;
-            nps.push(p as u32);
-            lps.push(ext_label[p].expect("parents are original nodes"));
+            let p = ext_parent[v];
+            nps.push(p);
+            lps.push(ext_label[ix(p)].expect("parents are original nodes"));
             alive[v] = false;
-            child_count[p] -= 1;
+            child_count[ix(p)] -= 1;
         }
         PruferSeq { lps, nps }
     }
@@ -224,19 +237,25 @@ impl PruferSeq {
         if self.nps.is_empty() {
             return Err(DecodeError::Empty);
         }
-        let m = self.nps.len() as u32 + 1;
+        // The extended node count m = len + 1 must fit the u32 numbering
+        // space; a longer sequence is rejected in-band, never truncated.
+        let m = u32::try_from(self.nps.len())
+            .ok()
+            .and_then(|n| n.checked_add(1))
+            .ok_or(DecodeError::TooLong)?;
         // Validate parent numbers and collect labels.
-        let mut label: Vec<Option<Label>> = vec![None; (m + 1) as usize];
-        for (i, (&p, &l)) in self.nps.iter().zip(&self.lps).enumerate() {
-            let pos = i as u32 + 1;
+        let mut label: Vec<Option<Label>> = vec![None; ix(m) + 1];
+        let mut pos = 0u32;
+        for (&p, &l) in self.nps.iter().zip(&self.lps) {
+            pos += 1; // never wraps: pos <= nps.len() < m <= u32::MAX
             if p > m {
                 return Err(DecodeError::ParentOutOfRange { position: pos });
             }
             if p <= pos {
                 return Err(DecodeError::ParentNotGreater { position: pos });
             }
-            match &label[p as usize] {
-                None => label[p as usize] = Some(l),
+            match &label[ix(p)] {
+                None => label[ix(p)] = Some(l),
                 Some(existing) if *existing != l => {
                     return Err(DecodeError::InconsistentLabels { node: p })
                 }
@@ -245,43 +264,42 @@ impl PruferSeq {
         }
         // Original nodes are exactly those appearing in NPS; everything else
         // in 1..m is a dummy. The root is m and must be original.
-        let is_original: Vec<bool> = (0..=m)
-            .map(|v| label[v as usize].is_some())
-            .collect();
-        if !is_original[m as usize] {
+        let is_original: Vec<bool> = label.iter().map(|l| l.is_some()).collect();
+        if !is_original[ix(m)] {
             // Root never appears as a parent only when m == 1, excluded above.
             return Err(DecodeError::MalformedExtension { node: m });
         }
         // Children lists (ascending numbers = original sibling order).
-        let mut original_children: Vec<Vec<u32>> = vec![Vec::new(); (m + 1) as usize];
-        let mut dummy_children: Vec<u32> = vec![0; (m + 1) as usize];
-        for (i, &p) in self.nps.iter().enumerate() {
-            let child = i as u32 + 1;
-            if is_original[child as usize] {
-                original_children[p as usize].push(child);
+        let mut original_children: Vec<Vec<u32>> = vec![Vec::new(); ix(m) + 1];
+        let mut dummy_children: Vec<u32> = vec![0; ix(m) + 1];
+        let mut child = 0u32;
+        for &p in &self.nps {
+            child += 1; // never wraps: child <= nps.len() < m
+            if is_original[ix(child)] {
+                original_children[ix(p)].push(child);
             } else {
-                dummy_children[p as usize] += 1;
+                dummy_children[ix(p)] += 1;
             }
         }
         // Extension invariant: original leaves have exactly one dummy child
         // and no original children; internal nodes have no dummy children.
         for v in 1..=m {
-            if !is_original[v as usize] {
+            if !is_original[ix(v)] {
                 continue;
             }
-            let orig = original_children[v as usize].len();
-            let dums = dummy_children[v as usize];
+            let orig = original_children[ix(v)].len();
+            let dums = dummy_children[ix(v)];
             let ok = (orig == 0 && dums == 1) || (orig > 0 && dums == 0);
             if !ok {
                 return Err(DecodeError::MalformedExtension { node: v });
             }
         }
         // Build the tree from the root down.
-        let mut tree = Tree::leaf(label[m as usize].expect("root labeled"));
+        let mut tree = Tree::leaf(label[ix(m)].expect("root labeled"));
         let mut stack: Vec<(u32, NodeId)> = vec![(m, tree.root())];
         while let Some((num, dst)) = stack.pop() {
-            for &c in &original_children[num as usize] {
-                let child_dst = tree.graft_leaf(dst, label[c as usize].expect("labeled"));
+            for &c in &original_children[ix(num)] {
+                let child_dst = tree.graft_leaf(dst, label[ix(c)].expect("labeled"));
                 stack.push((c, child_dst));
             }
         }

@@ -20,6 +20,7 @@
 //! * [`writer`] — serialises trees back to XML (used by the data generators
 //!   so that the full parse path is exercised end to end).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

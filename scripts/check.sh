@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Full pre-merge gate: build, test, then run the workspace's own static
+# analyzer (sketchtree-lint).  Exits non-zero on the first failure, and
+# on any undocumented lint finding — see docs/lints.md for the rules and
+# for how to document a deliberate exception.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --all-targets"
+cargo build --workspace --all-targets
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> sketchtree-lint"
+# --show-allowed keeps the documented exceptions visible in CI logs so
+# reviewers can see what has been excused and why.
+cargo run --quiet -p sketchtree-lint -- --show-allowed
+
+echo "ok: build + tests + lint all clean"

@@ -34,6 +34,7 @@
 //! daemon speaking the `SKTP` wire protocol for remote ingest and online
 //! queries).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
