@@ -16,8 +16,11 @@
 //! sketchtree expr <snapshot> "<expression>"
 //!     evaluate a +,-,* expression, e.g. "COUNT_ord(A(B)) - COUNT(C)"
 //!
-//! sketchtree stats <snapshot>
-//!     print synopsis configuration and stream counters
+//! sketchtree stats <snapshot>|<host:port> [--metrics [--json]]
+//!     print synopsis configuration and stream counters.  A target that is
+//!     not an existing file and contains ':' is treated as a running
+//!     server's address; --metrics fetches the full metrics exposition
+//!     (Prometheus text, or JSON with --json) instead of the summary
 //!
 //! sketchtree heavy <snapshot> [--limit N]
 //!     print the tracked heavy-hitter patterns (mapped values)
@@ -27,6 +30,8 @@
 //!     --snapshot PATH         checkpoint file (restore on start, write on stop)
 //!     --checkpoint-secs N     also checkpoint every N seconds
 //!     --workers N             worker threads (default 4)
+//!     --metrics-port N        serve HTTP /metrics + /healthz on 0.0.0.0:N
+//!                             (0 picks an ephemeral port; omit to disable)
 //!     plus the ingest sketch flags (--k, --s1, ... ) for a fresh synopsis
 //!
 //! sketchtree remote-ingest <addr> <file.xml>|- [--batch N]
@@ -85,10 +90,10 @@ fn usage() -> String {
      [--streams N] [--topk N] [--independence N] [--seed N]\n  \
      sketchtree query <snapshot> <pattern>... [--unordered]\n  \
      sketchtree expr <snapshot> \"<expression>\"\n  \
-     sketchtree stats <snapshot>\n  \
+     sketchtree stats <snapshot>|<host:port> [--metrics [--json]]\n  \
      sketchtree heavy <snapshot> [--limit N]\n  \
      sketchtree serve <addr> [--snapshot PATH] [--checkpoint-secs N] [--workers N] \
-     [sketch flags as for ingest]\n  \
+     [--metrics-port N] [sketch flags as for ingest]\n  \
      sketchtree remote-ingest <addr> <file.xml>|- [--batch N]\n  \
      sketchtree remote-query <addr> <pattern>... [--unordered | --expr]"
         .to_string()
@@ -139,7 +144,7 @@ fn positional(args: &[String]) -> Vec<&String> {
         }
         if a.starts_with("--") {
             // Boolean flags take no value.
-            skip = a != "--unordered" && a != "--expr";
+            skip = a != "--unordered" && a != "--expr" && a != "--metrics" && a != "--json";
             let _ = i;
             continue;
         }
@@ -261,10 +266,17 @@ fn expr(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
 fn stats(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let pos = positional(args);
-    let [snapshot] = pos.as_slice() else {
-        return Err(CliError::Usage("stats needs a snapshot".into()));
+    let [target] = pos.as_slice() else {
+        return Err(CliError::Usage(
+            "stats needs a snapshot path or a server address (host:port)".into(),
+        ));
     };
-    let st = load(snapshot)?;
+    // A target that is not a file on disk but looks like host:port is a
+    // running server; everything else keeps the original snapshot path.
+    if !std::path::Path::new(target.as_str()).exists() && target.contains(':') {
+        return remote_stats(target, args, out);
+    }
+    let st = load(target)?;
     let c = st.config();
     writeln!(out, "trees processed     : {}", st.trees_processed())?;
     writeln!(out, "pattern instances   : {}", st.patterns_processed())?;
@@ -282,6 +294,39 @@ fn stats(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "residual self-join  : {:.3e}",
         st.residual_self_join()
     )?;
+    Ok(())
+}
+
+/// `stats <host:port>`: summary (or full metrics exposition with
+/// `--metrics`) fetched from a running server.
+fn remote_stats(addr: &str, args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut client =
+        Client::connect(addr).map_err(|e| CliError::Failed(format!("{addr}: {e}")))?;
+    if args.iter().any(|a| a == "--metrics") {
+        let json = args.iter().any(|a| a == "--json");
+        let text = client
+            .metrics(json)
+            .map_err(|e| CliError::Failed(format!("metrics: {e}")))?;
+        write!(out, "{text}")?;
+        if !text.ends_with('\n') {
+            writeln!(out)?;
+        }
+        return Ok(());
+    }
+    let s = client
+        .stats()
+        .map_err(|e| CliError::Failed(format!("stats: {e}")))?;
+    writeln!(out, "trees processed     : {}", s.trees_processed)?;
+    writeln!(out, "pattern instances   : {}", s.patterns_processed)?;
+    writeln!(out, "distinct labels     : {}", s.labels)?;
+    writeln!(out, "max pattern edges k : {}", s.max_pattern_edges)?;
+    writeln!(
+        out,
+        "sketches            : s1={} s2={} over {} virtual streams",
+        s.s1, s.s2, s.virtual_streams
+    )?;
+    writeln!(out, "top-k per stream    : {}", s.topk)?;
+    writeln!(out, "synopsis memory     : {} KB", s.memory_bytes / 1024)?;
     Ok(())
 }
 
@@ -305,11 +350,22 @@ fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     let checkpoint_path: String = parse_flag(args, "--snapshot", String::new())?;
     let checkpoint_secs: u64 = parse_flag(args, "--checkpoint-secs", 0u64)?;
+    // -1 (the default) disables the endpoint; 0 asks for an ephemeral port.
+    let metrics_port: i64 = parse_flag(args, "--metrics-port", -1i64)?;
+    let metrics_addr = match metrics_port {
+        -1 => None,
+        p if (0..=i64::from(u16::MAX)).contains(&p) => Some(std::net::SocketAddr::from((
+            [0, 0, 0, 0],
+            u16::try_from(p).unwrap_or_default(),
+        ))),
+        _ => return Err(CliError::Usage("bad value for --metrics-port".into())),
+    };
     let config = ServerConfig {
         workers: parse_flag(args, "--workers", 4usize)?,
         checkpoint_path: (!checkpoint_path.is_empty()).then(|| checkpoint_path.clone().into()),
         checkpoint_interval: (checkpoint_secs > 0)
             .then(|| std::time::Duration::from_secs(checkpoint_secs)),
+        metrics_addr,
         sketch: sketch_config(args)?,
         ..ServerConfig::default()
     };
@@ -322,6 +378,9 @@ fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     // The bound address goes out *before* blocking so callers using an
     // ephemeral port (":0") can discover it.
     writeln!(out, "listening on {}", server.addr())?;
+    if let Some(maddr) = server.metrics_addr() {
+        writeln!(out, "metrics on http://{maddr}/metrics")?;
+    }
     out.flush()?;
     server.wait();
     let restored = server.shared().trees_processed();

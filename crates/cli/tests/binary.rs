@@ -111,6 +111,91 @@ fn binary_bad_flag_value_fails_with_message() {
     assert!(stderr.contains("--s1"), "{stderr}");
 }
 
+/// Observability path through the binary: `serve --metrics-port 0`, drive a
+/// workload, then read the same state three ways — remote `stats`, remote
+/// `stats --metrics [--json]` over SKTP, and a raw HTTP scrape of the
+/// advertised `/metrics` endpoint.
+#[test]
+fn binary_serve_metrics_port_and_remote_stats() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let xml = tmp("metrics.xml");
+    let mut corpus = String::new();
+    for _ in 0..80 {
+        corpus.push_str("<r><a>x</a></r>\n");
+    }
+    std::fs::write(&xml, corpus).unwrap();
+
+    let mut server = Command::new(bin())
+        .args(["serve", "127.0.0.1:0", "--metrics-port", "0", "--streams", "13", "--s1", "30"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut lines = BufReader::new(server.stdout.as_mut().unwrap());
+    let mut first_line = String::new();
+    lines.read_line(&mut first_line).unwrap();
+    let addr = first_line.trim().strip_prefix("listening on ").expect("address line").to_string();
+    let mut second_line = String::new();
+    lines.read_line(&mut second_line).unwrap();
+    let metrics_url = second_line.trim().strip_prefix("metrics on ").expect("metrics line");
+    let metrics_addr = metrics_url
+        .strip_prefix("http://")
+        .and_then(|u| u.strip_suffix("/metrics"))
+        .expect("http://host:port/metrics")
+        .to_string();
+
+    let out = Command::new(bin())
+        .args(["remote-ingest", &addr, xml.to_str().unwrap()])
+        .output()
+        .expect("remote-ingest runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = Command::new(bin())
+        .args(["remote-query", &addr, "r(a)"])
+        .output()
+        .expect("remote-query runs");
+    assert!(out.status.success());
+
+    // Remote summary: same shape as the snapshot-file stats.
+    let out = Command::new(bin()).args(["stats", &addr]).output().expect("stats runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trees processed     : 80"), "{stdout}");
+    assert!(stdout.contains("virtual streams"), "{stdout}");
+
+    // Full exposition over SKTP.
+    let out = Command::new(bin())
+        .args(["stats", &addr, "--metrics"])
+        .output()
+        .expect("stats --metrics runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sketchtree_ingest_trees_total 80"), "{text}");
+    assert!(text.contains("sktp_request_seconds_count{opcode=\"ingest_xml\"}"), "{text}");
+
+    // And as JSON.
+    let out = Command::new(bin())
+        .args(["stats", &addr, "--metrics", "--json"])
+        .output()
+        .expect("stats --metrics --json runs");
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.trim_start().starts_with('{'), "{json}");
+    assert!(json.contains("sketchtree_ingest_trees_total"), "{json}");
+
+    // Raw HTTP scrape of the advertised endpoint.
+    let mut s = std::net::TcpStream::connect(metrics_addr.replace("0.0.0.0", "127.0.0.1"))
+        .expect("metrics endpoint reachable");
+    s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut scrape = String::new();
+    s.read_to_string(&mut scrape).unwrap();
+    assert!(scrape.starts_with("HTTP/1.0 200"), "{scrape}");
+    assert!(scrape.contains("sketchtree_trees_processed 80"), "{scrape}");
+
+    let mut client = sketchtree_server::Client::connect(addr.as_str()).unwrap();
+    client.shutdown().unwrap();
+    assert!(server.wait().unwrap().success());
+    std::fs::remove_file(&xml).ok();
+}
+
 /// Full networked path through the binary: `serve` on an ephemeral port,
 /// `remote-ingest` a corpus, `remote-query` it, then shut the server
 /// down over the wire and verify the checkpoint restarts.

@@ -67,6 +67,12 @@ impl SharedSketchTree {
         (trees.len() as u64, patterns)
     }
 
+    /// Attaches instrumentation to the wrapped synopsis (see
+    /// [`SketchTree::attach_metrics`]).
+    pub fn attach_metrics(&self, metrics: std::sync::Arc<crate::metrics::CoreMetrics>) {
+        self.inner.write().attach_metrics(metrics);
+    }
+
     /// Runs `f` with mutable access to the label table (for building input
     /// trees or resolving query labels ahead of time).
     pub fn with_labels<R>(&self, f: impl FnOnce(&mut sketchtree_tree::LabelTable) -> R) -> R {

@@ -45,6 +45,7 @@ pub mod enumtree;
 pub mod exact;
 pub mod exprparse;
 pub mod mapping;
+pub mod metrics;
 pub mod large;
 pub mod markov;
 pub mod query;
@@ -60,6 +61,7 @@ pub use enumtree::{count_patterns, enumerate_patterns};
 pub use exact::ExactCounter;
 pub use exprparse::parse_expr;
 pub use mapping::Mapper;
+pub use metrics::{CoreMetrics, SketchHealth};
 pub use large::decompose as decompose_pattern;
 pub use markov::MarkovPathTable;
 pub use query::{parse_pattern, QueryError, QueryPattern};

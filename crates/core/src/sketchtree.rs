@@ -24,6 +24,7 @@
 use crate::enumtree::enumerate_patterns_config;
 use crate::exact::ExactCounter;
 use crate::mapping::Mapper;
+use crate::metrics::{relative_spread, CoreMetrics, SketchHealth};
 use crate::query::{parse_pattern, QueryError, QueryPattern};
 use crate::summary::{ExpandError, ExpandLimits, StructuralSummary};
 use crate::unordered::{arrangements, ArrangementError};
@@ -32,6 +33,8 @@ use sketchtree_sketch::virtual_streams::SynopsisError;
 use sketchtree_sketch::{StreamSynopsis, SynopsisConfig};
 use sketchtree_tree::{LabelTable, PruferSeq, Tree};
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of a [`SketchTree`].
 #[derive(Debug, Clone)]
@@ -225,6 +228,7 @@ pub struct SketchTree {
     exact: Option<ExactCounter>,
     trees_processed: u64,
     patterns_processed: u64,
+    metrics: Option<Arc<CoreMetrics>>,
 }
 
 impl fmt::Debug for SketchTree {
@@ -254,7 +258,16 @@ impl SketchTree {
             exact,
             trees_processed: 0,
             patterns_processed: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches instrumentation: subsequent ingests and queries update the
+    /// given [`CoreMetrics`] handles.  Without an attachment (the default)
+    /// the pipeline skips every instrumentation branch, so unmonitored
+    /// synopses pay nothing.
+    pub fn attach_metrics(&mut self, metrics: Arc<CoreMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// The configuration.
@@ -307,6 +320,7 @@ impl SketchTree {
     /// pattern instance (hook for experiment harnesses that need the raw
     /// mapped stream).
     pub fn ingest_with(&mut self, tree: &Tree, mut observer: impl FnMut(u64, &PruferSeq)) {
+        let start = self.metrics.as_ref().map(|_| Instant::now());
         if let Some(s) = &mut self.summary {
             s.observe(tree);
         }
@@ -330,6 +344,11 @@ impl SketchTree {
         });
         self.patterns_processed += patterns;
         self.trees_processed += 1;
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.ingest_trees.inc();
+            m.ingest_patterns.add(patterns);
+            m.ingest_seconds.observe_duration(t0.elapsed());
+        }
     }
 
     /// Enumerates `tree`'s pattern instances and maps each to its stream
@@ -342,6 +361,7 @@ impl SketchTree {
     /// the values with [`SketchTree::ingest_precomputed`].  The value
     /// order matches [`SketchTree::ingest`] exactly.
     pub fn enumerate_values(&self, tree: &Tree) -> Vec<u64> {
+        let start = self.metrics.as_ref().map(|_| Instant::now());
         let mut values = Vec::new();
         enumerate_patterns_config(
             tree,
@@ -352,6 +372,9 @@ impl SketchTree {
                 values.push(self.mapper.map_seq(&PruferSeq::encode(&pattern)));
             },
         );
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.enumerate_seconds.observe_duration(t0.elapsed());
+        }
         values
     }
 
@@ -362,6 +385,7 @@ impl SketchTree {
     /// same order, same counters, same summary observation — but the
     /// exclusive borrow only covers the cheap insertions.
     pub fn ingest_precomputed(&mut self, tree: &Tree, values: &[u64]) {
+        let start = self.metrics.as_ref().map(|_| Instant::now());
         if let Some(s) = &mut self.summary {
             s.observe(tree);
         }
@@ -373,6 +397,11 @@ impl SketchTree {
         }
         self.patterns_processed += values.len() as u64;
         self.trees_processed += 1;
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.ingest_trees.inc();
+            m.ingest_patterns.add(values.len() as u64);
+            m.insert_seconds.observe_duration(t0.elapsed());
+        }
     }
 
     /// Resolves a textual pattern into the distinct concrete pattern trees
@@ -423,8 +452,21 @@ impl SketchTree {
     /// and answered as a total frequency (Theorem 2).  Patterns with labels
     /// never seen in the stream return exactly 0.
     pub fn count_ordered(&self, pattern: &str) -> Result<f64, SketchTreeError> {
-        let atoms = self.atoms_ordered(pattern)?;
-        Ok(self.estimate_atoms(&atoms))
+        let start = self.metrics.as_ref().map(|_| Instant::now());
+        let result = self.atoms_ordered(pattern).map(|atoms| {
+            if let Some(m) = &self.metrics {
+                m.query_atoms.add(atoms.len() as u64);
+            }
+            self.estimate_atoms(&atoms)
+        });
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.query_ordered.inc();
+            m.query_ordered_seconds.observe_duration(t0.elapsed());
+            if result.is_err() {
+                m.query_errors.inc();
+            }
+        }
+        result
     }
 
     /// `COUNT(Q)` — unordered — for a concrete pattern tree (Section 3.3).
@@ -436,8 +478,21 @@ impl SketchTree {
 
     /// `COUNT(Q)` — unordered — for a textual pattern.
     pub fn count_unordered(&self, pattern: &str) -> Result<f64, SketchTreeError> {
-        let atoms = self.atoms_unordered(pattern)?;
-        Ok(self.estimate_atoms(&atoms))
+        let start = self.metrics.as_ref().map(|_| Instant::now());
+        let result = self.atoms_unordered(pattern).map(|atoms| {
+            if let Some(m) = &self.metrics {
+                m.query_atoms.add(atoms.len() as u64);
+            }
+            self.estimate_atoms(&atoms)
+        });
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.query_unordered.inc();
+            m.query_unordered_seconds.observe_duration(t0.elapsed());
+            if result.is_err() {
+                m.query_errors.inc();
+            }
+        }
+        result
     }
 
     /// Total frequency of a set of distinct concrete patterns (Theorem 2).
@@ -484,9 +539,26 @@ impl SketchTree {
     /// (Section 4).  Each leaf expands to a sum of distinct atoms; products
     /// distribute; the synopsis evaluates the expanded `Xᵏ/k!·Πξ` terms.
     pub fn estimate(&self, expr: &CountExpr) -> Result<f64, SketchTreeError> {
+        let start = self.metrics.as_ref().map(|_| Instant::now());
+        let result = self.estimate_inner(expr);
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.query_expr.inc();
+            m.query_expr_seconds.observe_duration(t0.elapsed());
+            if result.is_err() {
+                m.query_errors.inc();
+            }
+        }
+        result
+    }
+
+    fn estimate_inner(&self, expr: &CountExpr) -> Result<f64, SketchTreeError> {
         let terms = self.lower(expr)?;
         if terms.is_empty() {
             return Ok(0.0);
+        }
+        if let Some(m) = &self.metrics {
+            m.query_atoms
+                .add(terms.iter().map(|t| t.queries.len() as u64).sum());
         }
         Ok(self.synopsis.estimate_terms(&terms)?)
     }
@@ -685,7 +757,33 @@ impl SketchTree {
             exact: None,
             trees_processed,
             patterns_processed,
+            metrics: None,
         })
+    }
+
+    /// A scrape-time snapshot of synopsis health for monitoring: counter
+    /// fill, top-k occupancy, partition balance, the residual self-join and
+    /// the estimator-variance proxy.  Cost is one pass over the in-memory
+    /// sketch counters — cheap relative to a metrics scrape, but not free,
+    /// so call it per scrape rather than per query.
+    pub fn sketch_health(&self) -> SketchHealth {
+        let (counters_nonzero, counters_total) = self.synopsis.counter_occupancy();
+        let (topk_tracked, topk_capacity) = self.synopsis.topk_occupancy();
+        let means = self.synopsis.residual_self_join_group_means();
+        SketchHealth {
+            counters_nonzero,
+            counters_total,
+            topk_tracked,
+            topk_capacity,
+            partition_inserts: self.synopsis.partition_insert_counts().to_vec(),
+            values_processed: self.synopsis.values_processed(),
+            residual_self_join: self.synopsis.estimate_residual_self_join(),
+            estimator_spread: relative_spread(&means),
+            memory_bytes: self.memory_bytes() as u64,
+            trees_processed: self.trees_processed,
+            patterns_processed: self.patterns_processed,
+            labels: self.labels.len() as u64,
+        }
     }
 
     /// Residual self-join size of the sketched stream (diagnostic).
@@ -989,6 +1087,62 @@ mod tests {
     fn memory_reporting_nonzero() {
         let st = build();
         assert!(st.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn attached_metrics_observe_pipeline() {
+        use crate::metrics::CoreMetrics;
+        use sketchtree_metrics::Registry;
+        let reg = Registry::new();
+        let m = CoreMetrics::register(&reg);
+        let mut st = build();
+        st.attach_metrics(m.clone());
+        let a = st.labels().lookup("A").expect("A interned");
+        let b = st.labels().lookup("B").expect("B interned");
+        let t = Tree::node(a, vec![Tree::leaf(b)]);
+        st.ingest(&t);
+        let values = st.enumerate_values(&t);
+        st.ingest_precomputed(&t, &values);
+        st.count_ordered("A(B)").unwrap();
+        st.count_unordered("A(B)").unwrap();
+        st.estimate(&CountExpr::ordered("A(B)")).unwrap();
+        assert!(st.count_ordered("A((").is_err());
+        assert_eq!(m.ingest_trees.get(), 2);
+        assert!(m.ingest_patterns.get() >= 2);
+        assert_eq!(m.ingest_seconds.count(), 1);
+        assert_eq!(m.enumerate_seconds.count(), 1);
+        assert_eq!(m.insert_seconds.count(), 1);
+        assert_eq!(m.query_ordered.get(), 2); // one ok + one parse error
+        assert_eq!(m.query_unordered.get(), 1);
+        assert_eq!(m.query_expr.get(), 1);
+        assert_eq!(m.query_errors.get(), 1);
+        assert!(m.query_atoms.get() >= 3);
+        assert_eq!(m.query_ordered_seconds.count(), 2);
+    }
+
+    #[test]
+    fn sketch_health_reflects_stream() {
+        let st = build();
+        let h = st.sketch_health();
+        assert_eq!(h.trees_processed, 45);
+        assert_eq!(h.patterns_processed, st.patterns_processed());
+        assert_eq!(h.counters_total, 13 * 60 * 7);
+        assert_eq!(h.topk_capacity, 13 * 8);
+        assert!(h.topk_tracked > 0);
+        assert_eq!(
+            h.partition_inserts.iter().sum::<u64>(),
+            h.values_processed
+        );
+        assert!(h.residual_self_join >= 0.0);
+        assert!(h.estimator_spread >= 0.0);
+        assert!(h.memory_bytes > 0);
+        assert_eq!(h.labels, 4);
+        // Fresh synopsis: everything zero.
+        let empty = SketchTree::new(SketchTreeConfig::default());
+        let h0 = empty.sketch_health();
+        assert_eq!(h0.counters_nonzero, 0);
+        assert_eq!(h0.values_processed, 0);
+        assert_eq!(h0.estimator_spread, 0.0);
     }
 
     #[test]

@@ -64,8 +64,8 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     }
 }
 
-/// Every `.rs` file under `root`, skipping [`SKIP_DIRS`], sorted for
-/// deterministic reports.
+/// Every `.rs` file under `root`, skipping the `SKIP_DIRS` build/VCS
+/// directories, sorted for deterministic reports.
 pub fn workspace_rs_files(root: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     walk(root, &mut out);

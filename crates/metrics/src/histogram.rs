@@ -1,0 +1,238 @@
+//! Fixed-bucket cumulative histograms, Prometheus-style.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default latency buckets in seconds: 1 µs … 10 s, roughly 1–2.5–5 per
+/// decade.  Covers everything from a single sketch insert to a full
+/// checkpoint of a large synopsis.
+pub const LATENCY_BUCKETS: &[f64] = &[
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+    5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// Default size buckets in bytes: 64 B … 256 MiB in ×4 steps.
+pub const SIZE_BUCKETS: &[f64] = &[
+    64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0, 4194304.0, 16777216.0,
+    67108864.0, 268435456.0,
+];
+
+/// A fixed-bucket histogram with lock-free observation.
+///
+/// Buckets follow the Prometheus convention: each bound is an *inclusive*
+/// upper edge (`le`), an implicit `+Inf` bucket catches the tail, and the
+/// exposition renders cumulative counts.  The sum of observed values is
+/// kept as an `f64` bit-pattern updated by CAS, so any unit works (the
+/// workspace uses seconds for latencies and bytes for sizes).
+#[derive(Debug)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing; the `+Inf` bucket is
+    /// implicit.
+    bounds: Vec<f64>,
+    /// One count per bound plus the `+Inf` bucket: `counts[i]` is the
+    /// number of observations `v` with `bounds[i-1] < v <= bounds[i]`.
+    counts: Vec<AtomicU64>,
+    /// Σ of observed values, as `f64` bits.
+    sum_bits: AtomicU64,
+}
+
+/// A point-in-time copy of a histogram's state (taken at render time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// The inclusive upper bounds (without `+Inf`).
+    pub bounds: Vec<f64>,
+    /// *Cumulative* counts per bound, ending with the `+Inf` total.
+    pub cumulative: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given inclusive upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty, non-finite, or not strictly
+    /// increasing — bucket layouts are compile-time decisions, so a bad
+    /// one is a programming error worth failing fast on.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        for w in bounds.windows(2) {
+            if let [a, b] = w {
+                assert!(a < b, "histogram bounds must be strictly increasing");
+            }
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (the +Inf bucket is implicit)"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        // First bucket whose inclusive upper bound admits v; NaN falls
+        // through every comparison into +Inf rather than corrupting a
+        // bucket.
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        if let Some(c) = self.counts.get(idx) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Records a duration, in seconds.
+    #[inline]
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Takes a consistent-enough snapshot for rendering.  Individual
+    /// bucket loads are relaxed, so a snapshot taken concurrently with
+    /// observations may be mid-update by a few counts — fine for
+    /// monitoring, which is the only consumer.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = Vec::with_capacity(self.counts.len());
+        let mut running = 0u64;
+        for c in &self.counts {
+            running = running.saturating_add(c.load(Ordering::Relaxed));
+            cumulative.push(running);
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            count: running,
+            cumulative,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Total number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Sum of observed values so far.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_edges() {
+        let h = Histogram::new(&[1.0, 2.0, 5.0]);
+        // Exactly on a bound lands in that bound's bucket (le semantics).
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(5.0);
+        // Just above a bound lands in the next bucket.
+        h.observe(1.0000001);
+        // Below everything lands in the first bucket.
+        h.observe(0.0);
+        h.observe(-3.0);
+        // Above the last bound lands in +Inf.
+        h.observe(5.1);
+        let s = h.snapshot();
+        // Raw (non-cumulative) occupancy: [1.0] <- {1.0, 0.0, -3.0},
+        // (1,2] <- {2.0, 1.0000001}, (2,5] <- {5.0}, +Inf <- {5.1}.
+        assert_eq!(s.cumulative, vec![3, 5, 6, 7]);
+        assert_eq!(s.count, 7);
+        let expected_sum = 1.0 + 2.0 + 5.0 + 1.0000001 + 0.0 - 3.0 + 5.1;
+        assert!((s.sum - expected_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_goes_to_inf_bucket() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        let s = h.snapshot();
+        assert_eq!(s.cumulative, vec![0, 1]);
+    }
+
+    #[test]
+    fn latency_buckets_are_valid() {
+        // The constructor validates ordering/finiteness; constructing the
+        // defaults is the test.
+        Histogram::new(LATENCY_BUCKETS);
+        Histogram::new(SIZE_BUCKETS);
+    }
+
+    #[test]
+    fn concurrent_observations_are_exact() {
+        let h = Arc::new(Histogram::new(&[0.5]));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    // Half the threads hit the first bucket, half +Inf.
+                    let v = if i % 2 == 0 { 0.25 } else { 0.75 };
+                    for _ in 0..10_000 {
+                        h.observe(v);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 80_000);
+        assert_eq!(s.cumulative, vec![40_000, 80_000]);
+        let expected = 40_000.0 * 0.25 + 40_000.0 * 0.75;
+        assert!((s.sum - expected).abs() < 1e-6, "sum {}", s.sum);
+    }
+
+    #[test]
+    fn observe_duration_is_seconds() {
+        let h = Histogram::new(&[1e-3, 1.0]);
+        h.observe_duration(std::time::Duration::from_micros(500));
+        h.observe_duration(std::time::Duration::from_millis(500));
+        let s = h.snapshot();
+        assert_eq!(s.cumulative, vec![1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_bounds_rejected() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_bounds_rejected() {
+        Histogram::new(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn infinite_bound_rejected() {
+        Histogram::new(&[1.0, f64::INFINITY]);
+    }
+}

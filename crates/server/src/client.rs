@@ -177,6 +177,15 @@ impl Client {
         }
     }
 
+    /// Fetches the server's metrics exposition: Prometheus text when
+    /// `json` is false, the JSON rendering otherwise.
+    pub fn metrics(&mut self, json: bool) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics { json }, true)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected("metrics", other)),
+        }
+    }
+
     /// Forces a server-side checkpoint; returns its size in bytes.
     pub fn snapshot(&mut self) -> Result<u64, ClientError> {
         match self.request(&Request::Snapshot, true)? {

@@ -14,6 +14,11 @@
 //!   snapshot layer, and snapshot-on-shutdown / restore-on-start.
 //! - [`client`] — a blocking client with reconnect-on-error and capped
 //!   exponential backoff.
+//! - [`metrics`] — server instrumentation: per-opcode latency histograms,
+//!   connection/byte counters, checkpoint timings, and scrape-time
+//!   sketch-health gauges.  Exposed over the SKTP `Metrics` opcode and,
+//!   when [`ServerConfig::metrics_addr`] is set, an HTTP `/metrics` +
+//!   `/healthz` endpoint (see `docs/observability.md`).
 //!
 //! No async runtime: connection counts here are small (a few producers, a
 //! few analysts), so a thread per in-flight connection beats dragging in
@@ -26,8 +31,11 @@
 #![warn(clippy::all)]
 
 pub mod client;
+mod http;
+pub mod metrics;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError};
+pub use metrics::ServerMetrics;
 pub use server::{Server, ServerConfig};

@@ -9,7 +9,7 @@
 //!   and a connection idle past `idle_timeout` is closed so it cannot pin
 //!   a worker forever (the client reconnects on its next request).
 //! - Ingest follows the concurrency contract of
-//!   [`SharedSketchTree`](sketchtree_core::concurrent::SharedSketchTree):
+//!   [`SharedSketchTree`]:
 //!   XML parsing happens against a connection-local label table with *no*
 //!   lock held, label interning takes one short exclusive lock, and the
 //!   sketch updates go through `ingest_batch` (enumeration under the
@@ -21,7 +21,12 @@
 //!   restores from the checkpoint on start, so a restart resumes the
 //!   stream where it left off.
 
-use crate::wire::{read_frame, Frame, Request, Response, Stats, WireError, DEFAULT_MAX_FRAME};
+use crate::http::MetricsHttp;
+use crate::metrics::{ConnectionGuard, ServerMetrics};
+use crate::wire::{
+    read_frame, write_frame, Frame, Request, Response, Stats, WireError, DEFAULT_MAX_FRAME,
+    HEADER_LEN,
+};
 use sketchtree_core::concurrent::SharedSketchTree;
 use sketchtree_core::exprparse;
 use sketchtree_core::sketchtree::{SketchTree, SketchTreeConfig};
@@ -61,6 +66,11 @@ pub struct ServerConfig {
     /// keeps the configuration it was built with, since sketch state is
     /// meaningless under a different geometry or seed.
     pub sketch: SketchTreeConfig,
+    /// Bind address for the HTTP metrics endpoint (`/metrics`,
+    /// `/metrics.json`, `/healthz`); `None` disables it.  Metrics are
+    /// always collected and always available over the SKTP `Metrics`
+    /// opcode — this only controls the scrape listener.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +83,7 @@ impl Default for ServerConfig {
             checkpoint_path: None,
             checkpoint_interval: None,
             sketch: SketchTreeConfig::default(),
+            metrics_addr: None,
         }
     }
 }
@@ -85,6 +96,8 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
     checkpoint: Arc<Checkpoint>,
+    metrics: Arc<ServerMetrics>,
+    metrics_http: Option<MetricsHttp>,
 }
 
 /// Checkpoint target shared by the workers, the periodic thread and the
@@ -104,18 +117,22 @@ impl Server {
     /// is restored from it; otherwise a fresh synopsis is built from
     /// `config.sketch`.
     pub fn start(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
-        let st = match &config.checkpoint_path {
+        let metrics = ServerMetrics::new();
+        let mut st = match &config.checkpoint_path {
             Some(path) if path.exists() => {
                 let bytes = std::fs::read(path)?;
-                read_snapshot(&bytes).map_err(|e| {
+                let restored = read_snapshot(&bytes).map_err(|e| {
                     io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!("checkpoint {}: {e}", path.display()),
                     )
-                })?
+                })?;
+                metrics.restores.inc();
+                restored
             }
             _ => SketchTree::new(config.sketch.clone()),
         };
+        st.attach_metrics(metrics.core.clone());
         let shared = SharedSketchTree::new(st);
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -136,6 +153,7 @@ impl Server {
             max_frame: config.max_frame,
             idle_timeout: config.idle_timeout,
             checkpoint: checkpoint.clone(),
+            metrics: metrics.clone(),
         });
         for _ in 0..workers {
             let rx = rx.clone();
@@ -170,12 +188,17 @@ impl Server {
                 while !ctx.shutdown.load(Ordering::SeqCst) {
                     std::thread::sleep(tick);
                     if last.elapsed() >= interval {
-                        let _ = checkpoint_now(&ctx.shared, &ctx.checkpoint);
+                        let _ = checkpoint_now(&ctx.shared, &ctx.checkpoint, &ctx.metrics);
                         last = Instant::now();
                     }
                 }
             }));
         }
+
+        let metrics_http = match config.metrics_addr {
+            Some(maddr) => Some(MetricsHttp::start(maddr, metrics.clone(), shared.clone())?),
+            None => None,
+        };
 
         Ok(Server {
             addr,
@@ -183,6 +206,8 @@ impl Server {
             shutdown,
             threads,
             checkpoint,
+            metrics,
+            metrics_http,
         })
     }
 
@@ -199,7 +224,18 @@ impl Server {
 
     /// Writes a checkpoint now; returns the snapshot size in bytes.
     pub fn checkpoint(&self) -> io::Result<u64> {
-        checkpoint_now(&self.shared, &self.checkpoint)
+        checkpoint_now(&self.shared, &self.checkpoint, &self.metrics)
+    }
+
+    /// The server's metric set (same instance the workers update).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// The bound address of the HTTP metrics endpoint, when enabled
+    /// (resolved port when `metrics_addr` asked for port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_http.as_ref().map(MetricsHttp::addr)
     }
 
     /// Blocks until a shutdown is requested (via [`Server::shutdown`],
@@ -214,7 +250,7 @@ impl Server {
     pub fn shutdown(mut self) -> io::Result<()> {
         self.stop();
         if self.checkpoint.path.is_some() {
-            checkpoint_now(&self.shared, &self.checkpoint)?;
+            checkpoint_now(&self.shared, &self.checkpoint, &self.metrics)?;
         }
         Ok(())
     }
@@ -227,6 +263,9 @@ impl Server {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        if let Some(http) = &mut self.metrics_http {
+            http.stop();
+        }
     }
 }
 
@@ -234,7 +273,7 @@ impl Drop for Server {
     fn drop(&mut self) {
         if !self.threads.is_empty() {
             self.stop();
-            let _ = checkpoint_now(&self.shared, &self.checkpoint);
+            let _ = checkpoint_now(&self.shared, &self.checkpoint, &self.metrics);
         }
     }
 }
@@ -247,6 +286,7 @@ struct Ctx {
     max_frame: u32,
     idle_timeout: Duration,
     checkpoint: Arc<Checkpoint>,
+    metrics: Arc<ServerMetrics>,
 }
 
 fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx) {
@@ -262,6 +302,7 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx) {
 }
 
 fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
+    let _guard = ConnectionGuard::open(&ctx.metrics);
     let mut last_activity = Instant::now();
     loop {
         if ctx.shutdown.load(Ordering::SeqCst) {
@@ -271,12 +312,16 @@ fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
             Ok(Frame::Eof) => return,
             Ok(Frame::Idle) => {
                 if last_activity.elapsed() >= ctx.idle_timeout {
+                    ctx.metrics.idle_closes.inc();
                     return; // free the worker for a queued connection
                 }
                 continue;
             }
             Ok(Frame::Msg { kind, payload }) => {
                 last_activity = Instant::now();
+                let started = Instant::now();
+                ctx.metrics.frames_in.inc();
+                ctx.metrics.bytes_in.add((HEADER_LEN + payload.len()) as u64);
                 // Frame boundaries are intact even when the payload is
                 // malformed, so payload errors answer and keep the
                 // connection; only header-level failures desynchronize.
@@ -284,8 +329,13 @@ fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
                     Ok(req) => handle_request(req, ctx),
                     Err(e) => Response::Error(format!("bad request: {e}")),
                 };
+                if matches!(resp, Response::Error(_)) {
+                    ctx.metrics.error_responses.inc();
+                }
                 let done = matches!(resp, Response::ShuttingDown);
-                if resp.write_to(&mut stream).is_err() || done {
+                let sent = write_response(&mut stream, &resp, ctx);
+                ctx.metrics.observe_request(kind, started.elapsed());
+                if !sent || done {
                     return;
                 }
             }
@@ -295,12 +345,26 @@ fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
                     other => Some(format!("protocol error: {other}")),
                 };
                 if let Some(msg) = msg {
-                    let _ = Response::Error(msg).write_to(&mut stream);
+                    ctx.metrics.error_responses.inc();
+                    write_response(&mut stream, &Response::Error(msg), ctx);
                 }
                 return;
             }
         }
     }
+}
+
+/// Writes one response frame, counting the frame and its bytes (header
+/// included) on success.  Returns `false` when the write failed and the
+/// connection should close.
+fn write_response(stream: &mut TcpStream, resp: &Response, ctx: &Ctx) -> bool {
+    let payload = resp.encode();
+    if write_frame(stream, resp.kind(), &payload).is_err() {
+        return false;
+    }
+    ctx.metrics.frames_out.inc();
+    ctx.metrics.bytes_out.add((HEADER_LEN + payload.len()) as u64);
+    true
 }
 
 fn handle_request(req: Request, ctx: &Ctx) -> Response {
@@ -359,10 +423,14 @@ fn handle_request(req: Request, ctx: &Ctx) -> Response {
                 .take(limit as usize)
                 .collect(),
         ),
-        Request::Snapshot => match checkpoint_now(&ctx.shared, &ctx.checkpoint) {
+        Request::Snapshot => match checkpoint_now(&ctx.shared, &ctx.checkpoint, &ctx.metrics) {
             Ok(bytes) => Response::SnapshotDone { bytes },
             Err(e) => Response::Error(format!("checkpoint: {e}")),
         },
+        Request::Metrics { json } => {
+            ctx.metrics.refresh_health(&ctx.shared);
+            Response::Metrics(ctx.metrics.render(json))
+        }
         Request::Shutdown => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             // Wake the accept loop so it observes the flag.
@@ -433,7 +501,30 @@ fn remap_tree(tree: &Tree, map: &[Label]) -> Tree {
 /// file beside the target, rename into place.  Serialized end to end by
 /// `ck.lock` so a periodic checkpoint and a client `Snapshot` request can
 /// never interleave on the temp file or publish out of order.
-fn checkpoint_now(shared: &SharedSketchTree, ck: &Checkpoint) -> io::Result<u64> {
+fn checkpoint_now(
+    shared: &SharedSketchTree,
+    ck: &Checkpoint,
+    metrics: &ServerMetrics,
+) -> io::Result<u64> {
+    let started = Instant::now();
+    let result = checkpoint_inner(shared, ck);
+    match &result {
+        Ok(bytes) => {
+            metrics.checkpoints.inc();
+            metrics.checkpoint_seconds.observe_duration(started.elapsed());
+            metrics.checkpoint_bytes.set(*bytes as f64);
+        }
+        // "No path configured" is a configuration state, not a failed
+        // write — the shutdown path probes unconditionally.
+        Err(e) if e.kind() != io::ErrorKind::Unsupported => {
+            metrics.checkpoint_errors.inc();
+        }
+        Err(_) => {}
+    }
+    result
+}
+
+fn checkpoint_inner(shared: &SharedSketchTree, ck: &Checkpoint) -> io::Result<u64> {
     let Some(path) = &ck.path else {
         return Err(io::Error::new(
             io::ErrorKind::Unsupported,

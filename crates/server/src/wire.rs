@@ -52,6 +52,7 @@ const K_STATS: u8 = 0x06;
 const K_HEAVY: u8 = 0x07;
 const K_SNAPSHOT: u8 = 0x08;
 const K_SHUTDOWN: u8 = 0x09;
+const K_METRICS: u8 = 0x0A;
 
 // Response kinds.
 const K_PONG: u8 = 0x81;
@@ -61,7 +62,50 @@ const K_STATS_REPLY: u8 = 0x84;
 const K_HEAVY_REPLY: u8 = 0x85;
 const K_SNAPSHOT_DONE: u8 = 0x86;
 const K_SHUTTING_DOWN: u8 = 0x87;
+const K_METRICS_REPLY: u8 = 0x88;
 const K_ERROR: u8 = 0xFF;
+
+/// Human-readable name of a frame kind byte, for per-opcode metric labels
+/// and diagnostics.  Unassigned kinds render as `"other"`.
+pub fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        K_PING => "ping",
+        K_INGEST_XML => "ingest_xml",
+        K_INGEST_TREES => "ingest_trees",
+        K_COUNT => "count",
+        K_EXPR => "expr",
+        K_STATS => "stats",
+        K_HEAVY => "heavy_hitters",
+        K_SNAPSHOT => "snapshot",
+        K_SHUTDOWN => "shutdown",
+        K_METRICS => "metrics",
+        K_PONG => "pong",
+        K_INGESTED => "ingested",
+        K_ESTIMATE => "estimate",
+        K_STATS_REPLY => "stats_reply",
+        K_HEAVY_REPLY => "heavy_reply",
+        K_SNAPSHOT_DONE => "snapshot_done",
+        K_SHUTTING_DOWN => "shutting_down",
+        K_METRICS_REPLY => "metrics_reply",
+        K_ERROR => "error",
+        _ => "other",
+    }
+}
+
+/// The request kind bytes assigned in this protocol version, in opcode
+/// order — the iteration domain for per-opcode metric families.
+pub const REQUEST_KINDS: &[u8] = &[
+    K_PING,
+    K_INGEST_XML,
+    K_INGEST_TREES,
+    K_COUNT,
+    K_EXPR,
+    K_STATS,
+    K_HEAVY,
+    K_SNAPSHOT,
+    K_SHUTDOWN,
+    K_METRICS,
+];
 
 // Decode-time allocation guards (counts, not bytes; byte totals are
 // already bounded by max_frame).
@@ -258,6 +302,11 @@ pub enum Request {
     Snapshot,
     /// Ask the server to checkpoint and stop accepting connections.
     Shutdown,
+    /// Fetch the server's metrics exposition.
+    Metrics {
+        /// `true` for the JSON rendering, `false` for Prometheus text.
+        json: bool,
+    },
 }
 
 /// Synopsis statistics as reported over the wire.
@@ -312,6 +361,9 @@ pub enum Response {
     },
     /// The server acknowledged shutdown; the connection closes next.
     ShuttingDown,
+    /// The rendered metrics exposition (Prometheus text or JSON, per the
+    /// request's `json` flag).
+    Metrics(String),
     /// The request failed; human-readable reason.
     Error(String),
 }
@@ -329,6 +381,7 @@ impl Request {
             Request::HeavyHitters { .. } => K_HEAVY,
             Request::Snapshot => K_SNAPSHOT,
             Request::Shutdown => K_SHUTDOWN,
+            Request::Metrics { .. } => K_METRICS,
         }
     }
 
@@ -359,6 +412,7 @@ impl Request {
             }
             Request::Expr(e) => w.str(e),
             Request::HeavyHitters { limit } => w.u32(*limit),
+            Request::Metrics { json } => w.u8(u8::from(*json)),
         }
         w.0
     }
@@ -403,6 +457,14 @@ impl Request {
             }
             K_EXPR => Request::Expr(r.str()?),
             K_HEAVY => Request::HeavyHitters { limit: r.u32()? },
+            K_METRICS => {
+                let json = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Corrupt("json flag")),
+                };
+                Request::Metrics { json }
+            }
             other => return Err(WireError::UnknownKind(other)),
         };
         r.finish()?;
@@ -426,6 +488,7 @@ impl Response {
             Response::HeavyHitters(_) => K_HEAVY_REPLY,
             Response::SnapshotDone { .. } => K_SNAPSHOT_DONE,
             Response::ShuttingDown => K_SHUTTING_DOWN,
+            Response::Metrics(_) => K_METRICS_REPLY,
             Response::Error(_) => K_ERROR,
         }
     }
@@ -461,6 +524,7 @@ impl Response {
                 }
             }
             Response::SnapshotDone { bytes } => w.u64(*bytes),
+            Response::Metrics(text) => w.str(text),
             Response::Error(msg) => w.str(msg),
         }
         w.0
@@ -500,6 +564,7 @@ impl Response {
                 Response::HeavyHitters(entries)
             }
             K_SNAPSHOT_DONE => Response::SnapshotDone { bytes: r.u64()? },
+            K_METRICS_REPLY => Response::Metrics(r.str()?),
             K_ERROR => Response::Error(r.str()?),
             other => return Err(WireError::UnknownKind(other)),
         };
@@ -669,6 +734,34 @@ mod tests {
         roundtrip_req(Request::HeavyHitters { limit: 17 });
         roundtrip_req(Request::Snapshot);
         roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::Metrics { json: false });
+        roundtrip_req(Request::Metrics { json: true });
+    }
+
+    #[test]
+    fn metrics_json_flag_is_strict() {
+        let payload = vec![2u8];
+        assert!(matches!(
+            Request::decode(K_METRICS, &payload),
+            Err(WireError::Corrupt("json flag"))
+        ));
+    }
+
+    #[test]
+    fn kind_names_cover_every_assigned_kind() {
+        for k in [
+            K_PING, K_INGEST_XML, K_INGEST_TREES, K_COUNT, K_EXPR, K_STATS, K_HEAVY, K_SNAPSHOT,
+            K_SHUTDOWN, K_METRICS, K_PONG, K_INGESTED, K_ESTIMATE, K_STATS_REPLY, K_HEAVY_REPLY,
+            K_SNAPSHOT_DONE, K_SHUTTING_DOWN, K_METRICS_REPLY, K_ERROR,
+        ] {
+            assert_ne!(kind_name(k), "other", "kind 0x{k:02x} unnamed");
+        }
+        assert_eq!(kind_name(0x42), "other");
+        // Request-kind table agrees with the request encoder.
+        for &k in REQUEST_KINDS {
+            assert_ne!(kind_name(k), "other");
+        }
+        assert!(REQUEST_KINDS.contains(&Request::Metrics { json: false }.kind()));
     }
 
     #[test]
@@ -692,6 +785,7 @@ mod tests {
             Response::HeavyHitters(vec![(10, -5), (u64::MAX, i64::MIN)]),
             Response::SnapshotDone { bytes: 4096 },
             Response::ShuttingDown,
+            Response::Metrics("# HELP x y\nx 1\n".into()),
             Response::Error("nope".into()),
         ] {
             let mut buf = Vec::new();

@@ -40,6 +40,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
             .prop_map(|(unordered, pattern)| Request::Count { unordered, pattern }),
         "\\PC{0,40}".prop_map(Request::Expr),
         (0u32..1000).prop_map(|limit| Request::HeavyHitters { limit }),
+        any::<bool>().prop_map(|json| Request::Metrics { json }),
     ]
 }
 
@@ -74,6 +75,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
             Response::HeavyHitters(entries.into_iter().map(|(v, f)| (v, f as i64)).collect())
         }),
         (any::<u64>()).prop_map(|bytes| Response::SnapshotDone { bytes }),
+        // Exposition payloads: newline-heavy, `{}`-quoted label text.
+        "(\\PC|\\n){0,120}".prop_map(Response::Metrics),
         "\\PC{0,60}".prop_map(Response::Error),
     ]
 }
@@ -155,6 +158,17 @@ fn mutated_frames_never_panic() {
         },
         {
             let r = Response::HeavyHitters(vec![(1, 2), (3, -4), (5, 6)]);
+            frame_bytes(r.kind(), &r.encode())
+        },
+        {
+            let r = Request::Metrics { json: true };
+            frame_bytes(r.kind(), &r.encode())
+        },
+        {
+            let r = Response::Metrics(
+                "# TYPE sktp_frames_total counter\nsktp_frames_total{direction=\"in\"} 12\n"
+                    .into(),
+            );
             frame_bytes(r.kind(), &r.encode())
         },
         {

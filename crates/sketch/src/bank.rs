@@ -182,6 +182,26 @@ impl SketchBank {
         median_in_place(&mut ys)
     }
 
+    /// The `s2` per-group means of a flat per-sketch value vector — the
+    /// same averaging as [`SketchBank::boost`] but *without* the final
+    /// median, exposing the spread the median collapses.  Monitoring uses
+    /// this as a variance proxy: Theorem 1 bounds each group mean's
+    /// deviation, so widely scattered group means signal an estimator
+    /// operating near (or past) its error budget.
+    pub fn group_means(&self, acc: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(acc.len(), self.sketches.len());
+        acc.chunks(self.s1)
+            .map(|chunk| chunk.iter().sum::<f64>() / self.s1 as f64)
+            .collect()
+    }
+
+    /// Number of sketches whose counter is nonzero (occupancy diagnostic:
+    /// a counter at exactly zero has either seen nothing or cancelled
+    /// perfectly — both newsworthy to an operator).
+    pub fn nonzero_counters(&self) -> usize {
+        self.sketches.iter().filter(|s| s.raw() != 0).count()
+    }
+
     /// Applies `per_sketch` to each sketch mutably (used by the top-k
     /// tracker to delete/restore heavy hitters across the whole bank).
     pub fn for_each_sketch_mut(&mut self, mut per_sketch: impl FnMut(&mut AmsSketch)) {

@@ -124,6 +124,12 @@ pub struct StreamSynopsis {
     banks: Vec<SketchBank>,
     topks: Vec<TopKTracker>,
     values_processed: u64,
+    /// Values routed to each virtual stream since construction — a
+    /// monitoring aid, deliberately *not* part of [`SynopsisState`] (the
+    /// snapshot format is stable), so the counts reset to zero on
+    /// restore.  Saturating: a partition counter pinned at `u64::MAX` is
+    /// a better signal than a wrapped one.
+    partition_inserts: Vec<u64>,
     /// Reusable per-insert ξ sign buffer (hot-path allocation avoidance).
     sign_buf: Vec<i8>,
     /// PRNG for probabilistic top-k invocation.
@@ -150,11 +156,13 @@ impl StreamSynopsis {
             .map(|_| TopKTracker::new(config.topk))
             .collect();
         let topk_rng = sketchtree_hash::SplitMix64::new(config.seed ^ 0x70B0_70B0);
+        let partition_inserts = vec![0u64; config.virtual_streams];
         Self {
             config,
             banks,
             topks,
             values_processed: 0,
+            partition_inserts,
             sign_buf: Vec::new(),
             topk_rng,
         }
@@ -198,6 +206,9 @@ impl StreamSynopsis {
         if invoke_topk {
             // lint:allow(L1, reason = "r < topks.len() == banks.len(): route() reduces mod the shared stream count")
             self.topks[r].process_with_signs(value, &mut self.banks[r], &self.sign_buf);
+        }
+        if let Some(c) = self.partition_inserts.get_mut(r) {
+            *c = c.saturating_add(1);
         }
         self.values_processed = self.values_processed.saturating_add(1);
     }
@@ -367,6 +378,67 @@ impl StreamSynopsis {
             bank.accumulate(&mut acc, |s| s.second_moment() as f64);
         }
         self.first_bank().boost(&acc)
+    }
+
+    /// The `s2` per-group means of the residual self-join estimator,
+    /// *before* the final median — the spread among them is the
+    /// operator-visible variance proxy of the `s1 × s2` boosting
+    /// construction.  Theorem 1 says each group mean concentrates around
+    /// the true `SJ(S)` with variance shrinking as `1/s1`; if the means
+    /// disagree wildly, every estimate this synopsis produces is riding
+    /// the median's confidence amplification harder than usual.
+    pub fn residual_self_join_group_means(&self) -> Vec<f64> {
+        let n = self.first_bank().num_sketches();
+        let mut acc = vec![0.0f64; n];
+        for bank in &self.banks {
+            bank.accumulate(&mut acc, |s| s.second_moment() as f64);
+        }
+        self.first_bank().group_means(&acc)
+    }
+
+    /// `(nonzero, total)` sketch-counter occupancy across every bank.
+    /// Fill near zero on a long stream means the stream never reached
+    /// those partitions; fill near one is the steady state.
+    pub fn counter_occupancy(&self) -> (u64, u64) {
+        let nonzero = self
+            .banks
+            .iter()
+            .map(|b| u64::try_from(b.nonzero_counters()).unwrap_or(u64::MAX))
+            .fold(0u64, u64::saturating_add);
+        let total = self
+            .banks
+            .iter()
+            .map(|b| u64::try_from(b.num_sketches()).unwrap_or(u64::MAX))
+            .fold(0u64, u64::saturating_add);
+        (nonzero, total)
+    }
+
+    /// `(tracked, capacity)` top-k heap occupancy summed over virtual
+    /// streams.  A heap far below capacity on a skewed stream means the
+    /// delete condition is rejecting candidates (or top-k sampling is
+    /// throttled); a full heap is the expected steady state.
+    pub fn topk_occupancy(&self) -> (u64, u64) {
+        let tracked = self
+            .topks
+            .iter()
+            .map(|t| u64::try_from(t.len()).unwrap_or(u64::MAX))
+            .fold(0u64, u64::saturating_add);
+        let capacity = self
+            .topks
+            .iter()
+            .map(|t| u64::try_from(t.capacity()).unwrap_or(u64::MAX))
+            .fold(0u64, u64::saturating_add);
+        (tracked, capacity)
+    }
+
+    /// Values routed to each virtual stream since this synopsis was
+    /// constructed (monitoring only — resets on snapshot restore; see the
+    /// field note).  Routing is `value mod p`, so on a healthy stream
+    /// these counts are near-uniform; a hot partition means many distinct
+    /// patterns collided into one stream and its local self-join size —
+    /// hence its error bound — is worse than the others'.
+    pub fn partition_insert_counts(&self) -> &[u64] {
+        &self.partition_inserts
     }
 
     /// All tracked heavy hitters across virtual streams, most frequent
@@ -690,6 +762,52 @@ mod tests {
         });
         fill(&mut never, &freqs);
         assert!(never.tracked_heavy_hitters().is_empty());
+    }
+
+    #[test]
+    fn health_accessors_track_stream_state() {
+        let mut syn = StreamSynopsis::new(small_config(5));
+        let (nz0, total) = syn.counter_occupancy();
+        assert_eq!(nz0, 0, "fresh synopsis has all-zero counters");
+        assert_eq!(total, 13 * 60 * 7);
+        assert_eq!(syn.topk_occupancy(), (0, 13 * 5));
+        assert!(syn.partition_insert_counts().iter().all(|&c| c == 0));
+
+        let freqs = skewed_stream();
+        fill(&mut syn, &freqs);
+
+        // With topk_probability = MAX and 60 distinct values under a 13×5
+        // top-k capacity, *every* value is tracked exactly and deleted from
+        // the sketch — all-zero counters are the correct steady state.
+        // Counter fill is therefore asserted on a tracker-free synopsis.
+        let mut untracked = StreamSynopsis::new(small_config(0));
+        fill(&mut untracked, &freqs);
+        let (nz, _) = untracked.counter_occupancy();
+        assert!(nz > 0, "stream left no mark on the counters");
+        let (tracked, cap) = syn.topk_occupancy();
+        assert!(tracked > 0 && tracked <= cap, "tracked {tracked} cap {cap}");
+        let inserts: u64 = syn.partition_insert_counts().iter().sum();
+        assert_eq!(inserts, syn.values_processed());
+        // Group means average to something near the boosted estimate.
+        let means = syn.residual_self_join_group_means();
+        assert_eq!(means.len(), 7);
+        let boosted = syn.estimate_residual_self_join();
+        let mut sorted = means.clone();
+        sorted.sort_by(f64::total_cmp);
+        // The boosted value IS the median of these means.
+        assert_eq!(sorted[sorted.len() / 2], boosted);
+    }
+
+    #[test]
+    fn partition_counts_reset_on_restore_but_state_roundtrips() {
+        let mut syn = StreamSynopsis::new(small_config(3));
+        fill(&mut syn, &[(5, 80), (18, 40)]);
+        assert!(syn.partition_insert_counts().iter().sum::<u64>() > 0);
+        let restored = StreamSynopsis::from_state(small_config(3), syn.export_state());
+        // Monitoring counts are not part of the snapshot format.
+        assert!(restored.partition_insert_counts().iter().all(|&c| c == 0));
+        // But the sketch state itself is intact.
+        assert_eq!(syn.estimate_count(5), restored.estimate_count(5));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# Full pre-merge gate: build, test, then run the workspace's own static
-# analyzer (sketchtree-lint).  Exits non-zero on the first failure, and
-# on any undocumented lint finding — see docs/lints.md for the rules and
-# for how to document a deliberate exception.
+# Full pre-merge gate: build, test, doc-build, doc-link check, then run
+# the workspace's own static analyzer (sketchtree-lint).  Exits non-zero
+# on the first failure, and on any undocumented lint finding — see
+# docs/lints.md for the rules and for how to document a deliberate
+# exception.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,6 +13,16 @@ cargo build --workspace --all-targets
 
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
+
+echo "==> cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> doc link check"
+# The checker is an ordinary test (tests/doc_links.rs) so it also runs in
+# the plain test sweep above; invoking it by name here makes a broken
+# link fail the gate with its own banner instead of drowning in the
+# workspace test noise.
+cargo test --quiet -p sketchtree --test doc_links
 
 echo "==> sketchtree-lint"
 # --show-allowed keeps the documented exceptions visible in CI logs so

@@ -1,0 +1,114 @@
+//! Documentation link checker: every relative markdown link in the
+//! repository's own docs must point at a file (or directory) that exists.
+//!
+//! Runs as a plain test so `cargo test` — and therefore
+//! `scripts/check.sh` — fails when a doc is moved without its references
+//! being updated.  External (`http://`, `https://`), in-page (`#…`) and
+//! `mailto:` links are skipped: this gate is about repo-internal
+//! integrity, not the reachability of the wider internet.
+
+use std::path::{Path, PathBuf};
+
+/// Markdown files that are *checked* for outgoing links.  Scratch files
+/// (ISSUE/CHANGES/SNIPPETS, the paper dumps) accumulate references to
+/// things that never existed in this repo, so the gate covers the curated
+/// docs only.
+const CHECKED: &[&str] = &[
+    "README.md",
+    "DESIGN.md",
+    "CONTRIBUTING.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/README.md",
+    "docs/THEORY.md",
+    "docs/TUNING.md",
+    "docs/lints.md",
+    "docs/wire-protocol.md",
+    "docs/observability.md",
+];
+
+/// Extracts inline markdown link targets: `[text](target)`.  Good enough
+/// for the docs in this repo — no reference-style links, no nested
+/// brackets inside link text.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let lb = line.as_bytes();
+        let mut j = 0;
+        while j < lb.len() {
+            if lb[j] == b']' && j + 1 < lb.len() && lb[j + 1] == b'(' {
+                let rest = &line[j + 2..];
+                if let Some(end) = rest.find(')') {
+                    out.push(rest[..end].trim().to_string());
+                    j += 2 + end;
+                    continue;
+                }
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR of the root package *is* the repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn relative_doc_links_resolve() {
+    let root = repo_root();
+    let mut broken = Vec::new();
+    for doc in CHECKED {
+        let path = root.join(doc);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => {
+                broken.push(format!("{doc}: listed in CHECKED but missing"));
+                continue;
+            }
+        };
+        let base = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+        for target in link_targets(&text) {
+            if target.is_empty()
+                || target.starts_with('#')
+                || target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            // Strip any in-page anchor from a file target.
+            let file_part = target.split('#').next().unwrap_or(&target);
+            if file_part.is_empty() {
+                continue;
+            }
+            let resolved = if let Some(stripped) = file_part.strip_prefix('/') {
+                root.join(stripped)
+            } else {
+                base.join(file_part)
+            };
+            if !resolved.exists() {
+                broken.push(format!("{doc}: broken link -> {target}"));
+            }
+        }
+    }
+    assert!(broken.is_empty(), "broken documentation links:\n  {}", broken.join("\n  "));
+}
+
+#[test]
+fn link_extraction_understands_markdown() {
+    let md = "See [the guide](docs/TUNING.md) and [api](#anchor).\n\
+              ```\n[not a link](ignored.md)\n```\n\
+              Also [ext](https://example.com) and [two](a.md) [links](b.md).";
+    let links = link_targets(md);
+    assert_eq!(links, vec!["docs/TUNING.md", "#anchor", "https://example.com", "a.md", "b.md"]);
+}

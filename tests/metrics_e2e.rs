@@ -1,0 +1,130 @@
+//! End-to-end observability test: drive a scripted workload through a
+//! live server and assert that the *same* instrumented state is visible
+//! through every exposition surface — the SKTP `Metrics` opcode (text and
+//! JSON) and the HTTP scrape endpoint — with counter deltas that match
+//! the workload exactly.
+
+use sketchtree::server::{Client, Server, ServerConfig};
+use sketchtree::{SketchTreeConfig, SynopsisConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn config() -> SketchTreeConfig {
+    SketchTreeConfig {
+        max_pattern_edges: 3,
+        synopsis: SynopsisConfig {
+            s1: 30,
+            s2: 5,
+            virtual_streams: 13,
+            topk: 8,
+            seed: 7,
+            ..SynopsisConfig::default()
+        },
+        ..SketchTreeConfig::default()
+    }
+}
+
+/// Value of an unlabeled series (`name 42`) in Prometheus text, if present.
+fn series_value(text: &str, name: &str) -> Option<f64> {
+    text.lines().find_map(|l| {
+        let rest = l.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+/// One blocking HTTP/1.0 GET against the scrape endpoint.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("metrics endpoint reachable");
+    s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes()).expect("send");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read");
+    out
+}
+
+#[test]
+fn workload_moves_every_exposition_surface() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            sketch: config(),
+            metrics_addr: Some("127.0.0.1:0".parse().expect("addr")),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let scrape_addr = server.metrics_addr().expect("metrics endpoint up");
+    let mut client = Client::connect(server.addr()).expect("client connects");
+
+    // Baseline scrape before the workload: the exposition itself works on
+    // an empty synopsis and the pipeline counters start at zero.
+    let before = client.metrics(false).expect("baseline metrics");
+    assert_eq!(series_value(&before, "sketchtree_ingest_trees_total"), Some(0.0), "{before}");
+
+    // The workload: 60 documents, three query shapes, and one parse error.
+    let docs: Vec<String> = (0..60)
+        .map(|i| format!("<r><a>x{}</a><b/></r>", i % 5))
+        .collect();
+    let summary = client.ingest_xml(&docs).expect("ingest");
+    assert_eq!(summary.total_trees, 60);
+    client.count_ordered("r(a)").expect("ordered query");
+    client.count_ordered("r(b)").expect("ordered query");
+    client.count_unordered("r(a,b)").expect("unordered query");
+    client.expr("COUNT_ord(r(a)) - COUNT_ord(r(b))").expect("expression");
+    client.count_ordered("((broken").expect_err("parse error reaches the client");
+
+    // Surface 1: SKTP Metrics opcode, Prometheus text.
+    let after = client.metrics(false).expect("metrics after workload");
+    assert_eq!(series_value(&after, "sketchtree_ingest_trees_total"), Some(60.0), "{after}");
+    let patterns =
+        series_value(&after, "sketchtree_ingest_patterns_total").expect("patterns series");
+    assert!(patterns > 60.0, "each tree yields multiple pattern instances: {patterns}");
+    // Per-kind query counters: 3 ordered (incl. the failed parse), 1
+    // unordered, 1 expression, 1 error.
+    assert!(after.contains("sketchtree_query_total{kind=\"ordered\"} 3"), "{after}");
+    assert!(after.contains("sketchtree_query_total{kind=\"unordered\"} 1"), "{after}");
+    assert!(after.contains("sketchtree_query_total{kind=\"expr\"} 1"), "{after}");
+    assert_eq!(series_value(&after, "sketchtree_query_errors_total"), Some(1.0), "{after}");
+    // Per-opcode latency histograms observed for every opcode we used.
+    for opcode in ["ingest_xml", "count", "expr", "metrics"] {
+        let line = format!("sktp_request_seconds_count{{opcode=\"{opcode}\"}}");
+        assert!(after.contains(&line), "missing histogram for {opcode}: {after}");
+    }
+    // Transport counters move and include our frames.
+    let frames_in = after
+        .lines()
+        .find(|l| l.starts_with("sktp_frames_total{direction=\"in\"}"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<f64>().ok())
+        .expect("frames_in series");
+    assert!(frames_in >= 7.0, "at least one frame per request: {frames_in}");
+    assert_eq!(series_value(&after, "sktp_error_responses_total"), Some(1.0), "{after}");
+    // Sketch-health gauges are fresh: the scrape refreshed them.
+    assert_eq!(series_value(&after, "sketchtree_trees_processed"), Some(60.0), "{after}");
+    let values = series_value(&after, "sketchtree_values_processed").expect("values series");
+    assert!(values > 0.0, "synopsis saw pattern values: {after}");
+
+    // Surface 2: SKTP Metrics opcode, JSON rendering.
+    let json = client.metrics(true).expect("json metrics");
+    assert!(json.trim_start().starts_with('{'), "{json}");
+    assert!(json.contains("\"sketchtree_ingest_trees_total\""), "{json}");
+
+    // Surface 3: HTTP scrape endpoint — same registry, same numbers.
+    let scrape = http_get(scrape_addr, "/metrics");
+    assert!(scrape.starts_with("HTTP/1.0 200"), "{scrape}");
+    assert!(scrape.contains("text/plain; version=0.0.4"), "{scrape}");
+    let body = scrape.split("\r\n\r\n").nth(1).expect("body");
+    assert_eq!(series_value(body, "sketchtree_ingest_trees_total"), Some(60.0), "{body}");
+    assert!(body.contains("sktp_request_seconds_bucket{opcode=\"ingest_xml\""), "{body}");
+
+    let health = http_get(scrape_addr, "/healthz");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("\"trees_processed\":60"), "{health}");
+
+    // Deltas keep accruing: a second batch moves the same counters again.
+    client.ingest_xml(&docs[..10].to_vec()).expect("second batch");
+    let third = client.metrics(false).expect("third scrape");
+    assert_eq!(series_value(&third, "sketchtree_ingest_trees_total"), Some(70.0), "{third}");
+
+    server.shutdown().expect("clean shutdown");
+}
