@@ -30,6 +30,10 @@
 //!     --snapshot PATH         checkpoint file (restore on start, write on stop)
 //!     --checkpoint-secs N     also checkpoint every N seconds
 //!     --workers N             worker threads (default 4)
+//!     --ingest-threads N      parallel ingest pipeline width (default:
+//!                             SKETCHTREE_INGEST_THREADS, else the CPU
+//!                             count; the synopsis is bit-identical at
+//!                             every setting)
 //!     --metrics-port N        serve HTTP /metrics + /healthz on 0.0.0.0:N
 //!                             (0 picks an ephemeral port; omit to disable)
 //!     plus the ingest sketch flags (--k, --s1, ... ) for a fresh synopsis
@@ -93,7 +97,7 @@ fn usage() -> String {
      sketchtree stats <snapshot>|<host:port> [--metrics [--json]]\n  \
      sketchtree heavy <snapshot> [--limit N]\n  \
      sketchtree serve <addr> [--snapshot PATH] [--checkpoint-secs N] [--workers N] \
-     [--metrics-port N] [sketch flags as for ingest]\n  \
+     [--ingest-threads N] [--metrics-port N] [sketch flags as for ingest]\n  \
      sketchtree remote-ingest <addr> <file.xml>|- [--batch N]\n  \
      sketchtree remote-query <addr> <pattern>... [--unordered | --expr]"
         .to_string()
@@ -362,6 +366,9 @@ fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     let config = ServerConfig {
         workers: parse_flag(args, "--workers", 4usize)?,
+        // 0 (the default) = SKETCHTREE_INGEST_THREADS or available
+        // parallelism; the synopsis is bit-identical at every setting.
+        ingest_threads: parse_flag(args, "--ingest-threads", 0usize)?,
         checkpoint_path: (!checkpoint_path.is_empty()).then(|| checkpoint_path.clone().into()),
         checkpoint_interval: (checkpoint_secs > 0)
             .then(|| std::time::Duration::from_secs(checkpoint_secs)),

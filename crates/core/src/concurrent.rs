@@ -15,6 +15,7 @@
 //! tree is already built — building trees is the caller's, lock-free,
 //! side).
 
+use crate::parallel::IngestOptions;
 use crate::sketchtree::{CountExpr, SketchTree, SketchTreeError};
 use parking_lot::RwLock;
 use sketchtree_tree::Tree;
@@ -24,14 +25,31 @@ use std::sync::Arc;
 #[derive(Clone)]
 pub struct SharedSketchTree {
     inner: Arc<RwLock<SketchTree>>,
+    opts: IngestOptions,
 }
 
 impl SharedSketchTree {
-    /// Wraps a synopsis for shared use.
+    /// Wraps a synopsis for shared use with default ingest options
+    /// (thread count from `SKETCHTREE_INGEST_THREADS` or the machine's
+    /// available parallelism).
     pub fn new(st: SketchTree) -> Self {
+        Self::with_options(st, IngestOptions::default())
+    }
+
+    /// Wraps a synopsis with explicit parallel-ingest geometry.
+    pub fn with_options(st: SketchTree, opts: IngestOptions) -> Self {
         Self {
             inner: Arc::new(RwLock::new(st)),
+            opts: IngestOptions {
+                threads: opts.threads.max(1),
+                chunk_size: opts.chunk_size.max(1),
+            },
         }
+    }
+
+    /// The ingest geometry this handle applies to batches.
+    pub fn ingest_options(&self) -> IngestOptions {
+        self.opts
     }
 
     /// Ingests one tree (exclusive lock for the sketch updates).
@@ -42,27 +60,34 @@ impl SharedSketchTree {
         self.inner.write().ingest(tree);
     }
 
-    /// Ingests a batch of trees, taking the exclusive lock once for the
-    /// whole batch instead of once per tree.
+    /// Ingests a batch of trees through the parallel pipeline.
     ///
-    /// The expensive half of Algorithm 1 — pattern enumeration, Prüfer
-    /// encoding and fingerprint mapping — runs under the *shared* lock
-    /// (concurrent with queries and with other producers' enumeration);
-    /// only the sketch-counter insertions hold the exclusive lock.  The
-    /// resulting synopsis state is identical to calling
-    /// [`SharedSketchTree::ingest`] on each tree in order.
+    /// The batch is processed in [`IngestOptions::chunk_size`] windows.
+    /// Per window, the expensive half of Algorithm 1 — pattern
+    /// enumeration, Prüfer encoding and fingerprint mapping — fans out
+    /// across [`IngestOptions::threads`] workers under the *shared* lock
+    /// (concurrent with queries and other producers), then the sketch
+    /// insertions run sharded by virtual-stream partition under the
+    /// exclusive lock.  Bounding each lock window means a checkpoint
+    /// writer or query interleaves between windows instead of waiting
+    /// out the whole batch.
+    ///
+    /// The resulting synopsis state is bit-identical to calling
+    /// [`SharedSketchTree::ingest`] on each tree in order, at every
+    /// thread count and chunk size (when no other writer interleaves).
     ///
     /// Returns `(trees, pattern instances)` added by this batch.
     pub fn ingest_batch(&self, trees: &[Tree]) -> (u64, u64) {
-        let values: Vec<Vec<u64>> = {
-            let guard = self.inner.read();
-            trees.iter().map(|t| guard.enumerate_values(t)).collect()
-        };
-        let patterns: u64 = values.iter().map(|v| v.len() as u64).sum();
-        // lint:allow(L4, reason = "the read guard above is scoped to its own block and dropped before this write; the lexical pass cannot see the block boundary")
-        let mut guard = self.inner.write();
-        for (tree, vals) in trees.iter().zip(&values) {
-            guard.ingest_precomputed(tree, vals);
+        let mut patterns = 0u64;
+        for window in trees.chunks(self.opts.chunk_size.max(1)) {
+            let values: Vec<Vec<u64>> = {
+                let guard = self.inner.read();
+                guard.enumerate_values_batch(window, self.opts)
+            };
+            patterns += values.iter().map(|v| v.len() as u64).sum::<u64>();
+            // lint:allow(L4, reason = "the read guard above is scoped to its own block and dropped before this write; the lexical pass cannot see the block boundary")
+            let mut guard = self.inner.write();
+            guard.ingest_precomputed_batch(window, &values, self.opts);
         }
         (trees.len() as u64, patterns)
     }
@@ -236,5 +261,144 @@ mod tests {
         clone.ingest(&Tree::node(a, vec![Tree::leaf(a)]));
         assert_eq!(st.trees_processed(), 1);
         assert_eq!(st.patterns_processed(), clone.patterns_processed());
+    }
+
+    #[test]
+    fn checkpoint_completes_while_batch_is_mid_ingest() {
+        // chunk_size 1 bounds every lock window to one tree, so a
+        // checkpoint (a read-side snapshot, exactly what the server's
+        // periodic writer does) gets the lock between windows instead of
+        // waiting out the whole batch.
+        let st = SharedSketchTree::with_options(
+            SketchTree::new(SketchTreeConfig {
+                max_pattern_edges: 3,
+                synopsis: SynopsisConfig {
+                    s1: 30,
+                    s2: 5,
+                    virtual_streams: 7,
+                    topk: 4,
+                    ..SynopsisConfig::default()
+                },
+                ..SketchTreeConfig::default()
+            }),
+            crate::parallel::IngestOptions {
+                threads: 2,
+                chunk_size: 1,
+            },
+        );
+        let (a, b, c) = st.with_labels(|l| (l.intern("A"), l.intern("B"), l.intern("C")));
+        // Trees bushy enough that enumerating 1500 of them spans many
+        // scheduler quanta even on one core.
+        let tree = Tree::node(
+            a,
+            vec![
+                Tree::node(b, vec![Tree::leaf(c), Tree::leaf(c)]),
+                Tree::node(c, vec![Tree::leaf(b)]),
+                Tree::leaf(b),
+            ],
+        );
+        let n = 1500u64;
+        let batch: Vec<Tree> = (0..n).map(|_| tree.clone()).collect();
+        let writer = {
+            let st = st.clone();
+            std::thread::spawn(move || st.ingest_batch(&batch))
+        };
+        // Wait for the batch to be visibly in progress, then checkpoint.
+        let mut mid_snapshot = None;
+        loop {
+            let t = st.trees_processed();
+            if t > 0 && t < n {
+                mid_snapshot = Some(st.read(crate::snapshot::write_snapshot));
+                break;
+            }
+            if t == n {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let (trees, _) = writer.join().expect("ingest thread must not panic");
+        assert_eq!(trees, n);
+        let bytes = mid_snapshot
+            .expect("never saw the batch mid-ingest: lock windows are not bounded");
+        // The mid-batch checkpoint is a valid snapshot of a strict prefix.
+        let restored = crate::snapshot::read_snapshot(&bytes).expect("snapshot readable");
+        assert!(restored.trees_processed() > 0);
+        assert!(restored.trees_processed() < n);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        /// The tentpole guarantee, end to end through the snapshot
+        /// encoder: batch ingest at 1, 2 and 8 threads (and whatever
+        /// SKETCHTREE_INGEST_THREADS / available parallelism selects as
+        /// the default) produces snapshots *byte-identical* to sequential
+        /// per-tree ingest — including with probabilistic top-k sampling,
+        /// where per-partition RNG state is the subtle cross-thread
+        /// hazard.
+        #[test]
+        fn snapshot_parity_across_thread_counts(
+            shapes in proptest::prop::collection::vec(arb_tree(), 1..24),
+            topk_probability in proptest::prop_oneof![
+                proptest::prelude::Just(u16::MAX),
+                proptest::prelude::Just(u16::MAX / 3),
+            ],
+        ) {
+            let config = SketchTreeConfig {
+                max_pattern_edges: 3,
+                synopsis: SynopsisConfig {
+                    s1: 20,
+                    s2: 5,
+                    virtual_streams: 7,
+                    topk: 4,
+                    topk_probability,
+                    ..SynopsisConfig::default()
+                },
+                ..SketchTreeConfig::default()
+            };
+            let build = || {
+                let mut st = SketchTree::new(config.clone());
+                for l in ["L0", "L1", "L2", "L3"] {
+                    st.labels_mut().intern(l);
+                }
+                st
+            };
+            let trees: Vec<Tree> = shapes;
+            let mut sequential = build();
+            for t in &trees {
+                sequential.ingest(t);
+            }
+            let expected = crate::snapshot::write_snapshot(&sequential);
+            let thread_counts = [1usize, 2, 8, crate::parallel::default_ingest_threads()];
+            for &threads in &thread_counts {
+                let shared = SharedSketchTree::with_options(
+                    build(),
+                    crate::parallel::IngestOptions {
+                        threads,
+                        chunk_size: 3,
+                    },
+                );
+                shared.ingest_batch(&trees);
+                let got = shared.read(crate::snapshot::write_snapshot);
+                proptest::prop_assert!(
+                    got == expected,
+                    "snapshot diverged at {threads} ingest threads \
+                     ({} vs {} bytes)",
+                    got.len(),
+                    expected.len()
+                );
+            }
+        }
+    }
+
+    /// Small random trees over four labels, matching the `build()` label
+    /// table in the parity proptest.
+    fn arb_tree() -> impl proptest::prelude::Strategy<Value = Tree> {
+        use proptest::prelude::*;
+        use sketchtree_tree::Label;
+        let leaf = (0u32..4).prop_map(|l| Tree::leaf(Label(l)));
+        leaf.prop_recursive(3, 12, 3, |inner| {
+            ((0u32..4), prop::collection::vec(inner, 1..3))
+                .prop_map(|(l, children)| Tree::node(Label(l), children))
+        })
     }
 }

@@ -1,0 +1,246 @@
+//! The parallel ingest worker pool — std-only threading for Algorithm 1.
+//!
+//! Ingesting a batch has two embarrassingly parallel halves with different
+//! shapes:
+//!
+//! * **enumeration** (EnumTree + Prüfer encoding + Rabin fingerprinting) is
+//!   read-only per tree — `map_indexed` fans trees out to workers with
+//!   dynamic chunk claiming (an `AtomicUsize` cursor), so a pathological
+//!   tree does not stall the batch behind a static split;
+//! * **sketch insertion** commutes only *within* a virtual-stream
+//!   partition — `run_partitioned` hands each worker a disjoint set of
+//!   [`sketchtree_sketch::virtual_streams::SynopsisShard`] views (plus
+//!   their value queues), so no counter is ever touched by two threads
+//!   and no atomics or locks guard the hot loop.
+//!
+//! Both helpers run on [`std::thread::scope`]: borrowed inputs need no
+//! `Arc`, worker panics propagate to the caller, and a `threads = 1` call
+//! degenerates to the exact sequential loop — which is why every thread
+//! count produces bit-identical synopses (see `concurrent.rs` parity
+//! tests).
+//!
+//! [`IngestOptions`] carries the pool geometry.  The default thread count
+//! honours the `SKETCHTREE_INGEST_THREADS` environment variable (CI forces
+//! it to 1 and 8 to exercise both extremes) and otherwise uses
+//! [`std::thread::available_parallelism`].
+
+use sketchtree_metrics::Gauge;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default ingest thread count.
+pub const INGEST_THREADS_ENV: &str = "SKETCHTREE_INGEST_THREADS";
+
+/// Geometry of the parallel ingest pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOptions {
+    /// Worker threads for enumeration fan-out and shard application.
+    /// `1` runs the exact sequential loops on the calling thread.
+    pub threads: usize,
+    /// Trees enumerated per lock window in
+    /// [`crate::SharedSketchTree::ingest_batch`] — bounds how long the
+    /// shared lock is held, so checkpoint writers interleave with large
+    /// batches.
+    pub chunk_size: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        Self {
+            threads: default_ingest_threads(),
+            chunk_size: 64,
+        }
+    }
+}
+
+impl IngestOptions {
+    /// Options pinned to a specific thread count (chunking unchanged).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+/// The default ingest thread count: `SKETCHTREE_INGEST_THREADS` when set
+/// to a positive integer, otherwise the machine's available parallelism.
+pub fn default_ingest_threads() -> usize {
+    if let Ok(v) = std::env::var(INGEST_THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Applies `f` to every item, fanning out across `threads` workers with
+/// dynamic claiming, and returns the results in input order.
+///
+/// `queue_depth`, when given, is set to the number of still-unclaimed
+/// items as workers make progress (and to zero on return) — the ingest
+/// backlog gauge.
+pub(crate) fn map_indexed<T, R, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+    queue_depth: Option<&Gauge>,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        let out = items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if let Some(g) = queue_depth {
+                    g.set((items.len() - i - 1) as f64);
+                }
+                f(t)
+            })
+            .collect();
+        if let Some(g) = queue_depth {
+            g.set(0.0);
+        }
+        return out;
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let cursor = &cursor;
+        let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        if let Some(g) = queue_depth {
+                            g.set((items.len() - i - 1) as f64);
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    });
+    for (i, r) in per_worker.into_iter().flatten() {
+        if let Some(slot) = slots.get_mut(i) {
+            *slot = Some(r);
+        }
+    }
+    if let Some(g) = queue_depth {
+        g.set(0.0);
+    }
+    let out: Vec<R> = slots.into_iter().flatten().collect();
+    assert_eq!(out.len(), items.len(), "worker pool lost results");
+    out
+}
+
+/// Runs `f` once per work item, distributing items round-robin across
+/// `threads` workers.  Each item is owned by exactly one worker — the
+/// partition-ownership discipline the sharded sketch insert relies on.
+pub(crate) fn run_partitioned<W, F>(threads: usize, work: Vec<W>, f: F)
+where
+    W: Send,
+    F: Fn(W) + Sync,
+{
+    let threads = threads.max(1).min(work.len().max(1));
+    if threads == 1 {
+        for w in work {
+            f(w);
+        }
+        return;
+    }
+    let mut groups: Vec<Vec<W>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, w) in work.into_iter().enumerate() {
+        if let Some(g) = groups.get_mut(i % threads) {
+            g.push(w);
+        }
+    }
+    // Scoped threads: panics in any worker propagate when the scope ends.
+    std::thread::scope(|scope| {
+        let f = &f;
+        for group in groups {
+            scope.spawn(move || {
+                for w in group {
+                    f(w);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_indexed_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let out = map_indexed(threads, &items, |&x| x * x, None);
+            let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expect, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_empty_input() {
+        let out: Vec<u64> = map_indexed(4, &[], |x: &u64| *x, None);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_indexed_updates_queue_depth_gauge() {
+        let reg = sketchtree_metrics::Registry::new();
+        let gauge = reg.gauge("test_depth", "test");
+        let items: Vec<u64> = (0..10).collect();
+        let _ = map_indexed(2, &items, |&x| x, Some(&gauge));
+        assert_eq!(gauge.get(), 0.0, "gauge must read 0 after the batch");
+    }
+
+    #[test]
+    fn run_partitioned_visits_every_item_once() {
+        for threads in [1, 2, 5, 64] {
+            let hits = AtomicU64::new(0);
+            let work: Vec<u64> = (0..31).map(|i| 1u64 << (i % 31)).collect();
+            let total: u64 = work.iter().sum();
+            run_partitioned(threads, work, |w| {
+                hits.fetch_add(w, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), total, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn default_threads_respects_env() {
+        std::env::set_var(INGEST_THREADS_ENV, "3");
+        assert_eq!(default_ingest_threads(), 3);
+        std::env::set_var(INGEST_THREADS_ENV, "not-a-number");
+        assert!(default_ingest_threads() >= 1);
+        std::env::set_var(INGEST_THREADS_ENV, "0");
+        assert!(default_ingest_threads() >= 1);
+        std::env::remove_var(INGEST_THREADS_ENV);
+        assert!(default_ingest_threads() >= 1);
+        assert_eq!(IngestOptions::with_threads(0).threads, 1);
+    }
+}

@@ -404,6 +404,105 @@ impl SketchTree {
         }
     }
 
+    /// Enumerates pattern values for a whole batch of trees, fanning the
+    /// per-tree work of [`SketchTree::enumerate_values`] across
+    /// `opts.threads` workers with dynamic claiming.
+    ///
+    /// Output position `i` holds tree `i`'s values in the exact order
+    /// sequential enumeration produces, regardless of thread count.  When
+    /// metrics are attached, the ingest queue-depth gauge tracks the
+    /// unclaimed backlog.
+    pub fn enumerate_values_batch(
+        &self,
+        trees: &[Tree],
+        opts: crate::parallel::IngestOptions,
+    ) -> Vec<Vec<u64>> {
+        let depth = self.metrics.as_ref().map(|m| &*m.ingest_queue_depth);
+        crate::parallel::map_indexed(opts.threads, trees, |t| self.enumerate_values(t), depth)
+    }
+
+    /// Ingests a batch of trees whose pattern values were precomputed by
+    /// [`SketchTree::enumerate_values_batch`] (or per-tree
+    /// [`SketchTree::enumerate_values`]) on this same synopsis.
+    ///
+    /// Sketch insertion is sharded by virtual-stream partition: the
+    /// batch's values are split into per-partition queues (in stream
+    /// order) and each partition's queue is applied through its exclusive
+    /// [`sketchtree_sketch::virtual_streams::SynopsisShard`] by exactly
+    /// one worker.  Because a partition's state never depended on other
+    /// partitions' values, the resulting synopsis is **bit-identical** to
+    /// ingesting the same trees sequentially — at every `opts.threads`.
+    ///
+    /// The structural summary and the optional exact baseline are
+    /// order-insensitive and updated on the calling thread.
+    pub fn ingest_precomputed_batch(
+        &mut self,
+        trees: &[Tree],
+        values: &[Vec<u64>],
+        opts: crate::parallel::IngestOptions,
+    ) {
+        debug_assert_eq!(trees.len(), values.len());
+        let start = self.metrics.as_ref().map(|_| Instant::now());
+        if let Some(s) = &mut self.summary {
+            for t in trees {
+                s.observe(t);
+            }
+        }
+        if let Some(e) = &mut self.exact {
+            for vs in values {
+                for &v in vs {
+                    e.record(v);
+                }
+            }
+        }
+        let total: u64 = values.iter().map(|v| v.len() as u64).sum();
+        // Split the batch into per-partition queues, preserving stream
+        // order within each partition — the only order a partition's
+        // state ever observed.
+        let mut queues: Vec<Vec<u64>> = vec![Vec::new(); self.synopsis.partition_count()];
+        for vs in values {
+            for &v in vs {
+                if let Some(q) = queues.get_mut(self.synopsis.partition_of(v)) {
+                    q.push(v);
+                }
+            }
+        }
+        let shard_seconds = self
+            .metrics
+            .as_ref()
+            .map(|m| Arc::clone(&m.shard_insert_seconds));
+        let work: Vec<_> = self
+            .synopsis
+            .shards()
+            .into_iter()
+            .map(|shard| {
+                let queue = queues
+                    .get_mut(shard.index())
+                    .map(std::mem::take)
+                    .unwrap_or_default();
+                (shard, queue)
+            })
+            .filter(|(_, queue)| !queue.is_empty())
+            .collect();
+        crate::parallel::run_partitioned(opts.threads, work, |(mut shard, queue)| {
+            let t0 = Instant::now();
+            for v in queue {
+                shard.insert(v);
+            }
+            if let Some(h) = &shard_seconds {
+                h.observe_duration(t0.elapsed());
+            }
+        });
+        self.synopsis.note_inserted(total);
+        self.patterns_processed += total;
+        self.trees_processed += trees.len() as u64;
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.ingest_trees.add(trees.len() as u64);
+            m.ingest_patterns.add(total);
+            m.insert_seconds.observe_duration(t0.elapsed());
+        }
+    }
+
     /// Resolves a textual pattern into the distinct concrete pattern trees
     /// it denotes: itself if simple, its summary expansion otherwise.
     fn resolve(&self, text: &str) -> Result<Vec<Tree>, SketchTreeError> {

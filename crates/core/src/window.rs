@@ -22,7 +22,7 @@
 //! correspondingly small, which is what the tracker would have bought.
 
 use crate::mapping::Mapper;
-use crate::sketchtree::SketchTreeConfig;
+use crate::sketchtree::{SketchTreeConfig, SketchTreeError};
 use sketchtree_tree::{LabelTable, PruferSeq, Tree};
 use sketchtree_sketch::StreamSynopsis;
 use std::collections::VecDeque;
@@ -119,12 +119,16 @@ impl WindowedSketchTree {
 
     /// `COUNT_ord(Q)` within the window for a textual simple pattern.
     /// Unknown labels give exactly 0.
-    pub fn count_ordered(&self, pattern: &str) -> Result<f64, crate::query::QueryError> {
+    ///
+    /// Wildcard (`*`) and descendant (`//`) patterns return
+    /// [`SketchTreeError::SummaryRequired`]: rewriting them needs the
+    /// structural summary, and the windowed synopsis keeps none (summary
+    /// entries cannot be expired the way sketch counters can).
+    pub fn count_ordered(&self, pattern: &str) -> Result<f64, SketchTreeError> {
         let q = crate::query::parse_pattern(pattern)?;
-        assert!(
-            q.is_simple(),
-            "windowed synopsis answers simple patterns (no summary is kept per-window)"
-        );
+        if !q.is_simple() {
+            return Err(SketchTreeError::SummaryRequired);
+        }
         Ok(match q.to_tree(&self.labels) {
             None => 0.0,
             Some(t) => self.count_ordered_tree(&t),
@@ -132,8 +136,19 @@ impl WindowedSketchTree {
     }
 
     /// Synopsis memory plus the buffered-window memory, in bytes.
+    ///
+    /// The buffer is charged at *capacity*, not length: every buffered
+    /// `Vec<u64>` owns `capacity × 8` bytes of heap whether or not its
+    /// tail is in use, and the `VecDeque` ring is `capacity` slots of
+    /// `Vec` headers (occupied or not).
     pub fn memory_bytes(&self) -> usize {
-        self.synopsis.memory_bytes() + self.buffered_values() * 8
+        let heap: usize = self
+            .buffered
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<u64>())
+            .sum();
+        let ring = self.buffered.capacity() * std::mem::size_of::<Vec<u64>>();
+        self.synopsis.memory_bytes() + heap + ring
     }
 }
 
@@ -227,5 +242,55 @@ mod tests {
     #[should_panic]
     fn zero_window_rejected() {
         build(0);
+    }
+
+    #[test]
+    fn wildcard_and_descendant_patterns_error_instead_of_panicking() {
+        let mut w = build(4);
+        let (a, b) = {
+            let l = w.labels_mut();
+            (l.intern("A"), l.intern("B"))
+        };
+        w.ingest(&Tree::node(a, vec![Tree::leaf(b)]));
+        // Regression: these used to assert!(q.is_simple()) and crash the
+        // caller.  Both must surface as proper errors.
+        assert_eq!(
+            w.count_ordered("A(*)"),
+            Err(SketchTreeError::SummaryRequired)
+        );
+        assert_eq!(
+            w.count_ordered("A(//B)"),
+            Err(SketchTreeError::SummaryRequired)
+        );
+        // Parse errors still map through.
+        assert!(matches!(
+            w.count_ordered("A(("),
+            Err(SketchTreeError::Query(_))
+        ));
+        // Simple patterns unaffected.
+        assert!(w.count_ordered("A(B)").is_ok());
+    }
+
+    #[test]
+    fn memory_accounts_for_buffer_capacity() {
+        let mut w = build(5);
+        let a = w.labels_mut().intern("A");
+        let t = Tree::node(a, vec![Tree::leaf(a), Tree::leaf(a)]);
+        for _ in 0..100 {
+            w.ingest(&t);
+        }
+        // Regression: the old accounting charged len × 8 and ignored both
+        // Vec capacity slack and the per-Vec/ring overhead.  The report
+        // must be at least the naive lower bound…
+        let buffered_payload = w.buffered_values() * std::mem::size_of::<u64>();
+        let ring_headers = w.window_len() * std::mem::size_of::<Vec<u64>>();
+        assert!(
+            w.memory_bytes() >= w.synopsis.memory_bytes() + buffered_payload + ring_headers,
+            "reported {} < naive lower bound {}",
+            w.memory_bytes(),
+            w.synopsis.memory_bytes() + buffered_payload + ring_headers
+        );
+        // …and capacity-based accounting can only grow the number.
+        assert!(w.memory_bytes() > w.synopsis.memory_bytes() + buffered_payload);
     }
 }

@@ -70,7 +70,9 @@ impl Pass for LockDiscipline {
     }
 
     fn applies(&self, rel: &str) -> bool {
-        rel.starts_with("crates/server/src/") || rel == "crates/core/src/concurrent.rs"
+        rel.starts_with("crates/server/src/")
+            || rel == "crates/core/src/concurrent.rs"
+            || rel == "crates/core/src/parallel.rs"
     }
 
     fn run(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
@@ -284,6 +286,21 @@ mod tests {
         assert!(out[0].message.contains("fs::write"));
         let out = run_on("crates/server/src/wire.rs", src);
         assert!(out.is_empty(), "I/O policing is server.rs-scoped: {out:?}");
+    }
+
+    #[test]
+    fn pass_covers_the_parallel_worker_pool() {
+        // PR 4's sharded ingest pipeline lives in core/parallel.rs; lock
+        // misuse there deadlocks every ingest worker at once, so the pass
+        // covers it alongside concurrent.rs and the server.
+        assert!(LockDiscipline.applies("crates/core/src/parallel.rs"));
+        assert!(LockDiscipline.applies("crates/core/src/concurrent.rs"));
+        assert!(!LockDiscipline.applies("crates/core/src/window.rs"));
+        let out = run_on(
+            "crates/core/src/parallel.rs",
+            "fn f(&self) { let g = self.queue.lock(); let h = self.queue.lock(); }",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
     }
 
     #[test]

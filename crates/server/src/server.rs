@@ -12,9 +12,11 @@
 //!   [`SharedSketchTree`]:
 //!   XML parsing happens against a connection-local label table with *no*
 //!   lock held, label interning takes one short exclusive lock, and the
-//!   sketch updates go through `ingest_batch` (enumeration under the
-//!   shared lock, insertion under one exclusive lock per batch).  Queries
-//!   only ever take the shared lock, so queries never block queries.
+//!   sketch updates go through `ingest_batch` (parallel enumeration under
+//!   the shared lock, partition-sharded insertion under one exclusive
+//!   lock per bounded chunk — so checkpoints and queries interleave with
+//!   large batches).  Queries only ever take the shared lock, so queries
+//!   never block queries.
 //! - An optional **checkpoint thread** persists the synopsis through the
 //!   snapshot layer at a fixed interval; checkpoints are atomic (temp
 //!   file + rename).  The server also checkpoints on shutdown and
@@ -71,6 +73,12 @@ pub struct ServerConfig {
     /// always collected and always available over the SKTP `Metrics`
     /// opcode — this only controls the scrape listener.
     pub metrics_addr: Option<SocketAddr>,
+    /// Worker threads for the parallel `IngestTrees` pipeline:
+    /// enumeration fan-out and partition-sharded sketch insertion.
+    /// `0` means the default — `SKETCHTREE_INGEST_THREADS` when set,
+    /// otherwise the machine's available parallelism.  The synopsis is
+    /// bit-identical at every setting.
+    pub ingest_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +92,7 @@ impl Default for ServerConfig {
             checkpoint_interval: None,
             sketch: SketchTreeConfig::default(),
             metrics_addr: None,
+            ingest_threads: 0,
         }
     }
 }
@@ -133,7 +142,14 @@ impl Server {
             _ => SketchTree::new(config.sketch.clone()),
         };
         st.attach_metrics(metrics.core.clone());
-        let shared = SharedSketchTree::new(st);
+        let ingest_opts = sketchtree_core::IngestOptions {
+            threads: match config.ingest_threads {
+                0 => sketchtree_core::default_ingest_threads(),
+                n => n,
+            },
+            ..sketchtree_core::IngestOptions::default()
+        };
+        let shared = SharedSketchTree::with_options(st, ingest_opts);
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));

@@ -240,6 +240,23 @@ impl SketchBank {
         buf.extend(self.sketches.iter().map(|s| s.sign(value) as i8));
     }
 
+    /// Applies `count` occurrences of `value` while filling `buf` with the
+    /// per-sketch ξ signs — [`SketchBank::signs_into`] and
+    /// [`SketchBank::update_with_signs`] fused into one pass over the
+    /// sketches, so the ingest hot path touches each sketch's cache line
+    /// once.  The resulting counters and sign buffer are exactly those the
+    /// two-pass sequence produces.
+    pub fn apply_with_signs(&mut self, value: u64, count: i64, buf: &mut Vec<i8>) {
+        buf.clear();
+        buf.reserve(self.sketches.len());
+        for s in &mut self.sketches {
+            let sg = s.sign(value);
+            s.add_raw(sg.wrapping_mul(count));
+            // lint:allow(L2, reason = "sign() returns ±1, which always fits i8")
+            buf.push(sg as i8);
+        }
+    }
+
     /// Applies `count` occurrences of the value whose signs are in `signs`.
     pub fn update_with_signs(&mut self, signs: &[i8], count: i64) {
         debug_assert_eq!(signs.len(), self.sketches.len());
@@ -448,6 +465,21 @@ mod tests {
     #[should_panic]
     fn zero_s1_rejected() {
         SketchBank::new(0, 0, 7, 4);
+    }
+
+    #[test]
+    fn apply_with_signs_matches_two_pass_update() {
+        let mut fused = SketchBank::new(12, 6, 3, 4);
+        let mut two_pass = SketchBank::new(12, 6, 3, 4);
+        let mut buf_a = Vec::new();
+        let mut buf_b = Vec::new();
+        for v in [3u64, 99, 3, 777, 42] {
+            fused.apply_with_signs(v, 1, &mut buf_a);
+            two_pass.signs_into(v, &mut buf_b);
+            two_pass.update_with_signs(&buf_b, 1);
+            assert_eq!(buf_a, buf_b, "sign buffers diverged at {v}");
+        }
+        assert_eq!(fused.counter_values(), two_pass.counter_values());
     }
 
     #[test]

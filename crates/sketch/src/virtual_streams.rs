@@ -132,8 +132,98 @@ pub struct StreamSynopsis {
     partition_inserts: Vec<u64>,
     /// Reusable per-insert ξ sign buffer (hot-path allocation avoidance).
     sign_buf: Vec<i8>,
-    /// PRNG for probabilistic top-k invocation.
-    topk_rng: sketchtree_hash::SplitMix64,
+    /// Per-partition PRNGs for probabilistic top-k invocation.  One PRNG
+    /// *per virtual stream* (not one global) so a partition's state
+    /// evolution depends only on the subsequence of values routed to it —
+    /// the property that lets [`StreamSynopsis::shards`] apply partitions
+    /// concurrently and still land bit-identical to sequential insertion.
+    topk_rngs: Vec<sketchtree_hash::SplitMix64>,
+}
+
+/// Applies one value to its partition's state: fused sign/counter update,
+/// then (possibly sampled) Algorithm 4 top-k processing, then the
+/// partition's monitoring counter.  This is the *single* per-value insert
+/// path — [`StreamSynopsis::insert`] and [`SynopsisShard::insert`] both
+/// call it, which is what makes the sharded pipeline bit-identical to
+/// sequential ingestion by construction.
+#[inline]
+fn insert_routed(
+    bank: &mut SketchBank,
+    topk: &mut TopKTracker,
+    rng: &mut sketchtree_hash::SplitMix64,
+    topk_probability: u16,
+    sign_buf: &mut Vec<i8>,
+    inserts: &mut u64,
+    value: u64,
+) {
+    bank.apply_with_signs(value, 1, sign_buf);
+    let invoke_topk = topk_probability == u16::MAX
+        || (rng.next_u64() & 0xFFFF) < u64::from(topk_probability);
+    if invoke_topk {
+        topk.process_with_signs(value, bank, sign_buf);
+    }
+    *inserts = inserts.saturating_add(1);
+}
+
+/// Exclusive view of one virtual-stream partition: its sketch bank, top-k
+/// tracker, sampling PRNG and monitoring counter.
+///
+/// Obtained from [`StreamSynopsis::shards`].  Each shard owns state no
+/// other shard aliases, so a batch whose values have been split by
+/// partition (`value mod p`) can be applied by several threads at once —
+/// one shard per owner — and, as long as every shard receives its values
+/// in stream order, the final synopsis is byte-identical to sequential
+/// [`StreamSynopsis::insert`] calls: cross-partition ordering never
+/// influenced any partition's state to begin with.
+pub struct SynopsisShard<'a> {
+    index: usize,
+    partitions: u64,
+    topk_probability: u16,
+    bank: &'a mut SketchBank,
+    topk: &'a mut TopKTracker,
+    rng: &'a mut sketchtree_hash::SplitMix64,
+    inserts: &'a mut u64,
+    sign_buf: Vec<i8>,
+    inserted: u64,
+}
+
+impl SynopsisShard<'_> {
+    /// This shard's partition index in `0..partition_count()`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Inserts one occurrence of `value`, which must route to this
+    /// partition (`value mod p == index`).
+    ///
+    /// # Panics
+    /// Debug-panics on a mis-routed value — release builds would
+    /// silently corrupt the partition-ownership invariant instead, so
+    /// the routing is the caller's contract.
+    pub fn insert(&mut self, value: u64) {
+        debug_assert_eq!(
+            value % self.partitions,
+            // lint:allow(L2, reason = "usize -> u64 is widening; the shard index is < partitions which itself fits u64")
+            self.index as u64,
+            "value routed to the wrong shard"
+        );
+        insert_routed(
+            self.bank,
+            self.topk,
+            self.rng,
+            self.topk_probability,
+            &mut self.sign_buf,
+            self.inserts,
+            value,
+        );
+        self.inserted = self.inserted.saturating_add(1);
+    }
+
+    /// Values applied through this view (the caller reports the total back
+    /// via [`StreamSynopsis::note_inserted`] once the views are dropped).
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
 }
 
 impl StreamSynopsis {
@@ -155,7 +245,19 @@ impl StreamSynopsis {
         let topks = (0..config.virtual_streams)
             .map(|_| TopKTracker::new(config.topk))
             .collect();
-        let topk_rng = sketchtree_hash::SplitMix64::new(config.seed ^ 0x70B0_70B0);
+        // One sampling PRNG per partition, each derived from the master
+        // seed and the partition index — a partition's RNG consumption is
+        // then a pure function of the subsequence routed to it, which is
+        // what keeps sharded ingestion bit-identical to sequential.
+        let topk_rngs = (0..config.virtual_streams)
+            .map(|r| {
+                sketchtree_hash::SplitMix64::new(sketchtree_hash::SplitMix64::derive(
+                    config.seed ^ 0x70B0_70B0,
+                    // lint:allow(L2, reason = "usize -> u64 partition index is widening on every supported target")
+                    r as u64,
+                ))
+            })
+            .collect();
         let partition_inserts = vec![0u64; config.virtual_streams];
         Self {
             config,
@@ -164,7 +266,7 @@ impl StreamSynopsis {
             values_processed: 0,
             partition_inserts,
             sign_buf: Vec::new(),
-            topk_rng,
+            topk_rngs,
         }
     }
 
@@ -196,21 +298,74 @@ impl StreamSynopsis {
     /// Algorithm 4 top-k processing).
     pub fn insert(&mut self, value: u64) {
         let r = self.route(value);
-        // Evaluate the value's ξ signs once; the update, the top-k
-        // frequency estimate, and any deletion all reuse them.
-        let Some(bank) = self.banks.get_mut(r) else { return };
-        bank.signs_into(value, &mut self.sign_buf);
-        bank.update_with_signs(&self.sign_buf, 1);
-        let invoke_topk = self.config.topk_probability == u16::MAX
-            || (self.topk_rng.next_u64() & 0xFFFF) < u64::from(self.config.topk_probability);
-        if invoke_topk {
-            // lint:allow(L1, reason = "r < topks.len() == banks.len(): route() reduces mod the shared stream count")
-            self.topks[r].process_with_signs(value, &mut self.banks[r], &self.sign_buf);
-        }
-        if let Some(c) = self.partition_inserts.get_mut(r) {
-            *c = c.saturating_add(1);
-        }
+        let (Some(bank), Some(topk), Some(rng), Some(inserts)) = (
+            self.banks.get_mut(r),
+            self.topks.get_mut(r),
+            self.topk_rngs.get_mut(r),
+            self.partition_inserts.get_mut(r),
+        ) else {
+            return;
+        };
+        insert_routed(
+            bank,
+            topk,
+            rng,
+            self.config.topk_probability,
+            &mut self.sign_buf,
+            inserts,
+            value,
+        );
         self.values_processed = self.values_processed.saturating_add(1);
+    }
+
+    /// Number of virtual-stream partitions (`p`).
+    pub fn partition_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// The partition index `value mod p` routes to — the routing the
+    /// sharded pipeline must replicate when splitting a batch.
+    pub fn partition_of(&self, value: u64) -> usize {
+        self.route(value)
+    }
+
+    /// Adds `n` to the stream-length counter.  Shard views cannot touch
+    /// `values_processed` (it is whole-synopsis state, not partition
+    /// state), so a sharded batch reports its total here afterwards —
+    /// mirroring the single saturating add per value that sequential
+    /// [`StreamSynopsis::insert`] performs.
+    pub fn note_inserted(&mut self, n: u64) {
+        self.values_processed = self.values_processed.saturating_add(n);
+    }
+
+    /// Splits the synopsis into one exclusive [`SynopsisShard`] per
+    /// partition.  The shards borrow disjoint state, are `Send`, and may
+    /// be moved to worker threads; each value must be applied to the
+    /// shard [`StreamSynopsis::partition_of`] names, in stream order
+    /// within that shard.  Afterwards, report the total inserted via
+    /// [`StreamSynopsis::note_inserted`].
+    pub fn shards(&mut self) -> Vec<SynopsisShard<'_>> {
+        // lint:allow(L2, reason = "usize -> u64 partition count is widening on every supported target")
+        let partitions = self.banks.len() as u64;
+        let topk_probability = self.config.topk_probability;
+        self.banks
+            .iter_mut()
+            .zip(self.topks.iter_mut())
+            .zip(self.topk_rngs.iter_mut())
+            .zip(self.partition_inserts.iter_mut())
+            .enumerate()
+            .map(|(index, (((bank, topk), rng), inserts))| SynopsisShard {
+                index,
+                partitions,
+                topk_probability,
+                bank,
+                topk,
+                rng,
+                inserts,
+                sign_buf: Vec::new(),
+                inserted: 0,
+            })
+            .collect()
     }
 
     /// Deletes one previously-inserted occurrence of `value` (AMS deletion:
@@ -808,6 +963,90 @@ mod tests {
         assert!(restored.partition_insert_counts().iter().all(|&c| c == 0));
         // But the sketch state itself is intact.
         assert_eq!(syn.estimate_count(5), restored.estimate_count(5));
+    }
+
+    /// Replays `values` through shard views the way the parallel pipeline
+    /// does: split by partition preserving stream order, then apply each
+    /// partition's queue through its own [`SynopsisShard`].
+    fn insert_via_shards(syn: &mut StreamSynopsis, values: &[u64]) {
+        let p = syn.partition_count();
+        let mut queues: Vec<Vec<u64>> = vec![Vec::new(); p];
+        for &v in values {
+            queues[syn.partition_of(v)].push(v);
+        }
+        let mut shards = syn.shards();
+        // Deliberately iterate the shards in *reverse* partition order:
+        // cross-partition application order must not matter.
+        for shard in shards.iter_mut().rev() {
+            for &v in &queues[shard.index()] {
+                shard.insert(v);
+            }
+        }
+        let inserted: u64 = shards.iter().map(SynopsisShard::inserted).sum();
+        drop(shards);
+        syn.note_inserted(inserted);
+    }
+
+    fn zipf_values() -> Vec<u64> {
+        let mut vals = Vec::new();
+        for &(v, f) in &skewed_stream() {
+            for _ in 0..f {
+                vals.push(v);
+            }
+        }
+        // Deterministic Fisher–Yates so partitions see mixed stream order.
+        let mut rng = sketchtree_hash::SplitMix64::new(99);
+        for i in (1..vals.len()).rev() {
+            // lint:allow(L2, reason = "index bounded by i+1 <= len, fits usize")
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            vals.swap(i, j);
+        }
+        vals
+    }
+
+    #[test]
+    fn sharded_insert_is_bit_identical_to_sequential() {
+        for prob in [u16::MAX, u16::MAX / 3, 0] {
+            let cfg = SynopsisConfig {
+                topk_probability: prob,
+                ..small_config(6)
+            };
+            let values = zipf_values();
+            let mut seq = StreamSynopsis::new(cfg.clone());
+            for &v in &values {
+                seq.insert(v);
+            }
+            let mut sharded = StreamSynopsis::new(cfg);
+            insert_via_shards(&mut sharded, &values);
+            assert_eq!(
+                seq.export_state(),
+                sharded.export_state(),
+                "topk_probability {prob}: sharded state diverged from sequential"
+            );
+            assert_eq!(seq.values_processed(), sharded.values_processed());
+            assert_eq!(
+                seq.partition_insert_counts(),
+                sharded.partition_insert_counts()
+            );
+            assert_eq!(
+                seq.tracked_heavy_hitters(),
+                sharded.tracked_heavy_hitters()
+            );
+        }
+    }
+
+    #[test]
+    fn shards_cover_every_partition_exactly_once() {
+        let mut syn = StreamSynopsis::new(small_config(2));
+        let shards = syn.shards();
+        let indices: Vec<usize> = shards.iter().map(SynopsisShard::index).collect();
+        assert_eq!(indices, (0..13).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shards_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SynopsisShard<'_>>();
     }
 
     #[test]

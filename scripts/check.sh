@@ -24,6 +24,17 @@ echo "==> doc link check"
 # workspace test noise.
 cargo test --quiet -p sketchtree --test doc_links
 
+echo "==> parallel-ingest parity (SKETCHTREE_INGEST_THREADS=1 and =8)"
+# The sharded pipeline must produce a snapshot byte-identical to
+# sequential ingest at any width.  The proptest already sweeps explicit
+# thread counts internally; forcing the *default* width through the
+# environment additionally pins the env-driven path at both extremes.
+# RUST_TEST_THREADS=1 keeps the process-global env var race-free.
+RUST_TEST_THREADS=1 SKETCHTREE_INGEST_THREADS=1 \
+    cargo test --quiet -p sketchtree-core --lib snapshot_parity_across_thread_counts
+RUST_TEST_THREADS=1 SKETCHTREE_INGEST_THREADS=8 \
+    cargo test --quiet -p sketchtree-core --lib snapshot_parity_across_thread_counts
+
 echo "==> sketchtree-lint"
 # --show-allowed keeps the documented exceptions visible in CI logs so
 # reviewers can see what has been excused and why.
