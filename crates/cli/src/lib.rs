@@ -25,6 +25,11 @@
 //! sketchtree heavy <snapshot> [--limit N]
 //!     print the tracked heavy-hitter patterns (mapped values)
 //!
+//! sketchtree merge <a.snap> <b.snap>... -o <out.snap>
+//!     fold identically configured shard snapshots into one synopsis;
+//!     with top-k disabled the result is byte-identical to ingesting
+//!     every shard's stream into a single synopsis
+//!
 //! sketchtree serve <addr> [options]
 //!     run the SKTP daemon: streaming remote ingest + online queries
 //!     --snapshot PATH         checkpoint file (restore on start, write on stop)
@@ -96,6 +101,7 @@ fn usage() -> String {
      sketchtree expr <snapshot> \"<expression>\"\n  \
      sketchtree stats <snapshot>|<host:port> [--metrics [--json]]\n  \
      sketchtree heavy <snapshot> [--limit N]\n  \
+     sketchtree merge <a.snap> <b.snap>... -o <out.snap>\n  \
      sketchtree serve <addr> [--snapshot PATH] [--checkpoint-secs N] [--workers N] \
      [--ingest-threads N] [--metrics-port N] [sketch flags as for ingest]\n  \
      sketchtree remote-ingest <addr> <file.xml>|- [--batch N]\n  \
@@ -113,6 +119,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "expr" => expr(&args[1..], out),
         "stats" => stats(&args[1..], out),
         "heavy" => heavy(&args[1..], out),
+        "merge" => merge(&args[1..], out),
         "serve" => serve(&args[1..], out),
         "remote-ingest" => remote_ingest(&args[1..], out),
         "remote-query" => remote_query(&args[1..], out),
@@ -344,6 +351,56 @@ fn heavy(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     for (v, f) in st.tracked_heavy_hitters().into_iter().take(limit) {
         writeln!(out, "{v}\t~{f}")?;
     }
+    Ok(())
+}
+
+fn merge(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    // `-o`/`--out` names the output; every other argument is an input
+    // shard.  (`positional` only understands `--` flags, so `-o` is
+    // handled by hand here.)  Merging is associative, so three or more
+    // shards fold left.
+    let mut output: Option<&String> = None;
+    let mut inputs: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--out" => {
+                output = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("-o needs an output path".into()))?,
+                );
+                i += 2;
+            }
+            _ => {
+                inputs.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let output =
+        output.ok_or_else(|| CliError::Usage("merge needs -o <out.snap>".into()))?;
+    if inputs.len() < 2 {
+        return Err(CliError::Usage(
+            "merge needs at least two input snapshots".into(),
+        ));
+    }
+    let mut acc = load(inputs[0])?;
+    for path in &inputs[1..] {
+        let shard = load(path)?;
+        acc.merge(&shard)
+            .map_err(|e| CliError::Failed(format!("{path}: {e}")))?;
+    }
+    let bytes = write_snapshot(&acc);
+    std::fs::write(output.as_str(), &bytes)?;
+    writeln!(
+        out,
+        "merged {} snapshots: {} trees, {} pattern instances -> {} ({} KB)",
+        inputs.len(),
+        acc.trees_processed(),
+        acc.patterns_processed(),
+        output,
+        bytes.len() / 1024
+    )?;
     Ok(())
 }
 
@@ -585,6 +642,87 @@ mod tests {
 
         std::fs::remove_file(&xml_path).ok();
         std::fs::remove_file(&snap_path).ok();
+    }
+
+    #[test]
+    fn merge_subcommand_matches_single_ingest() {
+        let flags = ["--k", "3", "--s1", "30", "--streams", "17", "--topk", "0"];
+        let shard_a: String = (0..100)
+            .map(|_| "<article><author>smith</author><year>2001</year></article>\n")
+            .collect();
+        let shard_b: String = (0..100)
+            .map(|_| "<inproceedings><author>jones</author></inproceedings>\n")
+            .collect();
+        let a_xml = tmpfile("merge-a.xml");
+        let b_xml = tmpfile("merge-b.xml");
+        let full_xml = tmpfile("merge-full.xml");
+        std::fs::write(&a_xml, &shard_a).unwrap();
+        std::fs::write(&b_xml, &shard_b).unwrap();
+        std::fs::write(&full_xml, format!("{shard_a}{shard_b}")).unwrap();
+
+        let a_snap = tmpfile("merge-a.snap");
+        let b_snap = tmpfile("merge-b.snap");
+        let full_snap = tmpfile("merge-full.snap");
+        let merged_snap = tmpfile("merge-out.snap");
+        for (xml, snap) in [(&a_xml, &a_snap), (&b_xml, &b_snap), (&full_xml, &full_snap)] {
+            let mut args = vec![
+                "ingest",
+                xml.to_str().unwrap(),
+                "--snapshot",
+                snap.to_str().unwrap(),
+            ];
+            args.extend_from_slice(&flags);
+            run_ok(&args);
+        }
+        let out = run_ok(&[
+            "merge",
+            a_snap.to_str().unwrap(),
+            b_snap.to_str().unwrap(),
+            "-o",
+            merged_snap.to_str().unwrap(),
+        ]);
+        assert!(out.contains("merged 2 snapshots: 200 trees"), "{out}");
+
+        // With top-k disabled, the merged synopsis is byte-for-byte the
+        // one a single node would have built over the whole corpus.
+        let merged = std::fs::read(&merged_snap).unwrap();
+        let full = std::fs::read(&full_snap).unwrap();
+        assert_eq!(merged, full, "merged snapshot differs from single-node ingest");
+
+        // And the merged snapshot answers queries.
+        let out = run_ok(&["query", merged_snap.to_str().unwrap(), "author(smith)"]);
+        let v: f64 = out.trim().split('\t').nth(1).unwrap().parse().unwrap();
+        assert!((v - 100.0).abs() < 30.0, "{out}");
+
+        for p in [&a_xml, &b_xml, &full_xml, &a_snap, &b_snap, &full_snap, &merged_snap] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn merge_usage_errors() {
+        let mut sink = Vec::new();
+        // No -o.
+        assert!(matches!(
+            run(&["merge".into(), "a.snap".into(), "b.snap".into()], &mut sink),
+            Err(CliError::Usage(_))
+        ));
+        // Fewer than two inputs.
+        assert!(matches!(
+            run(
+                &["merge".into(), "a.snap".into(), "-o".into(), "out.snap".into()],
+                &mut sink
+            ),
+            Err(CliError::Usage(_))
+        ));
+        // -o without a value.
+        assert!(matches!(
+            run(
+                &["merge".into(), "a.snap".into(), "b.snap".into(), "-o".into()],
+                &mut sink
+            ),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -98,10 +98,24 @@ impl SharedSketchTree {
         self.inner.write().attach_metrics(metrics);
     }
 
+    /// Merges another synopsis into the shared one under the write lock
+    /// (see [`SketchTree::merge`] for semantics and the config-equality
+    /// requirement).  Queries observe either the pre- or post-merge state,
+    /// never a partial merge.
+    pub fn merge(&self, other: &SketchTree) -> Result<(), &'static str> {
+        self.inner.write().merge(other)
+    }
+
     /// Runs `f` with mutable access to the label table (for building input
     /// trees or resolving query labels ahead of time).
     pub fn with_labels<R>(&self, f: impl FnOnce(&mut sketchtree_tree::LabelTable) -> R) -> R {
-        f(self.inner.write().labels_mut())
+        let mut guard = self.inner.write();
+        let r = f(guard.labels_mut());
+        // Newly interned labels get their canonical codes cached now, so
+        // the shared-lock enumeration path never recomputes them per
+        // pattern.
+        guard.sync_label_codes();
+        r
     }
 
     /// `COUNT_ord` of a textual pattern (shared lock; concurrent with other

@@ -57,6 +57,22 @@ impl ExactCounter {
         }
     }
 
+    /// Adds another counter's frequencies into this one (shard merge).
+    ///
+    /// Both counters must key values in a shared space — the canonical
+    /// label coding guarantees that for synopses with equal mapping
+    /// configuration.  The optional sequence index is *not* merged:
+    /// `PruferSeq` keys embed label ids from the recording side's table,
+    /// so after a merge [`ExactCounter::fingerprint_collisions`] reflects
+    /// only locally recorded sequences.
+    pub fn merge_from(&mut self, other: &Self) {
+        for (&v, &c) in &other.counts {
+            let slot = self.counts.entry(v).or_insert(0);
+            *slot = slot.saturating_add(c);
+        }
+        self.total = self.total.saturating_add(other.total);
+    }
+
     /// The exact count of a mapped value.
     pub fn count(&self, value: u64) -> u64 {
         self.counts.get(&value).copied().unwrap_or(0)

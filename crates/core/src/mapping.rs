@@ -19,8 +19,19 @@
 //!   exponentially; used as the reference in tests and available for
 //!   applications with tiny patterns.
 
-use sketchtree_hash::{pairing, BigNat, RabinFingerprinter};
+use sketchtree_hash::{pairing, BigNat, RabinFingerprinter, SplitMix64};
 use sketchtree_tree::{PruferSeq, Tree};
+
+/// Degree of the label-name fingerprint behind [`Mapper::label_code`].
+/// Deliberately independent of the sequence-fingerprint degree: label-code
+/// collisions silently alias *labels* (not just patterns), so the space is
+/// kept near the 63-bit maximum regardless of how small a deployment tunes
+/// the pattern fingerprint.
+const LABEL_CODE_DEGREE: u32 = 61;
+
+/// Derivation constant separating the label-code polynomial from the
+/// sequence polynomial drawn from the same `mapping_seed`.
+const LABEL_CODE_STREAM: u64 = 0x4C41_4245_4C43_4F44; // "LABELCOD"
 
 /// Maps patterns to one-dimensional values, deterministically per seed.
 ///
@@ -37,6 +48,7 @@ use sketchtree_tree::{PruferSeq, Tree};
 #[derive(Debug, Clone)]
 pub struct Mapper {
     fp: RabinFingerprinter,
+    label_fp: RabinFingerprinter,
 }
 
 impl Mapper {
@@ -45,6 +57,10 @@ impl Mapper {
     pub fn new(degree: u32, seed: u64) -> Self {
         Self {
             fp: RabinFingerprinter::new(degree, seed),
+            label_fp: RabinFingerprinter::new(
+                LABEL_CODE_DEGREE,
+                SplitMix64::derive(seed, LABEL_CODE_STREAM),
+            ),
         }
     }
 
@@ -62,6 +78,29 @@ impl Mapper {
     /// fingerprint in place of `PF`.
     pub fn map_tree(&self, tree: &Tree) -> u64 {
         self.map_seq(&PruferSeq::encode(tree))
+    }
+
+    /// Canonical code for a label *name*: a Rabin fingerprint of the name's
+    /// bytes (the Section 6.1 table-free alternative to interned ids).
+    ///
+    /// Unlike `Label::code()` — which is the interning index plus one and
+    /// therefore depends on the order labels were first seen — this code is
+    /// a pure function of `(mapping seed, name bytes)`, so two synopses
+    /// that interned the same labels in *different* orders still map every
+    /// pattern to the same value.  That property is what makes sketch
+    /// counters from independently built synopses addable.  Never returns
+    /// 0, preserving the reserved-pad-symbol convention of `Label::code`.
+    pub fn label_code(&self, name: &str) -> u64 {
+        match self.label_fp.fingerprint_bytes(name.as_bytes()) {
+            0 => 1,
+            c => c,
+        }
+    }
+
+    /// Maps an already-canonicalized symbol sequence (LPS symbols replaced
+    /// by [`Mapper::label_code`] values, NPS numbers unchanged).
+    pub fn map_symbols(&self, symbols: &[u64]) -> u64 {
+        self.fp.fingerprint_symbols(symbols)
     }
 
     /// The exact pairing-function mapping (Section 2.2), padding the symbol
@@ -134,6 +173,23 @@ mod tests {
         for t in &ts {
             assert_eq!(m.map_tree(t), m.map_seq(&PruferSeq::encode(t)));
         }
+    }
+
+    #[test]
+    fn label_codes_depend_on_name_and_seed_only() {
+        let a = Mapper::new(31, 5);
+        let b = Mapper::new(17, 5); // sequence degree differs, same seed
+        let c = Mapper::new(31, 6);
+        for name in ["author", "article", "x", "", "ünïcode"] {
+            assert_eq!(a.label_code(name), b.label_code(name), "{name}");
+            assert_ne!(a.label_code(name), 0, "{name}: pad symbol reserved");
+        }
+        // Names shorter than the fingerprint degree reduce to their raw
+        // bits (polynomial-independent, hence injective); seed sensitivity
+        // only shows once the name exceeds 61 bits.
+        assert!(["organization", "proceedings", "incollection"]
+            .iter()
+            .any(|n| a.label_code(n) != c.label_code(n)));
     }
 
     #[test]

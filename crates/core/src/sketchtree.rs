@@ -37,7 +37,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of a [`SketchTree`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SketchTreeConfig {
     /// Maximum pattern size `k` in edges for EnumTree (paper: 6 for
     /// TREEBANK, 4 for DBLP).
@@ -223,6 +223,10 @@ pub struct SketchTree {
     config: SketchTreeConfig,
     labels: LabelTable,
     mapper: Mapper,
+    /// Canonical code per interned label id ([`Mapper::label_code`] of the
+    /// label's name), extended lazily as the table grows.  Pure cache —
+    /// rebuilt from the table on restore, never persisted.
+    label_codes: Vec<u64>,
     synopsis: StreamSynopsis,
     summary: Option<StructuralSummary>,
     exact: Option<ExactCounter>,
@@ -253,6 +257,7 @@ impl SketchTree {
             config,
             labels: LabelTable::new(),
             mapper,
+            label_codes: Vec::new(),
             synopsis,
             summary,
             exact,
@@ -307,8 +312,39 @@ impl SketchTree {
 
     /// Maps a pattern tree to its one-dimensional value (`PF(LPS.NPS)` with
     /// the Rabin fingerprint as `PF`).
+    ///
+    /// LPS symbols use *canonical* label codes — seed-derived fingerprints
+    /// of the label **names** ([`Mapper::label_code`]) rather than interned
+    /// ids — so the value depends only on the pattern's shape, its label
+    /// strings and the mapping seed, never on the order this synopsis
+    /// happened to intern labels.  Two synopses with the same configuration
+    /// therefore map identical patterns to identical values even when their
+    /// label tables differ, which is what makes their sketch counters
+    /// addable ([`SketchTree::merge`]).
     pub fn map_pattern(&self, pattern: &Tree) -> u64 {
-        self.mapper.map_tree(pattern)
+        self.map_seq_canonical(&PruferSeq::encode(pattern))
+    }
+
+    /// Maps an encoded sequence through the canonical label coding.
+    fn map_seq_canonical(&self, seq: &PruferSeq) -> u64 {
+        self.mapper.map_symbols(&canonical_symbols(
+            &self.mapper,
+            &self.labels,
+            &self.label_codes,
+            seq,
+        ))
+    }
+
+    /// Extends the label-code cache to cover every currently interned
+    /// label.  Called on the `&mut self` ingest paths (and by
+    /// [`crate::concurrent::SharedSketchTree`] after batch interning);
+    /// `&self` query paths fall back to computing codes for any label
+    /// interned since.
+    pub(crate) fn sync_label_codes(&mut self) {
+        for i in self.label_codes.len()..self.labels.len() {
+            let name = self.labels.name(sketchtree_tree::Label(i as u32));
+            self.label_codes.push(self.mapper.label_code(name));
+        }
     }
 
     /// Ingests one data tree — Algorithm 1.
@@ -324,17 +360,20 @@ impl SketchTree {
         if let Some(s) = &mut self.summary {
             s.observe(tree);
         }
+        self.sync_label_codes();
         let k = self.config.max_pattern_edges;
         let include_single = self.config.include_single_nodes;
         // Split borrows for the closure.
         let mapper = &self.mapper;
+        let labels = &self.labels;
+        let label_codes = &self.label_codes;
         let synopsis = &mut self.synopsis;
         let exact = &mut self.exact;
         let mut patterns = 0u64;
         enumerate_patterns_config(tree, k, include_single, |root, edges| {
             let pattern = tree.project(root, edges);
             let seq = PruferSeq::encode(&pattern);
-            let value = mapper.map_seq(&seq);
+            let value = mapper.map_symbols(&canonical_symbols(mapper, labels, label_codes, &seq));
             synopsis.insert(value);
             if let Some(e) = exact {
                 e.record(value);
@@ -369,7 +408,7 @@ impl SketchTree {
             self.config.include_single_nodes,
             |root, edges| {
                 let pattern = tree.project(root, edges);
-                values.push(self.mapper.map_seq(&PruferSeq::encode(&pattern)));
+                values.push(self.map_seq_canonical(&PruferSeq::encode(&pattern)));
             },
         );
         if let (Some(m), Some(t0)) = (&self.metrics, start) {
@@ -806,6 +845,54 @@ impl SketchTree {
         Ok(self.synopsis.estimate_terms(&[term])?)
     }
 
+    /// Merges another synopsis built over a disjoint slice of the same
+    /// logical tree stream into this one (scale-out ingest: shard the
+    /// stream, merge the synopses).
+    ///
+    /// Requires identical configurations: only then do the two sides share
+    /// the mapping polynomial, ξ families, routing and top-k shape that
+    /// make counter addition meaningful.  Pattern values are already
+    /// comparable across sides — the canonical label coding
+    /// ([`SketchTree::map_pattern`]) keys them by label *names*, not
+    /// interned ids.  Everything that does speak ids — the label table and
+    /// the structural summary — is reconciled by name here: `other`'s ids
+    /// are remapped id → name → this table's id before its summary is
+    /// absorbed.  Merging by id instead would silently cross-wire
+    /// transitions whenever the two sides interned labels in different
+    /// orders, which is the norm for independently fed shards.
+    ///
+    /// With top-k disabled the merged synopsis is byte-identical to one
+    /// that ingested both streams sequentially; with top-k enabled the
+    /// delete condition (and hence every compensated estimate) is
+    /// preserved instead — see [`StreamSynopsis::merge_from`].
+    pub fn merge(&mut self, other: &SketchTree) -> Result<(), &'static str> {
+        if self.config != other.config {
+            return Err("config mismatch: only identically configured synopses merge");
+        }
+        // Union the label tables, remembering where each of other's ids
+        // landed in this table.
+        let remap: Vec<sketchtree_tree::Label> = (0..other.labels.len() as u32)
+            .map(|i| {
+                let id = sketchtree_tree::Label(i);
+                self.labels.intern(other.labels.name(id))
+            })
+            .collect();
+        self.sync_label_codes();
+        self.synopsis.merge_from(&other.synopsis)?;
+        if let (Some(summary), Some(other_summary)) = (&mut self.summary, &other.summary) {
+            summary.merge_remapped(other_summary, |l| {
+                remap.get(l.0 as usize).copied().unwrap_or(l)
+            });
+        }
+        if let (Some(exact), Some(other_exact)) = (&mut self.exact, &other.exact) {
+            exact.merge_from(other_exact);
+        }
+        self.trees_processed = self.trees_processed.saturating_add(other.trees_processed);
+        self.patterns_processed =
+            self.patterns_processed.saturating_add(other.patterns_processed);
+        Ok(())
+    }
+
     /// Exports the synopsis' mutable sketch state (for
     /// [`crate::snapshot`]).
     pub fn export_synopsis_state(&self) -> sketchtree_sketch::SynopsisState {
@@ -837,6 +924,9 @@ impl SketchTree {
             return Err("duplicate label names");
         }
         let mapper = Mapper::new(config.fingerprint_degree, config.mapping_seed);
+        let label_codes = (0..labels.len() as u32)
+            .map(|i| mapper.label_code(labels.name(sketchtree_tree::Label(i))))
+            .collect();
         let synopsis = StreamSynopsis::from_state(config.synopsis.clone(), state);
         let summary = summary.map(|(ls, ts)| {
             for &l in &ls {
@@ -851,6 +941,7 @@ impl SketchTree {
             config,
             labels,
             mapper,
+            label_codes,
             synopsis,
             summary,
             exact: None,
@@ -904,6 +995,29 @@ impl SketchTree {
     }
 }
 
+/// Canonical symbol sequence of an encoded pattern: each LPS label id is
+/// replaced by the seed-derived code of the label's *name* (cache first,
+/// computed on the fly for labels interned after the last cache sync); NPS
+/// postorder numbers pass through unchanged.  Free function so the ingest
+/// hot loop can use it under split borrows.
+fn canonical_symbols(
+    mapper: &Mapper,
+    labels: &LabelTable,
+    codes: &[u64],
+    seq: &PruferSeq,
+) -> Vec<u64> {
+    let mut out = Vec::with_capacity(seq.lps.len() + seq.nps.len());
+    for &l in &seq.lps {
+        let code = codes
+            .get(l.0 as usize)
+            .copied()
+            .unwrap_or_else(|| mapper.label_code(labels.name(l)));
+        out.push(code);
+    }
+    out.extend(seq.nps.iter().map(|&n| u64::from(n)));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -946,6 +1060,116 @@ mod tests {
             st.ingest(&t3);
         }
         st
+    }
+
+    /// Merging two shards that interned the same label names in *different*
+    /// orders must equal sequential ingest of both streams: canonical label
+    /// coding keys every mapped value by name, and the summary remap keys
+    /// transitions by name.  Top-k is off so equality is structural.
+    #[test]
+    fn merge_is_exact_across_different_interning_orders() {
+        let config = SketchTreeConfig {
+            max_pattern_edges: 3,
+            synopsis: SynopsisConfig {
+                s1: 20,
+                s2: 5,
+                virtual_streams: 7,
+                topk: 0,
+                independence: 5,
+                topk_probability: u16::MAX,
+                seed: 7,
+            },
+            track_exact: true,
+            ..SketchTreeConfig::default()
+        };
+        // Shard 1 interns A then B; shard 2 interns B then A.
+        let mut shard1 = SketchTree::new(config.clone());
+        let (a1, b1) = {
+            let l = shard1.labels_mut();
+            (l.intern("A"), l.intern("B"))
+        };
+        let mut shard2 = SketchTree::new(config.clone());
+        let (b2, a2) = {
+            let l = shard2.labels_mut();
+            (l.intern("B"), l.intern("A"))
+        };
+        let mut whole = SketchTree::new(config.clone());
+        let (aw, bw) = {
+            let l = whole.labels_mut();
+            (l.intern("A"), l.intern("B"))
+        };
+        let mk = |a: sketchtree_tree::Label, b: sketchtree_tree::Label| {
+            vec![
+                Tree::node(a, vec![Tree::leaf(b), Tree::leaf(b)]),
+                Tree::node(b, vec![Tree::node(a, vec![Tree::leaf(b)])]),
+            ]
+        };
+        for t in mk(a1, b1) {
+            for _ in 0..12 {
+                shard1.ingest(&t);
+            }
+        }
+        for t in mk(a2, b2).into_iter().rev() {
+            for _ in 0..8 {
+                shard2.ingest(&t);
+            }
+        }
+        for t in mk(aw, bw) {
+            for _ in 0..12 {
+                whole.ingest(&t);
+            }
+        }
+        for t in mk(aw, bw).into_iter().rev() {
+            for _ in 0..8 {
+                whole.ingest(&t);
+            }
+        }
+        shard1.merge(&shard2).expect("configs match");
+        assert_eq!(shard1.export_synopsis_state(), whole.export_synopsis_state());
+        assert_eq!(shard1.trees_processed(), whole.trees_processed());
+        assert_eq!(shard1.patterns_processed(), whole.patterns_processed());
+        // Exact baselines agree value-by-value (canonical values coincide).
+        let mut merged_exact: Vec<(u64, u64)> = shard1.exact().unwrap().iter().collect();
+        let mut whole_exact: Vec<(u64, u64)> = whole.exact().unwrap().iter().collect();
+        merged_exact.sort_unstable();
+        whole_exact.sort_unstable();
+        assert_eq!(merged_exact, whole_exact);
+        // Summaries agree after the name-keyed remap: the same queries
+        // resolve identically, bit for bit.
+        for q in ["A(B,B)", "B(A(B))", "A(B)", "B(A)"] {
+            assert_eq!(
+                shard1.count_ordered(q).unwrap().to_bits(),
+                whole.count_ordered(q).unwrap().to_bits(),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_rejects_config_mismatch() {
+        let mut a = build();
+        let b = SketchTree::new(SketchTreeConfig {
+            mapping_seed: 1,
+            ..build().config().clone()
+        });
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn merge_with_topk_preserves_compensated_estimates() {
+        // Both shards run top-k; the merged synopsis must still estimate
+        // every pattern near its union-stream frequency.
+        let mut shard1 = build();
+        let shard2 = build();
+        shard1.merge(&shard2).expect("configs match");
+        assert_eq!(shard1.trees_processed(), 90);
+        for (q, truth) in [("A(B,C)", 70.0), ("A(C,B)", 20.0), ("B(D)", 10.0)] {
+            let est = shard1.count_ordered(q).unwrap();
+            assert!(
+                (est - truth).abs() <= truth.mul_add(0.35, 8.0),
+                "{q}: est {est} vs {truth}"
+            );
+        }
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub enum SnapshotError {
     Truncated,
     /// A length or count field is implausible (corruption guard).
     Corrupt(&'static str),
+    /// Two structurally valid snapshots cannot be merged (configuration
+    /// mismatch).  Only produced by [`merge_snapshots`].
+    Incompatible(&'static str),
 }
 
 impl fmt::Display for SnapshotError {
@@ -55,11 +58,24 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
             SnapshotError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+            SnapshotError::Incompatible(why) => write!(f, "snapshots incompatible: {why}"),
         }
     }
 }
 
 impl std::error::Error for SnapshotError {}
+
+/// Merges two serialised snapshots into one: the result is the snapshot a
+/// single synopsis would have written after absorbing both shards'
+/// streams (byte-identical when top-k is off; estimate-preserving when
+/// on — see [`SketchTree::merge`]).  Label tables may differ in content
+/// and order; they are reconciled by name.
+pub fn merge_snapshots(a: &[u8], b: &[u8]) -> Result<Vec<u8>, SnapshotError> {
+    let mut left = read_snapshot(a)?;
+    let right = read_snapshot(b)?;
+    left.merge(&right).map_err(SnapshotError::Incompatible)?;
+    Ok(write_snapshot(&left))
+}
 
 /// Serialises a synopsis to bytes.
 pub fn write_snapshot(st: &SketchTree) -> Vec<u8> {

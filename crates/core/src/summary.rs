@@ -51,7 +51,7 @@ impl fmt::Display for ExpandError {
 impl std::error::Error for ExpandError {}
 
 /// Expansion limits.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExpandLimits {
     /// Maximum number of concrete patterns an expansion may produce.
     pub max_patterns: usize,
@@ -129,6 +129,26 @@ impl StructuralSummary {
             s.children.entry(p).or_default().insert(c);
         }
         s
+    }
+
+    /// Merges another summary into this one, passing every label of the
+    /// other side through `remap` first.  The remap is how a synopsis
+    /// merge reconciles label tables that interned the same names in
+    /// different orders: ids are table-local, names are not, so the
+    /// caller maps `other`'s id → name → this table's id.  Skipping the
+    /// remap would silently cross-wire transitions between unrelated
+    /// labels.
+    pub fn merge_remapped(&mut self, other: &StructuralSummary, mut remap: impl FnMut(Label) -> Label) {
+        for &l in &other.labels {
+            self.labels.insert(remap(l));
+        }
+        for (&p, cs) in &other.children {
+            let p = remap(p);
+            let entry = self.children.entry(p).or_default();
+            for &c in cs {
+                entry.insert(remap(c));
+            }
+        }
     }
 
     fn children_of(&self, l: Label) -> impl Iterator<Item = Label> + '_ {

@@ -87,11 +87,15 @@ fn arrange_node(
             if seen.insert(key) {
                 out.push(t);
             }
+            // Check inside the callback: a single permute_distinct call on a
+            // star pattern yields n! trees, so deferring the check to the end
+            // of the choice iteration would enumerate (and allocate) them all
+            // before ever noticing the cap.
+            if out.len() > cap {
+                return Err(ArrangementError::TooMany { cap });
+            }
             Ok(())
         })?;
-        if out.len() > cap {
-            return Err(ArrangementError::TooMany { cap });
-        }
         // Advance the mixed-radix choice counter.
         let mut pos = 0;
         loop {
@@ -235,9 +239,8 @@ mod tests {
 
     #[test]
     fn cap_enforced() {
-        let (_, a, b, c, d) = labels();
-        let mut lt = LabelTable::new();
-        let e = lt.intern("E");
+        let (mut t, a, b, c, d) = labels();
+        let e = t.intern("E");
         let q = Tree::node(
             a,
             vec![Tree::leaf(b), Tree::leaf(c), Tree::leaf(d), Tree::leaf(e)],
@@ -246,6 +249,31 @@ mod tests {
         assert_eq!(
             arrangements(&q, 10),
             Err(ArrangementError::TooMany { cap: 10 })
+        );
+    }
+
+    #[test]
+    fn cap_aborts_mid_permutation_on_wide_star() {
+        // A 12-leaf star with all-distinct children has 12! ≈ 4.8e8
+        // arrangements.  The cap must abort inside the permutation
+        // callback; checking only between choice iterations would try to
+        // materialize all of them first (this test would then run for
+        // minutes and allocate gigabytes rather than fail an assertion).
+        let mut t = LabelTable::new();
+        let root = t.intern("R");
+        let leaves: Vec<Tree> = (0..12)
+            .map(|i| Tree::leaf(t.intern(&format!("L{i}"))))
+            .collect();
+        let q = Tree::node(root, leaves);
+        let start = std::time::Instant::now();
+        assert_eq!(
+            arrangements(&q, 100),
+            Err(ArrangementError::TooMany { cap: 100 })
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "cap must abort enumeration promptly, took {:?}",
+            start.elapsed()
         );
     }
 

@@ -200,6 +200,78 @@ proptest! {
         );
     }
 
+    /// Merging shard synopses equals sequential ingest: for a random
+    /// stream split at a random point, merge(left, right) matches the
+    /// single synopsis that saw the whole stream — *byte*-identical
+    /// (snapshot equality) with top-k off, and with totals preserved at
+    /// any top-k size.
+    #[test]
+    fn merge_parity_property(
+        trees in prop::collection::vec(arb_tree(3, 3), 2..12),
+        split in 0usize..64,
+        s1 in 2usize..12,
+        vs in 1usize..9,
+        topk in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        use sketchtree_core::snapshot::write_snapshot;
+        use sketchtree_core::{SketchTree, SketchTreeConfig};
+        use sketchtree_sketch::SynopsisConfig;
+        let config = SketchTreeConfig {
+            max_pattern_edges: 3,
+            synopsis: SynopsisConfig {
+                s1,
+                s2: 3,
+                virtual_streams: vs,
+                topk,
+                seed,
+                ..SynopsisConfig::default()
+            },
+            ..SketchTreeConfig::default()
+        };
+        let mk = || {
+            let mut st = SketchTree::new(config.clone());
+            for i in 0..6u32 {
+                st.labels_mut().intern(&format!("L{i}"));
+            }
+            st
+        };
+        let cut = split % trees.len();
+        let mut whole = mk();
+        let mut left = mk();
+        let mut right = mk();
+        for t in &trees {
+            whole.ingest(t);
+        }
+        for t in &trees[..cut] {
+            left.ingest(t);
+        }
+        for t in &trees[cut..] {
+            right.ingest(t);
+        }
+        left.merge(&right).expect("identical configs merge");
+        prop_assert_eq!(left.trees_processed(), whole.trees_processed());
+        prop_assert_eq!(left.patterns_processed(), whole.patterns_processed());
+        if topk == 0 {
+            prop_assert!(
+                write_snapshot(&left) == write_snapshot(&whole),
+                "merge must be byte-identical to sequential ingest with top-k off"
+            );
+        }
+        enumerate_patterns(&trees[0], 3, |root, edges| {
+            let p = trees[0].project(root, edges);
+            let a = whole.count_ordered_tree(&p);
+            let b = left.count_ordered_tree(&p);
+            if topk == 0 {
+                assert_eq!(a.to_bits(), b.to_bits(), "estimate diverged after merge");
+            } else {
+                // With top-k on, merge is invariant-preserving rather than
+                // bit-equal; the compensated estimate must still be usable.
+                assert!(b.is_finite(), "merged estimate not finite");
+            }
+        });
+    }
+
     /// Large-pattern decomposition conserves edges, respects k in every
     /// part, and keeps piece roots labeled like their cut nodes — for
     /// random trees and every feasible k.

@@ -194,6 +194,20 @@ impl Client {
         }
     }
 
+    /// Merges a shard snapshot (SKTR bytes) into the server's live
+    /// synopsis; returns the post-merge `(total_trees, total_patterns)`.
+    ///
+    /// Not retried on transport failure: a merge that was applied but
+    /// whose reply was lost would double-count the shard if resent.
+    pub fn merge_snapshot(&mut self, snapshot: &[u8]) -> Result<(u64, u64), ClientError> {
+        match self.request(&Request::MergeSnapshot(snapshot.to_vec()), false)? {
+            Response::MergeDone { total_trees, total_patterns } => {
+                Ok((total_trees, total_patterns))
+            }
+            other => Err(unexpected("merge ack", other)),
+        }
+    }
+
     /// Asks the server to checkpoint and stop.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.request(&Request::Shutdown, false)? {
@@ -221,13 +235,8 @@ impl Client {
                 }
                 Err(ClientError::Io(e)) if retry && attempt < self.max_reconnects => {
                     self.stream = None;
+                    std::thread::sleep(backoff_for(attempt));
                     attempt += 1;
-                    // 10ms, 20ms, 40ms ... capped at 1s.
-                    let backoff =
-                        Duration::from_millis(10u64.saturating_mul(1 << attempt.min(7))).min(
-                            Duration::from_secs(1),
-                        );
-                    std::thread::sleep(backoff);
                     let _ = e;
                 }
                 Err(e) => {
@@ -283,12 +292,8 @@ impl Client {
                     return Ok(());
                 }
                 Err(e) if attempt < self.max_reconnects => {
+                    std::thread::sleep(backoff_for(attempt));
                     attempt += 1;
-                    let backoff =
-                        Duration::from_millis(10u64.saturating_mul(1 << attempt.min(7))).min(
-                            Duration::from_secs(1),
-                        );
-                    std::thread::sleep(backoff);
                     let _ = e;
                 }
                 Err(e) => return Err(ClientError::Io(e)),
@@ -297,9 +302,37 @@ impl Client {
     }
 }
 
+/// Sleep before retry number `attempt` (0-based): 10ms, 20ms, 40ms …
+/// capped at 1s.  Shared by request retries and reconnect attempts; the
+/// pre-increment form matters — incrementing `attempt` before the shift
+/// made the *first* retry sleep 20ms instead of the documented 10ms.
+fn backoff_for(attempt: u32) -> Duration {
+    Duration::from_millis(10u64.saturating_mul(1 << attempt.min(7))).min(Duration::from_secs(1))
+}
+
 fn unexpected(wanted: &'static str, got: Response) -> ClientError {
     match got {
         Response::Error(m) => ClientError::Server(m),
         _ => ClientError::Unexpected(wanted),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_starts_at_10ms_and_doubles_to_the_cap() {
+        let want_ms = [10u64, 20, 40, 80, 160, 320, 640, 1000];
+        for (attempt, &ms) in want_ms.iter().enumerate() {
+            assert_eq!(
+                backoff_for(attempt as u32),
+                Duration::from_millis(ms),
+                "attempt {attempt}"
+            );
+        }
+        // Beyond the shift clamp the cap holds.
+        assert_eq!(backoff_for(8), Duration::from_secs(1));
+        assert_eq!(backoff_for(u32::MAX), Duration::from_secs(1));
     }
 }

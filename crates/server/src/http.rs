@@ -97,8 +97,14 @@ fn serve_one(
         if n == 0 {
             break;
         }
+        // Only the boundary region can contain a terminator that involves
+        // the new bytes: the last 3 previously-buffered bytes plus what was
+        // just read.  Rescanning the whole head after every read would be
+        // O(n²) against a slow-trickling scraper.
+        let scan_from = head.len().saturating_sub(3);
         head.extend_from_slice(buf.get(..n).unwrap_or_default());
-        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+        let tail = head.get(scan_from..).unwrap_or_default();
+        if tail.windows(4).any(|w| w == b"\r\n\r\n") || tail.windows(2).any(|w| w == b"\n\n") {
             break;
         }
         if head.len() >= MAX_REQUEST_HEAD {
@@ -201,6 +207,18 @@ mod tests {
         let mut out = String::new();
         s.read_to_string(&mut out).expect("read");
         assert!(out.starts_with("HTTP/1.0 405"));
+
+        // A head trickled one byte per write still terminates correctly:
+        // the boundary-region scan must see a "\r\n\r\n" that straddles
+        // reads (the terminator never arrives inside a single read here).
+        let mut s = TcpStream::connect(addr).expect("connect");
+        for b in b"GET /healthz HTTP/1.0\r\nX-Pad: 1\r\n\r\n" {
+            s.write_all(std::slice::from_ref(b)).expect("send byte");
+            s.flush().expect("flush");
+        }
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        assert!(out.contains("\"status\":\"ok\""), "{out}");
 
         http.stop();
     }

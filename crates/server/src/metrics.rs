@@ -56,6 +56,10 @@ pub struct ServerMetrics {
     pub checkpoint_bytes: Arc<Gauge>,
     /// Snapshot restores performed at startup (`sktp_restores_total`).
     pub restores: Arc<Counter>,
+    /// Snapshot merges applied via MergeSnapshot (`sktp_merges_total`).
+    pub merges: Arc<Counter>,
+    /// Cumulative bytes of merged snapshots (`sktp_merge_bytes_total`).
+    pub merge_bytes: Arc<Counter>,
     /// Per-opcode request latency histograms, keyed by request kind byte
     /// (`sktp_request_seconds{opcode=…}`); the final entry is the
     /// `"other"` catch-all for unknown kinds.
@@ -143,6 +147,14 @@ impl ServerMetrics {
             restores: registry.counter(
                 "sktp_restores_total",
                 "Snapshot restores performed at startup",
+            ),
+            merges: registry.counter(
+                "sktp_merges_total",
+                "Shard snapshots merged into the live synopsis",
+            ),
+            merge_bytes: registry.counter(
+                "sktp_merge_bytes_total",
+                "Cumulative size in bytes of merged shard snapshots",
             ),
             request_seconds,
             other_request_seconds,

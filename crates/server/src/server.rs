@@ -443,6 +443,22 @@ fn handle_request(req: Request, ctx: &Ctx) -> Response {
             Ok(bytes) => Response::SnapshotDone { bytes },
             Err(e) => Response::Error(format!("checkpoint: {e}")),
         },
+        Request::MergeSnapshot(bytes) => {
+            match read_snapshot(&bytes) {
+                Ok(shard) => match ctx.shared.merge(&shard) {
+                    Ok(()) => {
+                        ctx.metrics.merges.inc();
+                        ctx.metrics.merge_bytes.add(bytes.len() as u64);
+                        Response::MergeDone {
+                            total_trees: ctx.shared.trees_processed(),
+                            total_patterns: ctx.shared.patterns_processed(),
+                        }
+                    }
+                    Err(e) => Response::Error(format!("merge: {e}")),
+                },
+                Err(e) => Response::Error(format!("merge: {e}")),
+            }
+        }
         Request::Metrics { json } => {
             ctx.metrics.refresh_health(&ctx.shared);
             Response::Metrics(ctx.metrics.render(json))

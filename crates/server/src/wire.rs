@@ -53,6 +53,7 @@ const K_HEAVY: u8 = 0x07;
 const K_SNAPSHOT: u8 = 0x08;
 const K_SHUTDOWN: u8 = 0x09;
 const K_METRICS: u8 = 0x0A;
+const K_MERGE_SNAPSHOT: u8 = 0x0B;
 
 // Response kinds.
 const K_PONG: u8 = 0x81;
@@ -63,6 +64,7 @@ const K_HEAVY_REPLY: u8 = 0x85;
 const K_SNAPSHOT_DONE: u8 = 0x86;
 const K_SHUTTING_DOWN: u8 = 0x87;
 const K_METRICS_REPLY: u8 = 0x88;
+const K_MERGE_DONE: u8 = 0x89;
 const K_ERROR: u8 = 0xFF;
 
 /// Human-readable name of a frame kind byte, for per-opcode metric labels
@@ -79,6 +81,7 @@ pub fn kind_name(kind: u8) -> &'static str {
         K_SNAPSHOT => "snapshot",
         K_SHUTDOWN => "shutdown",
         K_METRICS => "metrics",
+        K_MERGE_SNAPSHOT => "merge_snapshot",
         K_PONG => "pong",
         K_INGESTED => "ingested",
         K_ESTIMATE => "estimate",
@@ -87,6 +90,7 @@ pub fn kind_name(kind: u8) -> &'static str {
         K_SNAPSHOT_DONE => "snapshot_done",
         K_SHUTTING_DOWN => "shutting_down",
         K_METRICS_REPLY => "metrics_reply",
+        K_MERGE_DONE => "merge_done",
         K_ERROR => "error",
         _ => "other",
     }
@@ -105,6 +109,7 @@ pub const REQUEST_KINDS: &[u8] = &[
     K_SNAPSHOT,
     K_SHUTDOWN,
     K_METRICS,
+    K_MERGE_SNAPSHOT,
 ];
 
 // Decode-time allocation guards (counts, not bytes; byte totals are
@@ -307,6 +312,12 @@ pub enum Request {
         /// `true` for the JSON rendering, `false` for Prometheus text.
         json: bool,
     },
+    /// Merge a serialised shard snapshot (the `SKTR` format) into the
+    /// server's live synopsis.  The snapshot's configuration must equal
+    /// the server's; label tables are reconciled by name.  Bounded by the
+    /// connection's `max_frame` like every other frame (32 MiB default) —
+    /// larger shards must be merged offline (`sketchtree merge`).
+    MergeSnapshot(Vec<u8>),
 }
 
 /// Synopsis statistics as reported over the wire.
@@ -364,6 +375,13 @@ pub enum Response {
     /// The rendered metrics exposition (Prometheus text or JSON, per the
     /// request's `json` flag).
     Metrics(String),
+    /// A shard snapshot was merged.
+    MergeDone {
+        /// Server-wide tree total after the merge.
+        total_trees: u64,
+        /// Server-wide pattern total after the merge.
+        total_patterns: u64,
+    },
     /// The request failed; human-readable reason.
     Error(String),
 }
@@ -382,6 +400,7 @@ impl Request {
             Request::Snapshot => K_SNAPSHOT,
             Request::Shutdown => K_SHUTDOWN,
             Request::Metrics { .. } => K_METRICS,
+            Request::MergeSnapshot(_) => K_MERGE_SNAPSHOT,
         }
     }
 
@@ -413,6 +432,10 @@ impl Request {
             Request::Expr(e) => w.str(e),
             Request::HeavyHitters { limit } => w.u32(*limit),
             Request::Metrics { json } => w.u8(u8::from(*json)),
+            Request::MergeSnapshot(bytes) => {
+                w.len(bytes.len());
+                w.0.extend_from_slice(bytes);
+            }
         }
         w.0
     }
@@ -465,6 +488,12 @@ impl Request {
                 };
                 Request::Metrics { json }
             }
+            K_MERGE_SNAPSHOT => {
+                // The byte length is already bounded by max_frame; the
+                // prefix only needs to match the remaining payload.
+                let len = widen(r.u32()?);
+                Request::MergeSnapshot(r.take(len)?.to_vec())
+            }
             other => return Err(WireError::UnknownKind(other)),
         };
         r.finish()?;
@@ -489,6 +518,7 @@ impl Response {
             Response::SnapshotDone { .. } => K_SNAPSHOT_DONE,
             Response::ShuttingDown => K_SHUTTING_DOWN,
             Response::Metrics(_) => K_METRICS_REPLY,
+            Response::MergeDone { .. } => K_MERGE_DONE,
             Response::Error(_) => K_ERROR,
         }
     }
@@ -525,6 +555,10 @@ impl Response {
             }
             Response::SnapshotDone { bytes } => w.u64(*bytes),
             Response::Metrics(text) => w.str(text),
+            Response::MergeDone { total_trees, total_patterns } => {
+                w.u64(*total_trees);
+                w.u64(*total_patterns);
+            }
             Response::Error(msg) => w.str(msg),
         }
         w.0
@@ -565,6 +599,10 @@ impl Response {
             }
             K_SNAPSHOT_DONE => Response::SnapshotDone { bytes: r.u64()? },
             K_METRICS_REPLY => Response::Metrics(r.str()?),
+            K_MERGE_DONE => Response::MergeDone {
+                total_trees: r.u64()?,
+                total_patterns: r.u64()?,
+            },
             K_ERROR => Response::Error(r.str()?),
             other => return Err(WireError::UnknownKind(other)),
         };
@@ -736,6 +774,28 @@ mod tests {
         roundtrip_req(Request::Shutdown);
         roundtrip_req(Request::Metrics { json: false });
         roundtrip_req(Request::Metrics { json: true });
+        roundtrip_req(Request::MergeSnapshot(vec![0x53, 0x4B, 0x54, 0x52, 0, 1, 2, 3]));
+        roundtrip_req(Request::MergeSnapshot(Vec::new()));
+    }
+
+    #[test]
+    fn merge_snapshot_length_prefix_is_strict() {
+        // Prefix longer than the remaining bytes → truncated.
+        let mut w = Writer(Vec::new());
+        w.u32(10);
+        w.0.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(
+            Request::decode(K_MERGE_SNAPSHOT, &w.0),
+            Err(WireError::Truncated)
+        ));
+        // Prefix shorter than the payload → trailing bytes.
+        let mut w = Writer(Vec::new());
+        w.u32(1);
+        w.0.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(
+            Request::decode(K_MERGE_SNAPSHOT, &w.0),
+            Err(WireError::Corrupt("trailing payload bytes"))
+        ));
     }
 
     #[test]
@@ -751,8 +811,9 @@ mod tests {
     fn kind_names_cover_every_assigned_kind() {
         for k in [
             K_PING, K_INGEST_XML, K_INGEST_TREES, K_COUNT, K_EXPR, K_STATS, K_HEAVY, K_SNAPSHOT,
-            K_SHUTDOWN, K_METRICS, K_PONG, K_INGESTED, K_ESTIMATE, K_STATS_REPLY, K_HEAVY_REPLY,
-            K_SNAPSHOT_DONE, K_SHUTTING_DOWN, K_METRICS_REPLY, K_ERROR,
+            K_SHUTDOWN, K_METRICS, K_MERGE_SNAPSHOT, K_PONG, K_INGESTED, K_ESTIMATE,
+            K_STATS_REPLY, K_HEAVY_REPLY, K_SNAPSHOT_DONE, K_SHUTTING_DOWN, K_METRICS_REPLY,
+            K_MERGE_DONE, K_ERROR,
         ] {
             assert_ne!(kind_name(k), "other", "kind 0x{k:02x} unnamed");
         }
@@ -786,6 +847,7 @@ mod tests {
             Response::SnapshotDone { bytes: 4096 },
             Response::ShuttingDown,
             Response::Metrics("# HELP x y\nx 1\n".into()),
+            Response::MergeDone { total_trees: 42, total_patterns: 777 },
             Response::Error("nope".into()),
         ] {
             let mut buf = Vec::new();

@@ -1,0 +1,195 @@
+//! End-to-end scale-out ingest: two servers each ingest half of a
+//! DBLP-like stream, checkpoint, and their snapshots are merged into a
+//! third server over the wire (`MergeSnapshot`).  With top-k disabled the
+//! merged synopsis must answer every query bit-identically to a single
+//! server that saw the whole stream — including when the shards intern
+//! their labels in different orders.
+
+use sketchtree_core::sketchtree::SketchTreeConfig;
+use sketchtree_datagen::dblp::DblpGen;
+use sketchtree_server::{Client, Server, ServerConfig};
+use sketchtree_sketch::SynopsisConfig;
+use sketchtree_tree::{Label, LabelTable, NodeId, Tree};
+
+fn config(seed: u64) -> SketchTreeConfig {
+    SketchTreeConfig {
+        max_pattern_edges: 2,
+        synopsis: SynopsisConfig {
+            s1: 40,
+            s2: 5,
+            virtual_streams: 31,
+            // Top-k off: merge is then *byte*-identical to sequential
+            // ingest, so every estimate must match to the last bit.
+            topk: 0,
+            seed,
+            ..SynopsisConfig::default()
+        },
+        ..SketchTreeConfig::default()
+    }
+}
+
+/// Rebuilds `tree` with every label pushed through `map`.
+fn remap_tree(tree: &Tree, map: &mut impl FnMut(Label) -> Label) -> Tree {
+    fn rec(tree: &Tree, id: NodeId, map: &mut impl FnMut(Label) -> Label) -> Tree {
+        let children = tree
+            .children(id)
+            .iter()
+            .map(|&c| rec(tree, c, map))
+            .collect();
+        Tree::node(map(tree.label(id)), children)
+    }
+    rec(tree, tree.root(), map)
+}
+
+/// Re-interns a shard's trees against a fresh label table in first-use
+/// order, so each shard ships a *different* positional label table than
+/// the baseline (and than the other shard) — exercising the by-name
+/// reconciliation in the merge path.
+fn compact_shard(trees: &[Tree], full: &LabelTable) -> (Vec<String>, Vec<Tree>) {
+    let mut local = LabelTable::new();
+    let remapped = trees
+        .iter()
+        .map(|t| remap_tree(t, &mut |l| local.intern(full.name(l))))
+        .collect();
+    let names = local.iter().map(|(_, n)| n.to_string()).collect();
+    (names, remapped)
+}
+
+fn tmp_snap(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sketchtree-merge-e2e-{tag}-{}.bin", std::process::id()));
+    p
+}
+
+/// Ingests `trees` on a throwaway server, forces a checkpoint, and
+/// returns the snapshot bytes.
+fn shard_snapshot(
+    seed: u64,
+    tag: &str,
+    labels: Vec<String>,
+    trees: Vec<Tree>,
+) -> Vec<u8> {
+    let path = tmp_snap(tag);
+    std::fs::remove_file(&path).ok();
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            sketch: config(seed),
+            checkpoint_path: Some(path.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("shard server starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.ingest_trees(labels, trees).expect("shard ingest");
+    client.snapshot().expect("shard checkpoint");
+    server.shutdown().expect("clean shutdown");
+    let bytes = std::fs::read(&path).expect("shard snapshot on disk");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+const QUERIES: &[&str] = &[
+    "article(author)",
+    "article(year)",
+    "inproceedings(author)",
+    "author",
+    "title",
+];
+
+#[test]
+fn two_server_shards_merge_to_the_single_server_baseline() {
+    let seed = 23;
+    let mut full_labels = LabelTable::new();
+    let mut gen = DblpGen::new(99, &mut full_labels, 50);
+    let trees: Vec<Tree> = (0..200).map(|_| gen.next_tree()).collect();
+    let names: Vec<String> = full_labels.iter().map(|(_, n)| n.to_string()).collect();
+
+    // Baseline: one server sees the whole stream.
+    let baseline = Server::start(
+        "127.0.0.1:0",
+        ServerConfig { sketch: config(seed), ..ServerConfig::default() },
+    )
+    .expect("baseline server starts");
+    let mut base_client = Client::connect(baseline.addr()).expect("connect");
+    base_client
+        .ingest_trees(names, trees.clone())
+        .expect("baseline ingest");
+    let base_stats = base_client.stats().expect("stats");
+
+    // Shards: each half re-interned in its own first-use order.
+    let (half_a, half_b) = trees.split_at(trees.len() / 2);
+    let (labels_a, trees_a) = compact_shard(half_a, &full_labels);
+    let (labels_b, trees_b) = compact_shard(half_b, &full_labels);
+    let snap_a = shard_snapshot(seed, "a", labels_a, trees_a);
+    let snap_b = shard_snapshot(seed, "b", labels_b, trees_b);
+
+    // Merge target: a fresh server that never saw a tree.
+    let target = Server::start(
+        "127.0.0.1:0",
+        ServerConfig { sketch: config(seed), ..ServerConfig::default() },
+    )
+    .expect("merge target starts");
+    let mut client = Client::connect(target.addr()).expect("connect");
+    let (trees_after_a, _) = client.merge_snapshot(&snap_a).expect("merge shard a");
+    assert_eq!(trees_after_a, half_a.len() as u64);
+    let (total_trees, total_patterns) = client.merge_snapshot(&snap_b).expect("merge shard b");
+    assert_eq!(total_trees, base_stats.trees_processed);
+    assert_eq!(total_patterns, base_stats.patterns_processed);
+
+    // Every estimate matches the single-server baseline to the last bit.
+    for q in QUERIES {
+        let base = base_client.count_ordered(q).expect("baseline query");
+        let merged = client.count_ordered(q).expect("merged query");
+        assert_eq!(
+            base.to_bits(),
+            merged.to_bits(),
+            "{q}: baseline {base} != merged {merged}"
+        );
+        let base_u = base_client.count_unordered(q).expect("baseline unordered");
+        let merged_u = client.count_unordered(q).expect("merged unordered");
+        assert_eq!(
+            base_u.to_bits(),
+            merged_u.to_bits(),
+            "{q} (unordered): baseline {base_u} != merged {merged_u}"
+        );
+    }
+
+    // The merge counters made it to the exposition.
+    let metrics = client.metrics(false).expect("metrics");
+    assert!(metrics.contains("sktp_merges_total 2"), "{metrics}");
+
+    baseline.shutdown().expect("clean shutdown");
+    target.shutdown().expect("clean shutdown");
+}
+
+/// A shard built with a different sketch seed must be refused — silently
+/// adding incompatible counters would corrupt the synopsis.
+#[test]
+fn mismatched_shard_config_is_rejected() {
+    let mut labels = LabelTable::new();
+    let mut gen = DblpGen::new(7, &mut labels, 16);
+    let trees: Vec<Tree> = (0..20).map(|_| gen.next_tree()).collect();
+    let names: Vec<String> = labels.iter().map(|(_, n)| n.to_string()).collect();
+    let snap = shard_snapshot(99, "mismatch", names, trees);
+
+    let target = Server::start(
+        "127.0.0.1:0",
+        ServerConfig { sketch: config(23), ..ServerConfig::default() },
+    )
+    .expect("server starts");
+    let mut client = Client::connect(target.addr()).expect("connect");
+    let err = client.merge_snapshot(&snap).expect_err("seed mismatch must be refused");
+    assert!(format!("{err}").contains("merge"), "{err}");
+
+    // The refusal must leave the target untouched and alive.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.trees_processed, 0);
+
+    // Garbage bytes are refused too, without killing the worker.
+    let err = client.merge_snapshot(b"not a snapshot").expect_err("garbage refused");
+    assert!(format!("{err}").contains("merge"), "{err}");
+    client.ping().expect("worker survived");
+
+    target.shutdown().expect("clean shutdown");
+}

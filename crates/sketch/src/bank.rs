@@ -228,6 +228,33 @@ impl SketchBank {
         }
     }
 
+    /// Adds every counter of `other` into this bank elementwise.
+    ///
+    /// This is Section 5.3's linearity made explicit: two banks built from
+    /// the same `(seed, s1, s2, independence)` share identical ξ families,
+    /// so for each sketch `X_merged = X_a + X_b` is exactly the counter a
+    /// single bank would hold after seeing both streams.  The ξ-family
+    /// compatibility (same seed and independence) is the *caller's*
+    /// contract — the bank stores neither, so it can only verify geometry.
+    /// Addition wraps, matching [`AmsSketch::add_raw`]'s mod-2⁶⁴ group
+    /// semantics.
+    ///
+    /// # Panics
+    /// Panics if the two banks' geometries (`s1`, `s2`) differ.
+    pub fn merge_from(&mut self, other: &SketchBank) {
+        assert!(
+            self.s1 == other.s1 && self.s2 == other.s2,
+            "bank geometry mismatch: {}x{} vs {}x{}",
+            self.s1,
+            self.s2,
+            other.s1,
+            other.s2
+        );
+        for (s, o) in self.sketches.iter_mut().zip(&other.sketches) {
+            s.add_raw(o.raw());
+        }
+    }
+
     /// Fills `buf` with the per-sketch ξ signs of `value` (±1 as `i8`).
     ///
     /// The ingest hot path evaluates each sketch's ξ polynomial for the
@@ -480,6 +507,31 @@ mod tests {
             assert_eq!(buf_a, buf_b, "sign buffers diverged at {v}");
         }
         assert_eq!(fused.counter_values(), two_pass.counter_values());
+    }
+
+    #[test]
+    fn merge_from_equals_single_bank_over_union_stream() {
+        let mut a = SketchBank::new(17, 8, 3, 4);
+        let mut b = SketchBank::new(17, 8, 3, 4);
+        let mut whole = SketchBank::new(17, 8, 3, 4);
+        for &(v, f) in &[(1u64, 10i64), (2, -3), (99, 1)] {
+            a.update(v, f);
+            whole.update(v, f);
+        }
+        for &(v, f) in &[(2u64, 5i64), (777, 40)] {
+            b.update(v, f);
+            whole.update(v, f);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.counter_values(), whole.counter_values());
+    }
+
+    #[test]
+    #[should_panic(expected = "bank geometry mismatch")]
+    fn merge_from_rejects_geometry_mismatch() {
+        let mut a = SketchBank::new(17, 8, 3, 4);
+        let b = SketchBank::new(17, 8, 2, 4);
+        a.merge_from(&b);
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub struct Term {
 pub enum ExprError {
     /// The same query mapping occurs more than once in the expression.
     DuplicateQuery(u64),
+    /// A term coefficient overflowed `i64` during expansion.  Unchecked
+    /// arithmetic here would panic under `overflow-checks` and silently
+    /// bias the estimator without them.
+    CoefficientOverflow,
 }
 
 impl fmt::Display for ExprError {
@@ -67,6 +71,9 @@ impl fmt::Display for ExprError {
         match self {
             ExprError::DuplicateQuery(q) => {
                 write!(f, "query mapping {q} occurs more than once in the expression")
+            }
+            ExprError::CoefficientOverflow => {
+                write!(f, "term coefficient overflowed during expression expansion")
             }
         }
     }
@@ -125,14 +132,17 @@ impl Expr {
                 return Err(ExprError::DuplicateQuery(*q));
             }
         }
-        let mut terms = self.expand_rec();
+        let mut terms = self.expand_rec()?;
         // Merge like terms (same query multiset — here: same sorted vec).
         terms.sort_by(|a, b| a.queries.cmp(&b.queries));
         let mut merged: Vec<Term> = Vec::new();
         for t in terms {
             match merged.last_mut() {
                 Some(last) if last.queries == t.queries => {
-                    last.coeff = last.coeff.saturating_add(t.coeff);
+                    last.coeff = last
+                        .coeff
+                        .checked_add(t.coeff)
+                        .ok_or(ExprError::CoefficientOverflow)?;
                 }
                 _ => merged.push(t),
             }
@@ -142,28 +152,28 @@ impl Expr {
         Ok((merged, 2 * max_k + 1))
     }
 
-    fn expand_rec(&self) -> Vec<Term> {
+    fn expand_rec(&self) -> Result<Vec<Term>, ExprError> {
         match self {
-            Expr::Count(q) => vec![Term {
+            Expr::Count(q) => Ok(vec![Term {
                 coeff: 1,
                 queries: vec![*q],
-            }],
+            }]),
             Expr::Add(a, b) => {
-                let mut t = a.expand_rec();
-                t.extend(b.expand_rec());
-                t
+                let mut t = a.expand_rec()?;
+                t.extend(b.expand_rec()?);
+                Ok(t)
             }
             Expr::Sub(a, b) => {
-                let mut t = a.expand_rec();
-                t.extend(b.expand_rec().into_iter().map(|mut x| {
+                let mut t = a.expand_rec()?;
+                t.extend(b.expand_rec()?.into_iter().map(|mut x| {
                     x.coeff = -x.coeff;
                     x
                 }));
-                t
+                Ok(t)
             }
             Expr::Mul(a, b) => {
-                let ta = a.expand_rec();
-                let tb = b.expand_rec();
+                let ta = a.expand_rec()?;
+                let tb = b.expand_rec()?;
                 let mut out = Vec::with_capacity(ta.len() * tb.len());
                 for x in &ta {
                     for y in &tb {
@@ -171,15 +181,22 @@ impl Expr {
                         queries.extend_from_slice(&y.queries);
                         queries.sort_unstable();
                         out.push(Term {
-                            coeff: x.coeff * y.coeff,
+                            coeff: mul_coeff(x.coeff, y.coeff)?,
                             queries,
                         });
                     }
                 }
-                out
+                Ok(out)
             }
         }
     }
+}
+
+/// Checked coefficient product shared by every expansion site — the raw
+/// `*` would panic under the workspace's dev/test `overflow-checks` and
+/// silently wrap (biasing the estimator) in release.
+fn mul_coeff(a: i64, b: i64) -> Result<i64, ExprError> {
+    a.checked_mul(b).ok_or(ExprError::CoefficientOverflow)
 }
 
 impl fmt::Display for Expr {
@@ -273,6 +290,17 @@ mod tests {
         assert_eq!(e.expand(), Err(ExprError::DuplicateQuery(9)));
         let e2 = Expr::Add(Box::new(c(9)), Box::new(c(9)));
         assert_eq!(e2.expand(), Err(ExprError::DuplicateQuery(9)));
+    }
+
+    #[test]
+    fn coefficient_overflow_is_an_error_not_a_panic() {
+        // Coefficients reach the multiplication through expansion; at the
+        // extremes the product no longer fits an i64.  Pre-fix this was an
+        // unchecked `*` — a debug panic (workspace overflow-checks) and a
+        // silent wrap in release.
+        assert_eq!(mul_coeff(i64::MAX, 2), Err(ExprError::CoefficientOverflow));
+        assert_eq!(mul_coeff(i64::MIN, -1), Err(ExprError::CoefficientOverflow));
+        assert_eq!(mul_coeff(-3, 7), Ok(-21));
     }
 
     #[test]

@@ -116,6 +116,47 @@ impl TopKTracker {
         }
     }
 
+    /// Merges another tracker's tracked set into this one, fixing up `bank`
+    /// (which must already hold the *sum* of both sides' counters) so the
+    /// delete condition keeps holding.
+    ///
+    /// A value tracked on both sides had `f_a` instances deleted from one
+    /// stream and `f_b` from the other, so the merged stream is missing
+    /// `f_a + f_b` — that sum becomes its merged tracked frequency.  A
+    /// value tracked on one side only carries its frequency over.  If the
+    /// union exceeds `k`, the lightest entries are evicted and their
+    /// deleted instances added back to the bank (the same signed-update
+    /// flush Algorithm 4 performs on eviction); ties break toward keeping
+    /// the smaller value, matching [`TopKTracker::tracked_values`] order.
+    ///
+    /// # Panics
+    /// Panics if the two trackers' capacities differ.
+    pub fn merge_from(&mut self, other: &TopKTracker, bank: &mut SketchBank) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "top-k capacity mismatch in merge"
+        );
+        if self.capacity == 0 {
+            return;
+        }
+        let mut union: Vec<(u64, i64)> = self.tracked.iter().collect();
+        for (v, f_b) in other.tracked.iter() {
+            match union.iter_mut().find(|(u, _)| *u == v) {
+                Some((_, f)) => *f = f.saturating_add(f_b),
+                None => union.push((v, f_b)),
+            }
+        }
+        union.sort_by_key(|&(v, f)| (std::cmp::Reverse(f), v));
+        for &(r, f_r) in union.get(self.capacity..).unwrap_or_default() {
+            bank.update(r, f_r);
+        }
+        union.truncate(self.capacity);
+        self.tracked = IndexedMinHeap::new();
+        for &(v, f) in &union {
+            self.tracked.insert(v, f);
+        }
+    }
+
     /// The tracked frequency of `value`, if tracked.
     pub fn tracked_frequency(&self, value: u64) -> Option<i64> {
         self.tracked.get(value)
@@ -308,6 +349,58 @@ mod tests {
     #[test]
     fn memory_accounting() {
         assert_eq!(TopKTracker::new(50).memory_bytes(), 50 * 24);
+    }
+
+    /// After a shard merge (bank counters summed, trackers merged with
+    /// eviction flush), every value's compensated estimate must still be
+    /// near its frequency in the *union* stream — i.e. the delete
+    /// condition survives the merge, including for evicted entries.
+    #[test]
+    fn merge_preserves_delete_condition() {
+        let shard_a: Vec<(u64, i64)> = vec![(1, 500), (3, 90), (5, 8)];
+        let shard_b: Vec<(u64, i64)> = vec![(2, 400), (3, 120), (4, 60), (6, 3)];
+        let mut bank_a = SketchBank::new(47, 80, 7, 4);
+        let mut topk_a = TopKTracker::new(2);
+        run_stream(&mut bank_a, &mut topk_a, &shard_a);
+        let mut bank_b = SketchBank::new(47, 80, 7, 4);
+        let mut topk_b = TopKTracker::new(2);
+        run_stream(&mut bank_b, &mut topk_b, &shard_b);
+        // The union of tracked sets ({1,3} and {2,3} here) exceeds k = 2,
+        // so the merge must evict and flush.
+        bank_a.merge_from(&bank_b);
+        topk_a.merge_from(&topk_b, &mut bank_a);
+        assert_eq!(topk_a.len(), 2);
+        let truth: Vec<(u64, f64)> =
+            vec![(1, 500.0), (2, 400.0), (3, 210.0), (4, 60.0), (5, 8.0), (6, 3.0)];
+        for &(v, t) in &truth {
+            let est = bank_a.estimate_point_restored(v, &topk_a.restore_list(&[v]));
+            assert!(
+                (est - t).abs() < t.mul_add(0.2, 40.0),
+                "value {v}: est {est} vs truth {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_sums_frequencies_of_shared_values() {
+        let mut bank = SketchBank::new(3, 10, 3, 4);
+        let mut a = TopKTracker::new(4);
+        let mut b = TopKTracker::new(4);
+        a.restore_tracked(&[(7, 100), (8, 50)]);
+        b.restore_tracked(&[(7, 30), (9, 10)]);
+        a.merge_from(&b, &mut bank);
+        assert_eq!(a.tracked_values(), vec![(7, 130), (8, 50), (9, 10)]);
+        // Nothing evicted: the bank was untouched.
+        assert!(bank.counter_values().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "top-k capacity mismatch")]
+    fn merge_rejects_capacity_mismatch() {
+        let mut bank = SketchBank::new(3, 10, 3, 4);
+        let mut a = TopKTracker::new(4);
+        let b = TopKTracker::new(5);
+        a.merge_from(&b, &mut bank);
     }
 
     /// The precomputed-signs fast path must be bit-for-bit equivalent to

@@ -368,6 +368,45 @@ impl StreamSynopsis {
             .collect()
     }
 
+    /// Merges another synopsis built over a *disjoint* slice of the same
+    /// logical stream into this one (scale-out ingest: shard the stream
+    /// across processes, merge the synopses afterwards).
+    ///
+    /// Requires the two configs to be identical — same seed, geometry,
+    /// partitioning, top-k capacity and sampling probability — because
+    /// only then do the per-partition banks share ξ families and routing,
+    /// making counter addition meaningful (Section 5.3's linearity).
+    /// Per partition, the banks are added elementwise and the top-k
+    /// tracked sets merged with eviction flush (see
+    /// [`TopKTracker::merge_from`]); `values_processed` and the
+    /// per-partition monitoring counters add saturating.
+    ///
+    /// With top-k disabled the result is *byte-identical* to a single
+    /// synopsis that saw both streams in any interleaving.  With top-k
+    /// enabled the tracked sets are order-dependent to begin with, so the
+    /// merge preserves the estimate invariant (delete condition) rather
+    /// than bit-equality.  The receiver keeps its own top-k sampling RNG
+    /// states: those govern only *future* inserts and are not part of the
+    /// snapshot format.
+    pub fn merge_from(&mut self, other: &StreamSynopsis) -> Result<(), &'static str> {
+        if self.config != other.config {
+            return Err("synopsis config mismatch: only identically configured synopses merge");
+        }
+        for (bank, obank) in self.banks.iter_mut().zip(&other.banks) {
+            bank.merge_from(obank);
+        }
+        for ((topk, otopk), bank) in
+            self.topks.iter_mut().zip(&other.topks).zip(self.banks.iter_mut())
+        {
+            topk.merge_from(otopk, bank);
+        }
+        for (p, &o) in self.partition_inserts.iter_mut().zip(&other.partition_inserts) {
+            *p = p.saturating_add(o);
+        }
+        self.values_processed = self.values_processed.saturating_add(other.values_processed);
+        Ok(())
+    }
+
     /// Deletes one previously-inserted occurrence of `value` (AMS deletion:
     /// `X −= ξ_v`).  Used by windowed synopses to expire old stream
     /// elements.
@@ -1033,6 +1072,56 @@ mod tests {
                 sharded.tracked_heavy_hitters()
             );
         }
+    }
+
+    #[test]
+    fn merge_without_topk_is_byte_identical_to_sequential() {
+        let cfg = SynopsisConfig { topk: 0, ..small_config(0) };
+        let values = zipf_values();
+        let (first, second) = values.split_at(values.len() / 3);
+        let mut whole = StreamSynopsis::new(cfg.clone());
+        for &v in &values {
+            whole.insert(v);
+        }
+        let mut a = StreamSynopsis::new(cfg.clone());
+        for &v in first {
+            a.insert(v);
+        }
+        let mut b = StreamSynopsis::new(cfg);
+        for &v in second {
+            b.insert(v);
+        }
+        a.merge_from(&b).expect("configs match");
+        assert_eq!(a.export_state(), whole.export_state());
+        assert_eq!(a.partition_insert_counts(), whole.partition_insert_counts());
+    }
+
+    #[test]
+    fn merge_with_topk_preserves_estimates() {
+        let cfg = small_config(3);
+        let freqs = skewed_stream();
+        let (sa, sb) = freqs.split_at(freqs.len() / 2);
+        let mut a = StreamSynopsis::new(cfg.clone());
+        fill(&mut a, sa);
+        let mut b = StreamSynopsis::new(cfg);
+        fill(&mut b, sb);
+        let total: u64 = freqs.iter().map(|&(_, f)| f as u64).sum();
+        a.merge_from(&b).expect("configs match");
+        assert_eq!(a.values_processed(), total);
+        for &(v, f) in freqs.iter().take(12) {
+            let est = a.estimate_count(v);
+            assert!(
+                (est - f as f64).abs() < (f as f64).mul_add(0.35, 10.0),
+                "value {v}: est {est} vs {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_rejects_config_mismatch() {
+        let mut a = StreamSynopsis::new(small_config(3));
+        let b = StreamSynopsis::new(SynopsisConfig { seed: 18, ..small_config(3) });
+        assert!(a.merge_from(&b).is_err());
     }
 
     #[test]

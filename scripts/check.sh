@@ -35,6 +35,15 @@ RUST_TEST_THREADS=1 SKETCHTREE_INGEST_THREADS=1 \
 RUST_TEST_THREADS=1 SKETCHTREE_INGEST_THREADS=8 \
     cargo test --quiet -p sketchtree-core --lib snapshot_parity_across_thread_counts
 
+echo "==> synopsis merge parity (shard-split vs sequential ingest)"
+# Merging shard synopses must be byte-identical to sequential ingest
+# with top-k off (and totals-preserving with it on), across random
+# split points and label interning orders.  Both the property test and
+# the cross-interning unit test run in the sweep above; naming them
+# here gives merge regressions their own banner.
+cargo test --quiet -p sketchtree-core --test core_props merge_parity_property
+cargo test --quiet -p sketchtree-core --lib merge_is_exact_across_different_interning_orders
+
 echo "==> sketchtree-lint"
 # --show-allowed keeps the documented exceptions visible in CI logs so
 # reviewers can see what has been excused and why.
