@@ -48,6 +48,11 @@
 //!
 //! sketchtree remote-query <addr> <pattern>... [--unordered | --expr]
 //!     estimate counts (or full expressions with --expr) against a server
+//!
+//! sketchtree remote-subscribe <addr> <query>... [--unordered | --expr] [--updates N]
+//!     register standing queries and stream pushed estimate updates to
+//!     stdout, one line per query per ingest batch; --updates N exits
+//!     after N updates (default: stream until the connection closes)
 //! ```
 //!
 //! The library layer ([`run`]) is separated from the binary so integration
@@ -60,7 +65,7 @@
 use sketchtree_core::snapshot::{read_snapshot, write_snapshot};
 use sketchtree_core::sketchtree::{SketchTree, SketchTreeConfig};
 use sketchtree_core::{exprparse, summary::ExpandLimits};
-use sketchtree_server::{Client, Server, ServerConfig};
+use sketchtree_server::{Client, Server, ServerConfig, SubscribeMode};
 use sketchtree_sketch::SynopsisConfig;
 use sketchtree_xml::{DocumentSplitter, XmlTreeBuilder};
 use std::io::{BufRead, BufReader, Write};
@@ -105,7 +110,8 @@ fn usage() -> String {
      sketchtree serve <addr> [--snapshot PATH] [--checkpoint-secs N] [--workers N] \
      [--ingest-threads N] [--metrics-port N] [sketch flags as for ingest]\n  \
      sketchtree remote-ingest <addr> <file.xml>|- [--batch N]\n  \
-     sketchtree remote-query <addr> <pattern>... [--unordered | --expr]"
+     sketchtree remote-query <addr> <pattern>... [--unordered | --expr]\n  \
+     sketchtree remote-subscribe <addr> <query>... [--unordered | --expr] [--updates N]"
         .to_string()
 }
 
@@ -123,6 +129,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "serve" => serve(&args[1..], out),
         "remote-ingest" => remote_ingest(&args[1..], out),
         "remote-query" => remote_query(&args[1..], out),
+        "remote-subscribe" => remote_subscribe(&args[1..], out),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'\n\n{}",
             usage()
@@ -552,6 +559,68 @@ fn remote_query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `remote-subscribe <addr> <query>...`: register standing queries and
+/// stream pushed [`sketchtree_server::Update`]s to `out`, one tab-separated
+/// line (`epoch  query  estimate`) per query per ingest batch.
+fn remote_subscribe(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let (addr, queries) = pos.split_first().ok_or_else(|| {
+        CliError::Usage("remote-subscribe needs an address and at least one query".into())
+    })?;
+    if queries.is_empty() {
+        return Err(CliError::Usage(
+            "remote-subscribe needs at least one query".into(),
+        ));
+    }
+    let unordered = args.iter().any(|a| a == "--unordered");
+    let as_expr = args.iter().any(|a| a == "--expr");
+    if unordered && as_expr {
+        return Err(CliError::Usage(
+            "--unordered and --expr are mutually exclusive".into(),
+        ));
+    }
+    let mode = if as_expr {
+        SubscribeMode::Expr
+    } else if unordered {
+        SubscribeMode::Unordered
+    } else {
+        SubscribeMode::Ordered
+    };
+    // 0 (the default) streams until the connection closes; tests and
+    // scripts bound the run with an explicit update budget.
+    let updates_limit: u64 = parse_flag(args, "--updates", 0u64)?;
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| CliError::Failed(format!("{addr}: {e}")))?;
+    let mut names: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
+    for q in queries {
+        let (id, epoch) = client
+            .subscribe(mode, q)
+            .map_err(|e| CliError::Failed(format!("{q}: {e}")))?;
+        writeln!(out, "subscribed {q} (id {id}, epoch {epoch})")?;
+        names.insert(id, (*q).clone());
+    }
+    out.flush()?;
+    let mut printed = 0u64;
+    loop {
+        match client.next_update(std::time::Duration::from_millis(500)) {
+            Ok(Some(u)) => {
+                let name = names.get(&u.id).map(String::as_str).unwrap_or("?");
+                match u.result {
+                    Ok(v) => writeln!(out, "epoch {}\t{}\t{:.1}", u.epoch, name, v)?,
+                    Err(e) => writeln!(out, "epoch {}\t{}\terror: {}", u.epoch, name, e)?,
+                }
+                out.flush()?;
+                printed += 1;
+                if updates_limit > 0 && printed >= updates_limit {
+                    return Ok(());
+                }
+            }
+            Ok(None) => continue, // quiet stream; keep waiting
+            Err(e) => return Err(CliError::Failed(format!("updates: {e}"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -697,6 +766,48 @@ mod tests {
         for p in [&a_xml, &b_xml, &full_xml, &a_snap, &b_snap, &full_snap, &merged_snap] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn remote_subscribe_streams_updates() {
+        let server = Server::start(
+            "127.0.0.1:0",
+            ServerConfig {
+                sketch: SketchTreeConfig {
+                    max_pattern_edges: 3,
+                    ..SketchTreeConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server starts");
+        let addr = server.addr().to_string();
+        // Background producer: small spaced batches so the subscriber
+        // observes several distinct epochs while it waits.
+        let feeder = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let Ok(mut c) = Client::connect(addr.as_str()) else { return };
+                for _ in 0..100 {
+                    let docs: Vec<String> = (0..4)
+                        .map(|_| "<article><author>smith</author></article>".to_string())
+                        .collect();
+                    if c.ingest_xml(&docs).is_err() {
+                        break; // server shut down under us; that's fine
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            })
+        };
+        let out = run_ok(&["remote-subscribe", &addr, "article(author)", "--updates", "3"]);
+        assert!(out.contains("subscribed article(author)"), "{out}");
+        assert_eq!(
+            out.lines().filter(|l| l.starts_with("epoch ")).count(),
+            3,
+            "{out}"
+        );
+        server.shutdown().expect("clean shutdown");
+        feeder.join().expect("feeder exits");
     }
 
     #[test]

@@ -21,10 +21,20 @@ use parking_lot::RwLock;
 use sketchtree_tree::Tree;
 use std::sync::Arc;
 
+/// A callback invoked (under the shared read lock) after every batch
+/// ingest and merge completes — the hook point standing-query evaluators
+/// attach to.  The callback receives the post-batch synopsis; it must not
+/// re-lock the same [`SharedSketchTree`] (it already holds the read side).
+pub type BatchHook = dyn Fn(&SketchTree) + Send + Sync;
+
 /// A cloneable, thread-safe [`SketchTree`] handle.
 #[derive(Clone)]
 pub struct SharedSketchTree {
     inner: Arc<RwLock<SketchTree>>,
+    /// Post-batch hooks, shared across clones.  Read-mostly: cloned out
+    /// under a short lock before invocation so a slow hook never blocks
+    /// hook registration.
+    hooks: Arc<RwLock<Vec<Arc<BatchHook>>>>,
     opts: IngestOptions,
 }
 
@@ -40,10 +50,33 @@ impl SharedSketchTree {
     pub fn with_options(st: SketchTree, opts: IngestOptions) -> Self {
         Self {
             inner: Arc::new(RwLock::new(st)),
+            hooks: Arc::new(RwLock::new(Vec::new())),
             opts: IngestOptions {
                 threads: opts.threads.max(1),
                 chunk_size: opts.chunk_size.max(1),
             },
+        }
+    }
+
+    /// Registers a hook run after every [`SharedSketchTree::ingest_batch`]
+    /// and [`SharedSketchTree::merge`] completes, under the shared read
+    /// lock on the post-batch state.  This is how a standing-query
+    /// evaluator sees each new epoch exactly once, however many readers
+    /// are subscribed.  (Single-tree [`SharedSketchTree::ingest`] does not
+    /// fire hooks: it is the low-latency path and servers batch.)
+    pub fn add_batch_hook(&self, hook: Arc<BatchHook>) {
+        self.hooks.write().push(hook);
+    }
+
+    /// Invokes every registered hook with shared access to the synopsis.
+    fn run_batch_hooks(&self) {
+        let hooks = self.hooks.read().clone();
+        if hooks.is_empty() {
+            return;
+        }
+        let guard = self.inner.read();
+        for h in &hooks {
+            h(&guard);
         }
     }
 
@@ -89,6 +122,7 @@ impl SharedSketchTree {
             let mut guard = self.inner.write();
             guard.ingest_precomputed_batch(window, &values, self.opts);
         }
+        self.run_batch_hooks();
         (trees.len() as u64, patterns)
     }
 
@@ -103,19 +137,33 @@ impl SharedSketchTree {
     /// requirement).  Queries observe either the pre- or post-merge state,
     /// never a partial merge.
     pub fn merge(&self, other: &SketchTree) -> Result<(), &'static str> {
-        self.inner.write().merge(other)
+        self.inner.write().merge(other)?;
+        self.run_batch_hooks();
+        Ok(())
     }
 
     /// Runs `f` with mutable access to the label table (for building input
     /// trees or resolving query labels ahead of time).
     pub fn with_labels<R>(&self, f: impl FnOnce(&mut sketchtree_tree::LabelTable) -> R) -> R {
         let mut guard = self.inner.write();
+        let before = guard.labels().len();
         let r = f(guard.labels_mut());
         // Newly interned labels get their canonical codes cached now, so
         // the shared-lock enumeration path never recomputes them per
         // pattern.
         guard.sync_label_codes();
+        // Interning can flip a pattern from constant-folded-zero to a live
+        // sketch lookup, so it is estimate-visible: invalidate epoch-keyed
+        // caches.
+        if guard.labels().len() != before {
+            guard.bump_epoch();
+        }
         r
+    }
+
+    /// The current synopsis epoch (see [`SketchTree::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.inner.read().epoch()
     }
 
     /// `COUNT_ord` of a textual pattern (shared lock; concurrent with other
@@ -157,8 +205,8 @@ mod tests {
     use sketchtree_sketch::SynopsisConfig;
     use sketchtree_tree::Tree;
 
-    fn shared() -> SharedSketchTree {
-        SharedSketchTree::new(SketchTree::new(SketchTreeConfig {
+    fn cfg() -> SketchTreeConfig {
+        SketchTreeConfig {
             max_pattern_edges: 2,
             synopsis: SynopsisConfig {
                 s1: 30,
@@ -169,7 +217,11 @@ mod tests {
             },
             track_exact: true,
             ..SketchTreeConfig::default()
-        }))
+        }
+    }
+
+    fn shared() -> SharedSketchTree {
+        SharedSketchTree::new(SketchTree::new(cfg()))
     }
 
     #[test]
@@ -265,6 +317,65 @@ mod tests {
         }
         assert_eq!(st.trees_processed(), 400);
         assert_eq!(st.read(|s| s.exact_count_ordered("A(B)").unwrap()), 800);
+    }
+
+    #[test]
+    fn epoch_tracks_every_estimate_visible_change() {
+        let st = shared();
+        assert_eq!(st.epoch(), 0);
+        // Interning a label is estimate-visible (a constant-folded-zero
+        // pattern can become a live lookup), so it bumps.
+        let (a, b) = st.with_labels(|l| (l.intern("A"), l.intern("B")));
+        assert_eq!(st.epoch(), 1);
+        // Re-interning the same labels changes nothing: no bump.
+        st.with_labels(|l| l.intern("A"));
+        assert_eq!(st.epoch(), 1);
+        let tree = Tree::node(a, vec![Tree::leaf(b)]);
+        st.ingest(&tree);
+        assert_eq!(st.epoch(), 2);
+        st.ingest_batch(&[tree.clone(), tree.clone()]);
+        let post_batch = st.epoch();
+        assert!(post_batch > 2, "batch ingest must advance the epoch");
+
+        // Merge bumps (satellite: merge/MergeSnapshot must invalidate).
+        let mut other = SketchTree::new(cfg());
+        let (oa, ob) = (other.labels_mut().intern("A"), other.labels_mut().intern("B"));
+        other.ingest(&Tree::node(oa, vec![Tree::leaf(ob)]));
+        st.merge(&other).expect("configs match");
+        assert_eq!(st.epoch(), post_batch + 1);
+
+        // Restore-on-start lands at epoch 1, never 0: caches keyed on the
+        // empty synopsis cannot alias the restored state.
+        let bytes = st.read(crate::snapshot::write_snapshot);
+        let restored = crate::snapshot::read_snapshot(&bytes).expect("snapshot readable");
+        assert_eq!(restored.epoch(), 1);
+    }
+
+    #[test]
+    fn batch_hooks_fire_on_batch_and_merge_with_post_state() {
+        use std::sync::Mutex;
+        let st = shared();
+        let (a, b) = st.with_labels(|l| (l.intern("A"), l.intern("B")));
+        let seen: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        st.add_batch_hook(Arc::new(move |s: &SketchTree| {
+            sink.lock().unwrap().push((s.epoch(), s.trees_processed()));
+        }));
+        let tree = Tree::node(a, vec![Tree::leaf(b)]);
+        st.ingest_batch(&[tree.clone(), tree.clone()]);
+        // Exactly one invocation per batch, observing the post-batch state.
+        {
+            let log = seen.lock().unwrap();
+            assert_eq!(log.len(), 1);
+            assert_eq!(log[0], (st.epoch(), 2));
+        }
+        let mut other = SketchTree::new(cfg());
+        let (oa, ob) = (other.labels_mut().intern("A"), other.labels_mut().intern("B"));
+        other.ingest(&Tree::node(oa, vec![Tree::leaf(ob)]));
+        st.merge(&other).expect("configs match");
+        let log = seen.lock().unwrap();
+        assert_eq!(log.len(), 2, "merge fires hooks too");
+        assert_eq!(log[1], (st.epoch(), 3));
     }
 
     #[test]

@@ -232,6 +232,12 @@ pub struct SketchTree {
     exact: Option<ExactCounter>,
     trees_processed: u64,
     patterns_processed: u64,
+    /// Monotone state-version counter: bumped on every mutation that can
+    /// change an estimate (ingest, merge, restore, label interning via
+    /// [`SketchTree::bump_epoch`]).  In-memory only — a restored synopsis
+    /// starts at 1 so caches keyed on epoch 0 (the empty synopsis) never
+    /// alias a restored state.
+    epoch: u64,
     metrics: Option<Arc<CoreMetrics>>,
 }
 
@@ -263,6 +269,7 @@ impl SketchTree {
             exact,
             trees_processed: 0,
             patterns_processed: 0,
+            epoch: 0,
             metrics: None,
         }
     }
@@ -298,6 +305,40 @@ impl SketchTree {
     /// Number of pattern instances processed (the mapped-stream length).
     pub fn patterns_processed(&self) -> u64 {
         self.patterns_processed
+    }
+
+    /// The synopsis epoch: a monotone counter identifying the current
+    /// estimate-visible state.  Two reads at the same epoch are guaranteed
+    /// to see bit-identical estimates for any fixed query, so the epoch is
+    /// a sound cache key for `(query, epoch) → estimate` result caches and
+    /// the version stamped onto pushed standing-query updates.
+    ///
+    /// Bumps on every ingest path, on [`SketchTree::merge`], and on
+    /// restore (a restored synopsis starts at 1, never 0).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the epoch without ingesting.  For callers that mutate
+    /// estimate-visible state through a side door — e.g. interning labels,
+    /// which can turn a constant-folded-to-zero pattern into a live sketch
+    /// lookup — and need epoch-keyed caches invalidated.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// A version stamp for the *structure* a compiled query plan depends
+    /// on: the label table (pattern labels resolve through it) and the
+    /// structural summary (wildcard/descendant queries expand through it).
+    /// Counts, unlike structure, don't invalidate a compiled plan — atoms
+    /// and lowered terms stay valid across ingests that add no new label
+    /// or transition, which is what makes standing-query re-evaluation
+    /// O(registered queries) per batch instead of O(query work).
+    pub fn structure_version(&self) -> (u64, u64) {
+        (
+            self.labels.len() as u64,
+            self.summary.as_ref().map_or(0, StructuralSummary::version),
+        )
     }
 
     /// The exact baseline, when `track_exact` is enabled.
@@ -383,6 +424,7 @@ impl SketchTree {
         });
         self.patterns_processed += patterns;
         self.trees_processed += 1;
+        self.epoch += 1;
         if let (Some(m), Some(t0)) = (&self.metrics, start) {
             m.ingest_trees.inc();
             m.ingest_patterns.add(patterns);
@@ -436,6 +478,7 @@ impl SketchTree {
         }
         self.patterns_processed += values.len() as u64;
         self.trees_processed += 1;
+        self.epoch += 1;
         if let (Some(m), Some(t0)) = (&self.metrics, start) {
             m.ingest_trees.inc();
             m.ingest_patterns.add(values.len() as u64);
@@ -535,6 +578,7 @@ impl SketchTree {
         self.synopsis.note_inserted(total);
         self.patterns_processed += total;
         self.trees_processed += trees.len() as u64;
+        self.epoch += 1;
         if let (Some(m), Some(t0)) = (&self.metrics, start) {
             m.ingest_trees.add(trees.len() as u64);
             m.ingest_patterns.add(total);
@@ -641,7 +685,13 @@ impl SketchTree {
         self.estimate_atoms(&values)
     }
 
-    fn estimate_atoms(&self, atoms: &[u64]) -> f64 {
+    /// Estimates the total frequency of a sorted, deduplicated atom list —
+    /// the evaluation half of [`SketchTree::count_ordered`] /
+    /// [`SketchTree::count_unordered`].  Exposed so a compiled standing
+    /// query can cache its atoms once and re-evaluate through *exactly*
+    /// this path, guaranteeing pushed estimates are bit-identical to
+    /// ad-hoc answers at the same epoch.
+    pub fn estimate_atoms(&self, atoms: &[u64]) -> f64 {
         match atoms {
             [] => 0.0,
             [one] => self.synopsis.estimate_count(*one),
@@ -649,8 +699,11 @@ impl SketchTree {
         }
     }
 
-    /// The distinct mapped values a textual ordered pattern denotes.
-    fn atoms_ordered(&self, pattern: &str) -> Result<Vec<u64>, SketchTreeError> {
+    /// The distinct mapped values a textual ordered pattern denotes —
+    /// the compilation half of [`SketchTree::count_ordered`].  The result
+    /// is sorted and deduplicated, hence deterministic, and stays valid
+    /// until [`SketchTree::structure_version`] changes.
+    pub fn atoms_ordered(&self, pattern: &str) -> Result<Vec<u64>, SketchTreeError> {
         let trees = self.resolve(pattern)?;
         let mut atoms: Vec<u64> = trees.iter().map(|t| self.map_pattern(t)).collect();
         atoms.sort_unstable();
@@ -659,8 +712,10 @@ impl SketchTree {
     }
 
     /// The distinct mapped values of all arrangements of all resolutions of
-    /// a textual unordered pattern.
-    fn atoms_unordered(&self, pattern: &str) -> Result<Vec<u64>, SketchTreeError> {
+    /// a textual unordered pattern — the compilation half of
+    /// [`SketchTree::count_unordered`], with the same determinism and
+    /// validity contract as [`SketchTree::atoms_ordered`].
+    pub fn atoms_unordered(&self, pattern: &str) -> Result<Vec<u64>, SketchTreeError> {
         let trees = self.resolve(pattern)?;
         let mut atoms = Vec::new();
         for t in &trees {
@@ -691,19 +746,29 @@ impl SketchTree {
 
     fn estimate_inner(&self, expr: &CountExpr) -> Result<f64, SketchTreeError> {
         let terms = self.lower(expr)?;
-        if terms.is_empty() {
-            return Ok(0.0);
-        }
         if let Some(m) = &self.metrics {
             m.query_atoms
                 .add(terms.iter().map(|t| t.queries.len() as u64).sum());
         }
-        Ok(self.synopsis.estimate_terms(&terms)?)
+        self.estimate_lowered(&terms)
+    }
+
+    /// Evaluates pre-lowered estimator terms — the evaluation half of
+    /// [`SketchTree::estimate`], split out so compiled standing
+    /// expressions re-evaluate through the identical path as ad-hoc
+    /// expression queries (bit-for-bit, at any fixed epoch).
+    pub fn estimate_lowered(&self, terms: &[Term]) -> Result<f64, SketchTreeError> {
+        if terms.is_empty() {
+            return Ok(0.0);
+        }
+        Ok(self.synopsis.estimate_terms(terms)?)
     }
 
     /// Lowers a [`CountExpr`] to estimator terms, constant-folding leaves
-    /// with unseen labels to zero.
-    fn lower(&self, expr: &CountExpr) -> Result<Vec<Term>, SketchTreeError> {
+    /// with unseen labels to zero.  Like the atom lists, lowered terms are
+    /// deterministic (sorted, like terms merged) and stay valid until
+    /// [`SketchTree::structure_version`] changes.
+    pub fn lower(&self, expr: &CountExpr) -> Result<Vec<Term>, SketchTreeError> {
         let mut terms = self.lower_rec(expr)?;
         // Merge like terms and drop zeros.
         terms.sort_by(|a, b| a.queries.cmp(&b.queries));
@@ -890,6 +955,7 @@ impl SketchTree {
         self.trees_processed = self.trees_processed.saturating_add(other.trees_processed);
         self.patterns_processed =
             self.patterns_processed.saturating_add(other.patterns_processed);
+        self.epoch += 1;
         Ok(())
     }
 
@@ -947,6 +1013,10 @@ impl SketchTree {
             exact: None,
             trees_processed,
             patterns_processed,
+            // Restore-on-start is a state change: start at 1 so caches
+            // keyed on the empty synopsis' epoch 0 can never serve a
+            // pre-restore value for the restored state.
+            epoch: 1,
             metrics: None,
         })
     }

@@ -26,6 +26,11 @@ pub struct StructuralSummary {
     labels: HashSet<Label>,
     /// Observed parent-label → child-labels transitions.
     children: HashMap<Label, HashSet<Label>>,
+    /// Bumped only when a genuinely new label or transition is absorbed —
+    /// the invalidation signal for compiled query expansions.  On a steady
+    /// stream this counter goes quiet after the schema has been seen once,
+    /// so standing queries stop re-expanding entirely.
+    version: u64,
 }
 
 /// Errors from query expansion.
@@ -78,11 +83,23 @@ impl StructuralSummary {
     pub fn observe(&mut self, tree: &Tree) {
         for id in tree.preorder() {
             let l = tree.label(id);
-            self.labels.insert(l);
+            if self.labels.insert(l) {
+                self.version += 1;
+            }
             if let Some(p) = tree.parent(id) {
-                self.children.entry(tree.label(p)).or_default().insert(l);
+                if self.children.entry(tree.label(p)).or_default().insert(l) {
+                    self.version += 1;
+                }
             }
         }
+    }
+
+    /// The summary's structure version: bumped exactly when a new label or
+    /// parent-child transition is observed (never on re-observations), so
+    /// an unchanged version guarantees [`StructuralSummary::expand`]
+    /// returns the same pattern set it did before.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of distinct labels observed.
@@ -128,6 +145,9 @@ impl StructuralSummary {
             s.labels.insert(c);
             s.children.entry(p).or_default().insert(c);
         }
+        // A rebuilt summary is new structure as far as any compiled plan
+        // is concerned.
+        s.version = (s.labels.len() + s.transition_count()) as u64;
         s
     }
 
@@ -140,13 +160,17 @@ impl StructuralSummary {
     /// labels.
     pub fn merge_remapped(&mut self, other: &StructuralSummary, mut remap: impl FnMut(Label) -> Label) {
         for &l in &other.labels {
-            self.labels.insert(remap(l));
+            if self.labels.insert(remap(l)) {
+                self.version += 1;
+            }
         }
         for (&p, cs) in &other.children {
             let p = remap(p);
             let entry = self.children.entry(p).or_default();
             for &c in cs {
-                entry.insert(remap(c));
+                if entry.insert(remap(c)) {
+                    self.version += 1;
+                }
             }
         }
     }

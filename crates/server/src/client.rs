@@ -8,8 +8,11 @@
 //! synopsis has no deduplication — a retry would double-count.  Callers
 //! that prefer at-least-once delivery can loop on the error themselves.
 
-use crate::wire::{read_frame, Frame, Request, Response, Stats, WireError, DEFAULT_MAX_FRAME};
+use crate::wire::{
+    read_frame, Frame, Request, Response, Stats, SubscribeMode, WireError, DEFAULT_MAX_FRAME,
+};
 use sketchtree_tree::Tree;
+use std::collections::VecDeque;
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -69,6 +72,20 @@ pub struct IngestSummary {
     pub total_patterns: u64,
 }
 
+/// One pushed standing-query estimate, as delivered by
+/// [`Client::next_update`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    /// The subscription this update belongs to (from
+    /// [`Client::subscribe`]).
+    pub id: u64,
+    /// The synopsis epoch the estimate was evaluated at.
+    pub epoch: u64,
+    /// The estimate, or why this query cannot currently be answered
+    /// (e.g. a wildcard expansion past the pattern cap).
+    pub result: Result<f64, String>,
+}
+
 /// A blocking `SKTP` client.
 pub struct Client {
     addr: SocketAddr,
@@ -77,6 +94,9 @@ pub struct Client {
     read_timeout: Duration,
     response_timeout: Duration,
     max_reconnects: u32,
+    /// Pushed updates that arrived interleaved with request replies,
+    /// buffered for [`Client::next_update`] in arrival order.
+    pending: VecDeque<Update>,
 }
 
 impl Client {
@@ -93,6 +113,7 @@ impl Client {
             read_timeout: Duration::from_millis(250),
             response_timeout: Duration::from_secs(30),
             max_reconnects: 5,
+            pending: VecDeque::new(),
         };
         client.ensure_connected()?;
         Ok(client)
@@ -208,6 +229,84 @@ impl Client {
         }
     }
 
+    /// Registers a standing query; the server pushes one update per
+    /// ingest batch or merge from then on.  Returns `(subscription id,
+    /// epoch at registration)` — the first pushed update carries an
+    /// epoch at or after the returned one.
+    ///
+    /// Subscriptions live on the *connection*: if this client reconnects
+    /// (any transport error does), they are gone and must be
+    /// re-established.  Not retried for that reason.
+    pub fn subscribe(
+        &mut self,
+        mode: SubscribeMode,
+        query: &str,
+    ) -> Result<(u64, u64), ClientError> {
+        let req = Request::Subscribe { mode, query: query.to_string() };
+        match self.request(&req, false)? {
+            Response::Subscribed { id, epoch } => Ok((id, epoch)),
+            other => Err(unexpected("subscription ack", other)),
+        }
+    }
+
+    /// Cancels a subscription made on this connection.
+    pub fn unsubscribe(&mut self, id: u64) -> Result<(), ClientError> {
+        match self.request(&Request::Unsubscribe { id }, false)? {
+            Response::Unsubscribed => Ok(()),
+            other => Err(unexpected("unsubscribe ack", other)),
+        }
+    }
+
+    /// Waits up to `timeout` for the next pushed [`Update`] — buffered
+    /// ones first, then the wire.  `Ok(None)` means the timeout passed
+    /// with no update (not an error: batches may simply be sparse).
+    ///
+    /// Never reconnects: a reconnect would silently hold zero
+    /// subscriptions, so a broken connection surfaces as the error it is
+    /// and the caller re-subscribes explicitly.
+    pub fn next_update(&mut self, timeout: Duration) -> Result<Option<Update>, ClientError> {
+        if let Some(u) = self.pending.pop_front() {
+            return Ok(Some(u));
+        }
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "connection lost; subscriptions must be re-established",
+            )));
+        };
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match read_frame(stream, self.max_frame) {
+                Ok(Frame::Msg { kind, payload }) => {
+                    match Response::decode(kind, &payload).map_err(ClientError::from)? {
+                        Response::EstimateUpdate { id, epoch, result } => {
+                            return Ok(Some(Update { id, epoch, result }))
+                        }
+                        // No request is in flight, so any other frame
+                        // here is the server misbehaving.
+                        _ => return Err(ClientError::Unexpected("estimate update")),
+                    }
+                }
+                Ok(Frame::Eof) => {
+                    self.stream = None;
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )));
+                }
+                Ok(Frame::Idle) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                }
+                Err(e) => {
+                    self.stream = None;
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+
     /// Asks the server to checkpoint and stop.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.request(&Request::Shutdown, false)? {
@@ -259,7 +358,17 @@ impl Client {
         let deadline = std::time::Instant::now() + self.response_timeout;
         loop {
             match read_frame(stream, self.max_frame)? {
-                Frame::Msg { kind, payload } => return Ok(Response::decode(kind, &payload)?),
+                Frame::Msg { kind, payload } => {
+                    // Pushed updates interleave freely with request
+                    // replies on a subscribed connection; buffer them for
+                    // next_update and keep waiting for the actual reply.
+                    match Response::decode(kind, &payload)? {
+                        Response::EstimateUpdate { id, epoch, result } => {
+                            self.pending.push_back(Update { id, epoch, result });
+                        }
+                        other => return Ok(other),
+                    }
+                }
                 Frame::Eof => {
                     return Err(ClientError::Io(io::Error::new(
                         io::ErrorKind::UnexpectedEof,

@@ -14,6 +14,12 @@
 //!   snapshot layer, and snapshot-on-shutdown / restore-on-start.
 //! - [`client`] — a blocking client with reconnect-on-error and capped
 //!   exponential backoff.
+//! - [`subs`] — standing-query subscription dispatch: a per-server table
+//!   bridging the transport-agnostic
+//!   [`sketchtree_standing::QueryRegistry`] to per-connection bounded
+//!   push queues, broadcast once per ingest batch from the synopsis'
+//!   batch hook (with slow-subscriber eviction so a stalled reader can
+//!   never wedge ingest).
 //! - [`metrics`] — server instrumentation: per-opcode latency histograms,
 //!   connection/byte counters, checkpoint timings, and scrape-time
 //!   sketch-health gauges.  Exposed over the SKTP `Metrics` opcode and,
@@ -34,8 +40,11 @@ pub mod client;
 mod http;
 pub mod metrics;
 pub mod server;
+pub mod subs;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, Update};
 pub use metrics::ServerMetrics;
 pub use server::{Server, ServerConfig};
+pub use subs::Subscriptions;
+pub use wire::SubscribeMode;

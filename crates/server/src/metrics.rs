@@ -60,6 +60,28 @@ pub struct ServerMetrics {
     pub merges: Arc<Counter>,
     /// Cumulative bytes of merged snapshots (`sktp_merge_bytes_total`).
     pub merge_bytes: Arc<Counter>,
+    /// Live standing-query subscriptions across all connections
+    /// (`sketchtree_subscriptions_active`).
+    pub subscriptions_active: Arc<Gauge>,
+    /// `EstimateUpdate` frames queued to subscribers
+    /// (`sktp_push_updates_total`).
+    pub push_updates: Arc<Counter>,
+    /// Subscriptions evicted because their outbound queue stayed full
+    /// (`sktp_slow_subscriber_evictions_total`).
+    pub slow_subscriber_evictions: Arc<Counter>,
+    /// Seconds per batch re-evaluating every registered standing query
+    /// (`sketchtree_standing_eval_seconds`); its `_count` equals the
+    /// number of batches broadcast, independent of subscriber count.
+    pub standing_eval_seconds: Arc<Histogram>,
+    /// Seconds per batch fanning evaluated results out to subscriber
+    /// queues (`sketchtree_push_seconds`).
+    pub push_seconds: Arc<Histogram>,
+    /// Ad-hoc query answers served from the epoch-keyed cache
+    /// (`sketchtree_query_cache_hits_total`).
+    pub cache_hits: Arc<Counter>,
+    /// Ad-hoc query answers that had to be computed
+    /// (`sketchtree_query_cache_misses_total`).
+    pub cache_misses: Arc<Counter>,
     /// Per-opcode request latency histograms, keyed by request kind byte
     /// (`sktp_request_seconds{opcode=…}`); the final entry is the
     /// `"other"` catch-all for unknown kinds.
@@ -155,6 +177,36 @@ impl ServerMetrics {
             merge_bytes: registry.counter(
                 "sktp_merge_bytes_total",
                 "Cumulative size in bytes of merged shard snapshots",
+            ),
+            subscriptions_active: registry.gauge(
+                "sketchtree_subscriptions_active",
+                "Live standing-query subscriptions across all connections",
+            ),
+            push_updates: registry.counter(
+                "sktp_push_updates_total",
+                "EstimateUpdate frames queued to subscribers",
+            ),
+            slow_subscriber_evictions: registry.counter(
+                "sktp_slow_subscriber_evictions_total",
+                "Subscriptions evicted because their outbound queue stayed full",
+            ),
+            standing_eval_seconds: registry.histogram(
+                "sketchtree_standing_eval_seconds",
+                "Seconds per batch re-evaluating every registered standing query",
+                LATENCY_BUCKETS,
+            ),
+            push_seconds: registry.histogram(
+                "sketchtree_push_seconds",
+                "Seconds per batch fanning evaluated results out to subscriber queues",
+                LATENCY_BUCKETS,
+            ),
+            cache_hits: registry.counter(
+                "sketchtree_query_cache_hits_total",
+                "Ad-hoc query answers served from the epoch-keyed result cache",
+            ),
+            cache_misses: registry.counter(
+                "sketchtree_query_cache_misses_total",
+                "Ad-hoc query answers that had to be computed (cache miss or stale epoch)",
             ),
             request_seconds,
             other_request_seconds,

@@ -25,21 +25,22 @@
 
 use crate::http::MetricsHttp;
 use crate::metrics::{ConnectionGuard, ServerMetrics};
+use crate::subs::Subscriptions;
 use crate::wire::{
-    read_frame, write_frame, Frame, Request, Response, Stats, WireError, DEFAULT_MAX_FRAME,
-    HEADER_LEN,
+    read_frame, write_frame, Frame, Request, Response, Stats, SubscribeMode, WireError,
+    DEFAULT_MAX_FRAME, HEADER_LEN,
 };
 use sketchtree_core::concurrent::SharedSketchTree;
-use sketchtree_core::exprparse;
 use sketchtree_core::sketchtree::{SketchTree, SketchTreeConfig};
 use sketchtree_core::snapshot::{read_snapshot, write_snapshot};
+use sketchtree_standing::{QueryCache, QueryMode, QuerySpec};
 use sketchtree_tree::{Label, LabelTable, NodeId, Tree, TreeBuilder};
 use sketchtree_xml::XmlTreeBuilder;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -79,6 +80,14 @@ pub struct ServerConfig {
     /// otherwise the machine's available parallelism.  The synopsis is
     /// bit-identical at every setting.
     pub ingest_threads: usize,
+    /// Outbound `EstimateUpdate` queue depth per subscribed connection.
+    /// A subscriber whose queue is full when a batch broadcasts is
+    /// evicted rather than waited for, so one stalled dashboard cannot
+    /// wedge ingest (see `docs/wire-protocol.md` on push delivery).
+    pub push_queue: usize,
+    /// Cap on live subscriptions per connection; `Subscribe` past the cap
+    /// answers an error frame.
+    pub max_subscriptions_per_conn: usize,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +102,8 @@ impl Default for ServerConfig {
             sketch: SketchTreeConfig::default(),
             metrics_addr: None,
             ingest_threads: 0,
+            push_queue: 64,
+            max_subscriptions_per_conn: 1024,
         }
     }
 }
@@ -107,6 +118,7 @@ pub struct Server {
     checkpoint: Arc<Checkpoint>,
     metrics: Arc<ServerMetrics>,
     metrics_http: Option<MetricsHttp>,
+    subs: Arc<Subscriptions>,
 }
 
 /// Checkpoint target shared by the workers, the periodic thread and the
@@ -162,6 +174,18 @@ impl Server {
             path: config.checkpoint_path.clone(),
             lock: Mutex::new(()),
         });
+        let subs = Arc::new(Subscriptions::new(
+            metrics.clone(),
+            config.max_subscriptions_per_conn,
+        ));
+        // Standing-query push: re-evaluate compiled plans and fan out
+        // EstimateUpdate frames once per ingest batch or merge, still
+        // under the read lock that observed it — so every pushed value
+        // belongs to exactly the epoch it reports.
+        {
+            let subs = subs.clone();
+            shared.add_batch_hook(Arc::new(move |st: &SketchTree| subs.broadcast(st)));
+        }
         let ctx = Arc::new(Ctx {
             shared: shared.clone(),
             shutdown: shutdown.clone(),
@@ -170,6 +194,10 @@ impl Server {
             idle_timeout: config.idle_timeout,
             checkpoint: checkpoint.clone(),
             metrics: metrics.clone(),
+            subs: subs.clone(),
+            cache: QueryCache::default(),
+            next_conn: AtomicU64::new(0),
+            push_queue: config.push_queue.max(1),
         });
         for _ in 0..workers {
             let rx = rx.clone();
@@ -224,6 +252,7 @@ impl Server {
             checkpoint,
             metrics,
             metrics_http,
+            subs,
         })
     }
 
@@ -246,6 +275,12 @@ impl Server {
     /// The server's metric set (same instance the workers update).
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
+    }
+
+    /// The standing-query subscription table (same instance the workers
+    /// and the batch hook use — for tests and in-process introspection).
+    pub fn subscriptions(&self) -> &Subscriptions {
+        &self.subs
     }
 
     /// The bound address of the HTTP metrics endpoint, when enabled
@@ -303,6 +338,13 @@ struct Ctx {
     idle_timeout: Duration,
     checkpoint: Arc<Checkpoint>,
     metrics: Arc<ServerMetrics>,
+    subs: Arc<Subscriptions>,
+    /// Epoch-keyed memo for ad-hoc `Count`/`Expr` requests: repeated
+    /// dashboard queries between batches are one hash lookup.
+    cache: QueryCache,
+    /// Connection id allocator — subscription ownership is keyed on it.
+    next_conn: AtomicU64,
+    push_queue: usize,
 }
 
 fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx) {
@@ -317,19 +359,71 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx) {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
+/// The lazily-started push side of one connection: a bounded queue whose
+/// receiver is drained by a dedicated thread writing `EstimateUpdate`
+/// frames through the connection's shared writer.
+struct Pusher {
+    tx: SyncSender<Response>,
+    thread: JoinHandle<()>,
+}
+
+impl Pusher {
+    /// Spawns the drain thread.  It exits when every sender is gone —
+    /// the connection handler's handle plus the subscription table's
+    /// clones, all dropped during teardown — or when a write fails
+    /// (peer gone or write timeout), after which broadcasts see a
+    /// disconnected queue and evict the subscriptions.
+    fn spawn(writer: Arc<Mutex<TcpStream>>, ctx: &Ctx) -> Pusher {
+        let (tx, rx) = sync_channel::<Response>(ctx.push_queue);
+        let metrics = ctx.metrics.clone();
+        let thread = std::thread::spawn(move || {
+            while let Ok(update) = rx.recv() {
+                let payload = update.encode();
+                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                if write_frame(&mut *w, update.kind(), &payload).is_err() {
+                    return;
+                }
+                metrics.frames_out.inc();
+                metrics.bytes_out.add((HEADER_LEN + payload.len()) as u64);
+            }
+        });
+        Pusher { tx, thread }
+    }
+}
+
+fn serve_connection(stream: TcpStream, ctx: &Ctx) {
     let _guard = ConnectionGuard::open(&ctx.metrics);
+    let conn = ctx.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
+    // Reads stay on the original stream; all writes (responses and
+    // pushed updates alike) go through a cloned handle behind a mutex so
+    // the response path and the pusher thread can never interleave
+    // bytes of two frames.  The write timeout bounds how long a wedged
+    // peer can hold that mutex.
+    let writer = match stream.try_clone() {
+        Ok(w) => {
+            let _ = w.set_write_timeout(Some(ctx.idle_timeout));
+            Arc::new(Mutex::new(w))
+        }
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    let mut push: Option<Pusher> = None;
     let mut last_activity = Instant::now();
     loop {
         if ctx.shutdown.load(Ordering::SeqCst) {
-            return;
+            break;
         }
-        match read_frame(&mut stream, ctx.max_frame) {
-            Ok(Frame::Eof) => return,
+        match read_frame(&mut reader, ctx.max_frame) {
+            Ok(Frame::Eof) => break,
             Ok(Frame::Idle) => {
-                if last_activity.elapsed() >= ctx.idle_timeout {
+                // A subscribed connection is *expected* to go quiet —
+                // it reads pushes instead of sending requests — so the
+                // idle close only applies while nothing is subscribed.
+                if last_activity.elapsed() >= ctx.idle_timeout
+                    && !ctx.subs.connection_active(conn)
+                {
                     ctx.metrics.idle_closes.inc();
-                    return; // free the worker for a queued connection
+                    break; // free the worker for a queued connection
                 }
                 continue;
             }
@@ -342,6 +436,19 @@ fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
                 // malformed, so payload errors answer and keep the
                 // connection; only header-level failures desynchronize.
                 let resp = match Request::decode(kind, &payload) {
+                    // Subscription frames need the connection's identity
+                    // and push queue, so they resolve here rather than in
+                    // the stateless handle_request.
+                    Ok(Request::Subscribe { mode, query }) => {
+                        handle_subscribe(ctx, conn, mode, &query, &writer, &mut push)
+                    }
+                    Ok(Request::Unsubscribe { id }) => {
+                        if ctx.subs.unsubscribe(conn, id) {
+                            Response::Unsubscribed
+                        } else {
+                            Response::Error(format!("unknown subscription id {id}"))
+                        }
+                    }
                     Ok(req) => handle_request(req, ctx),
                     Err(e) => Response::Error(format!("bad request: {e}")),
                 };
@@ -349,10 +456,10 @@ fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
                     ctx.metrics.error_responses.inc();
                 }
                 let done = matches!(resp, Response::ShuttingDown);
-                let sent = write_response(&mut stream, &resp, ctx);
+                let sent = write_response(&writer, &resp, ctx);
                 ctx.metrics.observe_request(kind, started.elapsed());
                 if !sent || done {
-                    return;
+                    break;
                 }
             }
             Err(e) => {
@@ -362,20 +469,65 @@ fn serve_connection(mut stream: TcpStream, ctx: &Ctx) {
                 };
                 if let Some(msg) = msg {
                     ctx.metrics.error_responses.inc();
-                    write_response(&mut stream, &Response::Error(msg), ctx);
+                    write_response(&writer, &Response::Error(msg), ctx);
                 }
-                return;
+                break;
             }
         }
     }
+    // Teardown, on every exit path: reap this connection's subscriptions
+    // (dropping the table's sender clones), then drop our own sender so
+    // the pusher's receive loop ends, then join it.  The join is bounded
+    // because pusher writes carry a write timeout.
+    ctx.subs.drop_connection(conn);
+    if let Some(p) = push.take() {
+        drop(p.tx);
+        let _ = p.thread.join();
+    }
 }
 
-/// Writes one response frame, counting the frame and its bytes (header
-/// included) on success.  Returns `false` when the write failed and the
-/// connection should close.
-fn write_response(stream: &mut TcpStream, resp: &Response, ctx: &Ctx) -> bool {
+/// Resolves a `Subscribe` frame: validate the query, make sure this
+/// connection has a pusher, register the subscription, and answer with
+/// the id and the epoch the first update will supersede.
+fn handle_subscribe(
+    ctx: &Ctx,
+    conn: u64,
+    mode: SubscribeMode,
+    query: &str,
+    writer: &Arc<Mutex<TcpStream>>,
+    push: &mut Option<Pusher>,
+) -> Response {
+    let mode = match mode {
+        SubscribeMode::Ordered => QueryMode::Ordered,
+        SubscribeMode::Unordered => QueryMode::Unordered,
+        SubscribeMode::Expr => QueryMode::Expr,
+    };
+    let spec = match QuerySpec::parse(mode, query) {
+        Ok(spec) => spec,
+        Err(e) => return Response::Error(format!("subscribe: {e}")),
+    };
+    let tx = match push {
+        Some(p) => p.tx.clone(),
+        None => {
+            let p = Pusher::spawn(writer.clone(), ctx);
+            let tx = p.tx.clone();
+            *push = Some(p);
+            tx
+        }
+    };
+    match ctx.subs.subscribe(conn, spec, tx) {
+        Ok(id) => Response::Subscribed { id, epoch: ctx.shared.epoch() },
+        Err(e) => Response::Error(format!("subscribe: {e}")),
+    }
+}
+
+/// Writes one response frame through the connection's shared writer,
+/// counting the frame and its bytes (header included) on success.
+/// Returns `false` when the write failed and the connection should close.
+fn write_response(writer: &Mutex<TcpStream>, resp: &Response, ctx: &Ctx) -> bool {
     let payload = resp.encode();
-    if write_frame(stream, resp.kind(), &payload).is_err() {
+    let mut stream = writer.lock().unwrap_or_else(|e| e.into_inner());
+    if write_frame(&mut *stream, resp.kind(), &payload).is_err() {
         return false;
     }
     ctx.metrics.frames_out.inc();
@@ -401,18 +553,27 @@ fn handle_request(req: Request, ctx: &Ctx) -> Response {
             ingest_remapped(ctx, &map, &trees)
         }
         Request::Count { unordered, pattern } => {
-            let r = if unordered {
-                ctx.shared.count_unordered(&pattern)
-            } else {
-                ctx.shared.count_ordered(&pattern)
+            let mode = if unordered { QueryMode::Unordered } else { QueryMode::Ordered };
+            let result = match QuerySpec::parse(mode, &pattern) {
+                Ok(spec) => cached_estimate(ctx, &spec),
+                // Unparseable patterns still go through the synopsis so
+                // the core query/error counters see them; the core parser
+                // produces the same `query parse error: …` text.
+                Err(_) => ctx.shared.read(|st| {
+                    if unordered {
+                        st.count_unordered(&pattern).map_err(|e| e.to_string())
+                    } else {
+                        st.count_ordered(&pattern).map_err(|e| e.to_string())
+                    }
+                }),
             };
-            match r {
+            match result {
                 Ok(v) => Response::Estimate(v),
                 Err(e) => Response::Error(format!("{pattern}: {e}")),
             }
         }
-        Request::Expr(text) => match exprparse::parse_expr(&text) {
-            Ok(expr) => match ctx.shared.estimate(&expr) {
+        Request::Expr(text) => match QuerySpec::parse(QueryMode::Expr, &text) {
+            Ok(spec) => match cached_estimate(ctx, &spec) {
                 Ok(v) => Response::Estimate(v),
                 Err(e) => Response::Error(format!("estimate: {e}")),
             },
@@ -469,7 +630,42 @@ fn handle_request(req: Request, ctx: &Ctx) -> Response {
             let _ = TcpStream::connect(ctx.addr);
             Response::ShuttingDown
         }
+        // Subscription frames carry connection identity and are resolved
+        // in the connection loop before this dispatcher is reached.
+        Request::Subscribe { .. } | Request::Unsubscribe { .. } => {
+            Response::Error("subscription frames are handled per connection".into())
+        }
     }
+}
+
+/// Answers an ad-hoc `Count`/`Expr` through the epoch-keyed cache.  The
+/// epoch read, the lookup, the computation and the insert all happen
+/// inside one shared-read scope, so a concurrent ingest cannot slip a
+/// stale value in under a newer epoch.  Only successes are cached —
+/// errors are cheap to rediscover and may heal as the stream evolves.
+fn cached_estimate(ctx: &Ctx, spec: &QuerySpec) -> Result<f64, String> {
+    let key = spec.key();
+    ctx.shared.read(|st| {
+        let epoch = st.epoch();
+        if let Some(v) = ctx.cache.lookup(&key, epoch) {
+            ctx.metrics.cache_hits.inc();
+            return Ok(v);
+        }
+        ctx.metrics.cache_misses.inc();
+        let computed = match spec.mode() {
+            QueryMode::Ordered => st.count_ordered(spec.text()).map_err(|e| e.to_string()),
+            QueryMode::Unordered => st.count_unordered(spec.text()).map_err(|e| e.to_string()),
+            QueryMode::Expr => {
+                // lint:allow(L1, reason = "QuerySpec::parse always stores the parsed expression for Expr specs")
+                let expr = spec.expr().expect("expr specs carry their parse");
+                st.estimate(expr).map_err(|e| e.to_string())
+            }
+        };
+        if let Ok(v) = computed {
+            ctx.cache.insert(key.clone(), epoch, v);
+        }
+        computed
+    })
 }
 
 /// Parses a document batch against a *local* label table — no lock held.

@@ -1,0 +1,316 @@
+//! Subscription dispatch: the bridge between the transport-agnostic
+//! [`QueryRegistry`] and per-connection push queues.
+//!
+//! One [`Subscriptions`] instance lives for the server's lifetime.  Each
+//! `Subscribe` frame registers its query (refcounted — duplicate
+//! subscriptions to one canonical query share a single compiled plan) and
+//! files a subscription entry holding a clone of that connection's
+//! bounded push sender.  The [`SharedSketchTree`] batch hook calls
+//! [`Subscriptions::broadcast`] once per ingest batch or merge, still
+//! under the shared read lock, so every pushed estimate is evaluated at
+//! exactly the epoch it reports.
+//!
+//! Delivery is **at-most-once per epoch** and deliberately lossy for slow
+//! readers: updates are queued with a non-blocking `try_send`, and a
+//! subscriber whose queue is full (or whose pusher thread died) is
+//! *evicted* — its entry removed, its registration released — rather than
+//! allowed to wedge the broadcast and, transitively, every ingest.  A
+//! healthy subscriber that merely lags keeps its queue below the bound
+//! because each update frame is small and the pusher drains continuously.
+//!
+//! Lock order is `SharedSketchTree` inner → registry mutex → table mutex,
+//! always in that direction; no callback ever re-enters the shared handle,
+//! so the hook cannot deadlock against ingest.
+//!
+//! [`QueryRegistry`]: sketchtree_standing::QueryRegistry
+//! [`SharedSketchTree`]: sketchtree_core::concurrent::SharedSketchTree
+
+use crate::metrics::ServerMetrics;
+use crate::wire::Response;
+use sketchtree_core::sketchtree::SketchTree;
+use sketchtree_standing::{QueryRegistry, QuerySpec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// One live subscription: which connection owns it, which canonical query
+/// it watches, and the bounded sender feeding that connection's pusher.
+struct SubEntry {
+    conn: u64,
+    key: String,
+    reg: u64,
+    tx: SyncSender<Response>,
+}
+
+/// The server-wide subscription table plus the standing-query registry it
+/// feeds.  See the module docs for the delivery and eviction contract.
+pub struct Subscriptions {
+    registry: QueryRegistry,
+    table: Mutex<HashMap<u64, SubEntry>>,
+    next_sub: AtomicU64,
+    max_per_conn: usize,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl Subscriptions {
+    /// Creates an empty table capping each connection at `max_per_conn`
+    /// live subscriptions.
+    pub fn new(metrics: Arc<ServerMetrics>, max_per_conn: usize) -> Self {
+        Self {
+            registry: QueryRegistry::new(),
+            table: Mutex::new(HashMap::new()),
+            next_sub: AtomicU64::new(0),
+            max_per_conn: max_per_conn.max(1),
+            metrics,
+        }
+    }
+
+    /// Registers `spec` for connection `conn`, wiring pushed updates
+    /// through `tx`.  Returns the subscription id the client quotes in
+    /// `Unsubscribe`, or an error when the connection is at its cap.
+    pub fn subscribe(
+        &self,
+        conn: u64,
+        spec: QuerySpec,
+        tx: SyncSender<Response>,
+    ) -> Result<u64, String> {
+        let key = spec.key();
+        let mut table = self.lock_table();
+        if table.values().filter(|e| e.conn == conn).count() >= self.max_per_conn {
+            return Err(format!(
+                "connection already holds {} subscriptions (the per-connection cap)",
+                self.max_per_conn
+            ));
+        }
+        let reg = self.registry.register(spec);
+        let id = self.next_sub.fetch_add(1, Ordering::Relaxed) + 1;
+        table.insert(id, SubEntry { conn, key, reg, tx });
+        self.metrics.subscriptions_active.inc();
+        Ok(id)
+    }
+
+    /// Drops subscription `id` if connection `conn` owns it.  Returns
+    /// `false` for unknown ids or ids owned by another connection (a
+    /// client cannot cancel someone else's subscription).
+    pub fn unsubscribe(&self, conn: u64, id: u64) -> bool {
+        let mut table = self.lock_table();
+        if !matches!(table.get(&id), Some(entry) if entry.conn == conn) {
+            return false;
+        }
+        if let Some(entry) = table.remove(&id) {
+            self.registry.unregister(entry.reg);
+            self.metrics.subscriptions_active.dec();
+        }
+        true
+    }
+
+    /// Reaps every subscription owned by connection `conn` — called when
+    /// its handler exits by any path, so a disconnect can never leak a
+    /// table entry or a registry refcount.
+    pub fn drop_connection(&self, conn: u64) {
+        let mut table = self.lock_table();
+        let doomed: Vec<u64> = table
+            .iter()
+            .filter(|(_, e)| e.conn == conn)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in doomed {
+            if let Some(entry) = table.remove(&id) {
+                self.registry.unregister(entry.reg);
+                self.metrics.subscriptions_active.dec();
+            }
+        }
+    }
+
+    /// Re-evaluates every registered query against `st` and queues one
+    /// [`Response::EstimateUpdate`] per live subscription.  Called from
+    /// the batch hook, under the shared read lock.
+    ///
+    /// Evaluation cost is one pass over *distinct* registered queries —
+    /// timed by `sketchtree_standing_eval_seconds`, whose sample count
+    /// therefore equals the number of broadcast batches regardless of how
+    /// many subscribers read the results.  Fan-out is non-blocking: a
+    /// full or dead queue evicts that subscriber on the spot.
+    pub fn broadcast(&self, st: &SketchTree) {
+        if self.registry.registrations() == 0 {
+            return;
+        }
+        let eval_started = Instant::now();
+        let results: HashMap<_, _> = self.registry.evaluate_all(st).into_iter().collect();
+        self.metrics.standing_eval_seconds.observe_duration(eval_started.elapsed());
+
+        let epoch = st.epoch();
+        let push_started = Instant::now();
+        let mut table = self.lock_table();
+        let mut evicted: Vec<u64> = Vec::new();
+        for (&id, entry) in table.iter() {
+            let result = match results.get(&entry.key) {
+                Some(r) => r.clone(),
+                // A subscription filed after evaluate_all snapshotted the
+                // registry; it catches the next batch.
+                None => continue,
+            };
+            let update = Response::EstimateUpdate { id, epoch, result };
+            match entry.tx.try_send(update) {
+                Ok(()) => self.metrics.push_updates.inc(),
+                Err(_) => evicted.push(id), // full or disconnected
+            }
+        }
+        for id in evicted {
+            if let Some(entry) = table.remove(&id) {
+                self.registry.unregister(entry.reg);
+                self.metrics.subscriptions_active.dec();
+                self.metrics.slow_subscriber_evictions.inc();
+            }
+        }
+        self.metrics.push_seconds.observe_duration(push_started.elapsed());
+    }
+
+    /// Live subscription count (table entries).
+    pub fn active(&self) -> usize {
+        self.lock_table().len()
+    }
+
+    /// Whether connection `conn` currently holds any subscription (a
+    /// subscribed connection is exempt from the idle-close policy — it
+    /// legitimately goes quiet and just reads pushes).
+    pub fn connection_active(&self, conn: u64) -> bool {
+        self.lock_table().values().any(|e| e.conn == conn)
+    }
+
+    /// Distinct compiled plans resident in the registry.
+    pub fn distinct_queries(&self) -> usize {
+        self.registry.distinct_queries()
+    }
+
+    /// Total compiled-plan compilations performed since start — constant
+    /// across batches once the stream's structure goes quiet.
+    pub fn compilations(&self) -> u64 {
+        self.registry.compilations()
+    }
+
+    fn lock_table(&self) -> MutexGuard<'_, HashMap<u64, SubEntry>> {
+        self.table.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchtree_core::sketchtree::{SketchTreeConfig, SketchTree};
+    use sketchtree_standing::QueryMode;
+    use std::sync::mpsc::sync_channel;
+
+    fn subs() -> Subscriptions {
+        Subscriptions::new(ServerMetrics::new(), 8)
+    }
+
+    fn spec(text: &str) -> QuerySpec {
+        QuerySpec::parse(QueryMode::Ordered, text).unwrap()
+    }
+
+    fn synopsis() -> SketchTree {
+        let mut st = SketchTree::new(SketchTreeConfig::default());
+        let a = st.labels_mut().intern("A");
+        let b = st.labels_mut().intern("B");
+        st.ingest(&sketchtree_tree::Tree::node(a, vec![sketchtree_tree::Tree::leaf(b)]));
+        st
+    }
+
+    #[test]
+    fn slow_subscriber_is_evicted_not_waited_for() {
+        // Deterministic stand-in for a wedged reader: a capacity-1 queue
+        // that nothing drains.  The first broadcast fills it; the second
+        // finds it full and must evict instead of blocking the batch.
+        let s = subs();
+        let (tx, _rx) = sync_channel::<Response>(1);
+        let id = s.subscribe(1, spec("A(B)"), tx).unwrap();
+        let st = synopsis();
+        s.broadcast(&st);
+        assert_eq!(s.active(), 1, "first update fits the queue");
+        s.broadcast(&st);
+        assert_eq!(s.active(), 0, "full queue ⇒ evicted");
+        assert_eq!(s.distinct_queries(), 0, "eviction releases the plan");
+        assert_eq!(s.metrics.slow_subscriber_evictions.get(), 1);
+        assert_eq!(s.metrics.subscriptions_active.get(), 0.0);
+        assert!(!s.unsubscribe(1, id), "already gone");
+    }
+
+    #[test]
+    fn dead_receiver_is_evicted_on_next_broadcast() {
+        let s = subs();
+        let (tx, rx) = sync_channel::<Response>(16);
+        s.subscribe(1, spec("A(B)"), tx).unwrap();
+        drop(rx); // pusher died / connection torn down out from under us
+        s.broadcast(&synopsis());
+        assert_eq!(s.active(), 0);
+        assert_eq!(s.metrics.slow_subscriber_evictions.get(), 1);
+    }
+
+    #[test]
+    fn duplicate_subscriptions_share_one_plan_and_refcount_it() {
+        let s = subs();
+        let (tx, rx) = sync_channel::<Response>(16);
+        let id1 = s.subscribe(1, spec("A(B)"), tx.clone()).unwrap();
+        let id2 = s.subscribe(2, spec("A(B)"), tx).unwrap();
+        assert_ne!(id1, id2);
+        assert_eq!(s.active(), 2);
+        assert_eq!(s.distinct_queries(), 1, "one compiled plan for both");
+
+        let st = synopsis();
+        s.broadcast(&st);
+        let (a, b) = (rx.recv().unwrap(), rx.recv().unwrap());
+        // Both subscriptions get the shared evaluation, to the bit.
+        match (a, b) {
+            (
+                Response::EstimateUpdate { epoch: e1, result: Ok(v1), .. },
+                Response::EstimateUpdate { epoch: e2, result: Ok(v2), .. },
+            ) => {
+                assert_eq!(e1, e2);
+                assert_eq!(v1.to_bits(), v2.to_bits());
+            }
+            other => panic!("expected two updates, got {other:?}"),
+        }
+
+        assert!(s.unsubscribe(1, id1));
+        assert_eq!(s.distinct_queries(), 1, "still referenced by the other");
+        assert!(s.unsubscribe(2, id2));
+        assert_eq!(s.distinct_queries(), 0);
+    }
+
+    #[test]
+    fn unsubscribe_requires_the_owning_connection() {
+        let s = subs();
+        let (tx, _rx) = sync_channel::<Response>(16);
+        let id = s.subscribe(7, spec("A(B)"), tx).unwrap();
+        assert!(!s.unsubscribe(8, id), "someone else's subscription");
+        assert!(s.unsubscribe(7, id));
+    }
+
+    #[test]
+    fn drop_connection_reaps_only_that_connection() {
+        let s = subs();
+        let (tx, _rx) = sync_channel::<Response>(16);
+        s.subscribe(1, spec("A(B)"), tx.clone()).unwrap();
+        s.subscribe(1, spec("A(A)"), tx.clone()).unwrap();
+        let keep = s.subscribe(2, spec("A(B)"), tx).unwrap();
+        s.drop_connection(1);
+        assert_eq!(s.active(), 1);
+        assert_eq!(s.metrics.subscriptions_active.get(), 1.0);
+        assert!(s.unsubscribe(2, keep));
+    }
+
+    #[test]
+    fn per_connection_cap_is_enforced() {
+        let s = Subscriptions::new(ServerMetrics::new(), 2);
+        let (tx, _rx) = sync_channel::<Response>(16);
+        s.subscribe(1, spec("A(B)"), tx.clone()).unwrap();
+        s.subscribe(1, spec("A(A)"), tx.clone()).unwrap();
+        let err = s.subscribe(1, spec("B(A)"), tx.clone()).unwrap_err();
+        assert!(err.contains("cap"), "{err}");
+        // Another connection is unaffected.
+        s.subscribe(2, spec("B(A)"), tx).unwrap();
+    }
+}

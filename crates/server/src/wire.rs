@@ -54,6 +54,8 @@ const K_SNAPSHOT: u8 = 0x08;
 const K_SHUTDOWN: u8 = 0x09;
 const K_METRICS: u8 = 0x0A;
 const K_MERGE_SNAPSHOT: u8 = 0x0B;
+const K_SUBSCRIBE: u8 = 0x0C;
+const K_UNSUBSCRIBE: u8 = 0x0D;
 
 // Response kinds.
 const K_PONG: u8 = 0x81;
@@ -65,6 +67,12 @@ const K_SNAPSHOT_DONE: u8 = 0x86;
 const K_SHUTTING_DOWN: u8 = 0x87;
 const K_METRICS_REPLY: u8 = 0x88;
 const K_MERGE_DONE: u8 = 0x89;
+const K_SUBSCRIBED: u8 = 0x8A;
+const K_UNSUBSCRIBED: u8 = 0x8B;
+/// The one server-initiated frame kind: pushed to subscribers after each
+/// ingest batch or merge, never in reply to a request.  Clients must
+/// tolerate it arriving interleaved with direct responses.
+const K_ESTIMATE_UPDATE: u8 = 0x8C;
 const K_ERROR: u8 = 0xFF;
 
 /// Human-readable name of a frame kind byte, for per-opcode metric labels
@@ -82,6 +90,8 @@ pub fn kind_name(kind: u8) -> &'static str {
         K_SHUTDOWN => "shutdown",
         K_METRICS => "metrics",
         K_MERGE_SNAPSHOT => "merge_snapshot",
+        K_SUBSCRIBE => "subscribe",
+        K_UNSUBSCRIBE => "unsubscribe",
         K_PONG => "pong",
         K_INGESTED => "ingested",
         K_ESTIMATE => "estimate",
@@ -91,6 +101,9 @@ pub fn kind_name(kind: u8) -> &'static str {
         K_SHUTTING_DOWN => "shutting_down",
         K_METRICS_REPLY => "metrics_reply",
         K_MERGE_DONE => "merge_done",
+        K_SUBSCRIBED => "subscribed",
+        K_UNSUBSCRIBED => "unsubscribed",
+        K_ESTIMATE_UPDATE => "estimate_update",
         K_ERROR => "error",
         _ => "other",
     }
@@ -110,6 +123,8 @@ pub const REQUEST_KINDS: &[u8] = &[
     K_SHUTDOWN,
     K_METRICS,
     K_MERGE_SNAPSHOT,
+    K_SUBSCRIBE,
+    K_UNSUBSCRIBE,
 ];
 
 // Decode-time allocation guards (counts, not bytes; byte totals are
@@ -318,6 +333,51 @@ pub enum Request {
     /// connection's `max_frame` like every other frame (32 MiB default) —
     /// larger shards must be merged offline (`sketchtree merge`).
     MergeSnapshot(Vec<u8>),
+    /// Register a standing query on this connection.  The server replies
+    /// [`Response::Subscribed`] and thereafter pushes one
+    /// [`Response::EstimateUpdate`] per ingest batch / merge until the
+    /// subscription is dropped (unsubscribe, disconnect, or eviction).
+    Subscribe {
+        /// How `query` is interpreted.
+        mode: SubscribeMode,
+        /// Pattern or expression text.
+        query: String,
+    },
+    /// Drop a standing query previously registered on this connection.
+    Unsubscribe {
+        /// The id from [`Response::Subscribed`].
+        id: u64,
+    },
+}
+
+/// How a [`Request::Subscribe`] query string is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubscribeMode {
+    /// `COUNT_ord(Q)` of one pattern.
+    Ordered,
+    /// Unordered `COUNT(Q)` of one pattern.
+    Unordered,
+    /// A `+ − ×` expression over counts.
+    Expr,
+}
+
+impl SubscribeMode {
+    fn to_wire(self) -> u8 {
+        match self {
+            SubscribeMode::Ordered => 0,
+            SubscribeMode::Unordered => 1,
+            SubscribeMode::Expr => 2,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(SubscribeMode::Ordered),
+            1 => Ok(SubscribeMode::Unordered),
+            2 => Ok(SubscribeMode::Expr),
+            _ => Err(WireError::Corrupt("subscribe mode")),
+        }
+    }
 }
 
 /// Synopsis statistics as reported over the wire.
@@ -382,6 +442,28 @@ pub enum Response {
         /// Server-wide pattern total after the merge.
         total_patterns: u64,
     },
+    /// A standing query was registered.
+    Subscribed {
+        /// Subscription id (scope: this connection's server session).
+        id: u64,
+        /// The synopsis epoch at registration; the first pushed update
+        /// will carry a strictly larger epoch.
+        epoch: u64,
+    },
+    /// A standing query was dropped.
+    Unsubscribed,
+    /// A pushed estimate for one subscription at one epoch — the only
+    /// server-initiated frame.  `result` is `Err` when the query cannot
+    /// currently be answered (e.g. a wildcard expansion overflowed after
+    /// new labels arrived); the subscription stays live either way.
+    EstimateUpdate {
+        /// Subscription id.
+        id: u64,
+        /// The synopsis epoch this estimate belongs to.
+        epoch: u64,
+        /// The estimate, or why there is none at this epoch.
+        result: Result<f64, String>,
+    },
     /// The request failed; human-readable reason.
     Error(String),
 }
@@ -401,6 +483,8 @@ impl Request {
             Request::Shutdown => K_SHUTDOWN,
             Request::Metrics { .. } => K_METRICS,
             Request::MergeSnapshot(_) => K_MERGE_SNAPSHOT,
+            Request::Subscribe { .. } => K_SUBSCRIBE,
+            Request::Unsubscribe { .. } => K_UNSUBSCRIBE,
         }
     }
 
@@ -436,6 +520,11 @@ impl Request {
                 w.len(bytes.len());
                 w.0.extend_from_slice(bytes);
             }
+            Request::Subscribe { mode, query } => {
+                w.u8(mode.to_wire());
+                w.str(query);
+            }
+            Request::Unsubscribe { id } => w.u64(*id),
         }
         w.0
     }
@@ -494,6 +583,11 @@ impl Request {
                 let len = widen(r.u32()?);
                 Request::MergeSnapshot(r.take(len)?.to_vec())
             }
+            K_SUBSCRIBE => Request::Subscribe {
+                mode: SubscribeMode::from_wire(r.u8()?)?,
+                query: r.str()?,
+            },
+            K_UNSUBSCRIBE => Request::Unsubscribe { id: r.u64()? },
             other => return Err(WireError::UnknownKind(other)),
         };
         r.finish()?;
@@ -519,6 +613,9 @@ impl Response {
             Response::ShuttingDown => K_SHUTTING_DOWN,
             Response::Metrics(_) => K_METRICS_REPLY,
             Response::MergeDone { .. } => K_MERGE_DONE,
+            Response::Subscribed { .. } => K_SUBSCRIBED,
+            Response::Unsubscribed => K_UNSUBSCRIBED,
+            Response::EstimateUpdate { .. } => K_ESTIMATE_UPDATE,
             Response::Error(_) => K_ERROR,
         }
     }
@@ -558,6 +655,25 @@ impl Response {
             Response::MergeDone { total_trees, total_patterns } => {
                 w.u64(*total_trees);
                 w.u64(*total_patterns);
+            }
+            Response::Subscribed { id, epoch } => {
+                w.u64(*id);
+                w.u64(*epoch);
+            }
+            Response::Unsubscribed => {}
+            Response::EstimateUpdate { id, epoch, result } => {
+                w.u64(*id);
+                w.u64(*epoch);
+                match result {
+                    Ok(v) => {
+                        w.u8(1);
+                        w.u64(v.to_bits());
+                    }
+                    Err(msg) => {
+                        w.u8(0);
+                        w.str(msg);
+                    }
+                }
             }
             Response::Error(msg) => w.str(msg),
         }
@@ -603,6 +719,18 @@ impl Response {
                 total_trees: r.u64()?,
                 total_patterns: r.u64()?,
             },
+            K_SUBSCRIBED => Response::Subscribed { id: r.u64()?, epoch: r.u64()? },
+            K_UNSUBSCRIBED => Response::Unsubscribed,
+            K_ESTIMATE_UPDATE => {
+                let id = r.u64()?;
+                let epoch = r.u64()?;
+                let result = match r.u8()? {
+                    1 => Ok(f64::from_bits(r.u64()?)),
+                    0 => Err(r.str()?),
+                    _ => return Err(WireError::Corrupt("estimate-update flag")),
+                };
+                Response::EstimateUpdate { id, epoch, result }
+            }
             K_ERROR => Response::Error(r.str()?),
             other => return Err(WireError::UnknownKind(other)),
         };
@@ -776,6 +904,42 @@ mod tests {
         roundtrip_req(Request::Metrics { json: true });
         roundtrip_req(Request::MergeSnapshot(vec![0x53, 0x4B, 0x54, 0x52, 0, 1, 2, 3]));
         roundtrip_req(Request::MergeSnapshot(Vec::new()));
+        roundtrip_req(Request::Subscribe {
+            mode: SubscribeMode::Ordered,
+            query: "article(author)".into(),
+        });
+        roundtrip_req(Request::Subscribe {
+            mode: SubscribeMode::Unordered,
+            query: "A(B,C)".into(),
+        });
+        roundtrip_req(Request::Subscribe {
+            mode: SubscribeMode::Expr,
+            query: "COUNT_ord(A(B)) - COUNT(C)".into(),
+        });
+        roundtrip_req(Request::Unsubscribe { id: u64::MAX });
+    }
+
+    #[test]
+    fn subscribe_mode_is_strict() {
+        let mut w = Writer(Vec::new());
+        w.u8(3);
+        w.str("A(B)");
+        assert!(matches!(
+            Request::decode(K_SUBSCRIBE, &w.0),
+            Err(WireError::Corrupt("subscribe mode"))
+        ));
+    }
+
+    #[test]
+    fn estimate_update_flag_is_strict() {
+        let mut w = Writer(Vec::new());
+        w.u64(1);
+        w.u64(2);
+        w.u8(9);
+        assert!(matches!(
+            Response::decode(K_ESTIMATE_UPDATE, &w.0),
+            Err(WireError::Corrupt("estimate-update flag"))
+        ));
     }
 
     #[test]
@@ -811,9 +975,10 @@ mod tests {
     fn kind_names_cover_every_assigned_kind() {
         for k in [
             K_PING, K_INGEST_XML, K_INGEST_TREES, K_COUNT, K_EXPR, K_STATS, K_HEAVY, K_SNAPSHOT,
-            K_SHUTDOWN, K_METRICS, K_MERGE_SNAPSHOT, K_PONG, K_INGESTED, K_ESTIMATE,
-            K_STATS_REPLY, K_HEAVY_REPLY, K_SNAPSHOT_DONE, K_SHUTTING_DOWN, K_METRICS_REPLY,
-            K_MERGE_DONE, K_ERROR,
+            K_SHUTDOWN, K_METRICS, K_MERGE_SNAPSHOT, K_SUBSCRIBE, K_UNSUBSCRIBE, K_PONG,
+            K_INGESTED, K_ESTIMATE, K_STATS_REPLY, K_HEAVY_REPLY, K_SNAPSHOT_DONE,
+            K_SHUTTING_DOWN, K_METRICS_REPLY, K_MERGE_DONE, K_SUBSCRIBED, K_UNSUBSCRIBED,
+            K_ESTIMATE_UPDATE, K_ERROR,
         ] {
             assert_ne!(kind_name(k), "other", "kind 0x{k:02x} unnamed");
         }
@@ -848,6 +1013,15 @@ mod tests {
             Response::ShuttingDown,
             Response::Metrics("# HELP x y\nx 1\n".into()),
             Response::MergeDone { total_trees: 42, total_patterns: 777 },
+            Response::Subscribed { id: 7, epoch: 99 },
+            Response::Unsubscribed,
+            Response::EstimateUpdate { id: 7, epoch: 100, result: Ok(123.456) },
+            Response::EstimateUpdate { id: 8, epoch: 100, result: Ok(-0.0) },
+            Response::EstimateUpdate {
+                id: 9,
+                epoch: 101,
+                result: Err("query expands to more than 4096 concrete patterns".into()),
+            },
             Response::Error("nope".into()),
         ] {
             let mut buf = Vec::new();

@@ -44,6 +44,14 @@ echo "==> synopsis merge parity (shard-split vs sequential ingest)"
 cargo test --quiet -p sketchtree-core --test core_props merge_parity_property
 cargo test --quiet -p sketchtree-core --lib merge_is_exact_across_different_interning_orders
 
+echo "==> standing-query parity (pushed == ad-hoc, bit-for-bit)"
+# A pushed EstimateUpdate must be bit-identical to an ad-hoc COUNT of
+# the same pattern at the same synopsis epoch.  The property test runs
+# in the sweep above; naming it here gives any divergence between the
+# compiled-plan path and the ad-hoc path its own banner.
+cargo test --quiet -p sketchtree-standing --test parity \
+    pushed_estimates_are_bit_identical_to_adhoc_at_same_epoch
+
 echo "==> sketchtree-lint"
 # --show-allowed keeps the documented exceptions visible in CI logs so
 # reviewers can see what has been excused and why.

@@ -30,9 +30,11 @@
 //! fingerprints, pairing functions), [`xml`] (streaming parser/writer),
 //! [`sketch`] (AMS sketch banks, virtual streams, top-k, expressions),
 //! [`core`] (EnumTree and the synopsis itself), [`datagen`] (seeded
-//! TREEBANK/DBLP-like stream generators) and [`server`] (a threaded TCP
+//! TREEBANK/DBLP-like stream generators), [`server`] (a threaded TCP
 //! daemon speaking the `SKTP` wire protocol for remote ingest and online
-//! queries).
+//! queries) and [`standing`] (registered standing queries with compiled
+//! resident plans, re-evaluated once per ingest batch and pushed to
+//! subscribers).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -43,6 +45,7 @@ pub use sketchtree_datagen as datagen;
 pub use sketchtree_hash as hash;
 pub use sketchtree_server as server;
 pub use sketchtree_sketch as sketch;
+pub use sketchtree_standing as standing;
 pub use sketchtree_tree as tree;
 pub use sketchtree_xml as xml;
 
