@@ -3,8 +3,8 @@
 //!
 //! The analyzer lexes every workspace `.rs` file with its own Rust
 //! lexer ([`lexer`]), annotates each file with test regions, function
-//! bodies and `lint:allow` markers ([`source`]), and runs five
-//! token-stream passes ([`passes`]):
+//! bodies and `lint:allow` markers ([`source`]), and runs two stages of
+//! passes ([`passes`]).  Stage one is per-file:
 //!
 //! | rule | pass | polices |
 //! |------|------|---------|
@@ -13,6 +13,18 @@
 //! | `L3` | arithmetic discipline | bare/compound arithmetic on sketch counters |
 //! | `L4` | lock discipline | nested acquisition, guard-held re-acquisition, I/O under lock |
 //! | `L5` | wire exhaustiveness | every opcode has an encode and a decode arm |
+//!
+//! Stage two builds a [`index::WorkspaceIndex`] — a symbol table, a
+//! one-level call graph, and lock-guard live spans, from one extra walk
+//! over the already-lexed token streams — and runs the graph-aware
+//! workspace passes over it:
+//!
+//! | rule | pass | polices |
+//! |------|------|---------|
+//! | `L6` | lock order | cross-file lock-order cycles and guard-held re-acquisition through helpers |
+//! | `L7` | blocking under lock | I/O, `recv`, and sleeps reachable while any guard is live |
+//! | `L8` | epoch/determinism | sketch mutations must bump the epoch; hash iteration must not feed deterministic output |
+//! | `L9` | spec drift | wire-protocol and observability docs must match wire.rs opcodes and registered metrics |
 //!
 //! A finding is excused — recorded, but not gate-failing — by a
 //! same-line or preceding-line comment marker:
@@ -29,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod index;
 pub mod lexer;
 pub mod passes;
 pub mod report;
@@ -37,8 +50,13 @@ pub mod source;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use passes::Workspace;
 use report::{Finding, Report};
 use source::SourceFile;
+
+/// Spec documents the workspace passes diff against code, relative to
+/// the workspace root.
+pub const DOC_FILES: &[&str] = &["docs/wire-protocol.md", "docs/observability.md"];
 
 /// Directory names never descended into: build output, VCS metadata,
 /// vendored shims (not ours to police), and test/bench/example trees
@@ -91,11 +109,19 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Runs the default pass roster over every workspace source file and
-/// resolves `lint:allow` markers into the final [`Report`].
+/// Runs both pass stages over every workspace source file and resolves
+/// `lint:allow` markers into the final [`Report`].
 pub fn analyze_workspace(root: &Path) -> Report {
-    let mut report = Report::default();
-    let passes = passes::default_passes();
+    analyze_workspace_filtered(root, &|_| true)
+}
+
+/// [`analyze_workspace`], reporting only findings whose file satisfies
+/// `filter`.  Every file is still parsed and indexed — the workspace
+/// passes need the whole call graph even when only one file's findings
+/// are wanted (`--changed-only`) — the filter gates *reporting*, not
+/// analysis.
+pub fn analyze_workspace_filtered(root: &Path, filter: &dyn Fn(&str) -> bool) -> Report {
+    let mut files = Vec::new();
     for path in workspace_rs_files(root) {
         let rel = match path.strip_prefix(root) {
             Ok(r) => r.to_string_lossy().replace('\\', "/"),
@@ -104,12 +130,73 @@ pub fn analyze_workspace(root: &Path) -> Report {
         let Ok(text) = fs::read_to_string(&path) else {
             continue;
         };
-        report.files_scanned.push(rel.clone());
-        let file = SourceFile::parse(&rel, &text);
-        analyze_file(&file, &passes, &mut report);
+        files.push(SourceFile::parse(&rel, &text));
+    }
+    let mut docs = Vec::new();
+    for rel in DOC_FILES {
+        if let Ok(text) = fs::read_to_string(root.join(rel)) {
+            docs.push((rel.to_string(), text));
+        }
+    }
+    analyze_sources(files, docs, filter)
+}
+
+/// Runs both pass stages over already-parsed sources.  Public so the
+/// seeded-bug self-tests can drive the full analyzer — including the
+/// workspace index — over synthetic trees without touching the disk.
+pub fn analyze_sources(
+    files: Vec<SourceFile>,
+    docs: Vec<(String, String)>,
+    filter: &dyn Fn(&str) -> bool,
+) -> Report {
+    let mut report = Report::default();
+    let passes = passes::default_passes();
+    for file in &files {
+        if !filter(&file.rel) {
+            continue;
+        }
+        report.files_scanned.push(file.rel.clone());
+        analyze_file(file, &passes, &mut report);
+    }
+
+    // Stage two: index the whole workspace, then run the graph passes.
+    let ws = Workspace::new(files, docs);
+    let mut ws_findings = Vec::new();
+    for pass in passes::default_workspace_passes() {
+        pass.run(&ws, &mut ws_findings);
+    }
+    for f in ws_findings {
+        if !filter(&f.file) {
+            continue;
+        }
+        // Findings anchored to a doc file have no token stream to carry
+        // a marker: doc drift is fixed in the doc, never allowed.
+        let allowed = ws
+            .files
+            .iter()
+            .find(|s| s.rel == f.file)
+            .and_then(|s| allow_reason(s, f.rule, f.line));
+        report.findings.push(Finding {
+            rule: f.rule,
+            file: f.file,
+            line: f.line,
+            message: f.message,
+            allowed,
+        });
     }
     report.sort();
     report
+}
+
+/// The reason on a marker excusing `rule` at `line`, if any: a marker
+/// excuses findings of its rules on its own line or the line directly
+/// below, and only when it carries a reason.
+fn allow_reason(file: &SourceFile, rule: &str, line: u32) -> Option<String> {
+    file.allows
+        .iter()
+        .filter(|m| m.rules.iter().any(|r| r == rule))
+        .filter(|m| m.line == line || m.line + 1 == line)
+        .find_map(|m| m.reason.clone())
 }
 
 /// Runs `passes` over one parsed file, matching findings against the
@@ -123,15 +210,7 @@ pub fn analyze_file(file: &SourceFile, passes: &[Box<dyn passes::Pass>], report:
         }
     }
     for f in raw {
-        // A marker excuses a finding of its rule on the marker's own
-        // line or the line directly below — but only when it carries a
-        // reason.
-        let allowed = file
-            .allows
-            .iter()
-            .filter(|m| m.rules.iter().any(|r| r == f.rule))
-            .filter(|m| m.line == f.line || m.line + 1 == f.line)
-            .find_map(|m| m.reason.clone());
+        let allowed = allow_reason(file, f.rule, f.line);
         report.findings.push(Finding {
             rule: f.rule,
             file: file.rel.clone(),

@@ -2,8 +2,13 @@
 //! report.
 //!
 //! ```text
-//! sketchtree-lint [--root PATH] [--format text|json] [--show-allowed]
+//! sketchtree-lint [--root PATH] [--format text|json] [--show-allowed] [--changed-only]
 //! ```
+//!
+//! `--changed-only` reports findings only for files `git diff
+//! --name-only HEAD` lists as modified (plus untracked files); the
+//! whole workspace is still parsed and indexed, so cross-file passes
+//! keep their full call graph — only the *reporting* is scoped.
 //!
 //! Exit status: 0 when the gate passes (zero undocumented findings),
 //! 1 when it fails, 2 on usage errors.
@@ -11,13 +16,15 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
-use std::process::ExitCode;
+use std::process::{Command, ExitCode};
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Text;
     let mut show_allowed = false;
+    let mut changed_only = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -32,6 +39,7 @@ fn main() -> ExitCode {
                 _ => return usage("--format needs `text` or `json`"),
             },
             "--show-allowed" => show_allowed = true,
+            "--changed-only" => changed_only = true,
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -51,7 +59,15 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = sketchtree_lint::analyze_workspace(&root);
+    let report = if changed_only {
+        let changed = match git_changed_files(&root) {
+            Ok(c) => c,
+            Err(e) => return usage(&format!("--changed-only: {e}")),
+        };
+        sketchtree_lint::analyze_workspace_filtered(&root, &|rel| changed.contains(rel))
+    } else {
+        sketchtree_lint::analyze_workspace(&root)
+    };
     match format {
         Format::Text => print!("{}", report.to_text(show_allowed)),
         Format::Json => print!("{}", report.to_json()),
@@ -63,12 +79,41 @@ fn main() -> ExitCode {
     }
 }
 
+/// Workspace-relative paths `git` reports as modified since `HEAD`,
+/// plus untracked files — the set a pre-commit run cares about.
+fn git_changed_files(root: &std::path::Path) -> Result<BTreeSet<String>, String> {
+    let mut out = BTreeSet::new();
+    for extra in [&["diff", "--name-only", "HEAD"][..], &["ls-files", "--others", "--exclude-standard"][..]] {
+        let cmd = Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(extra)
+            .output()
+            .map_err(|e| format!("failed to run git: {e}"))?;
+        if !cmd.status.success() {
+            return Err(format!(
+                "git {} failed: {}",
+                extra.join(" "),
+                String::from_utf8_lossy(&cmd.stderr).trim()
+            ));
+        }
+        for line in String::from_utf8_lossy(&cmd.stdout).lines() {
+            let line = line.trim();
+            if !line.is_empty() {
+                out.insert(line.replace('\\', "/"));
+            }
+        }
+    }
+    Ok(out)
+}
+
 enum Format {
     Text,
     Json,
 }
 
-const USAGE: &str = "usage: sketchtree-lint [--root PATH] [--format text|json] [--show-allowed]";
+const USAGE: &str =
+    "usage: sketchtree-lint [--root PATH] [--format text|json] [--show-allowed] [--changed-only]";
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("sketchtree-lint: {msg}\n{USAGE}");

@@ -6,12 +6,17 @@
 //! declares which workspace-relative paths it polices; scoping is part
 //! of the rule, not of the driver.
 
+use crate::index::WorkspaceIndex;
 use crate::source::SourceFile;
 
 pub mod arith;
+pub mod blocking;
 pub mod cast_safety;
+pub mod epoch;
+pub mod lock_order;
 pub mod locks;
 pub mod panic_free;
+pub mod spec_drift;
 pub mod wire_exhaustive;
 
 /// A finding before allow-marker matching: rule, line, message.
@@ -35,7 +40,7 @@ pub trait Pass {
     fn run(&self, file: &SourceFile, out: &mut Vec<RawFinding>);
 }
 
-/// The default pass roster, L1–L5.
+/// The default per-file pass roster, L1–L5.
 pub fn default_passes() -> Vec<Box<dyn Pass>> {
     vec![
         Box::new(panic_free::PanicFree),
@@ -43,6 +48,64 @@ pub fn default_passes() -> Vec<Box<dyn Pass>> {
         Box::new(arith::ArithDiscipline),
         Box::new(locks::LockDiscipline),
         Box::new(wire_exhaustive::WireExhaustive),
+    ]
+}
+
+/// The analysis context for the graph-aware workspace passes: every
+/// parsed file, the cross-file [`WorkspaceIndex`] built from them, and
+/// the doc files the spec-drift pass diffs against code.
+pub struct Workspace {
+    /// Every parsed source file, in scan order.
+    pub files: Vec<SourceFile>,
+    /// The cross-file symbol table / call graph / span index.
+    pub index: WorkspaceIndex,
+    /// `(workspace-relative path, text)` of the spec documents.
+    pub docs: Vec<(String, String)>,
+}
+
+impl Workspace {
+    /// Builds the index and wraps the inputs.
+    pub fn new(files: Vec<SourceFile>, docs: Vec<(String, String)>) -> Workspace {
+        let index = WorkspaceIndex::build(&files);
+        Workspace { files, index, docs }
+    }
+
+    /// True when the function's body starts inside test-only code.
+    pub fn fn_in_test(&self, f: &crate::index::FnInfo) -> bool {
+        let file = &self.files[f.file];
+        f.body.is_empty() || file.in_test.get(f.body.start).copied().unwrap_or(false)
+    }
+}
+
+/// A finding from a workspace pass — unlike [`RawFinding`] it names its
+/// file, because one pass may report across many files (and the docs).
+#[derive(Debug, Clone)]
+pub struct WsFinding {
+    /// Rule id (`"L6"` … `"L9"`).
+    pub rule: &'static str,
+    /// Workspace-relative path the finding anchors to.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// One graph-aware workspace pass.
+pub trait WorkspacePass {
+    /// The rule id this pass reports under.
+    fn rule(&self) -> &'static str;
+    /// Analyses the whole workspace.
+    fn run(&self, ws: &Workspace, out: &mut Vec<WsFinding>);
+}
+
+/// The default workspace-pass roster, L6–L9.
+pub fn default_workspace_passes() -> Vec<Box<dyn WorkspacePass>> {
+    vec![
+        Box::new(lock_order::LockOrder),
+        Box::new(blocking::BlockingUnderLock),
+        Box::new(epoch::EpochDiscipline),
+        Box::new(spec_drift::SpecDrift),
     ]
 }
 

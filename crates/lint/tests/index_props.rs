@@ -1,0 +1,123 @@
+//! Property-based tests for the workspace index builder.
+//!
+//! Stage two's soundness rests on the index's structural invariants:
+//! function bodies are well-formed token ranges, every recorded call,
+//! acquisition and guard span lands inside its owning body, and call
+//! resolution only ever returns real function indices.  These
+//! properties pin all of that on arbitrary and on generated-but-
+//! plausible source, so a lexer or scanner change cannot silently
+//! corrupt the graph the L6–L8 passes walk.
+
+use proptest::prelude::*;
+use sketchtree_lint::index::WorkspaceIndex;
+use sketchtree_lint::source::SourceFile;
+
+/// Arbitrary source-ish text, same alphabet the lexer properties use.
+fn arb_source() -> impl Strategy<Value = String> {
+    "[ -~\n\t]{0,300}"
+}
+
+/// A generated-but-plausible impl block: named methods that acquire
+/// named locks, call each other, and sometimes bump an epoch.
+fn arb_impl_source() -> impl Strategy<Value = String> {
+    let lock = prop_oneof![Just("alpha"), Just("beta"), Just("gamma")];
+    let meth = prop_oneof![Just("lock"), Just("read"), Just("write")];
+    let body = (lock, meth, any::<bool>(), any::<bool>()).prop_map(
+        |(lock, meth, call_helper, bump)| {
+            let mut b = format!("let g = self.{lock}.{meth}().unwrap_or_else(|e| e.into_inner()); ");
+            if call_helper {
+                b.push_str("self.helper(); ");
+            }
+            if bump {
+                b.push_str("self.epoch += 1; ");
+            }
+            b
+        },
+    );
+    prop::collection::vec(body, 1..5).prop_map(|bodies| {
+        let mut src = String::from("impl T { fn helper(&self) { self.x(); } ");
+        for (i, b) in bodies.iter().enumerate() {
+            src.push_str(&format!("fn m{i}(&mut self) {{ {b} }} "));
+        }
+        src.push('}');
+        src
+    })
+}
+
+/// Checks every structural invariant of one built index.
+fn assert_invariants(files: &[SourceFile], index: &WorkspaceIndex) {
+    assert_eq!(index.hash_names.len(), files.len());
+    for f in &index.fns {
+        assert!(f.file < files.len(), "file index out of range");
+        let ntok = files[f.file].tokens.len();
+        assert!(f.body.start <= f.body.end, "inverted body range");
+        assert!(f.body.end <= ntok, "body range past the token stream");
+        for c in &f.calls {
+            assert!(f.body.contains(&c.tok), "call site outside its body");
+            assert!(!c.name.is_empty(), "unnamed call site");
+        }
+        for a in &f.acqs {
+            assert!(f.body.contains(&a.tok), "acquisition outside its body");
+            assert!(a.span.start <= a.span.end, "inverted guard span");
+            // Guard spans are clipped to the body that owns them.
+            assert!(a.span.start >= f.body.start && a.span.end <= f.body.end,
+                "guard span escapes its body");
+            assert!(!a.lock.is_empty(), "unnamed lock");
+        }
+        for c in &f.calls {
+            if let Some(gi) = index.resolve_call(c, f) {
+                assert!(gi < index.fns.len(), "resolved call out of range");
+                assert_eq!(index.fns[gi].name, c.name, "resolved to a different name");
+            }
+        }
+    }
+    // The name table is consistent with the function list.
+    for (name, idxs) in &index.fns_by_name {
+        for &i in idxs {
+            assert_eq!(&index.fns[i].name, name);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The index builder never panics and upholds its structural
+    /// invariants on arbitrary bytes.
+    #[test]
+    fn index_invariants_hold_on_arbitrary_source(src in arb_source()) {
+        let files = vec![SourceFile::parse("crates/a/src/x.rs", &src)];
+        let index = WorkspaceIndex::build(&files);
+        assert_invariants(&files, &index);
+    }
+
+    /// Same invariants on generated lock-and-call heavy impl blocks —
+    /// the shapes the workspace passes actually consume.
+    #[test]
+    fn index_invariants_hold_on_generated_impls(
+        a in arb_impl_source(),
+        b in arb_impl_source(),
+    ) {
+        let files = vec![
+            SourceFile::parse("crates/a/src/x.rs", &a),
+            SourceFile::parse("crates/b/src/y.rs", &b),
+        ];
+        let index = WorkspaceIndex::build(&files);
+        assert_invariants(&files, &index);
+        // Every generated method was found: 1 helper + n bodies per file.
+        assert!(index.fns.len() >= 4, "scanner dropped functions: {index:?}");
+    }
+
+    /// Building twice from the same sources yields the same index — the
+    /// determinism the stable-sorted report output depends on.
+    #[test]
+    fn index_build_is_deterministic(a in arb_impl_source(), b in arb_source()) {
+        let files = vec![
+            SourceFile::parse("crates/a/src/x.rs", &a),
+            SourceFile::parse("crates/b/src/y.rs", &b),
+        ];
+        let once = format!("{:?}", WorkspaceIndex::build(&files));
+        let twice = format!("{:?}", WorkspaceIndex::build(&files));
+        prop_assert_eq!(once, twice);
+    }
+}

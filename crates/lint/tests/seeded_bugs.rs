@@ -10,7 +10,7 @@
 use sketchtree_lint::passes::default_passes;
 use sketchtree_lint::report::Report;
 use sketchtree_lint::source::SourceFile;
-use sketchtree_lint::analyze_file;
+use sketchtree_lint::{analyze_file, analyze_sources};
 
 /// Runs the default passes over one synthetic file.
 fn analyze(rel: &str, src: &str) -> Report {
@@ -18,6 +18,14 @@ fn analyze(rel: &str, src: &str) -> Report {
     let mut report = Report::default();
     analyze_file(&file, &default_passes(), &mut report);
     report
+}
+
+/// Runs the FULL analyzer — both stages, index and all — over a
+/// synthetic workspace.
+fn analyze_ws(files: &[(&str, &str)], docs: &[(&str, &str)]) -> Report {
+    let files = files.iter().map(|(r, s)| SourceFile::parse(r, s)).collect();
+    let docs = docs.iter().map(|(r, s)| (r.to_string(), s.to_string())).collect();
+    analyze_sources(files, docs, &|_| true)
 }
 
 fn undocumented_rules(report: &Report) -> Vec<&'static str> {
@@ -145,6 +153,253 @@ fn allow_for_wrong_rule_does_not_suppress() {
     assert!(
         undocumented_rules(&report).contains(&"L1"),
         "an L2 marker must not excuse an L1 finding: {report:?}"
+    );
+}
+
+// ---- workspace passes (stage two) ------------------------------------
+
+#[test]
+fn l6_fires_on_a_seeded_cross_file_lock_cycle() {
+    let report = analyze_ws(
+        &[
+            (
+                "crates/a/src/x.rs",
+                "impl A { fn f(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); } }",
+            ),
+            (
+                "crates/b/src/y.rs",
+                "impl A { fn r(&self) { let g = self.beta.lock(); let h = self.alpha.lock(); } }",
+            ),
+        ],
+        &[],
+    );
+    let cycles: Vec<_> = report
+        .undocumented()
+        .filter(|f| f.rule == "L6" && f.message.contains("cycle"))
+        .collect();
+    assert_eq!(cycles.len(), 2, "both edges must report the cycle: {report:?}");
+}
+
+#[test]
+fn l6_fires_on_guard_held_reacquisition_through_a_helper() {
+    let report = analyze_ws(
+        &[(
+            "crates/a/src/x.rs",
+            "impl A { fn lock_t(&self) -> MutexGuard<'_, T> { self.t.lock().unwrap_or_else(E::into_inner) } \
+             fn f(&self) { let g = self.lock_t(); self.lock_t(); } }",
+        )],
+        &[],
+    );
+    assert!(
+        report
+            .undocumented()
+            .any(|f| f.rule == "L6" && f.message.contains("re-acquire")),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn l7_fires_on_seeded_io_under_a_held_guard() {
+    let report = analyze_ws(
+        &[(
+            "crates/server/src/seeded.rs",
+            "fn save(m: &Mutex<T>) { let g = m.lock().unwrap_or_else(|e| e.into_inner()); fs::write(p, b).ok(); }",
+        )],
+        &[],
+    );
+    assert!(
+        report
+            .undocumented()
+            .any(|f| f.rule == "L7" && f.message.contains("fs::write")),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn l7_fires_one_helper_call_below_the_acquisition() {
+    let report = analyze_ws(
+        &[(
+            "crates/server/src/seeded.rs",
+            "impl C { fn save(&self) { let g = self.ck.lock(); self.persist_now(); } \
+             fn persist_now(&self) { fs::write(p, b).ok(); } }",
+        )],
+        &[],
+    );
+    assert!(
+        report
+            .undocumented()
+            .any(|f| f.rule == "L7" && f.message.contains("persist_now")),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn l8_fires_on_a_seeded_mutation_that_skips_the_epoch_bump() {
+    let report = analyze_ws(
+        &[(
+            "crates/core/src/sketchtree.rs",
+            "impl SketchTree { fn sneak(&mut self, v: u64) { self.synopsis.insert(v); } }",
+        )],
+        &[],
+    );
+    assert!(
+        report
+            .undocumented()
+            .any(|f| f.rule == "L8" && f.message.contains("without bumping")),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn l8_is_satisfied_by_a_bump_two_calls_down() {
+    let report = analyze_ws(
+        &[
+            (
+                "crates/core/src/concurrent.rs",
+                "impl Shared { fn batch(&self, t: &[Tree]) { self.inner.write().ingest_precomputed_batch(t); } }",
+            ),
+            (
+                "crates/core/src/sketchtree.rs",
+                "impl SketchTree { fn ingest_precomputed_batch(&mut self, t: &[Tree]) { self.apply(t); } \
+                 fn apply(&mut self, t: &[Tree]) { self.synopsis.note_inserted(t.len() as u64); self.epoch += 1; } }",
+            ),
+        ],
+        &[],
+    );
+    assert!(
+        !report.undocumented().any(|f| f.rule == "L8"),
+        "transitive bump must satisfy: {report:?}"
+    );
+}
+
+#[test]
+fn l8_fires_on_hash_iteration_feeding_a_snapshot() {
+    let report = analyze_ws(
+        &[(
+            "crates/core/src/snapshot.rs",
+            "struct S { parts: HashMap<u64, P> } impl S { fn encode(&self) -> Vec<u8> { \
+             self.parts.iter().flat_map(|(_, p)| p.bytes()).collect() } }",
+        )],
+        &[],
+    );
+    assert!(
+        report
+            .undocumented()
+            .any(|f| f.rule == "L8" && f.message.contains("hash order")),
+        "{report:?}"
+    );
+}
+
+const SEEDED_WIRE: &str = "pub(crate) const K_PING: u8 = 0x01;\nconst K_STATS_REPLY: u8 = 0x84;\n";
+const SEEDED_WDOC: &str =
+    "| Opcode | Name | Payload |\n|---|---|---|\n| 0x01 | Ping | empty |\n| 0x84 | Stats | counts |\n";
+const SEEDED_MET: &str = "fn wire(r: &Registry) { r.counter(\"sktp_frames_total\", \"h\"); }\n";
+const SEEDED_ODOC: &str = "| Metric | Type |\n|---|---|\n| `sktp_frames_total` | counter |\n";
+
+#[test]
+fn l9_is_clean_when_docs_and_code_agree() {
+    let report = analyze_ws(
+        &[
+            ("crates/server/src/wire.rs", SEEDED_WIRE),
+            ("crates/server/src/metrics.rs", SEEDED_MET),
+        ],
+        &[
+            ("docs/wire-protocol.md", SEEDED_WDOC),
+            ("docs/observability.md", SEEDED_ODOC),
+        ],
+    );
+    assert!(
+        !report.undocumented().any(|f| f.rule == "L9"),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn l9_fires_when_an_opcode_const_loses_its_doc_row() {
+    // The acceptance drill: delete a row from the opcode table and the
+    // gate must fail, anchored at the now-undocumented constant.
+    let wdoc = "| Opcode | Name | Payload |\n|---|---|---|\n| 0x01 | Ping | empty |\n";
+    let report = analyze_ws(
+        &[
+            ("crates/server/src/wire.rs", SEEDED_WIRE),
+            ("crates/server/src/metrics.rs", SEEDED_MET),
+        ],
+        &[
+            ("docs/wire-protocol.md", wdoc),
+            ("docs/observability.md", SEEDED_ODOC),
+        ],
+    );
+    assert!(
+        report
+            .undocumented()
+            .any(|f| f.rule == "L9"
+                && f.file.ends_with("wire.rs")
+                && f.message.contains("K_STATS_REPLY")),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn l9_doc_anchored_findings_cannot_be_allowed() {
+    // A documented opcode with no constant anchors at the doc file —
+    // which has no token stream to carry a marker, so the finding is
+    // structurally unallowable.
+    let wdoc = format!("{SEEDED_WDOC}| 0x0E | Evict | key |\n");
+    let report = analyze_ws(
+        &[
+            ("crates/server/src/wire.rs", SEEDED_WIRE),
+            ("crates/server/src/metrics.rs", SEEDED_MET),
+        ],
+        &[
+            ("docs/wire-protocol.md", &wdoc),
+            ("docs/observability.md", SEEDED_ODOC),
+        ],
+    );
+    let doc_findings: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "L9" && f.file == "docs/wire-protocol.md")
+        .collect();
+    assert_eq!(doc_findings.len(), 1, "{report:?}");
+    assert!(doc_findings[0].allowed.is_none());
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn l9_fires_when_a_metric_table_row_is_removed() {
+    let odoc = "| Metric | Type |\n|---|---|\n";
+    let report = analyze_ws(
+        &[
+            ("crates/server/src/wire.rs", SEEDED_WIRE),
+            ("crates/server/src/metrics.rs", SEEDED_MET),
+        ],
+        &[
+            ("docs/wire-protocol.md", SEEDED_WDOC),
+            ("docs/observability.md", odoc),
+        ],
+    );
+    assert!(
+        report
+            .undocumented()
+            .any(|f| f.rule == "L9" && f.message.contains("sktp_frames_total")),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn workspace_findings_honor_reasoned_allow_markers() {
+    let src = "impl A { fn lock_t(&self) -> MutexGuard<'_, T> { self.t.lock().unwrap_or_else(E::into_inner) } \
+               fn f(&self) { let g = self.lock_t();\n\
+               // lint:allow(L6, reason = \"seeded workspace self-test\")\n\
+               self.lock_t(); } }";
+    let report = analyze_ws(&[("crates/a/src/x.rs", src)], &[]);
+    assert!(
+        !report.undocumented().any(|f| f.rule == "L6"),
+        "reasoned marker must excuse the workspace finding: {report:?}"
+    );
+    assert!(
+        report.allowed().any(|f| f.rule == "L6"),
+        "the excused finding is still recorded: {report:?}"
     );
 }
 

@@ -27,7 +27,7 @@ use crate::http::MetricsHttp;
 use crate::metrics::{ConnectionGuard, ServerMetrics};
 use crate::subs::Subscriptions;
 use crate::wire::{
-    read_frame, write_frame, Frame, Request, Response, Stats, SubscribeMode, WireError,
+    frame_bytes, read_frame, Frame, Request, Response, Stats, SubscribeMode, WireError,
     DEFAULT_MAX_FRAME, HEADER_LEN,
 };
 use sketchtree_core::concurrent::SharedSketchTree;
@@ -36,7 +36,7 @@ use sketchtree_core::snapshot::{read_snapshot, write_snapshot};
 use sketchtree_standing::{QueryCache, QueryMode, QuerySpec};
 use sketchtree_tree::{Label, LabelTable, NodeId, Tree, TreeBuilder};
 use sketchtree_xml::XmlTreeBuilder;
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -351,6 +351,7 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx) {
     loop {
         // Hold the receiver lock only for the dequeue, not the whole
         // connection.
+        // lint:allow(L7, reason = "handoff by design: an idle worker must block in recv(), and the mutex is held for exactly that dequeue — connection handling happens after release")
         let conn = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
         match conn {
             Ok(stream) => serve_connection(stream, ctx),
@@ -378,13 +379,19 @@ impl Pusher {
         let metrics = ctx.metrics.clone();
         let thread = std::thread::spawn(move || {
             while let Ok(update) = rx.recv() {
+                // Assemble the whole frame before taking the writer
+                // mutex; the held-lock section is one write.
                 let payload = update.encode();
+                let Ok(frame) = frame_bytes(update.kind(), &payload) else { return };
                 let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
-                if write_frame(&mut *w, update.kind(), &payload).is_err() {
+                // lint:allow(L4, L7, reason = "the socket write must serialize under the per-connection writer mutex for frame atomicity with the response path; assembly already happened outside it")
+                let wrote = w.write_all(&frame).and_then(|()| w.flush());
+                drop(w);
+                if wrote.is_err() {
                     return;
                 }
                 metrics.frames_out.inc();
-                metrics.bytes_out.add((HEADER_LEN + payload.len()) as u64);
+                metrics.bytes_out.add(frame.len() as u64);
             }
         });
         Pusher { tx, thread }
@@ -525,13 +532,19 @@ fn handle_subscribe(
 /// counting the frame and its bytes (header included) on success.
 /// Returns `false` when the write failed and the connection should close.
 fn write_response(writer: &Mutex<TcpStream>, resp: &Response, ctx: &Ctx) -> bool {
+    // Frame assembly stays outside the writer mutex — only the socket
+    // write itself needs to serialize against the pusher thread.
     let payload = resp.encode();
+    let Ok(frame) = frame_bytes(resp.kind(), &payload) else { return false };
     let mut stream = writer.lock().unwrap_or_else(|e| e.into_inner());
-    if write_frame(&mut *stream, resp.kind(), &payload).is_err() {
+    // lint:allow(L4, L7, reason = "the socket write must serialize under the per-connection writer mutex for frame atomicity with the pusher thread; assembly already happened outside it")
+    let wrote = stream.write_all(&frame).and_then(|()| stream.flush());
+    drop(stream);
+    if wrote.is_err() {
         return false;
     }
     ctx.metrics.frames_out.inc();
-    ctx.metrics.bytes_out.add((HEADER_LEN + payload.len()) as u64);
+    ctx.metrics.bytes_out.add(frame.len() as u64);
     true
 }
 
@@ -762,9 +775,9 @@ fn checkpoint_inner(shared: &SharedSketchTree, ck: &Checkpoint) -> io::Result<u6
     let _guard = ck.lock.lock().unwrap_or_else(|e| e.into_inner());
     let bytes = shared.read(write_snapshot);
     let tmp = path.with_extension("tmp");
-    // lint:allow(L4, reason = "the checkpoint mutex exists precisely to serialize this I/O; it is never taken on a query or ingest path")
+    // lint:allow(L4, L7, reason = "the checkpoint mutex exists precisely to serialize this I/O; it is never taken on a query or ingest path")
     std::fs::write(&tmp, &bytes)?;
-    // lint:allow(L4, reason = "the checkpoint mutex exists precisely to serialize this I/O; it is never taken on a query or ingest path")
+    // lint:allow(L4, L7, reason = "the checkpoint mutex exists precisely to serialize this I/O; it is never taken on a query or ingest path")
     std::fs::rename(&tmp, path)?;
     Ok(bytes.len() as u64)
 }

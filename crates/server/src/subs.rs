@@ -19,8 +19,13 @@
 //! because each update frame is small and the pusher drains continuously.
 //!
 //! Lock order is `SharedSketchTree` inner → registry mutex → table mutex,
-//! always in that direction; no callback ever re-enters the shared handle,
-//! so the hook cannot deadlock against ingest.
+//! always in that direction, and the two inner mutexes are never nested:
+//! every method registers or unregisters with the registry strictly
+//! outside the table guard (subscribe registers first and rolls back on a
+//! cap rejection; removal paths collect doomed entries under the table
+//! lock, drop it, then release their registrations).  No callback ever
+//! re-enters the shared handle, so the hook cannot deadlock against
+//! ingest.  The L6 lock-order lint enforces the acyclicity workspace-wide.
 //!
 //! [`QueryRegistry`]: sketchtree_standing::QueryRegistry
 //! [`SharedSketchTree`]: sketchtree_core::concurrent::SharedSketchTree
@@ -77,16 +82,23 @@ impl Subscriptions {
         tx: SyncSender<Response>,
     ) -> Result<u64, String> {
         let key = spec.key();
+        // Register before taking the table lock: the documented order is
+        // registry mutex → table mutex, so the table guard must never be
+        // live across a registry call.
+        let reg = self.registry.register(spec);
         let mut table = self.lock_table();
         if table.values().filter(|e| e.conn == conn).count() >= self.max_per_conn {
+            drop(table);
+            // Roll back — a cap rejection must not leak a plan refcount.
+            self.registry.unregister(reg);
             return Err(format!(
                 "connection already holds {} subscriptions (the per-connection cap)",
                 self.max_per_conn
             ));
         }
-        let reg = self.registry.register(spec);
         let id = self.next_sub.fetch_add(1, Ordering::Relaxed) + 1;
         table.insert(id, SubEntry { conn, key, reg, tx });
+        drop(table);
         self.metrics.subscriptions_active.inc();
         Ok(id)
     }
@@ -99,7 +111,9 @@ impl Subscriptions {
         if !matches!(table.get(&id), Some(entry) if entry.conn == conn) {
             return false;
         }
-        if let Some(entry) = table.remove(&id) {
+        let entry = table.remove(&id);
+        drop(table);
+        if let Some(entry) = entry {
             self.registry.unregister(entry.reg);
             self.metrics.subscriptions_active.dec();
         }
@@ -111,16 +125,17 @@ impl Subscriptions {
     /// table entry or a registry refcount.
     pub fn drop_connection(&self, conn: u64) {
         let mut table = self.lock_table();
-        let doomed: Vec<u64> = table
+        let ids: Vec<u64> = table
             .iter()
             .filter(|(_, e)| e.conn == conn)
             .map(|(&id, _)| id)
             .collect();
-        for id in doomed {
-            if let Some(entry) = table.remove(&id) {
-                self.registry.unregister(entry.reg);
-                self.metrics.subscriptions_active.dec();
-            }
+        let doomed: Vec<SubEntry> =
+            ids.into_iter().filter_map(|id| table.remove(&id)).collect();
+        drop(table);
+        for entry in doomed {
+            self.registry.unregister(entry.reg);
+            self.metrics.subscriptions_active.dec();
         }
     }
 
@@ -158,12 +173,13 @@ impl Subscriptions {
                 Err(_) => evicted.push(id), // full or disconnected
             }
         }
-        for id in evicted {
-            if let Some(entry) = table.remove(&id) {
-                self.registry.unregister(entry.reg);
-                self.metrics.subscriptions_active.dec();
-                self.metrics.slow_subscriber_evictions.inc();
-            }
+        let evicted: Vec<SubEntry> =
+            evicted.into_iter().filter_map(|id| table.remove(&id)).collect();
+        drop(table);
+        for entry in evicted {
+            self.registry.unregister(entry.reg);
+            self.metrics.subscriptions_active.dec();
+            self.metrics.slow_subscriber_evictions.inc();
         }
         self.metrics.push_seconds.observe_duration(push_started.elapsed());
     }

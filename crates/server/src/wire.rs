@@ -62,7 +62,7 @@ const K_PONG: u8 = 0x81;
 const K_INGESTED: u8 = 0x82;
 const K_ESTIMATE: u8 = 0x83;
 const K_STATS_REPLY: u8 = 0x84;
-const K_HEAVY_REPLY: u8 = 0x85;
+const K_HEAVY_HITTERS_REPLY: u8 = 0x85;
 const K_SNAPSHOT_DONE: u8 = 0x86;
 const K_SHUTTING_DOWN: u8 = 0x87;
 const K_METRICS_REPLY: u8 = 0x88;
@@ -96,7 +96,7 @@ pub fn kind_name(kind: u8) -> &'static str {
         K_INGESTED => "ingested",
         K_ESTIMATE => "estimate",
         K_STATS_REPLY => "stats_reply",
-        K_HEAVY_REPLY => "heavy_reply",
+        K_HEAVY_HITTERS_REPLY => "heavy_reply",
         K_SNAPSHOT_DONE => "snapshot_done",
         K_SHUTTING_DOWN => "shutting_down",
         K_METRICS_REPLY => "metrics_reply",
@@ -209,18 +209,30 @@ pub enum Frame {
 /// the u32 length prefix — a silently truncated length would
 /// desynchronize the stream for every later frame.
 pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
+    let frame = frame_bytes(kind, payload)?;
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Assembles one frame — header plus payload — as a single contiguous
+/// buffer, without touching any writer.
+///
+/// The server's write paths use this to do all frame assembly *outside*
+/// the per-connection shared-writer mutex: the socket write itself must
+/// serialize under that mutex (frame atomicity between the response
+/// path and the pusher thread), but nothing else needs to, and a single
+/// pre-built buffer keeps the held-lock section to one `write_all`.
+pub fn frame_bytes(kind: u8, payload: &[u8]) -> io::Result<Vec<u8>> {
     let len = u32::try_from(payload.len()).map_err(|_| {
         io::Error::new(io::ErrorKind::InvalidInput, "frame payload exceeds u32::MAX bytes")
     })?;
-    let mut header = [0u8; HEADER_LEN];
-    let mut cur = header.as_mut_slice();
-    cur.write_all(MAGIC)?;
-    cur.write_all(&VERSION.to_le_bytes())?;
-    cur.write_all(&[kind])?;
-    cur.write_all(&len.to_le_bytes())?;
-    w.write_all(&header)?;
-    w.write_all(payload)?;
-    w.flush()
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.push(kind);
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+    Ok(buf)
 }
 
 /// Reads one frame, distinguishing clean EOF and idle timeouts from real
@@ -608,7 +620,7 @@ impl Response {
             Response::Ingested { .. } => K_INGESTED,
             Response::Estimate(_) => K_ESTIMATE,
             Response::Stats(_) => K_STATS_REPLY,
-            Response::HeavyHitters(_) => K_HEAVY_REPLY,
+            Response::HeavyHitters(_) => K_HEAVY_HITTERS_REPLY,
             Response::SnapshotDone { .. } => K_SNAPSHOT_DONE,
             Response::ShuttingDown => K_SHUTTING_DOWN,
             Response::Metrics(_) => K_METRICS_REPLY,
@@ -705,7 +717,7 @@ impl Response {
                 virtual_streams: r.u64()?,
                 topk: r.u64()?,
             }),
-            K_HEAVY_REPLY => {
+            K_HEAVY_HITTERS_REPLY => {
                 let n = r.count("heavy-hitter count", MAX_ENTRIES)?;
                 let mut entries = Vec::with_capacity(widen(n.min(1 << 12)));
                 for _ in 0..n {
@@ -976,7 +988,7 @@ mod tests {
         for k in [
             K_PING, K_INGEST_XML, K_INGEST_TREES, K_COUNT, K_EXPR, K_STATS, K_HEAVY, K_SNAPSHOT,
             K_SHUTDOWN, K_METRICS, K_MERGE_SNAPSHOT, K_SUBSCRIBE, K_UNSUBSCRIBE, K_PONG,
-            K_INGESTED, K_ESTIMATE, K_STATS_REPLY, K_HEAVY_REPLY, K_SNAPSHOT_DONE,
+            K_INGESTED, K_ESTIMATE, K_STATS_REPLY, K_HEAVY_HITTERS_REPLY, K_SNAPSHOT_DONE,
             K_SHUTTING_DOWN, K_METRICS_REPLY, K_MERGE_DONE, K_SUBSCRIBED, K_UNSUBSCRIBED,
             K_ESTIMATE_UPDATE, K_ERROR,
         ] {

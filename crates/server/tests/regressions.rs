@@ -3,8 +3,10 @@
 //! snapshot requests, and the idle-connection timeout.
 
 use sketchtree_core::sketchtree::SketchTreeConfig;
-use sketchtree_server::{Client, Server, ServerConfig};
+use sketchtree_server::wire::{frame_bytes, read_frame, write_frame, Frame};
+use sketchtree_server::{Client, Server, ServerConfig, ServerMetrics, SubscribeMode, Subscriptions};
 use sketchtree_sketch::SynopsisConfig;
+use sketchtree_standing::{QueryMode, QuerySpec};
 use sketchtree_tree::{Label, Tree};
 use std::io::Read;
 use std::net::TcpStream;
@@ -235,4 +237,94 @@ fn ingest_thread_count_does_not_change_the_synopsis() {
     // equality, not tolerance.
     assert_eq!(single.1, parallel.1, "estimates diverged across thread counts");
     assert_eq!(single.2, parallel.2, "heavy hitters diverged");
+}
+
+/// `subscribe` now registers with the query registry *before* taking the
+/// table mutex (the two may never nest, per the documented lock order),
+/// which means an over-cap subscription registers first and must roll the
+/// registration back.  A leak here would pin a compiled plan — and its
+/// per-batch evaluation cost — forever.
+#[test]
+fn subscription_cap_rejection_does_not_leak_a_registry_entry() {
+    let subs = Subscriptions::new(ServerMetrics::new(), 1);
+    let (tx, _rx) = std::sync::mpsc::sync_channel(4);
+    let spec = |q: &str| QuerySpec::parse(QueryMode::Ordered, q).unwrap();
+
+    let id = subs.subscribe(7, spec("a(b)"), tx.clone()).expect("first fits the cap");
+    let err = subs
+        .subscribe(7, spec("a(c)"), tx.clone())
+        .expect_err("second subscription exceeds the cap");
+    assert!(err.contains("cap"), "{err}");
+    assert_eq!(subs.distinct_queries(), 1, "cap rejection leaked a compiled plan");
+    assert_eq!(subs.active(), 1);
+
+    // The cap is per-connection: another connection may subscribe to the
+    // very query conn 7 was refused.
+    let other = subs.subscribe(8, spec("a(c)"), tx).expect("cap is per-connection");
+    assert_eq!(subs.distinct_queries(), 2);
+
+    assert!(subs.unsubscribe(7, id));
+    assert!(subs.unsubscribe(8, other));
+    assert_eq!(subs.distinct_queries(), 0, "unsubscribe left a plan resident");
+    assert_eq!(subs.active(), 0);
+}
+
+/// The pusher thread and the response path now assemble frames with
+/// [`frame_bytes`] outside the shared-writer mutex and write one
+/// contiguous buffer under it.  That buffer must be bit-identical to what
+/// [`write_frame`] streams, and must round-trip through [`read_frame`].
+#[test]
+fn frame_bytes_matches_write_frame_and_round_trips() {
+    let payload: Vec<u8> = (0..300u16).map(|i| (i % 251) as u8).collect();
+    let built = frame_bytes(0x01, &payload).expect("frame assembles");
+    let mut streamed = Vec::new();
+    write_frame(&mut streamed, 0x01, &payload).expect("frame writes");
+    assert_eq!(built, streamed, "pre-assembled frames must match the streaming writer");
+
+    let mut cursor = std::io::Cursor::new(built);
+    match read_frame(&mut cursor, 1 << 20).expect("frame parses") {
+        Frame::Msg { kind, payload: got } => {
+            assert_eq!(kind, 0x01);
+            assert_eq!(got, payload);
+        }
+        other => panic!("expected a message frame, got {other:?}"),
+    }
+}
+
+/// End-to-end over the PR 6 push path: a live subscription receives its
+/// update through the pusher thread (whose drain loop was restructured to
+/// hold the writer mutex only for the socket write), while the same
+/// connection keeps issuing requests on the response path.  Interleaved
+/// frames must stay individually intact.
+#[test]
+fn pushed_updates_interleave_with_responses_without_tearing_frames() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig { sketch: config(31), ..ServerConfig::default() },
+    )
+    .expect("server starts");
+
+    let mut sub_client = Client::connect(server.addr()).expect("connect");
+    let (sub_id, _epoch) =
+        sub_client.subscribe(SubscribeMode::Ordered, "a(b)").expect("subscribe");
+
+    let mut feeder = Client::connect(server.addr()).expect("connect");
+    for round in 0..5 {
+        feeder
+            .ingest_xml(&["<a><b>x</b></a>".to_string()])
+            .expect("ingest triggers a broadcast");
+        let update = sub_client
+            .next_update(Duration::from_secs(10))
+            .expect("update frame arrives intact")
+            .expect("update pushed within the timeout");
+        assert_eq!(update.id, sub_id);
+        let est = update.result.expect("query evaluates");
+        assert!(est.is_finite(), "round {round}: pushed estimate {est:?}");
+        // Response path on the same connection, racing the pusher for
+        // the shared writer: the reply frame must parse cleanly too.
+        sub_client.ping().expect("response path healthy between pushes");
+    }
+
+    sub_client.unsubscribe(sub_id).expect("unsubscribe");
+    server.shutdown().expect("clean shutdown");
 }

@@ -1036,7 +1036,6 @@ mod tests {
         // Deterministic Fisher–Yates so partitions see mixed stream order.
         let mut rng = sketchtree_hash::SplitMix64::new(99);
         for i in (1..vals.len()).rev() {
-            // lint:allow(L2, reason = "index bounded by i+1 <= len, fits usize")
             let j = (rng.next_u64() % (i as u64 + 1)) as usize;
             vals.swap(i, j);
         }

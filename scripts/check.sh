@@ -52,6 +52,20 @@ echo "==> standing-query parity (pushed == ad-hoc, bit-for-bit)"
 cargo test --quiet -p sketchtree-standing --test parity \
     pushed_estimates_are_bit_identical_to_adhoc_at_same_epoch
 
+echo "==> workspace lint gates (L6 lock-order, L7 blocking, L8 epoch, L9 spec-drift)"
+# The graph-aware workspace rules each get a named gate so a regression
+# fails under its own banner, and the seeded-bug self-tests prove each
+# pass still *fires* — a silently dead pass is a green gate that
+# enforces nothing.
+cargo test --quiet -p sketchtree --test lint_clean l6_lock_order_is_clean
+cargo test --quiet -p sketchtree --test lint_clean l7_blocking_under_lock_is_clean
+cargo test --quiet -p sketchtree --test lint_clean l8_epoch_determinism_is_clean
+cargo test --quiet -p sketchtree --test lint_clean l9_spec_drift_is_clean
+cargo test --quiet -p sketchtree-lint --test seeded_bugs l6_
+cargo test --quiet -p sketchtree-lint --test seeded_bugs l7_
+cargo test --quiet -p sketchtree-lint --test seeded_bugs l8_
+cargo test --quiet -p sketchtree-lint --test seeded_bugs l9_
+
 echo "==> sketchtree-lint"
 # --show-allowed keeps the documented exceptions visible in CI logs so
 # reviewers can see what has been excused and why.

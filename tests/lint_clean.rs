@@ -4,10 +4,29 @@
 //! `lint:allow` marker with a written reason (see docs/lints.md).  This
 //! test is the enforcement point — it fails the ordinary `cargo test`
 //! run the moment an undocumented violation lands, so panic-freedom,
-//! cast-safety, arithmetic discipline, lock ordering and wire
-//! exhaustiveness cannot silently regress.
+//! cast-safety, arithmetic discipline, lock ordering, blocking-under-
+//! lock, epoch/determinism discipline, wire exhaustiveness and
+//! spec-document drift cannot silently regress.  The workspace rules
+//! additionally get named per-rule gates so a regression fails with its
+//! own banner (and `scripts/check.sh` invokes them by name).
 
 use std::path::Path;
+
+/// Fails if any undocumented finding of `rule` exists workspace-wide.
+fn assert_rule_clean(rule: &str) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = sketchtree_lint::analyze_workspace(root);
+    let hits: Vec<String> = report
+        .undocumented()
+        .filter(|f| f.rule == rule)
+        .map(|f| format!("{}:{}: {}", f.file, f.line, f.message))
+        .collect();
+    assert!(
+        hits.is_empty(),
+        "undocumented {rule} findings (fix, or add a reasoned lint:allow — see docs/lints.md):\n{}",
+        hits.join("\n")
+    );
+}
 
 #[test]
 fn workspace_has_zero_undocumented_findings() {
@@ -22,6 +41,40 @@ fn workspace_has_zero_undocumented_findings() {
         "undocumented lint findings (fix them or add a reasoned lint:allow — see docs/lints.md):\n{}",
         report.to_text(false)
     );
+}
+
+#[test]
+fn l6_lock_order_is_clean() {
+    assert_rule_clean("L6");
+}
+
+#[test]
+fn l7_blocking_under_lock_is_clean() {
+    assert_rule_clean("L7");
+}
+
+#[test]
+fn l8_epoch_determinism_is_clean() {
+    assert_rule_clean("L8");
+}
+
+#[test]
+fn l9_spec_drift_is_clean() {
+    assert_rule_clean("L9");
+}
+
+/// The L9 pass only has teeth while both spec documents exist and still
+/// contain their tables; a deleted or emptied doc must fail loudly here
+/// rather than pass vacuously.
+#[test]
+fn l9_spec_documents_are_present_and_tabled() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for rel in sketchtree_lint::DOC_FILES {
+        let text = std::fs::read_to_string(root.join(rel))
+            .unwrap_or_else(|e| panic!("{rel} must exist for the L9 gate: {e}"));
+        let rows = text.lines().filter(|l| l.trim_start().starts_with('|')).count();
+        assert!(rows >= 5, "{rel} has only {rows} table lines — spec tables missing?");
+    }
 }
 
 #[test]
