@@ -53,6 +53,12 @@
 //!     register standing queries and stream pushed estimate updates to
 //!     stdout, one line per query per ingest batch; --updates N exits
 //!     after N updates (default: stream until the connection closes)
+//!
+//! sketchtree loadgen [options]
+//!     drive a mixed open-loop benchmark workload against a server (or an
+//!     in-process one) and write BENCH_loadgen_<scenario>.json; same
+//!     flags as the standalone `sketchtree-loadgen` binary — see
+//!     `sketchtree loadgen --help` and docs/benchmarks.md
 //! ```
 //!
 //! The library layer ([`run`]) is separated from the binary so integration
@@ -111,7 +117,8 @@ fn usage() -> String {
      [--ingest-threads N] [--metrics-port N] [sketch flags as for ingest]\n  \
      sketchtree remote-ingest <addr> <file.xml>|- [--batch N]\n  \
      sketchtree remote-query <addr> <pattern>... [--unordered | --expr]\n  \
-     sketchtree remote-subscribe <addr> <query>... [--unordered | --expr] [--updates N]"
+     sketchtree remote-subscribe <addr> <query>... [--unordered | --expr] [--updates N]\n  \
+     sketchtree loadgen [options]   (see: sketchtree loadgen --help)"
         .to_string()
 }
 
@@ -130,6 +137,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "remote-ingest" => remote_ingest(&args[1..], out),
         "remote-query" => remote_query(&args[1..], out),
         "remote-subscribe" => remote_subscribe(&args[1..], out),
+        "loadgen" => sketchtree_loadgen::run_cli(&args[1..], out).map_err(CliError::Failed),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}'\n\n{}",
             usage()

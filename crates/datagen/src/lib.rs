@@ -24,6 +24,7 @@
 pub mod dblp;
 pub mod stats;
 pub mod stream;
+pub mod synth;
 pub mod treebank;
 pub mod workload;
 pub mod zipf;
@@ -31,6 +32,7 @@ pub mod zipf;
 pub use dblp::DblpGen;
 pub use stats::StreamStats;
 pub use stream::{Dataset, StreamSpec};
+pub use synth::{SynthGen, SynthShape};
 pub use treebank::TreebankGen;
 pub use workload::{product_workload, single_pattern_workload, sum_workload, WorkloadQuery};
 pub use zipf::Zipf;

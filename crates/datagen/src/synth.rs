@@ -1,0 +1,241 @@
+//! Synthetic stress shapes for the load harness: deep, wide, adversarial.
+//!
+//! The paper's two corpora sit at opposite ends of the depth/fanout
+//! spectrum, but neither is an *extreme*: TREEBANK tops out around depth
+//! 40 and DBLP around fanout 20.  The load harness (`sketchtree-loadgen`)
+//! wants shapes past both ends, plus a worst case for the unordered path:
+//!
+//! * [`SynthShape::Deep`] — long label-recursive chains (depth 20–60,
+//!   fanout ≤ 2).  Stresses EnumTree's subtree recursion and the LPS/NPS
+//!   encodings, which grow with path length.
+//! * [`SynthShape::Wide`] — one root with 24–96 children drawn from a
+//!   16-label pool (depth ≤ 3).  Stresses sibling enumeration and frame
+//!   sizes (one tree ≈ one hundred nodes in a single SKTP frame).
+//! * [`SynthShape::Adversarial`] — many *identical* siblings under a
+//!   recursive spine.  Identical-sibling stars maximise the number of
+//!   distinct arrangements per unordered pattern and drive the
+//!   arrangement cap, the exact regime PR 5's cap fix guards.
+//!
+//! Like the other generators, everything is deterministic per seed and
+//! labels are interned into the caller's [`LabelTable`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sketchtree_tree::{Label, LabelTable, Tree};
+
+/// Which synthetic stress shape to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SynthShape {
+    /// Label-recursive chains: depth 20–60, fanout ≤ 2.
+    Deep,
+    /// Flat stars: one root, 24–96 children, depth ≤ 3.
+    Wide,
+    /// Identical-sibling stars under a recursive spine (arrangement-cap
+    /// worst case for unordered queries).
+    Adversarial,
+}
+
+impl SynthShape {
+    /// Display name (lowercase, used in scenario names and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SynthShape::Deep => "deep",
+            SynthShape::Wide => "wide",
+            SynthShape::Adversarial => "adversarial",
+        }
+    }
+
+    /// Parses a shape name as printed by [`SynthShape::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "deep" => Some(SynthShape::Deep),
+            "wide" => Some(SynthShape::Wide),
+            "adversarial" => Some(SynthShape::Adversarial),
+            _ => None,
+        }
+    }
+}
+
+/// Labels used by the deep chains: a small recursive segment alphabet so
+/// the same label reappears at many depths (like TREEBANK's `NP`, only
+/// more so).
+const DEEP_SEGMENTS: &[&str] = &[
+    "seg0", "seg1", "seg2", "seg3", "seg4", "seg5", "seg6", "seg7",
+];
+
+/// Child labels for the wide stars.
+const WIDE_FIELDS: &[&str] = &[
+    "f00", "f01", "f02", "f03", "f04", "f05", "f06", "f07", "f08", "f09", "f10", "f11", "f12",
+    "f13", "f14", "f15",
+];
+
+/// Seeded generator of synthetic stress trees.
+#[derive(Debug)]
+pub struct SynthGen {
+    shape: SynthShape,
+    rng: StdRng,
+    deep_segments: Vec<Label>,
+    deep_tip: Label,
+    wide_root: Label,
+    wide_fields: Vec<Label>,
+    wide_value: Label,
+    adv_root: Label,
+    adv_spine: Label,
+    adv_unit: Label,
+    adv_leaf: Label,
+}
+
+impl SynthGen {
+    /// Creates a generator; labels are interned into `labels`.
+    pub fn new(shape: SynthShape, seed: u64, labels: &mut LabelTable) -> Self {
+        Self {
+            shape,
+            rng: StdRng::seed_from_u64(seed),
+            deep_segments: DEEP_SEGMENTS.iter().map(|n| labels.intern(n)).collect(),
+            deep_tip: labels.intern("tip"),
+            wide_root: labels.intern("row"),
+            wide_fields: WIDE_FIELDS.iter().map(|n| labels.intern(n)).collect(),
+            wide_value: labels.intern("v"),
+            adv_root: labels.intern("adv"),
+            adv_spine: labels.intern("sp"),
+            adv_unit: labels.intern("a"),
+            adv_leaf: labels.intern("b"),
+        }
+    }
+
+    /// Uniform integer in `lo..=hi`.
+    fn pick(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        let span = hi - lo + 1;
+        lo + ((self.rng.gen::<f64>() * span as f64) as usize).min(span - 1)
+    }
+
+    /// A chain of `depth` segments.  Each level recurses into one child
+    /// (occasionally two, so patterns with siblings exist at all), and the
+    /// segment label cycles with a random phase so every `segN(segM)` edge
+    /// shows up.
+    fn deep_tree(&mut self) -> Tree {
+        let depth = self.pick(20, 60);
+        let phase = self.pick(0, self.deep_segments.len() - 1);
+        let mut node = Tree::leaf(self.deep_tip);
+        for level in (0..depth).rev() {
+            let label = self.deep_segments[(phase + level) % self.deep_segments.len()];
+            let children = if self.rng.gen::<f64>() < 0.15 {
+                vec![node, Tree::leaf(self.deep_tip)]
+            } else {
+                vec![node]
+            };
+            node = Tree::node(label, children);
+        }
+        node
+    }
+
+    /// A `row` star with many field children, each holding one value leaf.
+    fn wide_tree(&mut self) -> Tree {
+        let fanout = self.pick(24, 96);
+        let children = (0..fanout)
+            .map(|_| {
+                let fi = self.pick(0, WIDE_FIELDS.len() - 1);
+                Tree::node(self.wide_fields[fi], vec![Tree::leaf(self.wide_value)])
+            })
+            .collect();
+        Tree::node(self.wide_root, children)
+    }
+
+    /// A short `sp` spine; each spine node carries 4–10 *identical*
+    /// `a(b)` subtrees.  All arrangements of identical siblings collide,
+    /// so the unordered path churns through its arrangement budget.
+    fn adversarial_tree(&mut self) -> Tree {
+        let spine_len = self.pick(2, 4);
+        let mut node = Tree::leaf(self.adv_leaf);
+        for _ in 0..spine_len {
+            let copies = self.pick(4, 10);
+            let mut children: Vec<Tree> = (0..copies)
+                .map(|_| Tree::node(self.adv_unit, vec![Tree::leaf(self.adv_leaf)]))
+                .collect();
+            children.push(node);
+            node = Tree::node(self.adv_spine, children);
+        }
+        Tree::node(self.adv_root, vec![node])
+    }
+
+    /// Generates the next tree for the configured shape.
+    pub fn next_tree(&mut self) -> Tree {
+        match self.shape {
+            SynthShape::Deep => self.deep_tree(),
+            SynthShape::Wide => self.wide_tree(),
+            SynthShape::Adversarial => self.adversarial_tree(),
+        }
+    }
+}
+
+impl Iterator for SynthGen {
+    type Item = Tree;
+    fn next(&mut self) -> Option<Tree> {
+        Some(self.next_tree())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(shape: SynthShape, seed: u64, n: usize) -> Vec<Tree> {
+        let mut labels = LabelTable::new();
+        let mut g = SynthGen::new(shape, seed, &mut labels);
+        (0..n).map(|_| g.next_tree()).collect()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for shape in [SynthShape::Deep, SynthShape::Wide, SynthShape::Adversarial] {
+            let a = sample(shape, 9, 15);
+            let b = sample(shape, 9, 15);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_sexpr(), y.to_sexpr());
+            }
+        }
+    }
+
+    #[test]
+    fn deep_trees_are_deep_and_narrow() {
+        let trees = sample(SynthShape::Deep, 1, 100);
+        for t in &trees {
+            assert!(t.depth() >= 20 && t.depth() <= 62, "depth {}", t.depth());
+            assert!(t.max_fanout() <= 2, "fanout {}", t.max_fanout());
+        }
+    }
+
+    #[test]
+    fn wide_trees_are_wide_and_shallow() {
+        let trees = sample(SynthShape::Wide, 2, 100);
+        for t in &trees {
+            assert!(t.depth() <= 3, "depth {}", t.depth());
+            assert!(t.max_fanout() >= 24, "fanout {}", t.max_fanout());
+        }
+    }
+
+    #[test]
+    fn adversarial_trees_have_identical_siblings() {
+        let mut labels = LabelTable::new();
+        let mut g = SynthGen::new(SynthShape::Adversarial, 3, &mut labels);
+        let a = labels.lookup("a").unwrap();
+        let t = g.next_tree();
+        // Some node must have >= 4 children labelled `a`.
+        let max_a_siblings = t
+            .preorder()
+            .iter()
+            .map(|&id| t.children(id).iter().filter(|&&c| t.label(c) == a).count())
+            .max()
+            .unwrap();
+        assert!(max_a_siblings >= 4, "only {max_a_siblings} identical sibs");
+    }
+
+    #[test]
+    fn shape_names_roundtrip() {
+        for shape in [SynthShape::Deep, SynthShape::Wide, SynthShape::Adversarial] {
+            assert_eq!(SynthShape::parse(shape.name()), Some(shape));
+        }
+        assert_eq!(SynthShape::parse("nope"), None);
+    }
+}

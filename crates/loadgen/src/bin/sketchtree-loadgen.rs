@@ -1,0 +1,16 @@
+//! Standalone entry point; `sketchtree loadgen` wraps the same
+//! [`sketchtree_loadgen::run_cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = std::io::stdout();
+    match sketchtree_loadgen::run_cli(&args, &mut out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sketchtree-loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

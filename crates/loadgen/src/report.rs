@@ -1,0 +1,224 @@
+//! Builds the `BENCH_loadgen_<scenario>.json` document.
+//!
+//! The shape is a contract: [`crate::schema::validate`] enforces it, the
+//! `loadgen-smoke` gate in scripts/check.sh re-checks every fresh run,
+//! and docs/benchmarks.md documents each field.  Keys are emitted in a
+//! fixed order (insertion-ordered [`Json`] objects) so committed reports
+//! diff cleanly across PRs.
+
+use crate::driver::RunConfig;
+use crate::hist::LatencyHist;
+use crate::json::Json;
+use crate::scenario::OpKind;
+use crate::schema;
+use std::time::Duration;
+
+/// One row of the closed-loop throughput-vs-batch-size sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Trees per ingest request.
+    pub batch: usize,
+    /// Sustained ingest throughput at this batch size.
+    pub trees_per_sec: f64,
+    /// In-loop p99 of one ingest round-trip, µs.
+    pub p99_us: u64,
+    /// Requests completed inside the sweep window.
+    pub batches: u64,
+}
+
+/// Everything [`build`] needs from a finished run.
+pub struct BuildInput<'a> {
+    /// The run's configuration (echoed into `config`).
+    pub cfg: &'a RunConfig,
+    /// Wall-clock time of the main window including backlog drain.
+    pub elapsed: Duration,
+    /// Latency histograms indexed like [`OpKind::ALL`].
+    pub op_hists: &'a [LatencyHist],
+    /// Completed-op counts indexed like [`OpKind::ALL`].
+    pub op_counts: &'a [u64],
+    /// Error counts indexed like [`OpKind::ALL`].
+    pub op_errors: &'a [u64],
+    /// Actual-start minus scheduled-start, driver health.
+    pub sched_lag: &'a LatencyHist,
+    /// Trees acknowledged across all ingest ops.
+    pub trees: u64,
+    /// Pattern instances acknowledged across all ingest ops.
+    pub patterns: u64,
+    /// Ingest-ack-to-push lag samples.
+    pub push_lag: &'a LatencyHist,
+    /// Pushed updates received across subscribers.
+    pub updates: u64,
+    /// Highest epoch observed in any update.
+    pub max_epoch: u64,
+    /// Whether every subscription saw strictly increasing epochs.
+    pub monotone: bool,
+    /// Ops scheduled inside the window but never executed (hard stop).
+    pub abandoned: u64,
+    /// Closed-loop sweep results, possibly empty.
+    pub sweep: &'a [SweepRow],
+    /// Server-side counters, when reachable.
+    pub server_excerpt: Option<Json>,
+}
+
+/// File name a scenario's report is committed under, relative to the
+/// repo root: `BENCH_loadgen_<scenario>.json`.
+pub fn bench_path(scenario_name: &str) -> String {
+    format!("BENCH_loadgen_{scenario_name}.json")
+}
+
+/// Renders a latency histogram as the canonical percentile block.
+fn latency_block(h: &LatencyHist) -> Json {
+    let mut b = Json::obj();
+    b.set("p50", Json::Num(h.quantile(0.50) as f64));
+    b.set("p90", Json::Num(h.quantile(0.90) as f64));
+    b.set("p99", Json::Num(h.quantile(0.99) as f64));
+    b.set("p999", Json::Num(h.quantile(0.999) as f64));
+    b.set("max", Json::Num(h.max() as f64));
+    b.set("mean", Json::Num(h.mean()));
+    b
+}
+
+/// Assembles the schema-valid report document.
+pub fn build(input: BuildInput<'_>) -> Json {
+    let cfg = input.cfg;
+    let elapsed_secs = input.elapsed.as_secs_f64().max(1e-9);
+
+    let mut report = Json::obj();
+    report.set("schema", Json::Str(schema::SCHEMA_NAME.into()));
+    report.set("schema_version", Json::Num(schema::SCHEMA_VERSION));
+    report.set("scenario", Json::Str(cfg.scenario.name()));
+    report.set("dataset", Json::Str(cfg.scenario.shape.name().into()));
+    report.set("arrival", Json::Str(cfg.scenario.arrival.name().into()));
+    report.set("elapsed_secs", Json::Num(elapsed_secs));
+
+    let mut config = Json::obj();
+    config.set("duration_secs", Json::Num(cfg.duration.as_secs_f64()));
+    config.set("target_rate", Json::Num(cfg.rate));
+    config.set("threads", Json::Num(cfg.threads as f64));
+    config.set("batch", Json::Num(cfg.batch as f64));
+    config.set("subscribers", Json::Num(cfg.subscribers as f64));
+    config.set("seed", Json::Num(cfg.seed as f64));
+    config.set(
+        "mix",
+        Json::Str(format!(
+            "ingest={},count={},expr={},subscribe={}",
+            cfg.mix.ingest, cfg.mix.count, cfg.mix.expr, cfg.mix.subscribe
+        )),
+    );
+    report.set("config", config);
+
+    let mut ops = Json::obj();
+    for (i, kind) in OpKind::ALL.iter().enumerate() {
+        let mut block = Json::obj();
+        let count = input.op_counts.get(i).copied().unwrap_or(0);
+        block.set("count", Json::Num(count as f64));
+        block.set("errors", Json::Num(input.op_errors.get(i).copied().unwrap_or(0) as f64));
+        block.set("throughput_per_sec", Json::Num(count as f64 / elapsed_secs));
+        let empty = LatencyHist::new();
+        block.set("latency_us", latency_block(input.op_hists.get(i).unwrap_or(&empty)));
+        ops.set(kind.name(), block);
+    }
+    report.set("ops", ops);
+
+    report.set("sched_lag_us", latency_block(input.sched_lag));
+    report.set("completed_all_scheduled", Json::Bool(input.abandoned == 0));
+    report.set("ops_abandoned", Json::Num(input.abandoned as f64));
+
+    let mut push = Json::obj();
+    push.set("updates", Json::Num(input.updates as f64));
+    push.set("max_epoch", Json::Num(input.max_epoch as f64));
+    push.set("epochs_monotone", Json::Bool(input.monotone));
+    push.set("lag_samples", Json::Num(input.push_lag.count() as f64));
+    push.set("lag_us", latency_block(input.push_lag));
+    report.set("push", push);
+
+    let mut ingest = Json::obj();
+    ingest.set("trees", Json::Num(input.trees as f64));
+    ingest.set("patterns", Json::Num(input.patterns as f64));
+    ingest.set("trees_per_sec", Json::Num(input.trees as f64 / elapsed_secs));
+    report.set("ingest", ingest);
+
+    let rows = input
+        .sweep
+        .iter()
+        .map(|r| {
+            let mut row = Json::obj();
+            row.set("batch", Json::Num(r.batch as f64));
+            row.set("trees_per_sec", Json::Num(r.trees_per_sec));
+            row.set("p99_us", Json::Num(r.p99_us as f64));
+            row.set("batches", Json::Num(r.batches as f64));
+            row
+        })
+        .collect();
+    report.set("batch_sweep", Json::Arr(rows));
+
+    if let Some(server) = input.server_excerpt {
+        report.set("server", server);
+    }
+    report
+}
+
+/// A schema-complete report built through [`build`] itself, so schema
+/// tests break the moment the emitter and validator drift apart.
+#[cfg(test)]
+pub fn example_for_tests() -> Json {
+    use crate::scenario::Scenario;
+    let scenario = Scenario::parse("dblp-steady").expect("known scenario");
+    let cfg = RunConfig::smoke(scenario);
+    let mut hist = LatencyHist::new();
+    for v in [120u64, 340, 900, 4_200, 15_000] {
+        hist.record(v);
+    }
+    let hists: Vec<LatencyHist> = OpKind::ALL.iter().map(|_| hist.clone()).collect();
+    let sweep = [SweepRow { batch: 16, trees_per_sec: 1234.5, p99_us: 880, batches: 42 }];
+    build(BuildInput {
+        cfg: &cfg,
+        elapsed: Duration::from_millis(1500),
+        op_hists: &hists,
+        op_counts: &[30, 50, 10, 10],
+        op_errors: &[0, 0, 0, 0],
+        sched_lag: &hist,
+        trees: 240,
+        patterns: 2_400,
+        push_lag: &hist,
+        updates: 12,
+        max_epoch: 30,
+        monotone: true,
+        abandoned: 0,
+        sweep: &sweep,
+        server_excerpt: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_is_schema_valid_and_ordered() {
+        let r = example_for_tests();
+        assert!(crate::schema::validate(&r).is_ok());
+        // The first keys come out in contract order for clean diffs.
+        let text = r.render_pretty();
+        let schema_pos = text.find("\"schema\"").expect("schema key");
+        let scenario_pos = text.find("\"scenario\"").expect("scenario key");
+        let ops_pos = text.find("\"ops\"").expect("ops key");
+        assert!(schema_pos < scenario_pos && scenario_pos < ops_pos);
+    }
+
+    #[test]
+    fn bench_path_matches_contract() {
+        assert_eq!(bench_path("dblp-steady"), "BENCH_loadgen_dblp-steady.json");
+    }
+
+    #[test]
+    fn throughput_uses_elapsed_not_configured_duration() {
+        let r = example_for_tests();
+        let count = r.get_path(&["ops", "ingest", "count"]).and_then(Json::as_f64).expect("count");
+        let thr = r
+            .get_path(&["ops", "ingest", "throughput_per_sec"])
+            .and_then(Json::as_f64)
+            .expect("throughput");
+        assert!((thr - count / 1.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,507 @@
+//! The scenario matrix: data shape × arrival process, plus the op mix.
+//!
+//! A *scenario* names everything a run needs that isn't a knob: which
+//! tree generator feeds ingest, which query texts the ad-hoc and
+//! standing traffic use, and whether requests arrive steadily or in
+//! bursts.  Scenario names are `<shape>-<arrival>` (`dblp-steady`,
+//! `adversarial-bursty`) and become the `BENCH_loadgen_<scenario>.json`
+//! file name, so a given trajectory file always measures the same thing
+//! PR-over-PR.
+
+use sketchtree_core::sketchtree::SketchTreeConfig;
+use sketchtree_datagen::{DblpGen, SynthGen, SynthShape, TreebankGen};
+use sketchtree_sketch::SynopsisConfig;
+use sketchtree_tree::{Label, LabelTable, Tree};
+
+/// Which generator feeds the ingest stream (and which queries fit it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataShape {
+    /// Shallow, bushy, value-rich — the paper's DBLP analogue.
+    Dblp,
+    /// Deep, narrow, recursive — the paper's TREEBANK analogue.
+    Treebank,
+    /// Synthetic chains past TREEBANK's depth (see `sketchtree-datagen`'s
+    /// `synth` module).
+    Deep,
+    /// Synthetic stars past DBLP's fanout.
+    Wide,
+    /// Identical-sibling stars — arrangement-cap worst case.
+    Adversarial,
+}
+
+impl DataShape {
+    /// All shapes, in scenario-matrix order.
+    pub const ALL: [DataShape; 5] = [
+        DataShape::Dblp,
+        DataShape::Treebank,
+        DataShape::Deep,
+        DataShape::Wide,
+        DataShape::Adversarial,
+    ];
+
+    /// Lowercase shape name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataShape::Dblp => "dblp",
+            DataShape::Treebank => "treebank",
+            DataShape::Deep => "deep",
+            DataShape::Wide => "wide",
+            DataShape::Adversarial => "adversarial",
+        }
+    }
+
+    /// Parses [`DataShape::name`] output.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|d| d.name() == s)
+    }
+
+    /// Sketch configuration a self-spawned server uses for this shape:
+    /// the paper's `k` for the real-corpus analogues (Table 1), a smaller
+    /// `k` for the synthetic extremes whose per-tree pattern counts
+    /// explode combinatorially.
+    pub fn sketch_config(self, seed: u64) -> SketchTreeConfig {
+        let max_pattern_edges = match self {
+            DataShape::Dblp => 3,
+            DataShape::Treebank => 5,
+            DataShape::Deep => 3,
+            DataShape::Wide => 2,
+            DataShape::Adversarial => 2,
+        };
+        SketchTreeConfig {
+            max_pattern_edges,
+            synopsis: SynopsisConfig {
+                s1: 25,
+                s2: 5,
+                virtual_streams: 59,
+                topk: 32,
+                seed,
+                ..SynopsisConfig::default()
+            },
+            ..SketchTreeConfig::default()
+        }
+    }
+
+    /// Ad-hoc `Count` pattern texts that hit this shape's label set.
+    pub fn count_queries(self) -> &'static [&'static str] {
+        match self {
+            DataShape::Dblp => &[
+                "article(author)",
+                "article(author,year)",
+                "inproceedings(author,title)",
+                "article(journal)",
+            ],
+            DataShape::Treebank => &["S(NP,VP)", "NP(DT,NN)", "VP(VBD,NP)", "PP(IN,NP)"],
+            DataShape::Deep => &["seg0(seg1)", "seg1(seg2(seg3))", "seg4(seg5)", "seg7(seg0)"],
+            DataShape::Wide => &["row(f01)", "row(f02,f03)", "f04(v)", "row(f05,f06)"],
+            DataShape::Adversarial => &["sp(a)", "a(b)", "sp(a,a)", "adv(sp)"],
+        }
+    }
+
+    /// `Expr` texts (sums/differences of counts) for this shape.
+    pub fn expr_queries(self) -> &'static [&'static str] {
+        match self {
+            DataShape::Dblp => &[
+                "COUNT_ord(article(author)) + COUNT_ord(inproceedings(author))",
+                "COUNT_ord(article(year)) - COUNT_ord(article(journal))",
+            ],
+            DataShape::Treebank => &[
+                "COUNT_ord(S(NP,VP)) + COUNT_ord(S(VP))",
+                "COUNT_ord(NP(DT,NN)) - COUNT_ord(NP(PRP))",
+            ],
+            DataShape::Deep => &[
+                "COUNT_ord(seg0(seg1)) + COUNT_ord(seg2(seg3))",
+                "COUNT_ord(seg5(seg6)) + COUNT_ord(seg6(seg7))",
+            ],
+            DataShape::Wide => &[
+                "COUNT_ord(row(f01)) + COUNT_ord(row(f02))",
+                "COUNT_ord(f07(v)) + COUNT_ord(f08(v))",
+            ],
+            DataShape::Adversarial => &[
+                "COUNT_ord(sp(a)) + COUNT_ord(a(b))",
+                "COUNT_ord(adv(sp)) + COUNT_ord(sp(a,a))",
+            ],
+        }
+    }
+
+    /// Standing-query texts subscriber connections register (ordered
+    /// mode).
+    pub fn standing_queries(self) -> &'static [&'static str] {
+        match self {
+            DataShape::Dblp => &["article(author)", "inproceedings(author)"],
+            DataShape::Treebank => &["S(NP,VP)", "NP(DT,NN)"],
+            DataShape::Deep => &["seg0(seg1)", "seg3(seg4)"],
+            DataShape::Wide => &["row(f01)", "row(f02)"],
+            DataShape::Adversarial => &["sp(a)", "a(b)"],
+        }
+    }
+}
+
+/// The arrival process for the open-loop schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// Constant inter-arrival gap `1/rate`.
+    Steady,
+    /// Square wave with period [`BURST_PERIOD_SECS`]: the whole period's
+    /// ops arrive at double rate in the first half, nothing in the
+    /// second.  Mean rate matches `--rate`; the burst front is where
+    /// queueing (and the p999) lives.
+    Bursty,
+}
+
+/// Burst period, seconds (half on, half off).
+pub const BURST_PERIOD_SECS: f64 = 2.0;
+
+impl Arrival {
+    /// Lowercase arrival name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arrival::Steady => "steady",
+            Arrival::Bursty => "bursty",
+        }
+    }
+
+    /// Parses [`Arrival::name`] output.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "steady" => Some(Arrival::Steady),
+            "bursty" => Some(Arrival::Bursty),
+            _ => None,
+        }
+    }
+
+    /// Scheduled start (seconds from run start) of op `i` at mean rate
+    /// `rate` ops/s.  Monotone non-decreasing in `i`.
+    pub fn schedule(self, i: u64, rate: f64) -> f64 {
+        match self {
+            Arrival::Steady => i as f64 / rate,
+            Arrival::Bursty => {
+                let per_period = (rate * BURST_PERIOD_SECS).max(1.0);
+                let period = i as f64 / per_period;
+                let offset = (i as f64) - period.floor() * per_period;
+                // All of the period's ops land in its first half.
+                period.floor() * BURST_PERIOD_SECS
+                    + offset / per_period * (BURST_PERIOD_SECS / 2.0)
+            }
+        }
+    }
+}
+
+/// One cell of the scenario matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Tree generator + query set.
+    pub shape: DataShape,
+    /// Arrival process.
+    pub arrival: Arrival,
+}
+
+impl Scenario {
+    /// `<shape>-<arrival>`, e.g. `dblp-steady`.
+    pub fn name(self) -> String {
+        format!("{}-{}", self.shape.name(), self.arrival.name())
+    }
+
+    /// Parses a `<shape>-<arrival>` scenario name.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (shape, arrival) = s.rsplit_once('-')?;
+        Some(Scenario {
+            shape: DataShape::parse(shape)?,
+            arrival: Arrival::parse(arrival)?,
+        })
+    }
+
+    /// The full matrix, shapes × arrivals.
+    pub fn matrix() -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for shape in DataShape::ALL {
+            for arrival in [Arrival::Steady, Arrival::Bursty] {
+                out.push(Scenario { shape, arrival });
+            }
+        }
+        out
+    }
+}
+
+/// Relative op-kind weights for the mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// `IngestTrees` batches.
+    pub ingest: u32,
+    /// Ad-hoc ordered `Count`.
+    pub count: u32,
+    /// Ad-hoc `Expr`.
+    pub expr: u32,
+    /// Subscribe/unsubscribe churn (standing-query registration cost).
+    pub subscribe: u32,
+}
+
+impl Default for Mix {
+    fn default() -> Self {
+        Mix { ingest: 30, count: 50, expr: 10, subscribe: 10 }
+    }
+}
+
+/// One operation kind in the mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `IngestTrees` batch.
+    Ingest,
+    /// Ordered `Count`.
+    Count,
+    /// `Expr`.
+    Expr,
+    /// Subscribe + unsubscribe round trip.
+    Subscribe,
+}
+
+impl OpKind {
+    /// All kinds, report order.
+    pub const ALL: [OpKind; 4] =
+        [OpKind::Ingest, OpKind::Count, OpKind::Expr, OpKind::Subscribe];
+
+    /// Lowercase kind name (report keys, metric labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Ingest => "ingest",
+            OpKind::Count => "count",
+            OpKind::Expr => "expr",
+            OpKind::Subscribe => "subscribe",
+        }
+    }
+}
+
+impl Mix {
+    /// Parses `ingest=30,count=50,expr=10,subscribe=10`; omitted kinds
+    /// get weight 0; at least one weight must be positive and `ingest`
+    /// and `count` must both be present in the mix (the report schema
+    /// requires their blocks).
+    pub fn parse(s: &str) -> Result<Mix, String> {
+        let mut mix = Mix { ingest: 0, count: 0, expr: 0, subscribe: 0 };
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            let (kind, weight) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad mix component {part:?}, want kind=weight"))?;
+            let weight: u32 = weight
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad mix weight in {part:?}"))?;
+            match kind.trim() {
+                "ingest" => mix.ingest = weight,
+                "count" => mix.count = weight,
+                "expr" => mix.expr = weight,
+                "subscribe" => mix.subscribe = weight,
+                other => return Err(format!("unknown mix kind {other:?}")),
+            }
+        }
+        if mix.ingest == 0 || mix.count == 0 {
+            return Err("mix must give ingest and count positive weight".to_string());
+        }
+        Ok(mix)
+    }
+
+    /// Total weight.
+    pub fn total(self) -> u32 {
+        self.ingest + self.count + self.expr + self.subscribe
+    }
+
+    /// Deterministic kind for op index `i` under `seed`: hashes the
+    /// index, reduces modulo the total weight.  Every worker computes
+    /// the same kind for the same index, so the realized mix is exact to
+    /// within rounding regardless of which thread claims which op.
+    pub fn kind_for(self, seed: u64, i: u64) -> OpKind {
+        let h = splitmix64(seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut r = (h % u64::from(self.total())) as u32;
+        for (kind, w) in [
+            (OpKind::Ingest, self.ingest),
+            (OpKind::Count, self.count),
+            (OpKind::Expr, self.expr),
+            (OpKind::Subscribe, self.subscribe),
+        ] {
+            if r < w {
+                return kind;
+            }
+            r -= w;
+        }
+        OpKind::Count
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer; cheap, stateless, and
+/// plenty uniform for workload selection.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Pre-generated ingest batches and query texts for one scenario.
+pub struct Workload {
+    /// Label names, indexed by the `Label` ids inside `batches` (the
+    /// `IngestTrees` batch-local table).
+    pub labels: Vec<String>,
+    /// Ingest batches, cycled through by ingest ops.
+    pub batches: Vec<Vec<Tree>>,
+    /// Total trees across `batches`.
+    pub trees_total: usize,
+}
+
+impl Workload {
+    /// Generates `n_batches` batches of `batch` trees for `shape`.
+    /// Deterministic per seed.
+    pub fn prepare(shape: DataShape, seed: u64, batch: usize, n_batches: usize) -> Workload {
+        let mut labels = LabelTable::new();
+        let n = batch * n_batches;
+        let trees: Vec<Tree> = match shape {
+            DataShape::Dblp => {
+                // A modest author pool keeps per-batch label tables (and
+                // frames) small; shape statistics are unaffected.
+                let gen = DblpGen::new(seed, &mut labels, 400);
+                gen.take(n).collect()
+            }
+            DataShape::Treebank => {
+                let gen = TreebankGen::new(seed, &mut labels);
+                gen.take(n).collect()
+            }
+            DataShape::Deep => {
+                let gen = SynthGen::new(SynthShape::Deep, seed, &mut labels);
+                gen.take(n).collect()
+            }
+            DataShape::Wide => {
+                let gen = SynthGen::new(SynthShape::Wide, seed, &mut labels);
+                gen.take(n).collect()
+            }
+            DataShape::Adversarial => {
+                let gen = SynthGen::new(SynthShape::Adversarial, seed, &mut labels);
+                gen.take(n).collect()
+            }
+        };
+        let trees_total = trees.len();
+        let mut batches = Vec::with_capacity(n_batches);
+        let mut it = trees.into_iter();
+        for _ in 0..n_batches {
+            batches.push(it.by_ref().take(batch).collect());
+        }
+        let labels = (0..labels.len())
+            .map(|i| labels.name(Label(i as u32)).to_string())
+            .collect();
+        Workload { labels, batches, trees_total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_roundtrip() {
+        for s in Scenario::matrix() {
+            assert_eq!(Scenario::parse(&s.name()), Some(s), "{}", s.name());
+        }
+        assert_eq!(Scenario::matrix().len(), 10);
+        assert!(Scenario::parse("dblp").is_none());
+        assert!(Scenario::parse("nope-steady").is_none());
+    }
+
+    #[test]
+    fn mix_parses_and_rejects() {
+        let m = Mix::parse("ingest=30,count=50,expr=10,subscribe=10").unwrap();
+        assert_eq!(m, Mix::default());
+        assert_eq!(Mix::parse("ingest=1,count=1").unwrap().total(), 2);
+        assert!(Mix::parse("count=5").is_err(), "no ingest weight");
+        assert!(Mix::parse("ingest=5,count=0").is_err(), "zero count weight");
+        assert!(Mix::parse("ingest=5,count=5,bogus=1").is_err());
+        assert!(Mix::parse("ingest=x,count=5").is_err());
+    }
+
+    #[test]
+    fn mix_kind_frequencies_track_weights() {
+        let mix = Mix::default();
+        let mut counts = [0u64; 4];
+        let n = 100_000u64;
+        for i in 0..n {
+            let k = mix.kind_for(7, i);
+            counts[OpKind::ALL.iter().position(|&x| x == k).unwrap()] += 1;
+        }
+        for (idx, want) in [(0usize, 0.30f64), (1, 0.50), (2, 0.10), (3, 0.10)] {
+            let got = counts[idx] as f64 / n as f64;
+            assert!(
+                (got - want).abs() < 0.02,
+                "{}: got {got}, want {want}",
+                OpKind::ALL[idx].name()
+            );
+        }
+        // Deterministic: same seed, same kinds.
+        assert_eq!(mix.kind_for(7, 1234), mix.kind_for(7, 1234));
+    }
+
+    #[test]
+    fn schedules_are_monotone_and_rate_matching() {
+        for arrival in [Arrival::Steady, Arrival::Bursty] {
+            let rate = 100.0;
+            let mut last = -1.0;
+            for i in 0..1000u64 {
+                let t = arrival.schedule(i, rate);
+                assert!(t >= last, "{arrival:?} op {i}: {t} < {last}");
+                last = t;
+            }
+            // 1000 ops at 100/s should span ~10s for both processes.
+            let span = arrival.schedule(999, rate);
+            assert!((span - 10.0).abs() < 1.1, "{arrival:?} span {span}");
+        }
+    }
+
+    #[test]
+    fn bursty_front_loads_each_period() {
+        // At 100 ops/s with a 2 s period, ops 0..199 belong to period 0
+        // and must all be scheduled in its first half ([0, 1)).
+        let a = Arrival::Bursty;
+        for i in 0..200u64 {
+            let t = a.schedule(i, 100.0);
+            assert!(t < 1.0, "op {i} at {t}");
+        }
+        assert!(a.schedule(200, 100.0) >= 2.0);
+    }
+
+    #[test]
+    fn workloads_generate_for_every_shape() {
+        for shape in DataShape::ALL {
+            let w = Workload::prepare(shape, 5, 4, 3);
+            assert_eq!(w.batches.len(), 3, "{}", shape.name());
+            assert_eq!(w.trees_total, 12);
+            assert!(!w.labels.is_empty());
+            // Every tree's labels must index into the label table.
+            for b in &w.batches {
+                assert_eq!(b.len(), 4);
+                for t in b {
+                    for id in t.preorder() {
+                        assert!((t.label(id).0 as usize) < w.labels.len());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_texts_use_generated_labels() {
+        // Every label mentioned in a query must exist in the shape's
+        // label table, otherwise the server would answer with an error
+        // rather than an estimate.
+        for shape in DataShape::ALL {
+            let w = Workload::prepare(shape, 5, 4, 2);
+            let known: std::collections::HashSet<&str> =
+                w.labels.iter().map(String::as_str).collect();
+            let mut texts: Vec<&str> = shape.count_queries().to_vec();
+            texts.extend(shape.standing_queries());
+            for q in texts {
+                for name in q.split(['(', ')', ',']).filter(|s| !s.is_empty()) {
+                    assert!(
+                        known.contains(name),
+                        "{}: query {q:?} mentions unknown label {name:?}",
+                        shape.name()
+                    );
+                }
+            }
+        }
+    }
+}

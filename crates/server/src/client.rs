@@ -9,7 +9,8 @@
 //! that prefer at-least-once delivery can loop on the error themselves.
 
 use crate::wire::{
-    read_frame, Frame, Request, Response, Stats, SubscribeMode, WireError, DEFAULT_MAX_FRAME,
+    read_frame_patient, Frame, Request, Response, Stats, SubscribeMode, WireError,
+    DEFAULT_MAX_FRAME,
 };
 use sketchtree_tree::Tree;
 use std::collections::VecDeque;
@@ -276,7 +277,7 @@ impl Client {
         };
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            match read_frame(stream, self.max_frame) {
+            match read_frame_patient(stream, self.max_frame, self.response_timeout) {
                 Ok(Frame::Msg { kind, payload }) => {
                     match Response::decode(kind, &payload).map_err(ClientError::from)? {
                         Response::EstimateUpdate { id, epoch, result } => {
@@ -318,6 +319,61 @@ impl Client {
         }
     }
 
+    /// Writes `req` without waiting for its reply, for pipelining.
+    ///
+    /// The server answers each connection's requests strictly in order
+    /// (one worker owns the connection and processes frames
+    /// sequentially), so a caller may [`Client::send`] several requests
+    /// back-to-back and then collect the replies with
+    /// [`Client::recv_reply`] — one reply per send, in send order.
+    /// Keeping several requests in flight hides the per-request network
+    /// round trip; the server's TCP receive window is the backpressure
+    /// bound on how far ahead a sender can run.
+    ///
+    /// Pipelined sends are at-most-once: nothing is retried, and a
+    /// transport error leaves the connection closed with all in-flight
+    /// replies lost.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        self.ensure_connected()?;
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "connection lost before the request could be written",
+            )));
+        };
+        if let Err(e) = req.write_to(stream) {
+            self.stream = None;
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Reads the reply to the oldest outstanding [`Client::send`].
+    ///
+    /// Pushed standing-query updates that arrive interleaved are
+    /// buffered for [`Client::next_update`], exactly as during a
+    /// blocking request.  An error frame surfaces as
+    /// [`ClientError::Server`].  Calling with no request outstanding
+    /// blocks until the response timeout.
+    pub fn recv_reply(&mut self) -> Result<Response, ClientError> {
+        let (max_frame, response_timeout) = (self.max_frame, self.response_timeout);
+        let Self { stream: slot, pending, .. } = self;
+        let Some(stream) = slot.as_mut() else {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "connection lost with replies outstanding",
+            )));
+        };
+        match Self::read_reply(stream, max_frame, response_timeout, pending) {
+            Ok(Response::Error(m)) => Err(ClientError::Server(m)),
+            Ok(other) => Ok(other),
+            Err(e) => {
+                *slot = None;
+                Err(e)
+            }
+        }
+    }
+
     /// Sends `req` and reads its reply.  When `retry` is set, transport
     /// failures reconnect (capped exponential backoff) and resend; when
     /// clear, the request is sent at most once.
@@ -348,23 +404,36 @@ impl Client {
 
     fn try_once(&mut self, req: &Request) -> Result<Response, ClientError> {
         self.ensure_connected()?;
-        let Some(stream) = self.stream.as_mut() else {
+        let (max_frame, response_timeout) = (self.max_frame, self.response_timeout);
+        let Self { stream, pending, .. } = self;
+        let Some(stream) = stream.as_mut() else {
             return Err(ClientError::Io(io::Error::new(
                 io::ErrorKind::NotConnected,
                 "connection lost before the request could be written",
             )));
         };
         req.write_to(stream)?;
-        let deadline = std::time::Instant::now() + self.response_timeout;
+        Self::read_reply(stream, max_frame, response_timeout, pending)
+    }
+
+    /// Reads direct-reply frames until one that is not a pushed update
+    /// arrives; pushed updates are buffered for [`Client::next_update`].
+    fn read_reply(
+        stream: &mut TcpStream,
+        max_frame: u32,
+        response_timeout: Duration,
+        pending: &mut VecDeque<Update>,
+    ) -> Result<Response, ClientError> {
+        let deadline = std::time::Instant::now() + response_timeout;
         loop {
-            match read_frame(stream, self.max_frame)? {
+            match read_frame_patient(stream, max_frame, response_timeout)? {
                 Frame::Msg { kind, payload } => {
                     // Pushed updates interleave freely with request
                     // replies on a subscribed connection; buffer them for
                     // next_update and keep waiting for the actual reply.
                     match Response::decode(kind, &payload)? {
                         Response::EstimateUpdate { id, epoch, result } => {
-                            self.pending.push_back(Update { id, epoch, result });
+                            pending.push_back(Update { id, epoch, result });
                         }
                         other => return Ok(other),
                     }

@@ -27,7 +27,7 @@ use crate::http::MetricsHttp;
 use crate::metrics::{ConnectionGuard, ServerMetrics};
 use crate::subs::Subscriptions;
 use crate::wire::{
-    frame_bytes, read_frame, Frame, Request, Response, Stats, SubscribeMode, WireError,
+    frame_bytes, read_frame_patient, Frame, Request, Response, Stats, SubscribeMode, WireError,
     DEFAULT_MAX_FRAME, HEADER_LEN,
 };
 use sketchtree_core::concurrent::SharedSketchTree;
@@ -420,7 +420,12 @@ fn serve_connection(stream: TcpStream, ctx: &Ctx) {
         if ctx.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        match read_frame(&mut reader, ctx.max_frame) {
+        // Patience = `idle_timeout`: a peer mid-frame may stall for up to
+        // one idle interval between bytes without being disconnected, so
+        // slow ingesters trickling a large batch see backpressure (their
+        // writes just take longer) rather than a reset.  A wedged peer
+        // still frees the worker after `idle_timeout` without progress.
+        match read_frame_patient(&mut reader, ctx.max_frame, ctx.idle_timeout) {
             Ok(Frame::Eof) => break,
             Ok(Frame::Idle) => {
                 // A subscribed connection is *expected* to go quiet —

@@ -57,6 +57,15 @@ pub struct Subscriptions {
     next_sub: AtomicU64,
     max_per_conn: usize,
     metrics: Arc<ServerMetrics>,
+    /// Serializes [`Subscriptions::broadcast`] and records the last epoch
+    /// pushed.  Batch hooks run under the *shared* read lock, so two
+    /// connections' batches can fire concurrently; without this gate
+    /// their per-subscription enqueues interleave and a subscriber can
+    /// see epochs go backwards (observed by the loadgen harness).  The
+    /// gate is the outermost lock in this module: it is only ever taken
+    /// at the top of `broadcast`, before the registry or table locks, so
+    /// the documented registry → table order is unchanged.
+    broadcast_gate: Mutex<u64>,
 }
 
 impl Subscriptions {
@@ -69,6 +78,7 @@ impl Subscriptions {
             next_sub: AtomicU64::new(0),
             max_per_conn: max_per_conn.max(1),
             metrics,
+            broadcast_gate: Mutex::new(0),
         }
     }
 
@@ -145,18 +155,33 @@ impl Subscriptions {
     ///
     /// Evaluation cost is one pass over *distinct* registered queries —
     /// timed by `sketchtree_standing_eval_seconds`, whose sample count
-    /// therefore equals the number of broadcast batches regardless of how
+    /// therefore equals the number of broadcast *epochs* regardless of how
     /// many subscribers read the results.  Fan-out is non-blocking: a
     /// full or dead queue evicts that subscriber on the spot.
+    ///
+    /// Broadcasts are serialized by `broadcast_gate`, which also makes
+    /// per-subscription epochs *strictly increasing*: when concurrent
+    /// batches race, the hook that loses the gate sees the same
+    /// post-batch state the winner already pushed (the caller holds the
+    /// shared read lock, so `st` is the current synopsis, not a stale
+    /// snapshot) and skips the redundant broadcast.
     pub fn broadcast(&self, st: &SketchTree) {
         if self.registry.registrations() == 0 {
             return;
         }
+        let epoch = st.epoch();
+        let mut gate = self.broadcast_gate.lock().unwrap_or_else(|e| e.into_inner());
+        if *gate >= epoch {
+            // A concurrent broadcast already pushed this state (or newer:
+            // epochs only advance, and its enqueues happened before ours
+            // would).  Pushing now would deliver out-of-order estimates.
+            return;
+        }
+        *gate = epoch;
         let eval_started = Instant::now();
         let results: HashMap<_, _> = self.registry.evaluate_all(st).into_iter().collect();
         self.metrics.standing_eval_seconds.observe_duration(eval_started.elapsed());
 
-        let epoch = st.epoch();
         let push_started = Instant::now();
         let mut table = self.lock_table();
         let mut evicted: Vec<u64> = Vec::new();
@@ -240,12 +265,17 @@ mod tests {
         // Deterministic stand-in for a wedged reader: a capacity-1 queue
         // that nothing drains.  The first broadcast fills it; the second
         // finds it full and must evict instead of blocking the batch.
+        // The epoch must advance between broadcasts (as a real batch
+        // would): the broadcast gate skips same-epoch re-broadcasts.
         let s = subs();
         let (tx, _rx) = sync_channel::<Response>(1);
         let id = s.subscribe(1, spec("A(B)"), tx).unwrap();
-        let st = synopsis();
+        let mut st = synopsis();
         s.broadcast(&st);
         assert_eq!(s.active(), 1, "first update fits the queue");
+        let a = st.labels_mut().intern("A");
+        let b = st.labels_mut().intern("B");
+        st.ingest(&sketchtree_tree::Tree::node(a, vec![sketchtree_tree::Tree::leaf(b)]));
         s.broadcast(&st);
         assert_eq!(s.active(), 0, "full queue ⇒ evicted");
         assert_eq!(s.distinct_queries(), 0, "eviction releases the plan");

@@ -25,6 +25,7 @@
 use sketchtree_tree::{Label, Tree, TreeBuilder};
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Frame magic, first four bytes of every message.
 pub const MAGIC: &[u8; 4] = b"SKTP";
@@ -199,7 +200,9 @@ pub enum Frame {
     Eof,
     /// A read timeout fired with no bytes pending — the connection is
     /// idle, not broken.  Only possible before the first header byte; a
-    /// timeout *inside* a frame is reported as [`WireError::Truncated`].
+    /// timeout *inside* a frame is reported as [`WireError::Truncated`]
+    /// once the reader's stall allowance runs out (immediately for
+    /// [`read_frame`], after `stall` for [`read_frame_patient`]).
     Idle,
 }
 
@@ -237,10 +240,44 @@ pub fn frame_bytes(kind: u8, payload: &[u8]) -> io::Result<Vec<u8>> {
 
 /// Reads one frame, distinguishing clean EOF and idle timeouts from real
 /// protocol failures.
+///
+/// Zero-patience variant of [`read_frame_patient`]: the first read
+/// timeout *inside* a frame is reported as [`WireError::Truncated`].
+/// Peers that trickle bytes slower than the reader's socket timeout
+/// should be read with [`read_frame_patient`] instead.
 pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, WireError> {
+    read_frame_patient(r, max_frame, Duration::ZERO)
+}
+
+/// Reads one frame, tolerating mid-frame socket timeouts while the peer
+/// keeps making progress.
+///
+/// The readers in this workspace use short socket read timeouts (the
+/// server's doubles as its idle/housekeeping tick), which means a peer
+/// that writes a frame in pieces — a slow ingester trickling a large
+/// `IngestTrees` batch through a congested link, or an OS that delivers
+/// a large write in several segments — can stall *inside* a frame for
+/// longer than one timeout without being broken.  Disconnecting such a
+/// peer (the pre-`stall` behavior) turns backpressure into an error.
+///
+/// Semantics:
+///
+/// * Zero bytes + timeout before the first header byte → [`Frame::Idle`]
+///   (unchanged: idle ticks drive housekeeping and deadlines).
+/// * A timeout mid-frame starts a stall clock.  Each arriving byte
+///   resets it.  Only once `stall` elapses with **no progress at all**
+///   is the frame abandoned as [`WireError::Truncated`].
+///
+/// With `stall == Duration::ZERO` this is exactly [`read_frame`]: the
+/// first mid-frame timeout truncates.
+pub fn read_frame_patient(
+    r: &mut impl Read,
+    max_frame: u32,
+    stall: Duration,
+) -> Result<Frame, WireError> {
     // First byte separately: zero bytes + EOF is a clean close, zero
     // bytes + timeout is an idle tick.  Once a byte has arrived we are
-    // mid-frame and any shortfall is an error.
+    // mid-frame and any shortfall beyond the stall allowance is an error.
     let mut first = [0u8; 1];
     loop {
         match r.read(&mut first) {
@@ -258,7 +295,7 @@ pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, WireError>
     }
     let [first_byte] = first;
     let mut rest = [0u8; HEADER_LEN - 1];
-    read_exact_framed(r, &mut rest)?;
+    read_exact_framed(r, &mut rest, stall)?;
     // Parse the header through the payload Reader: first byte + 12 rest
     // bytes are magic(4), version(4), kind(1), len(4), little-endian.
     let mut hdr = Reader { bytes: &rest, pos: 0 };
@@ -277,26 +314,49 @@ pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, WireError>
         return Err(WireError::Oversize { len, max: max_frame });
     }
     let mut payload = vec![0u8; widen(len)];
-    read_exact_framed(r, &mut payload)?;
+    read_exact_framed(r, &mut payload, stall)?;
     Ok(Frame::Msg { kind, payload })
 }
 
-/// `read_exact` that reports timeouts and EOF mid-frame as truncation.
-fn read_exact_framed(r: &mut impl Read, buf: &mut [u8]) -> Result<(), WireError> {
-    match r.read_exact(buf) {
-        Ok(()) => Ok(()),
-        Err(e)
-            if matches!(
-                e.kind(),
-                io::ErrorKind::UnexpectedEof
-                    | io::ErrorKind::WouldBlock
-                    | io::ErrorKind::TimedOut
-            ) =>
-        {
-            Err(WireError::Truncated)
+/// `read_exact` for mid-frame bytes: EOF is truncation; a timeout is
+/// truncation only after `stall` elapses with zero forward progress.
+///
+/// The stall clock restarts on every successful read, so a peer that
+/// keeps trickling bytes — however slowly — is never disconnected, while
+/// a genuinely wedged peer is cut off one stall interval after its last
+/// byte.  `read_exact` cannot be used here: on a timeout it discards how
+/// many bytes were already consumed, which would desynchronize the
+/// stream on retry.
+fn read_exact_framed(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    stall: Duration,
+) -> Result<(), WireError> {
+    let mut rest: &mut [u8] = buf;
+    let mut last_progress = Instant::now();
+    while !rest.is_empty() {
+        match r.read(rest) {
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => {
+                // `read` guarantees n <= rest.len(); min() makes the
+                // slice advance panic-free even against a broken impl.
+                let n = n.min(rest.len());
+                rest = std::mem::take(&mut rest).get_mut(n..).unwrap_or_default();
+                last_progress = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if last_progress.elapsed() >= stall {
+                    return Err(WireError::Truncated);
+                }
+            }
+            Err(e) => return Err(WireError::Io(e)),
         }
-        Err(e) => Err(WireError::Io(e)),
     }
+    Ok(())
 }
 
 /// A client-to-server message.

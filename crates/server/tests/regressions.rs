@@ -3,12 +3,12 @@
 //! snapshot requests, and the idle-connection timeout.
 
 use sketchtree_core::sketchtree::SketchTreeConfig;
-use sketchtree_server::wire::{frame_bytes, read_frame, write_frame, Frame};
+use sketchtree_server::wire::{frame_bytes, read_frame, write_frame, Frame, Request, Response};
 use sketchtree_server::{Client, Server, ServerConfig, ServerMetrics, SubscribeMode, Subscriptions};
 use sketchtree_sketch::SynopsisConfig;
 use sketchtree_standing::{QueryMode, QuerySpec};
 use sketchtree_tree::{Label, Tree};
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -324,6 +324,238 @@ fn pushed_updates_interleave_with_responses_without_tearing_frames() {
         // the shared writer: the reply frame must parse cleanly too.
         sub_client.ping().expect("response path healthy between pushes");
     }
+
+    sub_client.unsubscribe(sub_id).expect("unsubscribe");
+    server.shutdown().expect("clean shutdown");
+}
+
+/// A peer that trickles a frame in pieces — each gap longer than the
+/// server's socket `read_timeout` — must be answered, not disconnected.
+/// Before `read_frame_patient`, the first mid-frame timeout surfaced as
+/// `WireError::Truncated` and the server reset the connection, turning
+/// backpressure on slow ingesters into an error.
+#[test]
+fn trickled_frame_is_served_not_disconnected() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            read_timeout: Duration::from_millis(50),
+            idle_timeout: Duration::from_secs(5),
+            sketch: config(41),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    let mut frame = Vec::new();
+    Request::IngestXml(vec!["<a><b>x</b></a>".to_string()])
+        .write_to(&mut frame)
+        .expect("frame encodes");
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    stream.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+    // Drip the frame out in thirds, stalling well past the server's
+    // read_timeout between writes — mid-header and mid-payload.
+    let third = frame.len() / 3;
+    for chunk in [&frame[..5], &frame[5..5 + third], &frame[5 + third..]] {
+        stream.write_all(chunk).expect("trickled write");
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+    }
+
+    let reply = loop {
+        match read_frame(&mut stream, 1 << 20).expect("reply frame parses") {
+            Frame::Msg { kind, payload } => {
+                break Response::decode(kind, &payload).expect("reply decodes")
+            }
+            Frame::Idle => continue,
+            Frame::Eof => panic!("server disconnected a slow-but-live ingester"),
+        }
+    };
+    match reply {
+        Response::Ingested { trees, .. } => assert_eq!(trees, 1),
+        other => panic!("expected an ingest summary, got {other:?}"),
+    }
+
+    server.shutdown().expect("clean shutdown");
+}
+
+/// The server processes each connection's frames strictly in order, so a
+/// client may pipeline several requests before reading any reply and must
+/// get the replies back in send order.  Exercises the
+/// `Client::send`/`Client::recv_reply` split API end to end.
+#[test]
+fn pipelined_requests_are_answered_in_send_order() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig { sketch: config(43), ..ServerConfig::default() },
+    )
+    .expect("server starts");
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .ingest_xml(&["<a><b>x</b></a>".to_string()])
+        .expect("seed one tree so counts are nonzero");
+
+    // A kind-distinguishable sequence: the reply types themselves prove
+    // the ordering.
+    let count = Request::Count { unordered: false, pattern: "a(b)".to_string() };
+    let reqs =
+        [Request::Ping, Request::Stats, count.clone(), Request::Ping, count, Request::Stats];
+    for req in &reqs {
+        client.send(req).expect("pipelined send");
+    }
+    for (i, req) in reqs.iter().enumerate() {
+        let reply = client.recv_reply().expect("pipelined reply");
+        let ok = matches!(
+            (req, &reply),
+            (Request::Ping, Response::Pong)
+                | (Request::Stats, Response::Stats(_))
+                | (Request::Count { .. }, Response::Estimate(_))
+        );
+        assert!(ok, "reply {i} out of order: sent {req:?}, got {reply:?}");
+        if let Response::Estimate(v) = reply {
+            assert!(v > 0.0, "seeded count came back {v}");
+        }
+    }
+
+    server.shutdown().expect("clean shutdown");
+}
+
+/// Backpressure contract for flooding ingesters: a connection that
+/// pipelines a long run of ingest batches without reading replies (a)
+/// never loses or reorders an ack, (b) sees monotone totals, and (c)
+/// cannot starve other connections, which keep getting served by the
+/// rest of the worker pool.
+#[test]
+fn ingest_flood_is_backpressured_without_starving_other_connections() {
+    const BATCHES: usize = 120;
+    const DOCS_PER_BATCH: u64 = 10;
+
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig { workers: 2, sketch: config(47), ..ServerConfig::default() },
+    )
+    .expect("server starts");
+
+    // Flooder: writes every batch up front, reads nothing yet.  Replies
+    // pile up in the socket buffers — that, plus the server reading one
+    // frame at a time, is the backpressure bound.
+    let mut flood = TcpStream::connect(server.addr()).expect("connect");
+    flood.set_nodelay(true).unwrap();
+    flood.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+    let docs: Vec<String> =
+        (0..DOCS_PER_BATCH).map(|i| format!("<a><b>x{i}</b></a>")).collect();
+    let mut frame = Vec::new();
+    Request::IngestXml(docs).write_to(&mut frame).expect("frame encodes");
+    for _ in 0..BATCHES {
+        flood.write_all(&frame).expect("flood write");
+    }
+    flood.flush().unwrap();
+
+    // While the flood drains, a second connection must still be served
+    // promptly by the other worker.
+    let mut other = Client::connect(server.addr()).expect("connect");
+    let start = Instant::now();
+    for _ in 0..5 {
+        other.ping().expect("other connection served during the flood");
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "other connection starved for {:?} behind an ingest flood",
+        start.elapsed()
+    );
+
+    // Drain all acks: exactly one per batch, in order, totals monotone.
+    let mut last_total = 0u64;
+    for batch in 0..BATCHES {
+        let reply = loop {
+            match read_frame(&mut flood, 1 << 20).expect("ack frame parses") {
+                Frame::Msg { kind, payload } => {
+                    break Response::decode(kind, &payload).expect("ack decodes")
+                }
+                Frame::Idle => continue,
+                Frame::Eof => panic!("server dropped the flooder at batch {batch}"),
+            }
+        };
+        match reply {
+            Response::Ingested { trees, total_trees, .. } => {
+                assert_eq!(trees, DOCS_PER_BATCH, "batch {batch}");
+                assert!(
+                    total_trees > last_total,
+                    "batch {batch}: total went {last_total} -> {total_trees}"
+                );
+                last_total = total_trees;
+            }
+            other => panic!("batch {batch}: expected an ingest summary, got {other:?}"),
+        }
+    }
+    assert_eq!(last_total, BATCHES as u64 * DOCS_PER_BATCH);
+
+    server.shutdown().expect("clean shutdown");
+}
+
+/// Concurrent batch ingests fire the post-batch hook concurrently (it
+/// runs under the *shared* read lock).  Before the broadcast gate in
+/// `Subscriptions`, two racing broadcasts could interleave their
+/// per-subscription enqueues and push epochs out of order — the loadgen
+/// harness caught subscribers seeing epochs go backwards.  Epochs on one
+/// subscription must be strictly increasing.
+#[test]
+fn concurrent_ingest_pushes_strictly_increasing_epochs() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig { workers: 6, sketch: config(47), ..ServerConfig::default() },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    let mut sub_client = Client::connect(addr).expect("connect");
+    let (sub_id, _epoch) =
+        sub_client.subscribe(SubscribeMode::Ordered, "a(b)").expect("subscribe");
+
+    // Four connections hammer batches concurrently so broadcasts race.
+    const FEEDERS: usize = 4;
+    const BATCHES: usize = 25;
+    let feeders: Vec<_> = (0..FEEDERS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("feeder connects");
+                for _ in 0..BATCHES {
+                    c.ingest_xml(&[
+                        "<a><b>x</b></a>".to_string(),
+                        "<a><b>y</b><b>z</b></a>".to_string(),
+                    ])
+                    .expect("feeder batch");
+                }
+            })
+        })
+        .collect();
+
+    let mut last_epoch = 0u64;
+    let mut updates = 0u32;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while Instant::now() < deadline {
+        match sub_client.next_update(Duration::from_millis(200)).expect("update path healthy") {
+            Some(u) => {
+                assert_eq!(u.id, sub_id);
+                assert!(
+                    u.epoch > last_epoch,
+                    "epoch regressed: {last_epoch} then {}",
+                    u.epoch
+                );
+                last_epoch = u.epoch;
+                updates += 1;
+            }
+            None if feeders.iter().all(|h| h.is_finished()) => break,
+            None => continue,
+        }
+    }
+    for h in feeders {
+        h.join().expect("feeder thread");
+    }
+    assert!(updates > 0, "no updates pushed at all");
 
     sub_client.unsubscribe(sub_id).expect("unsubscribe");
     server.shutdown().expect("clean shutdown");

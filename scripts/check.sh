@@ -52,6 +52,17 @@ echo "==> standing-query parity (pushed == ad-hoc, bit-for-bit)"
 cargo test --quiet -p sketchtree-standing --test parity \
     pushed_estimates_are_bit_identical_to_adhoc_at_same_epoch
 
+echo "==> loadgen-smoke (mixed-load harness end-to-end + BENCH schema)"
+# One short open-loop run against an in-process server: the emitted
+# report must pass the BENCH_loadgen_*.json schema (every percentile
+# field present), carry non-empty histograms for every op kind, and show
+# monotone epochs on pushed standing-query updates.  The schema unit
+# tests prove the validator still *rejects* malformed reports — a
+# validator that accepts anything is a green gate that checks nothing.
+cargo test --quiet -p sketchtree --test loadgen_smoke
+cargo test --quiet -p sketchtree-loadgen schema_
+cargo test --quiet -p sketchtree-loadgen missing_
+
 echo "==> workspace lint gates (L6 lock-order, L7 blocking, L8 epoch, L9 spec-drift)"
 # The graph-aware workspace rules each get a named gate so a regression
 # fails under its own banner, and the seeded-bug self-tests prove each

@@ -25,6 +25,7 @@ const CHECKED: &[&str] = &[
     "docs/lints.md",
     "docs/wire-protocol.md",
     "docs/observability.md",
+    "docs/benchmarks.md",
 ];
 
 /// Extracts inline markdown link targets: `[text](target)`.  Good enough
