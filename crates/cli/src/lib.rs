@@ -34,6 +34,13 @@
 //!     run the SKTP daemon: streaming remote ingest + online queries
 //!     --snapshot PATH         checkpoint file (restore on start, write on stop)
 //!     --checkpoint-secs N     also checkpoint every N seconds
+//!     --wal-path PATH         write-ahead log: fsync every ingest batch
+//!                             before acking, replay the tail on start,
+//!                             rotate on every checkpoint
+//!     --wal-fsync-every N     group commit: one fsync per N batches
+//!                             (default 1 = every batch; a crash may
+//!                             lose up to N-1 acked batches; 0 = never,
+//!                             benchmarking only)
 //!     --workers N             worker threads (default 4)
 //!     --ingest-threads N      parallel ingest pipeline width (default:
 //!                             SKETCHTREE_INGEST_THREADS, else the CPU
@@ -42,6 +49,11 @@
 //!     --metrics-port N        serve HTTP /metrics + /healthz on 0.0.0.0:N
 //!                             (0 picks an ephemeral port; omit to disable)
 //!     plus the ingest sketch flags (--k, --s1, ... ) for a fresh synopsis
+//!
+//! sketchtree wal-dump <wal-file>
+//!     inspect a write-ahead log: one line per intact frame (sequence
+//!     number, sizes, label/tree counts), plus whether a torn tail from
+//!     a crash would be truncated at recovery
 //!
 //! sketchtree remote-ingest <addr> <file.xml>|- [--batch N]
 //!     stream XML documents to a running server in batches (default 64)
@@ -113,8 +125,10 @@ fn usage() -> String {
      sketchtree stats <snapshot>|<host:port> [--metrics [--json]]\n  \
      sketchtree heavy <snapshot> [--limit N]\n  \
      sketchtree merge <a.snap> <b.snap>... -o <out.snap>\n  \
-     sketchtree serve <addr> [--snapshot PATH] [--checkpoint-secs N] [--workers N] \
-     [--ingest-threads N] [--metrics-port N] [sketch flags as for ingest]\n  \
+     sketchtree serve <addr> [--snapshot PATH] [--checkpoint-secs N] [--wal-path PATH] \
+     [--wal-fsync-every N] [--workers N] [--ingest-threads N] [--metrics-port N] \
+     [sketch flags as for ingest]\n  \
+     sketchtree wal-dump <wal-file>\n  \
      sketchtree remote-ingest <addr> <file.xml>|- [--batch N]\n  \
      sketchtree remote-query <addr> <pattern>... [--unordered | --expr]\n  \
      sketchtree remote-subscribe <addr> <query>... [--unordered | --expr] [--updates N]\n  \
@@ -134,6 +148,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "heavy" => heavy(&args[1..], out),
         "merge" => merge(&args[1..], out),
         "serve" => serve(&args[1..], out),
+        "wal-dump" => wal_dump(&args[1..], out),
         "remote-ingest" => remote_ingest(&args[1..], out),
         "remote-query" => remote_query(&args[1..], out),
         "remote-subscribe" => remote_subscribe(&args[1..], out),
@@ -436,6 +451,8 @@ fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         ))),
         _ => return Err(CliError::Usage("bad value for --metrics-port".into())),
     };
+    let wal_path: String = parse_flag(args, "--wal-path", String::new())?;
+    let wal_fsync_every: u32 = parse_flag(args, "--wal-fsync-every", 1u32)?;
     let config = ServerConfig {
         workers: parse_flag(args, "--workers", 4usize)?,
         // 0 (the default) = SKETCHTREE_INGEST_THREADS or available
@@ -446,11 +463,20 @@ fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             .then(|| std::time::Duration::from_secs(checkpoint_secs)),
         metrics_addr,
         sketch: sketch_config(args)?,
+        wal: (!wal_path.is_empty()).then(|| sketchtree_server::WalConfig {
+            path: wal_path.clone().into(),
+            fsync_every: wal_fsync_every,
+        }),
         ..ServerConfig::default()
     };
     if checkpoint_path.is_empty() && checkpoint_secs > 0 {
         return Err(CliError::Usage(
             "--checkpoint-secs needs --snapshot PATH".into(),
+        ));
+    }
+    if wal_path.is_empty() && args.iter().any(|a| a == "--wal-fsync-every") {
+        return Err(CliError::Usage(
+            "--wal-fsync-every needs --wal-path PATH".into(),
         ));
     }
     let server = Server::start(addr.as_str(), config)?;
@@ -467,6 +493,62 @@ fn serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .shutdown()
         .map_err(|e| CliError::Failed(format!("shutdown: {e}")))?;
     writeln!(out, "server stopped after {restored} trees")?;
+    Ok(())
+}
+
+/// Read-only WAL inspector: prints one line per intact frame and reports
+/// any torn tail exactly as recovery would classify it (without
+/// repairing the file — dumping must never mutate evidence).
+fn wal_dump(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else {
+        return Err(CliError::Usage("wal-dump needs a wal file path".into()));
+    };
+    let scan = sketchtree_wal::scan(std::path::Path::new(path.as_str()))
+        .map_err(|e| CliError::Failed(format!("{path}: {e}")))?;
+    let mut trees_total: u64 = 0;
+    for frame in &scan.frames {
+        match sketchtree_wal::decode_batch(&frame.batch) {
+            Ok((labels, trees)) => {
+                let nodes: usize = trees.iter().map(sketchtree_tree::Tree::len).sum();
+                trees_total += trees.len() as u64;
+                writeln!(
+                    out,
+                    "seq {:>6}  offset {:>8}  {:>8} bytes  {:>5} labels  {:>6} trees  {:>8} nodes",
+                    frame.seq,
+                    frame.offset,
+                    frame.end - frame.offset,
+                    labels.len(),
+                    trees.len(),
+                    nodes,
+                )?;
+            }
+            Err(e) => {
+                writeln!(
+                    out,
+                    "seq {:>6}  offset {:>8}  {:>8} bytes  UNDECODABLE ({e}) — recovery truncates here",
+                    frame.seq,
+                    frame.offset,
+                    frame.end - frame.offset,
+                )?;
+                break;
+            }
+        }
+    }
+    writeln!(
+        out,
+        "{} frames, {trees_total} trees, {} of {} bytes valid",
+        scan.frames.len(),
+        scan.valid_len,
+        scan.file_len,
+    )?;
+    if let Some(torn) = scan.torn {
+        writeln!(
+            out,
+            "torn tail at byte {} ({}) — recovery truncates it and continues",
+            torn.offset, torn.reason,
+        )?;
+    }
     Ok(())
 }
 
@@ -863,6 +945,48 @@ mod tests {
             run(&["query".into(), "nope.bin".into()], &mut sink),
             Err(CliError::Usage(_))
         ));
+        assert!(matches!(
+            run(&["wal-dump".into()], &mut sink),
+            Err(CliError::Usage(_))
+        ));
+        // --wal-fsync-every without --wal-path is a configuration error,
+        // not a silently ignored knob.
+        assert!(matches!(
+            run(
+                &["serve".into(), "127.0.0.1:0".into(), "--wal-fsync-every".into(), "8".into()],
+                &mut sink
+            ),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn wal_dump_lists_frames_and_torn_tail() {
+        let path = tmpfile("wal-dump.wal");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = sketchtree_wal::Wal::open(&path, 1).expect("open wal");
+        let labels = vec!["a".to_string(), "b".to_string()];
+        let trees = vec![sketchtree_tree::Tree::node(
+            sketchtree_tree::Label(0),
+            vec![sketchtree_tree::Tree::leaf(sketchtree_tree::Label(1))],
+        )];
+        let payload = sketchtree_wal::encode_batch(&labels, &trees).expect("encode");
+        wal.append(&payload).expect("append");
+        wal.append(&payload).expect("append");
+        drop(wal);
+        let text = run_ok(&["wal-dump", path.to_str().expect("utf8 path")]);
+        assert!(text.contains("seq      1"), "{text}");
+        assert!(text.contains("2 frames, 2 trees"), "{text}");
+        assert!(!text.contains("torn tail"), "{text}");
+        // A crash-torn tail is reported but the file is left untouched.
+        let before = std::fs::read(&path).expect("read");
+        let mut torn = before.clone();
+        torn.extend_from_slice(&[0xAB; 7]);
+        std::fs::write(&path, &torn).expect("write");
+        let text = run_ok(&["wal-dump", path.to_str().expect("utf8 path")]);
+        assert!(text.contains("torn tail"), "{text}");
+        assert_eq!(std::fs::read(&path).expect("read"), torn, "dump must not repair");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -166,6 +166,18 @@ impl SharedSketchTree {
         self.inner.read().epoch()
     }
 
+    /// The durability cursor (see [`SketchTree::wal_seq`]).
+    pub fn wal_seq(&self) -> u64 {
+        self.inner.read().wal_seq()
+    }
+
+    /// Advances the durability cursor (see [`SketchTree::set_wal_seq`];
+    /// monotone, does not bump the epoch).  Called by the server's
+    /// write-ahead-log layer after a logged batch is applied.
+    pub fn set_wal_seq(&self, seq: u64) {
+        self.inner.write().set_wal_seq(seq);
+    }
+
     /// `COUNT_ord` of a textual pattern (shared lock; concurrent with other
     /// queries).
     pub fn count_ordered(&self, pattern: &str) -> Result<f64, SketchTreeError> {

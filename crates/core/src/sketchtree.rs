@@ -238,6 +238,13 @@ pub struct SketchTree {
     /// starts at 1 so caches keyed on epoch 0 (the empty synopsis) never
     /// alias a restored state.
     epoch: u64,
+    /// Durability cursor: sequence number of the last write-ahead-log
+    /// batch folded into this synopsis.  Recorded in snapshots (format
+    /// v2) so recovery knows which WAL frames a checkpoint already
+    /// covers.  Not estimate-visible — setting it does *not* bump the
+    /// epoch — and never advanced by the ingest paths themselves; only
+    /// the server's logging layer moves it.
+    wal_seq: u64,
     metrics: Option<Arc<CoreMetrics>>,
 }
 
@@ -270,6 +277,7 @@ impl SketchTree {
             trees_processed: 0,
             patterns_processed: 0,
             epoch: 0,
+            wal_seq: 0,
             metrics: None,
         }
     }
@@ -317,6 +325,25 @@ impl SketchTree {
     /// restore (a restored synopsis starts at 1, never 0).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The durability cursor: sequence number of the last write-ahead-log
+    /// batch whose effects are folded into this synopsis (0 when no WAL
+    /// is in use).  Persisted in snapshots so recovery can skip frames a
+    /// checkpoint already covers and replay only the tail.
+    pub fn wal_seq(&self) -> u64 {
+        self.wal_seq
+    }
+
+    /// Advances the durability cursor to `seq` (monotone — lower values
+    /// are ignored).  Deliberately does **not** bump the epoch: the
+    /// cursor is bookkeeping about persistence, not estimate-visible
+    /// state, so snapshot byte-parity between WAL-logged and direct
+    /// ingest holds everywhere except this one field.
+    pub fn set_wal_seq(&mut self, seq: u64) {
+        if seq > self.wal_seq {
+            self.wal_seq = seq;
+        }
     }
 
     /// Advances the epoch without ingesting.  For callers that mutate
@@ -955,6 +982,8 @@ impl SketchTree {
         self.trees_processed = self.trees_processed.saturating_add(other.trees_processed);
         self.patterns_processed =
             self.patterns_processed.saturating_add(other.patterns_processed);
+        // `wal_seq` is deliberately left alone: the merged-in shard's
+        // durability cursor describes *its* log, not ours.
         self.epoch += 1;
         Ok(())
     }
@@ -1017,6 +1046,9 @@ impl SketchTree {
             // keyed on the empty synopsis' epoch 0 can never serve a
             // pre-restore value for the restored state.
             epoch: 1,
+            // The snapshot reader restores the recorded cursor via
+            // [`SketchTree::set_wal_seq`] after assembly.
+            wal_seq: 0,
             metrics: None,
         })
     }

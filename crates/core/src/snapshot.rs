@@ -9,9 +9,12 @@
 //! is measurement scaffolding and can be arbitrarily large.
 //!
 //! The format is a small hand-rolled, versioned, length-prefixed binary
-//! encoding (magic `SKTR`, version 1, little-endian integers,
-//! varint-free for simplicity).  No serialization dependencies enter the
-//! library crates.
+//! encoding (magic `SKTR`, little-endian integers, varint-free for
+//! simplicity).  No serialization dependencies enter the library crates.
+//! Version 2 appends the durability cursor ([`SketchTree::wal_seq`]) so
+//! recovery knows which write-ahead-log frames a checkpoint already
+//! covers; version-1 snapshots still load (cursor 0 — replay everything
+//! the log holds).
 //!
 //! ```
 //! use sketchtree_core::{SketchTree, SketchTreeConfig};
@@ -31,7 +34,9 @@ use sketchtree_sketch::{SynopsisConfig, SynopsisState};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"SKTR";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest version this build still reads.
+const MIN_VERSION: u32 = 1;
 
 /// Errors from [`read_snapshot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -142,6 +147,8 @@ pub fn write_snapshot(st: &SketchTree) -> Vec<u8> {
     // --- counters ---
     w.u64(st.trees_processed());
     w.u64(st.patterns_processed());
+    // --- durability cursor (v2) ---
+    w.u64(st.wal_seq());
     w.0
 }
 
@@ -152,7 +159,7 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<SketchTree, SnapshotError> {
         return Err(SnapshotError::BadMagic);
     }
     let version = r.u32()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     // --- config ---
@@ -257,6 +264,9 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<SketchTree, SnapshotError> {
     };
     let trees_processed = r.u64()?;
     let patterns_processed = r.u64()?;
+    // v1 predates the write-ahead log: cursor 0 means "no frame is
+    // known to be covered", so recovery replays whatever the log holds.
+    let wal_seq = if version >= 2 { r.u64()? } else { 0 };
     if r.pos != bytes.len() {
         return Err(SnapshotError::Corrupt("trailing bytes"));
     }
@@ -266,7 +276,7 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<SketchTree, SnapshotError> {
         tracked,
         values_processed,
     };
-    SketchTree::from_snapshot_parts(
+    let mut st = SketchTree::from_snapshot_parts(
         config,
         label_names,
         state,
@@ -274,7 +284,9 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<SketchTree, SnapshotError> {
         trees_processed,
         patterns_processed,
     )
-    .map_err(SnapshotError::Corrupt)
+    .map_err(SnapshotError::Corrupt)?;
+    st.set_wal_seq(wal_seq);
+    Ok(st)
 }
 
 struct Writer(Vec<u8>);
@@ -385,6 +397,39 @@ mod tests {
             st.ingest(&t2);
         }
         st
+    }
+
+    #[test]
+    fn wal_seq_roundtrips_through_snapshots() {
+        let mut st = build();
+        assert_eq!(st.wal_seq(), 0);
+        st.set_wal_seq(37);
+        st.set_wal_seq(12); // monotone: never moves backwards
+        assert_eq!(st.wal_seq(), 37);
+        let restored = read_snapshot(&write_snapshot(&st)).expect("valid snapshot");
+        assert_eq!(restored.wal_seq(), 37);
+    }
+
+    #[test]
+    fn set_wal_seq_does_not_bump_the_epoch() {
+        let mut st = build();
+        let epoch = st.epoch();
+        st.set_wal_seq(9);
+        assert_eq!(st.epoch(), epoch, "the durability cursor is not estimate-visible");
+    }
+
+    #[test]
+    fn version_1_snapshots_still_load_with_cursor_zero() {
+        let mut st = build();
+        st.set_wal_seq(99);
+        let mut bytes = write_snapshot(&st);
+        // Rewrite as a v1 snapshot: version field back to 1, trailing
+        // 8-byte cursor dropped — exactly what a pre-WAL build wrote.
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        bytes.truncate(bytes.len() - 8);
+        let restored = read_snapshot(&bytes).expect("v1 snapshot loads");
+        assert_eq!(restored.wal_seq(), 0);
+        assert_eq!(restored.trees_processed(), st.trees_processed());
     }
 
     #[test]

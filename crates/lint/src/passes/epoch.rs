@@ -40,13 +40,22 @@ const SPECIFIC_MUTATORS: &[&str] = &[
     "merge_remapped",
     "note_inserted",
     "merge",
+    "ingest_batch",
 ];
 
 /// Mutator names that denote sketch mutation only under `&mut self`.
 const GENERIC_MUTATORS: &[&str] = &["insert", "record", "observe", "delete"];
 
-/// Files whose functions own the epoch discipline.
-const EPOCH_FILES: &[&str] = &["crates/core/src/sketchtree.rs", "crates/core/src/concurrent.rs"];
+/// Files whose functions own the epoch discipline.  WAL replay
+/// (`durability.rs`) re-runs ingest outside the serving path, so a
+/// replay that mutated sketch state without the usual epoch-bumping
+/// mutators would poison epoch-keyed caches from the very first request
+/// after a restart.
+const EPOCH_FILES: &[&str] = &[
+    "crates/core/src/sketchtree.rs",
+    "crates/core/src/concurrent.rs",
+    "crates/server/src/durability.rs",
+];
 
 /// Files whose output functions must not leak hash-iteration order.
 fn determinism_scope(rel: &str) -> bool {
@@ -268,6 +277,32 @@ mod tests {
              v.sort_unstable(); v } }",
         )]);
         assert!(good.is_empty(), "{good:?}");
+    }
+
+    #[test]
+    fn wal_replay_mutation_without_bump_is_flagged() {
+        // A replay path that pokes sketch state through a raw mutator —
+        // instead of the epoch-bumping ingest — serves stale caches
+        // from the first post-restart request.
+        let out = run(&[(
+            "crates/server/src/durability.rs",
+            "fn replay_batch(st: &mut SketchTree, t: &[Tree]) { for x in t { st.ingest_precomputed(x); } }",
+        )]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("without bumping"), "{out:?}");
+    }
+
+    #[test]
+    fn wal_replay_through_bumping_ingest_satisfies() {
+        let out = run(&[(
+            "crates/server/src/durability.rs",
+            "fn replay_batch(st: &mut SketchTree, t: &[Tree]) { for x in t { st.ingest(x); } }",
+        ), (
+            "crates/core/src/sketchtree.rs",
+            "impl SketchTree { pub fn ingest(&mut self, t: &Tree) { self.synopsis.insert_routed(t); self.bump_epoch(); } \
+             fn bump_epoch(&mut self) { self.epoch += 1; } }",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

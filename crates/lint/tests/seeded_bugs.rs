@@ -273,6 +273,26 @@ fn l8_is_satisfied_by_a_bump_two_calls_down() {
 }
 
 #[test]
+fn l8_fires_on_a_wal_replay_that_skips_the_epoch_bump() {
+    // Recovery replay mutating sketch state through a non-bumping
+    // mutator would poison every epoch-keyed cache from the first
+    // post-restart request.
+    let report = analyze_ws(
+        &[(
+            "crates/server/src/durability.rs",
+            "fn replay_batch(st: &mut SketchTree, t: &[Tree]) { for x in t { st.ingest_precomputed(x); } }",
+        )],
+        &[],
+    );
+    assert!(
+        report
+            .undocumented()
+            .any(|f| f.rule == "L8" && f.message.contains("without bumping")),
+        "{report:?}"
+    );
+}
+
+#[test]
 fn l8_fires_on_hash_iteration_feeding_a_snapshot() {
     let report = analyze_ws(
         &[(

@@ -71,6 +71,12 @@ pub struct RunConfig {
     /// Batch sizes for the closed-loop throughput sweep after the main
     /// window; empty disables the sweep.
     pub sweep_batches: Vec<usize>,
+    /// Write-ahead-log path for the self-spawned server, to measure the
+    /// durability tax of log-before-ack ingest; ignored with `addr`
+    /// (the remote server's durability is its own configuration).
+    pub wal_path: Option<std::path::PathBuf>,
+    /// Group-commit setting passed through with `wal_path`.
+    pub wal_fsync_every: u32,
 }
 
 impl RunConfig {
@@ -88,6 +94,8 @@ impl RunConfig {
             subscribers: 2,
             seed: 42,
             sweep_batches: vec![4, 16, 64],
+            wal_path: None,
+            wal_fsync_every: 1,
         }
     }
 
@@ -245,6 +253,9 @@ pub fn run(cfg: &RunConfig) -> Result<RunOutput, String> {
                 ServerConfig {
                     workers: cfg.threads + cfg.subscribers + 2,
                     sketch: shape.sketch_config(cfg.seed),
+                    wal: cfg.wal_path.clone().map(|path| {
+                        sketchtree_server::WalConfig { path, fsync_every: cfg.wal_fsync_every }
+                    }),
                     ..ServerConfig::default()
                 },
             )

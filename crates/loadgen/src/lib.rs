@@ -64,6 +64,11 @@ options:
   --seed <n>                  workload + schedule seed (default 42)
   --sweep-batch <n>           add a closed-loop sweep batch size
                               (repeatable; default 4,16,64; 0 clears)
+  --wal-path <path>           write-ahead log for the spawned server, to
+                              measure log-before-ack ingest cost
+                              (requires spawning, i.e. no --addr)
+  --wal-fsync-every <n>       group commit: fsync every n-th batch
+                              (default 1; 0 never fsyncs)
   --out <path>                report path (default BENCH_loadgen_<scenario>.json)
   --print-metrics             dump the driver's metrics registry after the run
   --list-scenarios            print the scenario matrix and exit
@@ -127,6 +132,12 @@ pub fn run_cli(args: &[String], out: &mut dyn Write) -> Result<(), String> {
                     sweeps.push(n);
                 }
             }
+            "--wal-path" => cfg.wal_path = Some(value("--wal-path")?.into()),
+            "--wal-fsync-every" => {
+                cfg.wal_fsync_every = value("--wal-fsync-every")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("--wal-fsync-every does not parse: {e}"))?;
+            }
             "--out" => out_path = Some(value("--out")?.to_string()),
             "--print-metrics" => print_metrics = true,
             other => return Err(format!("unknown flag {other:?}\n\n{USAGE}")),
@@ -134,6 +145,12 @@ pub fn run_cli(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     }
     if let Some(sweeps) = sweep_override {
         cfg.sweep_batches = sweeps;
+    }
+    if cfg.addr.is_some() && cfg.wal_path.is_some() {
+        return Err(
+            "--wal-path configures the self-spawned server; it cannot reach one named by --addr"
+                .to_string(),
+        );
     }
 
     let scenario_name = cfg.scenario.name();

@@ -98,6 +98,11 @@ pub fn build(input: BuildInput<'_>) -> Json {
     config.set("batch", Json::Num(cfg.batch as f64));
     config.set("subscribers", Json::Num(cfg.subscribers as f64));
     config.set("seed", Json::Num(cfg.seed as f64));
+    // Durability setting of the spawned server: absent means no WAL, so
+    // a WAL run and its baseline never diff empty in `config`.
+    if cfg.wal_path.is_some() {
+        config.set("wal_fsync_every", Json::Num(f64::from(cfg.wal_fsync_every)));
+    }
     config.set(
         "mix",
         Json::Str(format!(

@@ -12,6 +12,10 @@
 //!   feeding a bounded worker pool, ingest that parses and enumerates
 //!   outside the synopsis lock, periodic checkpointing through the
 //!   snapshot layer, and snapshot-on-shutdown / restore-on-start.
+//! - [`durability`] — crash safety: a write-ahead batch log
+//!   (log-before-ack, group-commit fsync) plus the recover-on-start
+//!   state machine that restores the checkpoint and replays the log
+//!   tail, so a crash loses nothing durably acked (see `DESIGN.md` §10).
 //! - [`client`] — a blocking client with reconnect-on-error and capped
 //!   exponential backoff.
 //! - [`subs`] — standing-query subscription dispatch: a per-server table
@@ -37,6 +41,7 @@
 #![warn(clippy::all)]
 
 pub mod client;
+pub mod durability;
 mod http;
 pub mod metrics;
 pub mod server;
@@ -44,6 +49,7 @@ pub mod subs;
 pub mod wire;
 
 pub use client::{Client, ClientError, Update};
+pub use durability::{RecoveryReport, WalConfig};
 pub use metrics::ServerMetrics;
 pub use server::{Server, ServerConfig};
 pub use subs::Subscriptions;

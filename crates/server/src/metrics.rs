@@ -56,6 +56,35 @@ pub struct ServerMetrics {
     pub checkpoint_bytes: Arc<Gauge>,
     /// Snapshot restores performed at startup (`sktp_restores_total`).
     pub restores: Arc<Counter>,
+    /// Corrupt checkpoints quarantined at startup
+    /// (`sketchtree_restore_corrupt_total`).
+    pub restore_corrupt: Arc<Counter>,
+    /// Stale checkpoint temp files removed at startup
+    /// (`sketchtree_restore_stale_tmp_total`).
+    pub restore_stale_tmp: Arc<Counter>,
+    /// Ingest batches appended to the write-ahead log
+    /// (`sketchtree_wal_appends_total`).
+    pub wal_appends: Arc<Counter>,
+    /// Bytes appended to the write-ahead log, frame headers included
+    /// (`sketchtree_wal_bytes_total`).
+    pub wal_bytes: Arc<Counter>,
+    /// Group-commit fsyncs issued on the write-ahead log
+    /// (`sketchtree_wal_fsyncs_total`).
+    pub wal_fsyncs: Arc<Counter>,
+    /// Seconds per WAL append that hit a group-commit boundary — the
+    /// frame write plus its fdatasync (`sketchtree_wal_fsync_seconds`).
+    pub wal_fsync_seconds: Arc<Histogram>,
+    /// Current write-ahead-log file size (`sketchtree_wal_size_bytes`).
+    pub wal_size: Arc<Gauge>,
+    /// WAL rotations after successful checkpoints
+    /// (`sketchtree_wal_truncations_total`).
+    pub wal_truncations: Arc<Counter>,
+    /// Batches replayed from the WAL at startup
+    /// (`sketchtree_wal_replayed_batches_total`).
+    pub wal_replayed: Arc<Counter>,
+    /// Torn or undecodable WAL tails truncated at recovery
+    /// (`sketchtree_wal_torn_tail_total`).
+    pub wal_torn: Arc<Counter>,
     /// Snapshot merges applied via MergeSnapshot (`sktp_merges_total`).
     pub merges: Arc<Counter>,
     /// Cumulative bytes of merged snapshots (`sktp_merge_bytes_total`).
@@ -161,7 +190,7 @@ impl ServerMetrics {
                 .counter("sktp_checkpoint_errors_total", "Checkpoint attempts that failed"),
             checkpoint_seconds: registry.histogram(
                 "sktp_checkpoint_seconds",
-                "Seconds per checkpoint write (serialize + fsync + rename)",
+                "Seconds per checkpoint write (serialize + fsync + rename + dir fsync)",
                 LATENCY_BUCKETS,
             ),
             checkpoint_bytes: registry
@@ -169,6 +198,47 @@ impl ServerMetrics {
             restores: registry.counter(
                 "sktp_restores_total",
                 "Snapshot restores performed at startup",
+            ),
+            restore_corrupt: registry.counter(
+                "sketchtree_restore_corrupt_total",
+                "Corrupt checkpoints quarantined at startup (renamed *.corrupt, state rebuilt from the write-ahead log)",
+            ),
+            restore_stale_tmp: registry.counter(
+                "sketchtree_restore_stale_tmp_total",
+                "Stale checkpoint temp files (crash between write and rename) removed at startup",
+            ),
+            wal_appends: registry.counter(
+                "sketchtree_wal_appends_total",
+                "Ingest batches appended to the write-ahead log before acking",
+            ),
+            wal_bytes: registry.counter(
+                "sketchtree_wal_bytes_total",
+                "Bytes appended to the write-ahead log, frame headers included",
+            ),
+            wal_fsyncs: registry.counter(
+                "sketchtree_wal_fsyncs_total",
+                "Group-commit fsyncs issued on the write-ahead log",
+            ),
+            wal_fsync_seconds: registry.histogram(
+                "sketchtree_wal_fsync_seconds",
+                "Seconds per WAL append that hit a group-commit boundary (frame write + fdatasync)",
+                LATENCY_BUCKETS,
+            ),
+            wal_size: registry.gauge(
+                "sketchtree_wal_size_bytes",
+                "Current write-ahead-log file size in bytes (drops at each rotation)",
+            ),
+            wal_truncations: registry.counter(
+                "sketchtree_wal_truncations_total",
+                "Write-ahead-log rotations after successful checkpoints",
+            ),
+            wal_replayed: registry.counter(
+                "sketchtree_wal_replayed_batches_total",
+                "Batches replayed from the write-ahead log at startup",
+            ),
+            wal_torn: registry.counter(
+                "sketchtree_wal_torn_tail_total",
+                "Torn or undecodable write-ahead-log tails truncated at recovery",
             ),
             merges: registry.counter(
                 "sktp_merges_total",

@@ -18,11 +18,17 @@
 //!   large batches).  Queries only ever take the shared lock, so queries
 //!   never block queries.
 //! - An optional **checkpoint thread** persists the synopsis through the
-//!   snapshot layer at a fixed interval; checkpoints are atomic (temp
-//!   file + rename).  The server also checkpoints on shutdown and
-//!   restores from the checkpoint on start, so a restart resumes the
-//!   stream where it left off.
+//!   snapshot layer at a fixed interval; checkpoints are atomic *and
+//!   durable* (temp file + `sync_all` + rename + parent-dir fsync).  The
+//!   server also checkpoints on shutdown and recovers on start, so a
+//!   restart resumes the stream where it left off.
+//! - An optional **write-ahead log** ([`crate::durability`]) makes the
+//!   gap between checkpoints crash-safe: each ingest batch is appended
+//!   (group-commit fsync per [`WalConfig::fsync_every`]) *before* the
+//!   ack is written, recovery replays the tail past the checkpoint's
+//!   recorded cursor, and every successful checkpoint rotates the log.
 
+use crate::durability::{self, WalConfig};
 use crate::http::MetricsHttp;
 use crate::metrics::{ConnectionGuard, ServerMetrics};
 use crate::subs::Subscriptions;
@@ -33,6 +39,7 @@ use crate::wire::{
 use sketchtree_core::concurrent::SharedSketchTree;
 use sketchtree_core::sketchtree::{SketchTree, SketchTreeConfig};
 use sketchtree_core::snapshot::{read_snapshot, write_snapshot};
+use sketchtree_wal::Wal;
 use sketchtree_standing::{QueryCache, QueryMode, QuerySpec};
 use sketchtree_tree::{Label, LabelTable, NodeId, Tree, TreeBuilder};
 use sketchtree_xml::XmlTreeBuilder;
@@ -88,6 +95,12 @@ pub struct ServerConfig {
     /// Cap on live subscriptions per connection; `Subscribe` past the cap
     /// answers an error frame.
     pub max_subscriptions_per_conn: usize,
+    /// Write-ahead log of ingest batches; `None` disables it.  With a
+    /// log configured every ingest batch is appended (and group-commit
+    /// fsynced) *before* it is acked, startup replays the tail past the
+    /// last checkpoint, and each successful checkpoint rotates the log —
+    /// so a crash loses nothing durably acked.  See [`crate::durability`].
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +117,7 @@ impl Default for ServerConfig {
             ingest_threads: 0,
             push_queue: 64,
             max_subscriptions_per_conn: 1024,
+            wal: None,
         }
     }
 }
@@ -129,6 +143,12 @@ pub struct Server {
 struct Checkpoint {
     path: Option<PathBuf>,
     lock: Mutex<()>,
+    /// The WAL commit lock, shared with the ingest path.  A checkpoint
+    /// holds it across the state read so it only ever observes
+    /// batch-boundary state (never half of a chunked `ingest_batch`,
+    /// which replay would then double-count), and across the rotation so
+    /// no append lands between snapshot and truncate.
+    wal: Option<Arc<Mutex<Wal>>>,
 }
 
 impl Server {
@@ -139,20 +159,16 @@ impl Server {
     /// `config.sketch`.
     pub fn start(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
         let metrics = ServerMetrics::new();
-        let mut st = match &config.checkpoint_path {
-            Some(path) if path.exists() => {
-                let bytes = std::fs::read(path)?;
-                let restored = read_snapshot(&bytes).map_err(|e| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("checkpoint {}: {e}", path.display()),
-                    )
-                })?;
-                metrics.restores.inc();
-                restored
-            }
-            _ => SketchTree::new(config.sketch.clone()),
-        };
+        // Recovery state machine: clean stale temp files, restore (or
+        // quarantine) the checkpoint, repair the WAL's torn tail, replay
+        // frames past the checkpoint's cursor.  See crate::durability.
+        let (mut st, wal, _report) = durability::recover(
+            config.checkpoint_path.as_deref(),
+            config.wal.as_ref(),
+            &config.sketch,
+            &metrics,
+        )?;
+        let wal = wal.map(|w| Arc::new(Mutex::new(w)));
         st.attach_metrics(metrics.core.clone());
         let ingest_opts = sketchtree_core::IngestOptions {
             threads: match config.ingest_threads {
@@ -173,6 +189,7 @@ impl Server {
         let checkpoint = Arc::new(Checkpoint {
             path: config.checkpoint_path.clone(),
             lock: Mutex::new(()),
+            wal: wal.clone(),
         });
         let subs = Arc::new(Subscriptions::new(
             metrics.clone(),
@@ -198,6 +215,7 @@ impl Server {
             cache: QueryCache::default(),
             next_conn: AtomicU64::new(0),
             push_queue: config.push_queue.max(1),
+            wal,
         });
         for _ in 0..workers {
             let rx = rx.clone();
@@ -306,6 +324,16 @@ impl Server {
         Ok(())
     }
 
+    /// Stops all threads *without* the shutdown checkpoint, simulating a
+    /// crash for durability tests: a subsequent restart sees exactly
+    /// what a power cut would have left — the last published checkpoint
+    /// plus whatever the write-ahead log holds.
+    pub fn abort(mut self) {
+        self.stop();
+        // Drop sees an already-stopped server (threads drained) and
+        // skips its checkpoint, so nothing gets persisted past here.
+    }
+
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // The accept loop blocks in accept(); a self-connection wakes it
@@ -345,6 +373,10 @@ struct Ctx {
     /// Connection id allocator — subscription ownership is keyed on it.
     next_conn: AtomicU64,
     push_queue: usize,
+    /// Write-ahead log + commit lock; `None` when durability is off.
+    /// Held across append + apply so the ack order matches the log order
+    /// and checkpoints only observe batch boundaries.
+    wal: Option<Arc<Mutex<Wal>>>,
 }
 
 fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx) {
@@ -560,16 +592,7 @@ fn handle_request(req: Request, ctx: &Ctx) -> Response {
             Ok((local, trees)) => ingest_parsed(ctx, &local, trees),
             Err(e) => Response::Error(e),
         },
-        Request::IngestTrees { labels, trees } => {
-            // Node labels index the batch's `labels` *positionally*, and
-            // duplicate names are legal on the wire — so the map must be
-            // built per index, not through a deduping LabelTable (which
-            // would shift every index after a duplicate).
-            let map: Vec<Label> = ctx
-                .shared
-                .with_labels(|global| labels.iter().map(|name| global.intern(name)).collect());
-            ingest_remapped(ctx, &map, &trees)
-        }
+        Request::IngestTrees { labels, trees } => ingest_batch_request(ctx, &labels, &trees),
         Request::Count { unordered, pattern } => {
             let mode = if unordered { QueryMode::Unordered } else { QueryMode::Ordered };
             let result = match QuerySpec::parse(mode, &pattern) {
@@ -702,13 +725,79 @@ fn parse_documents(docs: &[String]) -> Result<(LabelTable, Vec<Tree>), String> {
 
 /// Interns the batch's labels into the shared table (one short exclusive
 /// lock), remaps the trees lock-free, then ingests the whole batch.
+/// With a WAL configured, the batch detours through the log-before-ack
+/// path, carrying the connection-local label names so replay re-interns
+/// them in the same order.
 fn ingest_parsed(ctx: &Ctx, local: &LabelTable, trees: Vec<Tree>) -> Response {
+    if ctx.wal.is_some() {
+        let names: Vec<String> = (0..local.len() as u32)
+            .map(|i| local.name(Label(i)).to_string())
+            .collect();
+        return ingest_batch_request(ctx, &names, &trees);
+    }
     let map: Vec<Label> = ctx.shared.with_labels(|global| {
         (0..local.len() as u32)
             .map(|i| global.intern(local.name(Label(i))))
             .collect()
     });
     ingest_remapped(ctx, &map, &trees)
+}
+
+/// Ingest entry point for a batch expressed as (batch-local label names,
+/// trees indexing them positionally) — the `IngestTrees` wire shape.
+///
+/// Node labels index `labels` *positionally*, and duplicate names are
+/// legal on the wire — so the intern map must be built per index, not
+/// through a deduping `LabelTable` (which would shift every index after
+/// a duplicate).
+fn ingest_batch_request(ctx: &Ctx, labels: &[String], trees: &[Tree]) -> Response {
+    if let Some(wal) = &ctx.wal {
+        return ingest_through_wal(ctx, wal, labels, trees);
+    }
+    let map: Vec<Label> = ctx
+        .shared
+        .with_labels(|global| labels.iter().map(|name| global.intern(name)).collect());
+    ingest_remapped(ctx, &map, trees)
+}
+
+/// Log-before-ack: append the batch to the WAL (group-commit fsync per
+/// config), then apply it, then advance the durability cursor — all
+/// under the WAL commit lock, so the ack order equals the log order and
+/// a checkpoint can never capture half a batch.  If the append fails the
+/// batch is *not* applied and the client gets an error: an unlogged
+/// batch must never be acked.
+fn ingest_through_wal(
+    ctx: &Ctx,
+    wal: &Mutex<Wal>,
+    labels: &[String],
+    trees: &[Tree],
+) -> Response {
+    let payload = match sketchtree_wal::encode_batch(labels, trees) {
+        Ok(p) => p,
+        Err(e) => return Response::Error(format!("wal encode: {e}")),
+    };
+    let mut guard = wal.lock().unwrap_or_else(|e| e.into_inner());
+    let started = Instant::now();
+    // lint:allow(L4, L7, reason = "log-before-ack by design: the WAL mutex is the commit lock, and the append must complete under it so acks follow durable log order; queries never touch this lock")
+    let appended = match guard.append(&payload) {
+        Ok(a) => a,
+        Err(e) => return Response::Error(format!("wal append: {e}")),
+    };
+    ctx.metrics.wal_appends.inc();
+    ctx.metrics.wal_bytes.add(appended.bytes);
+    if appended.synced {
+        ctx.metrics.wal_fsyncs.inc();
+        ctx.metrics.wal_fsync_seconds.observe_duration(started.elapsed());
+    }
+    ctx.metrics.wal_size.set(guard.size_bytes() as f64);
+    let map: Vec<Label> = ctx
+        .shared
+        .with_labels(|global| labels.iter().map(|name| global.intern(name)).collect());
+    let resp = ingest_remapped(ctx, &map, trees);
+    // Only now is the batch both logged and fully applied; a checkpoint
+    // taken before this line replays the frame, one after skips it.
+    ctx.shared.set_wal_seq(appended.seq);
+    resp
 }
 
 /// Remaps every tree's labels through `map` (batch index → global label),
@@ -724,8 +813,10 @@ fn ingest_remapped(ctx: &Ctx, map: &[Label], trees: &[Tree]) -> Response {
     }
 }
 
-/// Rebuilds `tree` with every label translated through `map`.
-fn remap_tree(tree: &Tree, map: &[Label]) -> Tree {
+/// Rebuilds `tree` with every label translated through `map`.  Shared
+/// with [`crate::durability`] so WAL replay remaps exactly as the
+/// serving path does.
+pub(crate) fn remap_tree(tree: &Tree, map: &[Label]) -> Tree {
     fn go(tree: &Tree, id: NodeId, map: &[Label], b: &mut TreeBuilder) {
         // lint:allow(L1, reason = "map has one entry per local label and tree was parsed against that same local table")
         b.open(map[tree.label(id).0 as usize])
@@ -743,8 +834,9 @@ fn remap_tree(tree: &Tree, map: &[Label]) -> Tree {
     b.finish().expect("rebuilt tree is complete")
 }
 
-/// Atomic checkpoint: snapshot under the shared lock, write to a temp
-/// file beside the target, rename into place.  Serialized end to end by
+/// Atomic, durable checkpoint: snapshot under the shared lock, write +
+/// `sync_all` a temp file beside the target, rename into place, fsync
+/// the parent directory, then rotate the WAL.  Serialized end to end by
 /// `ck.lock` so a periodic checkpoint and a client `Snapshot` request can
 /// never interleave on the temp file or publish out of order.
 fn checkpoint_now(
@@ -753,7 +845,7 @@ fn checkpoint_now(
     metrics: &ServerMetrics,
 ) -> io::Result<u64> {
     let started = Instant::now();
-    let result = checkpoint_inner(shared, ck);
+    let result = checkpoint_inner(shared, ck, metrics);
     match &result {
         Ok(bytes) => {
             metrics.checkpoints.inc();
@@ -770,7 +862,11 @@ fn checkpoint_now(
     result
 }
 
-fn checkpoint_inner(shared: &SharedSketchTree, ck: &Checkpoint) -> io::Result<u64> {
+fn checkpoint_inner(
+    shared: &SharedSketchTree,
+    ck: &Checkpoint,
+    metrics: &ServerMetrics,
+) -> io::Result<u64> {
     let Some(path) = &ck.path else {
         return Err(io::Error::new(
             io::ErrorKind::Unsupported,
@@ -778,11 +874,40 @@ fn checkpoint_inner(shared: &SharedSketchTree, ck: &Checkpoint) -> io::Result<u6
         ));
     };
     let _guard = ck.lock.lock().unwrap_or_else(|e| e.into_inner());
+    // Take the WAL commit lock (lock order: ck.lock → wal → synopsis
+    // read, matching the ingest path's wal → synopsis) so the snapshot
+    // observes a batch boundary and the rotation below cannot race an
+    // append that the snapshot didn't capture.
+    let mut wal_guard = ck
+        .wal
+        .as_ref()
+        .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()));
     let bytes = shared.read(write_snapshot);
     let tmp = path.with_extension("tmp");
-    // lint:allow(L4, L7, reason = "the checkpoint mutex exists precisely to serialize this I/O; it is never taken on a query or ingest path")
-    std::fs::write(&tmp, &bytes)?;
-    // lint:allow(L4, L7, reason = "the checkpoint mutex exists precisely to serialize this I/O; it is never taken on a query or ingest path")
+    {
+        // Write + fsync the temp file *before* the rename: rename is
+        // atomic in the namespace but says nothing about the data —
+        // without sync_all a crash can publish a name pointing at
+        // unwritten blocks (the bug this module's tests pin).
+        // lint:allow(L4, L7, reason = "the checkpoint mutex exists precisely to serialize this I/O; it is never taken on a query path")
+        let mut f = std::fs::File::create(&tmp)?;
+        // lint:allow(L4, L7, reason = "the checkpoint mutex exists precisely to serialize this I/O; it is never taken on a query path")
+        f.write_all(&bytes)?;
+        // lint:allow(L4, L7, reason = "durability requires the fsync inside the checkpoint critical section; the mutex is never taken on a query path")
+        f.sync_all()?;
+    }
+    // lint:allow(L4, L7, reason = "the checkpoint mutex exists precisely to serialize this I/O; it is never taken on a query path")
     std::fs::rename(&tmp, path)?;
+    // The rename itself is only durable once the directory entry is.
+    // lint:allow(L4, L7, reason = "the directory fsync must precede the WAL rotation below, so it belongs inside the same critical section; the mutex is never taken on a query path")
+    sketchtree_wal::fsync_parent_dir(path)?;
+    if let Some(wal) = wal_guard.as_deref_mut() {
+        // Every logged batch the snapshot covers is now durably
+        // published; the log can rotate.  Sequence numbers keep
+        // counting up, so the snapshot's cursor stays unambiguous.
+        wal.truncate_all()?;
+        metrics.wal_truncations.inc();
+        metrics.wal_size.set(wal.size_bytes() as f64);
+    }
     Ok(bytes.len() as u64)
 }

@@ -1,0 +1,443 @@
+//! Crash-injection tests for the durability subsystem: power-cut
+//! simulation over write-ahead-log truncation points, checkpoint
+//! atomicity regressions, stale-temp-file cleanup, and the
+//! corrupt-checkpoint quarantine path.
+//!
+//! The central property (`recovery_is_bit_identical_at_any_truncation_point`)
+//! is the paper-level guarantee: whatever prefix of the log survives a
+//! power cut, recover-on-start yields a synopsis *byte-identical* to one
+//! that ingested exactly the surviving acked batches — reusing the
+//! workspace's snapshot byte-parity machinery as the equality oracle.
+
+use proptest::prelude::*;
+use sketchtree_core::sketchtree::{SketchTree, SketchTreeConfig};
+use sketchtree_core::snapshot::write_snapshot;
+use sketchtree_server::durability::{recover, WalConfig};
+use sketchtree_server::{Server, ServerConfig, ServerMetrics};
+use sketchtree_sketch::SynopsisConfig;
+use sketchtree_tree::{Label, Tree, TreeBuilder};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn config(seed: u64) -> SketchTreeConfig {
+    SketchTreeConfig {
+        max_pattern_edges: 2,
+        synopsis: SynopsisConfig {
+            s1: 40,
+            s2: 5,
+            virtual_streams: 31,
+            topk: 8,
+            seed,
+            ..SynopsisConfig::default()
+        },
+        ..SketchTreeConfig::default()
+    }
+}
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+/// Fresh per-test scratch directory (unique across parallel tests and
+/// proptest cases).
+fn scratch(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "sk-crash-{}-{tag}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&p).expect("create scratch dir");
+    p
+}
+
+/// A deterministic stream of ingest batches with overlapping and
+/// batch-private label names (so replay exercises interning order) and
+/// varied tree shapes.
+fn batches() -> Vec<(Vec<String>, Vec<Tree>)> {
+    (0..6u32)
+        .map(|i| {
+            let labels = vec![
+                "a".to_string(),
+                format!("b{}", i % 3),
+                format!("only{i}"),
+            ];
+            let trees = vec![
+                Tree::node(Label(0), vec![Tree::leaf(Label(1)), Tree::leaf(Label(2))]),
+                Tree::node(Label(1), vec![Tree::node(Label(0), vec![Tree::leaf(Label(2))])]),
+                Tree::leaf(Label(2)),
+            ];
+            (labels, trees)
+        })
+        .collect()
+}
+
+/// Rebuilds `tree` with labels translated through `map` — the test-side
+/// twin of the server's remap, used to build reference synopses.
+fn remap(tree: &Tree, map: &[Label]) -> Tree {
+    fn go(tree: &Tree, id: sketchtree_tree::NodeId, map: &[Label], b: &mut TreeBuilder) {
+        b.open(map[tree.label(id).0 as usize]).expect("valid nesting");
+        for &child in tree.children(id) {
+            go(tree, child, map, b);
+        }
+        b.close().expect("valid nesting");
+    }
+    let mut b = TreeBuilder::new();
+    go(tree, tree.root(), map, &mut b);
+    b.finish().expect("complete tree")
+}
+
+/// Applies one batch to a reference synopsis exactly as the server's
+/// ingest (and WAL replay) does: intern the batch labels in order, remap
+/// positionally, ingest tree by tree.
+fn apply(st: &mut SketchTree, labels: &[String], trees: &[Tree]) {
+    let map: Vec<Label> = {
+        let table = st.labels_mut();
+        labels.iter().map(|name| table.intern(name)).collect()
+    };
+    for tree in trees {
+        st.ingest(&remap(tree, &map));
+    }
+}
+
+/// Reference synopsis after the first `n` batches, with the durability
+/// cursor forced to `wal_seq` (the one field the WAL layer owns).
+fn reference(seed: u64, n: usize, wal_seq: u64) -> SketchTree {
+    let mut st = SketchTree::new(config(seed));
+    for (labels, trees) in &batches()[..n] {
+        apply(&mut st, labels, trees);
+    }
+    st.set_wal_seq(wal_seq);
+    st
+}
+
+fn cleanup(dir: &Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Power-cut simulation: a checkpoint covering the first
+    /// `ckpt_after` batches, a WAL carrying the rest, and the WAL file
+    /// cut at an arbitrary byte.  Recovery must (a) never error, (b)
+    /// replay exactly the frames that survived whole, and (c) produce a
+    /// synopsis byte-identical to ingesting exactly those batches.
+    #[test]
+    fn recovery_is_bit_identical_at_any_truncation_point(
+        cut_ppm in 0u64..=1_000_000,
+        ckpt_after in 0usize..=3,
+    ) {
+        let all = batches();
+        let dir = scratch("trunc");
+        let ckpt = dir.join("state.snap");
+        let wal_path = dir.join("state.wal");
+
+        // A durable checkpoint covering the first `ckpt_after` batches.
+        let base = reference(7, ckpt_after, ckpt_after as u64);
+        std::fs::write(&ckpt, write_snapshot(&base)).expect("write checkpoint");
+
+        // The WAL holds the batches after the checkpoint.
+        let (mut wal, _) = sketchtree_wal::Wal::open(&wal_path, 1).expect("open wal");
+        wal.bump_seq_past(ckpt_after as u64);
+        let mut ends = vec![sketchtree_wal::HEADER_LEN];
+        for (labels, trees) in &all[ckpt_after..] {
+            let payload = sketchtree_wal::encode_batch(labels, trees).expect("encode");
+            wal.append(&payload).expect("append");
+            ends.push(wal.size_bytes());
+        }
+        drop(wal);
+
+        // Power cut: the file ends mid-anything.
+        let full = std::fs::read(&wal_path).expect("read wal");
+        let cut = ((full.len() as u64) * cut_ppm / 1_000_000) as usize;
+        std::fs::write(&wal_path, &full[..cut]).expect("truncate wal");
+
+        let metrics = ServerMetrics::new();
+        let (st, repaired, report) = recover(
+            Some(&ckpt),
+            Some(&WalConfig::new(&wal_path)),
+            &config(7),
+            &metrics,
+        )
+        .expect("recovery never errors on a truncated tail");
+
+        let cut64 = cut as u64;
+        let survived = ends
+            .iter()
+            .filter(|&&e| e > sketchtree_wal::HEADER_LEN && e <= cut64)
+            .count();
+        prop_assert_eq!(report.replayed_batches as usize, survived);
+        prop_assert_eq!(
+            report.torn_tail,
+            cut != 0 && !ends.contains(&cut64),
+            "torn iff the cut missed a frame boundary (cut {})", cut
+        );
+        prop_assert_eq!(st.wal_seq(), (ckpt_after + survived) as u64);
+
+        // The recovered synopsis is byte-identical to one that ingested
+        // exactly the surviving acked prefix.
+        let expect = reference(7, ckpt_after + survived, st.wal_seq());
+        prop_assert_eq!(write_snapshot(&st), write_snapshot(&expect));
+
+        // The repaired log continues the sequence with no gaps or reuse.
+        let repaired = repaired.expect("wal configured");
+        prop_assert_eq!(repaired.next_seq(), (ckpt_after + survived) as u64 + 1);
+        drop(repaired);
+        cleanup(&dir);
+    }
+}
+
+/// Satellite regression: a garbage `<checkpoint>.tmp` from a simulated
+/// mid-write crash must never become the live checkpoint — the real
+/// checkpoint loads, and the stale temp file is removed.
+#[test]
+fn garbage_tmp_from_midwrite_crash_never_becomes_live() {
+    let dir = scratch("tmp-garbage");
+    let ckpt = dir.join("state.snap");
+    let cfg = ServerConfig {
+        checkpoint_path: Some(ckpt.clone()),
+        sketch: config(3),
+        ..ServerConfig::default()
+    };
+
+    let server = Server::start("127.0.0.1:0", cfg.clone()).expect("server starts");
+    for (labels, trees) in &batches() {
+        let map: Vec<Label> = server
+            .shared()
+            .with_labels(|g| labels.iter().map(|n| g.intern(n)).collect());
+        let remapped: Vec<Tree> = trees.iter().map(|t| remap(t, &map)).collect();
+        server.shared().ingest_batch(&remapped);
+    }
+    let expected_trees = server.shared().trees_processed();
+    server.shutdown().expect("clean shutdown");
+
+    // Crash mid-checkpoint: half-written garbage under the temp name.
+    let tmp = ckpt.with_extension("tmp");
+    std::fs::write(&tmp, b"SKTR\x02\x00\x00\x00 torn mid-write").expect("write garbage tmp");
+
+    let server2 = Server::start("127.0.0.1:0", cfg).expect("restart succeeds");
+    assert_eq!(
+        server2.shared().trees_processed(),
+        expected_trees,
+        "the published checkpoint, not the torn temp file, is what loads"
+    );
+    assert!(!tmp.exists(), "stale temp file removed at startup");
+    let text = server2.metrics().render(false);
+    assert!(
+        text.contains("sketchtree_restore_stale_tmp_total 1"),
+        "stale-tmp cleanup is counted: {text}"
+    );
+    server2.abort();
+    cleanup(&dir);
+}
+
+/// Satellite regression: even a temp file containing a *fully valid*
+/// snapshot is ignored and removed — the rename never happened, so it
+/// was never published.
+#[test]
+fn valid_looking_tmp_is_still_not_trusted() {
+    let dir = scratch("tmp-valid");
+    let ckpt = dir.join("state.snap");
+    let tmp = ckpt.with_extension("tmp");
+    std::fs::write(&tmp, write_snapshot(&reference(3, 4, 0))).expect("write tmp");
+
+    let metrics = ServerMetrics::new();
+    let (st, _, report) =
+        recover(Some(&ckpt), None, &config(3), &metrics).expect("recover");
+    assert_eq!(st.trees_processed(), 0, "unpublished checkpoint data is not loaded");
+    assert!(report.stale_tmp_removed);
+    assert!(!report.restored_from_checkpoint);
+    assert!(!tmp.exists());
+    cleanup(&dir);
+}
+
+/// Satellite regression: a corrupt checkpoint no longer bricks the
+/// server when a WAL is configured — it is quarantined as `*.corrupt`,
+/// counted, and the state is rebuilt from the log.
+#[test]
+fn corrupt_checkpoint_is_quarantined_and_rebuilt_from_wal() {
+    let dir = scratch("quarantine");
+    let ckpt = dir.join("state.snap");
+    let wal_path = dir.join("state.wal");
+    let cfg = ServerConfig {
+        checkpoint_path: Some(ckpt.clone()),
+        wal: Some(WalConfig::new(wal_path)),
+        sketch: config(5),
+        ..ServerConfig::default()
+    };
+
+    // First life: every batch goes through the log; no checkpoint is
+    // ever written (crash before the first checkpoint interval).
+    let server = Server::start("127.0.0.1:0", cfg.clone()).expect("server starts");
+    let mut client =
+        sketchtree_server::Client::connect(server.addr()).expect("client connects");
+    for (labels, trees) in &batches() {
+        client
+            .ingest_trees(labels.clone(), trees.clone())
+            .expect("ingest acked");
+    }
+    let before = server.shared().read(write_snapshot);
+    drop(client);
+    server.abort();
+
+    // An old corrupt checkpoint sits at the path (wrong bytes, right
+    // magic — the nastiest case).
+    std::fs::write(&ckpt, b"SKTR\x02\x00\x00\x00corrupt beyond the header").expect("write");
+
+    let server2 = Server::start("127.0.0.1:0", cfg).expect("starts despite corrupt checkpoint");
+    assert_eq!(
+        server2.shared().read(write_snapshot),
+        before,
+        "state rebuilt from the WAL alone is bit-identical to the acked stream"
+    );
+    let quarantined = {
+        let mut name = ckpt.as_os_str().to_os_string();
+        name.push(".corrupt");
+        PathBuf::from(name)
+    };
+    assert!(quarantined.exists(), "bad checkpoint preserved for forensics");
+    assert!(!ckpt.exists(), "bad checkpoint no longer in the live position");
+    let text = server2.metrics().render(false);
+    assert!(
+        text.contains("sketchtree_restore_corrupt_total 1"),
+        "quarantine is counted: {text}"
+    );
+    server2.abort();
+    cleanup(&dir);
+}
+
+/// Without a WAL there is nothing to rebuild from, so a corrupt
+/// checkpoint stays a hard startup error (silently starting empty would
+/// discard the stream).
+#[test]
+fn corrupt_checkpoint_without_wal_is_still_fatal() {
+    let dir = scratch("fatal");
+    let ckpt = dir.join("state.snap");
+    std::fs::write(&ckpt, b"SKTR\x01\x00\x00\x00nope").expect("write");
+    let cfg = ServerConfig {
+        checkpoint_path: Some(ckpt.clone()),
+        sketch: config(5),
+        ..ServerConfig::default()
+    };
+    assert!(Server::start("127.0.0.1:0", cfg).is_err());
+    assert!(ckpt.exists(), "no quarantine without a WAL — evidence stays put");
+    cleanup(&dir);
+}
+
+/// End-to-end crash drill over the wire: ack batches, checkpoint
+/// mid-stream, ack more, crash.  The restart must hold exactly the
+/// acked stream (checkpoint + replayed tail), bit-for-bit.
+#[test]
+fn abort_restart_recovers_every_acked_batch() {
+    let dir = scratch("e2e");
+    let ckpt = dir.join("state.snap");
+    let wal_path = dir.join("state.wal");
+    let cfg = ServerConfig {
+        checkpoint_path: Some(ckpt),
+        wal: Some(WalConfig::new(wal_path.clone())),
+        sketch: config(11),
+        ..ServerConfig::default()
+    };
+    let all = batches();
+
+    let server = Server::start("127.0.0.1:0", cfg.clone()).expect("server starts");
+    let mut client =
+        sketchtree_server::Client::connect(server.addr()).expect("client connects");
+    for (labels, trees) in &all[..3] {
+        client.ingest_trees(labels.clone(), trees.clone()).expect("acked");
+    }
+    server.checkpoint().expect("explicit checkpoint");
+    assert_eq!(
+        std::fs::metadata(&wal_path).expect("wal exists").len(),
+        sketchtree_wal::HEADER_LEN,
+        "a successful checkpoint rotates the log"
+    );
+    for (labels, trees) in &all[3..] {
+        client.ingest_trees(labels.clone(), trees.clone()).expect("acked");
+    }
+    let before = server.shared().read(write_snapshot);
+    drop(client);
+    server.abort();
+
+    let server2 = Server::start("127.0.0.1:0", cfg.clone()).expect("restart");
+    assert_eq!(
+        server2.shared().read(write_snapshot),
+        before,
+        "recovered synopsis is bit-identical to the pre-crash acked state"
+    );
+    // The recovered state also matches a from-scratch reference over
+    // the same batches (checkpoint restore + replay introduced no skew).
+    let expect = reference(11, all.len(), server2.shared().wal_seq());
+    assert_eq!(server2.shared().read(write_snapshot), write_snapshot(&expect));
+
+    // Clean shutdown then restart: same state again, now via checkpoint
+    // alone (empty log).
+    server2.shutdown().expect("clean shutdown");
+    let server3 = Server::start("127.0.0.1:0", cfg).expect("restart after shutdown");
+    assert_eq!(server3.shared().read(write_snapshot), write_snapshot(&expect));
+    server3.abort();
+    cleanup(&dir);
+}
+
+/// The XML ingest opcode logs through the same WAL path as IngestTrees.
+#[test]
+fn xml_ingest_is_logged_and_replayed() {
+    let dir = scratch("xml");
+    let wal_path = dir.join("xml.wal");
+    let cfg = ServerConfig {
+        wal: Some(WalConfig::new(wal_path)),
+        sketch: config(13),
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg.clone()).expect("server starts");
+    let mut client =
+        sketchtree_server::Client::connect(server.addr()).expect("client connects");
+    client
+        .ingest_xml(&["<a><b/><c><b/></c></a>".to_string(), "<a><c/></a>".to_string()])
+        .expect("xml acked");
+    let before = server.shared().read(write_snapshot);
+    drop(client);
+    server.abort();
+
+    let server2 = Server::start("127.0.0.1:0", cfg).expect("restart");
+    assert_eq!(
+        server2.shared().read(write_snapshot),
+        before,
+        "XML batches replay bit-identically from the log"
+    );
+    server2.abort();
+    cleanup(&dir);
+}
+
+/// Group commit: `fsync_every = 4` issues one fsync per four appends
+/// (visible in the counters), and a same-process crash still recovers
+/// everything the page cache held.
+#[test]
+fn group_commit_batches_fsyncs() {
+    let dir = scratch("group");
+    let wal_path = dir.join("group.wal");
+    let cfg = ServerConfig {
+        wal: Some(WalConfig { path: wal_path, fsync_every: 4 }),
+        sketch: config(17),
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg.clone()).expect("server starts");
+    let mut client =
+        sketchtree_server::Client::connect(server.addr()).expect("client connects");
+    let all = batches();
+    for _ in 0..2 {
+        for (labels, trees) in &all[..4] {
+            client.ingest_trees(labels.clone(), trees.clone()).expect("acked");
+        }
+    }
+    let text = server.metrics().render(false);
+    assert!(text.contains("sketchtree_wal_appends_total 8"), "{text}");
+    assert!(text.contains("sketchtree_wal_fsyncs_total 2"), "{text}");
+    let before = server.shared().read(write_snapshot);
+    drop(client);
+    server.abort();
+
+    let server2 = Server::start("127.0.0.1:0", cfg).expect("restart");
+    assert_eq!(server2.shared().read(write_snapshot), before);
+    server2.abort();
+    cleanup(&dir);
+}

@@ -63,6 +63,16 @@ cargo test --quiet -p sketchtree --test loadgen_smoke
 cargo test --quiet -p sketchtree-loadgen schema_
 cargo test --quiet -p sketchtree-loadgen missing_
 
+echo "==> wal-recovery (crash-injection: any truncation point, bit-identical)"
+# Power-cut drills over the durability subsystem: the truncation-sweep
+# proptest (recovered synopsis byte-identical to the acked prefix at ANY
+# cut byte), checkpoint-atomicity regressions (garbage tmp never goes
+# live), corrupt-checkpoint quarantine + rebuild-from-WAL, and the
+# end-to-end abort/restart parity drill.  All run in the sweep above;
+# naming the suite here gives a durability regression its own banner.
+cargo test --quiet -p sketchtree-server --test crash_injection
+cargo test --quiet -p sketchtree-wal --lib every_truncation_point_recovers_the_intact_prefix
+
 echo "==> workspace lint gates (L6 lock-order, L7 blocking, L8 epoch, L9 spec-drift)"
 # The graph-aware workspace rules each get a named gate so a regression
 # fails under its own banner, and the seeded-bug self-tests prove each
