@@ -1,0 +1,111 @@
+//! Allocation micro-bench for the ingest hot path.
+//!
+//! The wire-speed insert path — sign cache, reusable sign buffer, top-k
+//! estimate scratch — is designed to touch the allocator zero times per
+//! element once warm.  This test pins that property with a counting
+//! global allocator: a warm-up pass grows every reusable buffer, then a
+//! measured pass over the *same* value stream must allocate nothing.
+//!
+//! Ignored by default (`cargo test -p sketchtree-bench -- --ignored`):
+//! the global allocator hook taxes every other test in the binary, so it
+//! lives alone in this integration-test crate.
+//!
+//! This file is an integration test, outside the library's
+//! `#![forbid(unsafe_code)]`: a `GlobalAlloc` impl is unavoidably
+//! unsafe, and the unsafety is confined to delegating to [`System`].
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    /// Bytes allocated on this thread while `COUNTING` is set.
+    static ALLOCATED: Cell<u64> = const { Cell::new(0) };
+    /// Number of allocator calls on this thread while `COUNTING` is set.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    /// Gate so unrelated test-harness allocation is not charged.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: every method delegates directly to `System`; the bookkeeping
+// uses const-initialized thread-locals, which never allocate on access,
+// so the hook cannot recurse into itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+fn note(bytes: usize) {
+    COUNTING.with(|c| {
+        if c.get() {
+            ALLOCATED.with(|a| a.set(a.get() + bytes as u64));
+            ALLOCATIONS.with(|n| n.set(n.get() + 1));
+        }
+    });
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting on, returning (bytes, calls).
+fn count_allocations<F: FnOnce()>(f: F) -> (u64, u64) {
+    ALLOCATED.with(|a| a.set(0));
+    ALLOCATIONS.with(|n| n.set(0));
+    COUNTING.with(|c| c.set(true));
+    f();
+    COUNTING.with(|c| c.set(false));
+    (ALLOCATED.with(Cell::get), ALLOCATIONS.with(Cell::get))
+}
+
+/// A DBLP-like fingerprint stream: heavy repetition (the regime the sign
+/// cache exists for) plus a long distinct tail.
+fn workload() -> Vec<u64> {
+    let mut vals = Vec::with_capacity(40_000);
+    let mut x = 0x5EED_1234u64;
+    for _ in 0..40_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let r = x >> 33;
+        let v = if r % 10 < 7 { r % 2_048 } else { r % 500_000 };
+        vals.push(v.wrapping_mul(0x9E3779B97F4A7C15));
+    }
+    vals
+}
+
+#[test]
+#[ignore = "alloc-counting micro-bench; run with -- --ignored"]
+fn slab_insert_path_allocates_zero_bytes_after_warmup() {
+    use sketchtree_sketch::{StreamSynopsis, SynopsisConfig};
+
+    let mut syn = StreamSynopsis::new(SynopsisConfig::default());
+    let vals = workload();
+    // Warm-up: grows the sign buffer, the top-k heaps and their hash
+    // indexes, and the estimate scratch to steady-state capacity.
+    for &v in &vals {
+        syn.insert(v);
+    }
+    // Measured pass over the same stream: the hot path must be
+    // allocation-free per element.
+    let (bytes, calls) = count_allocations(|| {
+        for &v in &vals {
+            syn.insert(v);
+        }
+    });
+    assert_eq!(
+        (bytes, calls),
+        (0, 0),
+        "slab insert path allocated {bytes} bytes in {calls} calls over {} elements",
+        vals.len()
+    );
+}

@@ -21,11 +21,6 @@
 
 use sketchtree_tree::{NodeId, Tree};
 
-/// An edge set representing one pattern (pairs of data-tree node ids).
-type EdgeSet = Vec<(NodeId, NodeId)>;
-/// `P(i, ·)`: pattern sets per size for one node, `p[j - 1] = P(i, j)`.
-type NodePatterns = Vec<Vec<EdgeSet>>;
-
 /// One enumerated pattern instance: a root node of the data tree plus the
 /// selected edge set (pairs of data-tree node ids, parent first).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -36,6 +31,75 @@ pub struct PatternInstance {
     pub edges: Vec<(NodeId, NodeId)>,
 }
 
+/// Reusable enumeration scratch: the memo table, pattern-edge pool and
+/// composition buffers of one EnumTree run, *cleared* — never freed —
+/// between trees.
+///
+/// The paper's memo `P(i, j)` is a set of edge sets; materialising it as
+/// nested `Vec<Vec<Vec<_>>>` costs one heap allocation per pattern
+/// instance, which dominates the ingest hot path on streams of small
+/// trees.  The arena flattens the representation instead:
+///
+/// * every pattern's edge list lives back-to-back in one `edges` pool,
+///   addressed by a `(start, len)` span;
+/// * `P(i, j)` is a row of span indices (`rows[i * k + (j - 1)]`);
+/// * cartesian-product composition copies prefixes with
+///   `Vec::extend_from_within` inside the pool.
+///
+/// After the first few trees every buffer has reached its steady-state
+/// capacity and enumeration performs **zero** allocations per tree.  The
+/// emission order is identical to the historical nested-`Vec`
+/// implementation — same combination order, same composition order, same
+/// per-size grouping — which the ingest parity tests rely on.
+#[derive(Debug, Default)]
+pub struct EnumArena {
+    /// All pattern edge lists, back to back (the span pool).
+    edges: Vec<(NodeId, NodeId)>,
+    /// Span `s` covers `edges[spans[s].0 ..][.. spans[s].1]`.
+    spans: Vec<(u32, u32)>,
+    /// `rows[node * k + (j - 1)]` = span indices of `P(node, j)`.
+    rows: Vec<Vec<u32>>,
+    /// Subtree edge counts, bounding how many edges a child can absorb.
+    sub_edges: Vec<usize>,
+    /// Current t-combination of child indices.
+    combo: Vec<usize>,
+    /// Per chosen child, the budgets `l` with non-empty `P(child, l)`.
+    budgets: Vec<Vec<usize>>,
+    /// Current weak composition in [`compose`].
+    ls: Vec<usize>,
+    /// Cartesian-product frontier (span indices).
+    partial: Vec<u32>,
+    /// Next cartesian-product frontier.
+    next_partial: Vec<u32>,
+    /// Postorder node buffer.
+    post: Vec<NodeId>,
+    /// DFS stack for the postorder walk.
+    stack: Vec<NodeId>,
+}
+
+impl EnumArena {
+    /// An empty arena; buffers grow to steady state over the first trees.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Widening u32 → usize index conversion (all supported targets).
+#[inline]
+fn ux(n: u32) -> usize {
+    // lint:allow(L2, reason = "u32 -> usize is widening on all supported targets")
+    n as usize
+}
+
+/// Narrowing usize → u32 span bookkeeping; the pattern pool is explicitly
+/// capped at u32 index space (a pool that large would be hundreds of
+/// gigabytes — enumeration would have OOMed long before).
+#[inline]
+fn u32x(n: usize) -> u32 {
+    // lint:allow(L1, reason = "deliberate cap: a pool past u32 index space is a config error worth aborting on, per the doc above")
+    u32::try_from(n).expect("pattern pool exceeds u32 index space")
+}
+
 /// Enumerates every ordered tree pattern of `tree` with 1..=k edges,
 /// invoking `f(root, edges)` once per pattern instance.
 ///
@@ -43,14 +107,57 @@ pub struct PatternInstance {
 /// are also reported, each with an empty edge slice.  The paper's EnumTree
 /// reports patterns "with one to k edges", so the default entry points pass
 /// `false`.
+///
+/// One-shot form: allocates a fresh [`EnumArena`] per call.  Streaming
+/// callers should hold an arena and use
+/// [`enumerate_patterns_config_with`] so buffer capacity carries across
+/// trees.
 pub fn enumerate_patterns_config(
     tree: &Tree,
     k: usize,
     include_single_nodes: bool,
     mut f: impl FnMut(NodeId, &[(NodeId, NodeId)]),
 ) {
+    let mut arena = EnumArena::new();
+    enumerate_patterns_config_with(&mut arena, tree, k, include_single_nodes, &mut f);
+}
+
+/// [`enumerate_patterns_config`] with caller-owned scratch: identical
+/// output (same patterns, same order), zero steady-state allocations.
+pub fn enumerate_patterns_config_with(
+    arena: &mut EnumArena,
+    tree: &Tree,
+    k: usize,
+    include_single_nodes: bool,
+    mut f: impl FnMut(NodeId, &[(NodeId, NodeId)]),
+) {
+    let EnumArena {
+        edges,
+        spans,
+        rows,
+        sub_edges,
+        combo,
+        budgets,
+        ls,
+        partial,
+        next_partial,
+        post,
+        stack,
+    } = arena;
+    // Postorder walk into the reused buffer (reverse of a right-to-left
+    // preorder, exactly like `Tree::postorder`).
+    post.clear();
+    stack.clear();
+    stack.push(tree.root());
+    while let Some(id) = stack.pop() {
+        post.push(id);
+        for &c in tree.children(id) {
+            stack.push(c);
+        }
+    }
+    post.reverse();
     if include_single_nodes {
-        for id in tree.postorder() {
+        for &id in post.iter() {
             f(id, &[]);
         }
     }
@@ -58,19 +165,28 @@ pub fn enumerate_patterns_config(
         return;
     }
     let n = tree.len();
-    // memo[node.index()][j - 1] = P(node, j) for j in 1..=k.
-    let mut memo: Vec<NodePatterns> = vec![Vec::new(); n];
-    // Subtree edge counts bound how many edges a child can absorb.
-    let mut sub_edges = vec![0usize; n];
-    for id in tree.postorder() {
+    edges.clear();
+    spans.clear();
+    // lint:allow(L3, reason = "n * k rows: both factors bounded by in-memory tree size and the configured pattern size; the rows vector allocation would fail first")
+    let row_count = n * k;
+    if rows.len() < row_count {
+        rows.resize_with(row_count, Vec::new);
+    }
+    // lint:allow(L1, reason = "rows was just resized to at least row_count entries")
+    for row in &mut rows[..row_count] {
+        row.clear();
+    }
+    sub_edges.clear();
+    sub_edges.resize(n, 0);
+    for &id in post.iter() {
         let children = tree.children(id);
         // lint:allow(L1, reason = "postorder NodeIds index vectors sized to tree.len()")
         sub_edges[id.index()] = children.iter().map(|c| sub_edges[c.index()] + 1).sum();
-        let mut p_i: NodePatterns = vec![Vec::new(); k];
+        // lint:allow(L3, reason = "id.index() < n, so the row base is within the rows vector sized n * k")
+        let row_base = id.index() * k;
         if !children.is_empty() {
             let fanout = children.len();
             let max_t = fanout.min(k);
-            let mut combo: Vec<usize> = Vec::new();
             for t in 1..=max_t {
                 // Enumerate all t-combinations of child indices in
                 // lexicographic order (preserves sibling order).
@@ -78,94 +194,132 @@ pub fn enumerate_patterns_config(
                 combo.extend(0..t);
                 loop {
                     distribute(
-                        tree,
-                        id,
-                        children,
-                        &combo,
-                        k,
-                        &memo,
-                        &sub_edges,
-                        &mut p_i,
+                        id, children, combo, k, sub_edges, edges, spans, rows, budgets, ls,
+                        partial, next_partial,
                     );
-                    if !next_combination(&mut combo, fanout) {
+                    if !next_combination(combo, fanout) {
                         break;
                     }
                 }
             }
         }
-        // Emit all patterns rooted here.
-        for js in &p_i {
-            for edges in js {
-                f(id, edges);
+        // Emit all patterns rooted here, grouped by size ascending.
+        for j in 0..k {
+            // lint:allow(L1, reason = "row_base + j < n * k == row_count by construction")
+            for &s in &rows[row_base + j] {
+                // lint:allow(L1, reason = "span indices are only ever minted by pushes into spans")
+                let (start, len) = spans[ux(s)];
+                // lint:allow(L1, reason = "spans record (start, len) of a completed extend into edges")
+                f(id, &edges[ux(start)..ux(start) + ux(len)]);
             }
         }
-        // lint:allow(L1, reason = "postorder NodeIds index vectors sized to tree.len()")
-        memo[id.index()] = p_i;
     }
 }
 
 /// For a fixed set of chosen children, distribute remaining edges over them
-/// in all ways and extend `p_i` with the resulting patterns.
+/// in all ways and extend node `id`'s memo rows with the resulting
+/// patterns (as spans into the shared edge pool).
 #[allow(clippy::too_many_arguments)]
 fn distribute(
-    _tree: &Tree,
     id: NodeId,
     children: &[NodeId],
     combo: &[usize],
     k: usize,
-    memo: &[NodePatterns],
     sub_edges: &[usize],
-    p_i: &mut [Vec<EdgeSet>],
+    edges: &mut Vec<(NodeId, NodeId)>,
+    spans: &mut Vec<(u32, u32)>,
+    rows: &mut [Vec<u32>],
+    budgets: &mut Vec<Vec<usize>>,
+    ls: &mut Vec<usize>,
+    partial: &mut Vec<u32>,
+    next_partial: &mut Vec<u32>,
 ) {
     let t = combo.len();
-    // lint:allow(L1, reason = "combo holds t-combinations of 0..children.len()")
-    let chosen: Vec<NodeId> = combo.iter().map(|&ci| children[ci]).collect();
     // Per chosen child, the budgets l for which P(child, l) is non-empty
     // (l = 0 is always allowed: "just the child edge").
-    let budgets: Vec<Vec<usize>> = chosen
-        .iter()
-        .map(|c| {
-            let mut b = vec![0usize];
-            // lint:allow(L1, reason = "NodeIds index vectors sized to tree.len()")
-            let limit = sub_edges[c.index()].min(k - 1);
-            for l in 1..=limit {
-                // lint:allow(L1, reason = "children precede parents in postorder, so memo[c] is filled with k rows; l <= limit <= k - 1")
-                if !memo[c.index()][l - 1].is_empty() {
-                    b.push(l);
-                }
+    if budgets.len() < t {
+        budgets.resize_with(t, Vec::new);
+    }
+    for (slot, &ci) in combo.iter().enumerate() {
+        // lint:allow(L1, reason = "combo holds t-combinations of 0..children.len(); slot < t <= budgets.len()")
+        let c = children[ci];
+        // lint:allow(L1, reason = "slot < t and budgets was just resized to at least t entries")
+        let b = &mut budgets[slot];
+        b.clear();
+        b.push(0);
+        // lint:allow(L1, reason = "NodeIds index vectors sized to tree.len()")
+        let limit = sub_edges[c.index()].min(k - 1);
+        for l in 1..=limit {
+            // lint:allow(L1, L3, reason = "children precede parents in postorder, so rows[c * k ..] holds k filled rows; l <= limit <= k - 1")
+            if !rows[c.index() * k + (l - 1)].is_empty() {
+                b.push(l);
             }
-            b
-        })
-        .collect();
-    let base_edges: EdgeSet = chosen.iter().map(|&c| (id, c)).collect();
+        }
+    }
+    // The base pattern (just the chosen child edges) enters the pool once;
+    // compose's first callback is always the all-zero assignment, which
+    // claims it, and later callbacks copy from it.
+    let base_start = u32x(edges.len());
+    for &ci in combo {
+        // lint:allow(L1, reason = "combo holds t-combinations of 0..children.len()")
+        edges.push((id, children[ci]));
+    }
+    let base_span = u32x(spans.len());
+    spans.push((base_start, u32x(t)));
     // Recursive composition enumeration with budget pruning.
     let max_extra = k - t;
-    let mut current: Vec<usize> = Vec::with_capacity(t);
-    compose(&budgets, 0, max_extra, &mut current, &mut |ls: &[usize]| {
+    ls.clear();
+    // lint:allow(L1, reason = "budgets was resized to at least t entries at the top of this function")
+    compose(&budgets[..t], 0, max_extra, ls, &mut |ls: &[usize]| {
         // Total size of this pattern.
         let total = t + ls.iter().sum::<usize>();
         debug_assert!((t..=k).contains(&total));
-        // Cartesian product of the chosen children's pattern sets.
-        let mut partial: Vec<EdgeSet> = vec![base_edges.clone()];
-        for (slot, (&c, &l)) in chosen.iter().zip(ls).enumerate() {
+        // lint:allow(L3, reason = "id.index() * k + total - 1 < rows.len(): total <= k and id indexes the tree")
+        let row = id.index() * k + (total - 1);
+        if total == t {
+            // All-zero assignment: the base pattern itself.
+            // lint:allow(L1, reason = "row < n * k as above")
+            rows[row].push(base_span);
+            return;
+        }
+        // Cartesian product of the chosen children's pattern sets, with
+        // every product edge list appended to the pool via
+        // extend_from_within (prefix copy, then sub copy).
+        partial.clear();
+        partial.push(base_span);
+        for (&ci, &l) in combo.iter().zip(ls.iter()) {
             if l == 0 {
                 continue;
             }
-            // lint:allow(L1, reason = "l came from budgets, built from non-empty memo[c] rows; l >= 1 guarded above")
-            let subs = &memo[c.index()][l - 1];
-            let mut next = Vec::with_capacity(partial.len() * subs.len());
-            for prefix in &partial {
-                for sub in subs {
-                    let mut e = prefix.clone();
-                    e.extend_from_slice(sub);
-                    next.push(e);
+            // lint:allow(L1, reason = "combo holds t-combinations of 0..children.len()")
+            let c = children[ci];
+            // lint:allow(L3, reason = "l came from budgets, built from non-empty rows; l >= 1 guarded above, l <= k - 1")
+            let sub_row = c.index() * k + (l - 1);
+            next_partial.clear();
+            for &p in partial.iter() {
+                // lint:allow(L1, reason = "span indices are only ever minted by pushes into spans")
+                let (p_start, p_len) = spans[ux(p)];
+                // lint:allow(L1, reason = "sub_row < n * k; see budget construction above")
+                for si in 0..rows[sub_row].len() {
+                    // lint:allow(L1, reason = "si < rows[sub_row].len() by the loop bound")
+                    let sub = rows[sub_row][si];
+                    // lint:allow(L1, reason = "span indices are only ever minted by pushes into spans")
+                    let (s_start, s_len) = spans[ux(sub)];
+                    let new_start = u32x(edges.len());
+                    // lint:allow(L3, reason = "span (start, len) pairs address completed regions of the edge pool")
+                    edges.extend_from_within(ux(p_start)..ux(p_start) + ux(p_len));
+                    // lint:allow(L3, reason = "span (start, len) pairs address completed regions of the edge pool")
+                    edges.extend_from_within(ux(s_start)..ux(s_start) + ux(s_len));
+                    let new_span = u32x(spans.len());
+                    // lint:allow(L3, reason = "p_len + s_len <= k edges per pattern, far below u32::MAX")
+                    spans.push((new_start, p_len + s_len));
+                    next_partial.push(new_span);
                 }
             }
-            partial = next;
-            let _ = slot;
+            std::mem::swap(partial, next_partial);
         }
-        // lint:allow(L1, reason = "t >= 1 and total <= k == p_i.len(), asserted above")
-        p_i[total - 1].extend(partial);
+        // lint:allow(L1, reason = "row < n * k as above")
+        rows[row].extend_from_slice(partial);
     });
 }
 
@@ -452,6 +606,45 @@ mod tests {
         });
         sexprs.sort();
         assert_eq!(sexprs, vec!["a(b)", "a(b,c)", "a(c)"]);
+    }
+
+    /// Reusing one arena across many trees must produce exactly the
+    /// sequence (roots, edge lists, order) a fresh arena produces per
+    /// tree — the property the allocation-free ingest path rides on.
+    #[test]
+    fn arena_reuse_is_order_identical_to_fresh_runs() {
+        let mut lt = LabelTable::new();
+        let (a, b, c) = (lt.intern("a"), lt.intern("b"), lt.intern("c"));
+        let trees = vec![
+            Tree::leaf(a),
+            Tree::node(a, vec![Tree::leaf(b), Tree::leaf(c)]),
+            Tree::node(
+                a,
+                vec![
+                    Tree::node(b, vec![Tree::leaf(c), Tree::leaf(a)]),
+                    Tree::leaf(c),
+                    Tree::node(c, vec![Tree::node(a, vec![Tree::leaf(b)])]),
+                ],
+            ),
+            Tree::node(a, (0..5).map(|_| Tree::leaf(b)).collect()),
+            Tree::node(b, vec![Tree::node(a, vec![Tree::node(c, vec![Tree::leaf(a)])])]),
+        ];
+        for k in 0..=4 {
+            for include in [false, true] {
+                let mut arena = EnumArena::new();
+                for t in &trees {
+                    let mut fresh: Vec<(NodeId, Vec<(NodeId, NodeId)>)> = Vec::new();
+                    enumerate_patterns_config(t, k, include, |r, e| {
+                        fresh.push((r, e.to_vec()));
+                    });
+                    let mut reused = Vec::new();
+                    enumerate_patterns_config_with(&mut arena, t, k, include, |r, e| {
+                        reused.push((r, e.to_vec()));
+                    });
+                    assert_eq!(reused, fresh, "k = {k}, include = {include}, tree {t}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod window;
 
 pub use bounds::BoundedEstimate;
 pub use concurrent::SharedSketchTree;
-pub use enumtree::{count_patterns, enumerate_patterns};
+pub use enumtree::{count_patterns, enumerate_patterns, EnumArena};
 pub use exact::ExactCounter;
 pub use exprparse::parse_expr;
 pub use mapping::Mapper;
@@ -70,6 +70,6 @@ pub use parallel::{default_ingest_threads, IngestOptions};
 pub use large::decompose as decompose_pattern;
 pub use markov::MarkovPathTable;
 pub use query::{parse_pattern, QueryError, QueryPattern};
-pub use sketchtree::{SketchTree, SketchTreeConfig};
+pub use sketchtree::{EnumScratch, SketchTree, SketchTreeConfig};
 pub use summary::StructuralSummary;
 pub use window::WindowedSketchTree;

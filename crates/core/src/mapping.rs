@@ -103,6 +103,15 @@ impl Mapper {
         self.fp.fingerprint_symbols(symbols)
     }
 
+    /// Maps many canonicalized symbol sequences packed back-to-back in one
+    /// buffer — the batch form of [`Mapper::map_symbols`] the ingest hot
+    /// path uses.  `ends[i]` is the exclusive end offset of sequence `i`;
+    /// one value per sequence is appended to `out`, each identical to
+    /// `map_symbols` of that segment.
+    pub fn map_symbol_segments(&self, symbols: &[u64], ends: &[u32], out: &mut Vec<u64>) {
+        self.fp.fingerprint_segments(symbols, ends, out);
+    }
+
     /// The exact pairing-function mapping (Section 2.2), padding the symbol
     /// tuple to `pad_len` symbols with the reserved pad symbol 0.
     ///

@@ -81,6 +81,11 @@ pub fn default_ingest_threads() -> usize {
 /// `queue_depth`, when given, is set to the number of still-unclaimed
 /// items as workers make progress (and to zero on return) — the ingest
 /// backlog gauge.
+///
+/// The production pipeline now threads per-worker scratch state through
+/// [`map_indexed_with`]; this stateless form remains as the test surface
+/// for the shared claiming/ordering/gauge machinery.
+#[cfg(test)]
 pub(crate) fn map_indexed<T, R, F>(
     threads: usize,
     items: &[T],
@@ -92,8 +97,32 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    map_indexed_with(threads, items, || (), |(), t| f(t), queue_depth)
+}
+
+/// [`map_indexed`] with per-worker mutable state: `init` runs once on each
+/// worker thread (and once on the calling thread when `threads == 1`), and
+/// `f` receives that worker's state alongside each claimed item.
+///
+/// This is how the enumeration fan-out reuses its per-worker
+/// [`crate::EnumScratch`] across every tree the worker claims — the arena
+/// warms up once per worker per batch instead of reallocating per tree.
+pub(crate) fn map_indexed_with<T, R, S, I, F>(
+    threads: usize,
+    items: &[T],
+    init: I,
+    f: F,
+    queue_depth: Option<&Gauge>,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let threads = threads.max(1).min(items.len().max(1));
     if threads == 1 {
+        let mut state = init();
         let out = items
             .iter()
             .enumerate()
@@ -101,7 +130,7 @@ where
                 if let Some(g) = queue_depth {
                     g.set((items.len() - i - 1) as f64);
                 }
-                f(t)
+                f(&mut state, t)
             })
             .collect();
         if let Some(g) = queue_depth {
@@ -115,9 +144,11 @@ where
     let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let cursor = &cursor;
         let f = &f;
+        let init = &init;
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(move || {
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -127,7 +158,7 @@ where
                         if let Some(g) = queue_depth {
                             g.set((items.len() - i - 1) as f64);
                         }
-                        local.push((i, f(&items[i])));
+                        local.push((i, f(&mut state, &items[i])));
                     }
                     local
                 })
@@ -200,6 +231,37 @@ mod tests {
             let out = map_indexed(threads, &items, |&x| x * x, None);
             let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
             assert_eq!(out, expect, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_with_threads_state_per_worker() {
+        let items: Vec<u64> = (0..50).collect();
+        for threads in [1, 2, 4] {
+            // Each worker counts how many items it processed in its own
+            // state; results must still come back in input order.
+            let out = map_indexed_with(
+                threads,
+                &items,
+                || 0u64,
+                |seen, &x| {
+                    *seen += 1;
+                    (x, *seen)
+                },
+                None,
+            );
+            let xs: Vec<u64> = out.iter().map(|&(x, _)| x).collect();
+            assert_eq!(xs, items, "threads {threads}");
+            // Per-worker counters sum to the item count: the last
+            // observation of each worker is its total, and counts are
+            // contiguous 1..=n per worker.
+            let total: u64 = out.iter().map(|&(_, c)| c).filter(|&c| c > 0).count() as u64;
+            assert_eq!(total, items.len() as u64);
+            if threads == 1 {
+                let counts: Vec<u64> = out.iter().map(|&(_, c)| c).collect();
+                let expect: Vec<u64> = (1..=items.len() as u64).collect();
+                assert_eq!(counts, expect, "single thread sees every item in order");
+            }
         }
     }
 

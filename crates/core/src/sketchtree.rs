@@ -21,7 +21,7 @@
 //! how the experiment harness measures relative errors — at the memory cost
 //! the paper's introduction warns about.
 
-use crate::enumtree::enumerate_patterns_config;
+use crate::enumtree::{enumerate_patterns_config, enumerate_patterns_config_with, EnumArena};
 use crate::exact::ExactCounter;
 use crate::mapping::Mapper;
 use crate::metrics::{relative_spread, CoreMetrics, SketchHealth};
@@ -31,7 +31,7 @@ use crate::unordered::{arrangements, ArrangementError};
 use sketchtree_sketch::expr::Term;
 use sketchtree_sketch::virtual_streams::SynopsisError;
 use sketchtree_sketch::{StreamSynopsis, SynopsisConfig};
-use sketchtree_tree::{LabelTable, PruferSeq, Tree};
+use sketchtree_tree::{Label, LabelTable, NodeId, PruferSeq, Tree};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -218,6 +218,70 @@ impl fmt::Display for CountExpr {
     }
 }
 
+/// Reusable buffers for the allocation-free enumerate → fingerprint
+/// pipeline behind [`SketchTree::ingest`] and
+/// [`SketchTree::enumerate_values_into`].
+///
+/// Holds the [`EnumArena`] plus the pattern-walk, symbol and value buffers
+/// of one worker.  Everything is cleared — never freed — between trees, so
+/// after warm-up the per-tree pipeline performs no heap allocation at all:
+/// enumeration writes spans into the arena pool, each pattern's canonical
+/// symbols are appended to one contiguous buffer, and a single batch
+/// fingerprint pass maps every pattern of the tree.
+#[derive(Debug, Default)]
+pub struct EnumScratch {
+    arena: EnumArena,
+    /// Pattern nodes in pattern postorder: `(node, parent, is_leaf)`.
+    post: Vec<(NodeId, Option<NodeId>, bool)>,
+    /// Extended-postorder number per data-tree node (of the current
+    /// pattern only — stale entries are never read because parents always
+    /// belong to the pattern being emitted).
+    ext_of: Vec<u32>,
+    lps: Vec<u64>,
+    nps: Vec<u64>,
+    /// All patterns' canonical symbols for the current tree, back to back.
+    symbols: Vec<u64>,
+    /// Exclusive end offset of each pattern's symbols in `symbols`.
+    ends: Vec<u32>,
+    /// Mapped values of the current tree (the fast ingest path's output).
+    values: Vec<u64>,
+}
+
+impl EnumScratch {
+    /// Empty scratch; buffers grow to steady state over the first trees.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Walks a pattern's edge list into pattern postorder.
+///
+/// EnumTree emits every pattern's edges in a canonical nested layout —
+/// the root's child edges first (sibling order), then each child's
+/// sub-pattern edge list in order, recursively — so the pattern's shape
+/// can be parsed straight off the edge slice: the edges parented at `v`
+/// form a contiguous run at the cursor.  Recursion depth is bounded by
+/// the pattern edge count (`max_pattern_edges`, single digits).
+fn pattern_postorder(
+    edges: &[(NodeId, NodeId)],
+    v: NodeId,
+    parent: Option<NodeId>,
+    pos: &mut usize,
+    post: &mut Vec<(NodeId, Option<NodeId>, bool)>,
+) {
+    let start = *pos;
+    // lint:allow(L1, reason = "guarded by the *pos < edges.len() test on the same line")
+    while *pos < edges.len() && edges[*pos].0 == v {
+        *pos += 1;
+    }
+    let end = *pos;
+    for i in start..end {
+        // lint:allow(L1, reason = "start..end indexes the run just scanned")
+        pattern_postorder(edges, edges[i].1, Some(v), pos, post);
+    }
+    post.push((v, parent, start == end));
+}
+
 /// The SketchTree streaming synopsis.
 pub struct SketchTree {
     config: SketchTreeConfig,
@@ -246,6 +310,10 @@ pub struct SketchTree {
     /// the server's logging layer moves it.
     wal_seq: u64,
     metrics: Option<Arc<CoreMetrics>>,
+    /// Hot-path scratch for [`SketchTree::ingest`].  Pure buffers — never
+    /// persisted, never compared; taken out and put back around each
+    /// ingest so the enumerate pipeline can borrow `&self` concurrently.
+    scratch: EnumScratch,
 }
 
 impl fmt::Debug for SketchTree {
@@ -279,6 +347,7 @@ impl SketchTree {
             epoch: 0,
             wal_seq: 0,
             metrics: None,
+            scratch: EnumScratch::new(),
         }
     }
 
@@ -415,14 +484,51 @@ impl SketchTree {
         }
     }
 
-    /// Ingests one data tree — Algorithm 1.
+    /// Ingests one data tree — Algorithm 1, on the allocation-free hot
+    /// path: arena-backed enumeration, direct canonical-symbol emission
+    /// (no pattern projection, no intermediate [`PruferSeq`]) and one
+    /// batch fingerprint pass per tree.  Produces bit-identical synopsis
+    /// state to the observer path ([`SketchTree::ingest_with`]) — same
+    /// values, same stream order.
     pub fn ingest(&mut self, tree: &Tree) {
-        self.ingest_with(tree, |_, _| {});
+        let start = self.metrics.as_ref().map(|_| Instant::now());
+        if let Some(s) = &mut self.summary {
+            s.observe(tree);
+        }
+        self.sync_label_codes();
+        // Take the scratch out so the `&self` enumeration pipeline and the
+        // `&mut` scratch coexist; put it back (buffers warm) afterwards.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut values = std::mem::take(&mut scratch.values);
+        values.clear();
+        self.enumerate_values_into(tree, &mut scratch, &mut values);
+        for &value in &values {
+            self.synopsis.insert(value);
+            if let Some(e) = &mut self.exact {
+                e.record(value);
+            }
+        }
+        let patterns = values.len() as u64;
+        scratch.values = values;
+        self.scratch = scratch;
+        self.patterns_processed += patterns;
+        self.trees_processed += 1;
+        self.epoch += 1;
+        if let (Some(m), Some(t0)) = (&self.metrics, start) {
+            m.ingest_trees.inc();
+            m.ingest_patterns.add(patterns);
+            m.ingest_seconds.observe_duration(t0.elapsed());
+        }
     }
 
     /// Ingests one data tree, invoking `observer(value, seq)` for every
     /// pattern instance (hook for experiment harnesses that need the raw
     /// mapped stream).
+    ///
+    /// This is the legacy per-pattern pipeline — project, Prüfer-encode,
+    /// map — kept as the executable specification of Algorithm 1: the
+    /// fast [`SketchTree::ingest`] path must produce the identical value
+    /// sequence (enforced by the core parity tests).
     pub fn ingest_with(&mut self, tree: &Tree, mut observer: impl FnMut(u64, &PruferSeq)) {
         let start = self.metrics.as_ref().map(|_| Instant::now());
         if let Some(s) = &mut self.summary {
@@ -470,20 +576,102 @@ impl SketchTree {
     /// order matches [`SketchTree::ingest`] exactly.
     pub fn enumerate_values(&self, tree: &Tree) -> Vec<u64> {
         let start = self.metrics.as_ref().map(|_| Instant::now());
+        let mut scratch = EnumScratch::new();
         let mut values = Vec::new();
-        enumerate_patterns_config(
-            tree,
-            self.config.max_pattern_edges,
-            self.config.include_single_nodes,
-            |root, edges| {
-                let pattern = tree.project(root, edges);
-                values.push(self.map_seq_canonical(&PruferSeq::encode(&pattern)));
-            },
-        );
+        self.enumerate_values_into(tree, &mut scratch, &mut values);
         if let (Some(m), Some(t0)) = (&self.metrics, start) {
             m.enumerate_seconds.observe_duration(t0.elapsed());
         }
         values
+    }
+
+    /// [`SketchTree::enumerate_values`] with caller-owned scratch: appends
+    /// tree's pattern values to `out` in exact sequential ingest order,
+    /// reusing `scratch`'s buffers so a worker that processes many trees
+    /// allocates nothing after warm-up.
+    ///
+    /// This is the hot half of Algorithm 1 rebuilt without intermediate
+    /// structures: for every pattern the arena hands back an edge slice,
+    /// the extended-Prüfer numbering is computed straight off it (no
+    /// projected [`Tree`], no [`PruferSeq`]), canonical symbols accumulate
+    /// in one contiguous buffer, and a single table-driven Rabin pass
+    /// fingerprints the whole tree's patterns at once.
+    pub fn enumerate_values_into(
+        &self,
+        tree: &Tree,
+        scratch: &mut EnumScratch,
+        out: &mut Vec<u64>,
+    ) {
+        let mapper = &self.mapper;
+        let labels = &self.labels;
+        let codes = &self.label_codes;
+        let code_of = |l: Label| {
+            codes
+                .get(l.0 as usize)
+                .copied()
+                .unwrap_or_else(|| mapper.label_code(labels.name(l)))
+        };
+        let EnumScratch {
+            arena,
+            post,
+            ext_of,
+            lps,
+            nps,
+            symbols,
+            ends,
+            values: _,
+        } = scratch;
+        symbols.clear();
+        ends.clear();
+        ext_of.clear();
+        ext_of.resize(tree.len(), 0);
+        enumerate_patterns_config_with(
+            arena,
+            tree,
+            self.config.max_pattern_edges,
+            self.config.include_single_nodes,
+            |root, edges| {
+                post.clear();
+                let mut pos = 0usize;
+                pattern_postorder(edges, root, None, &mut pos, post);
+                debug_assert_eq!(pos, edges.len(), "pattern edges not in canonical layout");
+                // Extended-postorder numbering: each pattern leaf's dummy
+                // child takes the number right before the leaf itself.
+                let mut counter = 0u32;
+                for &(node, _, leaf) in post.iter() {
+                    if leaf {
+                        counter += 1;
+                    }
+                    counter += 1;
+                    // lint:allow(L1, reason = "pattern nodes are NodeIds of `tree`; ext_of is sized tree.len()")
+                    ext_of[node.index()] = counter;
+                }
+                // Positions 1..m-1 of the extended Prüfer pair, in order:
+                // per postorder node, the dummy entry (leaves), then the
+                // node's own entry (non-roots).
+                lps.clear();
+                nps.clear();
+                for &(node, parent, leaf) in post.iter() {
+                    if leaf {
+                        lps.push(code_of(tree.label(node)));
+                        // lint:allow(L1, reason = "ext_of[node] was just assigned in the numbering pass")
+                        nps.push(u64::from(ext_of[node.index()]));
+                    }
+                    if let Some(p) = parent {
+                        lps.push(code_of(tree.label(p)));
+                        // lint:allow(L1, reason = "parents are pattern nodes numbered in this same pass")
+                        nps.push(u64::from(ext_of[p.index()]));
+                    }
+                }
+                symbols.extend_from_slice(lps);
+                symbols.extend_from_slice(nps);
+                ends.push(
+                    // lint:allow(L1, reason = "deliberate cap: a symbol buffer past u32 offsets is unreachable for in-memory trees")
+                    u32::try_from(symbols.len()).expect("symbol buffer exceeds u32 offsets"),
+                );
+            },
+        );
+        mapper.map_symbol_segments(symbols, ends, out);
     }
 
     /// Ingests one tree whose pattern values were precomputed by
@@ -527,7 +715,21 @@ impl SketchTree {
         opts: crate::parallel::IngestOptions,
     ) -> Vec<Vec<u64>> {
         let depth = self.metrics.as_ref().map(|m| &*m.ingest_queue_depth);
-        crate::parallel::map_indexed(opts.threads, trees, |t| self.enumerate_values(t), depth)
+        crate::parallel::map_indexed_with(
+            opts.threads,
+            trees,
+            EnumScratch::new,
+            |scratch, t| {
+                let t0 = self.metrics.as_ref().map(|_| Instant::now());
+                let mut values = Vec::new();
+                self.enumerate_values_into(t, scratch, &mut values);
+                if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+                    m.enumerate_seconds.observe_duration(t0.elapsed());
+                }
+                values
+            },
+            depth,
+        )
     }
 
     /// Ingests a batch of trees whose pattern values were precomputed by
@@ -1050,6 +1252,7 @@ impl SketchTree {
             // [`SketchTree::set_wal_seq`] after assembly.
             wal_seq: 0,
             metrics: None,
+            scratch: EnumScratch::new(),
         })
     }
 
@@ -1244,6 +1447,60 @@ mod tests {
                 whole.count_ordered(q).unwrap().to_bits(),
                 "{q}"
             );
+        }
+    }
+
+    /// The allocation-free fast path (arena enumeration + direct symbol
+    /// emission + batch fingerprinting) must reproduce the legacy
+    /// project → Prüfer-encode → map pipeline value for value, in order,
+    /// over randomized tree shapes — and hence bit-identical synopsis
+    /// state after ingesting the same stream.
+    #[test]
+    fn fast_ingest_path_matches_legacy_observer_path() {
+        use sketchtree_hash::SplitMix64;
+        for include_single in [false, true] {
+            let config = SketchTreeConfig {
+                max_pattern_edges: 4,
+                include_single_nodes: include_single,
+                synopsis: SynopsisConfig {
+                    s1: 20,
+                    s2: 5,
+                    virtual_streams: 7,
+                    topk: 4,
+                    independence: 5,
+                    topk_probability: u16::MAX,
+                    seed: 7,
+                },
+                track_exact: true,
+                ..SketchTreeConfig::default()
+            };
+            let mut fast = SketchTree::new(config.clone());
+            let mut legacy = SketchTree::new(config);
+            let names = ["a", "b", "c", "d", "e"];
+            let fast_labels: Vec<Label> =
+                names.iter().map(|n| fast.labels_mut().intern(n)).collect();
+            for n in names {
+                legacy.labels_mut().intern(n);
+            }
+            let mut rng = SplitMix64::new(0xBEEF + u64::from(include_single));
+            for round in 0..40 {
+                // Random tree: grow 1..=12 extra nodes under random parents.
+                let mut t = Tree::leaf(fast_labels[(rng.next_u64() % 5) as usize]);
+                let extra = rng.next_u64() % 12;
+                for _ in 0..extra {
+                    let parent = NodeId((rng.next_u64() % t.len() as u64) as u32);
+                    let label = fast_labels[(rng.next_u64() % 5) as usize];
+                    t.graft_leaf(parent, label);
+                }
+                let mut legacy_values = Vec::new();
+                legacy.ingest_with(&t, |v, _| legacy_values.push(v));
+                let got = fast.enumerate_values(&t);
+                assert_eq!(got, legacy_values, "round {round}, tree {t}");
+                fast.ingest(&t);
+            }
+            assert_eq!(fast.export_synopsis_state(), legacy.export_synopsis_state());
+            assert_eq!(fast.patterns_processed(), legacy.patterns_processed());
+            assert_eq!(fast.trees_processed(), legacy.trees_processed());
         }
     }
 

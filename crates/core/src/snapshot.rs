@@ -185,21 +185,61 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<SketchTree, SnapshotError> {
             max_descendant_depth: r.usize_checked("max_descendant_depth", 1 << 16)?,
         },
     };
+    // Structural validations that downstream constructors would otherwise
+    // assert on (a corrupted snapshot must error, not panic).  They run
+    // *before* any decode loop consumes the header-declared counts: a
+    // hostile header must be rejected on sight, not after it has already
+    // steered allocations and per-bank loops.
+    if config.synopsis.s1 == 0 || config.synopsis.s2 == 0 || config.synopsis.virtual_streams == 0 {
+        return Err(SnapshotError::Corrupt("zero sketch geometry"));
+    }
+    if !(2..=63).contains(&config.fingerprint_degree) {
+        return Err(SnapshotError::Corrupt("fingerprint degree out of range"));
+    }
+    if config.synopsis.independence < 2 || config.synopsis.independence > 64 {
+        return Err(SnapshotError::Corrupt("independence out of range"));
+    }
+    // s1 and s2 are individually capped at 2^24, so a product above the
+    // per-bank counter cap — including one that would overflow on 32-bit
+    // targets — is a corrupt geometry, caught before it sizes anything.
+    let per_bank = config
+        .synopsis
+        .s1
+        .checked_mul(config.synopsis.s2)
+        .filter(|&n| n <= 1 << 28)
+        .ok_or(SnapshotError::Corrupt("bank geometry overflow"))?;
+    // The top-k heaps are pre-sized at construction (one heap of `topk`
+    // slots per virtual stream, before a single tracked entry decodes),
+    // so a hostile capacity would steer a giant allocation even though
+    // the tracked sections themselves are small.  Cap the product the
+    // same way the counter slab is capped: real configs sit around
+    // 229 × 300 ≈ 7 × 10⁴, a factor of ~240 under this bound.
+    if config
+        .synopsis
+        .topk
+        .checked_mul(config.synopsis.virtual_streams)
+        .map_or(true, |n| n > 1 << 24)
+    {
+        return Err(SnapshotError::Corrupt("topk capacity implausible"));
+    }
     // --- labels ---
-    let n_labels = r.usize_checked("label count", 1 << 32)?;
+    // Every decoded element of a counted section occupies a known minimum
+    // of encoded bytes (a label carries an 8-byte length prefix, a counter
+    // is 8 bytes, ...), so each count is bounded against the bytes that
+    // are actually left in the buffer before its loop runs.
+    let n_labels = r.count_checked("label count", 1 << 32, 8)?;
     let mut label_names = Vec::with_capacity(n_labels.min(1 << 20));
     for _ in 0..n_labels {
         label_names.push(r.str()?);
     }
     // --- synopsis state ---
-    let n_banks = r.usize_checked("bank count", 1 << 24)?;
+    let n_banks = r.count_checked("bank count", 1 << 24, 8)?;
     if n_banks != config.synopsis.virtual_streams {
         return Err(SnapshotError::Corrupt("bank count != virtual_streams"));
     }
-    let per_bank = config.synopsis.s1 * config.synopsis.s2;
     let mut bank_counters = Vec::with_capacity(n_banks);
     for _ in 0..n_banks {
-        let len = r.usize_checked("bank counters", 1 << 28)?;
+        let len = r.count_checked("bank counters", 1 << 28, 8)?;
         if len != per_bank {
             return Err(SnapshotError::Corrupt("bank geometry mismatch"));
         }
@@ -211,7 +251,7 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<SketchTree, SnapshotError> {
     }
     let mut tracked = Vec::with_capacity(n_banks);
     for _ in 0..n_banks {
-        let len = r.usize_checked("tracked count", 1 << 28)?;
+        let len = r.count_checked("tracked count", 1 << 28, 16)?;
         if len > config.synopsis.topk {
             return Err(SnapshotError::Corrupt("tracked exceeds topk capacity"));
         }
@@ -222,17 +262,6 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<SketchTree, SnapshotError> {
         tracked.push(entries);
     }
     let values_processed = r.u64()?;
-    // Structural validations that downstream constructors would otherwise
-    // assert on (a corrupted snapshot must error, not panic).
-    if config.synopsis.s1 == 0 || config.synopsis.s2 == 0 || config.synopsis.virtual_streams == 0 {
-        return Err(SnapshotError::Corrupt("zero sketch geometry"));
-    }
-    if !(2..=63).contains(&config.fingerprint_degree) {
-        return Err(SnapshotError::Corrupt("fingerprint degree out of range"));
-    }
-    if config.synopsis.independence < 2 || config.synopsis.independence > 64 {
-        return Err(SnapshotError::Corrupt("independence out of range"));
-    }
     for entries in &tracked {
         let mut vals: Vec<u64> = entries.iter().map(|&(v, _)| v).collect();
         vals.sort_unstable();
@@ -245,12 +274,12 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<SketchTree, SnapshotError> {
     let summary = match r.u8()? {
         0 => None,
         1 => {
-            let n = r.usize_checked("summary labels", 1 << 32)?;
+            let n = r.count_checked("summary labels", 1 << 32, 4)?;
             let mut labels = Vec::with_capacity(n.min(1 << 20));
             for _ in 0..n {
                 labels.push(sketchtree_tree::Label(r.u32()?));
             }
-            let m = r.usize_checked("summary transitions", 1 << 32)?;
+            let m = r.count_checked("summary transitions", 1 << 32, 8)?;
             let mut transitions = Vec::with_capacity(m.min(1 << 20));
             for _ in 0..m {
                 transitions.push((
@@ -357,6 +386,39 @@ impl<'a> Reader<'a> {
             return Err(SnapshotError::Corrupt(what));
         }
         usize::try_from(v).map_err(|_| SnapshotError::Corrupt(what))
+    }
+    /// Bytes left past the cursor — the ceiling on how many encoded
+    /// elements any well-formed section can still hold.
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+    /// An element count that must pass both an absolute cap and a
+    /// plausibility bound: `count` elements of at least `elem_bytes`
+    /// encoded bytes each must fit in the remaining buffer.  Rejecting
+    /// an implausible count *before* any `Vec::with_capacity` or decode
+    /// loop keeps a hostile header from steering allocation or spinning
+    /// a long loop that is doomed to hit end-of-buffer anyway.
+    ///
+    /// A count over the absolute cap is self-inconsistent regardless of
+    /// buffer size — `Corrupt`.  A count that merely needs more bytes
+    /// than remain is indistinguishable from a cut-short file (the
+    /// power-cut signature), so it reports `Truncated`: the same verdict
+    /// the decode loop would have reached at end-of-buffer, delivered
+    /// before the allocation instead of after it.
+    fn count_checked(
+        &mut self,
+        what: &'static str,
+        max: u64,
+        elem_bytes: usize,
+    ) -> Result<usize, SnapshotError> {
+        let v = self.usize_checked(what, max)?;
+        let plausible = v
+            .checked_mul(elem_bytes)
+            .map_or(false, |need| need <= self.remaining());
+        if !plausible {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(v)
     }
     fn str(&mut self) -> Result<String, SnapshotError> {
         let len = self.usize_checked("string length", 1 << 24)?;
@@ -521,6 +583,127 @@ mod tests {
                 // Must return, not panic.
                 let _ = read_snapshot(&mutated);
             }
+        }
+    }
+
+    // Byte offsets of header fields in a v2 snapshot (magic 4 + version 4,
+    // then the config fields in encode order).  The hostile-header tests
+    // below patch these directly; a format change that moves them will
+    // fail the sanity assertion in `patch_u64`.
+    const OFF_S1: usize = 8 + 8 + 1 + 4 + 8; // past max_pattern_edges, include_single_nodes, fingerprint_degree, mapping_seed
+    const OFF_S2: usize = OFF_S1 + 8;
+    const OFF_TOPK: usize = OFF_S1 + 8 * 3; // past s1, s2, virtual_streams
+    const OFF_LABEL_COUNT: usize = OFF_S1 + 8 * 5 + 2 + 8 + 1 + 8 * 3; // past s1..independence, topk_probability, seed, maintain_summary, limits
+
+    fn patch_u64(bytes: &mut [u8], off: usize, v: u64) {
+        bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// A small but fully populated snapshot — every section non-empty —
+    /// for the exhaustive per-position sweeps below, whose cost is
+    /// quadratic in snapshot size (each of the O(bytes) mutations pays a
+    /// full O(bytes) decode).  The header layout is identical to
+    /// [`build`]'s, so the `OFF_*` offsets apply unchanged.
+    fn build_small() -> SketchTree {
+        let mut st = SketchTree::new(SketchTreeConfig {
+            max_pattern_edges: 2,
+            synopsis: SynopsisConfig {
+                s1: 4,
+                s2: 3,
+                virtual_streams: 3,
+                topk: 2,
+                ..SynopsisConfig::default()
+            },
+            ..SketchTreeConfig::default()
+        });
+        let (a, b, c) = {
+            let l = st.labels_mut();
+            (l.intern("A"), l.intern("B"), l.intern("C"))
+        };
+        let t1 = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(c)]);
+        let t2 = Tree::node(a, vec![Tree::node(b, vec![Tree::leaf(c)])]);
+        for _ in 0..5 {
+            st.ingest(&t1);
+        }
+        st.ingest(&t2);
+        st
+    }
+
+    /// A header declaring `s1 = s2 = 2^24` passes the per-field caps but
+    /// describes 2^48 counters per bank.  Decode must reject it as corrupt
+    /// *before* the bank loops run — historically `per_bank = s1 * s2` was
+    /// computed unchecked and only validated after the loops had already
+    /// consumed the hostile counts.
+    #[test]
+    fn hostile_geometry_rejected_before_bank_loops() {
+        let mut bytes = write_snapshot(&build());
+        patch_u64(&mut bytes, OFF_S1, 1 << 24);
+        patch_u64(&mut bytes, OFF_S2, 1 << 24);
+        assert_eq!(
+            read_snapshot(&bytes).err(),
+            Some(SnapshotError::Corrupt("bank geometry overflow"))
+        );
+        let mut bytes = write_snapshot(&build());
+        patch_u64(&mut bytes, OFF_S1, 0);
+        assert_eq!(
+            read_snapshot(&bytes).err(),
+            Some(SnapshotError::Corrupt("zero sketch geometry"))
+        );
+    }
+
+    /// A label count under the absolute cap but far beyond what the buffer
+    /// could hold must fail the remaining-bytes plausibility check instead
+    /// of sizing an allocation from attacker-controlled input.  The
+    /// verdict is `Truncated` — a sub-cap count needing absent bytes is
+    /// indistinguishable from a cut-short file — while a count over the
+    /// absolute cap stays `Corrupt` (exercised by the adversarial
+    /// integration tests with `u64::MAX`).
+    #[test]
+    fn hostile_label_count_rejected_by_remaining_bytes() {
+        let mut bytes = write_snapshot(&build());
+        // Sanity: the patched offset really is the label count.
+        let declared = u64::from_le_bytes(bytes[OFF_LABEL_COUNT..OFF_LABEL_COUNT + 8].try_into().unwrap());
+        assert_eq!(declared as usize, read_snapshot(&bytes).unwrap().labels().len());
+        patch_u64(&mut bytes, OFF_LABEL_COUNT, 1 << 31);
+        assert_eq!(read_snapshot(&bytes).err(), Some(SnapshotError::Truncated));
+    }
+
+    /// A hostile `topk` passes the per-section `len <= topk` checks for
+    /// free (the tracked lists really are small), but construction
+    /// pre-sizes one heap of `topk` slots per virtual stream — so the
+    /// capacity must be rejected as implausible before anything is built.
+    #[test]
+    fn hostile_topk_capacity_rejected() {
+        let mut bytes = write_snapshot(&build());
+        patch_u64(&mut bytes, OFF_TOPK, (1 << 31) + 7);
+        assert_eq!(
+            read_snapshot(&bytes).err(),
+            Some(SnapshotError::Corrupt("topk capacity implausible"))
+        );
+    }
+
+    /// Sliding a huge-but-capped count over every 8-byte window of the
+    /// snapshot: wherever it lands on a section count, the plausibility
+    /// guard must reject it; everywhere else decode may succeed or fail,
+    /// but never panic and never trust the fabricated length.
+    #[test]
+    fn hostile_counts_never_trusted() {
+        let bytes = write_snapshot(&build_small());
+        for pos in 0..bytes.len().saturating_sub(8) {
+            let mut mutated = bytes.clone();
+            patch_u64(&mut mutated, pos, (1 << 31) + 7);
+            let _ = read_snapshot(&mutated);
+        }
+    }
+
+    /// Truncation fuzz focused on section boundaries: for every prefix cut
+    /// inside each counted section the decoder must error cleanly — the
+    /// count guards compare against the bytes actually present.
+    #[test]
+    fn truncated_sections_error_cleanly() {
+        let bytes = write_snapshot(&build_small());
+        for cut in OFF_LABEL_COUNT..bytes.len() {
+            assert!(read_snapshot(&bytes[..cut]).is_err(), "prefix of {cut} bytes accepted");
         }
     }
 

@@ -90,14 +90,51 @@ impl KWiseSign {
     pub fn independence(&self) -> usize {
         self.coeffs.len()
     }
+
+    /// The polynomial coefficients over `Z_p`, constant term first.
+    ///
+    /// Exposed so callers that pack many families into one contiguous
+    /// coefficient table (e.g. a sketch bank's ξ slab) can copy the exact
+    /// coefficients this family evaluates — the signs then stay
+    /// bit-identical to evaluating through [`Sign::sign`].
+    #[inline]
+    pub fn coefficients(&self) -> &[u64] {
+        &self.coeffs
+    }
 }
 
 impl Sign for KWiseSign {
     #[inline]
     fn sign(&self, key: u64) -> i64 {
-        let v = m61::eval_poly(&self.coeffs, m61::reduce(key));
-        1 - 2 * ((v & 1) as i64)
+        sign_from_coefficients(&self.coeffs, m61::reduce(key))
     }
+}
+
+/// The ±1 sign a coefficient slice (as returned by
+/// [`KWiseSign::coefficients`]) assigns to an *already-reduced* key.
+///
+/// The caller applies [`m61::reduce`] once; hot loops that evaluate many
+/// families against the same key reduce the key a single time instead of
+/// once per family.  Evaluating through this function is bit-identical to
+/// [`Sign::sign`] on the owning [`KWiseSign`].
+#[inline]
+pub fn sign_from_coefficients(coeffs: &[u64], reduced_key: u64) -> i64 {
+    // Four coefficients (the default independence) get a fully unrolled
+    // Horner chain — the ingest hot path evaluates hundreds of such
+    // families per inserted value, and the unroll lets the compiler
+    // schedule the four mul/add steps without loop-carried bookkeeping.
+    // The operations and their order are exactly `m61::eval_poly`'s, so
+    // the sign is bit-identical to the generic path.
+    let v = if let [c0, c1, c2, c3] = *coeffs {
+        let x = reduced_key;
+        let acc = m61::add(m61::mul(0, x), c3);
+        let acc = m61::add(m61::mul(acc, x), c2);
+        let acc = m61::add(m61::mul(acc, x), c1);
+        m61::add(m61::mul(acc, x), c0)
+    } else {
+        m61::eval_poly(coeffs, reduced_key)
+    };
+    1 - 2 * ((v & 1) as i64)
 }
 
 /// The classic AMS four-wise independent construction from BCH codes.

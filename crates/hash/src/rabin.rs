@@ -170,11 +170,49 @@ impl RabinFingerprinter {
 
     /// Fingerprints a sequence of symbols from the canonical initial state.
     pub fn fingerprint_symbols(&self, symbols: &[u64]) -> u64 {
-        let mut fp = self.initial();
+        self.append_symbols(self.initial(), symbols)
+    }
+
+    /// Extends an in-progress fingerprint with a run of symbols — the
+    /// streaming form of [`RabinFingerprinter::fingerprint_symbols`].
+    /// Callers that hold a value's symbols in several contiguous buffers
+    /// (e.g. an LPS label-code run followed by an NPS number run) chain
+    /// them without materialising a concatenated vector:
+    /// `append_symbols(append_symbols(initial(), lps), nps)` equals
+    /// `fingerprint_symbols(lps ++ nps)` bit for bit.
+    pub fn append_symbols(&self, mut fp: u64, symbols: &[u64]) -> u64 {
         for &s in symbols {
             fp = self.push_symbol(fp, s);
         }
         fp
+    }
+
+    /// Fingerprints many symbol sequences packed back-to-back in one
+    /// contiguous buffer, one table-driven pass over the whole batch.
+    ///
+    /// `ends[i]` is the exclusive end offset of sequence `i` in `symbols`
+    /// (so sequence `i` spans `ends[i-1]..ends[i]`, with `ends[-1] = 0`);
+    /// offsets must be non-decreasing and the last must equal
+    /// `symbols.len()`.  One fingerprint per sequence is appended to
+    /// `out`, each identical to
+    /// [`RabinFingerprinter::fingerprint_symbols`] of that segment.
+    ///
+    /// # Panics
+    /// Panics if the offsets are not monotone or do not cover `symbols`.
+    pub fn fingerprint_segments(&self, symbols: &[u64], ends: &[u32], out: &mut Vec<u64>) {
+        out.reserve(ends.len());
+        let mut start = 0usize;
+        for &end in ends {
+            let end = end as usize;
+            assert!(
+                end >= start && end <= symbols.len(),
+                "segment offsets must be monotone and within the batch buffer"
+            );
+            // lint:allow(L1, reason = "start <= end <= symbols.len() asserted on the line above")
+            out.push(self.append_symbols(self.initial(), &symbols[start..end]));
+            start = end;
+        }
+        assert_eq!(start, symbols.len(), "segment offsets must cover the whole batch buffer");
     }
 
     /// The canonical initial state for a fresh fingerprint.
@@ -248,6 +286,52 @@ mod tests {
             RabinFingerprinter::new(31, 1).modulus(),
             RabinFingerprinter::new(31, 2).modulus()
         );
+    }
+
+    #[test]
+    fn append_symbols_chains_like_concatenation() {
+        let f = fp31();
+        let lps = [7u64, 0, u64::MAX, 300];
+        let nps = [2u64, 3, 4];
+        let concat: Vec<u64> = lps.iter().chain(nps.iter()).copied().collect();
+        let chained = f.append_symbols(f.append_symbols(f.initial(), &lps), &nps);
+        assert_eq!(chained, f.fingerprint_symbols(&concat));
+    }
+
+    #[test]
+    fn segments_match_per_sequence_fingerprints() {
+        let f = fp31();
+        let seqs: [&[u64]; 4] = [&[1, 2, 3], &[], &[u64::MAX], &[0, 0, 5000]];
+        let mut packed = Vec::new();
+        let mut ends = Vec::new();
+        for s in seqs {
+            packed.extend_from_slice(s);
+            // lint:allow(L2, reason = "test buffer is tiny, fits u32")
+            ends.push(packed.len() as u32);
+        }
+        let mut out = vec![99u64]; // pre-existing contents must be preserved
+        f.fingerprint_segments(&packed, &ends, &mut out);
+        assert_eq!(out.len(), 1 + seqs.len());
+        assert_eq!(out[0], 99);
+        for (i, s) in seqs.iter().enumerate() {
+            assert_eq!(out[i + 1], f.fingerprint_symbols(s), "segment {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the whole batch buffer")]
+    fn segments_must_cover_buffer() {
+        let f = fp31();
+        let mut out = Vec::new();
+        f.fingerprint_segments(&[1, 2, 3], &[2], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn segments_must_be_monotone() {
+        let f = fp31();
+        let mut out = Vec::new();
+        f.fingerprint_segments(&[1, 2, 3], &[2, 1, 3], &mut out);
     }
 
     #[test]

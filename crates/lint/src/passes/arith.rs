@@ -36,10 +36,22 @@ const UPDATE_FNS: &[&str] = &[
     "delete",
     "process",
     "process_with_signs",
+    "process_restored_with_signs",
     "offer",
     "push",
     "expire",
     "merge",
+    // The wire-speed ingest path: one routed insert per element, sign
+    // rows served from a direct-mapped cache and written through stride
+    // indexes (`slot * families`, `start + families`).  A stride slip
+    // here silently corrupts a *neighbouring* value's cached signs, so
+    // the index arithmetic needs the same explicit-policy treatment as
+    // the counters themselves.
+    "insert_routed",
+    "signs",
+    "fill_signs_reduced",
+    "apply_with_signs",
+    "untrack",
 ];
 
 /// The L3 pass.
@@ -142,6 +154,35 @@ mod tests {
     fn shift_flagged_anywhere() {
         let out = run_on("const W: u64 = 1 << 20;");
         assert_eq!(out.len(), 1);
+    }
+
+    /// Stride-index arithmetic in the sign-cache lookup (`slot *
+    /// families`, `start + families`) is inside L3's update-path scope:
+    /// a slip corrupts a neighbouring slot's cached signs.
+    #[test]
+    fn stride_index_arithmetic_in_cache_lookup_flagged() {
+        let out = run_on(
+            "impl C { fn signs(&mut self, v: u64) -> &[i8] { let start = slot * self.families; &self.signs[start..start + self.families] } }",
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    /// The routed-insert fast path folds the tracked-value restore into
+    /// the insert delta; that fold is counter arithmetic and must use an
+    /// explicit overflow policy.
+    #[test]
+    fn insert_routed_delta_arithmetic_flagged() {
+        let out = run_on("fn insert_routed(restored: i64) { let delta = 1 + restored; g(delta); }");
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    /// The wrapping forms the hot path actually uses stay clean.
+    #[test]
+    fn wrapping_calls_in_stride_fns_ok() {
+        let out = run_on(
+            "fn insert_routed(restored: i64) { let delta = 1i64.wrapping_add(restored); g(delta); }",
+        );
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

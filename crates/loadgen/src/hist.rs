@@ -117,10 +117,16 @@ impl LatencyHist {
     }
 
     /// Value (µs) at quantile `q` in `[0, 1]`: the upper bound of the
-    /// bucket containing the ceil(q·n)-th recorded value.  0 when empty.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// bucket containing the ceil(q·n)-th recorded value.
+    ///
+    /// `None` when nothing was recorded — an empty histogram has no p999,
+    /// and reporting a fabricated 0 µs would read as "everything was
+    /// instant" in a committed benchmark document.  With a single sample
+    /// every quantile is that sample, which is the honest degenerate
+    /// answer.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
-            return 0;
+            return None;
         }
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0u64;
@@ -128,10 +134,10 @@ impl LatencyHist {
             seen = seen.saturating_add(c);
             if seen >= rank {
                 // Never report past the true max (bucket bounds round up).
-                return Self::upper_bound(i).min(self.max);
+                return Some(Self::upper_bound(i).min(self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 }
 
@@ -140,12 +146,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_reports_zeros() {
+    fn empty_reports_no_quantiles() {
         let h = LatencyHist::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.max(), 0);
-        assert_eq!(h.quantile(0.999), 0);
         assert_eq!(h.mean(), 0.0);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+    }
+
+    /// A single sample defines every quantile: the answer is that sample,
+    /// never a fabricated tail value.
+    #[test]
+    fn one_sample_answers_every_quantile_with_it() {
+        let mut h = LatencyHist::new();
+        h.record(77);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), Some(77), "q={q}");
+        }
+        assert_eq!(h.max(), 77);
     }
 
     #[test]
@@ -154,8 +174,8 @@ mod tests {
         for v in 0..LINEAR_MAX {
             h.record(v);
         }
-        assert_eq!(h.quantile(0.5), (LINEAR_MAX / 2) - 1);
-        assert_eq!(h.quantile(1.0), LINEAR_MAX - 1);
+        assert_eq!(h.quantile(0.5), Some((LINEAR_MAX / 2) - 1));
+        assert_eq!(h.quantile(1.0), Some(LINEAR_MAX - 1));
         assert_eq!(h.max(), LINEAR_MAX - 1);
     }
 
@@ -165,7 +185,7 @@ mod tests {
         for v in [200u64, 1_000, 10_000, 123_456, 5_000_000] {
             let mut solo = LatencyHist::new();
             solo.record(v);
-            let got = solo.quantile(0.5);
+            let got = solo.quantile(0.5).expect("one sample recorded");
             let err = got.abs_diff(v) as f64 / v as f64;
             assert!(err <= 1.0 / 32.0, "{v} -> {got} (err {err})");
             h.record(v);
@@ -179,8 +199,8 @@ mod tests {
         for i in 0..10_000u64 {
             h.record(i * 7 % 90_000);
         }
-        let (p50, p90, p99, p999) =
-            (h.quantile(0.50), h.quantile(0.90), h.quantile(0.99), h.quantile(0.999));
+        let q = |q: f64| h.quantile(q).expect("samples recorded");
+        let (p50, p90, p99, p999) = (q(0.50), q(0.90), q(0.99), q(0.999));
         assert!(p50 <= p90 && p90 <= p99 && p99 <= p999, "{p50} {p90} {p99} {p999}");
         assert!(p999 <= h.max());
     }
@@ -208,6 +228,6 @@ mod tests {
         let mut h = LatencyHist::new();
         h.record(u64::MAX);
         assert_eq!(h.count(), 1);
-        assert!(h.quantile(0.5) <= u64::MAX);
+        assert!(h.quantile(0.5).expect("one sample recorded") <= u64::MAX);
     }
 }

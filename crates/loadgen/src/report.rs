@@ -67,14 +67,24 @@ pub fn bench_path(scenario_name: &str) -> String {
 }
 
 /// Renders a latency histogram as the canonical percentile block.
+///
+/// A histogram with no samples has no latency distribution: every field
+/// is emitted as `null` (the keys stay present — the schema requires
+/// them) instead of a fabricated 0 µs that would read as "instant".
 fn latency_block(h: &LatencyHist) -> Json {
+    let quantile = |q: f64| h.quantile(q).map_or(Json::Null, |v| Json::Num(v as f64));
     let mut b = Json::obj();
-    b.set("p50", Json::Num(h.quantile(0.50) as f64));
-    b.set("p90", Json::Num(h.quantile(0.90) as f64));
-    b.set("p99", Json::Num(h.quantile(0.99) as f64));
-    b.set("p999", Json::Num(h.quantile(0.999) as f64));
-    b.set("max", Json::Num(h.max() as f64));
-    b.set("mean", Json::Num(h.mean()));
+    b.set("p50", quantile(0.50));
+    b.set("p90", quantile(0.90));
+    b.set("p99", quantile(0.99));
+    b.set("p999", quantile(0.999));
+    if h.count() == 0 {
+        b.set("max", Json::Null);
+        b.set("mean", Json::Null);
+    } else {
+        b.set("max", Json::Num(h.max() as f64));
+        b.set("mean", Json::Num(h.mean()));
+    }
     b
 }
 
@@ -209,6 +219,77 @@ mod tests {
         let scenario_pos = text.find("\"scenario\"").expect("scenario key");
         let ops_pos = text.find("\"ops\"").expect("ops key");
         assert!(schema_pos < scenario_pos && scenario_pos < ops_pos);
+    }
+
+    /// A run where some op never executed (zero samples) must emit `null`
+    /// percentiles — present for the schema, honest about the absence of
+    /// a distribution — and still validate.
+    #[test]
+    fn zero_sample_histogram_emits_null_and_validates() {
+        let scenario = crate::scenario::Scenario::parse("dblp-steady").expect("known scenario");
+        let cfg = RunConfig::smoke(scenario);
+        let empty = LatencyHist::new();
+        let hists: Vec<LatencyHist> = OpKind::ALL.iter().map(|_| empty.clone()).collect();
+        let r = build(BuildInput {
+            cfg: &cfg,
+            elapsed: Duration::from_millis(100),
+            op_hists: &hists,
+            op_counts: &[0, 0, 0, 0],
+            op_errors: &[0, 0, 0, 0],
+            sched_lag: &empty,
+            trees: 0,
+            patterns: 0,
+            push_lag: &empty,
+            updates: 0,
+            max_epoch: 0,
+            monotone: true,
+            abandoned: 0,
+            sweep: &[],
+            server_excerpt: None,
+        });
+        for field in ["p50", "p99", "p999", "max", "mean"] {
+            assert!(
+                matches!(r.get_path(&["ops", "ingest", "latency_us", field]), Some(Json::Null)),
+                "{field} should be null on an empty histogram"
+            );
+        }
+        assert!(crate::schema::validate(&r).is_ok(), "{:?}", crate::schema::validate(&r));
+        // The rendered document survives a parse round-trip with nulls.
+        let parsed = Json::parse(&r.render_pretty()).expect("parses");
+        assert!(crate::schema::validate(&parsed).is_ok());
+    }
+
+    /// One sample: every percentile is that sample, numeric, and the
+    /// report validates.
+    #[test]
+    fn one_sample_histogram_reports_the_sample_and_validates() {
+        let scenario = crate::scenario::Scenario::parse("dblp-steady").expect("known scenario");
+        let cfg = RunConfig::smoke(scenario);
+        let mut h = LatencyHist::new();
+        h.record(310);
+        let hists: Vec<LatencyHist> = OpKind::ALL.iter().map(|_| h.clone()).collect();
+        let r = build(BuildInput {
+            cfg: &cfg,
+            elapsed: Duration::from_millis(100),
+            op_hists: &hists,
+            op_counts: &[1, 1, 1, 1],
+            op_errors: &[0, 0, 0, 0],
+            sched_lag: &h,
+            trees: 1,
+            patterns: 10,
+            push_lag: &h,
+            updates: 1,
+            max_epoch: 1,
+            monotone: true,
+            abandoned: 0,
+            sweep: &[],
+            server_excerpt: None,
+        });
+        let p50 = r.get_path(&["ops", "ingest", "latency_us", "p50"]).and_then(Json::as_f64);
+        let p999 = r.get_path(&["ops", "ingest", "latency_us", "p999"]).and_then(Json::as_f64);
+        assert_eq!(p50, p999, "single sample defines every quantile");
+        assert!(p999.expect("numeric") > 0.0);
+        assert!(crate::schema::validate(&r).is_ok());
     }
 
     #[test]

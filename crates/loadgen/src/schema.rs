@@ -115,14 +115,23 @@ pub fn validate(report: &Json) -> Result<(), Vec<String>> {
 }
 
 /// Requires a complete latency/lag block at `ctx`.
+///
+/// Every percentile key must be *present*; its value may be numeric or
+/// `null` (a histogram with no samples has no latency distribution, and
+/// the emitter says so explicitly rather than fabricating 0 µs).
 fn check_latency_block(errs: &mut Vec<String>, ctx: &str, block: Option<&Json>) {
     let Some(block) = block else {
         errs.push(format!("{ctx}: latency block missing"));
         return;
     };
     for field in PERCENTILE_FIELDS {
-        if block.get(field).and_then(Json::as_f64).is_none() {
-            errs.push(format!("{ctx}: percentile field {field} missing or non-numeric"));
+        match block.get(field) {
+            None => errs.push(format!("{ctx}: percentile field {field} missing")),
+            Some(Json::Null) => {}
+            Some(v) if v.as_f64().is_some() => {}
+            Some(_) => {
+                errs.push(format!("{ctx}: percentile field {field} must be numeric or null"))
+            }
         }
     }
 }

@@ -33,8 +33,8 @@ use crate::http::MetricsHttp;
 use crate::metrics::{ConnectionGuard, ServerMetrics};
 use crate::subs::Subscriptions;
 use crate::wire::{
-    frame_bytes, read_frame_patient, Frame, Request, Response, Stats, SubscribeMode, WireError,
-    DEFAULT_MAX_FRAME, HEADER_LEN,
+    decode_ingest_trees, frame_bytes, read_frame_patient, Frame, Request, Response, Stats,
+    SubscribeMode, WireError, DEFAULT_MAX_FRAME, HEADER_LEN, INGEST_TREES_KIND,
 };
 use sketchtree_core::concurrent::SharedSketchTree;
 use sketchtree_core::sketchtree::{SketchTree, SketchTreeConfig};
@@ -479,22 +479,34 @@ fn serve_connection(stream: TcpStream, ctx: &Ctx) {
                 // Frame boundaries are intact even when the payload is
                 // malformed, so payload errors answer and keep the
                 // connection; only header-level failures desynchronize.
-                let resp = match Request::decode(kind, &payload) {
-                    // Subscription frames need the connection's identity
-                    // and push queue, so they resolve here rather than in
-                    // the stateless handle_request.
-                    Ok(Request::Subscribe { mode, query }) => {
-                        handle_subscribe(ctx, conn, mode, &query, &writer, &mut push)
+                // The ingest hot path decodes zero-copy: label names stay
+                // borrowed from the read buffer all the way into the
+                // global intern call, skipping one `String` allocation per
+                // label per batch.  Every other kind takes the owned
+                // `Request` route.
+                let resp = if kind == INGEST_TREES_KIND {
+                    match decode_ingest_trees(&payload) {
+                        Ok((labels, trees)) => ingest_batch_request(ctx, &labels, &trees),
+                        Err(e) => Response::Error(format!("bad request: {e}")),
                     }
-                    Ok(Request::Unsubscribe { id }) => {
-                        if ctx.subs.unsubscribe(conn, id) {
-                            Response::Unsubscribed
-                        } else {
-                            Response::Error(format!("unknown subscription id {id}"))
+                } else {
+                    match Request::decode(kind, &payload) {
+                        // Subscription frames need the connection's
+                        // identity and push queue, so they resolve here
+                        // rather than in the stateless handle_request.
+                        Ok(Request::Subscribe { mode, query }) => {
+                            handle_subscribe(ctx, conn, mode, &query, &writer, &mut push)
                         }
+                        Ok(Request::Unsubscribe { id }) => {
+                            if ctx.subs.unsubscribe(conn, id) {
+                                Response::Unsubscribed
+                            } else {
+                                Response::Error(format!("unknown subscription id {id}"))
+                            }
+                        }
+                        Ok(req) => handle_request(req, ctx),
+                        Err(e) => Response::Error(format!("bad request: {e}")),
                     }
-                    Ok(req) => handle_request(req, ctx),
-                    Err(e) => Response::Error(format!("bad request: {e}")),
                 };
                 if matches!(resp, Response::Error(_)) {
                     ctx.metrics.error_responses.inc();
@@ -592,7 +604,10 @@ fn handle_request(req: Request, ctx: &Ctx) -> Response {
             Ok((local, trees)) => ingest_parsed(ctx, &local, trees),
             Err(e) => Response::Error(e),
         },
-        Request::IngestTrees { labels, trees } => ingest_batch_request(ctx, &labels, &trees),
+        Request::IngestTrees { labels, trees } => {
+            let labels: Vec<&str> = labels.iter().map(String::as_str).collect();
+            ingest_batch_request(ctx, &labels, &trees)
+        }
         Request::Count { unordered, pattern } => {
             let mode = if unordered { QueryMode::Unordered } else { QueryMode::Ordered };
             let result = match QuerySpec::parse(mode, &pattern) {
@@ -730,9 +745,7 @@ fn parse_documents(docs: &[String]) -> Result<(LabelTable, Vec<Tree>), String> {
 /// them in the same order.
 fn ingest_parsed(ctx: &Ctx, local: &LabelTable, trees: Vec<Tree>) -> Response {
     if ctx.wal.is_some() {
-        let names: Vec<String> = (0..local.len() as u32)
-            .map(|i| local.name(Label(i)).to_string())
-            .collect();
+        let names: Vec<&str> = (0..local.len() as u32).map(|i| local.name(Label(i))).collect();
         return ingest_batch_request(ctx, &names, &trees);
     }
     let map: Vec<Label> = ctx.shared.with_labels(|global| {
@@ -750,7 +763,7 @@ fn ingest_parsed(ctx: &Ctx, local: &LabelTable, trees: Vec<Tree>) -> Response {
 /// legal on the wire — so the intern map must be built per index, not
 /// through a deduping `LabelTable` (which would shift every index after
 /// a duplicate).
-fn ingest_batch_request(ctx: &Ctx, labels: &[String], trees: &[Tree]) -> Response {
+fn ingest_batch_request(ctx: &Ctx, labels: &[&str], trees: &[Tree]) -> Response {
     if let Some(wal) = &ctx.wal {
         return ingest_through_wal(ctx, wal, labels, trees);
     }
@@ -766,12 +779,7 @@ fn ingest_batch_request(ctx: &Ctx, labels: &[String], trees: &[Tree]) -> Respons
 /// a checkpoint can never capture half a batch.  If the append fails the
 /// batch is *not* applied and the client gets an error: an unlogged
 /// batch must never be acked.
-fn ingest_through_wal(
-    ctx: &Ctx,
-    wal: &Mutex<Wal>,
-    labels: &[String],
-    trees: &[Tree],
-) -> Response {
+fn ingest_through_wal(ctx: &Ctx, wal: &Mutex<Wal>, labels: &[&str], trees: &[Tree]) -> Response {
     let payload = match sketchtree_wal::encode_batch(labels, trees) {
         Ok(p) => p,
         Err(e) => return Response::Error(format!("wal encode: {e}")),

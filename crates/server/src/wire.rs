@@ -619,17 +619,13 @@ impl Request {
                 Request::IngestXml(docs)
             }
             K_INGEST_TREES => {
-                let n = r.count("label count", MAX_LABELS)?;
-                let mut labels = Vec::with_capacity(widen(n.min(1 << 12)));
-                for _ in 0..n {
-                    labels.push(r.str()?);
-                }
-                let t = r.count("tree count", MAX_TREES)?;
-                let mut trees = Vec::with_capacity(widen(t.min(1 << 12)));
-                for _ in 0..t {
-                    trees.push(decode_tree(&mut r, n)?);
-                }
-                Request::IngestTrees { labels, trees }
+                // Shares the zero-copy decoder (which finishes the reader
+                // itself), then materializes owned labels for the enum.
+                let (labels, trees) = decode_ingest_trees(payload)?;
+                return Ok(Request::IngestTrees {
+                    labels: labels.into_iter().map(str::to_owned).collect(),
+                    trees,
+                });
             }
             K_COUNT => {
                 let unordered = match r.u8()? {
@@ -816,6 +812,32 @@ impl Response {
     }
 }
 
+/// Frame kind byte of `IngestTrees`, exposed so the server's connection
+/// loop can route the hot ingest frame through [`decode_ingest_trees`]
+/// without building an owned [`Request`].
+pub const INGEST_TREES_KIND: u8 = K_INGEST_TREES;
+
+/// Zero-copy decode of an `IngestTrees` payload: label names are borrowed
+/// straight out of `payload` (no per-label `String` allocation), trees are
+/// built exactly as [`Request::decode`] builds them.  Enforces the same
+/// bounds, UTF-8 validation and trailing-byte rejection; the two decoders
+/// accept and reject byte-identical payload sets.
+pub fn decode_ingest_trees(payload: &[u8]) -> Result<(Vec<&str>, Vec<Tree>), WireError> {
+    let mut r = Reader { bytes: payload, pos: 0 };
+    let n = r.count("label count", MAX_LABELS)?;
+    let mut labels = Vec::with_capacity(widen(n.min(1 << 12)));
+    for _ in 0..n {
+        labels.push(r.str_ref()?);
+    }
+    let t = r.count("tree count", MAX_TREES)?;
+    let mut trees = Vec::with_capacity(widen(t.min(1 << 12)));
+    for _ in 0..t {
+        trees.push(decode_tree(&mut r, n)?);
+    }
+    r.finish()?;
+    Ok((labels, trees))
+}
+
 /// Preorder node list with explicit fanout: `node_count`, then per node
 /// `label_index` + `child_count`.
 fn encode_tree(w: &mut Writer, tree: &Tree) {
@@ -929,10 +951,15 @@ impl<'a> Reader<'a> {
         }
         Ok(v)
     }
-    fn str(&mut self) -> Result<String, WireError> {
+    /// Borrows a length-prefixed UTF-8 string straight out of the payload
+    /// buffer — the zero-copy primitive behind [`decode_ingest_trees`].
+    fn str_ref(&mut self) -> Result<&'a str, WireError> {
         let len = widen(self.u32()?);
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Corrupt("invalid utf-8 string"))
+        std::str::from_utf8(bytes).map_err(|_| WireError::Corrupt("invalid utf-8 string"))
+    }
+    fn str(&mut self) -> Result<String, WireError> {
+        self.str_ref().map(str::to_owned)
     }
     fn finish(&self) -> Result<(), WireError> {
         if self.pos != self.bytes.len() {
@@ -1189,6 +1216,50 @@ mod tests {
             Request::decode(K_INGEST_TREES, &w.0),
             Err(WireError::Corrupt("label index out of range"))
         ));
+    }
+
+    #[test]
+    fn zero_copy_ingest_decode_matches_request_decode() {
+        let tree = Tree::node(Label(0), vec![Tree::leaf(Label(1)), Tree::leaf(Label(0))]);
+        let req = Request::IngestTrees {
+            labels: vec!["article".into(), "author".into()],
+            trees: vec![tree, Tree::leaf(Label(1))],
+        };
+        let payload = req.encode();
+        let (labels, trees) = decode_ingest_trees(&payload).unwrap();
+        let Request::IngestTrees { labels: want_labels, trees: want_trees } =
+            Request::decode(K_INGEST_TREES, &payload).unwrap()
+        else {
+            panic!("expected IngestTrees")
+        };
+        assert_eq!(labels, want_labels.iter().map(String::as_str).collect::<Vec<_>>());
+        assert_eq!(trees, want_trees);
+        // Both decoders reject the same malformed payloads the same way:
+        // truncation anywhere, trailing bytes, bad UTF-8.
+        for cut in 0..payload.len() {
+            let borrowed = decode_ingest_trees(&payload[..cut]).err();
+            let owned = Request::decode(K_INGEST_TREES, &payload[..cut]).err();
+            assert_eq!(
+                borrowed.map(|e| e.to_string()),
+                owned.map(|e| e.to_string()),
+                "cut {cut}"
+            );
+        }
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_ingest_trees(&trailing),
+            Err(WireError::Corrupt("trailing payload bytes"))
+        ));
+        let mut w = Writer(Vec::new());
+        w.u32(1);
+        w.u32(2);
+        w.0.extend_from_slice(&[0xFF, 0xFE]); // invalid UTF-8 label
+        assert!(matches!(
+            decode_ingest_trees(&w.0),
+            Err(WireError::Corrupt("invalid utf-8 string"))
+        ));
+        assert_eq!(INGEST_TREES_KIND, req.kind());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The boosted `s1 × s2` sketch array — Theorems 1 and 2 made executable.
 //!
-//! A [`SketchBank`] holds `s1 × s2` independent [`AmsSketch`] instances.
+//! A [`SketchBank`] holds `s1 × s2` AMS counters in one contiguous `i64`
+//! slab, with the matching ξ families packed in a shared [`XiSlab`].
 //! Estimation follows the paper's Algorithm 2: within each of the `s2`
 //! groups, average the `s1` per-sketch estimates (`Y_i`); return the median
 //! of the `s2` averages.  Averaging controls accuracy (`s1 = 8·SJ(S)/ε²f²`
@@ -17,12 +18,25 @@
 //! virtually added back to `X` at query time, which is how the top-k
 //! strategy's deleted heavy hitters are compensated (Section 5.2: replace
 //! `X` by `X + Σ ξ_q f_q`).
+//!
+//! ## Memory layout (the ingest hot path)
+//!
+//! Counters live in a single `Vec<i64>` (row-major: sketch `(i, j)` at
+//! `i * s1 + j`); coefficients live in one shared slab with stride `k`.
+//! A per-value update reduces the key mod 2⁶¹−1 *once*, then walks both
+//! allocations linearly — no per-sketch pointer chase, no per-sketch
+//! reduction.  All banks of a [`crate::StreamSynopsis`] share one
+//! [`XiSlab`] through an [`Arc`], because they are constructed from the
+//! same `(seed, s1, s2, independence)` (Section 5.3's shared-seed
+//! requirement).
 
-use crate::ams::AmsSketch;
 use crate::expr::Term;
-use sketchtree_hash::SplitMix64;
+use crate::xislab::XiSlab;
+use sketchtree_hash::kwise::sign_from_coefficients;
+use sketchtree_hash::m61;
+use std::sync::Arc;
 
-/// A boosted array of AMS sketches.
+/// A boosted array of AMS sketches over one counter slab.
 ///
 /// ```
 /// use sketchtree_sketch::SketchBank;
@@ -36,8 +50,41 @@ use sketchtree_hash::SplitMix64;
 pub struct SketchBank {
     s1: usize,
     s2: usize,
-    /// Row-major: sketch (i, j) at `i * s1 + j`, `i < s2`, `j < s1`.
-    sketches: Vec<AmsSketch>,
+    /// ξ coefficient slab, one family per counter, stride `independence`.
+    xi: Arc<XiSlab>,
+    /// Row-major counter slab: sketch (i, j) at `i * s1 + j`, `i < s2`,
+    /// `j < s1`.
+    counters: Vec<i64>,
+}
+
+/// A read-only view of one sketch: its ξ coefficient row and counter.
+///
+/// `Copy`-cheap — two words and an integer — so estimator closures take it
+/// by value.
+#[derive(Debug, Clone, Copy)]
+pub struct SketchView<'a> {
+    coeffs: &'a [u64],
+    x: i64,
+}
+
+impl SketchView<'_> {
+    /// The ξ value for a key.
+    #[inline]
+    pub fn sign(&self, key: u64) -> i64 {
+        sign_from_coefficients(self.coeffs, m61::reduce(key))
+    }
+
+    /// The raw counter `X`.
+    #[inline]
+    pub fn raw(&self) -> i64 {
+        self.x
+    }
+
+    /// Unbiased second-moment estimate `X²` of `Σ f_i²`.
+    #[inline]
+    pub fn second_moment(&self) -> i64 {
+        self.x * self.x
+    }
 }
 
 impl SketchBank {
@@ -53,11 +100,26 @@ impl SketchBank {
     pub fn new(seed: u64, s1: usize, s2: usize, independence: usize) -> Self {
         assert!(s1 > 0 && s2 > 0, "s1 and s2 must be positive");
         let independence = independence.max(4);
-        let sketches = (0..s1 * s2)
-            // lint:allow(L2, reason = "usize -> u64 is widening on all supported targets")
-            .map(|idx| AmsSketch::new(SplitMix64::derive(seed, idx as u64), independence))
-            .collect();
-        Self { s1, s2, sketches }
+        let xi = Arc::new(XiSlab::generate(seed, s1 * s2, independence));
+        Self::with_shared_xi(xi, s1, s2)
+    }
+
+    /// Creates a bank whose ξ families come from an existing shared slab —
+    /// the multi-bank synopsis builds *one* slab and hands every bank the
+    /// same [`Arc`], instead of materialising `p` identical copies.
+    ///
+    /// The slab must have been generated from the same `(seed, s1 * s2,
+    /// independence)` a fresh [`SketchBank::new`] would use; only the
+    /// family count is checkable here.
+    ///
+    /// # Panics
+    /// Panics if `s1 == 0`, `s2 == 0`, or the slab's family count is not
+    /// `s1 * s2`.
+    pub fn with_shared_xi(xi: Arc<XiSlab>, s1: usize, s2: usize) -> Self {
+        assert!(s1 > 0 && s2 > 0, "s1 and s2 must be positive");
+        assert_eq!(xi.families(), s1 * s2, "ξ slab family count must match s1 × s2");
+        let counters = vec![0i64; s1 * s2];
+        Self { s1, s2, xi, counters }
     }
 
     /// Accuracy knob: number of averaged sketches per group.
@@ -72,10 +134,23 @@ impl SketchBank {
         self.s2
     }
 
+    /// The independence degree of the ξ families.
+    #[inline]
+    pub fn independence(&self) -> usize {
+        self.xi.independence()
+    }
+
     /// Applies `count` occurrences of `value` to every sketch.
+    ///
+    /// Counters wrap on overflow: wrapping arithmetic is a group operation,
+    /// so insert/delete symmetry (`X -= m·ξ_t` undoes `X += m·ξ_t`) holds
+    /// mod 2⁶⁴ even across a wrap, whereas a panic or saturation would
+    /// break it.
     pub fn update(&mut self, value: u64, count: i64) {
-        for s in &mut self.sketches {
-            s.update(value, count);
+        let reduced = m61::reduce(value);
+        for (idx, c) in self.counters.iter_mut().enumerate() {
+            let sg = self.xi.sign_reduced(idx, reduced);
+            *c = c.wrapping_add(sg.wrapping_mul(count));
         }
     }
 
@@ -84,13 +159,12 @@ impl SketchBank {
     /// seed word per sketch — the ξ families are recomputed from seeds, not
     /// stored, exactly as Section 3.1 notes).
     pub fn memory_bytes(&self) -> usize {
-        self.sketches.len() * (8 + 8)
+        self.counters.len() * (8 + 8)
     }
 
     #[inline]
-    fn sketch(&self, i: usize, j: usize) -> &AmsSketch {
-        // lint:allow(L1, reason = "every caller iterates i < s2 and j < s1; len is s1 * s2")
-        &self.sketches[i * self.s1 + j]
+    fn sketch(&self, i: usize, j: usize) -> SketchView<'_> {
+        self.sketch_at(i * self.s1 + j)
     }
 
     /// Point estimate of the frequency of `value` (Theorem 1 / Algorithm 2
@@ -134,7 +208,7 @@ impl SketchBank {
 
     /// Median over the `s2` groups of the mean over `s1` sketches of
     /// `per_sketch` — the boosting of Theorem 1.
-    pub fn median_of_means(&self, per_sketch: impl Fn(&AmsSketch) -> f64) -> f64 {
+    pub fn median_of_means(&self, per_sketch: impl Fn(SketchView<'_>) -> f64) -> f64 {
         let mut ys: Vec<f64> = (0..self.s2)
             .map(|i| {
                 (0..self.s1)
@@ -149,32 +223,35 @@ impl SketchBank {
     /// Total number of sketches (`s1 × s2`).
     #[inline]
     pub fn num_sketches(&self) -> usize {
-        self.sketches.len()
+        self.counters.len()
     }
 
-    /// Direct access to sketch `idx` in `0..num_sketches()` (flat order,
+    /// View of sketch `idx` in `0..num_sketches()` (flat order,
     /// group-major).  Used by the multi-bank synopsis, which must combine
     /// per-sketch values *across* banks before boosting — sums of medians
     /// are not medians of sums.
     #[inline]
-    pub fn sketch_at(&self, idx: usize) -> &AmsSketch {
-        // lint:allow(L1, reason = "documented caller contract: idx in 0..num_sketches()")
-        &self.sketches[idx]
+    pub fn sketch_at(&self, idx: usize) -> SketchView<'_> {
+        SketchView {
+            coeffs: self.xi.coefficients(idx),
+            // lint:allow(L1, reason = "documented caller contract: idx in 0..num_sketches()")
+            x: self.counters[idx],
+        }
     }
 
     /// Adds `per_sketch(sketch_idx)` into `acc[idx]` for every sketch.
-    pub fn accumulate(&self, acc: &mut [f64], per_sketch: impl Fn(&AmsSketch) -> f64) {
-        debug_assert_eq!(acc.len(), self.sketches.len());
-        for (a, s) in acc.iter_mut().zip(&self.sketches) {
+    pub fn accumulate(&self, acc: &mut [f64], per_sketch: impl Fn(SketchView<'_>) -> f64) {
+        debug_assert_eq!(acc.len(), self.counters.len());
+        for (idx, a) in acc.iter_mut().enumerate() {
             // lint:allow(L3, reason = "f64 accumulation cannot wrap; it saturates to infinity")
-            *a += per_sketch(s);
+            *a += per_sketch(self.sketch_at(idx));
         }
     }
 
     /// Boosts a flat vector of per-sketch values laid out like this bank's
     /// sketches: mean over each group of `s1`, median over the `s2` groups.
     pub fn boost(&self, acc: &[f64]) -> f64 {
-        debug_assert_eq!(acc.len(), self.sketches.len());
+        debug_assert_eq!(acc.len(), self.counters.len());
         let mut ys: Vec<f64> = acc
             .chunks(self.s1)
             .map(|chunk| chunk.iter().sum::<f64>() / self.s1 as f64)
@@ -189,7 +266,7 @@ impl SketchBank {
     /// deviation, so widely scattered group means signal an estimator
     /// operating near (or past) its error budget.
     pub fn group_means(&self, acc: &[f64]) -> Vec<f64> {
-        debug_assert_eq!(acc.len(), self.sketches.len());
+        debug_assert_eq!(acc.len(), self.counters.len());
         acc.chunks(self.s1)
             .map(|chunk| chunk.iter().sum::<f64>() / self.s1 as f64)
             .collect()
@@ -199,20 +276,12 @@ impl SketchBank {
     /// a counter at exactly zero has either seen nothing or cancelled
     /// perfectly — both newsworthy to an operator).
     pub fn nonzero_counters(&self) -> usize {
-        self.sketches.iter().filter(|s| s.raw() != 0).count()
-    }
-
-    /// Applies `per_sketch` to each sketch mutably (used by the top-k
-    /// tracker to delete/restore heavy hitters across the whole bank).
-    pub fn for_each_sketch_mut(&mut self, mut per_sketch: impl FnMut(&mut AmsSketch)) {
-        for s in &mut self.sketches {
-            per_sketch(s);
-        }
+        self.counters.iter().filter(|&&x| x != 0).count()
     }
 
     /// The raw counter values in flat sketch order (for snapshots).
     pub fn counter_values(&self) -> Vec<i64> {
-        self.sketches.iter().map(AmsSketch::raw).collect()
+        self.counters.clone()
     }
 
     /// Restores raw counter values previously taken with
@@ -222,10 +291,8 @@ impl SketchBank {
     /// # Panics
     /// Panics if the length does not match.
     pub fn set_counter_values(&mut self, values: &[i64]) {
-        assert_eq!(values.len(), self.sketches.len(), "snapshot geometry mismatch");
-        for (s, &v) in self.sketches.iter_mut().zip(values) {
-            s.set_raw(v);
-        }
+        assert_eq!(values.len(), self.counters.len(), "snapshot geometry mismatch");
+        self.counters.copy_from_slice(values);
     }
 
     /// Adds every counter of `other` into this bank elementwise.
@@ -235,9 +302,9 @@ impl SketchBank {
     /// so for each sketch `X_merged = X_a + X_b` is exactly the counter a
     /// single bank would hold after seeing both streams.  The ξ-family
     /// compatibility (same seed and independence) is the *caller's*
-    /// contract — the bank stores neither, so it can only verify geometry.
-    /// Addition wraps, matching [`AmsSketch::add_raw`]'s mod-2⁶⁴ group
-    /// semantics.
+    /// contract — the bank stores neither seed nor derivation, so it can
+    /// only verify geometry.  Addition wraps, matching the update path's
+    /// mod-2⁶⁴ group semantics.
     ///
     /// # Panics
     /// Panics if the two banks' geometries (`s1`, `s2`) differ.
@@ -250,8 +317,8 @@ impl SketchBank {
             other.s1,
             other.s2
         );
-        for (s, o) in self.sketches.iter_mut().zip(&other.sketches) {
-            s.add_raw(o.raw());
+        for (c, o) in self.counters.iter_mut().zip(&other.counters) {
+            *c = c.wrapping_add(*o);
         }
     }
 
@@ -263,52 +330,65 @@ impl SketchBank {
     /// passing the buffer around roughly halves per-pattern cost.
     pub fn signs_into(&self, value: u64, buf: &mut Vec<i8>) {
         buf.clear();
-        // lint:allow(L2, reason = "sign() returns ±1, which always fits i8")
-        buf.extend(self.sketches.iter().map(|s| s.sign(value) as i8));
+        buf.resize(self.counters.len(), 0);
+        self.xi.fill_signs_reduced(m61::reduce(value), buf);
+    }
+
+    /// The shared ξ slab backing this bank's sign families.
+    #[inline]
+    pub fn xi(&self) -> &XiSlab {
+        &self.xi
     }
 
     /// Applies `count` occurrences of `value` while filling `buf` with the
-    /// per-sketch ξ signs — [`SketchBank::signs_into`] and
-    /// [`SketchBank::update_with_signs`] fused into one pass over the
-    /// sketches, so the ingest hot path touches each sketch's cache line
-    /// once.  The resulting counters and sign buffer are exactly those the
-    /// two-pass sequence produces.
+    /// per-sketch ξ signs — [`SketchBank::signs_into`] followed by
+    /// [`SketchBank::update_with_signs`], producing exactly the counters
+    /// and sign buffer the two calls would.  The sign fill goes through
+    /// the slab's pipelined power-basis sweep, which beats fusing the
+    /// evaluation into the counter walk.
     pub fn apply_with_signs(&mut self, value: u64, count: i64, buf: &mut Vec<i8>) {
         buf.clear();
-        buf.reserve(self.sketches.len());
-        for s in &mut self.sketches {
-            let sg = s.sign(value);
-            s.add_raw(sg.wrapping_mul(count));
-            // lint:allow(L2, reason = "sign() returns ±1, which always fits i8")
-            buf.push(sg as i8);
+        buf.resize(self.counters.len(), 0);
+        self.xi.fill_signs_reduced(m61::reduce(value), buf);
+        for (c, &sg) in self.counters.iter_mut().zip(buf.iter()) {
+            *c = c.wrapping_add(i64::from(sg).wrapping_mul(count));
         }
     }
 
-    /// Applies `count` occurrences of the value whose signs are in `signs`.
+    /// Applies `count` occurrences of the value whose signs are in `signs`
+    /// — a stride walk over the counter slab, no ξ evaluation at all.
     pub fn update_with_signs(&mut self, signs: &[i8], count: i64) {
-        debug_assert_eq!(signs.len(), self.sketches.len());
-        for (s, &sg) in self.sketches.iter_mut().zip(signs) {
-            s.add_raw(i64::from(sg).wrapping_mul(count));
+        debug_assert_eq!(signs.len(), self.counters.len());
+        for (c, &sg) in self.counters.iter_mut().zip(signs) {
+            *c = c.wrapping_add(i64::from(sg).wrapping_mul(count));
         }
     }
 
     /// Point estimate using precomputed signs (no restore list — the
     /// ingest path calls this right after restoring, so `X` is complete).
     pub fn estimate_point_with_signs(&self, signs: &[i8]) -> f64 {
-        debug_assert_eq!(signs.len(), self.sketches.len());
-        let mut ys: Vec<f64> = self
-            .sketches
-            .chunks(self.s1)
-            .zip(signs.chunks(self.s1))
-            .map(|(sk, sg)| {
-                sk.iter()
+        let mut ys = Vec::new();
+        self.estimate_point_with_signs_into(signs, &mut ys)
+    }
+
+    /// [`SketchBank::estimate_point_with_signs`] with a caller-owned group
+    /// scratch buffer, so the per-value top-k estimate allocates nothing
+    /// after warm-up.
+    pub fn estimate_point_with_signs_into(&self, signs: &[i8], ys: &mut Vec<f64>) -> f64 {
+        debug_assert_eq!(signs.len(), self.counters.len());
+        ys.clear();
+        // counters.len() == s1·s2 exactly, so chunks_exact visits every
+        // group chunks() would — minus the per-chunk bounds bookkeeping.
+        ys.extend(self.counters.chunks_exact(self.s1).zip(signs.chunks_exact(self.s1)).map(
+            |(cs, sg)| {
+                cs.iter()
                     .zip(sg)
-                    .map(|(s, &g)| (i64::from(g) * s.raw()) as f64)
+                    .map(|(&c, &g)| (i64::from(g) * c) as f64)
                     .sum::<f64>()
                     / self.s1 as f64
-            })
-            .collect();
-        median_in_place(&mut ys)
+            },
+        ));
+        median_in_place(ys)
     }
 }
 
@@ -318,7 +398,7 @@ impl SketchBank {
 /// or hostile snapshots, and an estimate clamped at the integer edge is
 /// preferable to an overflow panic in the query path.
 #[inline]
-pub(crate) fn effective_x(s: &AmsSketch, restore: &[(u64, i64)]) -> i64 {
+pub(crate) fn effective_x(s: SketchView<'_>, restore: &[(u64, i64)]) -> i64 {
     let mut x = s.raw();
     for &(v, f) in restore {
         x = x.saturating_add(s.sign(v).saturating_mul(f));
@@ -328,7 +408,7 @@ pub(crate) fn effective_x(s: &AmsSketch, restore: &[(u64, i64)]) -> i64 {
 
 /// `coeff · X^k/k! · Πξ` for one term.
 #[inline]
-pub(crate) fn term_value(s: &AmsSketch, t: &Term, x_eff: f64) -> f64 {
+pub(crate) fn term_value(s: SketchView<'_>, t: &Term, x_eff: f64) -> f64 {
     let k = t.queries.len();
     let xi_prod: i64 = t.queries.iter().map(|&q| s.sign(q)).product();
     let factorial: f64 = (2..=k).map(|i| i as f64).product();
@@ -458,14 +538,35 @@ mod tests {
     }
 
     #[test]
+    fn shared_xi_bank_matches_owned_bank() {
+        // with_shared_xi must be indistinguishable from new() given the
+        // slab a fresh new() would build.
+        let xi = Arc::new(XiSlab::generate(17, 4 * 3, 4));
+        let mut shared = SketchBank::with_shared_xi(xi, 4, 3);
+        let mut owned = SketchBank::new(17, 4, 3, 4);
+        for v in [1u64, 2, 99, 1 << 40] {
+            shared.update(v, 3);
+            owned.update(v, 3);
+        }
+        assert_eq!(shared.counter_values(), owned.counter_values());
+    }
+
+    #[test]
+    #[should_panic(expected = "family count")]
+    fn shared_xi_rejects_wrong_family_count() {
+        let xi = Arc::new(XiSlab::generate(17, 5, 4));
+        SketchBank::with_shared_xi(xi, 4, 3);
+    }
+
+    #[test]
     fn sketches_within_bank_are_distinct() {
         let bank = SketchBank::new(8, 4, 2, 4);
         // Any two sketches should disagree on some key sign.
         let mut distinct = 0;
         for a in 0..8usize {
             for b in (a + 1)..8usize {
-                let sa = &bank.sketches[a];
-                let sb = &bank.sketches[b];
+                let sa = bank.sketch_at(a);
+                let sb = bank.sketch_at(b);
                 if (0..64u64).any(|v| sa.sign(v) != sb.sign(v)) {
                     distinct += 1;
                 }
@@ -510,6 +611,20 @@ mod tests {
     }
 
     #[test]
+    fn estimate_with_signs_scratch_matches_allocating_form() {
+        let mut bank = SketchBank::new(77, 8, 5, 4);
+        fill(&mut bank, &[(3, 40), (9, 12), (1 << 50, 7)]);
+        let mut signs = Vec::new();
+        let mut ys = Vec::new();
+        for v in [3u64, 9, 1 << 50, 999] {
+            bank.signs_into(v, &mut signs);
+            let a = bank.estimate_point_with_signs(&signs);
+            let b = bank.estimate_point_with_signs_into(&signs, &mut ys);
+            assert_eq!(a, b, "value {v}");
+        }
+    }
+
+    #[test]
     fn merge_from_equals_single_bank_over_union_stream() {
         let mut a = SketchBank::new(17, 8, 3, 4);
         let mut b = SketchBank::new(17, 8, 3, 4);
@@ -537,6 +652,6 @@ mod tests {
     #[test]
     fn independence_floor_is_four() {
         let bank = SketchBank::new(0, 1, 1, 2);
-        assert_eq!(bank.sketches[0].independence(), 4);
+        assert_eq!(bank.independence(), 4);
     }
 }

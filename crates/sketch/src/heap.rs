@@ -25,6 +25,19 @@ impl IndexedMinHeap {
         Self::default()
     }
 
+    /// An empty heap pre-sized for `n` entries at a load factor low
+    /// enough that churning (remove + reinsert, Algorithm 4's per-value
+    /// discipline) never forces the position map to reallocate: hash
+    /// tables near their load limit grow when deletions leave tombstone
+    /// pressure, and the ingest hot path must stay allocation-free after
+    /// construction.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            heap: Vec::with_capacity(n),
+            pos: HashMap::with_capacity(n.saturating_mul(2)),
+        }
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.heap.len()

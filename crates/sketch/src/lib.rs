@@ -21,6 +21,9 @@
 //! * [`virtual_streams`] — [`virtual_streams::StreamSynopsis`], the complete
 //!   synopsis combining virtual streams (Section 5.3), per-stream top-k
 //!   tracking and shared-seed sketch banks behind one insert/estimate API;
+//! * [`xislab`] — [`xislab::XiSlab`], the packed ξ-coefficient table every
+//!   bank of a synopsis shares (one allocation, fixed stride — the ingest
+//!   hot path's memory layout);
 //! * [`countsketch`] — the Count sketch of Charikar et al. as a comparator;
 //! * [`frequent`] — deterministic Misra–Gries and Space-Saving heavy-hitter
 //!   baselines for the ablation benchmarks.
@@ -37,9 +40,11 @@ pub mod frequent;
 pub mod heap;
 pub mod topk;
 pub mod virtual_streams;
+pub mod xislab;
 
 pub use ams::AmsSketch;
-pub use bank::SketchBank;
+pub use bank::{SketchBank, SketchView};
 pub use expr::{Expr, ExprError};
 pub use topk::TopKTracker;
 pub use virtual_streams::{StreamSynopsis, SynopsisConfig, SynopsisState};
+pub use xislab::XiSlab;

@@ -24,6 +24,9 @@ pub struct TopKTracker {
     /// `H` and `L` of Algorithm 4 in one structure: tracked value →
     /// estimated frequency, min-heap ordered by frequency.
     tracked: IndexedMinHeap,
+    /// Reusable group-mean buffer for the per-value frequency estimate —
+    /// keeps the ingest hot path allocation-free after warm-up.
+    est_scratch: Vec<f64>,
 }
 
 impl TopKTracker {
@@ -31,7 +34,8 @@ impl TopKTracker {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            tracked: IndexedMinHeap::new(),
+            tracked: IndexedMinHeap::with_capacity(capacity),
+            est_scratch: Vec::new(),
         }
     }
 
@@ -94,11 +98,34 @@ impl TopKTracker {
         if self.capacity == 0 {
             return;
         }
-        if let Some(f_t) = self.tracked.remove(t) {
+        if let Some(f_t) = self.untrack(t) {
             bank.update_with_signs(signs, f_t);
         }
+        self.process_restored_with_signs(t, bank, signs);
+    }
+
+    /// Removes `t` from the tracked set, returning its deleted-instance
+    /// count so the caller can fold the restore into its own counter
+    /// sweep (wrapping addition is associative, so one fused sweep lands
+    /// bit-identical to separate restore and insert sweeps).  The caller
+    /// *must* follow up with [`TopKTracker::process_restored_with_signs`]
+    /// after updating the bank, or the delete condition breaks.
+    pub fn untrack(&mut self, t: u64) -> Option<i64> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.tracked.remove(t)
+    }
+
+    /// Algorithm 4 lines 8–18 for a value whose deleted instances have
+    /// already been restored to `bank` (via [`TopKTracker::untrack`]):
+    /// estimate, then admit/evict/delete.
+    pub fn process_restored_with_signs(&mut self, t: u64, bank: &mut SketchBank, signs: &[i8]) {
+        if self.capacity == 0 {
+            return;
+        }
         // lint:allow(L2, reason = "float -> int `as` saturates at the i64 edges, which is the clamp we want")
-        let est = bank.estimate_point_with_signs(signs).round() as i64;
+        let est = bank.estimate_point_with_signs_into(signs, &mut self.est_scratch).round() as i64;
         let admit = est > 0
             && match self.tracked.min_priority() {
                 _ if self.tracked.len() < self.capacity => true,
@@ -151,7 +178,7 @@ impl TopKTracker {
             bank.update(r, f_r);
         }
         union.truncate(self.capacity);
-        self.tracked = IndexedMinHeap::new();
+        self.tracked = IndexedMinHeap::with_capacity(self.capacity);
         for &(v, f) in &union {
             self.tracked.insert(v, f);
         }
@@ -198,7 +225,7 @@ impl TopKTracker {
             entries.len() <= self.capacity,
             "snapshot has more tracked values than capacity"
         );
-        self.tracked = IndexedMinHeap::new();
+        self.tracked = IndexedMinHeap::with_capacity(self.capacity);
         for &(v, f) in entries {
             self.tracked.insert(v, f);
         }

@@ -18,7 +18,10 @@
 use crate::bank::{self, SketchBank};
 use crate::expr::{Expr, ExprError};
 use crate::topk::TopKTracker;
+use crate::xislab::XiSlab;
+use sketchtree_hash::m61;
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of a [`StreamSynopsis`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,6 +135,10 @@ pub struct StreamSynopsis {
     partition_inserts: Vec<u64>,
     /// Reusable per-insert ξ sign buffer (hot-path allocation avoidance).
     sign_buf: Vec<i8>,
+    /// Memo of recently seen values' ξ sign rows (see [`SignCache`]).
+    /// Like `sign_buf`, pure acceleration scratch: cloned synopses share
+    /// no cache state semantics and snapshots never persist it.
+    sign_cache: SignCache,
     /// Per-partition PRNGs for probabilistic top-k invocation.  One PRNG
     /// *per virtual stream* (not one global) so a partition's state
     /// evolution depends only on the subsequence of values routed to it —
@@ -140,12 +147,72 @@ pub struct StreamSynopsis {
     topk_rngs: Vec<sketchtree_hash::SplitMix64>,
 }
 
-/// Applies one value to its partition's state: fused sign/counter update,
-/// then (possibly sampled) Algorithm 4 top-k processing, then the
-/// partition's monitoring counter.  This is the *single* per-value insert
-/// path — [`StreamSynopsis::insert`] and [`SynopsisShard::insert`] both
-/// call it, which is what makes the sharded pipeline bit-identical to
-/// sequential ingestion by construction.
+/// Slots in a [`SignCache`]; a power of two so the uniform low bits of a
+/// Rabin-fingerprint value index directly.  At the paper's default
+/// geometry (`s1·s2 = 175`) the cache occupies ~1.4 MiB.
+const SIGN_CACHE_SLOTS: usize = 8192;
+
+/// A direct-mapped cache of per-value ξ sign rows.
+///
+/// Every bank shares one ξ slab (Section 5.3's shared-seed requirement),
+/// so a value's `s1·s2` sign row is a pure function of the value alone —
+/// independent of the partition it routes to, of the stream history, and
+/// of thread count.  Streaming pattern values repeat heavily (that skew
+/// is the very reason top-k tracking exists), so remembering recently
+/// seen rows skips the polynomial evaluations for the majority of
+/// inserts while leaving every bit of synopsis state unchanged.  This is
+/// transient acceleration scratch, like `sign_buf`: not part of
+/// [`StreamSynopsis::memory_bytes`] (the paper's Section 7.5 accounting)
+/// and never snapshotted.
+#[derive(Debug, Clone)]
+struct SignCache {
+    families: usize,
+    tags: Vec<u64>,
+    filled: Vec<bool>,
+    signs: Vec<i8>,
+}
+
+impl SignCache {
+    fn new(families: usize) -> Self {
+        Self {
+            families,
+            tags: vec![0; SIGN_CACHE_SLOTS],
+            filled: vec![false; SIGN_CACHE_SLOTS],
+            signs: vec![0; SIGN_CACHE_SLOTS * families],
+        }
+    }
+
+    /// The sign row of `value`: served straight from the slot on a tag
+    /// hit, recomputed into it (evicting the previous tenant) otherwise.
+    fn signs(&mut self, xi: &XiSlab, value: u64) -> &[i8] {
+        // lint:allow(L2, L3, reason = "u64 -> usize truncation is immediately masked to the slot range; the mask constant SIGN_CACHE_SLOTS - 1 is a compile-time power of two minus one")
+        let slot = (value as usize) & (SIGN_CACHE_SLOTS - 1);
+        // lint:allow(L3, reason = "stride cannot overflow: slot * families < signs.len(), a successful allocation size")
+        let start = slot * self.families;
+        // lint:allow(L1, L3, reason = "slot < SIGN_CACHE_SLOTS and signs has SIGN_CACHE_SLOTS * families entries, so start + families is in bounds and cannot overflow")
+        let row = &mut self.signs[start..start + self.families];
+        // lint:allow(L1, reason = "slot < SIGN_CACHE_SLOTS, and tags/filled each have SIGN_CACHE_SLOTS entries")
+        if !(self.filled[slot] && self.tags[slot] == value) {
+            xi.fill_signs_reduced(m61::reduce(value), row);
+            // lint:allow(L1, reason = "same slot < SIGN_CACHE_SLOTS bound as the read above")
+            self.tags[slot] = value;
+            // lint:allow(L1, reason = "same slot < SIGN_CACHE_SLOTS bound as the read above")
+            self.filled[slot] = true;
+        }
+        // lint:allow(L1, L3, reason = "same in-bounds range as above, reborrowed immutably")
+        &self.signs[start..start + self.families]
+    }
+}
+
+/// Applies one value to its partition's state: sign/counter update, then
+/// (possibly sampled) Algorithm 4 top-k processing, then the partition's
+/// monitoring counter.  This is the *single* per-value insert path —
+/// [`StreamSynopsis::insert`] and [`SynopsisShard::insert`] both call it,
+/// which is what makes the sharded pipeline bit-identical to sequential
+/// ingestion by construction.  With `cache`, the ξ row comes from the
+/// sign cache (recomputed only on a miss); without, it is evaluated
+/// fused with the counter update.  Both produce identical signs, so the
+/// synopsis state cannot tell the difference.
 #[inline]
 fn insert_routed(
     bank: &mut SketchBank,
@@ -153,14 +220,35 @@ fn insert_routed(
     rng: &mut sketchtree_hash::SplitMix64,
     topk_probability: u16,
     sign_buf: &mut Vec<i8>,
+    cache: Option<&mut SignCache>,
     inserts: &mut u64,
     value: u64,
 ) {
-    bank.apply_with_signs(value, 1, sign_buf);
     let invoke_topk = topk_probability == u16::MAX
         || (rng.next_u64() & 0xFFFF) < u64::from(topk_probability);
+    // When top-k will run and the value is already tracked, Algorithm 4
+    // starts by restoring its deleted instances — fold that restore into
+    // the insert's own counter sweep (wrapping addition is associative,
+    // so one sweep of `1 + f_t` is bit-identical to two sweeps).
+    let restored = if invoke_topk {
+        topk.untrack(value).unwrap_or(0)
+    } else {
+        0
+    };
+    let delta = 1i64.wrapping_add(restored);
+    let signs: &[i8] = match cache {
+        Some(c) => {
+            let signs = c.signs(bank.xi(), value);
+            bank.update_with_signs(signs, delta);
+            signs
+        }
+        None => {
+            bank.apply_with_signs(value, delta, sign_buf);
+            sign_buf
+        }
+    };
     if invoke_topk {
-        topk.process_with_signs(value, bank, sign_buf);
+        topk.process_restored_with_signs(value, bank, signs);
     }
     *inserts = inserts.saturating_add(1);
 }
@@ -213,6 +301,7 @@ impl SynopsisShard<'_> {
             self.rng,
             self.topk_probability,
             &mut self.sign_buf,
+            None,
             self.inserts,
             value,
         );
@@ -234,13 +323,16 @@ impl StreamSynopsis {
     pub fn new(config: SynopsisConfig) -> Self {
         assert!(config.virtual_streams > 0, "need at least one virtual stream");
         let effective_independence = config.independence.max(4);
+        // All banks share the master seed → identical ξ families (Section
+        // 5.3: "the sketches can share the same random seed", making
+        // cross-stream sketch addition meaningful).  Identical families
+        // means one coefficient slab serves every bank: generate it once
+        // and share it by Arc instead of materialising p copies.
+        assert!(config.s1 > 0 && config.s2 > 0, "s1 and s2 must be positive");
+        let families = config.s1 * config.s2;
+        let xi = Arc::new(XiSlab::generate(config.seed, families, effective_independence));
         let banks = (0..config.virtual_streams)
-            .map(|_| {
-                // All banks share the master seed → identical ξ families
-                // (Section 5.3: "the sketches can share the same random
-                // seed", making cross-stream sketch addition meaningful).
-                SketchBank::new(config.seed, config.s1, config.s2, effective_independence)
-            })
+            .map(|_| SketchBank::with_shared_xi(Arc::clone(&xi), config.s1, config.s2))
             .collect();
         let topks = (0..config.virtual_streams)
             .map(|_| TopKTracker::new(config.topk))
@@ -266,6 +358,7 @@ impl StreamSynopsis {
             values_processed: 0,
             partition_inserts,
             sign_buf: Vec::new(),
+            sign_cache: SignCache::new(families),
             topk_rngs,
         }
     }
@@ -312,6 +405,7 @@ impl StreamSynopsis {
             rng,
             self.config.topk_probability,
             &mut self.sign_buf,
+            Some(&mut self.sign_cache),
             inserts,
             value,
         );

@@ -1,0 +1,183 @@
+//! A shared, contiguous table of ξ-family coefficients.
+//!
+//! Every sketch in a bank — and, because all virtual-stream banks share the
+//! master seed (paper Section 5.3), every sketch in the whole synopsis —
+//! evaluates a k-wise independent sign family derived from
+//! `SplitMix64::derive(seed, sketch_idx)`.  Storing each family in its own
+//! heap allocation puts one pointer chase between every counter update and
+//! its coefficients; packing all of them into one flat `u64` slab with a
+//! fixed stride turns the per-value sign sweep into a linear walk over a
+//! single allocation.
+//!
+//! The coefficients are *copied out of* [`KWiseSign`] instances constructed
+//! exactly as before, so the signs the slab produces are bit-identical to
+//! the per-sketch construction — the property every snapshot- and
+//! merge-parity test in the workspace leans on.
+
+use sketchtree_hash::kwise::sign_from_coefficients;
+use sketchtree_hash::{m61, KWiseSign, SplitMix64};
+
+/// Packed ξ coefficients for `families` sign families of a common
+/// independence degree `k`, family `i` occupying `coeffs[i*k .. (i+1)*k]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XiSlab {
+    coeffs: Box<[u64]>,
+    k: usize,
+}
+
+impl XiSlab {
+    /// Generates `families` coefficient rows from `seed`, row `idx` drawn
+    /// exactly like `KWiseSign::from_seed(SplitMix64::derive(seed, idx), k)`
+    /// — same derivation, same rejection sampling, same coefficients.
+    ///
+    /// # Panics
+    /// Panics if `families == 0` or `k < 2` (via [`KWiseSign::from_seed`]).
+    pub fn generate(seed: u64, families: usize, k: usize) -> Self {
+        assert!(families > 0, "a ξ slab needs at least one family");
+        let mut coeffs = Vec::with_capacity(families.saturating_mul(k));
+        for idx in 0..families {
+            // lint:allow(L2, reason = "usize -> u64 family index is widening on all supported targets")
+            let family = KWiseSign::from_seed(SplitMix64::derive(seed, idx as u64), k);
+            coeffs.extend_from_slice(family.coefficients());
+        }
+        Self { coeffs: coeffs.into_boxed_slice(), k }
+    }
+
+    /// The independence degree `k` (the per-family stride).
+    #[inline]
+    pub fn independence(&self) -> usize {
+        self.k
+    }
+
+    /// Number of families packed in the slab.
+    #[inline]
+    pub fn families(&self) -> usize {
+        self.coeffs.len() / self.k
+    }
+
+    /// The coefficient row of family `idx`, constant term first.
+    ///
+    /// # Panics
+    /// Panics if `idx >= families()`.
+    #[inline]
+    pub fn coefficients(&self, idx: usize) -> &[u64] {
+        // lint:allow(L3, reason = "idx * k cannot overflow: both factors are bounded by coeffs.len(), itself a successful allocation size")
+        // lint:allow(L1, reason = "documented caller contract: idx < families(), so the slice is in bounds")
+        &self.coeffs[idx * self.k..(idx + 1) * self.k]
+    }
+
+    /// ξ sign of family `idx` for a key already reduced with
+    /// [`m61::reduce`] — the hot-path form, so a value's reduction happens
+    /// once per insert instead of once per sketch.
+    #[inline]
+    pub fn sign_reduced(&self, idx: usize, reduced_key: u64) -> i64 {
+        sign_from_coefficients(self.coefficients(idx), reduced_key)
+    }
+
+    /// Iterates the coefficient rows in family order — the bounds-check-free
+    /// form of [`XiSlab::coefficients`] for whole-slab sweeps.
+    #[inline]
+    pub fn rows(&self) -> std::slice::ChunksExact<'_, u64> {
+        self.coeffs.chunks_exact(self.k)
+    }
+
+    /// Evaluates every family's sign for one already-reduced key into
+    /// `out` (±1 as `i8`), one pass over the slab.  Bit-identical to
+    /// calling [`XiSlab::sign_reduced`] per family.
+    ///
+    /// Degree-4 slabs (the default independence) evaluate in the power
+    /// basis: `x²` and `x³` are computed once for the whole slab, and each
+    /// family then needs three *independent* multiplications — unlike
+    /// Horner's serial chain, they pipeline across the slab instead of
+    /// stalling on multiply latency.  Every [`m61`] operation returns the
+    /// canonical residue in `[0, P)`, so the power-basis value equals the
+    /// Horner value bit for bit (asserted by the equivalence test below).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != families()`.
+    pub fn fill_signs_reduced(&self, reduced_key: u64, out: &mut [i8]) {
+        assert_eq!(out.len(), self.families(), "sign buffer must cover every family");
+        if self.k == 4 {
+            let x = reduced_key;
+            let x2 = m61::mul(x, x);
+            let x3 = m61::mul(x2, x);
+            for (o, row) in out.iter_mut().zip(self.rows()) {
+                // lint:allow(L1, reason = "rows() is chunks_exact(4), which yields only length-4 slices")
+                let [c0, c1, c2, c3] = *row else { unreachable!("chunks_exact(4)") };
+                let v = m61::add(
+                    m61::add(c0, m61::mul(c1, x)),
+                    m61::add(m61::mul(c2, x2), m61::mul(c3, x3)),
+                );
+                // lint:allow(L2, L3, reason = "1 - 2·bit is ±1, which always fits i8; operands are 0 or 1, so no overflow")
+                *o = (1 - 2 * ((v & 1) as i64)) as i8;
+            }
+        } else {
+            for (o, row) in out.iter_mut().zip(self.rows()) {
+                // lint:allow(L2, reason = "sign_from_coefficients returns ±1, which always fits i8")
+                *o = sign_from_coefficients(row, reduced_key) as i8;
+            }
+        }
+    }
+
+    /// ξ sign of family `idx` for an arbitrary key.
+    #[inline]
+    pub fn sign(&self, idx: usize, key: u64) -> i64 {
+        self.sign_reduced(idx, m61::reduce(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketchtree_hash::Sign;
+
+    /// The slab must reproduce the per-sketch construction bit for bit:
+    /// same derivation chain, same coefficients, same signs.
+    #[test]
+    fn slab_matches_per_family_kwise() {
+        let (seed, families, k) = (0x5EED, 12usize, 5usize);
+        let slab = XiSlab::generate(seed, families, k);
+        assert_eq!(slab.families(), families);
+        assert_eq!(slab.independence(), k);
+        for idx in 0..families {
+            // lint:allow(L2, reason = "usize -> u64 is widening")
+            let reference = KWiseSign::from_seed(SplitMix64::derive(seed, idx as u64), k);
+            assert_eq!(slab.coefficients(idx), reference.coefficients());
+            for key in [0u64, 1, 42, 1 << 61, u64::MAX] {
+                assert_eq!(slab.sign(idx, key), reference.sign(key), "family {idx} key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_and_unreduced_sign_agree() {
+        let slab = XiSlab::generate(9, 3, 4);
+        for key in [0u64, 7, m61::P, m61::P + 5, u64::MAX] {
+            let reduced = m61::reduce(key);
+            for idx in 0..3 {
+                assert_eq!(slab.sign(idx, key), slab.sign_reduced(idx, reduced));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_families_rejected() {
+        XiSlab::generate(0, 0, 4);
+    }
+
+    #[test]
+    fn fill_signs_matches_per_family_eval() {
+        for k in [4usize, 5, 7] {
+            let slab = XiSlab::generate(0xABCD, 9, k);
+            let mut buf = vec![0i8; slab.families()];
+            for key in [0u64, 1, 42, m61::P, u64::MAX] {
+                let reduced = m61::reduce(key);
+                slab.fill_signs_reduced(reduced, &mut buf);
+                for (idx, &sg) in buf.iter().enumerate() {
+                    assert_eq!(i64::from(sg), slab.sign_reduced(idx, reduced), "k {k} family {idx}");
+                }
+            }
+        }
+    }
+}

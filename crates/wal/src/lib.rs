@@ -483,13 +483,16 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
 /// whose labels index into `labels`) into a WAL frame payload.
 ///
 /// Returns an error instead of truncating if any count exceeds `u32`
-/// (the codec's field width).
-pub fn encode_batch(labels: &[String], trees: &[Tree]) -> Result<Vec<u8>, WalError> {
+/// (the codec's field width).  Generic over the label representation so
+/// the server's zero-copy ingest path can log borrowed `&str` names
+/// without first materializing owned `String`s.
+pub fn encode_batch<S: AsRef<str>>(labels: &[S], trees: &[Tree]) -> Result<Vec<u8>, WalError> {
     let mut out = Vec::new();
     let nlabels =
         u32::try_from(labels.len()).map_err(|_| WalError::Corrupt("too many labels"))?;
     put_u32(&mut out, nlabels);
     for l in labels {
+        let l = l.as_ref();
         let len = u32::try_from(l.len()).map_err(|_| WalError::Corrupt("label too long"))?;
         put_u32(&mut out, len);
         out.extend_from_slice(l.as_bytes());

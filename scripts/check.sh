@@ -35,6 +35,19 @@ RUST_TEST_THREADS=1 SKETCHTREE_INGEST_THREADS=1 \
 RUST_TEST_THREADS=1 SKETCHTREE_INGEST_THREADS=8 \
     cargo test --quiet -p sketchtree-core --lib snapshot_parity_across_thread_counts
 
+echo "==> hotpath-parity (allocation-free ingest path == legacy path, 1 and 8 threads)"
+# The wire-speed insert path (sign cache, fused restore delta, power-basis
+# xi evaluation, flattened counter slab) must stay bit-identical to the
+# straightforward per-element path it replaced.  The lib test compares the
+# fast path against the legacy observer path element by element, at both
+# env-driven ingest widths; together with the snapshot-parity sweep above
+# this pins the rewrite to byte-identical synopses at 1 and 8 threads.
+# RUST_TEST_THREADS=1 keeps the process-global env var race-free.
+RUST_TEST_THREADS=1 SKETCHTREE_INGEST_THREADS=1 \
+    cargo test --quiet -p sketchtree-core --lib fast_ingest_path_matches_legacy_observer_path
+RUST_TEST_THREADS=1 SKETCHTREE_INGEST_THREADS=8 \
+    cargo test --quiet -p sketchtree-core --lib fast_ingest_path_matches_legacy_observer_path
+
 echo "==> synopsis merge parity (shard-split vs sequential ingest)"
 # Merging shard synopses must be byte-identical to sequential ingest
 # with top-k off (and totals-preserving with it on), across random
